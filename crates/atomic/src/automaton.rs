@@ -1,0 +1,178 @@
+//! The atomic object automaton `Atomic(A)` (§4.1).
+//!
+//! `Atomic(A)` accepts the well-formed, on-line **hybrid**-atomic
+//! schedules of a simple object automaton `A` ("we make the further
+//! assumption that all schedules in `L(Atomic(A))` are hybrid atomic:
+//! transactions are serializable in the order they commit … guaranteed by
+//! a number of atomicity mechanisms in common use, including strict
+//! two-phase locking").
+//!
+//! Like the QCA automaton, the state is the schedule accepted so far;
+//! acceptance re-checks the invariant after each step. The checks
+//! enumerate active-transaction subsets, so this automaton is for bounded
+//! verification, not production execution (executors live in
+//! [`crate::spooler`]).
+
+use relax_automata::ObjectAutomaton;
+
+use crate::schedule::{Schedule, TxOp};
+use crate::serializability::is_online_hybrid_atomic;
+
+/// The atomic object automaton over a base automaton `A`.
+#[derive(Debug, Clone)]
+pub struct AtomicAutomaton<A> {
+    base: A,
+}
+
+impl<A> AtomicAutomaton<A> {
+    /// Wraps a base automaton.
+    pub fn new(base: A) -> Self {
+        AtomicAutomaton { base }
+    }
+
+    /// The base (single-level) automaton.
+    pub fn base(&self) -> &A {
+        &self.base
+    }
+}
+
+impl<A> ObjectAutomaton for AtomicAutomaton<A>
+where
+    A: ObjectAutomaton,
+    A::Op: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+{
+    type State = Schedule<A::Op>;
+    type Op = TxOp<A::Op>;
+
+    fn initial_state(&self) -> Schedule<A::Op> {
+        Schedule::new()
+    }
+
+    fn step(&self, s: &Schedule<A::Op>, op: &TxOp<A::Op>) -> Vec<Schedule<A::Op>> {
+        let next = s.appended(op.clone());
+        if next.is_well_formed() && is_online_hybrid_atomic(&self.base, &next) {
+            vec![next]
+        } else {
+            vec![]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_automata::History;
+    use relax_queues::{FifoAutomaton, QueueOp, SemiqueueAutomaton, StutteringAutomaton};
+
+    use crate::schedule::TxId;
+
+    fn op(tx: u32, q: QueueOp) -> TxOp<QueueOp> {
+        TxOp::Op { tx: TxId(tx), op: q }
+    }
+
+    fn accepts<A>(a: &AtomicAutomaton<A>, steps: Vec<TxOp<QueueOp>>) -> bool
+    where
+        A: ObjectAutomaton<Op = QueueOp>,
+    {
+        a.accepts(&History::from(steps))
+    }
+
+    #[test]
+    fn serial_transactions_accepted() {
+        let a = AtomicAutomaton::new(FifoAutomaton::new());
+        assert!(accepts(
+            &a,
+            vec![
+                op(1, QueueOp::Enq(1)),
+                TxOp::Commit(TxId(1)),
+                op(2, QueueOp::Deq(1)),
+                TxOp::Commit(TxId(2)),
+            ]
+        ));
+    }
+
+    #[test]
+    fn double_dequeue_by_concurrent_txs_rejected_for_fifo() {
+        // Two active transactions holding the same dequeued item: some
+        // commit subset breaks atomicity, so the prefix is already
+        // rejected at the second Deq.
+        let a = AtomicAutomaton::new(FifoAutomaton::new());
+        assert!(!accepts(
+            &a,
+            vec![
+                op(1, QueueOp::Enq(1)),
+                TxOp::Commit(TxId(1)),
+                op(2, QueueOp::Deq(1)),
+                op(3, QueueOp::Deq(1)),
+            ]
+        ));
+    }
+
+    #[test]
+    fn concurrent_dequeuers_of_distinct_items_rejected_for_fifo_but_ok_for_semiqueue() {
+        // Two concurrent dequeuers take items 1 and 2. If the taker of 2
+        // commits first, the FIFO commit order is violated — but a
+        // Semiqueue_2 tolerates exactly this.
+        let steps = vec![
+            op(1, QueueOp::Enq(1)),
+            op(1, QueueOp::Enq(2)),
+            TxOp::Commit(TxId(1)),
+            op(2, QueueOp::Deq(1)),
+            op(3, QueueOp::Deq(2)),
+            TxOp::Commit(TxId(3)), // out-of-order committer first
+            TxOp::Commit(TxId(2)),
+        ];
+        let fifo = AtomicAutomaton::new(FifoAutomaton::new());
+        assert!(!accepts(&fifo, steps.clone()));
+        let semi = AtomicAutomaton::new(SemiqueueAutomaton::new(2));
+        assert!(accepts(&semi, steps));
+    }
+
+    #[test]
+    fn stuttering_tolerates_duplicate_head_across_txs() {
+        // Pessimistic strategy: both dequeuers return the head; at most j
+        // returns.
+        let steps = vec![
+            op(1, QueueOp::Enq(1)),
+            TxOp::Commit(TxId(1)),
+            op(2, QueueOp::Deq(1)),
+            op(3, QueueOp::Deq(1)),
+            TxOp::Commit(TxId(2)),
+            TxOp::Commit(TxId(3)),
+        ];
+        let stut2 = AtomicAutomaton::new(StutteringAutomaton::new(2));
+        assert!(accepts(&stut2, steps.clone()));
+        let fifo = AtomicAutomaton::new(StutteringAutomaton::new(1));
+        assert!(!accepts(&fifo, steps));
+    }
+
+    #[test]
+    fn abort_discards_effects() {
+        // A dequeuer aborts; a later one may take the same item.
+        let a = AtomicAutomaton::new(FifoAutomaton::new());
+        assert!(accepts(
+            &a,
+            vec![
+                op(1, QueueOp::Enq(1)),
+                TxOp::Commit(TxId(1)),
+                op(2, QueueOp::Deq(1)),
+                TxOp::Abort(TxId(2)),
+                op(3, QueueOp::Deq(1)),
+                TxOp::Commit(TxId(3)),
+            ]
+        ));
+    }
+
+    #[test]
+    fn malformed_schedules_rejected() {
+        let a = AtomicAutomaton::new(FifoAutomaton::new());
+        assert!(!accepts(
+            &a,
+            vec![
+                op(1, QueueOp::Enq(1)),
+                TxOp::Commit(TxId(1)),
+                op(1, QueueOp::Enq(2)), // op after commit
+            ]
+        ));
+    }
+}

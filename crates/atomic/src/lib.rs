@@ -1,0 +1,54 @@
+//! # relax-atomic — transactions over typed objects
+//!
+//! Implements §4 of Herlihy & Wing (PODC 1987):
+//!
+//! * [`schedule`] — transactional schedules: operations tagged with
+//!   transaction identifiers plus `commit`/`abort`, well-formedness,
+//!   projections `H|P`, and `perm(H)` (operations of committed
+//!   transactions);
+//! * [`serializability`] — Definition 5 (serializability as existence of
+//!   a total transaction order whose concatenated projections are
+//!   accepted by the base automaton), Definition 6 (atomicity), Definition
+//!   7 (on-line atomicity), and *hybrid atomicity* (serializable in commit
+//!   order \[21\], as guaranteed by strict two-phase locking);
+//! * [`automaton`] — the atomic object automaton `Atomic(A)`, accepting
+//!   well-formed, on-line hybrid-atomic schedules of a simple object
+//!   automaton `A`;
+//! * [`locking`] — a strict two-phase-locking lock manager (conflict
+//!   tables over lock modes, FIFO wait queues, deadlock detection via
+//!   wait-for-graph cycles);
+//! * [`spooler`] — the printing service of §4.2: executors for the
+//!   blocking FIFO queue, the *optimistic* (semiqueue) and *pessimistic*
+//!   (stuttering) concurrent-dequeue strategies, with throughput and
+//!   degradation metrics; executor traces are cross-validated against the
+//!   `Semiqueue_k`/`Stuttering_j` automata from `relax-queues`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod automaton;
+pub mod locking;
+pub mod schedule;
+pub mod serializability;
+pub mod spooler;
+
+/// Convenient re-exports of the crate's main types.
+pub mod prelude {
+    pub use crate::automaton::AtomicAutomaton;
+    pub use crate::locking::{LockManager, LockMode, LockRequest};
+    pub use crate::schedule::{Schedule, TxId, TxOp};
+    pub use crate::serializability::{
+        is_atomic, is_online_atomic, is_online_hybrid_atomic, is_serializable,
+        serializable_in_commit_order, serializable_in_order,
+    };
+    pub use crate::spooler::{DequeueStrategy, Spooler, SpoolerConfig, SpoolerReport};
+}
+
+pub use automaton::AtomicAutomaton;
+pub use locking::{LockManager, LockMode, LockRequest};
+pub use schedule::{Schedule, TxId, TxOp};
+pub use serializability::{
+    is_atomic, is_online_atomic, is_online_hybrid_atomic, is_serializable,
+    serializable_in_commit_order, serializable_in_order,
+};
+pub use spooler::{DequeueStrategy, Spooler, SpoolerConfig, SpoolerReport};

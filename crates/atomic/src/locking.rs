@@ -1,0 +1,355 @@
+//! A strict two-phase-locking lock manager.
+//!
+//! Strict 2PL \[7\] is the paper's canonical mechanism for hybrid
+//! atomicity (§4.1): transactions acquire locks as they go and hold them
+//! until commit/abort, so transactions serialize in commit order. The
+//! manager supports shared/exclusive modes, FIFO wait queues per
+//! resource, release-on-finish, and deadlock detection by wait-for-graph
+//! cycle search.
+
+use std::collections::BTreeMap;
+
+use crate::schedule::TxId;
+
+/// A lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) — compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) — compatible with nothing.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Are two modes compatible on the same resource?
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+}
+
+/// A pending lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockRequest<R> {
+    /// The requesting transaction.
+    pub tx: TxId,
+    /// The requested resource.
+    pub resource: R,
+    /// The requested mode.
+    pub mode: LockMode,
+}
+
+/// The outcome of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock was granted immediately.
+    Granted,
+    /// The request conflicts and was queued.
+    Queued,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ResourceState {
+    holders: Vec<(TxId, LockMode)>,
+    waiters: Vec<(TxId, LockMode)>,
+}
+
+/// A strict two-phase-locking lock manager over resources `R`.
+#[derive(Debug, Clone, Default)]
+pub struct LockManager<R: Ord + Clone> {
+    resources: BTreeMap<R, ResourceState>,
+}
+
+impl<R: Ord + Clone> LockManager<R> {
+    /// An empty manager.
+    pub fn new() -> Self {
+        LockManager {
+            resources: BTreeMap::new(),
+        }
+    }
+
+    /// Requests a lock. A holder re-requesting a covered mode is granted
+    /// immediately; a holder asking to *upgrade* `Shared → Exclusive` is
+    /// granted in place when it is the sole holder, and queues otherwise
+    /// (two simultaneous upgraders deadlock — see [`LockManager::find_deadlock`]).
+    pub fn request(&mut self, tx: TxId, resource: R, mode: LockMode) -> LockOutcome {
+        let state = self.resources.entry(resource).or_default();
+        if let Some(i) = state.holders.iter().position(|&(t, _)| t == tx) {
+            let held = state.holders[i].1;
+            if held == LockMode::Exclusive || held == mode {
+                return LockOutcome::Granted;
+            }
+            // Upgrade Shared → Exclusive: in place iff alone.
+            let alone = state.holders.iter().all(|&(t, _)| t == tx);
+            if alone && state.waiters.is_empty() {
+                state.holders[i].1 = LockMode::Exclusive;
+                return LockOutcome::Granted;
+            }
+            state.waiters.push((tx, mode));
+            return LockOutcome::Queued;
+        }
+        let conflicts = state
+            .holders
+            .iter()
+            .any(|&(t, m)| t != tx && !m.compatible(mode));
+        // FIFO fairness: queue behind existing waiters even if currently
+        // compatible, to prevent starvation of exclusive waiters.
+        if conflicts || !state.waiters.is_empty() {
+            state.waiters.push((tx, mode));
+            LockOutcome::Queued
+        } else {
+            state.holders.push((tx, mode));
+            LockOutcome::Granted
+        }
+    }
+
+    /// Releases all locks held (or waited for) by `tx` — strictness: this
+    /// happens only at commit/abort. Returns the requests newly granted
+    /// by the release, in grant order.
+    pub fn release_all(&mut self, tx: TxId) -> Vec<LockRequest<R>> {
+        let mut granted = Vec::new();
+        for (resource, state) in self.resources.iter_mut() {
+            state.holders.retain(|&(t, _)| t != tx);
+            state.waiters.retain(|&(t, _)| t != tx);
+            // Promote waiters FIFO while compatible.
+            while let Some(&(wtx, wmode)) = state.waiters.first() {
+                let conflicts = state
+                    .holders
+                    .iter()
+                    .any(|&(t, m)| t != wtx && !m.compatible(wmode));
+                if conflicts {
+                    break;
+                }
+                state.waiters.remove(0);
+                // A promoted upgrade replaces the waiter's existing hold.
+                if let Some(i) = state.holders.iter().position(|&(t, _)| t == wtx) {
+                    state.holders[i].1 = wmode;
+                } else {
+                    state.holders.push((wtx, wmode));
+                }
+                granted.push(LockRequest {
+                    tx: wtx,
+                    resource: resource.clone(),
+                    mode: wmode,
+                });
+            }
+        }
+        granted
+    }
+
+    /// Current holders of a resource.
+    pub fn holders(&self, resource: &R) -> Vec<(TxId, LockMode)> {
+        self.resources
+            .get(resource)
+            .map(|s| s.holders.clone())
+            .unwrap_or_default()
+    }
+
+    /// Current waiters on a resource, FIFO.
+    pub fn waiters(&self, resource: &R) -> Vec<(TxId, LockMode)> {
+        self.resources
+            .get(resource)
+            .map(|s| s.waiters.clone())
+            .unwrap_or_default()
+    }
+
+    /// Searches the wait-for graph for a cycle; returns one as a list of
+    /// transactions if found.
+    pub fn find_deadlock(&self) -> Option<Vec<TxId>> {
+        // Build edges: waiter → each conflicting holder.
+        let mut edges: BTreeMap<TxId, Vec<TxId>> = BTreeMap::new();
+        for state in self.resources.values() {
+            for &(wtx, wmode) in &state.waiters {
+                for &(htx, hmode) in &state.holders {
+                    if htx != wtx && !hmode.compatible(wmode) {
+                        edges.entry(wtx).or_default().push(htx);
+                    }
+                }
+            }
+        }
+        // DFS cycle detection.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks: BTreeMap<TxId, Mark> = BTreeMap::new();
+        let nodes: Vec<TxId> = edges.keys().copied().collect();
+
+        fn dfs(
+            node: TxId,
+            edges: &BTreeMap<TxId, Vec<TxId>>,
+            marks: &mut BTreeMap<TxId, Mark>,
+            stack: &mut Vec<TxId>,
+        ) -> Option<Vec<TxId>> {
+            marks.insert(node, Mark::Grey);
+            stack.push(node);
+            for &next in edges.get(&node).map(|v| v.as_slice()).unwrap_or(&[]) {
+                match marks.get(&next).copied().unwrap_or(Mark::White) {
+                    Mark::Grey => {
+                        let start = stack.iter().position(|&t| t == next).expect("on stack");
+                        return Some(stack[start..].to_vec());
+                    }
+                    Mark::White => {
+                        if let Some(cycle) = dfs(next, edges, marks, stack) {
+                            return Some(cycle);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+            stack.pop();
+            marks.insert(node, Mark::Black);
+            None
+        }
+
+        for node in nodes {
+            if marks.get(&node).copied().unwrap_or(Mark::White) == Mark::White {
+                let mut stack = Vec::new();
+                if let Some(cycle) = dfs(node, &edges, &mut marks, &mut stack) {
+                    return Some(cycle);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.request(TxId(1), "q", LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.request(TxId(2), "q", LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.holders(&"q").len(), 2);
+    }
+
+    #[test]
+    fn exclusive_conflicts_queue_fifo() {
+        let mut lm = LockManager::new();
+        lm.request(TxId(1), "q", LockMode::Exclusive);
+        assert_eq!(
+            lm.request(TxId(2), "q", LockMode::Exclusive),
+            LockOutcome::Queued
+        );
+        assert_eq!(
+            lm.request(TxId(3), "q", LockMode::Exclusive),
+            LockOutcome::Queued
+        );
+        let granted = lm.release_all(TxId(1));
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].tx, TxId(2));
+        // 3 still waits behind 2.
+        assert_eq!(lm.waiters(&"q"), vec![(TxId(3), LockMode::Exclusive)]);
+    }
+
+    #[test]
+    fn fifo_prevents_reader_overtaking() {
+        let mut lm = LockManager::new();
+        lm.request(TxId(1), "q", LockMode::Shared);
+        lm.request(TxId(2), "q", LockMode::Exclusive); // queued
+        // A new shared request must queue behind the exclusive waiter.
+        assert_eq!(
+            lm.request(TxId(3), "q", LockMode::Shared),
+            LockOutcome::Queued
+        );
+        let granted = lm.release_all(TxId(1));
+        // 2 gets exclusive; 3 still blocked.
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].tx, TxId(2));
+    }
+
+    #[test]
+    fn rerequest_of_held_lock_is_granted() {
+        let mut lm = LockManager::new();
+        lm.request(TxId(1), "q", LockMode::Exclusive);
+        assert_eq!(
+            lm.request(TxId(1), "q", LockMode::Shared),
+            LockOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn solo_upgrade_granted_in_place() {
+        let mut lm = LockManager::new();
+        lm.request(TxId(1), "q", LockMode::Shared);
+        assert_eq!(
+            lm.request(TxId(1), "q", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(lm.holders(&"q"), vec![(TxId(1), LockMode::Exclusive)]);
+    }
+
+    #[test]
+    fn contended_upgrade_waits_then_promotes_without_duplication() {
+        let mut lm = LockManager::new();
+        lm.request(TxId(1), "q", LockMode::Shared);
+        lm.request(TxId(2), "q", LockMode::Shared);
+        assert_eq!(
+            lm.request(TxId(1), "q", LockMode::Exclusive),
+            LockOutcome::Queued
+        );
+        let granted = lm.release_all(TxId(2));
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].tx, TxId(1));
+        // Upgraded in place: exactly one holder entry.
+        assert_eq!(lm.holders(&"q"), vec![(TxId(1), LockMode::Exclusive)]);
+    }
+
+    #[test]
+    fn simultaneous_upgrades_deadlock() {
+        let mut lm = LockManager::new();
+        lm.request(TxId(1), "q", LockMode::Shared);
+        lm.request(TxId(2), "q", LockMode::Shared);
+        lm.request(TxId(1), "q", LockMode::Exclusive);
+        lm.request(TxId(2), "q", LockMode::Exclusive);
+        let cycle = lm.find_deadlock().expect("upgrade deadlock");
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn release_promotes_compatible_batch() {
+        let mut lm = LockManager::new();
+        lm.request(TxId(1), "q", LockMode::Exclusive);
+        lm.request(TxId(2), "q", LockMode::Shared);
+        lm.request(TxId(3), "q", LockMode::Shared);
+        let granted = lm.release_all(TxId(1));
+        // Both shared waiters promoted together.
+        assert_eq!(granted.len(), 2);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut lm = LockManager::new();
+        lm.request(TxId(1), "a", LockMode::Exclusive);
+        lm.request(TxId(2), "b", LockMode::Exclusive);
+        lm.request(TxId(1), "b", LockMode::Exclusive); // 1 waits on 2
+        lm.request(TxId(2), "a", LockMode::Exclusive); // 2 waits on 1
+        let cycle = lm.find_deadlock().expect("deadlock");
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&TxId(1)));
+        assert!(cycle.contains(&TxId(2)));
+    }
+
+    #[test]
+    fn no_false_deadlocks() {
+        let mut lm = LockManager::new();
+        lm.request(TxId(1), "a", LockMode::Exclusive);
+        lm.request(TxId(2), "a", LockMode::Exclusive);
+        assert!(lm.find_deadlock().is_none());
+        lm.release_all(TxId(1));
+        assert!(lm.find_deadlock().is_none());
+    }
+
+    #[test]
+    fn release_clears_waiting_requests_too() {
+        let mut lm = LockManager::new();
+        lm.request(TxId(1), "a", LockMode::Exclusive);
+        lm.request(TxId(2), "a", LockMode::Exclusive);
+        lm.release_all(TxId(2)); // 2 gives up while waiting
+        assert!(lm.waiters(&"a").is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Transactional schedules (§4.1).
+//!
+//! A *schedule* for a simple object automaton `A` is a history of
+//! operations `⟨p, P⟩` where `p` is an operation of `A`, `commit`, or
+//! `abort`, and `P` is a transaction identifier. A schedule is
+//! *well-formed* if (1) no transaction both commits and aborts, and (2)
+//! no transaction executes anything after its commit or abort.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use relax_automata::History;
+
+/// A transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(pub u32);
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// One step of a schedule: an object operation executed by a transaction,
+/// or a transaction's commit/abort.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TxOp<Op> {
+    /// `⟨p, P⟩`: transaction `tx` executes object operation `op`.
+    Op {
+        /// The executing transaction.
+        tx: TxId,
+        /// The object operation (invocation + response).
+        op: Op,
+    },
+    /// `⟨commit, P⟩`.
+    Commit(TxId),
+    /// `⟨abort, P⟩`.
+    Abort(TxId),
+}
+
+impl<Op> TxOp<Op> {
+    /// The transaction this step belongs to.
+    pub fn tx(&self) -> TxId {
+        match self {
+            TxOp::Op { tx, .. } => *tx,
+            TxOp::Commit(tx) | TxOp::Abort(tx) => *tx,
+        }
+    }
+}
+
+impl<Op: fmt::Display> fmt::Display for TxOp<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxOp::Op { tx, op } => write!(f, "⟨{op}, {tx}⟩"),
+            TxOp::Commit(tx) => write!(f, "⟨commit, {tx}⟩"),
+            TxOp::Abort(tx) => write!(f, "⟨abort, {tx}⟩"),
+        }
+    }
+}
+
+/// A transactional schedule: a history of [`TxOp`]s with transactional
+/// queries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schedule<Op> {
+    steps: History<TxOp<Op>>,
+}
+
+impl<Op: Clone> Schedule<Op> {
+    /// The empty schedule.
+    pub fn new() -> Self {
+        Schedule {
+            steps: History::empty(),
+        }
+    }
+
+    /// Builds a schedule from steps.
+    pub fn from_steps(steps: Vec<TxOp<Op>>) -> Self {
+        Schedule {
+            steps: History::from(steps),
+        }
+    }
+
+    /// The underlying history of steps.
+    pub fn steps(&self) -> &History<TxOp<Op>> {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for the empty schedule.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a step in place.
+    pub fn push(&mut self, step: TxOp<Op>) {
+        self.steps.push(step);
+    }
+
+    /// A copy with one more step.
+    #[must_use]
+    pub fn appended(&self, step: TxOp<Op>) -> Self {
+        Schedule {
+            steps: self.steps.appended(step),
+        }
+    }
+
+    /// Well-formedness (§4.1): no transaction both commits and aborts,
+    /// and no transaction executes anything after its commit or abort.
+    pub fn is_well_formed(&self) -> bool {
+        let mut finished: BTreeSet<TxId> = BTreeSet::new();
+        for step in self.steps.iter() {
+            if finished.contains(&step.tx()) {
+                return false;
+            }
+            match step {
+                TxOp::Commit(tx) | TxOp::Abort(tx) => {
+                    finished.insert(*tx);
+                }
+                TxOp::Op { .. } => {}
+            }
+        }
+        true
+    }
+
+    /// All transaction ids appearing, in first-appearance order.
+    pub fn transactions(&self) -> Vec<TxId> {
+        let mut out = Vec::new();
+        for step in self.steps.iter() {
+            let tx = step.tx();
+            if !out.contains(&tx) {
+                out.push(tx);
+            }
+        }
+        out
+    }
+
+    /// Committed transactions, in commit order. On malformed schedules
+    /// (a transaction finishing twice) only the first commit counts.
+    pub fn committed(&self) -> Vec<TxId> {
+        let mut out = Vec::new();
+        for s in self.steps.iter() {
+            if let TxOp::Commit(tx) = s {
+                if !out.contains(tx) {
+                    out.push(*tx);
+                }
+            }
+        }
+        out
+    }
+
+    /// Aborted transactions, in abort order. On malformed schedules only
+    /// the first abort counts.
+    pub fn aborted(&self) -> Vec<TxId> {
+        let mut out = Vec::new();
+        for s in self.steps.iter() {
+            if let TxOp::Abort(tx) = s {
+                if !out.contains(tx) {
+                    out.push(*tx);
+                }
+            }
+        }
+        out
+    }
+
+    /// *Active* transactions: neither committed nor aborted (§4).
+    pub fn active(&self) -> Vec<TxId> {
+        let committed = self.committed();
+        let aborted = self.aborted();
+        self.transactions()
+            .into_iter()
+            .filter(|tx| !committed.contains(tx) && !aborted.contains(tx))
+            .collect()
+    }
+
+    /// `H|P`: the object operations executed by `tx`, in order.
+    pub fn projection(&self, tx: TxId) -> History<Op> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                TxOp::Op { tx: t, op } if *t == tx => Some(op.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `perm(H)`: the subschedule of operations of committed transactions.
+    pub fn perm(&self) -> Schedule<Op> {
+        let committed = self.committed();
+        Schedule {
+            steps: self.steps.filtered(|s| committed.contains(&s.tx())),
+        }
+    }
+
+    /// Active transactions that have executed at least one operation
+    /// satisfying `pred` — used for the `C_k` constraints of §4.2 ("no
+    /// more than k active transactions have executed Deq operations").
+    pub fn active_having(&self, mut pred: impl FnMut(&Op) -> bool) -> Vec<TxId> {
+        let active = self.active();
+        let mut out = Vec::new();
+        for step in self.steps.iter() {
+            if let TxOp::Op { tx, op } = step {
+                if active.contains(tx) && !out.contains(tx) && pred(op) {
+                    out.push(*tx);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<Op: Clone> FromIterator<TxOp<Op>> for Schedule<Op> {
+    fn from_iter<I: IntoIterator<Item = TxOp<Op>>>(iter: I) -> Self {
+        Schedule {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<Op: fmt::Display> fmt::Display for Schedule<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_queues::QueueOp;
+
+    fn op(tx: u32, q: QueueOp) -> TxOp<QueueOp> {
+        TxOp::Op { tx: TxId(tx), op: q }
+    }
+
+    #[test]
+    fn well_formedness_catches_double_finish() {
+        let s = Schedule::from_steps(vec![
+            op(1, QueueOp::Enq(5)),
+            TxOp::Commit(TxId(1)),
+            TxOp::Abort(TxId(1)),
+        ]);
+        assert!(!s.is_well_formed());
+    }
+
+    #[test]
+    fn well_formedness_catches_op_after_commit() {
+        let s = Schedule::from_steps(vec![
+            op(1, QueueOp::Enq(5)),
+            TxOp::Commit(TxId(1)),
+            op(1, QueueOp::Enq(6)),
+        ]);
+        assert!(!s.is_well_formed());
+        let ok = Schedule::from_steps(vec![op(1, QueueOp::Enq(5)), TxOp::Commit(TxId(1))]);
+        assert!(ok.is_well_formed());
+    }
+
+    #[test]
+    fn transaction_status_queries() {
+        let s = Schedule::from_steps(vec![
+            op(1, QueueOp::Enq(5)),
+            op(2, QueueOp::Enq(6)),
+            op(3, QueueOp::Deq(5)),
+            TxOp::Commit(TxId(1)),
+            TxOp::Abort(TxId(2)),
+        ]);
+        assert_eq!(s.committed(), vec![TxId(1)]);
+        assert_eq!(s.aborted(), vec![TxId(2)]);
+        assert_eq!(s.active(), vec![TxId(3)]);
+        assert_eq!(s.transactions(), vec![TxId(1), TxId(2), TxId(3)]);
+    }
+
+    #[test]
+    fn projection_and_perm() {
+        let s = Schedule::from_steps(vec![
+            op(1, QueueOp::Enq(5)),
+            op(2, QueueOp::Enq(6)),
+            op(1, QueueOp::Deq(6)),
+            TxOp::Commit(TxId(1)),
+        ]);
+        assert_eq!(
+            s.projection(TxId(1)).ops(),
+            &[QueueOp::Enq(5), QueueOp::Deq(6)]
+        );
+        let perm = s.perm();
+        assert_eq!(perm.len(), 3); // tx1's two ops + its commit
+        assert!(perm.transactions() == vec![TxId(1)]);
+    }
+
+    #[test]
+    fn active_having_counts_dequeuers() {
+        let s = Schedule::from_steps(vec![
+            op(1, QueueOp::Deq(5)),
+            op(2, QueueOp::Enq(6)),
+            op(3, QueueOp::Deq(6)),
+            TxOp::Commit(TxId(3)),
+        ]);
+        let dequeuers = s.active_having(|o| o.is_deq());
+        assert_eq!(dequeuers, vec![TxId(1)]); // tx3 committed, tx2 never Deq'd
+    }
+
+    #[test]
+    fn display_notation() {
+        let s = Schedule::from_steps(vec![op(1, QueueOp::Enq(5)), TxOp::Commit(TxId(1))]);
+        assert_eq!(s.to_string(), "⟨Enq(5)/Ok(), P1⟩ · ⟨commit, P1⟩");
+    }
+}

@@ -1,0 +1,300 @@
+//! Serializability and atomicity checkers (Definitions 5–7).
+//!
+//! * **Definition 5.** A schedule `H` is *serializable* if there is a
+//!   total order `<` on its transactions such that
+//!   `H|P1 · … · H|Pn ∈ L(A)`.
+//! * **Definition 6.** `H` is *atomic* if `perm(H)` is serializable.
+//! * **Definition 7.** `H` is *on-line atomic* if appending commits for
+//!   any subset of active transactions leaves it atomic.
+//! * **Hybrid atomicity** \[21\]: transactions serialize in the order
+//!   they commit — the property guaranteed by strict two-phase locking
+//!   and assumed by the paper's examples.
+//!
+//! Checks are exact (they enumerate transaction orders / subsets), so
+//! they are meant for the bounded schedules of tests and experiments.
+
+use relax_automata::{History, ObjectAutomaton};
+
+use crate::schedule::{Schedule, TxId};
+
+/// Is `schedule` serializable for `automaton` (Definition 5)? Tries every
+/// total order of its transactions.
+pub fn is_serializable<A>(automaton: &A, schedule: &Schedule<A::Op>) -> bool
+where
+    A: ObjectAutomaton,
+{
+    let txs = schedule.transactions();
+    permutations(&txs)
+        .into_iter()
+        .any(|order| accepts_in_order(automaton, schedule, &order))
+}
+
+/// Is `schedule` serializable *in commit order* (hybrid atomicity)?
+/// Considers only committed transactions, in their commit order; active
+/// and aborted transactions are ignored (callers combine with
+/// [`is_online_atomic`] for the full §4.1 property).
+pub fn serializable_in_commit_order<A>(automaton: &A, schedule: &Schedule<A::Op>) -> bool
+where
+    A: ObjectAutomaton,
+{
+    let order = schedule.committed();
+    accepts_in_order(automaton, &schedule.perm(), &order)
+}
+
+/// Is `schedule` atomic (Definition 6): is `perm(schedule)` serializable?
+pub fn is_atomic<A>(automaton: &A, schedule: &Schedule<A::Op>) -> bool
+where
+    A: ObjectAutomaton,
+{
+    is_serializable(automaton, &schedule.perm())
+}
+
+/// Is `schedule` on-line atomic (Definition 7): does appending commits
+/// for every subset of active transactions (in every order) leave it
+/// atomic?
+pub fn is_online_atomic<A>(automaton: &A, schedule: &Schedule<A::Op>) -> bool
+where
+    A: ObjectAutomaton,
+{
+    use crate::schedule::TxOp;
+    let active = schedule.active();
+    for subset in subsets(&active) {
+        let mut extended = schedule.clone();
+        for tx in &subset {
+            extended.push(TxOp::Commit(*tx));
+        }
+        if !is_atomic(automaton, &extended) {
+            return false;
+        }
+    }
+    true
+}
+
+/// On-line **hybrid** atomicity: for every subset of active transactions
+/// and every commit order of that subset, the extended schedule is
+/// serializable in commit order. This is the acceptance condition of the
+/// paper's `Atomic(A)` automata (§4.1's "further assumption").
+pub fn is_online_hybrid_atomic<A>(automaton: &A, schedule: &Schedule<A::Op>) -> bool
+where
+    A: ObjectAutomaton,
+{
+    use crate::schedule::TxOp;
+    let active = schedule.active();
+    for subset in subsets(&active) {
+        for order in permutations(&subset) {
+            let mut extended = schedule.clone();
+            for tx in &order {
+                extended.push(TxOp::Commit(*tx));
+            }
+            if !serializable_in_commit_order(automaton, &extended) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Is `schedule` serializable in the *given* witness order — i.e. is
+/// `H|P1 · … · H|Pn ∈ L(A)` for exactly this order? Transactions of the
+/// schedule absent from `order` contribute nothing, so pass `perm(H)`
+/// when checking committed transactions only.
+pub fn serializable_in_order<A>(
+    automaton: &A,
+    schedule: &Schedule<A::Op>,
+    order: &[TxId],
+) -> bool
+where
+    A: ObjectAutomaton,
+{
+    accepts_in_order(automaton, schedule, order)
+}
+
+fn accepts_in_order<A>(automaton: &A, schedule: &Schedule<A::Op>, order: &[TxId]) -> bool
+where
+    A: ObjectAutomaton,
+{
+    let mut serial: History<A::Op> = History::empty();
+    for tx in order {
+        serial = serial.concat(&schedule.projection(*tx));
+    }
+    // Transactions absent from `order` must contribute no operations
+    // (commit-order checks pass only committed transactions' schedules).
+    automaton.accepts(&serial)
+}
+
+fn permutations(txs: &[TxId]) -> Vec<Vec<TxId>> {
+    if txs.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for (i, &tx) in txs.iter().enumerate() {
+        let mut rest: Vec<TxId> = txs.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, tx);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+fn subsets(txs: &[TxId]) -> Vec<Vec<TxId>> {
+    let mut out = Vec::with_capacity(1 << txs.len());
+    for mask in 0u32..(1 << txs.len()) {
+        out.push(
+            txs.iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &tx)| tx)
+                .collect(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_queues::{FifoAutomaton, QueueOp};
+
+    use crate::schedule::TxOp;
+
+    fn op(tx: u32, q: QueueOp) -> TxOp<QueueOp> {
+        TxOp::Op { tx: TxId(tx), op: q }
+    }
+
+    #[test]
+    fn interleaved_but_serializable() {
+        // P1 enqueues 1, P2 enqueues 2, interleaved; FIFO-serializable in
+        // either order.
+        let s = Schedule::from_steps(vec![
+            op(1, QueueOp::Enq(1)),
+            op(2, QueueOp::Enq(2)),
+            TxOp::Commit(TxId(1)),
+            TxOp::Commit(TxId(2)),
+        ]);
+        assert!(is_serializable(&FifoAutomaton::new(), &s));
+        assert!(serializable_in_commit_order(&FifoAutomaton::new(), &s));
+    }
+
+    #[test]
+    fn serializable_only_in_non_commit_order() {
+        // P1: Enq(1), Enq(2). P2: Deq(1). P2 commits first: commit order
+        // P2·P1 runs Deq(1) on an empty queue — not hybrid atomic; but the
+        // order P1·P2 works, so it is serializable.
+        let s = Schedule::from_steps(vec![
+            op(1, QueueOp::Enq(1)),
+            op(1, QueueOp::Enq(2)),
+            op(2, QueueOp::Deq(1)),
+            TxOp::Commit(TxId(2)),
+            TxOp::Commit(TxId(1)),
+        ]);
+        assert!(is_serializable(&FifoAutomaton::new(), &s));
+        assert!(!serializable_in_commit_order(&FifoAutomaton::new(), &s));
+    }
+
+    #[test]
+    fn unserializable_schedule() {
+        // Both transactions dequeue the same single item.
+        let s = Schedule::from_steps(vec![
+            op(1, QueueOp::Enq(1)),
+            TxOp::Commit(TxId(1)),
+            op(2, QueueOp::Deq(1)),
+            op(3, QueueOp::Deq(1)),
+            TxOp::Commit(TxId(2)),
+            TxOp::Commit(TxId(3)),
+        ]);
+        assert!(!is_serializable(&FifoAutomaton::new(), &s));
+        assert!(!is_atomic(&FifoAutomaton::new(), &s));
+    }
+
+    #[test]
+    fn atomicity_ignores_aborted_transactions() {
+        // P2's duplicate dequeue aborts: perm(H) is fine.
+        let s = Schedule::from_steps(vec![
+            op(1, QueueOp::Enq(1)),
+            TxOp::Commit(TxId(1)),
+            op(2, QueueOp::Deq(1)),
+            op(3, QueueOp::Deq(1)),
+            TxOp::Abort(TxId(2)),
+            TxOp::Commit(TxId(3)),
+        ]);
+        assert!(is_atomic(&FifoAutomaton::new(), &s));
+    }
+
+    #[test]
+    fn online_atomicity_quantifies_over_active_subsets() {
+        // Two active transactions have both dequeued the same item: if
+        // both commit, the result is not serializable.
+        let s = Schedule::from_steps(vec![
+            op(1, QueueOp::Enq(1)),
+            TxOp::Commit(TxId(1)),
+            op(2, QueueOp::Deq(1)),
+            op(3, QueueOp::Deq(1)),
+        ]);
+        assert!(!is_online_atomic(&FifoAutomaton::new(), &s));
+        // With only one pending dequeuer it is on-line atomic.
+        let s2 = Schedule::from_steps(vec![
+            op(1, QueueOp::Enq(1)),
+            TxOp::Commit(TxId(1)),
+            op(2, QueueOp::Deq(1)),
+        ]);
+        assert!(is_online_atomic(&FifoAutomaton::new(), &s2));
+        assert!(is_online_hybrid_atomic(&FifoAutomaton::new(), &s2));
+    }
+
+    /// Accepts exactly the histories where every `A` (op 0) precedes
+    /// every `B` (op 1); `B` alone is fine (vacuously ordered).
+    #[derive(Debug, Clone)]
+    struct AThenB;
+    impl relax_automata::ObjectAutomaton for AThenB {
+        type State = bool; // seen a B yet?
+        type Op = u8;
+        fn initial_state(&self) -> bool {
+            false
+        }
+        fn step(&self, seen_b: &bool, op: &u8) -> Vec<bool> {
+            match op {
+                0 if !seen_b => vec![false],
+                0 => vec![], // A after B: rejected
+                _ => vec![true],
+            }
+        }
+    }
+
+    #[test]
+    fn online_hybrid_is_stricter_than_online() {
+        // P1 executes A, P2 executes B; both active. Every subset has a
+        // valid order ({P1} = A, {P2} = B, {P1,P2} as A·B), so the
+        // schedule is on-line atomic. But the commit order P2·P1 yields
+        // B·A — not on-line *hybrid* atomic.
+        let s: Schedule<u8> = Schedule::from_steps(vec![
+            TxOp::Op { tx: TxId(1), op: 0 },
+            TxOp::Op { tx: TxId(2), op: 1 },
+        ]);
+        assert!(is_online_atomic(&AThenB, &s));
+        assert!(!is_online_hybrid_atomic(&AThenB, &s));
+    }
+
+    #[test]
+    fn witness_order_check() {
+        let s: Schedule<u8> = Schedule::from_steps(vec![
+            TxOp::Op { tx: TxId(1), op: 0 },
+            TxOp::Op { tx: TxId(2), op: 1 },
+            TxOp::Commit(TxId(2)),
+            TxOp::Commit(TxId(1)),
+        ]);
+        assert!(serializable_in_order(&AThenB, &s.perm(), &[TxId(1), TxId(2)]));
+        assert!(!serializable_in_order(&AThenB, &s.perm(), &[TxId(2), TxId(1)]));
+    }
+
+    #[test]
+    fn empty_schedule_is_trivially_everything() {
+        let s: Schedule<QueueOp> = Schedule::new();
+        let a = FifoAutomaton::new();
+        assert!(is_serializable(&a, &s));
+        assert!(is_atomic(&a, &s));
+        assert!(is_online_atomic(&a, &s));
+        assert!(is_online_hybrid_atomic(&a, &s));
+    }
+}

@@ -1,0 +1,468 @@
+//! The printing service of §4.2, executable.
+//!
+//! Clients spool files on a shared queue; printer controllers run
+//! transactions that dequeue a file, print it, and commit (or abort).
+//! Three dequeue strategies realize the paper's design space:
+//!
+//! * [`DequeueStrategy::BlockingFifo`] — strict FIFO under two-phase
+//!   locking: a dequeuing transaction locks the queue until it finishes,
+//!   so concurrent dequeuers serialize (the cost the paper calls
+//!   "clearly ill-suited to the application");
+//! * [`DequeueStrategy::Optimistic`] — assume the concurrent dequeuer
+//!   will commit: skip tentatively-dequeued items and take the next one.
+//!   Files print at most once but may print out of order — the
+//!   `Semiqueue_k` behavior;
+//! * [`DequeueStrategy::Pessimistic`] — assume the concurrent dequeuer
+//!   will abort: take the head anyway. Files print in order but may
+//!   print multiple times — the `Stuttering_j Queue` behavior.
+//!
+//! The simulation is round-based and seeded; it emits the full
+//! transactional [`Schedule`] so results can be validated against the
+//! corresponding atomic automaton, and reports throughput plus the
+//! degradation metrics the paper's §5 "stronger statements" are about
+//! (out-of-order distance ≤ k, duplicates ≤ j).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use relax_queues::{Item, QueueOp};
+
+use crate::locking::{LockManager, LockMode, LockOutcome};
+use crate::schedule::{Schedule, TxId, TxOp};
+
+/// How a printer's dequeuing transaction handles tentative dequeues by
+/// concurrent transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DequeueStrategy {
+    /// Strict FIFO via two-phase locking: wait for the lock.
+    BlockingFifo,
+    /// Skip tentatively-dequeued items (semiqueue behavior).
+    Optimistic,
+    /// Re-take the tentatively-dequeued head (stuttering behavior).
+    Pessimistic,
+}
+
+/// Print-spooler experiment configuration.
+#[derive(Debug, Clone)]
+pub struct SpoolerConfig {
+    /// Dequeue strategy.
+    pub strategy: DequeueStrategy,
+    /// Number of concurrent printer controllers (`d`).
+    pub printers: usize,
+    /// Number of files spooled (items `0..jobs` enqueued in order).
+    pub jobs: usize,
+    /// Rounds a print takes (uniform in `1..=print_time`).
+    pub print_time: u64,
+    /// Probability a printing transaction aborts instead of committing.
+    pub abort_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpoolerConfig {
+    fn default() -> Self {
+        SpoolerConfig {
+            strategy: DequeueStrategy::Optimistic,
+            printers: 2,
+            jobs: 20,
+            print_time: 3,
+            abort_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Results of one spooler run.
+#[derive(Debug, Clone)]
+pub struct SpoolerReport {
+    /// Rounds until every job was printed and committed (makespan).
+    pub rounds: u64,
+    /// Committed prints, in completion order (duplicates included).
+    pub printed: Vec<Item>,
+    /// Committed prints of an item beyond its first.
+    pub duplicates: usize,
+    /// Maximum displacement of a first print from FIFO order (a global
+    /// reordering measure; can exceed the concurrency bound over long
+    /// runs).
+    pub max_displacement: usize,
+    /// Maximum queue position (0 = head) of an item at the moment it was
+    /// dequeued — the paper's §5 bound: with ≤ k concurrent dequeuers,
+    /// "no item will be dequeued out of order with respect to more than
+    /// k items", i.e. this stays `< k`.
+    pub max_deq_position: usize,
+    /// Committed prints per round.
+    pub throughput: f64,
+    /// Largest number of simultaneously-active dequeuing transactions
+    /// (the environment's `C_k` state, §4.2).
+    pub max_concurrent_dequeuers: usize,
+    /// The full transactional schedule, for atomicity validation.
+    pub schedule: Schedule<QueueOp>,
+}
+
+#[derive(Debug, Clone)]
+enum PrinterState {
+    Idle,
+    WaitingForLock,
+    Printing { tx: TxId, item: Item, finish: u64 },
+}
+
+/// The round-based print-spooler simulator.
+#[derive(Debug)]
+pub struct Spooler {
+    config: SpoolerConfig,
+}
+
+impl Spooler {
+    /// Creates a spooler for one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `printers == 0` or `print_time == 0`.
+    pub fn new(config: SpoolerConfig) -> Self {
+        assert!(config.printers >= 1, "need at least one printer");
+        assert!(config.print_time >= 1, "print_time must be positive");
+        Spooler { config }
+    }
+
+    /// Runs the simulation to completion and reports.
+    pub fn run(&self) -> SpoolerReport {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut schedule: Schedule<QueueOp> = Schedule::new();
+
+        // One committed client transaction spools all jobs.
+        let spool_tx = TxId(0);
+        for i in 0..cfg.jobs {
+            schedule.push(TxOp::Op {
+                tx: spool_tx,
+                op: QueueOp::Enq(i as Item),
+            });
+        }
+        schedule.push(TxOp::Commit(spool_tx));
+
+        // Queue entries: (item, holders). `holders` are transactions that
+        // have tentatively dequeued the item and are still active.
+        let mut queue: Vec<(Item, Vec<TxId>)> =
+            (0..cfg.jobs).map(|i| (i as Item, Vec::new())).collect();
+        let mut locks: LockManager<&'static str> = LockManager::new();
+        let mut printers: Vec<PrinterState> = vec![PrinterState::Idle; cfg.printers];
+        let mut next_tx = 1u32;
+        let mut printed: Vec<Item> = Vec::new();
+        let mut max_concurrent = 0usize;
+        let mut max_deq_position = 0usize;
+
+        let mut round: u64 = 0;
+        let max_rounds = 10_000 + (cfg.jobs as u64) * cfg.print_time * 50;
+        loop {
+            round += 1;
+            assert!(round < max_rounds, "spooler failed to converge");
+
+            // Phase 1: finish prints due this round.
+            for p in 0..cfg.printers {
+                if let PrinterState::Printing { tx, item, finish } = printers[p] {
+                    if finish > round {
+                        continue;
+                    }
+                    let aborts = cfg.abort_probability > 0.0
+                        && rng.gen::<f64>() < cfg.abort_probability;
+                    if aborts {
+                        schedule.push(TxOp::Abort(tx));
+                        // Tentative dequeue undone: drop the hold.
+                        for entry in queue.iter_mut() {
+                            entry.1.retain(|&t| t != tx);
+                        }
+                    } else {
+                        schedule.push(TxOp::Commit(tx));
+                        printed.push(item);
+                        // The committed dequeue removes the item (if a
+                        // concurrent pessimistic holder already removed
+                        // it, there is nothing left to remove).
+                        if let Some(pos) = queue.iter().position(|(i, _)| *i == item) {
+                            queue.remove(pos);
+                        }
+                    }
+                    locks.release_all(tx);
+                    printers[p] = PrinterState::Idle;
+                }
+            }
+
+            // Phase 2: idle printers attempt to dequeue.
+            for p in 0..cfg.printers {
+                let waiting = matches!(printers[p], PrinterState::WaitingForLock);
+                if !matches!(printers[p], PrinterState::Idle) && !waiting {
+                    continue;
+                }
+                if queue.is_empty() {
+                    printers[p] = PrinterState::Idle;
+                    continue;
+                }
+                let tx = TxId(next_tx);
+                let chosen: Option<Item> = match cfg.strategy {
+                    DequeueStrategy::BlockingFifo => {
+                        match locks.request(tx, "queue", LockMode::Exclusive) {
+                            LockOutcome::Granted => {
+                                queue.first().map(|(i, _)| *i)
+                            }
+                            LockOutcome::Queued => {
+                                // Strict 2PL: wait. Withdraw the request
+                                // so the (fresh) tx id can retry next
+                                // round without holding a stale slot.
+                                locks.release_all(tx);
+                                printers[p] = PrinterState::WaitingForLock;
+                                None
+                            }
+                        }
+                    }
+                    DequeueStrategy::Optimistic => queue
+                        .iter()
+                        .find(|(_, holders)| holders.is_empty())
+                        .map(|(i, _)| *i),
+                    DequeueStrategy::Pessimistic => queue.first().map(|(i, _)| *i),
+                };
+                let Some(item) = chosen else { continue };
+                next_tx += 1;
+                if let Some(pos) = queue.iter().position(|(i, _)| *i == item) {
+                    max_deq_position = max_deq_position.max(pos);
+                }
+                if let Some(entry) = queue.iter_mut().find(|(i, _)| *i == item) {
+                    entry.1.push(tx);
+                }
+                schedule.push(TxOp::Op {
+                    tx,
+                    op: QueueOp::Deq(item),
+                });
+                let duration = if cfg.print_time == 1 {
+                    1
+                } else {
+                    rng.gen_range(1..=cfg.print_time)
+                };
+                printers[p] = PrinterState::Printing {
+                    tx,
+                    item,
+                    finish: round + duration,
+                };
+            }
+
+            let active_dequeuers = printers
+                .iter()
+                .filter(|s| matches!(s, PrinterState::Printing { .. }))
+                .count();
+            max_concurrent = max_concurrent.max(active_dequeuers);
+
+            let all_idle = printers
+                .iter()
+                .all(|s| !matches!(s, PrinterState::Printing { .. }));
+            if queue.is_empty() && all_idle {
+                break;
+            }
+        }
+
+        let duplicates = count_duplicates(&printed);
+        let max_displacement = max_displacement(&printed);
+        SpoolerReport {
+            rounds: round,
+            throughput: printed.len() as f64 / round as f64,
+            duplicates,
+            max_displacement,
+            max_deq_position,
+            printed,
+            max_concurrent_dequeuers: max_concurrent,
+            schedule,
+        }
+    }
+}
+
+fn count_duplicates(printed: &[Item]) -> usize {
+    let mut seen = std::collections::BTreeSet::new();
+    printed.iter().filter(|&&i| !seen.insert(i)).count()
+}
+
+/// Max displacement of first prints from sorted (FIFO) order.
+fn max_displacement(printed: &[Item]) -> usize {
+    let mut firsts: Vec<Item> = Vec::new();
+    for &i in printed {
+        if !firsts.contains(&i) {
+            firsts.push(i);
+        }
+    }
+    let mut sorted = firsts.clone();
+    sorted.sort_unstable();
+    firsts
+        .iter()
+        .enumerate()
+        .map(|(pos, item)| {
+            let sorted_pos = sorted.iter().position(|x| x == item).expect("present");
+            pos.abs_diff(sorted_pos)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_queues::{FifoAutomaton, SemiqueueAutomaton, StutteringAutomaton};
+
+    use crate::serializability::serializable_in_commit_order;
+
+    fn run(strategy: DequeueStrategy, printers: usize, abort_p: f64, seed: u64) -> SpoolerReport {
+        Spooler::new(SpoolerConfig {
+            strategy,
+            printers,
+            jobs: 12,
+            print_time: 3,
+            abort_probability: abort_p,
+            seed,
+        })
+        .run()
+    }
+
+    #[test]
+    fn blocking_fifo_prints_in_order_exactly_once() {
+        for seed in 0..5 {
+            let r = run(DequeueStrategy::BlockingFifo, 3, 0.0, seed);
+            assert_eq!(r.duplicates, 0);
+            assert_eq!(r.max_displacement, 0);
+            assert_eq!(r.printed.len(), 12);
+            assert!(serializable_in_commit_order(
+                &FifoAutomaton::new(),
+                &r.schedule
+            ));
+        }
+    }
+
+    #[test]
+    fn optimistic_prints_once_with_bounded_disorder() {
+        for seed in 0..5 {
+            let d = 3;
+            let r = run(DequeueStrategy::Optimistic, d, 0.0, seed);
+            assert_eq!(r.duplicates, 0);
+            assert!(
+                r.max_deq_position < d,
+                "dequeue position {} ≥ d",
+                r.max_deq_position
+            );
+            assert_eq!(r.printed.len(), 12);
+            // The paper's claim: with ≤ d concurrent dequeuers the object
+            // behaves like Semiqueue_d.
+            assert!(r.max_concurrent_dequeuers <= d);
+            assert!(serializable_in_commit_order(
+                &SemiqueueAutomaton::new(d),
+                &r.schedule
+            ));
+        }
+    }
+
+    #[test]
+    fn pessimistic_prints_in_order_with_bounded_duplicates() {
+        for seed in 0..5 {
+            let d = 3;
+            let r = run(DequeueStrategy::Pessimistic, d, 0.0, seed);
+            assert_eq!(r.max_displacement, 0, "pessimistic must stay FIFO");
+            // Every job printed at least once; duplicates possible.
+            let distinct: std::collections::BTreeSet<_> = r.printed.iter().collect();
+            assert_eq!(distinct.len(), 12);
+            // Pessimistic runs are atomic with respect to Stuttering_d,
+            // but not necessarily in commit order (a later-head dequeue
+            // may commit before an earlier stutter-holder): serialize with
+            // the witness order "spool transaction, then dequeuers by
+            // printed item, ties by commit order".
+            let order = stuttering_witness_order(&r);
+            assert!(crate::serializability::serializable_in_order(
+                &StutteringAutomaton::new(d as u32),
+                &r.schedule.perm(),
+                &order,
+            ));
+        }
+    }
+
+    /// Witness serialization order for pessimistic runs: the spooling
+    /// transaction first, then committed dequeuers sorted by the item they
+    /// printed (FIFO order), same-item holders in commit order.
+    fn stuttering_witness_order(r: &SpoolerReport) -> Vec<crate::schedule::TxId> {
+        use crate::schedule::{TxId, TxOp};
+        let committed = r.schedule.committed();
+        let item_of = |tx: TxId| -> Option<relax_queues::Item> {
+            r.schedule.steps().iter().find_map(|s| match s {
+                TxOp::Op { tx: t, op: QueueOp::Deq(i) } if *t == tx => Some(*i),
+                _ => None,
+            })
+        };
+        let mut dequeuers: Vec<(relax_queues::Item, usize, TxId)> = committed
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, &tx)| item_of(tx).map(|i| (i, pos, tx)))
+            .collect();
+        dequeuers.sort_unstable();
+        let mut order = vec![TxId(0)];
+        order.extend(dequeuers.into_iter().map(|(_, _, tx)| tx));
+        order
+    }
+
+    #[test]
+    fn pessimistic_duplicates_appear_with_concurrency() {
+        // With several printers grabbing the same head, duplicates are
+        // essentially guaranteed across seeds.
+        let total: usize = (0..10)
+            .map(|seed| run(DequeueStrategy::Pessimistic, 4, 0.0, seed).duplicates)
+            .sum();
+        assert!(total > 0, "expected duplicate prints under pessimism");
+    }
+
+    #[test]
+    fn optimistic_outprints_blocking() {
+        // Concurrency pays: optimistic throughput strictly exceeds
+        // blocking FIFO with several printers (averaged over seeds).
+        let avg = |s: DequeueStrategy| -> f64 {
+            (0..6)
+                .map(|seed| run(s, 4, 0.0, seed).throughput)
+                .sum::<f64>()
+                / 6.0
+        };
+        let blocking = avg(DequeueStrategy::BlockingFifo);
+        let optimistic = avg(DequeueStrategy::Optimistic);
+        assert!(
+            optimistic > blocking * 1.5,
+            "optimistic {optimistic:.3} vs blocking {blocking:.3}"
+        );
+    }
+
+    #[test]
+    fn aborts_do_not_lose_jobs() {
+        for strategy in [
+            DequeueStrategy::BlockingFifo,
+            DequeueStrategy::Optimistic,
+            DequeueStrategy::Pessimistic,
+        ] {
+            let r = run(strategy, 2, 0.3, 42);
+            let distinct: std::collections::BTreeSet<_> = r.printed.iter().collect();
+            assert_eq!(distinct.len(), 12, "{strategy:?} lost jobs");
+            assert!(r.schedule.is_well_formed());
+        }
+    }
+
+    #[test]
+    fn single_printer_is_fifo_under_every_strategy() {
+        for strategy in [
+            DequeueStrategy::BlockingFifo,
+            DequeueStrategy::Optimistic,
+            DequeueStrategy::Pessimistic,
+        ] {
+            let r = run(strategy, 1, 0.0, 9);
+            assert_eq!(r.duplicates, 0);
+            assert_eq!(r.max_displacement, 0);
+            assert!(serializable_in_commit_order(
+                &FifoAutomaton::new(),
+                &r.schedule
+            ));
+        }
+    }
+
+    #[test]
+    fn reports_are_reproducible() {
+        let a = run(DequeueStrategy::Optimistic, 3, 0.2, 5);
+        let b = run(DequeueStrategy::Optimistic, 3, 0.2, 5);
+        assert_eq!(a.printed, b.printed);
+        assert_eq!(a.rounds, b.rounds);
+    }
+}

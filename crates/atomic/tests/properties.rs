@@ -1,0 +1,178 @@
+//! Property tests for the transactional layer: schedule algebra,
+//! atomicity checkers, lock-manager safety, spooler invariants.
+
+use proptest::prelude::*;
+
+use relax_atomic::{
+    is_atomic, is_serializable, serializable_in_commit_order, DequeueStrategy, LockManager,
+    LockMode, Schedule, Spooler, SpoolerConfig, TxId, TxOp,
+};
+use relax_queues::{BagAutomaton, FifoAutomaton, QueueOp};
+
+/// Random (not necessarily well-formed) schedules over 3 transactions
+/// and a 2-item domain.
+fn arb_schedule() -> impl Strategy<Value = Schedule<QueueOp>> {
+    proptest::collection::vec((0u8..4, 0u32..3, 0i64..2), 0..10).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, tx, item)| match kind {
+                0 => TxOp::Op {
+                    tx: TxId(tx),
+                    op: QueueOp::Enq(item),
+                },
+                1 => TxOp::Op {
+                    tx: TxId(tx),
+                    op: QueueOp::Deq(item),
+                },
+                2 => TxOp::Commit(TxId(tx)),
+                _ => TxOp::Abort(TxId(tx)),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// perm(H) keeps exactly the committed transactions' steps, and
+    /// transactions stay disjoint across the status partitions.
+    #[test]
+    fn schedule_partitions(s in arb_schedule()) {
+        let committed = s.committed();
+        let aborted = s.aborted();
+        let active = s.active();
+        // A well-formed schedule partitions its transactions...
+        if s.is_well_formed() {
+            for tx in s.transactions() {
+                let states = [
+                    committed.contains(&tx),
+                    aborted.contains(&tx),
+                    active.contains(&tx),
+                ];
+                prop_assert_eq!(states.iter().filter(|&&b| b).count(), 1);
+            }
+        }
+        // ...and perm contains exactly the committed steps.
+        let perm = s.perm();
+        for step in perm.steps().iter() {
+            prop_assert!(committed.contains(&step.tx()));
+        }
+        let committed_steps = s
+            .steps()
+            .iter()
+            .filter(|st| committed.contains(&st.tx()))
+            .count();
+        prop_assert_eq!(perm.len(), committed_steps);
+    }
+
+    /// Commit-order serializability implies serializability, which
+    /// implies atomicity of the perm projection.
+    #[test]
+    fn checker_implications(s in arb_schedule()) {
+        // The atomicity definitions (§4.1) apply to well-formed schedules.
+        prop_assume!(s.is_well_formed());
+        let fifo = FifoAutomaton::new();
+        if serializable_in_commit_order(&fifo, &s) {
+            prop_assert!(is_serializable(&fifo, &s.perm()));
+            prop_assert!(is_atomic(&fifo, &s));
+        }
+        // FIFO-serializable implies bag-serializable (weaker spec).
+        if is_serializable(&fifo, &s.perm()) {
+            prop_assert!(is_serializable(&BagAutomaton::new(), &s.perm()));
+        }
+    }
+
+    /// Projections concatenated over *any* order contain every committed
+    /// op exactly once.
+    #[test]
+    fn projections_partition_ops(s in arb_schedule()) {
+        let total: usize = s
+            .transactions()
+            .into_iter()
+            .map(|tx| s.projection(tx).len())
+            .sum();
+        let op_count = s
+            .steps()
+            .iter()
+            .filter(|st| matches!(st, TxOp::Op { .. }))
+            .count();
+        prop_assert_eq!(total, op_count);
+    }
+
+    /// The lock manager never grants conflicting locks simultaneously.
+    #[test]
+    fn lock_manager_mutual_exclusion(
+        requests in proptest::collection::vec((0u32..5, 0u8..3, any::<bool>()), 0..40),
+    ) {
+        let mut lm: LockManager<u8> = LockManager::new();
+        let mut finished: Vec<TxId> = Vec::new();
+        for (i, (tx, resource, exclusive)) in requests.iter().enumerate() {
+            let tx = TxId(*tx);
+            if finished.contains(&tx) {
+                continue;
+            }
+            let mode = if *exclusive { LockMode::Exclusive } else { LockMode::Shared };
+            lm.request(tx, *resource, mode);
+            // Occasionally finish a transaction (release all its locks).
+            if i % 7 == 6 {
+                lm.release_all(tx);
+                finished.push(tx);
+            }
+            // Invariant: per resource, either one exclusive holder or
+            // only shared holders.
+            for r in 0u8..3 {
+                let holders = lm.holders(&r);
+                let exclusives = holders
+                    .iter()
+                    .filter(|(_, m)| *m == LockMode::Exclusive)
+                    .count();
+                if exclusives > 0 {
+                    prop_assert_eq!(holders.len(), 1, "exclusive not alone on {}", r);
+                }
+            }
+        }
+    }
+
+    /// The spooler conserves jobs for every strategy/concurrency/abort
+    /// mix, and its schedule is always well-formed.
+    #[test]
+    fn spooler_conserves_jobs(
+        strategy_ix in 0usize..3,
+        printers in 1usize..5,
+        abort_pct in 0u8..4,
+        seed in 0u64..50,
+    ) {
+        let strategy = [
+            DequeueStrategy::BlockingFifo,
+            DequeueStrategy::Optimistic,
+            DequeueStrategy::Pessimistic,
+        ][strategy_ix];
+        let jobs = 8;
+        let report = Spooler::new(SpoolerConfig {
+            strategy,
+            printers,
+            jobs,
+            print_time: 2,
+            abort_probability: f64::from(abort_pct) * 0.1,
+            seed,
+        })
+        .run();
+        // Every job printed at least once; none invented.
+        let distinct: std::collections::BTreeSet<_> = report.printed.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), jobs);
+        prop_assert!(distinct.iter().all(|&i| (0..jobs as i64).contains(&i)));
+        prop_assert!(report.schedule.is_well_formed());
+        // Degradation bounds.
+        prop_assert!(report.max_concurrent_dequeuers <= printers);
+        match strategy {
+            DequeueStrategy::BlockingFifo => {
+                prop_assert_eq!(report.duplicates, 0);
+                prop_assert_eq!(report.max_deq_position, 0);
+            }
+            DequeueStrategy::Optimistic => {
+                prop_assert_eq!(report.duplicates, 0);
+                prop_assert!(report.max_deq_position < printers.max(1));
+            }
+            DequeueStrategy::Pessimistic => {
+                prop_assert_eq!(report.max_deq_position, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Simple object automata (§2.1).
+//!
+//! A simple object automaton is a four-tuple `<STATE, s0, OP, δ>` where `δ
+//! : STATE × OP → 2^STATE` is a *partial* transition function. Partiality
+//! models preconditions (`Deq` is undefined on an empty queue);
+//! multi-valued results model nondeterministic specifications (a bag's
+//! `Deq` may remove any present item).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::history::History;
+
+/// A simple object automaton.
+///
+/// Implementors supply the initial state and single-step transition
+/// function; `δ*`, acceptance, and related operations are provided.
+pub trait ObjectAutomaton {
+    /// The automaton's state set `STATE`.
+    type State: Clone + Eq + Hash + std::fmt::Debug;
+    /// The automaton's operation alphabet `OP` (operation executions,
+    /// i.e. invocation plus response).
+    type Op: Clone + Eq + Hash + std::fmt::Debug;
+
+    /// The initial state `s0`.
+    fn initial_state(&self) -> Self::State;
+
+    /// The transition function `δ(s, p)`. Returns the empty vector where
+    /// `δ` is undefined (the precondition fails), and multiple states when
+    /// the specification is nondeterministic. Implementations should not
+    /// return duplicate states (harmless but wasteful).
+    fn step(&self, state: &Self::State, op: &Self::Op) -> Vec<Self::State>;
+
+    /// `δ*(s, H)`: the set of states reachable from `s` by the history
+    /// `H` (§2.1).
+    fn delta_star_from(&self, state: &Self::State, history: &History<Self::Op>) -> HashSet<Self::State> {
+        let mut states: HashSet<Self::State> = HashSet::new();
+        states.insert(state.clone());
+        for op in history.iter() {
+            let mut next = HashSet::new();
+            for s in &states {
+                for s2 in self.step(s, op) {
+                    next.insert(s2);
+                }
+            }
+            states = next;
+            if states.is_empty() {
+                break;
+            }
+        }
+        states
+    }
+
+    /// `δ*(H)`, shorthand for `δ*(s0, H)`.
+    fn delta_star(&self, history: &History<Self::Op>) -> HashSet<Self::State> {
+        self.delta_star_from(&self.initial_state(), history)
+    }
+
+    /// A history `H` is accepted iff `δ*(H) ≠ ∅`.
+    fn accepts(&self, history: &History<Self::Op>) -> bool {
+        !self.delta_star(history).is_empty()
+    }
+
+    /// The operations enabled after `H`: those `p` from `alphabet` with
+    /// `δ*(H · p) ≠ ∅`.
+    fn enabled_after(&self, history: &History<Self::Op>, alphabet: &[Self::Op]) -> Vec<Self::Op> {
+        let states = self.delta_star(history);
+        alphabet
+            .iter()
+            .filter(|op| states.iter().any(|s| !self.step(s, op).is_empty()))
+            .cloned()
+            .collect()
+    }
+}
+
+/// An automaton wrapper that renames nothing but fixes the state set of a
+/// deterministic automaton to single values, asserting determinism at
+/// runtime: useful in proofs like Theorem 4, which exploit that an
+/// automaton's postconditions "completely determine the new value".
+#[derive(Debug, Clone)]
+pub struct Deterministic<A>(pub A);
+
+impl<A: ObjectAutomaton> Deterministic<A> {
+    /// `δ*(H)` as a single value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying automaton is observed to be
+    /// nondeterministic on this history (more than one successor state).
+    pub fn value_after(&self, history: &History<A::Op>) -> Option<A::State> {
+        let mut state = self.0.initial_state();
+        for op in history.iter() {
+            let nexts = self.0.step(&state, op);
+            match nexts.len() {
+                0 => return None,
+                1 => state = nexts.into_iter().next().expect("len checked"),
+                n => panic!(
+                    "automaton wrapped as deterministic is nondeterministic: \
+                     {n} successors for {op:?}"
+                ),
+            }
+        }
+        Some(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bag automaton over a tiny item domain, used to exercise
+    /// nondeterminism: Deq removes *some* item.
+    #[derive(Debug, Clone)]
+    struct TinyBag;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Op {
+        Enq(u8),
+        Deq(u8),
+    }
+
+    impl ObjectAutomaton for TinyBag {
+        type State = Vec<u8>; // sorted multiset representation
+        type Op = Op;
+        fn initial_state(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn step(&self, s: &Vec<u8>, op: &Op) -> Vec<Vec<u8>> {
+            match op {
+                Op::Enq(x) => {
+                    let mut s2 = s.clone();
+                    s2.push(*x);
+                    s2.sort_unstable();
+                    vec![s2]
+                }
+                Op::Deq(x) => match s.iter().position(|y| y == x) {
+                    Some(i) => {
+                        let mut s2 = s.clone();
+                        s2.remove(i);
+                        vec![s2]
+                    }
+                    None => vec![],
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_wellformed_history() {
+        let h = History::from(vec![Op::Enq(1), Op::Enq(2), Op::Deq(1)]);
+        assert!(TinyBag.accepts(&h));
+    }
+
+    #[test]
+    fn rejects_deq_of_absent_item() {
+        let h = History::from(vec![Op::Enq(1), Op::Deq(2)]);
+        assert!(!TinyBag.accepts(&h));
+    }
+
+    #[test]
+    fn delta_star_tracks_states() {
+        let h = History::from(vec![Op::Enq(1), Op::Enq(1)]);
+        let states = TinyBag.delta_star(&h);
+        assert_eq!(states.len(), 1);
+        assert!(states.contains(&vec![1, 1]));
+    }
+
+    #[test]
+    fn enabled_after_respects_preconditions() {
+        let alphabet = vec![Op::Enq(1), Op::Deq(1), Op::Deq(2)];
+        let h = History::from(vec![Op::Enq(1)]);
+        let enabled = TinyBag.enabled_after(&h, &alphabet);
+        assert!(enabled.contains(&Op::Enq(1)));
+        assert!(enabled.contains(&Op::Deq(1)));
+        assert!(!enabled.contains(&Op::Deq(2)));
+    }
+
+    #[test]
+    fn deterministic_wrapper_returns_value() {
+        let d = Deterministic(TinyBag);
+        let h = History::from(vec![Op::Enq(2), Op::Enq(1)]);
+        assert_eq!(d.value_after(&h), Some(vec![1, 2]));
+        let bad = History::from(vec![Op::Deq(1)]);
+        assert_eq!(d.value_after(&bad), None);
+    }
+
+    /// A genuinely nondeterministic automaton for testing δ* fan-out.
+    #[derive(Debug, Clone)]
+    struct Forky;
+
+    impl ObjectAutomaton for Forky {
+        type State = u8;
+        type Op = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn step(&self, s: &u8, op: &u8) -> Vec<u8> {
+            // op 0 forks into two states; op 1 only defined on even states.
+            match op {
+                0 => vec![s + 1, s + 2],
+                1 if s.is_multiple_of(2) => vec![*s],
+                _ => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn nondeterministic_fanout_and_pruning() {
+        let h = History::from(vec![0]);
+        assert_eq!(Forky.delta_star(&h).len(), 2); // {1, 2}
+        let h2 = History::from(vec![0, 1]);
+        // Only the even branch survives.
+        assert_eq!(Forky.delta_star(&h2), HashSet::from([2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "nondeterministic")]
+    fn deterministic_wrapper_panics_on_fanout() {
+        let d = Deterministic(Forky);
+        let _ = d.value_after(&History::from(vec![0]));
+    }
+}

@@ -1,0 +1,329 @@
+//! Constraint universes and the `2^C` lattice (§2.2).
+//!
+//! A relaxation lattice is parameterized by a set of constraints `C`. The
+//! powerset `2^C` is a lattice under inclusion, oriented so the strongest
+//! set (all constraints) is at the top. Constraints are uninterpreted at
+//! this level — "it suffices to think of each constraint as an assertion
+//! to be satisfied" — and are given meaning per-domain (quorum
+//! intersection relations in §3, concurrent-dequeuer bounds in §4).
+
+use std::fmt;
+
+/// An index into a [`ConstraintUniverse`]: identifies one named constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstraintId(pub usize);
+
+/// A finite universe of named constraints (at most 64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintUniverse {
+    names: Vec<String>,
+}
+
+impl ConstraintUniverse {
+    /// Creates a universe from constraint names, e.g. `["Q1", "Q2"]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 names are supplied or names repeat —
+    /// universes are small, fixed design artifacts and a bad one is a
+    /// programming error.
+    pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert!(names.len() <= 64, "constraint universes are limited to 64");
+        for (i, n) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(n),
+                "duplicate constraint name `{n}` in universe"
+            );
+        }
+        ConstraintUniverse { names }
+    }
+
+    /// Number of constraints in the universe.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this universe.
+    pub fn name(&self, id: ConstraintId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Looks up a constraint by name.
+    pub fn id(&self, name: &str) -> Option<ConstraintId> {
+        self.names.iter().position(|n| n == name).map(ConstraintId)
+    }
+
+    /// All constraint ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = ConstraintId> + '_ {
+        (0..self.names.len()).map(ConstraintId)
+    }
+
+    /// The full constraint set (top of the `2^C` lattice).
+    pub fn full_set(&self) -> ConstraintSet {
+        ConstraintSet {
+            bits: if self.names.is_empty() {
+                0
+            } else {
+                u64::MAX >> (64 - self.names.len())
+            },
+        }
+    }
+
+    /// The empty constraint set (bottom of the `2^C` lattice).
+    pub fn empty_set(&self) -> ConstraintSet {
+        ConstraintSet { bits: 0 }
+    }
+
+    /// Builds a set from the named constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names (a misspelled constraint is a programming
+    /// error in lattice construction).
+    pub fn set_of(&self, names: &[&str]) -> ConstraintSet {
+        let mut s = self.empty_set();
+        for n in names {
+            let id = self
+                .id(n)
+                .unwrap_or_else(|| panic!("unknown constraint `{n}`"));
+            s = s.with(id);
+        }
+        s
+    }
+
+    /// Iterates over all `2^|C|` subsets, from the empty set upward in
+    /// binary-counting order.
+    pub fn subsets(&self) -> impl Iterator<Item = ConstraintSet> {
+        let n = self.names.len();
+        (0..(1u128 << n)).map(|bits| ConstraintSet { bits: bits as u64 })
+    }
+
+    /// Renders a set against this universe, e.g. `{Q1, Q2}` or `∅`.
+    pub fn render(&self, set: ConstraintSet) -> String {
+        let mut names: Vec<&str> = Vec::new();
+        for id in self.ids() {
+            if set.contains(id) {
+                names.push(self.name(id));
+            }
+        }
+        if names.is_empty() {
+            "∅".to_string()
+        } else {
+            format!("{{{}}}", names.join(", "))
+        }
+    }
+}
+
+/// A subset of a constraint universe, represented as a bitmask.
+///
+/// `ConstraintSet` implements the `2^C` lattice operations: `meet` is
+/// intersection, `join` is union, and the order is inclusion (the paper
+/// orients the lattice with the *largest* set at the top; helpers below
+/// speak in terms of `is_stronger_than` to avoid ambiguity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstraintSet {
+    bits: u64,
+}
+
+impl ConstraintSet {
+    /// The empty set (weakest constraints).
+    pub const EMPTY: ConstraintSet = ConstraintSet { bits: 0 };
+
+    /// True if the set contains `id`.
+    pub fn contains(&self, id: ConstraintId) -> bool {
+        debug_assert!(id.0 < 64);
+        self.bits & (1 << id.0) != 0
+    }
+
+    /// The set with `id` added.
+    #[must_use]
+    pub fn with(&self, id: ConstraintId) -> ConstraintSet {
+        debug_assert!(id.0 < 64);
+        ConstraintSet {
+            bits: self.bits | (1 << id.0),
+        }
+    }
+
+    /// The set with `id` removed.
+    #[must_use]
+    pub fn without(&self, id: ConstraintId) -> ConstraintSet {
+        debug_assert!(id.0 < 64);
+        ConstraintSet {
+            bits: self.bits & !(1 << id.0),
+        }
+    }
+
+    /// Number of constraints in the set.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// True for the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Set inclusion: `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &ConstraintSet) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// `self ⊇ other`: `self` is at least as strong as `other` (satisfying
+    /// more constraints means sitting higher in the paper's lattice).
+    pub fn is_stronger_than(&self, other: &ConstraintSet) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// Lattice meet (intersection).
+    #[must_use]
+    pub fn meet(&self, other: &ConstraintSet) -> ConstraintSet {
+        ConstraintSet {
+            bits: self.bits & other.bits,
+        }
+    }
+
+    /// Lattice join (union).
+    #[must_use]
+    pub fn join(&self, other: &ConstraintSet) -> ConstraintSet {
+        ConstraintSet {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Iterates over the member constraint ids, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = ConstraintId> + '_ {
+        (0..64).filter(|i| self.bits & (1 << i) != 0).map(ConstraintId)
+    }
+
+    /// The raw bitmask (stable, documented encoding: bit `i` is constraint
+    /// `i`).
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Builds a set directly from a bitmask.
+    pub fn from_bits(bits: u64) -> ConstraintSet {
+        ConstraintSet { bits }
+    }
+}
+
+impl fmt::Display for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("∅");
+        }
+        write!(f, "{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "c{}", id.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u() -> ConstraintUniverse {
+        ConstraintUniverse::new(["Q1", "Q2"])
+    }
+
+    #[test]
+    fn universe_lookup() {
+        let u = u();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.id("Q1"), Some(ConstraintId(0)));
+        assert_eq!(u.id("Q2"), Some(ConstraintId(1)));
+        assert_eq!(u.id("Q3"), None);
+        assert_eq!(u.name(ConstraintId(1)), "Q2");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn universe_rejects_duplicates() {
+        ConstraintUniverse::new(["A", "A"]);
+    }
+
+    #[test]
+    fn full_and_empty_sets() {
+        let u = u();
+        let full = u.full_set();
+        assert_eq!(full.len(), 2);
+        assert!(full.contains(ConstraintId(0)));
+        assert!(full.contains(ConstraintId(1)));
+        assert!(u.empty_set().is_empty());
+    }
+
+    #[test]
+    fn subsets_enumerate_powerset() {
+        let u = u();
+        let subs: Vec<ConstraintSet> = u.subsets().collect();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&u.empty_set()));
+        assert!(subs.contains(&u.full_set()));
+        assert!(subs.contains(&u.set_of(&["Q1"])));
+        assert!(subs.contains(&u.set_of(&["Q2"])));
+    }
+
+    #[test]
+    fn lattice_operations() {
+        let u = u();
+        let q1 = u.set_of(&["Q1"]);
+        let q2 = u.set_of(&["Q2"]);
+        assert_eq!(q1.join(&q2), u.full_set());
+        assert_eq!(q1.meet(&q2), u.empty_set());
+        assert!(u.full_set().is_stronger_than(&q1));
+        assert!(q1.is_subset_of(&u.full_set()));
+        assert!(!q1.is_subset_of(&q2));
+    }
+
+    #[test]
+    fn with_and_without() {
+        let u = u();
+        let s = u.empty_set().with(ConstraintId(1));
+        assert!(s.contains(ConstraintId(1)));
+        assert!(!s.with(ConstraintId(0)).without(ConstraintId(0)).contains(ConstraintId(0)));
+    }
+
+    #[test]
+    fn render_uses_names() {
+        let u = u();
+        assert_eq!(u.render(u.empty_set()), "∅");
+        assert_eq!(u.render(u.full_set()), "{Q1, Q2}");
+        assert_eq!(u.render(u.set_of(&["Q2"])), "{Q2}");
+    }
+
+    #[test]
+    fn empty_universe_full_set_is_empty() {
+        let u = ConstraintUniverse::new(Vec::<String>::new());
+        assert!(u.full_set().is_empty());
+        assert_eq!(u.subsets().count(), 1);
+    }
+
+    #[test]
+    fn display_without_universe() {
+        let s = ConstraintSet::from_bits(0b101);
+        assert_eq!(s.to_string(), "{c0, c2}");
+        assert_eq!(ConstraintSet::EMPTY.to_string(), "∅");
+    }
+
+    #[test]
+    fn iter_members() {
+        let s = ConstraintSet::from_bits(0b110);
+        let ids: Vec<usize> = s.iter().map(|c| c.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+}

@@ -1,0 +1,89 @@
+//! # relax-automata — simple object automata and their languages
+//!
+//! Implements §2.1–§2.3 of Herlihy & Wing, *Specifying Graceful Degradation
+//! in Distributed Systems* (PODC 1987):
+//!
+//! * [`automaton::ObjectAutomaton`] — a simple object automaton
+//!   `<STATE, s0, OP, δ>` with a partial, nondeterministic transition
+//!   function; `δ*` extends to histories and a history is *accepted* when
+//!   `δ*(H) ≠ ∅` (§2.1).
+//! * [`history::History`] — a finite sequence of operation executions.
+//! * [`language`] — bounded enumeration of the language `L(A)` over a
+//!   finite operation alphabet, with inclusion/equality checks up to a
+//!   length bound. Languages of object automata are prefix-closed, which
+//!   the enumerator exploits.
+//! * [`constraint`] — named constraint universes and constraint sets (the
+//!   `2^C` lattice of §2.2), with subset iteration and lattice operations.
+//! * [`lattice`] — the `RelaxationMap` abstraction: a lattice homomorphism
+//!   `φ : 2^C → A` from constraint sets to automata (§2.2), plus checks
+//!   that a candidate family really is a lattice of automata under reverse
+//!   inclusion.
+//! * [`environment`] — the environment automaton `<2^C, c0, EVENT, δE>`
+//!   and the combined automaton that interleaves events and operations
+//!   (§2.3), including inputs that are *both* an event and an operation
+//!   (as in the bank-account and atomic-queue examples).
+//! * [`random`] — seeded random walks through an automaton, for Monte
+//!   Carlo experiments.
+//!
+//! ```
+//! use relax_automata::prelude::*;
+//!
+//! // A tiny counter automaton: Inc always enabled, Dec requires > 0.
+//! #[derive(Debug, Clone)]
+//! struct Counter;
+//! #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+//! enum Op { Inc, Dec }
+//!
+//! impl ObjectAutomaton for Counter {
+//!     type State = u32;
+//!     type Op = Op;
+//!     fn initial_state(&self) -> u32 { 0 }
+//!     fn step(&self, s: &u32, op: &Op) -> Vec<u32> {
+//!         match op {
+//!             Op::Inc => vec![s + 1],
+//!             Op::Dec if *s > 0 => vec![s - 1],
+//!             Op::Dec => vec![], // partial: undefined at 0
+//!         }
+//!     }
+//! }
+//!
+//! let h = History::from(vec![Op::Inc, Op::Dec]);
+//! assert!(Counter.accepts(&h));
+//! assert!(!Counter.accepts(&History::from(vec![Op::Dec])));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod automaton;
+pub mod constraint;
+pub mod environment;
+pub mod history;
+pub mod language;
+pub mod lattice;
+pub mod random;
+
+/// Convenient re-exports of the crate's main types.
+pub mod prelude {
+    pub use crate::automaton::ObjectAutomaton;
+    pub use crate::constraint::{ConstraintId, ConstraintSet, ConstraintUniverse};
+    pub use crate::environment::{CombinedAutomaton, Environment, Input};
+    pub use crate::history::History;
+    pub use crate::language::{
+        equal_upto, included_upto, language_sizes, language_upto, strictly_included_upto,
+        Counterexample, LanguageDifference, StrictInclusionFailure,
+    };
+    pub use crate::lattice::{check_reverse_inclusion_lattice, LatticeCheck, RelaxationMap};
+    pub use crate::random::{random_history, RandomWalk};
+}
+
+pub use automaton::ObjectAutomaton;
+pub use constraint::{ConstraintId, ConstraintSet, ConstraintUniverse};
+pub use environment::{CombinedAutomaton, Environment, Input};
+pub use history::History;
+pub use language::{
+    equal_upto, included_upto, language_sizes, language_upto, strictly_included_upto,
+    Counterexample, LanguageDifference, StrictInclusionFailure,
+};
+pub use lattice::{check_reverse_inclusion_lattice, LatticeCheck, RelaxationMap};
+pub use random::{random_history, RandomWalk};

@@ -1,0 +1,170 @@
+//! Seeded random walks through automata.
+//!
+//! The paper pairs its functional specifications with "an additional
+//! probabilistic model … to characterize the likelihood that certain sets
+//! of constraints would be satisfied" (§2.3). Monte Carlo experiments over
+//! automata need reproducible random histories; this module provides
+//! seeded random walks (all randomness in the workspace flows through
+//! explicit `rand::rngs::StdRng` seeds).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::automaton::ObjectAutomaton;
+use crate::history::History;
+
+/// A random walk through an automaton: repeatedly picks a uniformly random
+/// enabled operation and a uniformly random successor state.
+#[derive(Debug)]
+pub struct RandomWalk<'a, A: ObjectAutomaton> {
+    automaton: &'a A,
+    alphabet: Vec<A::Op>,
+    state: A::State,
+    history: History<A::Op>,
+    rng: StdRng,
+}
+
+impl<'a, A: ObjectAutomaton> RandomWalk<'a, A> {
+    /// Starts a walk at the initial state with a seeded RNG.
+    pub fn new(automaton: &'a A, alphabet: Vec<A::Op>, seed: u64) -> Self {
+        RandomWalk {
+            state: automaton.initial_state(),
+            automaton,
+            alphabet,
+            history: History::empty(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The history accepted so far.
+    pub fn history(&self) -> &History<A::Op> {
+        &self.history
+    }
+
+    /// The current (single, concretely chosen) state.
+    pub fn state(&self) -> &A::State {
+        &self.state
+    }
+
+    /// Takes one random enabled step. Returns the operation taken, or
+    /// `None` if no operation is enabled (dead end).
+    pub fn step(&mut self) -> Option<A::Op> {
+        let mut order: Vec<usize> = (0..self.alphabet.len()).collect();
+        order.shuffle(&mut self.rng);
+        for idx in order {
+            let op = &self.alphabet[idx];
+            let succs = self.automaton.step(&self.state, op);
+            if !succs.is_empty() {
+                let i = self.rng.gen_range(0..succs.len());
+                self.state = succs.into_iter().nth(i).expect("index in range");
+                let op = op.clone();
+                self.history.push(op.clone());
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    /// Walks up to `len` steps (stops early at a dead end) and returns the
+    /// history.
+    pub fn walk(mut self, len: usize) -> History<A::Op> {
+        for _ in 0..len {
+            if self.step().is_none() {
+                break;
+            }
+        }
+        self.history
+    }
+}
+
+/// Generates one random accepted history of length up to `len`.
+pub fn random_history<A: ObjectAutomaton>(
+    automaton: &A,
+    alphabet: &[A::Op],
+    len: usize,
+    seed: u64,
+) -> History<A::Op> {
+    RandomWalk::new(automaton, alphabet.to_vec(), seed).walk(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Counter;
+
+    impl ObjectAutomaton for Counter {
+        type State = i32;
+        type Op = i8; // +1 / -1
+        fn initial_state(&self) -> i32 {
+            0
+        }
+        fn step(&self, s: &i32, op: &i8) -> Vec<i32> {
+            match op {
+                1 => vec![s + 1],
+                -1 if *s > 0 => vec![s - 1],
+                _ => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn walks_are_accepted() {
+        for seed in 0..20 {
+            let h = random_history(&Counter, &[1, -1], 30, seed);
+            assert!(Counter.accepts(&h), "seed {seed} produced rejected history");
+            assert_eq!(h.len(), 30);
+        }
+    }
+
+    #[test]
+    fn walks_are_reproducible() {
+        let a = random_history(&Counter, &[1, -1], 25, 42);
+        let b = random_history(&Counter, &[1, -1], 25, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_history(&Counter, &[1, -1], 25, 1);
+        let b = random_history(&Counter, &[1, -1], 25, 2);
+        assert_ne!(a, b); // overwhelmingly likely for length 25
+    }
+
+    #[test]
+    fn dead_end_stops_walk() {
+        /// An automaton that dies after two steps.
+        #[derive(Debug, Clone)]
+        struct TwoSteps;
+        impl ObjectAutomaton for TwoSteps {
+            type State = u8;
+            type Op = u8;
+            fn initial_state(&self) -> u8 {
+                0
+            }
+            fn step(&self, s: &u8, _op: &u8) -> Vec<u8> {
+                if *s < 2 {
+                    vec![s + 1]
+                } else {
+                    vec![]
+                }
+            }
+        }
+        let h = random_history(&TwoSteps, &[0], 10, 7);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn stepwise_walk_tracks_state() {
+        let mut w = RandomWalk::new(&Counter, vec![1, -1], 3);
+        let mut expected = 0;
+        for _ in 0..10 {
+            let op = w.step().unwrap();
+            expected += op as i32;
+            assert_eq!(*w.state(), expected);
+        }
+        assert_eq!(w.history().len(), 10);
+    }
+}

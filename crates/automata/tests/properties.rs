@@ -1,0 +1,136 @@
+//! Property tests for the automata substrate: history algebra, constraint
+//! lattice laws, language invariants, and random-walk soundness.
+
+use proptest::prelude::*;
+
+use relax_automata::{
+    language_upto, random_history, ConstraintSet, ConstraintUniverse, History, ObjectAutomaton,
+};
+
+/// A parameterizable test automaton: a counter bounded to `bound`,
+/// with increment (op 0) and decrement (op 1).
+#[derive(Debug, Clone)]
+struct Bounded {
+    bound: u32,
+}
+
+impl ObjectAutomaton for Bounded {
+    type State = u32;
+    type Op = u8;
+    fn initial_state(&self) -> u32 {
+        0
+    }
+    fn step(&self, s: &u32, op: &u8) -> Vec<u32> {
+        match op {
+            0 if *s < self.bound => vec![s + 1],
+            1 if *s > 0 => vec![s - 1],
+            _ => vec![],
+        }
+    }
+}
+
+proptest! {
+    /// History concatenation is associative with Λ as identity.
+    #[test]
+    fn history_monoid_laws(
+        a in proptest::collection::vec(0u8..4, 0..12),
+        b in proptest::collection::vec(0u8..4, 0..12),
+        c in proptest::collection::vec(0u8..4, 0..12),
+    ) {
+        let (ha, hb, hc) = (History::from(a), History::from(b), History::from(c));
+        prop_assert_eq!(ha.concat(&hb).concat(&hc), ha.concat(&hb.concat(&hc)));
+        let empty: History<u8> = History::empty();
+        prop_assert_eq!(ha.concat(&empty), ha.clone());
+        prop_assert_eq!(empty.concat(&ha), ha);
+    }
+
+    /// prefix is idempotent, monotone, and a genuine prefix.
+    #[test]
+    fn history_prefix_laws(
+        ops in proptest::collection::vec(0u8..4, 0..15),
+        n in 0usize..20,
+        m in 0usize..20,
+    ) {
+        let h = History::from(ops);
+        let p = h.prefix(n);
+        prop_assert!(p.is_prefix_of(&h));
+        prop_assert_eq!(p.prefix(n), p.clone());
+        if n <= m {
+            prop_assert!(p.is_prefix_of(&h.prefix(m)));
+        }
+        prop_assert!(p.is_subsequence_of(&h));
+    }
+
+    /// δ* over a concatenation equals stepping through both parts.
+    #[test]
+    fn delta_star_composes(
+        a in proptest::collection::vec(0u8..2, 0..10),
+        b in proptest::collection::vec(0u8..2, 0..10),
+    ) {
+        let m = Bounded { bound: 4 };
+        let ha = History::from(a);
+        let hb = History::from(b);
+        let direct = m.delta_star(&ha.concat(&hb));
+        let mut staged = std::collections::HashSet::new();
+        for s in m.delta_star(&ha) {
+            staged.extend(m.delta_star_from(&s, &hb));
+        }
+        prop_assert_eq!(direct, staged);
+    }
+
+    /// Acceptance is prefix-closed.
+    #[test]
+    fn acceptance_prefix_closed(ops in proptest::collection::vec(0u8..2, 0..14)) {
+        let m = Bounded { bound: 3 };
+        let h = History::from(ops);
+        if m.accepts(&h) {
+            for n in 0..h.len() {
+                prop_assert!(m.accepts(&h.prefix(n)));
+            }
+        }
+    }
+
+    /// The constraint-set operations satisfy the lattice axioms.
+    #[test]
+    fn constraint_lattice_laws(a in 0u64..256, b in 0u64..256, c in 0u64..256) {
+        let (a, b, c) = (
+            ConstraintSet::from_bits(a),
+            ConstraintSet::from_bits(b),
+            ConstraintSet::from_bits(c),
+        );
+        // Commutativity, associativity, absorption, idempotence.
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        prop_assert_eq!(a.meet(&a.join(&b)), a);
+        prop_assert_eq!(a.join(&a.meet(&b)), a);
+        prop_assert_eq!(a.meet(&a), a);
+        // Order compatibility: a ⊆ b iff a ∧ b = a iff a ∨ b = b.
+        prop_assert_eq!(a.is_subset_of(&b), a.meet(&b) == a);
+        prop_assert_eq!(a.is_subset_of(&b), a.join(&b) == b);
+    }
+
+    /// Universe subsets enumerate exactly the powerset, each within the
+    /// full set.
+    #[test]
+    fn universe_powerset(n in 0usize..8) {
+        let u = ConstraintUniverse::new((0..n).map(|i| format!("K{i}")));
+        let subsets: Vec<ConstraintSet> = u.subsets().collect();
+        prop_assert_eq!(subsets.len(), 1 << n);
+        for s in &subsets {
+            prop_assert!(s.is_subset_of(&u.full_set()));
+        }
+    }
+
+    /// Random walks only produce accepted histories, and the enumerated
+    /// language contains every walk of in-bound length.
+    #[test]
+    fn random_walks_live_in_the_language(seed in 0u64..500, bound in 1u32..4) {
+        let m = Bounded { bound };
+        let h = random_history(&m, &[0, 1], 4, seed);
+        prop_assert!(m.accepts(&h));
+        let lang = language_upto(&m, &[0, 1], 4);
+        prop_assert!(lang.contains(&h));
+    }
+}

@@ -1,0 +1,70 @@
+//! Microbenchmarks for the automata layer: language enumeration, QCA
+//! view search, atomicity checking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use relax_atomic::{serializable_in_commit_order, DequeueStrategy, Spooler, SpoolerConfig};
+use relax_automata::{language_upto, History, ObjectAutomaton};
+use relax_core::lattices::taxi::{TaxiLattice, TaxiPoint};
+use relax_queues::{queue_alphabet, PQueueAutomaton, SemiqueueAutomaton, QueueOp};
+
+fn bench_language_enumeration(c: &mut Criterion) {
+    let alphabet = queue_alphabet(&[1, 2]);
+    let mut group = c.benchmark_group("language_upto_pqueue");
+    group.sample_size(10);
+    for len in [4usize, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bencher, &len| {
+            bencher.iter(|| language_upto(&PQueueAutomaton::new(), &alphabet, len).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_qca_accept(c: &mut Criterion) {
+    let lattice = TaxiLattice::new();
+    let mut group = c.benchmark_group("qca_accepts");
+    group.sample_size(10);
+    for len in [8usize, 12] {
+        // A duplicate-heavy history accepted by the Q1 point: Enq then
+        // repeated Deqs of the same item.
+        let mut ops = vec![QueueOp::Enq(1)];
+        for _ in 1..len {
+            ops.push(QueueOp::Deq(1));
+        }
+        let h = History::from(ops);
+        let qca = lattice.qca(TaxiPoint { q1: true, q2: false });
+        group.bench_with_input(BenchmarkId::from_parameter(len), &h, |bencher, h| {
+            bencher.iter(|| black_box(qca.accepts(h)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_commit_order_check(c: &mut Criterion) {
+    let report = Spooler::new(SpoolerConfig {
+        strategy: DequeueStrategy::Optimistic,
+        printers: 4,
+        jobs: 30,
+        print_time: 3,
+        abort_probability: 0.1,
+        seed: 11,
+    })
+    .run();
+    c.bench_function("commit_order_serializability_30jobs", |bencher| {
+        bencher.iter(|| {
+            black_box(serializable_in_commit_order(
+                &SemiqueueAutomaton::new(4),
+                &report.schedule,
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_language_enumeration,
+    bench_qca_accept,
+    bench_commit_order_check
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Benchmarks for the operational executors: the print spooler and the
+//! replicated quorum system over the discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use relax_atomic::{DequeueStrategy, Spooler, SpoolerConfig};
+use relax_quorum::relation::QueueKind;
+use relax_quorum::runtime::{QueueInv, TaxiQueueType};
+use relax_quorum::{ClientConfig, QuorumSystem, VotingAssignment};
+use relax_sim::NetworkConfig;
+
+fn bench_spooler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spooler_40jobs_4printers");
+    group.sample_size(20);
+    for strategy in [
+        DequeueStrategy::BlockingFifo,
+        DequeueStrategy::Optimistic,
+        DequeueStrategy::Pessimistic,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |bencher, &strategy| {
+                bencher.iter(|| {
+                    black_box(
+                        Spooler::new(SpoolerConfig {
+                            strategy,
+                            printers: 4,
+                            jobs: 40,
+                            print_time: 3,
+                            abort_probability: 0.1,
+                            seed: 3,
+                        })
+                        .run(),
+                    )
+                    .printed
+                    .len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_quorum_system(c: &mut Criterion) {
+    let assignment = VotingAssignment::new(5)
+        .with_initial(QueueKind::Enq, 1)
+        .with_final(QueueKind::Enq, 3)
+        .with_initial(QueueKind::Deq, 3)
+        .with_final(QueueKind::Deq, 3);
+    c.bench_function("quorum_taxi_50ops_5replicas", |bencher| {
+        bencher.iter(|| {
+            let mut sys = QuorumSystem::new(
+                TaxiQueueType,
+                5,
+                assignment.clone(),
+                ClientConfig::default(),
+                NetworkConfig::default(),
+                17,
+            );
+            for i in 0..25 {
+                sys.submit(QueueInv::Enq(i));
+            }
+            for _ in 0..25 {
+                sys.submit(QueueInv::Deq);
+            }
+            sys.run_to_quiescence(1_000_000);
+            black_box(sys.outcomes().len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_spooler, bench_quorum_system);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Microbenchmarks for the substrate layers: replica logs, the term
+//! rewriter, and the lock manager.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use relax_atomic::{LockManager, LockMode, TxId};
+use relax_queues::QueueOp;
+use relax_quorum::{Entry, Log, Timestamp};
+use relax_spec::{parse_term, paper_theories, Rewriter, Term};
+
+fn make_log(entries: usize, site: usize) -> Log<QueueOp> {
+    (0..entries)
+        .map(|i| {
+            Entry::new(
+                Timestamp::new(i as u64 * 2 + site as u64, site),
+                QueueOp::Enq(i as i64),
+            )
+        })
+        .collect()
+}
+
+fn bench_log_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_merge");
+    group.sample_size(20);
+    for size in [100usize, 1000] {
+        let a = make_log(size, 0);
+        let b = make_log(size, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bencher, _| {
+            bencher.iter(|| black_box(a.merged(&b)).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let set = paper_theories().expect("shipped theories parse");
+    let bag = set.theory("Bag").expect("Bag present").clone();
+    let rw = Rewriter::new(&bag).expect("rewriter builds");
+    let mut group = c.benchmark_group("rewrite_bag_del_chain");
+    group.sample_size(10);
+    for size in [10usize, 30] {
+        // ins-chain of `size` items, then delete them all.
+        let mut t = parse_term(&bag, "emp").expect("parses");
+        for i in 0..size {
+            t = Term::app("ins", vec![t, Term::Int(i as i64)]);
+        }
+        let mut d = t;
+        for i in 0..size {
+            d = Term::app("del", vec![d, Term::Int(i as i64)]);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(size), &d, |bencher, term| {
+            bencher.iter(|| rw.normalize(black_box(term)).expect("terminates"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    use relax_queues::{Bag, Eta, Item};
+    use relax_quorum::compact::CompactLog;
+    use relax_quorum::Timestamp;
+
+    let mut group = c.benchmark_group("view_evaluation");
+    group.sample_size(20);
+    for size in [1_000usize, 10_000] {
+        // A raw log of `size` entries vs the same log compacted down to a
+        // 10-entry suffix: the ablation for why production replicas
+        // compact.
+        let mut raw: CompactLog<QueueOp, Bag<Item>> = CompactLog::new(Bag::new());
+        for i in 0..size {
+            raw.insert(Entry::new(
+                Timestamp::new(i as u64 + 1, 0),
+                QueueOp::Enq((i % 50) as i64),
+            ));
+        }
+        let mut compacted = raw.clone();
+        compacted.compact_to(&Eta, Timestamp::new(size as u64 - 10, 0));
+
+        group.bench_with_input(BenchmarkId::new("raw", size), &raw, |bencher, log| {
+            bencher.iter(|| black_box(log.value(&Eta)).len());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("compacted", size),
+            &compacted,
+            |bencher, log| {
+                bencher.iter(|| black_box(log.value(&Eta)).len());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_locking(c: &mut Criterion) {
+    c.bench_function("lock_manager_churn_100tx", |bencher| {
+        bencher.iter(|| {
+            let mut lm: LockManager<u32> = LockManager::new();
+            for i in 0..100u32 {
+                lm.request(TxId(i), i % 7, LockMode::Exclusive);
+            }
+            for i in 0..100u32 {
+                black_box(lm.release_all(TxId(i)));
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_log_merge,
+    bench_rewrite,
+    bench_compaction,
+    bench_locking
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! §3.4 operational experiments: premature debits decay over time; the
+//! no-overdraft invariant survives A1 relaxation.
+
+use relax_bench::experiments::account::{
+    overdraft_invariant, premature_debit_decay, premature_debit_decay_with_gossip, render_decay,
+};
+
+fn main() {
+    println!("== §3.4: replicated ATM account (A1 relaxed, A2 held) ==\n");
+    println!("spurious bounce rate vs credit→debit gap (3 replicas, delays 1–20):");
+    let rows = premature_debit_decay(&[0, 5, 10, 20, 40, 60], 200, 3);
+    println!("{}", render_decay(&rows));
+
+    println!("same sweep with replica anti-entropy (gossip every 5 ticks):");
+    let rows = premature_debit_decay_with_gossip(&[0, 5, 10, 20], 200, 3, Some(5));
+    println!("{}", render_decay(&rows));
+
+    let (overdrafts, spurious, runs) = overdraft_invariant(200, 3);
+    println!("invariant sweep over {runs} runs (credit 10, two debits of 6):");
+    println!("  true overdrafts: {overdrafts}   (A2 ⇒ must be 0)");
+    println!("  bounces (spurious + legitimate): {spurious}  (tolerated degradation)");
+}

@@ -1,0 +1,19 @@
+//! Figure 5-1 "Concurrency": print-spooler strategies vs concurrent
+//! printers.
+
+use relax_bench::experiments::concurrency::{render, sweep};
+
+fn main() {
+    println!("== Print spooler: throughput & degradation vs concurrency ==\n");
+    println!("24 jobs, print time ≤ 4 rounds, no aborts, 8 seeds:");
+    let rows = sweep(&[1, 2, 4, 8], 24, 0.0, 8);
+    println!("{}", render(&rows));
+
+    println!("with 20% aborts:");
+    let rows = sweep(&[4], 24, 0.2, 8);
+    println!("{}", render(&rows));
+
+    println!("shape: BlockingFifo is flat; Optimistic scales with d at bounded");
+    println!("displacement (< d, Semiqueue_d); Pessimistic keeps FIFO order but");
+    println!("pays in duplicate prints (Stuttering_d).");
+}

@@ -1,0 +1,14 @@
+//! Ablation on the evaluation function: η vs η′ (§3.3's design remark).
+
+use relax_bench::experiments::eta_ablation::{language_size_table, operational_table};
+
+fn main() {
+    println!("== Ablation: evaluation function η vs η′ ==\n");
+    println!("declarative: bounded language sizes per lattice point (items {{1,2}}, ≤ 4 ops):");
+    println!("{}", language_size_table(4));
+    println!("operational: same replicated system, same partition (30 seeds):");
+    println!("{}", operational_table(30));
+    println!("the design choice the paper leaves to the application, quantified:");
+    println!("η tolerates out-of-order service but eventually serves everyone;");
+    println!("η′ never serves out of order but may ignore skipped requests.");
+}

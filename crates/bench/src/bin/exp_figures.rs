@@ -1,0 +1,12 @@
+//! Prints every specification figure of the paper (executable sources).
+
+use relax_bench::experiments::figures::figures;
+
+fn main() {
+    println!("== Specification figures (Herlihy & Wing, PODC 1987) ==\n");
+    for f in figures() {
+        println!("--- Figure {}: {} ---", f.number, f.caption);
+        println!("{}\n", f.source);
+    }
+    println!("All figures parsed and validated by the relax-spec engine.");
+}

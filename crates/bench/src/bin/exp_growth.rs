@@ -1,0 +1,14 @@
+//! Behavior-complexity growth: accepted histories per length, per
+//! lattice point.
+
+use relax_bench::experiments::growth::{semiqueue_growth, taxi_growth};
+
+fn main() {
+    println!("== Behavior complexity: |L_n| per lattice point ==\n");
+    println!("taxi lattice over items {{1,2}} (η vs η′):");
+    println!("{}", taxi_growth(&[1, 2], 6));
+    println!("semiqueue chain over items {{1,2}}:");
+    println!("{}", semiqueue_growth(&[1, 2], 6, 4));
+    println!("the gap between rows is the anomaly space each constraint rules out —");
+    println!("the complexity the designer weighs against the constraint's cost (§5).");
+}

@@ -1,0 +1,12 @@
+//! Figure 5-1 "Latency": ATM-perceived credit latency vs final quorum
+//! size, measured against the order-statistic prediction.
+
+use relax_bench::experiments::latency::{render, sweep};
+
+fn main() {
+    println!("== Latency vs Credit final quorum size (account, n = 5 replicas) ==\n");
+    let rows = sweep(5, 200, 0x1A7E);
+    println!("{}", render(&rows));
+    println!("final quorum 1 = announce after first ack (background propagation,");
+    println!("A1 relaxed); final quorum n = fully synchronous (A1 held).");
+}

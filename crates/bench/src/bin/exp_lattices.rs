@@ -1,0 +1,30 @@
+//! Prints the §3.3 taxi constraint lattice and Figure 4-2, with bounded
+//! homomorphism verdicts.
+
+use relax_bench::experiments::lattices::{figure_4_2, ssqueue_lattice_table, taxi_lattice_table};
+
+fn main() {
+    println!("== §3.3 constraint lattice: replicated taxi priority queue ==\n");
+    let (taxi, taxi_ok) = taxi_lattice_table(4);
+    println!("{taxi}");
+    println!(
+        "relaxation-lattice check (monotone + join/meet, histories ≤ 4): {}\n",
+        if taxi_ok { "PASS" } else { "FAIL" }
+    );
+
+    println!("== Figure 4-2: relaxation lattice for a three-item semiqueue ==\n");
+    let (fig, fig_ok) = figure_4_2(3, 4);
+    println!("{fig}");
+    println!(
+        "relaxation-lattice check (φ = min-index homomorphism): {}\n",
+        if fig_ok { "PASS" } else { "FAIL" }
+    );
+
+    println!("== §4.2.2: the combined SSqueue lattice ==\n");
+    let (ss, ss_ok) = ssqueue_lattice_table(2, 2, 4);
+    println!("{ss}");
+    println!(
+        "relaxation-lattice check (two-chain homomorphism): {}",
+        if ss_ok { "PASS" } else { "FAIL" }
+    );
+}

@@ -1,0 +1,17 @@
+//! §2.3's probabilistic interface: a Markov environment over the taxi
+//! lattice, long-run behavior mix.
+
+use relax_bench::experiments::markov::{render, stationary_mix};
+
+fn main() {
+    println!("== Markov environment over the taxi lattice (§2.3) ==\n");
+    for (p_fail, p_repair) in [(0.05, 0.5), (0.1, 0.5), (0.1, 0.2)] {
+        println!("per-step constraint failure {p_fail}, repair {p_repair}:");
+        let rows = stationary_mix(p_fail, p_repair);
+        let (t, in_order) = render(&rows);
+        println!("{t}");
+        println!("long-run P(service is never out of order) = {in_order:.4}\n");
+    }
+    println!("functional behavior (the lattice) and failure statistics (the chain)");
+    println!("compose without either model knowing the other's internals.");
+}

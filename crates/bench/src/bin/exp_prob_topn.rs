@@ -1,0 +1,11 @@
+//! §3.3's probabilistic claim: P(Deq misses the top n) = (0.1)^n.
+
+use relax_bench::experiments::prob::{render, run};
+
+fn main() {
+    println!("== §3.3: P(Deq fails to return an item within the top n) ==");
+    println!("model: each pending request visible with independent p = 0.9;");
+    println!("Deq returns the best visible request.\n");
+    let rows = run(4, 400_000, 2026);
+    println!("{}", render(&rows));
+}

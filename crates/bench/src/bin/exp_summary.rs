@@ -1,0 +1,9 @@
+//! Figure 5-1: the summary chart, regenerated from the registered
+//! lattices.
+
+use relax_core::summary::{render_chart, summary_chart};
+
+fn main() {
+    println!("== Figure 5-1: Summary Chart ==\n");
+    println!("{}", render_chart(&summary_chart()));
+}

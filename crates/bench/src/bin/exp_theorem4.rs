@@ -1,0 +1,18 @@
+//! Bounded verification of Theorem 4 and the other taxi-lattice points.
+
+use relax_bench::experiments::theorem4::{run, witnesses_table};
+
+fn main() {
+    println!("== Theorem 4: L(QCA(PQ, Q1, η)) = L(MPQ), and siblings ==\n");
+    for (items, max_len) in [(vec![1, 2], 5usize), (vec![1, 2, 3], 4)] {
+        println!("items = {items:?}, history length ≤ {max_len}:");
+        let (table, v) = run(&items, max_len);
+        println!("{table}");
+        println!(
+            "overall: {}\n",
+            if v.holds() { "ALL POINTS EQUAL" } else { "MISMATCH" }
+        );
+    }
+    println!("strictness witnesses (accepted by the relaxed point, rejected by PQ):");
+    println!("{}", witnesses_table());
+}

@@ -1,0 +1,225 @@
+//! Figure 5-1's "Availability" cost, made measurable (§3.3).
+//!
+//! Two views of the same trade-off:
+//!
+//! * **analytic** — `operation_availability` per quorum assignment as the
+//!   site-up probability varies;
+//! * **operational** — the replicated taxi queue on the simulator with
+//!   random site crashes, counting timeouts.
+//!
+//! The assignments swept realize the `Q1` trade-off ("if one operation's
+//! quorums are made smaller … the other's must be made larger") and the
+//! `Q2` majority consequence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use relax_core::cost::operation_availability;
+use relax_quorum::relation::QueueKind;
+use relax_quorum::runtime::{Outcome, QueueInv, TaxiQueueType};
+use relax_quorum::{queue_relation, ClientConfig, QuorumSystem, VotingAssignment};
+use relax_sim::{NetworkConfig, NodeId};
+
+use crate::table::Table;
+
+/// A named quorum assignment for the sweep.
+#[derive(Debug, Clone)]
+pub struct NamedAssignment {
+    /// Display label.
+    pub label: String,
+    /// The assignment.
+    pub assignment: VotingAssignment<QueueKind>,
+}
+
+/// The `Q1` trade-off family over `n` sites: final Enq quorums of size
+/// `f` paired with initial Deq quorums of size `n - f + 1`, with `Q2`
+/// satisfied by majority Deq final quorums. Every member satisfies
+/// `{Q1, Q2}`.
+pub fn tradeoff_family(n: usize) -> Vec<NamedAssignment> {
+    let rel = queue_relation(true, true);
+    let mut out = Vec::new();
+    for enq_final in 1..=n {
+        let deq_initial = n - enq_final + 1;
+        let deq_final = n - deq_initial + 1; // Q2: deq_init + deq_final > n
+        let a = VotingAssignment::new(n)
+            .with_initial(QueueKind::Enq, 1)
+            .with_final(QueueKind::Enq, enq_final)
+            .with_initial(QueueKind::Deq, deq_initial)
+            .with_final(QueueKind::Deq, deq_final);
+        debug_assert!(a.satisfies(&rel));
+        out.push(NamedAssignment {
+            label: format!("Enq fin={enq_final} / Deq init={deq_initial}"),
+            assignment: a,
+        });
+    }
+    out
+}
+
+/// One analytic sweep row.
+#[derive(Debug, Clone)]
+pub struct AvailabilityRow {
+    /// Assignment label.
+    pub label: String,
+    /// Analytic Enq availability.
+    pub enq_analytic: f64,
+    /// Analytic Deq availability.
+    pub deq_analytic: f64,
+    /// Measured Enq availability (simulator).
+    pub enq_measured: f64,
+    /// Measured Deq availability (simulator).
+    pub deq_measured: f64,
+}
+
+/// Runs the sweep at one site-up probability.
+pub fn sweep(n: usize, p_up: f64, trials: u32, seed: u64) -> Vec<AvailabilityRow> {
+    tradeoff_family(n)
+        .into_iter()
+        .map(|na| {
+            let enq_analytic = operation_availability(
+                n,
+                na.assignment.initial_size(QueueKind::Enq),
+                na.assignment.final_size(QueueKind::Enq),
+                p_up,
+            );
+            let deq_analytic = operation_availability(
+                n,
+                na.assignment.initial_size(QueueKind::Deq),
+                na.assignment.final_size(QueueKind::Deq),
+                p_up,
+            );
+            let (enq_measured, deq_measured) =
+                measure(n, &na.assignment, p_up, trials, seed);
+            AvailabilityRow {
+                label: na.label,
+                enq_analytic,
+                deq_analytic,
+                enq_measured,
+                deq_measured,
+            }
+        })
+        .collect()
+}
+
+/// Operational measurement: crash each site independently with
+/// probability `1 - p_up`, preload one request, then attempt one Enq and
+/// one Deq; count completions.
+fn measure(
+    n: usize,
+    assignment: &VotingAssignment<QueueKind>,
+    p_up: f64,
+    trials: u32,
+    seed: u64,
+) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut enq_ok = 0u32;
+    let mut deq_ok = 0u32;
+    for trial in 0..trials {
+        let mut sys = QuorumSystem::new(
+            TaxiQueueType,
+            n,
+            assignment.clone(),
+            ClientConfig::default(),
+            NetworkConfig::new(1, 10, 0.0),
+            seed ^ (u64::from(trial) * 2_654_435_761),
+        );
+        // Preload a request while everything is up, so Deq has something
+        // to return.
+        sys.submit(QueueInv::Enq(5));
+        sys.run_to_first_outcome(100_000);
+
+        // Crash sites per p_up.
+        for site in 0..n {
+            if rng.gen::<f64>() > p_up {
+                sys.world_mut().network_mut().crash(NodeId(site));
+            }
+        }
+        sys.submit(QueueInv::Enq(7));
+        sys.submit(QueueInv::Deq);
+        sys.run_to_quiescence(300_000);
+        let outcomes = sys.outcomes();
+        if matches!(outcomes.get(1), Some(o) if o.is_completed()) {
+            enq_ok += 1;
+        }
+        // The Deq either completes or times out; a Deq that *ran* but
+        // found no visible item counts as available (Refused), since the
+        // quorum was assembled.
+        match outcomes.get(2) {
+            Some(Outcome::Completed { .. }) | Some(Outcome::Refused { .. }) => deq_ok += 1,
+            _ => {}
+        }
+    }
+    (
+        f64::from(enq_ok) / f64::from(trials),
+        f64::from(deq_ok) / f64::from(trials),
+    )
+}
+
+/// Renders a sweep.
+pub fn render(rows: &[AvailabilityRow]) -> Table {
+    let mut t = Table::new([
+        "assignment",
+        "Enq avail (analytic)",
+        "Enq avail (sim)",
+        "Deq avail (analytic)",
+        "Deq avail (sim)",
+    ]);
+    for r in rows {
+        t.row([
+            r.label.clone(),
+            format!("{:.3}", r.enq_analytic),
+            format!("{:.3}", r.enq_measured),
+            format!("{:.3}", r.deq_analytic),
+            format!("{:.3}", r.deq_measured),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_satisfies_full_relation() {
+        let rel = queue_relation(true, true);
+        for na in tradeoff_family(5) {
+            assert!(na.assignment.satisfies(&rel), "{}", na.label);
+        }
+    }
+
+    #[test]
+    fn tradeoff_shape_holds() {
+        // As Enq final quorums shrink, Enq availability rises and Deq
+        // availability falls (analytically).
+        let rows = sweep(3, 0.8, 12, 42);
+        assert!(rows.first().unwrap().enq_analytic >= rows.last().unwrap().enq_analytic);
+        assert!(rows.first().unwrap().deq_analytic <= rows.last().unwrap().deq_analytic);
+    }
+
+    #[test]
+    fn simulation_tracks_analytic_roughly() {
+        let rows = sweep(3, 0.85, 60, 7);
+        for r in &rows {
+            assert!(
+                (r.enq_measured - r.enq_analytic).abs() < 0.2,
+                "{}: enq sim {} vs analytic {}",
+                r.label,
+                r.enq_measured,
+                r.enq_analytic
+            );
+            assert!(
+                (r.deq_measured - r.deq_analytic).abs() < 0.2,
+                "{}: deq sim {} vs analytic {}",
+                r.label,
+                r.deq_measured,
+                r.deq_analytic
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_row_per_assignment() {
+        let rows = sweep(3, 0.9, 5, 1);
+        assert_eq!(render(&rows).len(), 3);
+    }
+}

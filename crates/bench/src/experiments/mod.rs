@@ -1,0 +1,15 @@
+//! Experiment implementations, one module per paper artifact.
+
+pub mod account;
+pub mod availability;
+pub mod concurrency;
+pub mod eta_ablation;
+pub mod figures;
+pub mod growth;
+pub mod latency;
+pub mod lattices;
+pub mod markov;
+pub mod prob;
+pub mod serialdep;
+pub mod theorem4;
+pub mod voting;

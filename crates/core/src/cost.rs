@@ -1,0 +1,157 @@
+//! Cost models for the lattice dimensions of Figure 5-1.
+//!
+//! "The relaxation method is appropriate for modeling the behavior of
+//! objects for which there is a meaningful cost associated with moving up
+//! the relaxation lattice" (§2.2). The paper names three costs —
+//! availability (replicated queue), latency (bank account), concurrency
+//! (atomic queue). This module makes them computable:
+//!
+//! * [`quorum_availability`] — probability that at least `q` of `n`
+//!   independent sites are up;
+//! * [`operation_availability`] — probability a quorum-consensus
+//!   operation can run: enough sites up to host both its initial and
+//!   final quorums (they may overlap, so the binding constraint is the
+//!   larger of the two);
+//! * [`expected_latency`] — a simple latency proxy: the expected maximum
+//!   of `q` i.i.d. uniform link delays (waiting for the slowest member of
+//!   the quorum);
+//! * [`CostDimension`] — the dimension labels used by the summary chart.
+
+use std::fmt;
+
+/// The three cost dimensions of Figure 5-1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostDimension {
+    /// Likelihood an operation execution succeeds (replication).
+    Availability,
+    /// How long the caller waits (bank account).
+    Latency,
+    /// How many transactions may proceed in parallel (atomic queue).
+    Concurrency,
+}
+
+impl fmt::Display for CostDimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CostDimension::Availability => "Availability",
+            CostDimension::Latency => "Latency",
+            CostDimension::Concurrency => "Concurrency",
+        })
+    }
+}
+
+/// `C(n, k)` as f64 (exact for the small `n` used here).
+fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1.0;
+    for i in 0..k {
+        num *= (n - i) as f64 / (i + 1) as f64;
+    }
+    num
+}
+
+/// Probability that at least `quorum` of `n_sites` sites are up, with
+/// each site independently up with probability `p_up`.
+///
+/// # Panics
+///
+/// Panics if `p_up` is not a probability or `quorum > n_sites`.
+pub fn quorum_availability(n_sites: usize, quorum: usize, p_up: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_up), "p_up must be in [0, 1]");
+    assert!(quorum <= n_sites, "quorum cannot exceed the site count");
+    let n = n_sites as u64;
+    (quorum as u64..=n)
+        .map(|i| {
+            binomial(n, i) * p_up.powi(i as i32) * (1.0 - p_up).powi((n - i) as i32)
+        })
+        .sum()
+}
+
+/// Availability of a quorum-consensus operation with the given initial
+/// and final quorum sizes: the operation can run iff at least
+/// `max(initial, final)` sites are up (the two quorums may share sites).
+pub fn operation_availability(
+    n_sites: usize,
+    initial_quorum: usize,
+    final_quorum: usize,
+    p_up: f64,
+) -> f64 {
+    quorum_availability(n_sites, initial_quorum.max(final_quorum), p_up)
+}
+
+/// Expected latency of assembling a `quorum`-site quorum when per-site
+/// round trips are i.i.d. uniform on `[min_rtt, max_rtt]`: the expected
+/// `quorum`-th order statistic out of `n_sites` draws, approximated by
+/// the classical `min + (max-min) · q/(n+1)` formula.
+///
+/// # Panics
+///
+/// Panics if `quorum` is zero or exceeds `n_sites`, or if
+/// `min_rtt > max_rtt`.
+pub fn expected_latency(n_sites: usize, quorum: usize, min_rtt: f64, max_rtt: f64) -> f64 {
+    assert!(quorum >= 1 && quorum <= n_sites, "quorum out of range");
+    assert!(min_rtt <= max_rtt, "min_rtt must be ≤ max_rtt");
+    min_rtt + (max_rtt - min_rtt) * quorum as f64 / (n_sites as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(3, 7), 0.0);
+    }
+
+    #[test]
+    fn availability_extremes() {
+        assert_eq!(quorum_availability(3, 0, 0.5), 1.0);
+        assert_eq!(quorum_availability(3, 3, 1.0), 1.0);
+        assert_eq!(quorum_availability(3, 1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn availability_is_monotone() {
+        // Larger quorums are less available; more reliable sites help.
+        for q in 1..3 {
+            assert!(
+                quorum_availability(5, q, 0.9) > quorum_availability(5, q + 1, 0.9),
+                "quorum {q}"
+            );
+        }
+        assert!(quorum_availability(5, 3, 0.95) > quorum_availability(5, 3, 0.8));
+    }
+
+    #[test]
+    fn majority_of_three_at_p9() {
+        // P(≥2 of 3 up) at p=0.9: 3·0.81·0.1 + 0.729 = 0.972.
+        let a = quorum_availability(3, 2, 0.9);
+        assert!((a - 0.972).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operation_availability_uses_the_larger_quorum() {
+        let a = operation_availability(5, 2, 4, 0.9);
+        assert_eq!(a, quorum_availability(5, 4, 0.9));
+    }
+
+    #[test]
+    fn latency_grows_with_quorum() {
+        let l1 = expected_latency(5, 1, 1.0, 11.0);
+        let l5 = expected_latency(5, 5, 1.0, 11.0);
+        assert!(l1 < l5);
+        assert!((l1 - (1.0 + 10.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_display() {
+        assert_eq!(CostDimension::Availability.to_string(), "Availability");
+        assert_eq!(CostDimension::Concurrency.to_string(), "Concurrency");
+    }
+}

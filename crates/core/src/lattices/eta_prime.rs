@@ -1,0 +1,135 @@
+//! The *alternative* taxi lattice built from `η′` (§3.3).
+//!
+//! "When designing a relaxation lattice, the exact way in which the
+//! evaluation function η should extend the transition function δ* is
+//! application dependent. … The resulting lattice would produce a
+//! different set of relaxed behaviors: unlike QCA(PQ, Q2, η),
+//! QCA(PQ, Q2, η′) never services requests out of order, but it could
+//! ignore certain requests."
+//!
+//! This module is the ablation on that design choice: the same constraint
+//! universe `{Q1, Q2}`, the same value spec, but `η′` in place of `η`.
+//! At the top both lattices coincide with the priority queue (a serial
+//! dependency relation makes the evaluation function irrelevant); at
+//! `{Q2}` they *diverge*: `η` yields the out-of-order priority queue,
+//! `η′` the [`relax_queues::DiscardingPqAutomaton`] — a strictly smaller
+//! language trading starvation for order.
+
+use relax_automata::{ConstraintSet, ConstraintUniverse, RelaxationMap};
+use relax_queues::{EtaPrime, PqValueSpec};
+use relax_quorum::{queue_relation, QcaAutomaton};
+
+use crate::lattices::taxi::TaxiPoint;
+
+/// The η′-based taxi lattice: `φ(R) = QCA(PQ, R, η′)`.
+#[derive(Debug, Clone)]
+pub struct TaxiLatticeEtaPrime {
+    universe: ConstraintUniverse,
+}
+
+impl TaxiLatticeEtaPrime {
+    /// Builds the lattice.
+    pub fn new() -> Self {
+        TaxiLatticeEtaPrime {
+            universe: ConstraintUniverse::new(["Q1", "Q2"]),
+        }
+    }
+
+    /// The QCA at a point.
+    pub fn qca(&self, point: TaxiPoint) -> QcaAutomaton<PqValueSpec, EtaPrime> {
+        QcaAutomaton::new(PqValueSpec, EtaPrime, queue_relation(point.q1, point.q2))
+    }
+
+    /// Decodes a constraint set into a point.
+    pub fn point(&self, c: ConstraintSet) -> TaxiPoint {
+        TaxiPoint {
+            q1: c.contains(self.universe.id("Q1").expect("Q1 in universe")),
+            q2: c.contains(self.universe.id("Q2").expect("Q2 in universe")),
+        }
+    }
+}
+
+impl Default for TaxiLatticeEtaPrime {
+    fn default() -> Self {
+        TaxiLatticeEtaPrime::new()
+    }
+}
+
+impl RelaxationMap for TaxiLatticeEtaPrime {
+    type A = QcaAutomaton<PqValueSpec, EtaPrime>;
+
+    fn universe(&self) -> &ConstraintUniverse {
+        &self.universe
+    }
+
+    fn automaton(&self, c: ConstraintSet) -> Option<Self::A> {
+        Some(self.qca(self.point(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_automata::{
+        check_reverse_inclusion_lattice, equal_upto, included_upto, History, ObjectAutomaton,
+    };
+    use relax_queues::{queue_alphabet, DiscardingPqAutomaton, PQueueAutomaton, QueueOp};
+
+    use crate::lattices::taxi::TaxiLattice;
+
+    #[test]
+    fn eta_prime_lattice_satisfies_the_lattice_laws() {
+        let l = TaxiLatticeEtaPrime::new();
+        let alphabet = queue_alphabet(&[1, 2]);
+        let check = check_reverse_inclusion_lattice(&l, &alphabet, 4);
+        assert!(check.is_ok(), "violations: {:?}", check.violations);
+    }
+
+    #[test]
+    fn top_agrees_with_eta_lattice_and_pq() {
+        // With a serial dependency relation the evaluation function is
+        // irrelevant: both tops equal the priority queue.
+        let alphabet = queue_alphabet(&[1, 2]);
+        let top = TaxiLatticeEtaPrime::new().qca(TaxiPoint { q1: true, q2: true });
+        assert!(equal_upto(&top, &PQueueAutomaton::new(), &alphabet, 5).is_ok());
+    }
+
+    #[test]
+    fn q2_point_is_the_discarding_queue() {
+        let alphabet = queue_alphabet(&[1, 2, 3]);
+        let relaxed = TaxiLatticeEtaPrime::new().qca(TaxiPoint { q1: false, q2: true });
+        assert!(
+            equal_upto(&relaxed, &DiscardingPqAutomaton::new(), &alphabet, 4).is_ok(),
+            "QCA(PQ, Q2, η′) should equal the discarding priority queue"
+        );
+    }
+
+    #[test]
+    fn eta_prime_is_strictly_stronger_than_eta_at_q2() {
+        // L(QCA(PQ,Q2,η′)) ⊊ L(QCA(PQ,Q2,η)): η′ never lets a skipped
+        // request be serviced later.
+        let alphabet = queue_alphabet(&[1, 2]);
+        let point = TaxiPoint { q1: false, q2: true };
+        let eta = TaxiLattice::new().qca(point);
+        let eta_prime = TaxiLatticeEtaPrime::new().qca(point);
+        assert!(included_upto(&eta_prime, &eta, &alphabet, 5).is_ok());
+        let skipped_then_served = History::from(vec![
+            QueueOp::Enq(2),
+            QueueOp::Enq(1),
+            QueueOp::Deq(1),
+            QueueOp::Deq(2),
+        ]);
+        assert!(eta.accepts(&skipped_then_served));
+        assert!(!eta_prime.accepts(&skipped_then_served));
+    }
+
+    #[test]
+    fn starvation_is_the_price_of_order() {
+        // η′ ignores the skipped request entirely: after serving 1 with 2
+        // pending, no continuation ever serves 2.
+        let eta_prime = TaxiLatticeEtaPrime::new().qca(TaxiPoint { q1: false, q2: true });
+        let h = History::from(vec![QueueOp::Enq(2), QueueOp::Enq(1), QueueOp::Deq(1)]);
+        assert!(eta_prime.accepts(&h));
+        assert!(!eta_prime.accepts(&h.appended(QueueOp::Deq(2))));
+    }
+}

@@ -1,0 +1,6 @@
+//! The paper's three prebuilt relaxation lattices.
+
+pub mod account;
+pub mod eta_prime;
+pub mod semiqueue;
+pub mod taxi;

@@ -1,0 +1,245 @@
+//! The probabilistic interface (§2.3, §3.3).
+//!
+//! "For many applications, an additional probabilistic model would be
+//! used to characterize the likelihood that certain sets of constraints
+//! would be satisfied. … a strength of the relaxation method approach is
+//! that it can specify functional behavior independently of probabilistic
+//! behavior, while still providing a clean interface between the two
+//! domains."
+//!
+//! This module supplies that interface:
+//!
+//! * [`ConstraintModel`] — assigns probabilities to constraint sets;
+//! * [`top_n_miss_analytic`] / [`top_n_miss_monte_carlo`] — the worked
+//!   example of §3.3: with each queue operation satisfying `Q1` with
+//!   independent probability 0.9 (and `Q2` certain), "the likelihood a
+//!   Deq will fail to return an item whose priority is within the top n
+//!   is `(0.1)^n`";
+//! * [`MarkovChain`] — a small Markov model over constraint states with
+//!   stationary-distribution computation, for long-run expected-behavior
+//!   calculations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use relax_automata::ConstraintSet;
+
+/// A probabilistic model over constraint sets: the likelihood that the
+/// environment currently satisfies exactly `c`.
+pub trait ConstraintModel {
+    /// `P(environment satisfies exactly c)`. Implementations should form
+    /// a distribution over their universe's domain.
+    fn probability(&self, c: ConstraintSet) -> f64;
+
+    /// Expected value of `f` over the model, given the domain to sum
+    /// over.
+    fn expectation(&self, domain: &[ConstraintSet], f: impl Fn(ConstraintSet) -> f64) -> f64 {
+        domain.iter().map(|&c| self.probability(c) * f(c)).sum()
+    }
+}
+
+/// An independent-constraints model: constraint `i` holds with
+/// probability `p[i]`, independently.
+#[derive(Debug, Clone)]
+pub struct IndependentConstraints {
+    probabilities: Vec<f64>,
+}
+
+impl IndependentConstraints {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(probabilities: Vec<f64>) -> Self {
+        assert!(
+            probabilities.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probabilities must be in [0, 1]"
+        );
+        IndependentConstraints { probabilities }
+    }
+}
+
+impl ConstraintModel for IndependentConstraints {
+    fn probability(&self, c: ConstraintSet) -> f64 {
+        self.probabilities
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if c.contains(relax_automata::ConstraintId(i)) {
+                    *p
+                } else {
+                    1.0 - *p
+                }
+            })
+            .product()
+    }
+}
+
+/// §3.3's analytic claim: if each of the top `n` requests is visible to a
+/// Deq independently with probability `p_visible`, the probability the
+/// Deq returns something *outside* the top `n` (or nothing) is
+/// `(1 - p_visible)^n` — `0.1^n` at the paper's `p = 0.9`.
+pub fn top_n_miss_analytic(p_visible: f64, n: u32) -> f64 {
+    (1.0 - p_visible).powi(n as i32)
+}
+
+/// Monte Carlo counterpart: `items` pending requests with distinct
+/// priorities, each visible to the Deq independently with probability
+/// `p_visible`; the Deq returns the best visible request. Counts trials
+/// where the returned request ranks outside the top `n` (no visible
+/// request counts as a miss).
+pub fn top_n_miss_monte_carlo(
+    p_visible: f64,
+    n: u32,
+    items: u32,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    assert!(items >= n, "need at least n items");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut misses = 0u32;
+    for _ in 0..trials {
+        // Ranks 0 (best) … items-1; find the best visible rank.
+        let mut best_visible: Option<u32> = None;
+        for rank in 0..items {
+            if rng.gen::<f64>() < p_visible {
+                best_visible = Some(rank);
+                break;
+            }
+        }
+        match best_visible {
+            Some(rank) if rank < n => {}
+            _ => misses += 1,
+        }
+    }
+    f64::from(misses) / f64::from(trials)
+}
+
+/// A finite Markov chain over abstract states (rows of the transition
+/// matrix), used to model environments whose constraint state evolves
+/// stochastically (crash/repair processes).
+#[derive(Debug, Clone)]
+pub struct MarkovChain {
+    transition: Vec<Vec<f64>>,
+}
+
+impl MarkovChain {
+    /// Builds a chain from a row-stochastic matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or rows do not sum to 1 (within
+    /// 1e-9).
+    pub fn new(transition: Vec<Vec<f64>>) -> Self {
+        let n = transition.len();
+        for row in &transition {
+            assert_eq!(row.len(), n, "matrix must be square");
+            let sum: f64 = row.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "rows must sum to 1 (got {sum})"
+            );
+        }
+        MarkovChain { transition }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.transition.len()
+    }
+
+    /// True for the empty chain.
+    pub fn is_empty(&self) -> bool {
+        self.transition.is_empty()
+    }
+
+    /// One step of the distribution.
+    pub fn step(&self, dist: &[f64]) -> Vec<f64> {
+        let n = self.len();
+        let mut out = vec![0.0; n];
+        for (i, &p) in dist.iter().enumerate() {
+            for (j, out_j) in out.iter_mut().enumerate() {
+                *out_j += p * self.transition[i][j];
+            }
+        }
+        out
+    }
+
+    /// The stationary distribution by power iteration from uniform.
+    /// Converges for irreducible aperiodic chains; iteration count is
+    /// fixed and documented rather than adaptive (deterministic output).
+    pub fn stationary(&self, iterations: u32) -> Vec<f64> {
+        let n = self.len();
+        let mut dist = vec![1.0 / n as f64; n];
+        for _ in 0..iterations {
+            dist = self.step(&dist);
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_automata::ConstraintUniverse;
+
+    #[test]
+    fn analytic_matches_paper_numbers() {
+        // The paper's example: p = 0.9 ⇒ miss(n) = 0.1^n.
+        assert!((top_n_miss_analytic(0.9, 1) - 0.1).abs() < 1e-12);
+        assert!((top_n_miss_analytic(0.9, 2) - 0.01).abs() < 1e-12);
+        assert!((top_n_miss_analytic(0.9, 3) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_converges_to_analytic() {
+        for n in 1..=3 {
+            let analytic = top_n_miss_analytic(0.9, n);
+            let simulated = top_n_miss_monte_carlo(0.9, n, 20, 200_000, 42);
+            assert!(
+                (analytic - simulated).abs() < analytic * 0.2 + 0.0005,
+                "n={n}: analytic {analytic}, simulated {simulated}"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_model_is_a_distribution() {
+        let u = ConstraintUniverse::new(["Q1", "Q2"]);
+        let m = IndependentConstraints::new(vec![0.9, 1.0]);
+        let total: f64 = u.subsets().map(|c| m.probability(c)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Q2 certain: sets without Q2 have probability 0.
+        assert_eq!(m.probability(u.set_of(&["Q1"])), 0.0);
+        assert!((m.probability(u.full_set()) - 0.9).abs() < 1e-12);
+        assert!((m.probability(u.set_of(&["Q2"])) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_weights_by_probability() {
+        let u = ConstraintUniverse::new(["Q1"]);
+        let m = IndependentConstraints::new(vec![0.75]);
+        let domain: Vec<_> = u.subsets().collect();
+        // f = 1 when Q1 holds else 0 → expectation = 0.75.
+        let q1 = u.id("Q1").unwrap();
+        let e = m.expectation(&domain, |c| if c.contains(q1) { 1.0 } else { 0.0 });
+        assert!((e - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn markov_stationary_two_state() {
+        // Crash/repair chain: up → down with 0.1, down → up with 0.5.
+        // Stationary: up = 5/6, down = 1/6.
+        let chain = MarkovChain::new(vec![vec![0.9, 0.1], vec![0.5, 0.5]]);
+        let pi = chain.stationary(200);
+        assert!((pi[0] - 5.0 / 6.0).abs() < 1e-9);
+        assert!((pi[1] - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn non_stochastic_matrix_panics() {
+        MarkovChain::new(vec![vec![0.5, 0.2], vec![0.5, 0.5]]);
+    }
+}

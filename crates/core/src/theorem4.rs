@@ -1,0 +1,179 @@
+//! Bounded verification of Theorem 4 and its siblings (§3.3).
+//!
+//! **Theorem 4.** `L(QCA(PQ, Q1, η)) = L(MPQ)`.
+//!
+//! The paper proves this by induction on history length; this module
+//! checks both inclusions exhaustively for all histories up to a length
+//! bound over a finite item alphabet — exercising every case of the
+//! induction — and does the same for the other lattice points:
+//! `{Q1, Q2} ↔ PQ`, `{Q2} ↔ OPQ`, `∅ ↔ DegenPQ`.
+
+use relax_automata::{equal_upto, language_upto, History, LanguageDifference};
+use relax_queues::{queue_alphabet, Item, QueueOp};
+
+use crate::lattices::taxi::{TaxiLattice, TaxiPoint};
+
+/// Verification result for one lattice point.
+#[derive(Debug, Clone)]
+pub struct PointVerification {
+    /// Which point was verified.
+    pub point: TaxiPoint,
+    /// The reference behavior's name.
+    pub behavior: &'static str,
+    /// Number of histories in the (common) language up to the bound.
+    pub language_size: usize,
+    /// `None` if the languages agree up to the bound; otherwise the
+    /// difference.
+    pub difference: Option<LanguageDifference<QueueOp>>,
+}
+
+impl PointVerification {
+    /// Did this point verify?
+    pub fn holds(&self) -> bool {
+        self.difference.is_none()
+    }
+}
+
+/// Verification of the whole taxi lattice.
+#[derive(Debug, Clone)]
+pub struct TaxiVerification {
+    /// Per-point results, strongest point first.
+    pub points: Vec<PointVerification>,
+    /// The item alphabet used.
+    pub items: Vec<Item>,
+    /// The history-length bound used.
+    pub max_len: usize,
+}
+
+impl TaxiVerification {
+    /// Did every point verify?
+    pub fn holds(&self) -> bool {
+        self.points.iter().all(PointVerification::holds)
+    }
+
+    /// The Theorem-4 point (`{Q1}` ↔ MPQ) specifically.
+    pub fn theorem_4(&self) -> &PointVerification {
+        self.points
+            .iter()
+            .find(|p| p.point.q1 && !p.point.q2)
+            .expect("all four points are present")
+    }
+}
+
+/// Runs the bounded verification: for each of the four lattice points,
+/// checks `L(QCA(PQ, R, η)) = L(reference)` for histories of length
+/// ≤ `max_len` over `items`.
+pub fn verify_taxi_lattice(items: &[Item], max_len: usize) -> TaxiVerification {
+    let lattice = TaxiLattice::new();
+    let alphabet = queue_alphabet(items);
+    let mut points = Vec::new();
+    for point in TaxiPoint::all() {
+        let qca = lattice.qca(point);
+        let reference = lattice.reference(point);
+        let difference = equal_upto(&qca, &reference, &alphabet, max_len).err();
+        let language_size = language_upto(&qca, &alphabet, max_len).len();
+        points.push(PointVerification {
+            point,
+            behavior: point.behavior_name(),
+            language_size,
+            difference,
+        });
+    }
+    TaxiVerification {
+        points,
+        items: items.to_vec(),
+        max_len,
+    }
+}
+
+/// A hand-checkable witness for the *strictness* of the lattice: a
+/// history separating each relaxed point from the preferred behavior.
+pub fn separating_histories() -> Vec<(TaxiPoint, History<QueueOp>)> {
+    vec![
+        (
+            // MPQ but not PQ: duplicate service.
+            TaxiPoint { q1: true, q2: false },
+            History::from(vec![QueueOp::Enq(1), QueueOp::Deq(1), QueueOp::Deq(1)]),
+        ),
+        (
+            // OPQ but not PQ: out-of-order service.
+            TaxiPoint { q1: false, q2: true },
+            History::from(vec![QueueOp::Enq(1), QueueOp::Enq(2), QueueOp::Deq(1)]),
+        ),
+        (
+            // DegenPQ but neither MPQ nor OPQ: out-of-order *and*
+            // duplicate.
+            TaxiPoint { q1: false, q2: false },
+            History::from(vec![
+                QueueOp::Enq(1),
+                QueueOp::Enq(2),
+                QueueOp::Deq(1),
+                QueueOp::Deq(1),
+            ]),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use relax_automata::{random_history, ObjectAutomaton};
+    use relax_queues::{Eta, Eval, MpqAutomaton};
+
+    #[test]
+    fn theorem_4_holds_within_bound() {
+        let v = verify_taxi_lattice(&[1, 2], 5);
+        assert!(v.holds(), "some point failed: {:?}", v.points);
+        assert!(v.theorem_4().holds());
+        assert_eq!(v.theorem_4().behavior, "multi-priority queue");
+    }
+
+    #[test]
+    fn language_sizes_grow_down_the_lattice() {
+        let v = verify_taxi_lattice(&[1, 2], 4);
+        let preferred = v.points[0].language_size;
+        for p in &v.points[1..] {
+            assert!(
+                p.language_size >= preferred,
+                "{:?} smaller than preferred",
+                p.point
+            );
+        }
+        // The bottom is strictly the largest.
+        let bottom = v
+            .points
+            .iter()
+            .find(|p| !p.point.q1 && !p.point.q2)
+            .unwrap();
+        assert!(bottom.language_size > preferred);
+    }
+
+    proptest! {
+        /// The key lemma inside Theorem 4's proof: MPQ's postconditions
+        /// completely determine the new value (δ* is single-valued on
+        /// L(MPQ)), and the projection α(m) = m.present commutes with the
+        /// evaluation function: α(δ*(H)) = η(H) for all H ∈ L(MPQ).
+        #[test]
+        fn alpha_commutes_with_eta_on_mpq_histories(seed in 0u64..300, len in 0usize..12) {
+            let mpq = MpqAutomaton::new();
+            let alphabet = relax_queues::queue_alphabet(&[1, 2, 3]);
+            let h = random_history(&mpq, &alphabet, len, seed);
+            let states = mpq.delta_star(&h);
+            prop_assert_eq!(states.len(), 1, "δ* not single-valued on {}", h);
+            let m = states.into_iter().next().expect("len checked");
+            prop_assert_eq!(m.alpha(), &Eta.eval(h.ops()), "α∘δ* ≠ η on {}", h);
+        }
+    }
+
+    #[test]
+    fn separating_histories_separate() {
+        let lattice = TaxiLattice::new();
+        let preferred = lattice.qca(TaxiPoint { q1: true, q2: true });
+        for (point, h) in separating_histories() {
+            let relaxed = lattice.qca(point);
+            assert!(relaxed.accepts(&h), "{point:?} should accept {h}");
+            assert!(!preferred.accepts(&h), "preferred should reject {h}");
+        }
+    }
+}

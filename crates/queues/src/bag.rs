@@ -1,0 +1,264 @@
+//! The Bag (multiset) value type and automaton — Figures 2-1 and 2-2.
+//!
+//! `Bag` mirrors the trait operators of Figure 2-1: `emp`, `ins`, `del`,
+//! `isEmp`, `isIn`, with multiset semantics (duplicates counted). The
+//! automaton of Figure 2-2 enqueues by insertion and dequeues *some*
+//! present item — the nondeterminism appears here as acceptance of any
+//! `Deq()/Ok(e)` with `e` present.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use relax_automata::ObjectAutomaton;
+
+use crate::ops::{Item, QueueOp};
+
+/// A multiset over an ordered element type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Bag<T: Ord> {
+    counts: BTreeMap<T, usize>,
+}
+
+impl<T: Ord> Bag<T> {
+    /// `emp`: the empty bag.
+    pub fn new() -> Self {
+        Bag {
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// `ins(b, e)`: adds one occurrence of `e`.
+    pub fn ins(&mut self, item: T) {
+        *self.counts.entry(item).or_insert(0) += 1;
+    }
+
+    /// `del(b, e)`: removes one occurrence of `e` if present (identity
+    /// otherwise, exactly like the trait's `del(emp, e) = emp`).
+    pub fn del(&mut self, item: &T) {
+        if let Some(n) = self.counts.get_mut(item) {
+            *n -= 1;
+            if *n == 0 {
+                self.counts.remove(item);
+            }
+        }
+    }
+
+    /// `isEmp(b)`.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// `isIn(b, e)`.
+    pub fn contains(&self, item: &T) -> bool {
+        self.counts.contains_key(item)
+    }
+
+    /// The number of occurrences of `e`.
+    pub fn count(&self, item: &T) -> usize {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// Total number of items (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// The greatest element (`best` of Figure 3-1, under `Ord`).
+    pub fn best(&self) -> Option<&T> {
+        self.counts.keys().next_back()
+    }
+
+    /// Iterates over `(item, count)` pairs in ascending item order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, usize)> {
+        self.counts.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Iterates over items with multiplicity, ascending.
+    pub fn items(&self) -> impl Iterator<Item = &T> {
+        self.counts
+            .iter()
+            .flat_map(|(k, v)| std::iter::repeat_n(k, *v))
+    }
+
+    /// A copy with one occurrence of `item` added (builder-style
+    /// convenience for constructing test values).
+    #[must_use]
+    pub fn inserted(mut self, item: T) -> Self {
+        self.ins(item);
+        self
+    }
+
+    /// A copy with one occurrence of `item` removed.
+    #[must_use]
+    pub fn deleted(mut self, item: &T) -> Self {
+        self.del(item);
+        self
+    }
+}
+
+impl<T: Ord> FromIterator<T> for Bag<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut b = Bag::new();
+        for x in iter {
+            b.ins(x);
+        }
+        b
+    }
+}
+
+impl<T: Ord> Extend<T> for Bag<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for x in iter {
+            self.ins(x);
+        }
+    }
+}
+
+impl<T: Ord + fmt::Display> fmt::Display for Bag<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{|")?;
+        let mut first = true;
+        for (item, count) in self.counts.iter() {
+            for _ in 0..*count {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{item}")?;
+                first = false;
+            }
+        }
+        write!(f, "|}}")
+    }
+}
+
+/// The bag automaton of Figure 2-2: `Enq` inserts, `Deq` removes some
+/// present item.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BagAutomaton;
+
+impl BagAutomaton {
+    /// Creates the automaton.
+    pub fn new() -> Self {
+        BagAutomaton
+    }
+}
+
+impl ObjectAutomaton for BagAutomaton {
+    type State = Bag<Item>;
+    type Op = QueueOp;
+
+    fn initial_state(&self) -> Bag<Item> {
+        Bag::new()
+    }
+
+    fn step(&self, s: &Bag<Item>, op: &QueueOp) -> Vec<Bag<Item>> {
+        match op {
+            QueueOp::Enq(e) => vec![s.clone().inserted(*e)],
+            QueueOp::Deq(e) => {
+                if s.contains(e) {
+                    vec![s.clone().deleted(e)]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use relax_automata::History;
+
+    #[test]
+    fn bag_basics() {
+        let mut b = Bag::new();
+        assert!(b.is_empty());
+        b.ins(3);
+        b.ins(3);
+        b.ins(5);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.count(&3), 2);
+        assert!(b.contains(&5));
+        b.del(&3);
+        assert_eq!(b.count(&3), 1);
+        b.del(&9); // deleting absent item is identity
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn paper_del_ins_ins_equation() {
+        // del(ins(ins(emp, 3), 3), 3) = ins(emp, 3)
+        let lhs = Bag::new().inserted(3).inserted(3).deleted(&3);
+        let rhs = Bag::new().inserted(3);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn best_is_maximum() {
+        let b: Bag<i64> = [4, 9, 2].into_iter().collect();
+        assert_eq!(b.best(), Some(&9));
+        assert_eq!(Bag::<i64>::new().best(), None);
+    }
+
+    #[test]
+    fn display_shows_multiplicity() {
+        let b: Bag<i64> = [2, 1, 2].into_iter().collect();
+        assert_eq!(b.to_string(), "{|1, 2, 2|}");
+        assert_eq!(Bag::<i64>::new().to_string(), "{||}");
+    }
+
+    #[test]
+    fn automaton_accepts_any_present_deq() {
+        let a = BagAutomaton::new();
+        let h = History::from(vec![QueueOp::Enq(1), QueueOp::Enq(2), QueueOp::Deq(2)]);
+        assert!(a.accepts(&h));
+        let h2 = History::from(vec![QueueOp::Enq(1), QueueOp::Deq(2)]);
+        assert!(!a.accepts(&h2));
+    }
+
+    #[test]
+    fn automaton_tracks_multiset_state() {
+        let a = BagAutomaton::new();
+        let h = History::from(vec![
+            QueueOp::Enq(1),
+            QueueOp::Enq(1),
+            QueueOp::Deq(1),
+        ]);
+        let states = a.delta_star(&h);
+        assert_eq!(states.len(), 1);
+        let s = states.into_iter().next().unwrap();
+        assert_eq!(s.count(&1), 1);
+    }
+
+    proptest! {
+        /// ins then del of the same item is the identity.
+        #[test]
+        fn ins_del_roundtrip(items in proptest::collection::vec(-20i64..20, 0..30), x in -20i64..20) {
+            let b: Bag<i64> = items.into_iter().collect();
+            let b2 = b.clone().inserted(x).deleted(&x);
+            prop_assert_eq!(b, b2);
+        }
+
+        /// Insertion order is irrelevant (multiset semantics).
+        #[test]
+        fn insertion_order_irrelevant(mut items in proptest::collection::vec(-20i64..20, 0..30)) {
+            let a: Bag<i64> = items.iter().copied().collect();
+            items.reverse();
+            let b: Bag<i64> = items.into_iter().collect();
+            prop_assert_eq!(a, b);
+        }
+
+        /// len equals the sum of counts and is decremented by del of a
+        /// present item.
+        #[test]
+        fn len_tracks_del(items in proptest::collection::vec(-5i64..5, 1..20)) {
+            let b: Bag<i64> = items.iter().copied().collect();
+            let x = items[0];
+            let before = b.len();
+            let b2 = b.deleted(&x);
+            prop_assert_eq!(b2.len(), before - 1);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The discarding priority queue — the reference behavior for the
+//! alternative evaluation function `η′` of §3.3.
+//!
+//! "We might equally well have chosen an evaluation function η′ that
+//! deletes higher-priority requests that had been skipped over in favor
+//! of lower-priority requests. The resulting lattice would produce a
+//! different set of relaxed behaviors: unlike QCA(PQ, Q2, η), QCA(PQ,
+//! Q2, η′) never services requests out of order, but it could ignore
+//! certain requests."
+//!
+//! The key observation: under `Q2` every later `Deq` sees every earlier
+//! `Deq`, and replaying an earlier `Deq(e)` through `η′` deletes every
+//! *visible* pending request above `e` — whether or not that request's
+//! `Enq` is in the later view, the request can never be returned again.
+//! So the behavior is: `Deq(e)` returns some pending request `e` and
+//! discards every pending request with priority above `e` (they are
+//! "skipped over" permanently). This automaton captures exactly that; the
+//! bounded equality `L(QCA(PQ, Q2, η′)) = L(DiscardingPQ)` is verified in
+//! `relax-core`.
+
+use relax_automata::ObjectAutomaton;
+
+use crate::bag::Bag;
+use crate::ops::{Item, QueueOp};
+
+/// The discarding priority queue automaton: `Deq(e)` requires `e`
+/// pending, removes it, and discards everything better.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiscardingPqAutomaton;
+
+impl DiscardingPqAutomaton {
+    /// Creates the automaton.
+    pub fn new() -> Self {
+        DiscardingPqAutomaton
+    }
+}
+
+impl ObjectAutomaton for DiscardingPqAutomaton {
+    type State = Bag<Item>;
+    type Op = QueueOp;
+
+    fn initial_state(&self) -> Bag<Item> {
+        Bag::new()
+    }
+
+    fn step(&self, s: &Bag<Item>, op: &QueueOp) -> Vec<Bag<Item>> {
+        match op {
+            QueueOp::Enq(e) => vec![s.clone().inserted(*e)],
+            QueueOp::Deq(e) => {
+                if !s.contains(e) {
+                    return vec![];
+                }
+                let mut next = s.clone().deleted(e);
+                let better: Vec<Item> =
+                    next.iter().map(|(x, _)| *x).filter(|x| x > e).collect();
+                for x in better {
+                    while next.contains(&x) {
+                        next.del(&x);
+                    }
+                }
+                vec![next]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_automata::{included_upto, History};
+
+    use crate::ops::queue_alphabet;
+    use crate::pqueue::PQueueAutomaton;
+
+    #[test]
+    fn serving_low_discards_high() {
+        let a = DiscardingPqAutomaton::new();
+        // Serve 2 while 9 pends: allowed, but 9 is now gone forever.
+        let h = History::from(vec![QueueOp::Enq(9), QueueOp::Enq(2), QueueOp::Deq(2)]);
+        assert!(a.accepts(&h));
+        assert!(!a.accepts(&h.appended(QueueOp::Deq(9))));
+    }
+
+    #[test]
+    fn never_out_of_order_among_served() {
+        // Once 2 was served, anything served later from the old pool is ≤ 2;
+        // but a *newer* high-priority request can still be served.
+        let a = DiscardingPqAutomaton::new();
+        let h = History::from(vec![
+            QueueOp::Enq(9),
+            QueueOp::Enq(2),
+            QueueOp::Deq(2),
+            QueueOp::Enq(7), // arrives after the skip
+            QueueOp::Deq(7),
+        ]);
+        assert!(a.accepts(&h));
+    }
+
+    #[test]
+    fn no_duplicate_service() {
+        let a = DiscardingPqAutomaton::new();
+        let h = History::from(vec![QueueOp::Enq(1), QueueOp::Deq(1), QueueOp::Deq(1)]);
+        assert!(!a.accepts(&h));
+    }
+
+    #[test]
+    fn preferred_behavior_included() {
+        // Best-first service never discards anything, so every PQ history
+        // is a DiscardingPQ history.
+        let alphabet = queue_alphabet(&[1, 2, 3]);
+        assert!(included_upto(
+            &PQueueAutomaton::new(),
+            &DiscardingPqAutomaton::new(),
+            &alphabet,
+            5
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn incomparable_with_opq() {
+        // OPQ allows out-of-order service *and later* serving the skipped
+        // item; DiscardingPQ forbids the latter but both allow the former.
+        let a = DiscardingPqAutomaton::new();
+        let serve_skipped_later = History::from(vec![
+            QueueOp::Enq(9),
+            QueueOp::Enq(2),
+            QueueOp::Deq(2),
+            QueueOp::Deq(9),
+        ]);
+        assert!(!a.accepts(&serve_skipped_later));
+        assert!(crate::opq::OpqAutomaton::new().accepts(&serve_skipped_later));
+    }
+}

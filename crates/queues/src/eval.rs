@@ -1,0 +1,220 @@
+//! Evaluation functions `η` — §3.2–§3.3.
+//!
+//! A quorum consensus automaton `QCA(A, Q, η)` carries an *evaluation
+//! function* `η : STATE × OP* → 2^STATE` that agrees with `δ*` on legal
+//! histories of `A` but assigns an application-specific meaning to
+//! arbitrary histories (which arise when quorum constraints are relaxed
+//! and a client's view is missing operations).
+//!
+//! The paper's `η` for the taxi queue (§3.3) treats the view as a bag:
+//!
+//! ```text
+//! η(Λ)                 = emp
+//! η(H · Enq(e)/Ok())   = ins(η(H), e)
+//! η(H · Deq()/Ok(e))   = del(η(H), e)
+//! ```
+//!
+//! "This particular choice of η implies that each driver will dequeue the
+//! highest-priority request that appears not to have been served." The
+//! alternative `η′` instead *discards* skipped-over higher-priority
+//! requests: a lattice built from `η′` never services requests out of
+//! order but may ignore requests entirely.
+//!
+//! Implementations here are deterministic (single-valued), which is all
+//! the paper's examples need; the trait returns a single value.
+
+use std::hash::Hash;
+
+use crate::bag::Bag;
+use crate::ops::{AccountOp, Item, QueueOp};
+
+/// A deterministic, total evaluation function over operation sequences.
+pub trait Eval {
+    /// The value domain (the object's abstract state).
+    type Value: Clone + Eq + Hash + std::fmt::Debug;
+    /// The operation-execution type.
+    type Op;
+
+    /// `η` at the empty history.
+    fn initial(&self) -> Self::Value;
+
+    /// Extends the evaluation by one operation. Must be **total**: defined
+    /// even for operation sequences that are not legal histories of the
+    /// underlying automaton.
+    fn apply(&self, value: &Self::Value, op: &Self::Op) -> Self::Value;
+
+    /// `η(H)`: folds [`Eval::apply`] over a history given as a slice of
+    /// operations.
+    fn eval(&self, ops: &[Self::Op]) -> Self::Value {
+        let mut v = self.initial();
+        for op in ops {
+            v = self.apply(&v, op);
+        }
+        v
+    }
+}
+
+/// The paper's `η` for priority queues: views are bags, `Enq` inserts,
+/// `Deq` deletes (deleting an absent item is the identity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Eta;
+
+impl Eval for Eta {
+    type Value = Bag<Item>;
+    type Op = QueueOp;
+
+    fn initial(&self) -> Bag<Item> {
+        Bag::new()
+    }
+
+    fn apply(&self, value: &Bag<Item>, op: &QueueOp) -> Bag<Item> {
+        match op {
+            QueueOp::Enq(e) => value.clone().inserted(*e),
+            QueueOp::Deq(e) => value.clone().deleted(e),
+        }
+    }
+}
+
+/// The alternative `η′` of §3.3: a `Deq(e)` additionally deletes every
+/// pending request with priority higher than `e` (they were "skipped
+/// over" and will never be serviced). The resulting relaxed behaviors
+/// never service requests out of order but may ignore requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EtaPrime;
+
+impl Eval for EtaPrime {
+    type Value = Bag<Item>;
+    type Op = QueueOp;
+
+    fn initial(&self) -> Bag<Item> {
+        Bag::new()
+    }
+
+    fn apply(&self, value: &Bag<Item>, op: &QueueOp) -> Bag<Item> {
+        match op {
+            QueueOp::Enq(e) => value.clone().inserted(*e),
+            QueueOp::Deq(e) => {
+                let mut v = value.clone().deleted(e);
+                let higher: Vec<Item> =
+                    v.iter().map(|(x, _)| *x).filter(|x| x > e).collect();
+                for x in higher {
+                    while v.contains(&x) {
+                        v.del(&x);
+                    }
+                }
+                v
+            }
+        }
+    }
+}
+
+/// Evaluation for bank accounts (§3.4): the view's balance is credits
+/// minus successful debits. Totality means a view missing credits can
+/// evaluate to a *negative* running balance; preconditions (checked
+/// against the view by the QCA construction) are what keep actual
+/// responses consistent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccountEval;
+
+impl Eval for AccountEval {
+    type Value = i64;
+    type Op = AccountOp;
+
+    fn initial(&self) -> i64 {
+        0
+    }
+
+    fn apply(&self, value: &i64, op: &AccountOp) -> i64 {
+        match op {
+            AccountOp::Credit(n) => value + i64::from(*n),
+            AccountOp::DebitOk(n) => value - i64::from(*n),
+            AccountOp::DebitOverdraft(_) => *value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use relax_automata::{History, ObjectAutomaton};
+
+    use crate::pqueue::PQueueAutomaton;
+
+    #[test]
+    fn eta_on_legal_history_matches_pq_delta_star() {
+        // η agrees with the priority queue's transition function on legal
+        // histories (§3.3).
+        let h = History::from(vec![
+            QueueOp::Enq(2),
+            QueueOp::Enq(9),
+            QueueOp::Deq(9),
+        ]);
+        let pq_states = PQueueAutomaton::new().delta_star(&h);
+        assert_eq!(pq_states.len(), 1);
+        assert_eq!(
+            Eta.eval(h.ops()),
+            pq_states.into_iter().next().unwrap()
+        );
+    }
+
+    #[test]
+    fn eta_total_on_illegal_histories() {
+        // Deq of an item never enqueued: η is still defined.
+        let v = Eta.eval(&[QueueOp::Deq(5), QueueOp::Enq(1)]);
+        assert_eq!(v, Bag::new().inserted(1));
+    }
+
+    #[test]
+    fn eta_prime_discards_skipped_requests() {
+        // Pending {2, 9}; Deq(2) skips 9, which η′ deletes.
+        let v = EtaPrime.eval(&[QueueOp::Enq(2), QueueOp::Enq(9), QueueOp::Deq(2)]);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn eta_prime_keeps_lower_priority() {
+        let v = EtaPrime.eval(&[QueueOp::Enq(2), QueueOp::Enq(9), QueueOp::Deq(9)]);
+        assert_eq!(v, Bag::new().inserted(2));
+    }
+
+    #[test]
+    fn account_eval_runs_balance() {
+        let ops = [
+            AccountOp::Credit(10),
+            AccountOp::DebitOk(3),
+            AccountOp::DebitOverdraft(100),
+        ];
+        assert_eq!(AccountEval.eval(&ops), 7);
+    }
+
+    #[test]
+    fn account_eval_can_go_negative_on_partial_views() {
+        // A view missing the credit: totality requires a value anyway.
+        let ops = [AccountOp::DebitOk(5)];
+        assert_eq!(AccountEval.eval(&ops), -5);
+    }
+
+    proptest! {
+        /// η and η′ agree on histories with no Deq at all.
+        #[test]
+        fn etas_agree_on_enq_only(items in proptest::collection::vec(-10i64..10, 0..15)) {
+            let ops: Vec<QueueOp> = items.iter().map(|&e| QueueOp::Enq(e)).collect();
+            prop_assert_eq!(Eta.eval(&ops), EtaPrime.eval(&ops));
+        }
+
+        /// η′'s result is always a sub-bag of η's.
+        #[test]
+        fn eta_prime_subset_of_eta(raw in proptest::collection::vec((0u8..2, -5i64..5), 0..15)) {
+            let ops: Vec<QueueOp> = raw
+                .into_iter()
+                .map(|(k, e)| if k == 0 { QueueOp::Enq(e) } else { QueueOp::Deq(e) })
+                .collect();
+            let full = Eta.eval(&ops);
+            let trimmed = EtaPrime.eval(&ops);
+            for (item, count) in trimmed.iter() {
+                prop_assert!(full.count(item) >= count);
+            }
+        }
+    }
+}

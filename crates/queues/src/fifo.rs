@@ -1,0 +1,261 @@
+//! The FIFO queue value type and automaton — Figures 2-3 and 2-4.
+//!
+//! `Fifo` is a sequence with `first`/`rest` observers as in the FifoQ
+//! trait. Note the trait builds queues with the *same* constructors as
+//! bags (`emp`, `ins`); what differs is the operations' pre/postconditions
+//! (§2.4). `del` removes the **most recently inserted** occurrence of an
+//! item, matching the algebraic `del(ins(b, e), e1) = if e = e1 then b
+//! else …`, which recurses from the newest end.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use relax_automata::ObjectAutomaton;
+
+use crate::ops::{Item, QueueOp};
+
+/// A FIFO sequence; the front is the oldest element (`first`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+}
+
+impl<T> Fifo<T> {
+    /// `emp`: the empty queue.
+    pub fn new() -> Self {
+        Fifo {
+            items: VecDeque::new(),
+        }
+    }
+
+    /// `ins(q, e)`: appends at the back (newest end).
+    pub fn ins(&mut self, item: T) {
+        self.items.push_back(item);
+    }
+
+    /// `first(q)`: the oldest element.
+    pub fn first(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// `rest(q)` in place: drops the oldest element. No effect on an empty
+    /// queue (the trait's `rest` is undefined there; callers check
+    /// emptiness first).
+    pub fn pop_first(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// `isEmp(q)`.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// The first `k` elements (oldest-first) — the `prefix(q, k)` of
+    /// Figure 4-1, as a slice iterator rather than a set.
+    pub fn prefix(&self, k: usize) -> impl Iterator<Item = &T> {
+        self.items.iter().take(k)
+    }
+}
+
+impl<T: PartialEq> Fifo<T> {
+    /// `isIn(q, e)`.
+    pub fn contains(&self, item: &T) -> bool {
+        self.items.contains(item)
+    }
+
+    /// `del(q, e)`: removes the most recently inserted occurrence of
+    /// `item`, if any (see module docs for why the newest).
+    pub fn del(&mut self, item: &T) {
+        if let Some(pos) = self.items.iter().rposition(|x| x == item) {
+            self.items.remove(pos);
+        }
+    }
+
+    /// Position (0 = oldest) of the oldest occurrence of `item`.
+    pub fn position(&self, item: &T) -> Option<usize> {
+        self.items.iter().position(|x| x == item)
+    }
+}
+
+impl<T: Clone> Fifo<T> {
+    /// A copy with `item` appended.
+    #[must_use]
+    pub fn inserted(mut self, item: T) -> Self {
+        self.ins(item);
+        self
+    }
+
+    /// `rest(q)` as a copy: the queue without its oldest element.
+    #[must_use]
+    pub fn rest(&self) -> Self {
+        let mut q = self.clone();
+        q.pop_first();
+        q
+    }
+}
+
+impl<T: Clone + PartialEq> Fifo<T> {
+    /// A copy with the newest occurrence of `item` removed.
+    #[must_use]
+    pub fn deleted(mut self, item: &T) -> Self {
+        self.del(item);
+        self
+    }
+}
+
+impl<T> FromIterator<T> for Fifo<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Fifo {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T> Extend<T> for Fifo<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Fifo<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, x) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// The FIFO queue automaton of Figure 2-4: `Deq()/Ok(e)` is accepted only
+/// when `e` is the first (oldest) element.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FifoAutomaton;
+
+impl FifoAutomaton {
+    /// Creates the automaton.
+    pub fn new() -> Self {
+        FifoAutomaton
+    }
+}
+
+impl ObjectAutomaton for FifoAutomaton {
+    type State = Fifo<Item>;
+    type Op = QueueOp;
+
+    fn initial_state(&self) -> Fifo<Item> {
+        Fifo::new()
+    }
+
+    fn step(&self, s: &Fifo<Item>, op: &QueueOp) -> Vec<Fifo<Item>> {
+        match op {
+            QueueOp::Enq(e) => vec![s.clone().inserted(*e)],
+            QueueOp::Deq(e) => {
+                if s.first() == Some(e) {
+                    vec![s.rest()]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use relax_automata::History;
+
+    #[test]
+    fn first_is_oldest() {
+        let q: Fifo<i64> = [3, 5].into_iter().collect();
+        assert_eq!(q.first(), Some(&3));
+        assert_eq!(q.rest().first(), Some(&5));
+    }
+
+    #[test]
+    fn del_removes_newest_occurrence() {
+        // Mirrors the algebraic axiom: del over ins(ins(emp, 3), 3) leaves
+        // one 3 (the older one, positionally — identical values, but with
+        // markers we can see which).
+        let q: Fifo<(i64, &str)> = [(3, "old"), (3, "new")].into_iter().collect();
+        let q2 = q.deleted(&(3, "new"));
+        assert_eq!(q2.len(), 1);
+        // Ambiguous-by-value deletion removes the newest:
+        let q: Fifo<i64> = [3, 7, 3].into_iter().collect();
+        let q2 = q.deleted(&3);
+        let left: Vec<i64> = q2.iter().copied().collect();
+        assert_eq!(left, vec![3, 7]);
+    }
+
+    #[test]
+    fn prefix_takes_oldest_k() {
+        let q: Fifo<i64> = [1, 2, 3].into_iter().collect();
+        let p: Vec<i64> = q.prefix(2).copied().collect();
+        assert_eq!(p, vec![1, 2]);
+    }
+
+    #[test]
+    fn display_format() {
+        let q: Fifo<i64> = [1, 2].into_iter().collect();
+        assert_eq!(q.to_string(), "⟨1, 2⟩");
+    }
+
+    #[test]
+    fn automaton_enforces_fifo_order() {
+        let a = FifoAutomaton::new();
+        let ok = History::from(vec![
+            QueueOp::Enq(1),
+            QueueOp::Enq(2),
+            QueueOp::Deq(1),
+            QueueOp::Deq(2),
+        ]);
+        assert!(a.accepts(&ok));
+        let bad = History::from(vec![QueueOp::Enq(1), QueueOp::Enq(2), QueueOp::Deq(2)]);
+        assert!(!a.accepts(&bad));
+    }
+
+    #[test]
+    fn automaton_rejects_deq_on_empty() {
+        let a = FifoAutomaton::new();
+        assert!(!a.accepts(&History::from(vec![QueueOp::Deq(1)])));
+    }
+
+    proptest! {
+        /// Enqueue-then-drain returns items in insertion order.
+        #[test]
+        fn drain_order(items in proptest::collection::vec(-50i64..50, 0..30)) {
+            let mut q: Fifo<i64> = items.iter().copied().collect();
+            let mut drained = Vec::new();
+            while let Some(x) = q.pop_first() {
+                drained.push(x);
+            }
+            prop_assert_eq!(drained, items);
+        }
+
+        /// The FIFO automaton accepts exactly the enqueue-order dequeues.
+        #[test]
+        fn automaton_accepts_enqueue_order(items in proptest::collection::vec(-5i64..5, 1..8)) {
+            let a = FifoAutomaton::new();
+            let mut h: History<QueueOp> = items.iter().map(|&e| QueueOp::Enq(e)).collect();
+            for &e in &items {
+                h.push(QueueOp::Deq(e));
+            }
+            prop_assert!(a.accepts(&h));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The semiqueue automaton — Figure 4-1.
+//!
+//! `Semiqueue_k`: `Deq` deletes and returns one of the first `k` items.
+//! For `k = 1` the object is a FIFO queue; for `k ≥` the queue length it
+//! is a bag (§4.2.1). This is the "optimistic" degraded behavior of a
+//! transactional FIFO queue when up to `k` dequeuing transactions run
+//! concurrently.
+
+use relax_automata::ObjectAutomaton;
+
+use crate::fifo::Fifo;
+use crate::ops::{Item, QueueOp};
+
+/// The `Semiqueue_k` automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemiqueueAutomaton {
+    k: usize,
+}
+
+impl SemiqueueAutomaton {
+    /// Creates a semiqueue allowing dequeues from the first `k` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (Figure 4-2's constraint indices start at 1).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "semiqueue parameter k must be positive");
+        SemiqueueAutomaton { k }
+    }
+
+    /// The prefix bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl ObjectAutomaton for SemiqueueAutomaton {
+    type State = Fifo<Item>;
+    type Op = QueueOp;
+
+    fn initial_state(&self) -> Fifo<Item> {
+        Fifo::new()
+    }
+
+    fn step(&self, s: &Fifo<Item>, op: &QueueOp) -> Vec<Fifo<Item>> {
+        match op {
+            QueueOp::Enq(e) => vec![s.clone().inserted(*e)],
+            QueueOp::Deq(e) => {
+                // e must be among the first k items; remove one such
+                // occurrence. Removing different positions holding equal
+                // items yields the same sequence, so one removal per
+                // *position* with dedup keeps nondeterminism honest.
+                let mut out: Vec<Fifo<Item>> = Vec::new();
+                for (pos, x) in s.iter().enumerate().take(self.k) {
+                    if x == e {
+                        let mut items: Vec<Item> = s.iter().copied().collect();
+                        items.remove(pos);
+                        let next: Fifo<Item> = items.into_iter().collect();
+                        if !out.contains(&next) {
+                            out.push(next);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use relax_automata::{equal_upto, included_upto, History};
+
+    use crate::bag::BagAutomaton;
+    use crate::fifo::FifoAutomaton;
+    use crate::ops::queue_alphabet;
+
+    #[test]
+    fn k1_is_fifo() {
+        // §4.2.1: "if k is one, the object is a FIFO queue".
+        let alphabet = queue_alphabet(&[1, 2, 3]);
+        assert!(equal_upto(
+            &SemiqueueAutomaton::new(1),
+            &FifoAutomaton::new(),
+            &alphabet,
+            6
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn large_k_is_bag() {
+        // §4.2.1: "if k is n, the maximum number of items allowed in the
+        // queue, the object is a bag". With histories of length ≤ 6 the
+        // queue never exceeds 6 items.
+        let alphabet = queue_alphabet(&[1, 2]);
+        assert!(equal_upto(
+            &SemiqueueAutomaton::new(6),
+            &BagAutomaton::new(),
+            &alphabet,
+            6
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn k_bounds_out_of_order_distance() {
+        let a = SemiqueueAutomaton::new(2);
+        // Queue [1,2,3]: dequeuing 2 (position 1 < 2) is fine.
+        let ok = History::from(vec![
+            QueueOp::Enq(1),
+            QueueOp::Enq(2),
+            QueueOp::Enq(3),
+            QueueOp::Deq(2),
+        ]);
+        assert!(a.accepts(&ok));
+        // Dequeuing 3 (position 2 ≥ 2) is not.
+        let bad = History::from(vec![
+            QueueOp::Enq(1),
+            QueueOp::Enq(2),
+            QueueOp::Enq(3),
+            QueueOp::Deq(3),
+        ]);
+        assert!(!a.accepts(&bad));
+    }
+
+    #[test]
+    fn no_duplicate_service() {
+        let a = SemiqueueAutomaton::new(3);
+        let h = History::from(vec![QueueOp::Enq(1), QueueOp::Deq(1), QueueOp::Deq(1)]);
+        assert!(!a.accepts(&h));
+    }
+
+    #[test]
+    fn lattice_chain_k_increasing() {
+        // L(Semiqueue_1) ⊆ L(Semiqueue_2) ⊆ L(Semiqueue_3).
+        let alphabet = queue_alphabet(&[1, 2, 3]);
+        for k in 1..3 {
+            assert!(included_upto(
+                &SemiqueueAutomaton::new(k),
+                &SemiqueueAutomaton::new(k + 1),
+                &alphabet,
+                5
+            )
+            .is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        SemiqueueAutomaton::new(0);
+    }
+
+    proptest! {
+        /// FIFO drains are accepted for every k.
+        #[test]
+        fn fifo_drain_accepted(items in proptest::collection::vec(-10i64..10, 1..8), k in 1usize..5) {
+            let a = SemiqueueAutomaton::new(k);
+            let mut h: History<QueueOp> = items.iter().map(|&e| QueueOp::Enq(e)).collect();
+            for &e in &items {
+                h.push(QueueOp::Deq(e));
+            }
+            prop_assert!(a.accepts(&h));
+        }
+    }
+}

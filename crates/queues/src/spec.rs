@@ -1,0 +1,166 @@
+//! Pre/postcondition views of the paper's data types (§2.4, §3.2).
+//!
+//! The quorum-consensus automaton `QCA(A, Q, η)` is defined in terms of
+//! the *pre- and postconditions* of `A`'s operations: a transition for
+//! operation `p` requires a view `G` with `p.pre(η(G))` and
+//! `p.post(η(G), η(G·p))`. [`ValueSpec`] captures exactly that interface
+//! over native value types; the algebraic equivalents live in
+//! `relax-spec` and the two are cross-validated in tests.
+
+use std::hash::Hash;
+
+use crate::bag::Bag;
+use crate::ops::{AccountOp, Item, QueueOp};
+
+/// The pre/postconditions of one object type's operations over its value
+/// domain.
+pub trait ValueSpec {
+    /// The value domain.
+    type Value: Clone + Eq + Hash + std::fmt::Debug;
+    /// The operation-execution type.
+    type Op;
+
+    /// `p.pre(v)`: may operation `p` execute in a state with value `v`?
+    fn pre(&self, value: &Self::Value, op: &Self::Op) -> bool;
+
+    /// `p.post(v, v')`: is `v'` an acceptable post-value for `p` executed
+    /// at `v` (with `p`'s recorded results)?
+    fn post(&self, value: &Self::Value, op: &Self::Op, post: &Self::Value) -> bool;
+}
+
+/// The priority-queue interface of Figure 3-2 over bag values:
+/// `Deq()/Ok(e)` requires a non-empty queue and `e = best(q)`, ensuring
+/// `q' = del(q, e)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PqValueSpec;
+
+impl ValueSpec for PqValueSpec {
+    type Value = Bag<Item>;
+    type Op = QueueOp;
+
+    fn pre(&self, value: &Bag<Item>, op: &QueueOp) -> bool {
+        match op {
+            QueueOp::Enq(_) => true,
+            QueueOp::Deq(_) => !value.is_empty(),
+        }
+    }
+
+    fn post(&self, value: &Bag<Item>, op: &QueueOp, post: &Bag<Item>) -> bool {
+        match op {
+            QueueOp::Enq(e) => *post == value.clone().inserted(*e),
+            QueueOp::Deq(e) => {
+                value.best() == Some(e) && *post == value.clone().deleted(e)
+            }
+        }
+    }
+}
+
+/// The account interface of §3.4 over running-balance values. `Debit/Ok`
+/// requires sufficient funds; `Debit/Overdraft` requires insufficient
+/// funds and leaves the balance unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccountValueSpec;
+
+impl ValueSpec for AccountValueSpec {
+    type Value = i64;
+    type Op = AccountOp;
+
+    fn pre(&self, value: &i64, op: &AccountOp) -> bool {
+        match op {
+            AccountOp::Credit(_) => true,
+            AccountOp::DebitOk(n) => *value >= i64::from(*n),
+            AccountOp::DebitOverdraft(n) => *value < i64::from(*n),
+        }
+    }
+
+    fn post(&self, value: &i64, op: &AccountOp, post: &i64) -> bool {
+        match op {
+            AccountOp::Credit(n) => *post == value + i64::from(*n),
+            AccountOp::DebitOk(n) => *post == value - i64::from(*n),
+            AccountOp::DebitOverdraft(_) => post == value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use relax_spec::prelude::*;
+    use relax_spec::traits::{account_interface, pqueue_interface};
+
+    use crate::to_term::ToTerm;
+
+    #[test]
+    fn pq_pre_post_basics() {
+        let s = PqValueSpec;
+        let q = Bag::new().inserted(2).inserted(9);
+        assert!(s.pre(&q, &QueueOp::Deq(9)));
+        assert!(!s.pre(&Bag::new(), &QueueOp::Deq(9)));
+        assert!(s.post(&q, &QueueOp::Deq(9), &Bag::new().inserted(2)));
+        assert!(!s.post(&q, &QueueOp::Deq(2), &Bag::new().inserted(9)));
+        assert!(s.post(&q, &QueueOp::Enq(4), &q.clone().inserted(4)));
+    }
+
+    #[test]
+    fn account_pre_post_basics() {
+        let s = AccountValueSpec;
+        assert!(s.pre(&10, &AccountOp::DebitOk(10)));
+        assert!(!s.pre(&10, &AccountOp::DebitOk(11)));
+        assert!(s.pre(&10, &AccountOp::DebitOverdraft(11)));
+        assert!(s.post(&10, &AccountOp::Credit(5), &15));
+        assert!(s.post(&10, &AccountOp::DebitOverdraft(99), &10));
+        assert!(!s.post(&10, &AccountOp::DebitOverdraft(99), &0));
+    }
+
+    proptest! {
+        /// Cross-validation against the Larch interface of Figure 3-2: the
+        /// native PqValueSpec and the algebraic interface agree on random
+        /// transitions.
+        #[test]
+        fn pq_spec_matches_larch_interface(
+            items in proptest::collection::vec(0i64..6, 0..5),
+            deq in 0i64..6,
+        ) {
+            let iface = pqueue_interface().unwrap();
+            let native = PqValueSpec;
+            let q: Bag<i64> = items.iter().copied().collect();
+            let op = QueueOp::Deq(deq);
+
+            // Candidate post-state: delete deq (whatever the spec thinks).
+            let post = q.clone().deleted(&deq);
+            let native_ok = native.pre(&q, &op) && native.post(&q, &op, &post);
+
+            let deq_iface = iface.operation("Deq").unwrap().clone();
+            let check = iface
+                .check_transition(
+                    &deq_iface,
+                    &q.to_term(),
+                    &[],
+                    &[Term::Int(deq)],
+                    &post.to_term(),
+                )
+                .unwrap();
+            prop_assert_eq!(native_ok, check.is_accepted());
+        }
+
+        /// Cross-validation for the account interface of §3.4.
+        #[test]
+        fn account_spec_matches_larch_interface(balance in 0i64..50, n in 0u32..60) {
+            let iface = account_interface().unwrap();
+            let native = AccountValueSpec;
+
+            let ok_op = AccountOp::DebitOk(n);
+            let native_ok = native.pre(&balance, &ok_op);
+            let debit = iface.operation_with_termination("Debit", "Ok").unwrap().clone();
+            let larch_ok = iface
+                .check_pre(
+                    &debit,
+                    &Term::app("acct", vec![Term::Int(balance)]),
+                    &[Term::Int(i64::from(n))],
+                )
+                .unwrap();
+            prop_assert_eq!(native_ok, larch_ok);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The stuttering queue automaton — Figure 4-3.
+//!
+//! `Stuttering_j Queue`: like a FIFO queue except the first item may be
+//! returned up to `j` times (the "pessimistic" degraded behavior — a
+//! dequeuing transaction assumes a concurrent dequeuer will abort and
+//! returns the same head). The state is the record
+//! `StQ record of [items: Q, count: Int]`, where `count` tracks how many
+//! times the current head has already been returned without removal.
+//!
+//! Per the correction documented in `relax-spec::traits`, the stuttering
+//! (non-removing) branch requires `count + 1 < j`, so the head is returned
+//! at most `j` times in total and `Stuttering_1` is exactly FIFO.
+
+use std::fmt;
+
+use relax_automata::ObjectAutomaton;
+
+use crate::fifo::Fifo;
+use crate::ops::{Item, QueueOp};
+
+/// The stuttering-queue value: items plus the head's return count.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct StutQ {
+    /// The queued items (front = head).
+    pub items: Fifo<Item>,
+    /// How many times the current head has been returned without removal.
+    pub count: u32,
+}
+
+impl StutQ {
+    /// The empty stuttering queue.
+    pub fn new() -> Self {
+        StutQ::default()
+    }
+}
+
+impl fmt::Display for StutQ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨items: {}, count: {}⟩", self.items, self.count)
+    }
+}
+
+/// The `Stuttering_j Queue` automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StutteringAutomaton {
+    j: u32,
+}
+
+impl StutteringAutomaton {
+    /// Creates a stuttering queue whose head may be returned up to `j`
+    /// times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j == 0`.
+    pub fn new(j: u32) -> Self {
+        assert!(j >= 1, "stuttering parameter j must be positive");
+        StutteringAutomaton { j }
+    }
+
+    /// The stutter bound `j`.
+    pub fn j(&self) -> u32 {
+        self.j
+    }
+}
+
+impl ObjectAutomaton for StutteringAutomaton {
+    type State = StutQ;
+    type Op = QueueOp;
+
+    fn initial_state(&self) -> StutQ {
+        StutQ::new()
+    }
+
+    fn step(&self, s: &StutQ, op: &QueueOp) -> Vec<StutQ> {
+        match op {
+            QueueOp::Enq(e) => {
+                let mut s2 = s.clone();
+                s2.items.ins(*e);
+                vec![s2]
+            }
+            QueueOp::Deq(e) => {
+                if s.items.first() != Some(e) {
+                    return vec![];
+                }
+                let mut out = Vec::new();
+                // Stutter: return the head again, leaving it in place.
+                if s.count + 1 < self.j {
+                    out.push(StutQ {
+                        items: s.items.clone(),
+                        count: s.count + 1,
+                    });
+                }
+                // Pop: remove the head and reset the counter.
+                out.push(StutQ {
+                    items: s.items.rest(),
+                    count: 0,
+                });
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use relax_automata::{equal_upto, included_upto, History};
+
+    use crate::fifo::FifoAutomaton;
+    use crate::ops::queue_alphabet;
+
+    #[test]
+    fn j1_is_fifo() {
+        let alphabet = queue_alphabet(&[1, 2, 3]);
+        assert!(equal_upto(
+            &StutteringAutomaton::new(1),
+            &FifoAutomaton::new(),
+            &alphabet,
+            6
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn head_returned_at_most_j_times() {
+        let a = StutteringAutomaton::new(3);
+        let mut h = History::from(vec![QueueOp::Enq(5)]);
+        for _ in 0..3 {
+            h.push(QueueOp::Deq(5));
+        }
+        assert!(a.accepts(&h), "3 returns allowed for j = 3");
+        h.push(QueueOp::Deq(5));
+        assert!(!a.accepts(&h), "4th return must be rejected");
+    }
+
+    #[test]
+    fn stuttering_preserves_fifo_order() {
+        // Even with stutters, items are returned in enqueue order.
+        let a = StutteringAutomaton::new(2);
+        let ok = History::from(vec![
+            QueueOp::Enq(1),
+            QueueOp::Enq(2),
+            QueueOp::Deq(1),
+            QueueOp::Deq(1), // stutter
+            QueueOp::Deq(2),
+        ]);
+        assert!(a.accepts(&ok));
+        let bad = History::from(vec![QueueOp::Enq(1), QueueOp::Enq(2), QueueOp::Deq(2)]);
+        assert!(!a.accepts(&bad));
+    }
+
+    #[test]
+    fn lattice_chain_j_increasing() {
+        let alphabet = queue_alphabet(&[1, 2]);
+        for j in 1..4 {
+            assert!(included_upto(
+                &StutteringAutomaton::new(j),
+                &StutteringAutomaton::new(j + 1),
+                &alphabet,
+                5
+            )
+            .is_ok());
+        }
+    }
+
+    #[test]
+    fn pop_resets_count_for_next_head() {
+        let a = StutteringAutomaton::new(2);
+        // Each head gets its own stutter allowance.
+        let h = History::from(vec![
+            QueueOp::Enq(1),
+            QueueOp::Enq(2),
+            QueueOp::Deq(1),
+            QueueOp::Deq(1),
+            QueueOp::Deq(2),
+            QueueOp::Deq(2),
+        ]);
+        assert!(a.accepts(&h));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_j_panics() {
+        StutteringAutomaton::new(0);
+    }
+
+    proptest! {
+        /// Plain FIFO drains are accepted for every j.
+        #[test]
+        fn fifo_drain_accepted(items in proptest::collection::vec(-10i64..10, 1..8), j in 1u32..5) {
+            let a = StutteringAutomaton::new(j);
+            let mut h: History<QueueOp> = items.iter().map(|&e| QueueOp::Enq(e)).collect();
+            for &e in &items {
+                h.push(QueueOp::Deq(e));
+            }
+            prop_assert!(a.accepts(&h));
+        }
+    }
+}

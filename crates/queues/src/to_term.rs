@@ -1,0 +1,182 @@
+//! Bridging native values to `relax-spec` terms.
+//!
+//! The paper's two-tiered approach (Larch traits denote values; interfaces
+//! constrain transitions) is mirrored here: every native value type
+//! converts to a ground term in its trait's vocabulary, so native
+//! implementations can be checked against the algebraic theories.
+//!
+//! Canonical encodings:
+//!
+//! * bags — `ins` chains in **ascending** item order (a canonical
+//!   representative of the multiset);
+//! * FIFO queues — `ins` chains in **insertion** order (oldest innermost,
+//!   matching `first(ins(q, e)) = if isEmp(q) then e else first(q)`);
+//! * records — constructor applications (`mpq(p, a)`, `stq(q, i)`,
+//!   `acct(n)`).
+
+use relax_spec::Term;
+
+use crate::account::Account;
+use crate::bag::Bag;
+use crate::fifo::Fifo;
+use crate::mpq::Mpq;
+use crate::ops::Item;
+use crate::ssqueue::SsState;
+use crate::stuttering::StutQ;
+
+/// Conversion of a native value into a ground term of its Larch trait.
+pub trait ToTerm {
+    /// The canonical ground term denoting this value.
+    fn to_term(&self) -> Term;
+}
+
+impl ToTerm for Bag<Item> {
+    fn to_term(&self) -> Term {
+        let mut t = Term::constant("emp");
+        for item in self.items() {
+            t = Term::app("ins", vec![t, Term::Int(*item)]);
+        }
+        t
+    }
+}
+
+impl ToTerm for Fifo<Item> {
+    fn to_term(&self) -> Term {
+        let mut t = Term::constant("emp");
+        for item in self.iter() {
+            t = Term::app("ins", vec![t, Term::Int(*item)]);
+        }
+        t
+    }
+}
+
+impl ToTerm for Mpq {
+    fn to_term(&self) -> Term {
+        Term::app(
+            "mpq",
+            vec![self.present.to_term(), self.absent.to_term()],
+        )
+    }
+}
+
+impl ToTerm for StutQ {
+    fn to_term(&self) -> Term {
+        Term::app(
+            "stq",
+            vec![self.items.to_term(), Term::Int(i64::from(self.count))],
+        )
+    }
+}
+
+impl ToTerm for SsState {
+    fn to_term(&self) -> Term {
+        // SSqueue has no paper trait; encode as the underlying item
+        // sequence (counts are implementation detail of the combined
+        // automaton).
+        let mut t = Term::constant("emp");
+        for item in self.items() {
+            t = Term::app("ins", vec![t, Term::Int(item)]);
+        }
+        t
+    }
+}
+
+impl ToTerm for Account {
+    fn to_term(&self) -> Term {
+        Term::app("acct", vec![Term::Int(self.balance())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use relax_spec::prelude::*;
+
+    #[test]
+    fn bag_encoding_is_ascending() {
+        let b: Bag<i64> = [5, 1, 3].into_iter().collect();
+        assert_eq!(b.to_term().to_string(), "ins(ins(ins(emp, 1), 3), 5)");
+    }
+
+    #[test]
+    fn fifo_encoding_preserves_order() {
+        let q: Fifo<i64> = [5, 1, 3].into_iter().collect();
+        assert_eq!(q.to_term().to_string(), "ins(ins(ins(emp, 5), 1), 3)");
+    }
+
+    #[test]
+    fn record_encodings() {
+        let m = Mpq::new();
+        assert_eq!(m.to_term().to_string(), "mpq(emp, emp)");
+        let s = StutQ::new();
+        assert_eq!(s.to_term().to_string(), "stq(emp, 0)");
+        let a = Account::with_balance(7);
+        assert_eq!(a.to_term().to_string(), "acct(7)");
+    }
+
+    proptest! {
+        /// Native bag deletion matches algebraic `del` (normal forms are
+        /// equal as multisets: we compare through the canonical ascending
+        /// encoding, which absorbs the rewriting system's
+        /// newest-occurrence-first choice).
+        #[test]
+        fn bag_del_matches_algebra(items in proptest::collection::vec(0i64..6, 0..8), x in 0i64..6) {
+            let set = paper_theories().unwrap();
+            let bag_theory = set.theory("Bag").unwrap();
+            let rw = Rewriter::new(bag_theory).unwrap();
+
+            let native: Bag<i64> = items.iter().copied().collect();
+            let native_deleted = native.clone().deleted(&x);
+
+            let term = Term::app("del", vec![native.to_term(), Term::Int(x)]);
+            let algebraic = rw.normalize(&term).unwrap();
+
+            // Decode the algebraic normal form back into a multiset by
+            // re-reading its ins-chain.
+            let mut decoded: Vec<i64> = Vec::new();
+            let mut cur = &algebraic;
+            loop {
+                match cur {
+                    Term::App(op, args) if op == "ins" => {
+                        if let Term::Int(i) = args[1] {
+                            decoded.push(i);
+                        }
+                        cur = &args[0];
+                    }
+                    _ => break,
+                }
+            }
+            decoded.sort_unstable();
+            let native_sorted: Vec<i64> = native_deleted.items().copied().collect();
+            prop_assert_eq!(decoded, native_sorted);
+        }
+
+        /// Native `first` matches the algebraic observer on nonempty
+        /// queues.
+        #[test]
+        fn fifo_first_matches_algebra(items in proptest::collection::vec(0i64..9, 1..8)) {
+            let set = paper_theories().unwrap();
+            let fifo_theory = set.theory("FifoQ").unwrap();
+            let rw = Rewriter::new(fifo_theory).unwrap();
+
+            let q: Fifo<i64> = items.iter().copied().collect();
+            let t = Term::app("first", vec![q.to_term()]);
+            let nf = rw.normalize(&t).unwrap();
+            prop_assert_eq!(nf, Term::Int(*q.first().unwrap()));
+        }
+
+        /// Native `best` matches the algebraic observer on nonempty bags.
+        #[test]
+        fn pq_best_matches_algebra(items in proptest::collection::vec(0i64..9, 1..8)) {
+            let set = paper_theories().unwrap();
+            let pq_theory = set.theory("PQueue").unwrap();
+            let rw = Rewriter::new(pq_theory).unwrap();
+
+            let b: Bag<i64> = items.iter().copied().collect();
+            let t = Term::app("best", vec![b.to_term()]);
+            let nf = rw.normalize(&t).unwrap();
+            prop_assert_eq!(nf, Term::Int(*b.best().unwrap()));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Quorum assignments by weighted voting (Gifford \[10\]).
+//!
+//! A *quorum assignment* associates each operation with its initial and
+//! final quorums (§3.1). With one vote per site, a size-`m` initial
+//! quorum for `p` intersects every size-`k` final quorum for `q` iff
+//! `m + k > n`. The constraints `Q1`, `Q2`, `A1`, `A2` become linear
+//! constraints on quorum sizes, which is how the paper's trade-off talk
+//! ("if one operation's quorums are made smaller … the other's must be
+//! made larger") and the majority consequence of `Q2` fall out.
+
+use std::collections::BTreeMap;
+
+use crate::relation::IntersectionRelation;
+
+/// A voting quorum assignment: per operation kind, the number of sites in
+/// an initial quorum (reads) and in a final quorum (writes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VotingAssignment<K: Ord> {
+    n_sites: usize,
+    initial: BTreeMap<K, usize>,
+    final_: BTreeMap<K, usize>,
+}
+
+impl<K: Copy + Ord + std::fmt::Debug> VotingAssignment<K> {
+    /// An assignment over `n_sites` sites with no sizes set yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sites == 0`.
+    pub fn new(n_sites: usize) -> Self {
+        assert!(n_sites >= 1, "need at least one site");
+        VotingAssignment {
+            n_sites,
+            initial: BTreeMap::new(),
+            final_: BTreeMap::new(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// Sets the initial (read) quorum size for an operation kind
+    /// (builder-style). Size 0 is legal and means the operation's
+    /// response does not depend on the object's state (like `Enq`, whose
+    /// invocation is related to nothing by the intersection relation):
+    /// the client skips the read phase entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` exceeds the number of sites.
+    #[must_use]
+    pub fn with_initial(mut self, kind: K, size: usize) -> Self {
+        assert!(
+            size <= self.n_sites,
+            "initial quorum size {size} out of range for {} sites",
+            self.n_sites
+        );
+        self.initial.insert(kind, size);
+        self
+    }
+
+    /// Sets the final (write) quorum size for an operation kind
+    /// (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0 or exceeds the number of sites.
+    #[must_use]
+    pub fn with_final(mut self, kind: K, size: usize) -> Self {
+        assert!(
+            (1..=self.n_sites).contains(&size),
+            "final quorum size {size} out of range for {} sites",
+            self.n_sites
+        );
+        self.final_.insert(kind, size);
+        self
+    }
+
+    /// The initial quorum size for `kind` (default 1: read any site).
+    pub fn initial_size(&self, kind: K) -> usize {
+        self.initial.get(&kind).copied().unwrap_or(1)
+    }
+
+    /// The final quorum size for `kind` (default 1: record anywhere).
+    pub fn final_size(&self, kind: K) -> usize {
+        self.final_.get(&kind).copied().unwrap_or(1)
+    }
+
+    /// Does every initial quorum for `p` intersect every final quorum for
+    /// `q`? (Pigeonhole: sizes must sum past `n`.)
+    pub fn guarantees_intersection(&self, p: K, q: K) -> bool {
+        self.initial_size(p) + self.final_size(q) > self.n_sites
+    }
+
+    /// Does this assignment realize (at least) the given intersection
+    /// relation?
+    pub fn satisfies(&self, relation: &IntersectionRelation<K>) -> bool {
+        relation
+            .pairs()
+            .all(|(p, q)| self.guarantees_intersection(p, q))
+    }
+
+    /// The intersection relation this assignment actually guarantees,
+    /// over the given kind alphabet.
+    pub fn induced_relation(&self, kinds: &[K]) -> IntersectionRelation<K> {
+        let mut pairs = Vec::new();
+        for &p in kinds {
+            for &q in kinds {
+                if self.guarantees_intersection(p, q) {
+                    pairs.push((p, q));
+                }
+            }
+        }
+        IntersectionRelation::from_pairs(pairs)
+    }
+}
+
+/// Enumerates every (initial, final) size pair per kind over `n` sites
+/// that satisfies `relation`, yielding assignments for availability
+/// sweeps. Sizes not constrained by the relation still range over
+/// `1..=n`.
+pub fn assignments_satisfying<K: Copy + Ord + std::fmt::Debug>(
+    n_sites: usize,
+    kinds: &[K],
+    relation: &IntersectionRelation<K>,
+) -> Vec<VotingAssignment<K>> {
+    // Enumerate sizes per kind: initial and final each in 1..=n.
+    let mut out = Vec::new();
+    let m = kinds.len();
+    let choices = n_sites * n_sites; // (initial, final) combos per kind
+    let total = choices.pow(m as u32);
+    for code in 0..total {
+        let mut a = VotingAssignment::new(n_sites);
+        let mut c = code;
+        for &k in kinds {
+            let combo = c % choices;
+            c /= choices;
+            let init = combo / n_sites + 1;
+            let fin = combo % n_sites + 1;
+            a = a.with_initial(k, init).with_final(k, fin);
+        }
+        if a.satisfies(relation) {
+            out.push(a);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{queue_relation, QueueKind};
+
+    #[test]
+    fn intersection_by_pigeonhole() {
+        let a = VotingAssignment::new(5)
+            .with_initial(QueueKind::Deq, 3)
+            .with_final(QueueKind::Enq, 3)
+            .with_final(QueueKind::Deq, 3);
+        assert!(a.guarantees_intersection(QueueKind::Deq, QueueKind::Enq));
+        assert!(a.guarantees_intersection(QueueKind::Deq, QueueKind::Deq));
+        // Initial Enq (default 1) + final Enq (3) = 4 ≤ 5: no guarantee.
+        assert!(!a.guarantees_intersection(QueueKind::Enq, QueueKind::Enq));
+    }
+
+    #[test]
+    fn q2_forces_deq_majority() {
+        // §3.3: "Q2 implies each Deq quorum must encompass a majority of
+        // votes". initial(Deq) + final(Deq) > n with initial = final means
+        // size > n/2.
+        let rel = queue_relation(false, true);
+        let n = 5;
+        for size in 1..=n {
+            let a = VotingAssignment::new(n)
+                .with_initial(QueueKind::Deq, size)
+                .with_final(QueueKind::Deq, size);
+            assert_eq!(a.satisfies(&rel), size > n / 2, "size {size}");
+        }
+    }
+
+    #[test]
+    fn q1_trade_off() {
+        // §3.3: shrinking Enq's final quorum forces Deq's initial quorum to
+        // grow.
+        let rel = queue_relation(true, false);
+        let n = 5;
+        for enq_final in 1..=n {
+            let needed_deq_initial = n - enq_final + 1;
+            let tight = VotingAssignment::new(n)
+                .with_final(QueueKind::Enq, enq_final)
+                .with_initial(QueueKind::Deq, needed_deq_initial);
+            assert!(tight.satisfies(&rel));
+            if needed_deq_initial > 1 {
+                let too_small = VotingAssignment::new(n)
+                    .with_final(QueueKind::Enq, enq_final)
+                    .with_initial(QueueKind::Deq, needed_deq_initial - 1);
+                assert!(!too_small.satisfies(&rel));
+            }
+        }
+    }
+
+    #[test]
+    fn induced_relation_round_trips() {
+        let a = VotingAssignment::new(3)
+            .with_initial(QueueKind::Deq, 2)
+            .with_final(QueueKind::Enq, 2)
+            .with_final(QueueKind::Deq, 2)
+            .with_initial(QueueKind::Enq, 1);
+        let induced = a.induced_relation(&[QueueKind::Enq, QueueKind::Deq]);
+        assert!(induced.relates(QueueKind::Deq, QueueKind::Enq));
+        assert!(induced.relates(QueueKind::Deq, QueueKind::Deq));
+        assert!(!induced.relates(QueueKind::Enq, QueueKind::Enq));
+        assert!(a.satisfies(&queue_relation(true, true)));
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        // n = 3, one kind, no constraints: 9 assignments.
+        let rel = IntersectionRelation::<QueueKind>::empty();
+        let all = assignments_satisfying(3, &[QueueKind::Enq], &rel);
+        assert_eq!(all.len(), 9);
+        // Full queue relation over both kinds on 3 sites: count those
+        // satisfying initial(Deq)+final(Enq) > 3 and initial(Deq)+final(Deq) > 3.
+        let rel = queue_relation(true, true);
+        let sat = assignments_satisfying(3, &[QueueKind::Enq, QueueKind::Deq], &rel);
+        assert!(!sat.is_empty());
+        for a in &sat {
+            assert!(a.satisfies(&rel));
+        }
+        // Spot-check a known-good member exists: initial Deq 3, finals 1/1…
+        // wait: final(Enq) must satisfy 3 + f > 3 → any f ≥ 1. Yes.
+        assert!(sat.iter().any(|a| a.initial_size(QueueKind::Deq) == 3
+            && a.final_size(QueueKind::Enq) == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_quorum_panics() {
+        let _ = VotingAssignment::new(3).with_initial(QueueKind::Enq, 4);
+    }
+
+    #[test]
+    fn defaults_are_one() {
+        let a = VotingAssignment::<QueueKind>::new(4);
+        assert_eq!(a.initial_size(QueueKind::Enq), 1);
+        assert_eq!(a.final_size(QueueKind::Deq), 1);
+    }
+}

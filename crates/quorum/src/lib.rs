@@ -1,0 +1,65 @@
+//! # relax-quorum — quorum-consensus replication and QCA automata
+//!
+//! Implements §3.1–§3.2 of Herlihy & Wing (PODC 1987), following the
+//! quorum-consensus replication method of Herlihy's TOCS'86 paper \[13\]:
+//!
+//! * [`timestamp`] — logical timestamps (Lamport clocks) identifying log
+//!   entries;
+//! * [`log`] — replica logs: timestamped operation records, merged in
+//!   timestamp order with duplicates discarded;
+//! * [`relation`] — quorum intersection relations `Q` between invocations
+//!   and operations (`inv(p) Q q` ⇔ every initial quorum for `p`
+//!   intersects every final quorum for `q`);
+//! * [`assignment`] — quorum assignments by weighted voting (Gifford),
+//!   with the induced intersection relation and enumeration of all
+//!   assignments realizing a given relation;
+//! * [`view`] — `Q`-closed subhistories and `Q`-views (Definitions 1–2);
+//! * [`qca`] — the quorum consensus automaton `QCA(A, Q, η)`
+//!   (§3.2): state = accepted history, transitions via `Q`-views
+//!   evaluated through `η` against the type's pre/postconditions;
+//! * [`serialdep`] — bounded checking of *serial dependency relations*
+//!   (Definition 3) and minimality;
+//! * [`runtime`] — an operational replicated object over `relax-sim`:
+//!   replicas hold logs, clients run the three-step quorum protocol
+//!   (merge an initial quorum's logs into a view; choose a response;
+//!   record at a final quorum), used by the availability and latency
+//!   experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assignment;
+pub mod compact;
+pub mod log;
+pub mod qca;
+pub mod relation;
+pub mod runtime;
+pub mod serialdep;
+pub mod timestamp;
+pub mod view;
+pub mod voting;
+
+/// Convenient re-exports of the crate's main types.
+pub mod prelude {
+    pub use crate::assignment::VotingAssignment;
+    pub use crate::compact::{stable_frontier, CompactLog};
+    pub use crate::log::{Entry, Log};
+    pub use crate::qca::QcaAutomaton;
+    pub use crate::relation::{queue_relation, HasKind, IntersectionRelation, QueueKind};
+    pub use crate::runtime::{ClientConfig, QuorumSystem, ReplicatedType};
+    pub use crate::serialdep::{check_serial_dependency, is_minimal_serial_dependency};
+    pub use crate::timestamp::{LogicalClock, Timestamp};
+    pub use crate::view::{is_q_closed, q_views};
+    pub use crate::voting::WeightedVoting;
+}
+
+pub use assignment::VotingAssignment;
+pub use compact::{stable_frontier, CompactLog};
+pub use log::{Entry, Log};
+pub use qca::QcaAutomaton;
+pub use relation::{queue_relation, HasKind, IntersectionRelation, QueueKind};
+pub use runtime::{ClientConfig, QuorumSystem, ReplicatedType};
+pub use serialdep::{check_serial_dependency, is_minimal_serial_dependency};
+pub use timestamp::{LogicalClock, Timestamp};
+pub use view::{is_q_closed, q_views};
+pub use voting::WeightedVoting;

@@ -1,0 +1,223 @@
+//! Replica logs: timestamped operation records.
+//!
+//! "The queue's current value … can be reconstructed by merging the
+//! entries in timestamp order, discarding duplicates" (§3.1). A [`Log`]
+//! keeps entries sorted by timestamp with no duplicates, so `merge` is a
+//! sorted-set union; `to_history` reads the operations back out in
+//! timestamp order.
+
+use std::fmt;
+
+use relax_automata::History;
+
+use crate::timestamp::Timestamp;
+
+/// A timestamped record of an operation execution.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Entry<Op> {
+    /// The entry's logical timestamp (unique per operation).
+    pub ts: Timestamp,
+    /// The recorded operation execution.
+    pub op: Op,
+}
+
+impl<Op> Entry<Op> {
+    /// Creates an entry.
+    pub fn new(ts: Timestamp, op: Op) -> Self {
+        Entry { ts, op }
+    }
+}
+
+impl<Op: fmt::Display> fmt::Display for Entry<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.ts, self.op)
+    }
+}
+
+/// A log: entries sorted by timestamp, duplicates (same timestamp)
+/// discarded.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Log<Op> {
+    entries: Vec<Entry<Op>>,
+}
+
+impl<Op> Default for Log<Op> {
+    fn default() -> Self {
+        Log {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<Op: Clone> Log<Op> {
+    /// An empty log.
+    pub fn new() -> Self {
+        Log::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the log has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries in timestamp order.
+    pub fn entries(&self) -> &[Entry<Op>] {
+        &self.entries
+    }
+
+    /// Inserts an entry, keeping timestamp order; an entry with an
+    /// already-present timestamp is discarded as a duplicate.
+    pub fn insert(&mut self, entry: Entry<Op>) {
+        match self.entries.binary_search_by_key(&entry.ts, |e| e.ts) {
+            Ok(_) => {} // duplicate timestamp: already recorded
+            Err(pos) => self.entries.insert(pos, entry),
+        }
+    }
+
+    /// Merges another log into this one (sorted union, duplicates
+    /// discarded) — the fundamental replica/view operation of §3.1.
+    pub fn merge(&mut self, other: &Log<Op>) {
+        for e in &other.entries {
+            self.insert(e.clone());
+        }
+    }
+
+    /// A merged copy of two logs.
+    #[must_use]
+    pub fn merged(&self, other: &Log<Op>) -> Log<Op> {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// The operations in timestamp order, as a history.
+    pub fn to_history(&self) -> History<Op> {
+        self.entries.iter().map(|e| e.op.clone()).collect()
+    }
+
+    /// The largest timestamp present, if any.
+    pub fn max_timestamp(&self) -> Option<Timestamp> {
+        self.entries.last().map(|e| e.ts)
+    }
+
+    /// True if this log contains every entry of `other`.
+    pub fn contains_log(&self, other: &Log<Op>) -> bool {
+        other
+            .entries
+            .iter()
+            .all(|e| self.entries.binary_search_by_key(&e.ts, |x| x.ts).is_ok())
+    }
+}
+
+impl<Op: Clone> FromIterator<Entry<Op>> for Log<Op> {
+    fn from_iter<I: IntoIterator<Item = Entry<Op>>>(iter: I) -> Self {
+        let mut log = Log::new();
+        for e in iter {
+            log.insert(e);
+        }
+        log
+    }
+}
+
+impl<Op: fmt::Display> fmt::Display for Log<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "log[")?;
+        for e in &self.entries {
+            writeln!(f, "  {e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn e(counter: u64, site: usize, op: &str) -> Entry<String> {
+        Entry::new(Timestamp::new(counter, site), op.to_string())
+    }
+
+    #[test]
+    fn paper_replicated_queue_example() {
+        // The three-site schematic of §3.1: merging reconstructs
+        // Enq(x) · Enq(y) · Enq(z) in timestamp order.
+        let s1: Log<String> = [e(1, 1, "Enq(x)"), e(2, 2, "Enq(z)")].into_iter().collect();
+        let s2: Log<String> = [e(1, 1, "Enq(x)"), e(1, 3, "Enq(y)")].into_iter().collect();
+        let s3: Log<String> = [e(1, 3, "Enq(y)"), e(2, 2, "Enq(z)")].into_iter().collect();
+
+        let merged = s1.merged(&s2).merged(&s3);
+        assert_eq!(merged.len(), 3);
+        let ops: Vec<String> = merged.to_history().into_ops();
+        assert_eq!(ops, vec!["Enq(x)", "Enq(y)", "Enq(z)"]);
+    }
+
+    #[test]
+    fn insert_keeps_order_and_discards_duplicates() {
+        let mut log = Log::new();
+        log.insert(e(2, 1, "b"));
+        log.insert(e(1, 1, "a"));
+        log.insert(e(2, 1, "DUPLICATE"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries()[0].op, "a");
+        assert_eq!(log.entries()[1].op, "b");
+    }
+
+    #[test]
+    fn contains_log_relation() {
+        let small: Log<String> = [e(1, 1, "a")].into_iter().collect();
+        let big: Log<String> = [e(1, 1, "a"), e(2, 1, "b")].into_iter().collect();
+        assert!(big.contains_log(&small));
+        assert!(!small.contains_log(&big));
+        assert!(big.contains_log(&big));
+    }
+
+    #[test]
+    fn max_timestamp() {
+        let log: Log<String> = [e(3, 0, "c"), e(1, 0, "a")].into_iter().collect();
+        assert_eq!(log.max_timestamp(), Some(Timestamp::new(3, 0)));
+        assert_eq!(Log::<String>::new().max_timestamp(), None);
+    }
+
+    proptest! {
+        /// Merge is commutative and associative, and idempotent.
+        #[test]
+        fn merge_is_a_join(
+            a in proptest::collection::vec((1u64..6, 0usize..3), 0..8),
+            b in proptest::collection::vec((1u64..6, 0usize..3), 0..8),
+            c in proptest::collection::vec((1u64..6, 0usize..3), 0..8),
+        ) {
+            let to_log = |v: &Vec<(u64, usize)>| -> Log<String> {
+                v.iter()
+                    .map(|&(ct, s)| Entry::new(Timestamp::new(ct, s), format!("op{ct}:{s}")))
+                    .collect()
+            };
+            let (la, lb, lc) = (to_log(&a), to_log(&b), to_log(&c));
+            prop_assert_eq!(la.merged(&lb), lb.merged(&la));
+            prop_assert_eq!(la.merged(&lb).merged(&lc), la.merged(&lb.merged(&lc)));
+            prop_assert_eq!(la.merged(&la), la);
+        }
+
+        /// A merged log contains both inputs.
+        #[test]
+        fn merge_is_upper_bound(
+            a in proptest::collection::vec((1u64..6, 0usize..3), 0..8),
+            b in proptest::collection::vec((1u64..6, 0usize..3), 0..8),
+        ) {
+            let to_log = |v: &Vec<(u64, usize)>| -> Log<String> {
+                v.iter()
+                    .map(|&(ct, s)| Entry::new(Timestamp::new(ct, s), format!("op{ct}:{s}")))
+                    .collect()
+            };
+            let (la, lb) = (to_log(&a), to_log(&b));
+            let m = la.merged(&lb);
+            prop_assert!(m.contains_log(&la));
+            prop_assert!(m.contains_log(&lb));
+        }
+    }
+}

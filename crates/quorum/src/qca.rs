@@ -1,0 +1,224 @@
+//! The quorum consensus automaton `QCA(A, Q, η)` — §3.2.
+//!
+//! The automaton's operations are those of the underlying type `A`; its
+//! **state is the history it has accepted so far**. A transition for
+//! operation `p` exists when some `Q`-view `G` of the current history
+//! satisfies `p`'s precondition under the evaluation `η`, with the
+//! postcondition witnessed by `η(G · p)`:
+//!
+//! ```text
+//! requires  p.pre_A(η(G))
+//! ensures   p.post_A(η(G), η(G·p)) ∧ H' = H · p
+//! ```
+//!
+//! Relaxing `Q` admits more views and hence more histories: for
+//! subrelations `R ⊆ Q`, `L(QCA(A, Q, η)) ⊆ L(QCA(A, R, η))`, which makes
+//! `{QCA(A, R, η) | R ⊆ Q}` a lattice of automata (§3.2) — the relaxation
+//! lattice of the taxi-queue example.
+
+use relax_automata::{History, ObjectAutomaton};
+use relax_queues::{Eval, ValueSpec};
+
+use crate::relation::{HasKind, IntersectionRelation};
+use crate::view::q_views;
+
+/// The quorum consensus automaton.
+///
+/// Type parameters: `S` supplies the underlying type's pre/postconditions
+/// over values, `E` the evaluation function `η` (total over arbitrary
+/// operation sequences, agreeing with `δ*` on legal histories).
+#[derive(Debug, Clone)]
+pub struct QcaAutomaton<S, E>
+where
+    S: ValueSpec,
+    S::Op: HasKind,
+    E: Eval<Value = S::Value, Op = S::Op>,
+{
+    spec: S,
+    eta: E,
+    relation: IntersectionRelation<<S::Op as HasKind>::Kind>,
+}
+
+impl<S, E> QcaAutomaton<S, E>
+where
+    S: ValueSpec,
+    S::Op: HasKind,
+    E: Eval<Value = S::Value, Op = S::Op>,
+{
+    /// Builds `QCA(A, Q, η)` from the type's value spec, an evaluation
+    /// function, and a quorum intersection relation.
+    pub fn new(
+        spec: S,
+        eta: E,
+        relation: IntersectionRelation<<S::Op as HasKind>::Kind>,
+    ) -> Self {
+        QcaAutomaton {
+            spec,
+            eta,
+            relation,
+        }
+    }
+
+    /// The quorum intersection relation `Q`.
+    pub fn relation(&self) -> &IntersectionRelation<<S::Op as HasKind>::Kind> {
+        &self.relation
+    }
+
+    /// The views of `history` for `p` that satisfy `p`'s precondition
+    /// under `η` (diagnostic helper; `step` only needs existence).
+    pub fn enabling_views(
+        &self,
+        history: &History<S::Op>,
+        p: &S::Op,
+    ) -> Vec<History<S::Op>>
+    where
+        S::Op: Clone,
+    {
+        q_views(history, p, &self.relation)
+            .into_iter()
+            .filter(|g| {
+                let v = self.eta.eval(g.ops());
+                if !self.spec.pre(&v, p) {
+                    return false;
+                }
+                let v2 = self.eta.eval(g.appended(p.clone()).ops());
+                self.spec.post(&v, p, &v2)
+            })
+            .collect()
+    }
+}
+
+impl<S, E> ObjectAutomaton for QcaAutomaton<S, E>
+where
+    S: ValueSpec,
+    S::Op: HasKind + Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    E: Eval<Value = S::Value, Op = S::Op>,
+{
+    /// The accepted history so far (§3.2: "the automaton's state is simply
+    /// the history it has accepted").
+    type State = History<S::Op>;
+    type Op = S::Op;
+
+    fn initial_state(&self) -> History<S::Op> {
+        History::empty()
+    }
+
+    fn step(&self, h: &History<S::Op>, p: &S::Op) -> Vec<History<S::Op>> {
+        let enabled = q_views(h, p, &self.relation).into_iter().any(|g| {
+            let v = self.eta.eval(g.ops());
+            if !self.spec.pre(&v, p) {
+                return false;
+            }
+            let v2 = self.eta.eval(g.appended(p.clone()).ops());
+            self.spec.post(&v, p, &v2)
+        });
+        if enabled {
+            vec![h.appended(p.clone())]
+        } else {
+            vec![]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_automata::{equal_upto, included_upto};
+    use relax_queues::{queue_alphabet, Eta, PqValueSpec, QueueOp};
+
+    use crate::relation::queue_relation;
+
+    fn qca(q1: bool, q2: bool) -> QcaAutomaton<PqValueSpec, Eta> {
+        QcaAutomaton::new(PqValueSpec, Eta, queue_relation(q1, q2))
+    }
+
+    #[test]
+    fn full_relation_behaves_like_priority_queue() {
+        // One-copy serializability: L(QCA(PQ, {Q1,Q2}, η)) = L(PQ).
+        let alphabet = queue_alphabet(&[1, 2, 3]);
+        assert!(equal_upto(
+            &qca(true, true),
+            &relax_queues::PQueueAutomaton::new(),
+            &alphabet,
+            5
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn q1_only_admits_duplicate_service() {
+        let a = qca(true, false);
+        let h = History::from(vec![QueueOp::Enq(5), QueueOp::Deq(5), QueueOp::Deq(5)]);
+        // The second Deq(5) uses a view that omits the first Deq.
+        assert!(a.accepts(&h));
+        // But out-of-order service is still impossible: views see all Enqs.
+        let bad = History::from(vec![QueueOp::Enq(2), QueueOp::Enq(9), QueueOp::Deq(2)]);
+        assert!(!a.accepts(&bad));
+    }
+
+    #[test]
+    fn q2_only_admits_out_of_order_service() {
+        let a = qca(false, true);
+        let h = History::from(vec![QueueOp::Enq(2), QueueOp::Enq(9), QueueOp::Deq(2)]);
+        // The Deq's view omits Enq(9), so 2 *is* the best visible item.
+        assert!(a.accepts(&h));
+        // Duplicate service is still impossible: views see all Deqs... so a
+        // second Deq(5) sees the first and 5 is gone.
+        let dup = History::from(vec![QueueOp::Enq(5), QueueOp::Deq(5), QueueOp::Deq(5)]);
+        assert!(!a.accepts(&dup));
+    }
+
+    #[test]
+    fn empty_relation_admits_both_anomalies() {
+        let a = qca(false, false);
+        let weird = History::from(vec![
+            QueueOp::Enq(2),
+            QueueOp::Enq(9),
+            QueueOp::Deq(2), // out of order
+            QueueOp::Deq(2), // duplicate
+        ]);
+        assert!(a.accepts(&weird));
+        // Items never enqueued still cannot be dequeued: every view
+        // evaluates to a bag without that item, failing Deq's post.
+        let phantom = History::from(vec![QueueOp::Enq(1), QueueOp::Deq(7)]);
+        assert!(!a.accepts(&phantom));
+    }
+
+    #[test]
+    fn relaxation_is_monotone_in_the_relation() {
+        // R ⊆ Q ⇒ L(QCA(PQ,Q,η)) ⊆ L(QCA(PQ,R,η)).
+        let alphabet = queue_alphabet(&[1, 2]);
+        let full = qca(true, true);
+        for (q1, q2) in [(true, false), (false, true), (false, false)] {
+            let relaxed = qca(q1, q2);
+            assert!(
+                included_upto(&full, &relaxed, &alphabet, 5).is_ok(),
+                "full not included in ({q1},{q2})"
+            );
+        }
+        let empty = qca(false, false);
+        for (q1, q2) in [(true, false), (false, true)] {
+            let mid = qca(q1, q2);
+            assert!(included_upto(&mid, &empty, &alphabet, 5).is_ok());
+        }
+    }
+
+    #[test]
+    fn enabling_views_diagnostics() {
+        let a = qca(true, false);
+        let h = History::from(vec![QueueOp::Enq(5), QueueOp::Deq(5)]);
+        let views = a.enabling_views(&h, &QueueOp::Deq(5));
+        // Exactly the view that omits the earlier Deq enables a duplicate.
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0], History::from(vec![QueueOp::Enq(5)]));
+    }
+
+    #[test]
+    fn state_is_the_accepted_history() {
+        let a = qca(true, true);
+        let h = History::from(vec![QueueOp::Enq(1), QueueOp::Deq(1)]);
+        let states = a.delta_star(&h);
+        assert_eq!(states.len(), 1);
+        assert_eq!(states.into_iter().next().unwrap(), h);
+    }
+}

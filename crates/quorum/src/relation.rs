@@ -1,0 +1,228 @@
+//! Quorum intersection relations (§3.1).
+//!
+//! "A replicated object's behavior is determined by its *quorum
+//! intersection relation* `Q` between invocations and operations:
+//! `inv(p) Q q` if each initial quorum for the invocation of the operation
+//! `p` has a non-empty intersection with each final quorum for the
+//! operation `q`."
+//!
+//! Relations are expressed over *operation kinds* (`Enq`/`Deq`,
+//! `Credit`/`Debit`): the paper's constraints `Q1`, `Q2`, `A1`, `A2` each
+//! name one (invocation-kind, operation-kind) pair.
+
+use std::collections::BTreeSet;
+use std::hash::Hash;
+
+use relax_queues::{AccountOp, QueueOp};
+
+/// Extraction of operation kinds from operation executions.
+///
+/// `kind` classifies a *recorded* operation; `invocation_kind` classifies
+/// the invocation (e.g. both `Debit/Ok` and `Debit/Overdraft` are
+/// invocations of `Debit`).
+pub trait HasKind {
+    /// The kind alphabet (small enum).
+    type Kind: Copy + Eq + Ord + Hash + std::fmt::Debug;
+
+    /// The kind of this operation execution.
+    fn kind(&self) -> Self::Kind;
+
+    /// The kind of this execution's invocation. Defaults to [`HasKind::kind`].
+    fn invocation_kind(&self) -> Self::Kind {
+        self.kind()
+    }
+}
+
+/// Queue operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueueKind {
+    /// `Enq` operations.
+    Enq,
+    /// `Deq` operations.
+    Deq,
+}
+
+impl HasKind for QueueOp {
+    type Kind = QueueKind;
+    fn kind(&self) -> QueueKind {
+        match self {
+            QueueOp::Enq(_) => QueueKind::Enq,
+            QueueOp::Deq(_) => QueueKind::Deq,
+        }
+    }
+}
+
+/// Account operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccountKind {
+    /// `Credit` operations.
+    Credit,
+    /// `Debit` invocations (both termination conditions).
+    Debit,
+}
+
+impl HasKind for AccountOp {
+    type Kind = AccountKind;
+    fn kind(&self) -> AccountKind {
+        match self {
+            AccountOp::Credit(_) => AccountKind::Credit,
+            AccountOp::DebitOk(_) | AccountOp::DebitOverdraft(_) => AccountKind::Debit,
+        }
+    }
+}
+
+/// A quorum intersection relation: the set of pairs
+/// `(invocation kind of p, kind of q)` with `inv(p) Q q`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntersectionRelation<K: Ord> {
+    pairs: BTreeSet<(K, K)>,
+}
+
+impl<K: Copy + Ord> IntersectionRelation<K> {
+    /// The empty relation (no intersection guarantees — the lattice
+    /// bottom).
+    pub fn empty() -> Self {
+        IntersectionRelation {
+            pairs: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a relation from pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (K, K)>) -> Self {
+        IntersectionRelation {
+            pairs: pairs.into_iter().collect(),
+        }
+    }
+
+    /// `inv(p) Q q`?
+    pub fn relates(&self, inv_p: K, q: K) -> bool {
+        self.pairs.contains(&(inv_p, q))
+    }
+
+    /// Adds a pair (builder-style).
+    #[must_use]
+    pub fn with(mut self, inv_p: K, q: K) -> Self {
+        self.pairs.insert((inv_p, q));
+        self
+    }
+
+    /// Removes a pair (builder-style) — relaxing a constraint.
+    #[must_use]
+    pub fn without(mut self, inv_p: K, q: K) -> Self {
+        self.pairs.remove(&(inv_p, q));
+        self
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True for the empty relation.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subrelation_of(&self, other: &Self) -> bool {
+        self.pairs.is_subset(&other.pairs)
+    }
+
+    /// All subrelations of this relation (the powerset — the constraint
+    /// lattice `2^Q` of §3.2).
+    pub fn subrelations(&self) -> Vec<Self> {
+        let pairs: Vec<(K, K)> = self.pairs.iter().copied().collect();
+        let mut out = Vec::with_capacity(1 << pairs.len());
+        for mask in 0u32..(1 << pairs.len()) {
+            let mut r = Self::empty();
+            for (i, &p) in pairs.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    r.pairs.insert(p);
+                }
+            }
+            out.push(r);
+        }
+        out
+    }
+
+    /// The pairs, in order.
+    pub fn pairs(&self) -> impl Iterator<Item = (K, K)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+/// The taxi-queue relation `{Q1, Q2}` of §3.3:
+/// `Q1` = initial Deq ∩ final Enq, `Q2` = initial Deq ∩ final Deq.
+pub fn queue_relation(q1: bool, q2: bool) -> IntersectionRelation<QueueKind> {
+    let mut r = IntersectionRelation::empty();
+    if q1 {
+        r = r.with(QueueKind::Deq, QueueKind::Enq);
+    }
+    if q2 {
+        r = r.with(QueueKind::Deq, QueueKind::Deq);
+    }
+    r
+}
+
+/// The account relation `{A1, A2}` of §3.4:
+/// `A1` = initial Debit ∩ final Credit, `A2` = initial Debit ∩ final Debit.
+pub fn account_relation(a1: bool, a2: bool) -> IntersectionRelation<AccountKind> {
+    let mut r = IntersectionRelation::empty();
+    if a1 {
+        r = r.with(AccountKind::Debit, AccountKind::Credit);
+    }
+    if a2 {
+        r = r.with(AccountKind::Debit, AccountKind::Debit);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_kinds() {
+        assert_eq!(QueueOp::Enq(1).kind(), QueueKind::Enq);
+        assert_eq!(QueueOp::Deq(1).kind(), QueueKind::Deq);
+        assert_eq!(QueueOp::Deq(1).invocation_kind(), QueueKind::Deq);
+    }
+
+    #[test]
+    fn account_kinds_share_debit_invocation() {
+        assert_eq!(AccountOp::DebitOk(1).kind(), AccountKind::Debit);
+        assert_eq!(AccountOp::DebitOverdraft(1).kind(), AccountKind::Debit);
+        assert_eq!(AccountOp::Credit(1).kind(), AccountKind::Credit);
+    }
+
+    #[test]
+    fn queue_relation_pairs() {
+        let full = queue_relation(true, true);
+        assert!(full.relates(QueueKind::Deq, QueueKind::Enq));
+        assert!(full.relates(QueueKind::Deq, QueueKind::Deq));
+        assert!(!full.relates(QueueKind::Enq, QueueKind::Enq));
+        let q1 = queue_relation(true, false);
+        assert!(q1.relates(QueueKind::Deq, QueueKind::Enq));
+        assert!(!q1.relates(QueueKind::Deq, QueueKind::Deq));
+    }
+
+    #[test]
+    fn subrelations_enumerate_lattice() {
+        let full = queue_relation(true, true);
+        let subs = full.subrelations();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.iter().any(|r| r.is_empty()));
+        assert!(subs.iter().any(|r| r == &full));
+        for r in &subs {
+            assert!(r.is_subrelation_of(&full));
+        }
+    }
+
+    #[test]
+    fn builder_with_without() {
+        let r = IntersectionRelation::empty()
+            .with(QueueKind::Deq, QueueKind::Enq)
+            .without(QueueKind::Deq, QueueKind::Enq);
+        assert!(r.is_empty());
+    }
+}

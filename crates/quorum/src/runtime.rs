@@ -1,0 +1,1103 @@
+//! An operational replicated object over `relax-sim`.
+//!
+//! Implements the client protocol of §3.1:
+//!
+//! 1. merge the logs from an *initial quorum* of sites into a **view**;
+//! 2. choose a response consistent with the view and append the new
+//!    entry;
+//! 3. send the updated view to a *final quorum*, each site merging it
+//!    into its resident log.
+//!
+//! Sites hold logs on stable storage (they survive crashes); clients time
+//! out when a quorum cannot be assembled, which is exactly the
+//! *availability* cost the paper's Figure 5-1 attributes to quorum
+//! intersection constraints. Experiments drive this runtime under fault
+//! schedules to measure availability and latency per quorum assignment.
+
+use std::collections::BTreeSet;
+
+use relax_automata::History;
+use relax_sim::{Ctx, NetworkConfig, Node, NodeId, SimTime, World};
+
+use crate::assignment::VotingAssignment;
+use crate::log::{Entry, Log};
+use crate::relation::HasKind;
+use crate::timestamp::LogicalClock;
+
+/// A replicated data type, as the runtime needs it: evaluation of views
+/// plus client-side response choice.
+pub trait ReplicatedType: Clone {
+    /// Invocations (operation name + arguments, no response yet).
+    type Inv: Clone + std::fmt::Debug;
+    /// Operation executions recorded in logs.
+    type Op: Clone + std::fmt::Debug + HasKind;
+    /// The value domain views evaluate to.
+    type Value: Clone;
+
+    /// The value of the empty view.
+    fn initial_value(&self) -> Self::Value;
+
+    /// Extends a view's value by one operation (the evaluation function
+    /// `η`; total).
+    fn apply(&self, value: &Self::Value, op: &Self::Op) -> Self::Value;
+
+    /// Chooses the response for `inv` against the view's value, yielding
+    /// the operation execution to record — or `None` when no response is
+    /// consistent (e.g. `Deq` on an apparently empty queue).
+    fn execute(&self, value: &Self::Value, inv: &Self::Inv) -> Option<Self::Op>;
+
+    /// The quorum-relevant kind of an invocation.
+    fn invocation_kind(&self, inv: &Self::Inv) -> <Self::Op as HasKind>::Kind;
+
+    /// Evaluates a whole view (provided).
+    fn eval_view(&self, log: &Log<Self::Op>) -> Self::Value {
+        let mut v = self.initial_value();
+        for e in log.entries() {
+            v = self.apply(&v, &e.op);
+        }
+        v
+    }
+}
+
+/// Messages of the quorum protocol.
+#[derive(Debug, Clone)]
+pub enum Msg<T: ReplicatedType> {
+    /// External kick: the client should run this invocation.
+    Start(T::Inv),
+    /// Client → replica: send me your log.
+    ReadReq {
+        /// Correlates responses with the pending invocation.
+        inv_id: u64,
+    },
+    /// Replica → client: my resident log.
+    ReadResp {
+        /// Correlation id.
+        inv_id: u64,
+        /// The replica's log.
+        log: Log<T::Op>,
+    },
+    /// Client → replica: merge this updated view.
+    WriteReq {
+        /// Correlation id.
+        inv_id: u64,
+        /// The updated view (original view plus the new entry).
+        log: Log<T::Op>,
+    },
+    /// Replica → client: merged.
+    WriteAck {
+        /// Correlation id.
+        inv_id: u64,
+    },
+    /// Replica → replica anti-entropy: merge my log (§3's "updates …
+    /// propagated asynchronously, perhaps as inaccessible sites rejoin").
+    Gossip {
+        /// The sender's resident log.
+        log: Log<T::Op>,
+    },
+    /// Control: arm a replica's gossip timer.
+    GossipKick,
+}
+
+/// How one invocation ended, from the client's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome<Op> {
+    /// The operation completed: response chosen and recorded at a final
+    /// quorum.
+    Completed {
+        /// The recorded operation execution.
+        op: Op,
+        /// Client-observed latency in ticks.
+        latency: u64,
+    },
+    /// The view offered no consistent response (e.g. empty queue).
+    Refused {
+        /// Client-observed latency in ticks.
+        latency: u64,
+    },
+    /// No quorum could be assembled before the timeout.
+    TimedOut,
+}
+
+impl<Op> Outcome<Op> {
+    /// True for [`Outcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed { .. })
+    }
+
+    /// True for [`Outcome::TimedOut`].
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, Outcome::TimedOut)
+    }
+}
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Ticks to wait for each phase before declaring the operation
+    /// unavailable.
+    pub timeout: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig { timeout: 200 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Phase<T: ReplicatedType> {
+    Read {
+        responded: BTreeSet<NodeId>,
+        view: Log<T::Op>,
+    },
+    Write {
+        acked: BTreeSet<NodeId>,
+        op: T::Op,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Pending<T: ReplicatedType> {
+    inv_id: u64,
+    inv: T::Inv,
+    started_at: SimTime,
+    phase: Phase<T>,
+}
+
+/// A node in the replicated system: either a replica or the client.
+#[derive(Debug)]
+pub enum RoleNode<T: ReplicatedType> {
+    /// A replica site holding a resident log.
+    Replica {
+        /// The resident log (stable storage; survives crashes).
+        log: Log<T::Op>,
+        /// Gossip interval in ticks (`None` disables anti-entropy).
+        gossip: Option<u64>,
+        /// All replicas (gossip peers).
+        peers: Vec<NodeId>,
+        /// Timer generation: stale timer tokens are ignored, and any
+        /// received message re-arms the timer (so replicas that lost
+        /// their timer while crashed resume gossiping on first contact).
+        epoch: u64,
+    },
+    /// The client running the three-step protocol.
+    Client(Box<ClientState<T>>),
+}
+
+/// Client-side protocol state.
+#[derive(Debug)]
+pub struct ClientState<T: ReplicatedType> {
+    ttype: T,
+    assignment: VotingAssignment<<T::Op as HasKind>::Kind>,
+    replicas: Vec<NodeId>,
+    config: ClientConfig,
+    clock: LogicalClock,
+    next_inv_id: u64,
+    pending: Option<Pending<T>>,
+    backlog: Vec<T::Inv>,
+    outcomes: Vec<Outcome<T::Op>>,
+}
+
+impl<T: ReplicatedType> ClientState<T> {
+    /// The outcomes recorded so far, in submission order.
+    pub fn outcomes(&self) -> &[Outcome<T::Op>] {
+        &self.outcomes
+    }
+
+    fn start_next(&mut self, ctx: &mut Ctx<'_, Msg<T>>) {
+        if self.pending.is_some() || self.backlog.is_empty() {
+            return;
+        }
+        let inv = self.backlog.remove(0);
+        self.next_inv_id += 1;
+        let inv_id = self.next_inv_id;
+        let kind = self.ttype.invocation_kind(&inv);
+        let needs_read = self.assignment.initial_size(kind) > 0;
+        self.pending = Some(Pending {
+            inv_id,
+            inv,
+            started_at: ctx.now(),
+            phase: Phase::Read {
+                responded: BTreeSet::new(),
+                view: Log::new(),
+            },
+        });
+        ctx.set_timer(self.config.timeout, inv_id);
+        if needs_read {
+            for &r in &self.replicas {
+                ctx.send(r, Msg::ReadReq { inv_id });
+            }
+        } else {
+            // A zero initial quorum: the response does not depend on the
+            // state; respond against the empty view immediately.
+            self.respond_with_view(ctx);
+        }
+    }
+
+    /// The initial quorum is assembled (or empty by design): choose a
+    /// response against the view and enter the write phase.
+    fn respond_with_view(&mut self, ctx: &mut Ctx<'_, Msg<T>>) {
+        let Some(pending) = self.pending.as_mut() else {
+            return;
+        };
+        let inv_id = pending.inv_id;
+        let Phase::Read { view, .. } = &pending.phase else {
+            return;
+        };
+        if let Some(ts) = view.max_timestamp() {
+            self.clock.observe(ts);
+        }
+        let value = self.ttype.eval_view(view);
+        match self.ttype.execute(&value, &pending.inv) {
+            None => {
+                let latency = ctx.now() - pending.started_at;
+                self.finish(ctx, Outcome::Refused { latency });
+            }
+            Some(op) => {
+                let ts = self.clock.tick();
+                let mut updated = view.clone();
+                updated.insert(Entry::new(ts, op.clone()));
+                pending.phase = Phase::Write {
+                    acked: BTreeSet::new(),
+                    op,
+                };
+                let replicas = self.replicas.clone();
+                for r in replicas {
+                    ctx.send(
+                        r,
+                        Msg::WriteReq {
+                            inv_id,
+                            log: updated.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_, Msg<T>>, outcome: Outcome<T::Op>) {
+        self.outcomes.push(outcome);
+        self.pending = None;
+        self.start_next(ctx);
+    }
+}
+
+impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<T>>, from: NodeId, msg: Msg<T>) {
+        match self {
+            RoleNode::Replica {
+                log,
+                gossip,
+                peers,
+                epoch,
+            } => {
+                match msg {
+                    Msg::ReadReq { inv_id } => {
+                        ctx.send(
+                            from,
+                            Msg::ReadResp {
+                                inv_id,
+                                log: log.clone(),
+                            },
+                        );
+                    }
+                    Msg::WriteReq { inv_id, log: view } => {
+                        log.merge(&view);
+                        ctx.send(from, Msg::WriteAck { inv_id });
+                    }
+                    Msg::Gossip { log: peer_log } => {
+                        log.merge(&peer_log);
+                    }
+                    Msg::GossipKick => {}
+                    _ => {}
+                }
+                // Any contact (including the kick) re-arms the gossip
+                // timer under a fresh epoch.
+                if let Some(interval) = gossip {
+                    *epoch += 1;
+                    let _ = peers;
+                    ctx.set_timer(*interval, *epoch);
+                }
+            }
+            RoleNode::Client(client) => match msg {
+                Msg::Start(inv) => {
+                    client.backlog.push(inv);
+                    client.start_next(ctx);
+                }
+                Msg::ReadResp { inv_id, log } => {
+                    let Some(pending) = client.pending.as_mut() else {
+                        return;
+                    };
+                    if pending.inv_id != inv_id {
+                        return;
+                    }
+                    let Phase::Read { responded, view } = &mut pending.phase else {
+                        return;
+                    };
+                    if !responded.insert(from) {
+                        return;
+                    }
+                    view.merge(&log);
+                    let kind = client.ttype.invocation_kind(&pending.inv);
+                    if responded.len() < client.assignment.initial_size(kind) {
+                        return;
+                    }
+                    // Initial quorum assembled: evaluate and respond.
+                    client.respond_with_view(ctx);
+                }
+                Msg::WriteAck { inv_id } => {
+                    let Some(pending) = client.pending.as_mut() else {
+                        return;
+                    };
+                    if pending.inv_id != inv_id {
+                        return;
+                    }
+                    let Phase::Write { acked, op } = &mut pending.phase else {
+                        return;
+                    };
+                    if !acked.insert(from) {
+                        return;
+                    }
+                    let kind = op.kind();
+                    if acked.len() >= client.assignment.final_size(kind) {
+                        let op = op.clone();
+                        let latency = ctx.now() - pending.started_at;
+                        client.finish(ctx, Outcome::Completed { op, latency });
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<T>>, token: u64) {
+        match self {
+            RoleNode::Client(client) => {
+                if client
+                    .pending
+                    .as_ref()
+                    .is_some_and(|p| p.inv_id == token)
+                {
+                    client.finish(ctx, Outcome::TimedOut);
+                }
+            }
+            RoleNode::Replica {
+                log,
+                gossip,
+                peers,
+                epoch,
+            } => {
+                if token != *epoch {
+                    return; // stale timer from a previous epoch
+                }
+                if let Some(interval) = gossip {
+                    // Push the resident log to a random peer and re-arm.
+                    use rand::seq::SliceRandom;
+                    let me = ctx.me();
+                    let others: Vec<NodeId> =
+                        peers.iter().copied().filter(|&p| p != me).collect();
+                    if let Some(&peer) = others.choose(ctx.rng()) {
+                        ctx.send(peer, Msg::Gossip { log: log.clone() });
+                    }
+                    *epoch += 1;
+                    ctx.set_timer(*interval, *epoch);
+                }
+            }
+        }
+    }
+}
+
+/// A complete replicated system: `n` replicas plus one or more clients,
+/// over the discrete-event simulator.
+///
+/// The paper assumes operations execute atomically (§2); a *single*
+/// client issues operations sequentially and satisfies that assumption,
+/// so its completed history obeys the lattice point its quorums realize.
+/// Multiple concurrent clients (dispatchers and drivers racing) violate
+/// the assumption — their read/write phases interleave — which is
+/// precisely the regime §4's atomicity machinery exists for; the
+/// multi-client mode is provided to *exhibit* those races.
+#[derive(Debug)]
+pub struct QuorumSystem<T: ReplicatedType> {
+    world: World<Msg<T>, RoleNode<T>>,
+    clients: Vec<NodeId>,
+    n_replicas: usize,
+}
+
+impl<T: ReplicatedType> QuorumSystem<T> {
+    /// Builds a system with `n_replicas` replicas (nodes `0..n`) and one
+    /// client (node `n`).
+    pub fn new(
+        ttype: T,
+        n_replicas: usize,
+        assignment: VotingAssignment<<T::Op as HasKind>::Kind>,
+        client_config: ClientConfig,
+        network: NetworkConfig,
+        seed: u64,
+    ) -> Self {
+        Self::with_clients(ttype, n_replicas, 1, assignment, client_config, network, seed)
+    }
+
+    /// Builds a system with `n_replicas` replicas (nodes `0..n`) and
+    /// `n_clients` clients (nodes `n..n+c`), each running its own copy of
+    /// the quorum protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_clients == 0` or the assignment covers a different
+    /// replica count.
+    pub fn with_clients(
+        ttype: T,
+        n_replicas: usize,
+        n_clients: usize,
+        assignment: VotingAssignment<<T::Op as HasKind>::Kind>,
+        client_config: ClientConfig,
+        network: NetworkConfig,
+        seed: u64,
+    ) -> Self
+    where
+        T: Clone,
+    {
+        assert!(n_clients >= 1, "need at least one client");
+        assert_eq!(
+            assignment.n_sites(),
+            n_replicas,
+            "assignment must cover exactly the replica set"
+        );
+        let replica_ids: Vec<NodeId> = (0..n_replicas).map(NodeId).collect();
+        let mut nodes: Vec<RoleNode<T>> = (0..n_replicas)
+            .map(|_| RoleNode::Replica {
+                log: Log::new(),
+                gossip: None,
+                peers: replica_ids.clone(),
+                epoch: 0,
+            })
+            .collect();
+        let mut clients = Vec::with_capacity(n_clients);
+        for c in 0..n_clients {
+            let id = NodeId(n_replicas + c);
+            clients.push(id);
+            nodes.push(RoleNode::Client(Box::new(ClientState {
+                ttype: ttype.clone(),
+                assignment: assignment.clone(),
+                replicas: (0..n_replicas).map(NodeId).collect(),
+                config: client_config.clone(),
+                clock: LogicalClock::new(id.0),
+                next_inv_id: 0,
+                pending: None,
+                backlog: Vec::new(),
+                outcomes: Vec::new(),
+            })));
+        }
+        QuorumSystem {
+            world: World::new(nodes, network, seed),
+            clients,
+            n_replicas,
+        }
+    }
+
+    /// The clients' node ids.
+    pub fn clients(&self) -> &[NodeId] {
+        &self.clients
+    }
+
+    /// Enables replica-to-replica anti-entropy: every `interval` ticks of
+    /// inactivity, each replica pushes its log to one random peer.
+    /// (Builder-style; call before running.)
+    ///
+    /// A gossiping system never quiesces (the timers re-arm forever):
+    /// drive it with [`QuorumSystem::run_until`], not
+    /// [`QuorumSystem::run_to_quiescence`].
+    #[must_use]
+    pub fn with_gossip(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "gossip interval must be positive");
+        for i in 0..self.n_replicas {
+            if let RoleNode::Replica { gossip, .. } = self.world.node_mut(NodeId(i)) {
+                *gossip = Some(interval);
+            }
+            // Arm the first timer.
+            self.world.send_external(NodeId(i), Msg::GossipKick);
+        }
+        self
+    }
+
+    /// The underlying world (fault injection, clock, …).
+    pub fn world_mut(&mut self) -> &mut World<Msg<T>, RoleNode<T>> {
+        &mut self.world
+    }
+
+    /// Read access to the underlying world.
+    pub fn world(&self) -> &World<Msg<T>, RoleNode<T>> {
+        &self.world
+    }
+
+    /// Submits an invocation to the first client (queued; each client
+    /// runs its own invocations sequentially).
+    pub fn submit(&mut self, inv: T::Inv) {
+        self.submit_to(0, inv);
+    }
+
+    /// Submits an invocation to client `ix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is not a client index.
+    pub fn submit_to(&mut self, ix: usize, inv: T::Inv) {
+        let client = self.clients[ix];
+        self.world.send_external(client, Msg::Start(inv));
+    }
+
+    /// Runs the simulation until `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// Runs to quiescence (bounded by `max_events`).
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> bool {
+        self.world.run_to_quiescence(max_events)
+    }
+
+    /// Runs until at least `count` outcomes have been recorded (or the
+    /// event budget is exhausted). Returns `true` if the count was
+    /// reached.
+    pub fn run_until_outcomes(&mut self, count: usize, max_events: u64) -> bool {
+        let mut budget = max_events;
+        while self.outcomes().len() < count && budget > 0 {
+            if !self.world.step() {
+                break;
+            }
+            budget -= 1;
+        }
+        self.outcomes().len() >= count
+    }
+
+    /// Runs until the first outcome is recorded. Returns `true` on
+    /// success within the event budget.
+    pub fn run_to_first_outcome(&mut self, max_events: u64) -> bool {
+        self.run_until_outcomes(1, max_events)
+    }
+
+    /// The first client's outcomes.
+    pub fn outcomes(&self) -> &[Outcome<T::Op>] {
+        self.outcomes_of(0)
+    }
+
+    /// The outcomes of client `ix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is not a client index.
+    pub fn outcomes_of(&self, ix: usize) -> &[Outcome<T::Op>] {
+        match self.world.node(self.clients[ix]) {
+            RoleNode::Client(c) => c.outcomes(),
+            RoleNode::Replica { .. } => unreachable!("client ids are fixed"),
+        }
+    }
+
+    /// All clients' completed operations, flattened.
+    pub fn completed_ops(&self) -> Vec<T::Op> {
+        let mut out = Vec::new();
+        for ix in 0..self.clients.len() {
+            for o in self.outcomes_of(ix) {
+                if let Outcome::Completed { op, .. } = o {
+                    out.push(op.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The resident log of replica `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a replica index.
+    pub fn replica_log(&self, i: usize) -> &Log<T::Op> {
+        assert!(i < self.n_replicas, "replica index out of range");
+        match self.world.node(NodeId(i)) {
+            RoleNode::Replica { log, .. } => log,
+            RoleNode::Client(_) => unreachable!("replica ids are 0..n"),
+        }
+    }
+
+    /// The union of all replica logs, as a history in timestamp order —
+    /// the system's "true" history.
+    pub fn merged_history(&self) -> History<T::Op> {
+        let mut all = Log::new();
+        for i in 0..self.n_replicas {
+            all.merge(self.replica_log(i));
+        }
+        all.to_history()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concrete replicated types
+// ---------------------------------------------------------------------------
+
+/// Invocations for the replicated taxi queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueInv {
+    /// Enqueue a request with the given priority.
+    Enq(relax_queues::Item),
+    /// Dequeue the best visible request.
+    Deq,
+}
+
+/// The replicated taxi-dispatch priority queue of §3.3, with the paper's
+/// evaluation function `η` (views are bags).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaxiQueueType;
+
+impl ReplicatedType for TaxiQueueType {
+    type Inv = QueueInv;
+    type Op = relax_queues::QueueOp;
+    type Value = relax_queues::Bag<relax_queues::Item>;
+
+    fn initial_value(&self) -> Self::Value {
+        relax_queues::Bag::new()
+    }
+
+    fn apply(&self, value: &Self::Value, op: &Self::Op) -> Self::Value {
+        use relax_queues::Eval;
+        relax_queues::Eta.apply(value, op)
+    }
+
+    fn execute(&self, value: &Self::Value, inv: &QueueInv) -> Option<Self::Op> {
+        match inv {
+            QueueInv::Enq(e) => Some(relax_queues::QueueOp::Enq(*e)),
+            QueueInv::Deq => value.best().map(|b| relax_queues::QueueOp::Deq(*b)),
+        }
+    }
+
+    fn invocation_kind(&self, inv: &QueueInv) -> crate::relation::QueueKind {
+        match inv {
+            QueueInv::Enq(_) => crate::relation::QueueKind::Enq,
+            QueueInv::Deq => crate::relation::QueueKind::Deq,
+        }
+    }
+}
+
+/// The replicated taxi queue with the *alternative* evaluation function
+/// `η′` of §3.3: a dequeue's view discards every pending request with
+/// priority above the returned one ("skipped over" requests are ignored
+/// forever). Compare with [`TaxiQueueType`] — same invocations, same
+/// quorums, different degradation: never out of order, may starve
+/// requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaxiQueuePrimeType;
+
+impl ReplicatedType for TaxiQueuePrimeType {
+    type Inv = QueueInv;
+    type Op = relax_queues::QueueOp;
+    type Value = relax_queues::Bag<relax_queues::Item>;
+
+    fn initial_value(&self) -> Self::Value {
+        relax_queues::Bag::new()
+    }
+
+    fn apply(&self, value: &Self::Value, op: &Self::Op) -> Self::Value {
+        use relax_queues::Eval;
+        relax_queues::EtaPrime.apply(value, op)
+    }
+
+    fn execute(&self, value: &Self::Value, inv: &QueueInv) -> Option<Self::Op> {
+        match inv {
+            QueueInv::Enq(e) => Some(relax_queues::QueueOp::Enq(*e)),
+            QueueInv::Deq => value.best().map(|b| relax_queues::QueueOp::Deq(*b)),
+        }
+    }
+
+    fn invocation_kind(&self, inv: &QueueInv) -> crate::relation::QueueKind {
+        match inv {
+            QueueInv::Enq(_) => crate::relation::QueueKind::Enq,
+            QueueInv::Deq => crate::relation::QueueKind::Deq,
+        }
+    }
+}
+
+/// Invocations for the replicated bank account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccountInv {
+    /// Credit the account.
+    Credit(u32),
+    /// Debit the account (may bounce).
+    Debit(u32),
+}
+
+/// The replicated ATM bank account of §3.4. A `Debit` against a view with
+/// an insufficient *visible* balance completes as `Overdraft` — the
+/// spurious bounce the bank tolerates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankAccountType;
+
+impl ReplicatedType for BankAccountType {
+    type Inv = AccountInv;
+    type Op = relax_queues::AccountOp;
+    type Value = i64;
+
+    fn initial_value(&self) -> i64 {
+        0
+    }
+
+    fn apply(&self, value: &i64, op: &Self::Op) -> i64 {
+        use relax_queues::Eval;
+        relax_queues::eval::AccountEval.apply(value, op)
+    }
+
+    fn execute(&self, value: &i64, inv: &AccountInv) -> Option<Self::Op> {
+        match inv {
+            AccountInv::Credit(n) => Some(relax_queues::AccountOp::Credit(*n)),
+            AccountInv::Debit(n) => Some(if *value >= i64::from(*n) {
+                relax_queues::AccountOp::DebitOk(*n)
+            } else {
+                relax_queues::AccountOp::DebitOverdraft(*n)
+            }),
+        }
+    }
+
+    fn invocation_kind(&self, inv: &AccountInv) -> crate::relation::AccountKind {
+        match inv {
+            AccountInv::Credit(_) => crate::relation::AccountKind::Credit,
+            AccountInv::Debit(_) => crate::relation::AccountKind::Debit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_queues::{PQueueAutomaton, QueueOp};
+    use relax_sim::{Fault, FaultSchedule};
+    use relax_automata::ObjectAutomaton;
+
+    use crate::relation::QueueKind;
+
+    fn taxi_assignment(n: usize) -> VotingAssignment<QueueKind> {
+        // Majority Deq quorums, single-site Enq final... Enq final must
+        // intersect Deq initial: deq_init + enq_final > n. Use
+        // deq_init = deq_final = majority, enq_final = n - deq_init + 1.
+        let maj = n / 2 + 1;
+        VotingAssignment::new(n)
+            .with_initial(QueueKind::Deq, maj)
+            .with_final(QueueKind::Deq, maj)
+            .with_initial(QueueKind::Enq, 1)
+            .with_final(QueueKind::Enq, n - maj + 1)
+    }
+
+    fn healthy_system(seed: u64) -> QuorumSystem<TaxiQueueType> {
+        QuorumSystem::new(
+            TaxiQueueType,
+            3,
+            taxi_assignment(3),
+            ClientConfig::default(),
+            NetworkConfig::default(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn healthy_run_is_one_copy_serializable() {
+        let mut sys = healthy_system(11);
+        sys.submit(QueueInv::Enq(2));
+        sys.submit(QueueInv::Enq(9));
+        sys.submit(QueueInv::Deq);
+        sys.submit(QueueInv::Deq);
+        assert!(sys.run_to_quiescence(100_000));
+
+        let outcomes = sys.outcomes();
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(Outcome::is_completed));
+        // First Deq returns 9 (the best), second returns 2.
+        assert!(matches!(outcomes[2], Outcome::Completed { op: QueueOp::Deq(9), .. }));
+        assert!(matches!(outcomes[3], Outcome::Completed { op: QueueOp::Deq(2), .. }));
+
+        // The merged replica history is a legal priority-queue history.
+        let h = sys.merged_history();
+        assert!(PQueueAutomaton::new().accepts(&h));
+    }
+
+    #[test]
+    fn deq_on_empty_is_refused() {
+        let mut sys = healthy_system(5);
+        sys.submit(QueueInv::Deq);
+        sys.run_to_quiescence(10_000);
+        assert!(matches!(sys.outcomes()[0], Outcome::Refused { .. }));
+    }
+
+    /// Enq as available as possible (quorums of one), paid for by
+    /// initial Deq quorums of all sites — the other end of the Q1
+    /// trade-off.
+    fn enq_cheap_assignment(n: usize) -> VotingAssignment<QueueKind> {
+        VotingAssignment::new(n)
+            .with_initial(QueueKind::Enq, 1)
+            .with_final(QueueKind::Enq, 1)
+            .with_initial(QueueKind::Deq, n)
+            .with_final(QueueKind::Deq, 1)
+    }
+
+    #[test]
+    fn crash_makes_deq_unavailable_but_enq_survives() {
+        let mut sys = QuorumSystem::new(
+            TaxiQueueType,
+            3,
+            enq_cheap_assignment(3),
+            ClientConfig::default(),
+            NetworkConfig::default(),
+            7,
+        );
+        sys.world_mut().network_mut().crash(NodeId(0));
+        sys.submit(QueueInv::Enq(4)); // quorums of 1: still fine
+        sys.submit(QueueInv::Deq); // needs all 3 sites: unavailable
+        sys.run_to_quiescence(100_000);
+        let outcomes = sys.outcomes();
+        assert!(outcomes[0].is_completed());
+        assert!(outcomes[1].is_timeout());
+    }
+
+    #[test]
+    fn recovery_restores_availability() {
+        let mut sys = QuorumSystem::new(
+            TaxiQueueType,
+            3,
+            enq_cheap_assignment(3),
+            ClientConfig::default(),
+            NetworkConfig::default(),
+            3,
+        );
+        sys.world_mut().set_schedule(
+            FaultSchedule::new()
+                .down_between(NodeId(0), SimTime(0), SimTime(500))
+                .at(SimTime(0), Fault::Crash(NodeId(1)))
+                .at(SimTime(500), Fault::Recover(NodeId(1))),
+        );
+        sys.submit(QueueInv::Enq(4)); // completes at replica 2
+        sys.submit(QueueInv::Deq); // needs all sites: times out during outage
+        sys.run_until(SimTime(600));
+        sys.submit(QueueInv::Deq); // succeeds after recovery
+        sys.run_to_quiescence(100_000);
+        let outcomes = sys.outcomes();
+        assert!(outcomes[0].is_completed());
+        assert!(outcomes[1].is_timeout());
+        assert!(
+            matches!(outcomes[2], Outcome::Completed { op: QueueOp::Deq(4), .. }),
+            "got {:?}",
+            outcomes[2]
+        );
+    }
+
+    #[test]
+    fn gossip_converges_divergent_replicas() {
+        use relax_sim::{Fault, FaultSchedule, Partition};
+        // Write lands only at replica 0 (partition isolates {client, 0});
+        // after healing, anti-entropy alone (no further client traffic)
+        // spreads it to all replicas.
+        let assignment = VotingAssignment::new(3)
+            .with_initial(QueueKind::Enq, 0)
+            .with_final(QueueKind::Enq, 1)
+            .with_initial(QueueKind::Deq, 1)
+            .with_final(QueueKind::Deq, 1);
+        let mut sys = QuorumSystem::new(
+            TaxiQueueType,
+            3,
+            assignment,
+            ClientConfig::default(),
+            NetworkConfig::default(),
+            13,
+        )
+        .with_gossip(25);
+        sys.world_mut().set_schedule(
+            FaultSchedule::new()
+                .at(
+                    SimTime(0),
+                    Fault::Partition(Partition::groups(vec![
+                        vec![NodeId(3), NodeId(0)],
+                        vec![NodeId(1), NodeId(2)],
+                    ])),
+                )
+                .at(SimTime(100), Fault::Heal),
+        );
+        sys.submit(QueueInv::Enq(7));
+        sys.run_until(SimTime(90));
+        assert_eq!(sys.replica_log(0).len(), 1);
+        assert_eq!(sys.replica_log(1).len(), 0);
+        assert_eq!(sys.replica_log(2).len(), 0);
+        // Heal and let gossip do its work — no client activity.
+        sys.run_until(SimTime(1_000));
+        for i in 0..3 {
+            assert_eq!(sys.replica_log(i).len(), 1, "replica {i} not converged");
+        }
+    }
+
+    #[test]
+    fn without_gossip_divergence_persists() {
+        use relax_sim::{Fault, FaultSchedule, Partition};
+        let assignment = VotingAssignment::new(3)
+            .with_initial(QueueKind::Enq, 0)
+            .with_final(QueueKind::Enq, 1)
+            .with_initial(QueueKind::Deq, 1)
+            .with_final(QueueKind::Deq, 1);
+        let mut sys = QuorumSystem::new(
+            TaxiQueueType,
+            3,
+            assignment,
+            ClientConfig::default(),
+            NetworkConfig::default(),
+            13,
+        );
+        sys.world_mut().set_schedule(
+            FaultSchedule::new()
+                .at(
+                    SimTime(0),
+                    Fault::Partition(Partition::groups(vec![
+                        vec![NodeId(3), NodeId(0)],
+                        vec![NodeId(1), NodeId(2)],
+                    ])),
+                )
+                .at(SimTime(100), Fault::Heal),
+        );
+        sys.submit(QueueInv::Enq(7));
+        sys.run_until(SimTime(1_000));
+        assert_eq!(sys.replica_log(0).len(), 1);
+        assert_eq!(sys.replica_log(1).len(), 0, "no anti-entropy configured");
+    }
+
+    #[test]
+    fn concurrent_drivers_can_duplicate_dispatch() {
+        // Two drivers dequeue *concurrently*: their read phases both run
+        // before either write lands, so both serve request 5 — the race
+        // the paper's §2 atomicity assumption excludes and §4's
+        // transactional machinery prevents.
+        let mut duplicated = 0;
+        for seed in 0..20 {
+            let mut sys = QuorumSystem::with_clients(
+                TaxiQueueType,
+                3,
+                2,
+                taxi_assignment(3),
+                ClientConfig::default(),
+                NetworkConfig::default(),
+                seed,
+            );
+            sys.submit_to(0, QueueInv::Enq(5));
+            sys.run_to_quiescence(100_000);
+            sys.submit_to(0, QueueInv::Deq);
+            sys.submit_to(1, QueueInv::Deq);
+            sys.run_to_quiescence(100_000);
+            let deqs = sys
+                .completed_ops()
+                .into_iter()
+                .filter(|op| matches!(op, QueueOp::Deq(5)))
+                .count();
+            if deqs == 2 {
+                duplicated += 1;
+            }
+        }
+        assert!(duplicated > 0, "expected concurrent duplicate dispatch");
+    }
+
+    #[test]
+    fn sequential_clients_stay_one_copy() {
+        // The same two drivers, but serialized in time: no duplicates —
+        // the merged history is a legal priority-queue history.
+        for seed in 0..10 {
+            let mut sys = QuorumSystem::with_clients(
+                TaxiQueueType,
+                3,
+                2,
+                taxi_assignment(3),
+                ClientConfig::default(),
+                NetworkConfig::default(),
+                seed,
+            );
+            sys.submit_to(0, QueueInv::Enq(5));
+            sys.run_to_quiescence(100_000);
+            sys.submit_to(0, QueueInv::Deq);
+            sys.run_to_quiescence(100_000);
+            sys.submit_to(1, QueueInv::Deq);
+            sys.run_to_quiescence(100_000);
+            let h = sys.merged_history();
+            assert!(
+                PQueueAutomaton::new().accepts(&h),
+                "seed {seed}: {h} not a PQ history"
+            );
+        }
+    }
+
+    #[test]
+    fn account_overdraft_on_stale_view() {
+        // A1 relaxed: Credit final quorum = 1, Debit initial quorum = 1 —
+        // a debit may read a replica the credit never reached.
+        let assignment = VotingAssignment::new(3)
+            .with_final(crate::relation::AccountKind::Credit, 1)
+            .with_initial(crate::relation::AccountKind::Debit, 1)
+            .with_final(crate::relation::AccountKind::Debit, 2)
+            .with_initial(crate::relation::AccountKind::Credit, 1);
+        let mut bounced = 0;
+        for seed in 0..30 {
+            let mut sys = QuorumSystem::new(
+                BankAccountType,
+                3,
+                assignment.clone(),
+                ClientConfig::default(),
+                NetworkConfig::default(),
+                seed,
+            );
+            sys.submit(AccountInv::Credit(10));
+            sys.submit(AccountInv::Debit(5));
+            sys.run_to_quiescence(100_000);
+            if matches!(
+                sys.outcomes()[1],
+                Outcome::Completed {
+                    op: relax_queues::AccountOp::DebitOverdraft(_),
+                    ..
+                }
+            ) {
+                bounced += 1;
+            }
+        }
+        // With credit recorded at 1 of 3 replicas and the debit reading 1,
+        // stale reads happen often (≈2/3 of seeds); assert we saw some but
+        // not all bounce.
+        assert!(bounced > 0, "expected some spurious bounces");
+        assert!(bounced < 30, "expected some debits to see the credit");
+    }
+
+    #[test]
+    fn account_with_a2_never_overdraws() {
+        // A2 held: Debit quorums are majorities, so debits always see
+        // earlier debits — the balance of *completed DebitOk* operations
+        // never exceeds credits.
+        let assignment = VotingAssignment::new(3)
+            .with_final(crate::relation::AccountKind::Credit, 1)
+            .with_initial(crate::relation::AccountKind::Debit, 2)
+            .with_final(crate::relation::AccountKind::Debit, 2)
+            .with_initial(crate::relation::AccountKind::Credit, 1);
+        for seed in 0..20 {
+            let mut sys = QuorumSystem::new(
+                BankAccountType,
+                3,
+                assignment.clone(),
+                ClientConfig::default(),
+                NetworkConfig::default(),
+                seed,
+            );
+            sys.submit(AccountInv::Credit(10));
+            sys.submit(AccountInv::Debit(6));
+            sys.submit(AccountInv::Debit(6));
+            sys.run_to_quiescence(100_000);
+            let mut credits = 0i64;
+            let mut debits = 0i64;
+            for o in sys.outcomes() {
+                if let Outcome::Completed { op, .. } = o {
+                    match op {
+                        relax_queues::AccountOp::Credit(n) => credits += i64::from(*n),
+                        relax_queues::AccountOp::DebitOk(n) => debits += i64::from(*n),
+                        relax_queues::AccountOp::DebitOverdraft(_) => {}
+                    }
+                }
+            }
+            assert!(debits <= credits, "overdraft with A2 held (seed {seed})");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! `Q`-closed subhistories and `Q`-views (Definitions 1 and 2).
+//!
+//! * **Definition 1.** `G` is a *Q-closed* subhistory of `H` if whenever
+//!   it contains an operation `p` it also contains every earlier
+//!   operation `q` of `H` such that `inv(p) Q q`.
+//! * **Definition 2.** `G` is a *Q-view* of `H` for an operation `p` if
+//!   (1) `G` includes every operation `q` such that `inv(p) Q q`, and
+//!   (2) `G` is Q-closed.
+//!
+//! Views model what a client can observe by merging the logs of an
+//! initial quorum: the operations it is *guaranteed* to see are exactly
+//! those related to `p`'s invocation, plus closure.
+//!
+//! Subhistories are identified by position subsets of `H`, so duplicate
+//! operation executions are handled correctly.
+
+use relax_automata::History;
+
+use crate::relation::{HasKind, IntersectionRelation};
+
+/// Is the position subset `mask` (bit `i` = position `i` of `h`) a
+/// Q-closed subhistory of `h`?
+pub fn is_q_closed_mask<Op: HasKind>(
+    h: &History<Op>,
+    mask: u64,
+    q: &IntersectionRelation<Op::Kind>,
+) -> bool {
+    let ops = h.ops();
+    for i in 0..ops.len() {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
+        let inv_kind = ops[i].invocation_kind();
+        for (j, earlier) in ops.iter().enumerate().take(i) {
+            if q.relates(inv_kind, earlier.kind()) && mask & (1 << j) == 0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Is `g` (as a subsequence of `h`) Q-closed? Convenience wrapper that
+/// finds `g`'s positions in `h` greedily; for precise control use
+/// [`is_q_closed_mask`].
+pub fn is_q_closed<Op: HasKind + Clone + PartialEq>(
+    h: &History<Op>,
+    g: &History<Op>,
+    q: &IntersectionRelation<Op::Kind>,
+) -> bool {
+    match positions_of(h, g) {
+        Some(mask) => is_q_closed_mask(h, mask, q),
+        None => false,
+    }
+}
+
+/// Greedy subsequence embedding: the positions of `g`'s operations in
+/// `h`, or `None` if `g` is not a subsequence.
+fn positions_of<Op: PartialEq>(h: &History<Op>, g: &History<Op>) -> Option<u64> {
+    let mut mask = 0u64;
+    let mut start = 0usize;
+    for gop in g.iter() {
+        let pos = h.ops()[start..].iter().position(|hop| hop == gop)? + start;
+        mask |= 1 << pos;
+        start = pos + 1;
+    }
+    Some(mask)
+}
+
+/// All Q-views of `h` for an operation `p` (Definition 2), as histories.
+///
+/// # Panics
+///
+/// Panics if `h` is longer than 63 operations (views are enumerated by
+/// bitmask; bounded checking never needs more).
+pub fn q_views<Op: HasKind + Clone>(
+    h: &History<Op>,
+    p: &Op,
+    q: &IntersectionRelation<Op::Kind>,
+) -> Vec<History<Op>> {
+    let ops = h.ops();
+    assert!(ops.len() < 64, "q_views is for bounded histories (< 64 ops)");
+    let n = ops.len();
+    let inv_kind = p.invocation_kind();
+
+    // Required positions: every operation related to inv(p).
+    let mut required = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        if q.relates(inv_kind, op.kind()) {
+            required |= 1 << i;
+        }
+    }
+
+    let mut views = Vec::new();
+    // Enumerate supersets of `required` among all position subsets.
+    // Iterate over subsets of the complement and union with required.
+    let free = !required & ((1u64 << n) - 1);
+    let mut subset = 0u64;
+    loop {
+        let mask = required | subset;
+        if is_q_closed_mask(h, mask, q) {
+            let view: History<Op> = ops
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, op)| op.clone())
+                .collect();
+            views.push(view);
+        }
+        // Next subset of `free` (standard subset-enumeration trick).
+        if subset == free {
+            break;
+        }
+        subset = (subset.wrapping_sub(free)) & free;
+    }
+    views
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_queues::QueueOp;
+
+    use crate::relation::queue_relation;
+
+    fn h(ops: &[QueueOp]) -> History<QueueOp> {
+        History::from(ops.to_vec())
+    }
+
+    #[test]
+    fn full_relation_views_are_full_history_only() {
+        // With Q = {Q1, Q2}, a Deq's view must contain all Enq and Deq
+        // operations: only H itself (plus nothing dropped) qualifies.
+        let q = queue_relation(true, true);
+        let hist = h(&[QueueOp::Enq(1), QueueOp::Enq(2), QueueOp::Deq(1)]);
+        let views = q_views(&hist, &QueueOp::Deq(2), &q);
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0], hist);
+    }
+
+    #[test]
+    fn q1_only_views_may_drop_deqs() {
+        // With only Q1 (Deq sees Enq), views of a Deq must contain every
+        // Enq but may drop any subset of Deqs.
+        let q = queue_relation(true, false);
+        let hist = h(&[QueueOp::Enq(1), QueueOp::Deq(1), QueueOp::Enq(2)]);
+        let views = q_views(&hist, &QueueOp::Deq(1), &q);
+        // Deq may be present or absent: 2 views.
+        assert_eq!(views.len(), 2);
+        for v in &views {
+            assert!(v.ops().contains(&QueueOp::Enq(1)));
+            assert!(v.ops().contains(&QueueOp::Enq(2)));
+        }
+    }
+
+    #[test]
+    fn q2_only_views_may_drop_enqs() {
+        let q = queue_relation(false, true);
+        let hist = h(&[QueueOp::Enq(1), QueueOp::Enq(2), QueueOp::Deq(1)]);
+        let views = q_views(&hist, &QueueOp::Deq(2), &q);
+        // Deq(1) required; each Enq optional → up to 4 views, all Q-closed.
+        assert_eq!(views.len(), 4);
+        for v in &views {
+            assert!(v.ops().contains(&QueueOp::Deq(1)));
+        }
+    }
+
+    #[test]
+    fn empty_relation_views_are_all_subsets() {
+        let q = queue_relation(false, false);
+        let hist = h(&[QueueOp::Enq(1), QueueOp::Deq(1)]);
+        let views = q_views(&hist, &QueueOp::Deq(1), &q);
+        assert_eq!(views.len(), 4); // every subset is a view
+    }
+
+    #[test]
+    fn enq_views_are_unconstrained_under_queue_relation() {
+        // inv(Enq) relates to nothing, so an Enq's required set is empty.
+        let q = queue_relation(true, true);
+        let hist = h(&[QueueOp::Enq(1), QueueOp::Deq(1)]);
+        let views = q_views(&hist, &QueueOp::Enq(2), &q);
+        // Subsets that are Q-closed: {}, {Enq}, {Enq, Deq} — {Deq} alone is
+        // not Q-closed (Deq's invocation relates to the earlier Enq).
+        assert_eq!(views.len(), 3);
+    }
+
+    #[test]
+    fn closure_check_on_explicit_subhistory() {
+        let q = queue_relation(true, true);
+        let hist = h(&[QueueOp::Enq(1), QueueOp::Deq(1)]);
+        let good = h(&[QueueOp::Enq(1), QueueOp::Deq(1)]);
+        let bad = h(&[QueueOp::Deq(1)]); // contains Deq without the Enq
+        assert!(is_q_closed(&hist, &good, &q));
+        assert!(!is_q_closed(&hist, &bad, &q));
+        let not_sub = h(&[QueueOp::Enq(9)]);
+        assert!(!is_q_closed(&hist, &not_sub, &q));
+    }
+
+    #[test]
+    fn view_count_grows_as_constraints_relax() {
+        let hist = h(&[
+            QueueOp::Enq(1),
+            QueueOp::Deq(1),
+            QueueOp::Enq(2),
+            QueueOp::Deq(2),
+        ]);
+        let p = QueueOp::Deq(1);
+        let full = q_views(&hist, &p, &queue_relation(true, true)).len();
+        let q1 = q_views(&hist, &p, &queue_relation(true, false)).len();
+        let q2 = q_views(&hist, &p, &queue_relation(false, true)).len();
+        let none = q_views(&hist, &p, &queue_relation(false, false)).len();
+        assert!(full <= q1 && full <= q2 && q1 <= none && q2 <= none);
+        assert_eq!(full, 1);
+        assert_eq!(none, 16);
+    }
+}

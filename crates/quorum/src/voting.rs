@@ -1,0 +1,299 @@
+//! Weighted voting (Gifford \[10\]).
+//!
+//! §3.3: "If quorums are established by voting \[10\], then Q2 implies
+//! each Deq quorum must encompass a majority of votes." This module
+//! generalizes [`crate::assignment::VotingAssignment`] (one site, one
+//! vote) to heterogeneous vote weights: a quorum for an operation is any
+//! site set whose votes reach the operation's threshold, and two
+//! thresholds guarantee intersection iff they sum past the total vote
+//! count.
+//!
+//! Weighted votes let a reliable, well-connected site carry more of the
+//! quorum burden — the availability mathematics (dynamic programming
+//! over per-site up-probabilities) quantifies exactly how much.
+
+use std::collections::BTreeMap;
+
+use crate::relation::IntersectionRelation;
+
+/// A weighted-voting quorum assignment: per-site votes plus per-kind
+/// initial and final vote thresholds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedVoting<K: Ord> {
+    votes: Vec<u32>,
+    initial: BTreeMap<K, u32>,
+    final_: BTreeMap<K, u32>,
+}
+
+impl<K: Copy + Ord + std::fmt::Debug> WeightedVoting<K> {
+    /// An assignment over the given per-site votes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no site carries a positive vote.
+    pub fn new(votes: Vec<u32>) -> Self {
+        assert!(
+            votes.iter().any(|&v| v > 0),
+            "at least one site must carry votes"
+        );
+        WeightedVoting {
+            votes,
+            initial: BTreeMap::new(),
+            final_: BTreeMap::new(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Total votes in the system.
+    pub fn total_votes(&self) -> u32 {
+        self.votes.iter().sum()
+    }
+
+    /// The votes carried by a site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn votes_of(&self, site: usize) -> u32 {
+        self.votes[site]
+    }
+
+    /// Sets an initial (read) vote threshold (builder-style). Zero means
+    /// the operation's response does not depend on state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold exceeds the total votes.
+    #[must_use]
+    pub fn with_initial(mut self, kind: K, threshold: u32) -> Self {
+        assert!(
+            threshold <= self.total_votes(),
+            "initial threshold {threshold} exceeds total votes"
+        );
+        self.initial.insert(kind, threshold);
+        self
+    }
+
+    /// Sets a final (write) vote threshold (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is zero or exceeds the total votes.
+    #[must_use]
+    pub fn with_final(mut self, kind: K, threshold: u32) -> Self {
+        assert!(
+            (1..=self.total_votes()).contains(&threshold),
+            "final threshold {threshold} out of range"
+        );
+        self.final_.insert(kind, threshold);
+        self
+    }
+
+    /// The initial threshold for `kind` (default 1).
+    pub fn initial_threshold(&self, kind: K) -> u32 {
+        self.initial.get(&kind).copied().unwrap_or(1)
+    }
+
+    /// The final threshold for `kind` (default 1).
+    pub fn final_threshold(&self, kind: K) -> u32 {
+        self.final_.get(&kind).copied().unwrap_or(1)
+    }
+
+    /// Is `sites` a quorum for vote threshold `threshold`?
+    pub fn is_quorum(&self, sites: &[usize], threshold: u32) -> bool {
+        let total: u32 = sites.iter().map(|&s| self.votes[s]).sum();
+        total >= threshold
+    }
+
+    /// Does every initial quorum for `p` intersect every final quorum
+    /// for `q`? (Thresholds must sum past the total: two disjoint site
+    /// sets cannot both reach their thresholds otherwise.)
+    pub fn guarantees_intersection(&self, p: K, q: K) -> bool {
+        self.initial_threshold(p) + self.final_threshold(q) > self.total_votes()
+    }
+
+    /// Does the assignment realize the given intersection relation?
+    pub fn satisfies(&self, relation: &IntersectionRelation<K>) -> bool {
+        relation
+            .pairs()
+            .all(|(p, q)| self.guarantees_intersection(p, q))
+    }
+
+    /// The smallest number of sites that can form a quorum at
+    /// `threshold` (greedy: biggest votes first) — the latency-relevant
+    /// quorum size. `None` if the threshold is unreachable.
+    pub fn min_quorum_sites(&self, threshold: u32) -> Option<usize> {
+        if threshold == 0 {
+            return Some(0);
+        }
+        let mut votes = self.votes.clone();
+        votes.sort_unstable_by(|a, b| b.cmp(a));
+        let mut acc = 0u32;
+        for (i, v) in votes.iter().enumerate() {
+            acc += v;
+            if acc >= threshold {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    /// Probability that the up sites can muster `threshold` votes, with
+    /// site `i` up independently with probability `p_up[i]`. Exact, by
+    /// dynamic programming over accumulated votes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_up` has the wrong length or holds non-probabilities.
+    pub fn availability(&self, threshold: u32, p_up: &[f64]) -> f64 {
+        assert_eq!(p_up.len(), self.votes.len(), "one probability per site");
+        assert!(
+            p_up.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probabilities must be in [0, 1]"
+        );
+        let total = self.total_votes() as usize;
+        // dist[v] = P(accumulated exactly v votes up).
+        let mut dist = vec![0.0f64; total + 1];
+        dist[0] = 1.0;
+        for (i, &v) in self.votes.iter().enumerate() {
+            let mut next = vec![0.0f64; total + 1];
+            for (acc, &p) in dist.iter().enumerate() {
+                if p == 0.0 {
+                    continue;
+                }
+                next[acc] += p * (1.0 - p_up[i]);
+                next[acc + v as usize] += p * p_up[i];
+            }
+            dist = next;
+        }
+        dist[threshold as usize..].iter().sum()
+    }
+
+    /// Availability of an operation: both its initial and final quorums
+    /// must be reachable among the up sites, and they may share sites, so
+    /// the binding threshold is the larger one.
+    pub fn operation_availability(&self, kind: K, p_up: &[f64]) -> f64 {
+        let t = self.initial_threshold(kind).max(self.final_threshold(kind));
+        self.availability(t, p_up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{queue_relation, QueueKind};
+
+    fn uniform(n: usize) -> WeightedVoting<QueueKind> {
+        WeightedVoting::new(vec![1; n])
+    }
+
+    #[test]
+    fn majority_intersection_by_votes() {
+        let w = WeightedVoting::new(vec![3, 1, 1])
+            .with_initial(QueueKind::Deq, 3)
+            .with_final(QueueKind::Deq, 3);
+        // 3 + 3 > 5: guaranteed.
+        assert!(w.guarantees_intersection(QueueKind::Deq, QueueKind::Deq));
+        // The heavyweight site alone is a quorum.
+        assert!(w.is_quorum(&[0], 3));
+        assert!(!w.is_quorum(&[1, 2], 3));
+        assert_eq!(w.min_quorum_sites(3), Some(1));
+    }
+
+    #[test]
+    fn satisfies_relation_like_uniform_voting() {
+        let rel = queue_relation(true, true);
+        let w = WeightedVoting::new(vec![1, 1, 1, 1, 1])
+            .with_initial(QueueKind::Deq, 3)
+            .with_final(QueueKind::Deq, 3)
+            .with_initial(QueueKind::Enq, 1)
+            .with_final(QueueKind::Enq, 3);
+        assert!(w.satisfies(&rel));
+        let too_weak = WeightedVoting::new(vec![1, 1, 1, 1, 1])
+            .with_initial(QueueKind::Deq, 2)
+            .with_final(QueueKind::Deq, 3)
+            .with_initial(QueueKind::Enq, 1)
+            .with_final(QueueKind::Enq, 3);
+        assert!(!too_weak.satisfies(&rel));
+    }
+
+    #[test]
+    fn availability_matches_binomial_for_uniform_votes() {
+        let w = uniform(5);
+        let p = vec![0.9; 5];
+        // Threshold 3 of 5 uniform votes = at least 3 sites up.
+        let dp = w.availability(3, &p);
+        let analytic = relax_core_free_binomial(5, 3, 0.9);
+        assert!((dp - analytic).abs() < 1e-12);
+    }
+
+    /// Local binomial tail to avoid a dev-dependency cycle with
+    /// relax-core.
+    fn relax_core_free_binomial(n: u64, k: u64, p: f64) -> f64 {
+        fn c(n: u64, k: u64) -> f64 {
+            if k > n {
+                return 0.0;
+            }
+            let k = k.min(n - k);
+            let mut out = 1.0;
+            for i in 0..k {
+                out *= (n - i) as f64 / (i + 1) as f64;
+            }
+            out
+        }
+        (k..=n)
+            .map(|i| c(n, i) * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32))
+            .sum()
+    }
+
+    #[test]
+    fn weighting_the_reliable_site_beats_uniform() {
+        // Site 0 is very reliable; the others flaky. A majority quorum
+        // that the reliable site can anchor is far more available than
+        // uniform voting's 2-of-3 site quorum.
+        let p = vec![0.99, 0.6, 0.6];
+        let uniform = WeightedVoting::<QueueKind>::new(vec![1, 1, 1]);
+        let weighted = WeightedVoting::<QueueKind>::new(vec![3, 1, 1]);
+        // Majorities: uniform needs 2 of 3 votes; weighted needs 3 of 5 —
+        // which the reliable site reaches alone.
+        let a_uniform = uniform.availability(2, &p);
+        let a_weighted = weighted.availability(3, &p);
+        assert!(
+            a_weighted > a_uniform,
+            "weighted {a_weighted} ≤ uniform {a_uniform}"
+        );
+    }
+
+    #[test]
+    fn unreachable_threshold_has_zero_availability() {
+        let w = uniform(3);
+        assert_eq!(w.min_quorum_sites(4), None);
+        assert_eq!(w.availability(3, &[1.0, 1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn zero_threshold_always_available() {
+        let w = uniform(3);
+        assert_eq!(w.availability(0, &[0.0, 0.0, 0.0]), 1.0);
+        assert_eq!(w.min_quorum_sites(0), Some(0));
+    }
+
+    #[test]
+    fn operation_availability_uses_larger_threshold() {
+        let w = WeightedVoting::new(vec![1, 1, 1])
+            .with_initial(QueueKind::Deq, 1)
+            .with_final(QueueKind::Deq, 3);
+        let p = vec![0.9; 3];
+        assert!((w.operation_availability(QueueKind::Deq, &p) - 0.9f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "carry votes")]
+    fn all_zero_votes_rejected() {
+        let _ = WeightedVoting::<QueueKind>::new(vec![0, 0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for the quorum substrate: Q-views, QCA monotonicity,
+//! and the voting mathematics.
+
+use proptest::prelude::*;
+
+use relax_automata::{History, ObjectAutomaton};
+use relax_queues::{Bag, Eta, Eval, Item, PqValueSpec, QueueOp};
+use relax_quorum::compact::{stable_frontier, CompactLog};
+use relax_quorum::relation::{queue_relation, HasKind};
+use relax_quorum::view::{is_q_closed_mask, q_views};
+use relax_quorum::voting::WeightedVoting;
+use relax_quorum::{Entry, Log, QcaAutomaton, Timestamp};
+
+/// Random queue histories over a small item domain (not necessarily
+/// legal for any particular queue type — views are defined for all).
+fn arb_history() -> impl Strategy<Value = History<QueueOp>> {
+    proptest::collection::vec((0u8..2, 0i64..3), 0..7).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(k, e)| if k == 0 { QueueOp::Enq(e) } else { QueueOp::Deq(e) })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Every view returned by q_views is Q-closed and contains every
+    /// operation related to the invocation.
+    #[test]
+    fn views_are_closed_and_complete(
+        h in arb_history(),
+        q1 in any::<bool>(),
+        q2 in any::<bool>(),
+        deq_item in 0i64..3,
+    ) {
+        let q = queue_relation(q1, q2);
+        let p = QueueOp::Deq(deq_item);
+        for view in q_views(&h, &p, &q) {
+            // Q-closed as a subsequence of h.
+            prop_assert!(relax_quorum::view::is_q_closed(&h, &view, &q));
+            // Contains every related operation.
+            for op in h.iter() {
+                if q.relates(p.invocation_kind(), op.kind()) {
+                    let count_h = h.iter().filter(|o| *o == op).count();
+                    let count_v = view.iter().filter(|o| *o == op).count();
+                    prop_assert_eq!(count_h, count_v, "missing {:?}", op);
+                }
+            }
+        }
+    }
+
+    /// The full history is always a view of itself, and relaxing the
+    /// relation never removes views.
+    #[test]
+    fn views_monotone_in_relation(h in arb_history(), deq_item in 0i64..3) {
+        let p = QueueOp::Deq(deq_item);
+        let strong = queue_relation(true, true);
+        let weak = queue_relation(false, false);
+        let strong_views = q_views(&h, &p, &strong);
+        let weak_views = q_views(&h, &p, &weak);
+        prop_assert!(strong_views.contains(&h));
+        for v in &strong_views {
+            prop_assert!(weak_views.contains(v));
+        }
+        prop_assert!(weak_views.len() >= strong_views.len());
+    }
+
+    /// The whole-position mask is always Q-closed.
+    #[test]
+    fn full_mask_is_closed(h in arb_history(), q1 in any::<bool>(), q2 in any::<bool>()) {
+        let q = queue_relation(q1, q2);
+        let mask = if h.is_empty() { 0 } else { (1u64 << h.len()) - 1 };
+        prop_assert!(is_q_closed_mask(&h, mask, &q));
+    }
+
+    /// QCA acceptance is monotone: anything accepted under the full
+    /// relation is accepted under any subrelation.
+    #[test]
+    fn qca_monotone_on_random_histories(h in arb_history()) {
+        let full = QcaAutomaton::new(PqValueSpec, Eta, queue_relation(true, true));
+        if full.accepts(&h) {
+            for (q1, q2) in [(true, false), (false, true), (false, false)] {
+                let relaxed = QcaAutomaton::new(PqValueSpec, Eta, queue_relation(q1, q2));
+                prop_assert!(relaxed.accepts(&h), "rejected under ({q1},{q2})");
+            }
+        }
+    }
+
+    /// Voting availability is monotone in the threshold (more votes
+    /// needed → less available) and in per-site reliability.
+    #[test]
+    fn voting_availability_monotone(
+        votes in proptest::collection::vec(1u32..4, 1..6),
+        p in 0.0f64..1.0,
+    ) {
+        let w = WeightedVoting::<relax_quorum::relation::QueueKind>::new(votes.clone());
+        let n = votes.len();
+        let total = w.total_votes();
+        let probs = vec![p; n];
+        let mut prev = 1.0f64;
+        for t in 0..=total {
+            let a = w.availability(t, &probs);
+            prop_assert!(a <= prev + 1e-12, "not monotone at threshold {t}");
+            prev = a;
+        }
+        // Reliability monotonicity at the majority threshold.
+        let majority = total / 2 + 1;
+        let lo = w.availability(majority, &vec![0.5; n]);
+        let hi = w.availability(majority, &vec![0.9; n]);
+        prop_assert!(hi >= lo - 1e-12);
+    }
+
+    /// Availability sums the exact distribution: threshold 0 is certain,
+    /// and P(≥1 vote) = 1 - P(all down).
+    #[test]
+    fn voting_availability_boundaries(
+        votes in proptest::collection::vec(1u32..4, 1..6),
+        p in 0.0f64..1.0,
+    ) {
+        let w = WeightedVoting::<relax_quorum::relation::QueueKind>::new(votes.clone());
+        let probs = vec![p; votes.len()];
+        prop_assert!((w.availability(0, &probs) - 1.0).abs() < 1e-12);
+        let all_down = (1.0 - p).powi(votes.len() as i32);
+        prop_assert!((w.availability(1, &probs) - (1.0 - all_down)).abs() < 1e-9);
+    }
+
+    /// Compacting at any prefix timestamp preserves the evaluated value.
+    #[test]
+    fn compaction_preserves_value_at_any_frontier(
+        raw in proptest::collection::vec((1u64..12, 0usize..3, 0u8..2, 0i64..4), 0..12),
+        cut in 0usize..12,
+    ) {
+        let mut log: Log<QueueOp> = Log::new();
+        for (c, s, k, i) in &raw {
+            let op = if *k == 0 { QueueOp::Enq(*i) } else { QueueOp::Deq(*i) };
+            log.insert(Entry::new(Timestamp::new(*c, *s), op));
+        }
+        let reference: Bag<Item> = Eta.eval(&log.to_history().into_ops());
+
+        let mut cl = CompactLog::from_log(Bag::new(), log.clone());
+        if let Some(entry) = log.entries().get(cut.min(log.len().saturating_sub(1))) {
+            if !log.is_empty() {
+                cl.compact_to(&Eta, entry.ts);
+            }
+        }
+        prop_assert_eq!(cl.value(&Eta), reference);
+    }
+
+    /// Merging compacted replicas at a common stable frontier equals
+    /// merging the raw logs.
+    #[test]
+    fn compact_merge_equals_raw_merge(
+        a in proptest::collection::vec((1u64..8, 0usize..2, 0i64..4), 0..8),
+        b in proptest::collection::vec((1u64..8, 0usize..2, 0i64..4), 0..8),
+        shared in proptest::collection::vec((1u64..8, 0usize..2, 0i64..4), 0..8),
+    ) {
+        let mk = |v: &Vec<(u64, usize, i64)>| -> Vec<Entry<QueueOp>> {
+            v.iter()
+                .map(|(c, s, i)| Entry::new(Timestamp::new(*c, *s), QueueOp::Enq(*i)))
+                .collect()
+        };
+        let mut la: Log<QueueOp> = Log::new();
+        let mut lb: Log<QueueOp> = Log::new();
+        for e in mk(&shared) {
+            la.insert(e.clone());
+            lb.insert(e);
+        }
+        for e in mk(&a) {
+            la.insert(e);
+        }
+        for e in mk(&b) {
+            lb.insert(e);
+        }
+
+        let raw = la.merged(&lb);
+        let raw_value: Bag<Item> = Eta.eval(&raw.to_history().into_ops());
+
+        let mut ca = CompactLog::from_log(Bag::new(), la.clone());
+        let mut cb = CompactLog::from_log(Bag::new(), lb.clone());
+        if let Some(f) = stable_frontier(&[&la, &lb]) {
+            ca.compact_to(&Eta, f);
+            cb.compact_to(&Eta, f);
+        }
+        ca.merge(&cb);
+        prop_assert_eq!(ca.value(&Eta), raw_value);
+    }
+}

@@ -1,0 +1,251 @@
+//! The network model: delays, loss, crashes, partitions.
+//!
+//! These are exactly the environment events the paper's examples appeal
+//! to: "We assume sites can crash, and that communication is unreliable
+//! (e.g., packet radio)" (§3.3).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::node::NodeId;
+
+/// Static configuration of the network model.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Minimum one-way message delay (ticks).
+    pub min_delay: u64,
+    /// Maximum one-way message delay (ticks), inclusive.
+    pub max_delay: u64,
+    /// Probability an individual message is silently dropped.
+    pub loss_probability: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            min_delay: 1,
+            max_delay: 10,
+            loss_probability: 0.0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Validates and constructs a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_delay > max_delay` or the loss probability is not a
+    /// probability — configurations are test fixtures; invalid ones are
+    /// programming errors.
+    pub fn new(min_delay: u64, max_delay: u64, loss_probability: f64) -> Self {
+        assert!(min_delay <= max_delay, "min_delay must be ≤ max_delay");
+        assert!(
+            (0.0..=1.0).contains(&loss_probability),
+            "loss probability must be in [0, 1]"
+        );
+        NetworkConfig {
+            min_delay,
+            max_delay,
+            loss_probability,
+        }
+    }
+}
+
+/// A partition of the node set into communication groups. Nodes in
+/// different groups cannot exchange messages; nodes absent from every
+/// group are isolated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Partition {
+    groups: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// No partition: everyone can talk to everyone.
+    pub fn none() -> Self {
+        Partition::default()
+    }
+
+    /// Builds a partition from explicit groups.
+    pub fn groups(groups: Vec<Vec<NodeId>>) -> Self {
+        Partition { groups }
+    }
+
+    /// True if the partition is trivial (no groups = fully connected).
+    pub fn is_none(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// May `a` and `b` communicate under this partition?
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        if self.groups.is_empty() {
+            return true;
+        }
+        let group_of = |n: NodeId| self.groups.iter().position(|g| g.contains(&n));
+        match (group_of(a), group_of(b)) {
+            (Some(ga), Some(gb)) => ga == gb,
+            _ => false, // a node outside every group is isolated
+        }
+    }
+}
+
+/// The dynamic network state: configuration plus crashes and the current
+/// partition.
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: NetworkConfig,
+    crashed: Vec<bool>,
+    partition: Partition,
+}
+
+impl Network {
+    /// A network over `n` nodes, all up, fully connected.
+    pub fn new(config: NetworkConfig, n: usize) -> Self {
+        Network {
+            config,
+            crashed: vec![false; n],
+            partition: Partition::none(),
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Updates the loss probability (fault injection).
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        self.config.loss_probability = p;
+    }
+
+    /// Marks a node crashed (it keeps its state but is unreachable).
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed[node.0] = true;
+    }
+
+    /// Recovers a crashed node.
+    pub fn recover(&mut self, node: NodeId) {
+        self.crashed[node.0] = false;
+    }
+
+    /// Is the node currently up?
+    pub fn is_up(&self, node: NodeId) -> bool {
+        !self.crashed[node.0]
+    }
+
+    /// Installs a partition (replacing any existing one).
+    pub fn set_partition(&mut self, partition: Partition) {
+        self.partition = partition;
+    }
+
+    /// Removes any partition.
+    pub fn heal_partition(&mut self) {
+        self.partition = Partition::none();
+    }
+
+    /// The current partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Decides the fate of a message from `src` to `dst` sent now:
+    /// `Some(delay)` if it will be delivered after `delay` ticks, `None`
+    /// if it is lost (crash, partition, or random loss).
+    ///
+    /// Note: crash of the *destination* is also re-checked at delivery
+    /// time by the world, so a node that crashes while a message is in
+    /// flight still loses it.
+    pub fn route(&self, src: NodeId, dst: NodeId, rng: &mut StdRng) -> Option<u64> {
+        if !self.is_up(src) || !self.is_up(dst) {
+            return None;
+        }
+        if !self.partition.connected(src, dst) {
+            return None;
+        }
+        if self.config.loss_probability > 0.0 && rng.gen::<f64>() < self.config.loss_probability {
+            return None;
+        }
+        Some(if self.config.min_delay == self.config.max_delay {
+            self.config.min_delay
+        } else {
+            rng.gen_range(self.config.min_delay..=self.config.max_delay)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_network_delivers() {
+        let net = Network::new(NetworkConfig::default(), 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = net.route(NodeId(0), NodeId(1), &mut rng).unwrap();
+        assert!((1..=10).contains(&d));
+    }
+
+    #[test]
+    fn crash_blocks_messages_both_ways() {
+        let mut net = Network::new(NetworkConfig::default(), 2);
+        net.crash(NodeId(1));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(net.route(NodeId(0), NodeId(1), &mut rng).is_none());
+        assert!(net.route(NodeId(1), NodeId(0), &mut rng).is_none());
+        net.recover(NodeId(1));
+        assert!(net.route(NodeId(0), NodeId(1), &mut rng).is_some());
+    }
+
+    #[test]
+    fn partition_blocks_across_groups() {
+        let mut net = Network::new(NetworkConfig::default(), 4);
+        net.set_partition(Partition::groups(vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(2)],
+        ]));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(net.route(NodeId(0), NodeId(1), &mut rng).is_some());
+        assert!(net.route(NodeId(0), NodeId(2), &mut rng).is_none());
+        // Node 3 is in no group: isolated.
+        assert!(net.route(NodeId(0), NodeId(3), &mut rng).is_none());
+        net.heal_partition();
+        assert!(net.route(NodeId(0), NodeId(3), &mut rng).is_some());
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut net = Network::new(NetworkConfig::default(), 2);
+        net.set_loss_probability(1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            assert!(net.route(NodeId(0), NodeId(1), &mut rng).is_none());
+        }
+    }
+
+    #[test]
+    fn loss_rate_roughly_respected() {
+        let mut net = Network::new(NetworkConfig::default(), 2);
+        net.set_loss_probability(0.3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let delivered = (0..10_000)
+            .filter(|_| net.route(NodeId(0), NodeId(1), &mut rng).is_some())
+            .count();
+        let rate = delivered as f64 / 10_000.0;
+        assert!((rate - 0.7).abs() < 0.03, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn fixed_delay_when_min_equals_max() {
+        let net = Network::new(NetworkConfig::new(5, 5, 0.0), 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(net.route(NodeId(0), NodeId(1), &mut rng), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_delay")]
+    fn bad_config_panics() {
+        NetworkConfig::new(10, 1, 0.0);
+    }
+}

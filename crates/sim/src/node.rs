@@ -1,0 +1,104 @@
+//! Actor-style nodes and their execution context.
+
+use rand::rngs::StdRng;
+
+use crate::time::SimTime;
+
+/// Identifies a node in the simulated system (site, client, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An output action a node can request during a handler invocation.
+#[derive(Debug, Clone)]
+pub(crate) enum Action<P> {
+    Send { dst: NodeId, payload: P },
+    Timer { delay: u64, token: u64 },
+}
+
+/// The context handed to node handlers: send messages, set timers, read
+/// the clock, draw randomness.
+#[derive(Debug)]
+pub struct Ctx<'a, P> {
+    pub(crate) me: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) actions: Vec<Action<P>>,
+}
+
+impl<'a, P> Ctx<'a, P> {
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The world's RNG (seeded; all draws are reproducible).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `payload` to `dst` (subject to the network model: delay,
+    /// loss, partitions, crashes).
+    pub fn send(&mut self, dst: NodeId, payload: P) {
+        self.actions.push(Action::Send { dst, payload });
+    }
+
+    /// Requests a timer callback after `delay` ticks, carrying `token`.
+    /// Timers fire even across the node's own crashes only if the node is
+    /// up at expiry.
+    pub fn set_timer(&mut self, delay: u64, token: u64) {
+        self.actions.push(Action::Timer { delay, token });
+    }
+}
+
+/// A simulated node: message and timer handlers.
+///
+/// Handlers run atomically at a virtual instant; all effects go through
+/// the [`Ctx`].
+pub trait Node<P> {
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, P>, from: NodeId, msg: P);
+
+    /// Called when a timer set via [`Ctx::set_timer`] expires. The default
+    /// ignores timers.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, P>, token: u64) {
+        let _ = (ctx, token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ctx_records_actions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx: Ctx<'_, u8> = Ctx {
+            me: NodeId(3),
+            now: SimTime(17),
+            rng: &mut rng,
+            actions: Vec::new(),
+        };
+        assert_eq!(ctx.me(), NodeId(3));
+        assert_eq!(ctx.now(), SimTime(17));
+        ctx.send(NodeId(0), 42);
+        ctx.set_timer(5, 99);
+        assert_eq!(ctx.actions.len(), 2);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+    }
+}

@@ -1,0 +1,125 @@
+//! Timed fault schedules — the environment's script.
+//!
+//! A [`FaultSchedule`] injects crashes, recoveries, partitions, and
+//! loss-rate changes at fixed virtual times. In the paper's terms, these
+//! are the `EVENT` inputs of the environment automaton (§2.3); the
+//! schedule makes an experiment's environment explicit and reproducible.
+
+use crate::network::Partition;
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// A single environment fault (or repair).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Crash a node (state is preserved; the node is unreachable).
+    Crash(NodeId),
+    /// Recover a crashed node.
+    Recover(NodeId),
+    /// Install a partition.
+    Partition(Partition),
+    /// Remove any partition.
+    Heal,
+    /// Change the message-loss probability.
+    SetLoss(f64),
+}
+
+/// A timed sequence of faults, sorted by time.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    entries: Vec<(SimTime, Fault)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Adds a fault at a time (builder-style).
+    #[must_use]
+    pub fn at(mut self, time: SimTime, fault: Fault) -> Self {
+        self.entries.push((time, fault));
+        self.entries.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// Adds a crash/recover window: node down from `from` until `until`.
+    #[must_use]
+    pub fn down_between(self, node: NodeId, from: SimTime, until: SimTime) -> Self {
+        self.at(from, Fault::Crash(node))
+            .at(until, Fault::Recover(node))
+    }
+
+    /// The entries in time order.
+    pub fn entries(&self) -> &[(SimTime, Fault)] {
+        &self.entries
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes and returns all faults due at or before `now`.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<Fault> {
+        let split = self.entries.partition_point(|(t, _)| *t <= now);
+        self.entries.drain(..split).map(|(_, f)| f).collect()
+    }
+
+    /// The time of the next scheduled fault, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.entries.first().map(|(t, _)| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_by_time() {
+        let s = FaultSchedule::new()
+            .at(SimTime(30), Fault::Heal)
+            .at(SimTime(10), Fault::Crash(NodeId(0)));
+        assert_eq!(s.next_time(), Some(SimTime(10)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn drain_due_removes_prefix() {
+        let mut s = FaultSchedule::new()
+            .at(SimTime(10), Fault::Crash(NodeId(0)))
+            .at(SimTime(20), Fault::Recover(NodeId(0)))
+            .at(SimTime(30), Fault::Heal);
+        let due = s.drain_due(SimTime(20));
+        assert_eq!(due.len(), 2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.next_time(), Some(SimTime(30)));
+    }
+
+    #[test]
+    fn down_between_expands() {
+        let s = FaultSchedule::new().down_between(NodeId(2), SimTime(5), SimTime(15));
+        assert_eq!(
+            s.entries(),
+            &[
+                (SimTime(5), Fault::Crash(NodeId(2))),
+                (SimTime(15), Fault::Recover(NodeId(2))),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let mut s = FaultSchedule::new();
+        assert!(s.is_empty());
+        assert_eq!(s.next_time(), None);
+        assert!(s.drain_due(SimTime(100)).is_empty());
+    }
+}

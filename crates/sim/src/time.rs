@@ -1,0 +1,72 @@
+//! Virtual simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (ticks; the unit is whatever the scenario
+/// says — experiments in this workspace use "milliseconds").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The raw tick count.
+    pub fn ticks(&self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(10);
+        assert_eq!(t + 5, SimTime(15));
+        assert_eq!(SimTime(15) - t, 5);
+        assert_eq!(SimTime(3).saturating_sub(SimTime(10)), 0);
+        let mut u = SimTime::ZERO;
+        u += 7;
+        assert_eq!(u.ticks(), 7);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime(1) < SimTime(2));
+        assert_eq!(SimTime(9).to_string(), "t=9");
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for the specification engine.
+
+use std::fmt;
+
+/// Errors raised while parsing, assembling, or evaluating specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A lexical error at the given line/column.
+    Lex {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        col: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A syntax error at the given line/column.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        col: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// Reference to an unknown theory.
+    UnknownTheory(String),
+    /// Reference to an unknown sort within a theory.
+    UnknownSort(String),
+    /// Reference to an unknown operator within a theory.
+    UnknownOp(String),
+    /// An operator was applied to the wrong number or sorts of arguments.
+    SortMismatch(String),
+    /// A variable occurs on the right-hand side of an equation but not on
+    /// the left-hand side, so the equation cannot be oriented as a rewrite
+    /// rule.
+    UnboundRhsVariable {
+        /// The offending variable.
+        var: String,
+        /// The theory/equation context.
+        context: String,
+    },
+    /// Rewriting exceeded its step budget, which indicates a
+    /// non-terminating rule set (or a budget set too low).
+    RewriteBudgetExhausted {
+        /// The budget that was exhausted.
+        steps: usize,
+    },
+    /// A name was declared twice.
+    Duplicate(String),
+    /// An interface spec referenced something missing from its theory.
+    BadInterface(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Lex { line, col, msg } => {
+                write!(f, "lexical error at {line}:{col}: {msg}")
+            }
+            SpecError::Parse { line, col, msg } => {
+                write!(f, "syntax error at {line}:{col}: {msg}")
+            }
+            SpecError::UnknownTheory(name) => write!(f, "unknown theory `{name}`"),
+            SpecError::UnknownSort(name) => write!(f, "unknown sort `{name}`"),
+            SpecError::UnknownOp(name) => write!(f, "unknown operator `{name}`"),
+            SpecError::SortMismatch(msg) => write!(f, "sort mismatch: {msg}"),
+            SpecError::UnboundRhsVariable { var, context } => {
+                write!(f, "variable `{var}` unbound on left-hand side in {context}")
+            }
+            SpecError::RewriteBudgetExhausted { steps } => {
+                write!(f, "rewriting did not terminate within {steps} steps")
+            }
+            SpecError::Duplicate(name) => write!(f, "duplicate declaration `{name}`"),
+            SpecError::BadInterface(msg) => write!(f, "bad interface: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SpecError::UnknownTheory("Bag".into());
+        assert_eq!(e.to_string(), "unknown theory `Bag`");
+        let e = SpecError::Lex {
+            line: 3,
+            col: 7,
+            msg: "bad char".into(),
+        };
+        assert!(e.to_string().starts_with("lexical error at 3:7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpecError>();
+    }
+}

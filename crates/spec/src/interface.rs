@@ -1,0 +1,380 @@
+//! Larch interfaces: pre- and postconditions for operations.
+//!
+//! An interface (Figures 2-2, 2-4, 3-2, 3-3, 3-4, 3-5, 4-1, 4-3 of the
+//! paper) describes the transition function of a simple object automaton:
+//! for an operation `p`, `s' ∈ δ(s, p)` iff `p.pre(s) ∧ p.post(s, s')`
+//! (§2.4). The [`InterfaceSpec`] evaluator checks concrete transitions
+//! against that definition using the rewriting engine, which lets native
+//! Rust implementations be validated against the algebraic specification.
+
+use crate::error::SpecError;
+use crate::rewrite::Rewriter;
+use crate::term::{Sort, Substitution, Term};
+use crate::theory::Theory;
+
+/// The interface of a single operation: `op(args*)/term(res*)` plus
+/// `requires`/`ensures` predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpInterface {
+    /// Operation name (e.g. `Enq`).
+    pub name: String,
+    /// Termination condition name (e.g. `Ok`, `Overdraft`).
+    pub termination: String,
+    /// Argument formals: name and sort.
+    pub args: Vec<(String, Sort)>,
+    /// Result formals: name and sort.
+    pub results: Vec<(String, Sort)>,
+    /// Precondition over the unprimed state and arguments. An omitted
+    /// requires clause is `true` (§2.4).
+    pub requires: Term,
+    /// Postcondition over unprimed/primed state, arguments, and results.
+    pub ensures: Term,
+}
+
+/// The outcome of checking one concrete transition against an interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransitionCheck {
+    /// Precondition and postcondition both hold.
+    Accepted,
+    /// The precondition is false in the pre-state: the transition function
+    /// is not defined here.
+    PreconditionFailed,
+    /// The precondition holds but the claimed post-state/results do not
+    /// satisfy the postcondition.
+    PostconditionFailed,
+}
+
+impl TransitionCheck {
+    /// True for [`TransitionCheck::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, TransitionCheck::Accepted)
+    }
+}
+
+/// A full interface specification: a theory, an object sort, a state
+/// variable name, and per-operation interfaces.
+#[derive(Debug, Clone)]
+pub struct InterfaceSpec {
+    name: String,
+    theory: Theory,
+    object_sort: Sort,
+    state_var: String,
+    operations: Vec<OpInterface>,
+    rewriter: Rewriter,
+}
+
+impl InterfaceSpec {
+    /// Assembles and validates an interface specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::BadInterface`] if operation names collide
+    /// per-(name, termination) pair, or if the object sort is not declared
+    /// by the theory.
+    pub fn new(
+        name: impl Into<String>,
+        theory: Theory,
+        object_sort: Sort,
+        state_var: impl Into<String>,
+        operations: Vec<OpInterface>,
+    ) -> Result<Self, SpecError> {
+        let name = name.into();
+        let state_var = state_var.into();
+        if !theory.sorts.contains(&object_sort) {
+            return Err(SpecError::BadInterface(format!(
+                "object sort `{object_sort}` not declared by theory `{}`",
+                theory.name
+            )));
+        }
+        for (i, a) in operations.iter().enumerate() {
+            for b in &operations[i + 1..] {
+                if a.name == b.name && a.termination == b.termination {
+                    return Err(SpecError::BadInterface(format!(
+                        "duplicate operation `{}/{}`",
+                        a.name, a.termination
+                    )));
+                }
+            }
+        }
+        let rewriter = Rewriter::new(&theory)?;
+        Ok(InterfaceSpec {
+            name,
+            theory,
+            object_sort,
+            state_var,
+            operations,
+            rewriter,
+        })
+    }
+
+    /// The interface's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying theory.
+    pub fn theory(&self) -> &Theory {
+        &self.theory
+    }
+
+    /// The sort of the specified object's values.
+    pub fn object_sort(&self) -> &Sort {
+        &self.object_sort
+    }
+
+    /// The state variable name used in predicates (e.g. `q`).
+    pub fn state_var(&self) -> &str {
+        &self.state_var
+    }
+
+    /// All operation interfaces.
+    pub fn operations(&self) -> &[OpInterface] {
+        &self.operations
+    }
+
+    /// Looks up an operation by name (first match if several termination
+    /// conditions exist).
+    pub fn operation(&self, name: &str) -> Option<&OpInterface> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// Looks up an operation by name and termination condition.
+    pub fn operation_with_termination(&self, name: &str, term: &str) -> Option<&OpInterface> {
+        self.operations
+            .iter()
+            .find(|o| o.name == name && o.termination == term)
+    }
+
+    /// Checks whether the precondition of `op` holds in `state` with the
+    /// given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::BadInterface`] for unknown operations or arity
+    /// mismatches, and propagates rewriting errors (a predicate that does
+    /// not reduce to a boolean on ground input is a specification bug).
+    pub fn check_pre(
+        &self,
+        op: &OpInterface,
+        state: &Term,
+        args: &[Term],
+    ) -> Result<bool, SpecError> {
+        let subst = self.bind(op, state, args, None, &[])?;
+        self.rewriter.eval_bool(&op.requires.substitute(&subst))
+    }
+
+    /// Checks a complete transition `(state, op(args)/term(results),
+    /// post_state)` against the interface: precondition in `state` and
+    /// postcondition over `(state, post_state, args, results)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`InterfaceSpec::check_pre`].
+    pub fn check_transition(
+        &self,
+        op: &OpInterface,
+        state: &Term,
+        args: &[Term],
+        results: &[Term],
+        post_state: &Term,
+    ) -> Result<TransitionCheck, SpecError> {
+        if !self.check_pre(op, state, args)? {
+            return Ok(TransitionCheck::PreconditionFailed);
+        }
+        let subst = self.bind(op, state, args, Some(post_state), results)?;
+        let post = self.rewriter.eval_bool(&op.ensures.substitute(&subst))?;
+        Ok(if post {
+            TransitionCheck::Accepted
+        } else {
+            TransitionCheck::PostconditionFailed
+        })
+    }
+
+    /// Access to the interface's rewriter (shares the theory's rules).
+    pub fn rewriter(&self) -> &Rewriter {
+        &self.rewriter
+    }
+
+    fn bind(
+        &self,
+        op: &OpInterface,
+        state: &Term,
+        args: &[Term],
+        post_state: Option<&Term>,
+        results: &[Term],
+    ) -> Result<Substitution, SpecError> {
+        if args.len() != op.args.len() {
+            return Err(SpecError::BadInterface(format!(
+                "operation `{}` expects {} arguments, got {}",
+                op.name,
+                op.args.len(),
+                args.len()
+            )));
+        }
+        if post_state.is_some() && results.len() != op.results.len() {
+            return Err(SpecError::BadInterface(format!(
+                "operation `{}` expects {} results, got {}",
+                op.name,
+                op.results.len(),
+                results.len()
+            )));
+        }
+        let mut subst = Substitution::new();
+        subst.insert(self.state_var.clone(), state.clone());
+        if let Some(post) = post_state {
+            subst.insert(format!("{}'", self.state_var), post.clone());
+        }
+        for ((name, _), value) in op.args.iter().zip(args) {
+            subst.insert(name.clone(), value.clone());
+        }
+        for ((name, _), value) in op.results.iter().zip(results) {
+            subst.insert(name.clone(), value.clone());
+        }
+        Ok(subst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_interface_spec, parse_term, parse_theories};
+
+    const SRC: &str = r#"
+trait Bag
+  introduces
+    emp: -> B
+    ins: B, E -> B
+    del: B, E -> B
+    isEmp: B -> Bool
+    isIn: B, E -> Bool
+  asserts
+    B generated by [emp, ins]
+    forall [b: B, e, e1: E]
+      del(emp, e) == emp;
+      del(ins(b, e), e1) == if e = e1 then b else ins(del(b, e1), e);
+      isEmp(emp) == true;
+      isEmp(ins(b, e)) == false;
+      isIn(emp, e) == false;
+      isIn(ins(b, e), e1) == (e = e1) \/ isIn(b, e1);
+end
+"#;
+
+    const IFACE: &str = r#"
+interface BagObj for B state b
+  operation Enq(e: E) / Ok()
+    ensures b' == ins(b, e)
+  operation Deq() / Ok(e: E)
+    requires ~ isEmp(b)
+    ensures isIn(b, e) /\ b' == del(b, e)
+end
+"#;
+
+    fn spec() -> InterfaceSpec {
+        let set = parse_theories(SRC, None).unwrap();
+        let bag = set.theory("Bag").unwrap();
+        parse_interface_spec(bag, IFACE).unwrap()
+    }
+
+    #[test]
+    fn enq_transition_accepted() {
+        let s = spec();
+        let bag = s.theory().clone();
+        let pre = parse_term(&bag, "emp").unwrap();
+        let post = parse_term(&bag, "ins(emp, 4)").unwrap();
+        let op = s.operation("Enq").unwrap().clone();
+        let check = s
+            .check_transition(&op, &pre, &[Term::Int(4)], &[], &post)
+            .unwrap();
+        assert!(check.is_accepted());
+    }
+
+    #[test]
+    fn enq_wrong_post_state_rejected() {
+        let s = spec();
+        let bag = s.theory().clone();
+        let pre = parse_term(&bag, "emp").unwrap();
+        let post = parse_term(&bag, "ins(emp, 9)").unwrap();
+        let op = s.operation("Enq").unwrap().clone();
+        let check = s
+            .check_transition(&op, &pre, &[Term::Int(4)], &[], &post)
+            .unwrap();
+        assert_eq!(check, TransitionCheck::PostconditionFailed);
+    }
+
+    #[test]
+    fn deq_requires_nonempty() {
+        let s = spec();
+        let bag = s.theory().clone();
+        let pre = parse_term(&bag, "emp").unwrap();
+        let op = s.operation("Deq").unwrap().clone();
+        let check = s
+            .check_transition(&op, &pre, &[], &[Term::Int(1)], &pre)
+            .unwrap();
+        assert_eq!(check, TransitionCheck::PreconditionFailed);
+    }
+
+    #[test]
+    fn deq_removes_present_item() {
+        let s = spec();
+        let bag = s.theory().clone();
+        let pre = parse_term(&bag, "ins(ins(emp, 1), 2)").unwrap();
+        let post = parse_term(&bag, "ins(emp, 2)").unwrap();
+        let op = s.operation("Deq").unwrap().clone();
+        let check = s
+            .check_transition(&op, &pre, &[], &[Term::Int(1)], &post)
+            .unwrap();
+        assert!(check.is_accepted());
+    }
+
+    #[test]
+    fn deq_cannot_return_absent_item() {
+        let s = spec();
+        let bag = s.theory().clone();
+        let pre = parse_term(&bag, "ins(emp, 1)").unwrap();
+        let op = s.operation("Deq").unwrap().clone();
+        let check = s
+            .check_transition(&op, &pre, &[], &[Term::Int(7)], &pre)
+            .unwrap();
+        assert_eq!(check, TransitionCheck::PostconditionFailed);
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let s = spec();
+        let bag = s.theory().clone();
+        let pre = parse_term(&bag, "emp").unwrap();
+        let op = s.operation("Enq").unwrap().clone();
+        assert!(s.check_transition(&op, &pre, &[], &[], &pre).is_err());
+    }
+
+    #[test]
+    fn unknown_object_sort_rejected() {
+        let set = parse_theories(SRC, None).unwrap();
+        let bag = set.theory("Bag").unwrap().clone();
+        let err = InterfaceSpec::new("X", bag, Sort::new("Nope"), "b", vec![]).unwrap_err();
+        assert!(matches!(err, SpecError::BadInterface(_)));
+    }
+
+    #[test]
+    fn duplicate_operation_rejected() {
+        let set = parse_theories(SRC, None).unwrap();
+        let bag = set.theory("Bag").unwrap().clone();
+        let op = OpInterface {
+            name: "Enq".into(),
+            termination: "Ok".into(),
+            args: vec![],
+            results: vec![],
+            requires: Term::Bool(true),
+            ensures: Term::Bool(true),
+        };
+        let err = InterfaceSpec::new(
+            "X",
+            bag,
+            Sort::new("B"),
+            "b",
+            vec![op.clone(), op],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::BadInterface(_)));
+    }
+}

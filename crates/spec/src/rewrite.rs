@@ -1,0 +1,420 @@
+//! Oriented equational rewriting to normal form.
+//!
+//! Equations are oriented left-to-right and applied innermost-first until no
+//! rule applies. Built-in operators (`Bool`, `Int`, polymorphic equality and
+//! `if-then-else`) are evaluated during normalization, which is what makes
+//! the paper's conditional axioms — e.g. Bag's
+//! `del(ins(b, e), e1) = if e = e1 then b else ins(del(b, e1), e)` —
+//! executable: once `e` and `e1` are ground, `eq(e, e1)` collapses to a
+//! boolean and the `if` selects a branch.
+//!
+//! Ground equality of values is decided by comparing normal forms. For the
+//! freely generated sorts of the paper (every trait's values are `generated
+//! by` constructors, and no axiom equates constructor terms), normal forms
+//! are canonical, so this decides exactly the equalities provable from the
+//! axioms.
+
+use crate::error::SpecError;
+use crate::term::Term;
+use crate::theory::Theory;
+
+/// Default maximum number of rewrite steps before giving up. Innermost
+/// rewriting re-normalizes substituted right-hand sides, so deep
+/// constructor chains cost `O(n^3)` steps; the default accommodates values
+/// a few hundred constructors deep.
+pub const DEFAULT_STEP_BUDGET: usize = 20_000_000;
+
+/// A rewriting engine for one theory.
+#[derive(Debug, Clone)]
+pub struct Rewriter {
+    rules: Vec<(Term, Term)>,
+    step_budget: usize,
+}
+
+impl Rewriter {
+    /// Builds a rewriter from a theory's equations, oriented left-to-right.
+    ///
+    /// # Errors
+    ///
+    /// Propagates equation-orientation problems detected when the theory was
+    /// constructed; currently construction itself cannot fail for a
+    /// well-formed [`Theory`], but the signature is fallible to allow
+    /// confluence/termination pre-checks to be added without breaking
+    /// callers.
+    pub fn new(theory: &Theory) -> Result<Self, SpecError> {
+        Ok(Rewriter {
+            rules: theory
+                .equations
+                .iter()
+                .map(|e| (e.lhs.clone(), e.rhs.clone()))
+                .collect(),
+            step_budget: DEFAULT_STEP_BUDGET,
+        })
+    }
+
+    /// Overrides the rewrite step budget (default
+    /// [`DEFAULT_STEP_BUDGET`]).
+    pub fn with_step_budget(mut self, steps: usize) -> Self {
+        self.step_budget = steps;
+        self
+    }
+
+    /// Number of oriented rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Rewrites `term` to normal form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::RewriteBudgetExhausted`] if normalization does
+    /// not finish within the step budget (indicating a non-terminating rule
+    /// set or an insufficient budget).
+    pub fn normalize(&self, term: &Term) -> Result<Term, SpecError> {
+        let mut budget = self.step_budget;
+        self.normalize_rec(term, &mut budget)
+    }
+
+    /// Decides ground equality `lhs = rhs` by comparing normal forms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError::RewriteBudgetExhausted`].
+    pub fn equal(&self, lhs: &Term, rhs: &Term) -> Result<bool, SpecError> {
+        Ok(self.normalize(lhs)? == self.normalize(rhs)?)
+    }
+
+    /// Normalizes a term and requires the result to be a boolean literal;
+    /// used to evaluate predicates (preconditions, postconditions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::SortMismatch`] if the normal form is not
+    /// `true`/`false`, and propagates budget exhaustion.
+    pub fn eval_bool(&self, term: &Term) -> Result<bool, SpecError> {
+        match self.normalize(term)? {
+            Term::Bool(b) => Ok(b),
+            other => Err(SpecError::SortMismatch(format!(
+                "expected boolean normal form, got `{other}`"
+            ))),
+        }
+    }
+
+    /// Normalizes a term and requires the result to be an integer literal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::SortMismatch`] if the normal form is not an
+    /// integer, and propagates budget exhaustion.
+    pub fn eval_int(&self, term: &Term) -> Result<i64, SpecError> {
+        match self.normalize(term)? {
+            Term::Int(i) => Ok(i),
+            other => Err(SpecError::SortMismatch(format!(
+                "expected integer normal form, got `{other}`"
+            ))),
+        }
+    }
+
+    fn normalize_rec(&self, term: &Term, budget: &mut usize) -> Result<Term, SpecError> {
+        if *budget == 0 {
+            return Err(SpecError::RewriteBudgetExhausted {
+                steps: self.step_budget,
+            });
+        }
+        *budget -= 1;
+
+        match term {
+            Term::Var(..) | Term::Int(_) | Term::Bool(_) => Ok(term.clone()),
+            Term::App(op, args) => {
+                // `if` is lazy in its branches: normalize the condition
+                // first and only then the selected branch, so that axioms
+                // such as `first(ins(q,e)) = if isEmp(q) then e else
+                // first(q)` terminate on `first(emp)`-free instances.
+                if op == "if" && args.len() == 3 {
+                    let cond = self.normalize_rec(&args[0], budget)?;
+                    return match cond {
+                        Term::Bool(true) => self.normalize_rec(&args[1], budget),
+                        Term::Bool(false) => self.normalize_rec(&args[2], budget),
+                        other => {
+                            // Condition didn't reduce to a literal (open
+                            // term); normalize branches and re-assemble.
+                            let then_t = self.normalize_rec(&args[1], budget)?;
+                            let else_t = self.normalize_rec(&args[2], budget)?;
+                            Ok(Term::App("if".into(), vec![other, then_t, else_t]))
+                        }
+                    };
+                }
+                // Short-circuiting boolean connectives.
+                if (op == "and" || op == "or" || op == "implies") && args.len() == 2 {
+                    let a = self.normalize_rec(&args[0], budget)?;
+                    match (op.as_str(), &a) {
+                        ("and", Term::Bool(false)) => return Ok(Term::Bool(false)),
+                        ("or", Term::Bool(true)) => return Ok(Term::Bool(true)),
+                        ("implies", Term::Bool(false)) => return Ok(Term::Bool(true)),
+                        _ => {}
+                    }
+                    let b = self.normalize_rec(&args[1], budget)?;
+                    let t = Term::App(op.clone(), vec![a, b]);
+                    return Ok(eval_builtin(&t).unwrap_or(t));
+                }
+
+                // Innermost: normalize arguments first.
+                let norm_args: Vec<Term> = args
+                    .iter()
+                    .map(|a| self.normalize_rec(a, budget))
+                    .collect::<Result<_, _>>()?;
+                let candidate = Term::App(op.clone(), norm_args);
+
+                // Built-in evaluation on normalized arguments.
+                if let Some(built) = eval_builtin(&candidate) {
+                    return self.normalize_rec(&built, budget);
+                }
+
+                // User rules.
+                for (lhs, rhs) in &self.rules {
+                    if let Some(subst) = candidate.match_against(lhs) {
+                        let replaced = rhs.substitute(&subst);
+                        return self.normalize_rec(&replaced, budget);
+                    }
+                }
+                Ok(candidate)
+            }
+        }
+    }
+}
+
+/// Evaluates a built-in operator applied to already-normalized arguments.
+/// Returns `None` if the operator is not built-in or the arguments are not
+/// yet reduced enough to evaluate.
+fn eval_builtin(term: &Term) -> Option<Term> {
+    let Term::App(op, args) = term else {
+        return None;
+    };
+    match (op.as_str(), args.as_slice()) {
+        ("eq", [a, b]) if a.is_ground() && b.is_ground() && is_value(a) && is_value(b) => {
+            Some(Term::Bool(a == b))
+        }
+        ("neq", [a, b]) if a.is_ground() && b.is_ground() && is_value(a) && is_value(b) => {
+            Some(Term::Bool(a != b))
+        }
+        ("not", [Term::Bool(b)]) => Some(Term::Bool(!b)),
+        ("and", [Term::Bool(a), Term::Bool(b)]) => Some(Term::Bool(*a && *b)),
+        ("or", [Term::Bool(a), Term::Bool(b)]) => Some(Term::Bool(*a || *b)),
+        ("implies", [Term::Bool(a), Term::Bool(b)]) => Some(Term::Bool(!a || *b)),
+        ("add", [Term::Int(a), Term::Int(b)]) => Some(Term::Int(a.wrapping_add(*b))),
+        ("sub", [Term::Int(a), Term::Int(b)]) => Some(Term::Int(a.wrapping_sub(*b))),
+        ("mul", [Term::Int(a), Term::Int(b)]) => Some(Term::Int(a.wrapping_mul(*b))),
+        ("lt", [Term::Int(a), Term::Int(b)]) => Some(Term::Bool(a < b)),
+        ("gt", [Term::Int(a), Term::Int(b)]) => Some(Term::Bool(a > b)),
+        ("le", [Term::Int(a), Term::Int(b)]) => Some(Term::Bool(a <= b)),
+        ("ge", [Term::Int(a), Term::Int(b)]) => Some(Term::Bool(a >= b)),
+        _ => None,
+    }
+}
+
+/// A term is a *value* when it is built purely from constructors and
+/// literals — i.e. contains no `if` whose condition is still open. Built-in
+/// equality only fires on values so that `eq(del(b, e), emp)` with open `b`
+/// is not misjudged.
+fn is_value(t: &Term) -> bool {
+    match t {
+        Term::Int(_) | Term::Bool(_) => true,
+        Term::Var(..) => false,
+        Term::App(op, args) => op != "if" && args.iter().all(is_value),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::{Equation, OpDecl, Theory};
+    use crate::term::Sort;
+
+    /// Hand-built Bag theory matching Figure 2-1 of the paper.
+    fn bag() -> Theory {
+        let mut t = Theory::new("Bag");
+        let b = Sort::new("B");
+        let e = Sort::new("E");
+        t.add_op(OpDecl::new("emp", vec![], b.clone())).unwrap();
+        t.add_op(OpDecl::new("ins", vec![b.clone(), e.clone()], b.clone()))
+            .unwrap();
+        t.add_op(OpDecl::new("del", vec![b.clone(), e.clone()], b.clone()))
+            .unwrap();
+        t.add_op(OpDecl::new("isEmp", vec![b.clone()], Sort::boolean()))
+            .unwrap();
+        t.add_op(OpDecl::new(
+            "isIn",
+            vec![b.clone(), e.clone()],
+            Sort::boolean(),
+        ))
+        .unwrap();
+
+        let bvar = || Term::var("b", "B");
+        let evar = || Term::var("e", "E");
+        let e1var = || Term::var("e1", "E");
+        let emp = || Term::constant("emp");
+        let eqs = vec![
+            // del(emp, e) = emp
+            (Term::app("del", vec![emp(), evar()]), emp()),
+            // del(ins(b, e), e1) = if e = e1 then b else ins(del(b, e1), e)
+            (
+                Term::app("del", vec![Term::app("ins", vec![bvar(), evar()]), e1var()]),
+                Term::app(
+                    "if",
+                    vec![
+                        Term::app("eq", vec![evar(), e1var()]),
+                        bvar(),
+                        Term::app("ins", vec![Term::app("del", vec![bvar(), e1var()]), evar()]),
+                    ],
+                ),
+            ),
+            // isEmp(emp) = true ; isEmp(ins(b, e)) = false
+            (Term::app("isEmp", vec![emp()]), Term::Bool(true)),
+            (
+                Term::app("isEmp", vec![Term::app("ins", vec![bvar(), evar()])]),
+                Term::Bool(false),
+            ),
+            // isIn(emp, e) = false
+            (Term::app("isIn", vec![emp(), evar()]), Term::Bool(false)),
+            // isIn(ins(b, e), e1) = (e = e1) \/ isIn(b, e1)
+            (
+                Term::app(
+                    "isIn",
+                    vec![Term::app("ins", vec![bvar(), evar()]), e1var()],
+                ),
+                Term::app(
+                    "or",
+                    vec![
+                        Term::app("eq", vec![evar(), e1var()]),
+                        Term::app("isIn", vec![bvar(), e1var()]),
+                    ],
+                ),
+            ),
+        ];
+        for (l, r) in eqs {
+            t.equations.push(Equation::new(l, r, "Bag").unwrap());
+        }
+        t
+    }
+
+    fn ins(b: Term, e: i64) -> Term {
+        Term::app("ins", vec![b, Term::Int(e)])
+    }
+    fn emp() -> Term {
+        Term::constant("emp")
+    }
+
+    #[test]
+    fn paper_example_del_ins_ins() {
+        // del(ins(ins(emp, 3), 3), 3) = ins(emp, 3)   (§2.4)
+        let rw = Rewriter::new(&bag()).unwrap();
+        let lhs = Term::app("del", vec![ins(ins(emp(), 3), 3), Term::Int(3)]);
+        let rhs = ins(emp(), 3);
+        assert!(rw.equal(&lhs, &rhs).unwrap());
+    }
+
+    #[test]
+    fn del_reaches_through_unequal_items() {
+        // del(ins(ins(emp, 3), 5), 3) = ins(del(ins(emp,3),3), 5) = ins(emp, 5)
+        let rw = Rewriter::new(&bag()).unwrap();
+        let lhs = Term::app("del", vec![ins(ins(emp(), 3), 5), Term::Int(3)]);
+        assert_eq!(rw.normalize(&lhs).unwrap(), ins(emp(), 5));
+    }
+
+    #[test]
+    fn del_absent_item_is_identity() {
+        let rw = Rewriter::new(&bag()).unwrap();
+        let lhs = Term::app("del", vec![ins(emp(), 3), Term::Int(9)]);
+        assert_eq!(rw.normalize(&lhs).unwrap(), ins(emp(), 3));
+    }
+
+    #[test]
+    fn is_emp_and_is_in() {
+        let rw = Rewriter::new(&bag()).unwrap();
+        assert!(rw
+            .eval_bool(&Term::app("isEmp", vec![emp()]))
+            .unwrap());
+        assert!(!rw
+            .eval_bool(&Term::app("isEmp", vec![ins(emp(), 1)]))
+            .unwrap());
+        assert!(rw
+            .eval_bool(&Term::app("isIn", vec![ins(ins(emp(), 1), 2), Term::Int(1)]))
+            .unwrap());
+        assert!(!rw
+            .eval_bool(&Term::app("isIn", vec![ins(emp(), 1), Term::Int(5)]))
+            .unwrap());
+    }
+
+    #[test]
+    fn builtin_arithmetic_and_comparison() {
+        let rw = Rewriter::new(&Theory::new("Empty")).unwrap();
+        assert_eq!(
+            rw.eval_int(&Term::app("add", vec![Term::Int(2), Term::Int(3)]))
+                .unwrap(),
+            5
+        );
+        assert!(rw
+            .eval_bool(&Term::app("gt", vec![Term::Int(4), Term::Int(1)]))
+            .unwrap());
+        assert!(rw
+            .eval_bool(&Term::app(
+                "implies",
+                vec![Term::Bool(false), Term::Bool(false)]
+            ))
+            .unwrap());
+    }
+
+    #[test]
+    fn open_terms_stay_open() {
+        let rw = Rewriter::new(&bag()).unwrap();
+        let open = Term::app("isIn", vec![Term::var("b", "B"), Term::Int(1)]);
+        // No rule fires on a bare variable argument: stays as-is.
+        assert_eq!(rw.normalize(&open).unwrap(), open);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_detected() {
+        // A deliberately looping rule: loop(x) -> loop(x)
+        let mut t = Theory::new("Loop");
+        t.add_op(OpDecl::new("loopy", vec![Sort::new("E")], Sort::new("E")))
+            .unwrap();
+        t.equations.push(
+            Equation::new(
+                Term::app("loopy", vec![Term::var("x", "E")]),
+                Term::app("loopy", vec![Term::var("x", "E")]),
+                "Loop",
+            )
+            .unwrap(),
+        );
+        let rw = Rewriter::new(&t).unwrap().with_step_budget(100);
+        let err = rw
+            .normalize(&Term::app("loopy", vec![Term::Int(1)]))
+            .unwrap_err();
+        assert!(matches!(err, SpecError::RewriteBudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn eq_does_not_fire_on_open_terms() {
+        let rw = Rewriter::new(&bag()).unwrap();
+        // eq(b, emp) with open b must not collapse to false.
+        let t = Term::app("eq", vec![Term::var("b", "B"), emp()]);
+        let n = rw.normalize(&t).unwrap();
+        assert_eq!(n, t);
+    }
+
+    #[test]
+    fn deep_nesting_normalizes() {
+        // Build ins(...ins(emp, 0)..., 99) then delete every item.
+        let rw = Rewriter::new(&bag()).unwrap();
+        let mut t = emp();
+        for i in 0..100 {
+            t = ins(t, i);
+        }
+        let mut d = t;
+        for i in 0..100 {
+            d = Term::app("del", vec![d, Term::Int(i)]);
+        }
+        assert_eq!(rw.normalize(&d).unwrap(), emp());
+    }
+}

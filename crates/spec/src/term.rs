@@ -1,0 +1,302 @@
+//! Sorted first-order terms.
+//!
+//! Terms denote object values, exactly as in the paper's §2.4: from the Bag
+//! trait, `emp` and `ins(emp, 5)` denote two different bag values. Terms may
+//! contain variables (used in equations) and integer/boolean literals (the
+//! `Integer` and `Bool` traits are built into the engine, mirroring Larch's
+//! implicit import of the Boolean trait).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The name of a sort (a set of values), e.g. `B`, `E`, `Bool`, `Int`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sort(pub String);
+
+impl Sort {
+    /// Creates a sort from anything string-like.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sort(name.into())
+    }
+
+    /// The built-in boolean sort.
+    pub fn boolean() -> Self {
+        Sort::new("Bool")
+    }
+
+    /// The built-in integer sort.
+    pub fn int() -> Self {
+        Sort::new("Int")
+    }
+
+    /// The sort's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Sort {
+    fn from(s: &str) -> Self {
+        Sort::new(s)
+    }
+}
+
+/// A sorted first-order term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable, as used in equations (`b`, `e`, `q`, ...).
+    Var(String, Sort),
+    /// An operator application, e.g. `ins(emp, 5)`. Constants are
+    /// zero-argument applications, e.g. `emp()` displayed as `emp`.
+    App(String, Vec<Term>),
+    /// An integer literal (the built-in `Int` sort).
+    Int(i64),
+    /// A boolean literal (the built-in `Bool` sort).
+    Bool(bool),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl Into<String>, sort: impl Into<Sort>) -> Self {
+        Term::Var(name.into(), sort.into())
+    }
+
+    /// An operator application term.
+    pub fn app(op: impl Into<String>, args: Vec<Term>) -> Self {
+        Term::App(op.into(), args)
+    }
+
+    /// A zero-argument (constant) application.
+    pub fn constant(op: impl Into<String>) -> Self {
+        Term::App(op.into(), Vec::new())
+    }
+
+    /// True if the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(..) => false,
+            Term::Int(_) | Term::Bool(_) => true,
+            Term::App(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// The number of operator applications and literals in the term.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(..) | Term::Int(_) | Term::Bool(_) => 1,
+            Term::App(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+        }
+    }
+
+    /// Collects the names of all variables occurring in the term.
+    pub fn variables(&self) -> Vec<(String, Sort)> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<(String, Sort)>) {
+        match self {
+            Term::Var(name, sort) => {
+                if !out.iter().any(|(n, _)| n == name) {
+                    out.push((name.clone(), sort.clone()));
+                }
+            }
+            Term::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            Term::Int(_) | Term::Bool(_) => {}
+        }
+    }
+
+    /// Applies a substitution, replacing each variable by its binding.
+    /// Variables without a binding are left in place.
+    pub fn substitute(&self, subst: &Substitution) -> Term {
+        match self {
+            Term::Var(name, _) => match subst.get(name) {
+                Some(t) => t.clone(),
+                None => self.clone(),
+            },
+            Term::App(op, args) => Term::App(
+                op.clone(),
+                args.iter().map(|a| a.substitute(subst)).collect(),
+            ),
+            lit => lit.clone(),
+        }
+    }
+
+    /// One-way pattern matching: finds a substitution `σ` with
+    /// `pattern.substitute(σ) == self`, treating variables in `pattern` as
+    /// match holes. Returns `None` if no such substitution exists.
+    ///
+    /// A repeated variable must match equal subterms (non-linear patterns
+    /// are supported, though the paper's axioms are left-linear).
+    pub fn match_against(&self, pattern: &Term) -> Option<Substitution> {
+        let mut subst = Substitution::new();
+        if self.match_into(pattern, &mut subst) {
+            Some(subst)
+        } else {
+            None
+        }
+    }
+
+    fn match_into(&self, pattern: &Term, subst: &mut Substitution) -> bool {
+        match pattern {
+            Term::Var(name, _) => match subst.get(name) {
+                Some(bound) => bound == self,
+                None => {
+                    subst.insert(name.clone(), self.clone());
+                    true
+                }
+            },
+            Term::App(op, pargs) => match self {
+                Term::App(sop, sargs) if sop == op && sargs.len() == pargs.len() => sargs
+                    .iter()
+                    .zip(pargs.iter())
+                    .all(|(s, p)| s.match_into(p, subst)),
+                _ => false,
+            },
+            Term::Int(i) => matches!(self, Term::Int(j) if j == i),
+            Term::Bool(b) => matches!(self, Term::Bool(c) if c == b),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(name, _) => f.write_str(name),
+            Term::Int(i) => write!(f, "{i}"),
+            Term::Bool(b) => write!(f, "{b}"),
+            Term::App(op, args) if args.is_empty() => f.write_str(op),
+            Term::App(op, args) => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// A finite mapping from variable names to terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    bindings: BTreeMap<String, Term>,
+}
+
+impl Substitution {
+    /// An empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `var` to `term`, replacing any existing binding.
+    pub fn insert(&mut self, var: String, term: Term) {
+        self.bindings.insert(var, term);
+    }
+
+    /// Looks up the binding for `var`.
+    pub fn get(&self, var: &str) -> Option<&Term> {
+        self.bindings.get(var)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Iterates over `(variable, term)` bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Term)> {
+        self.bindings.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(b: Term, e: Term) -> Term {
+        Term::app("ins", vec![b, e])
+    }
+
+    fn emp() -> Term {
+        Term::constant("emp")
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let t = ins(ins(emp(), Term::Int(3)), Term::Int(5));
+        assert_eq!(t.to_string(), "ins(ins(emp, 3), 5)");
+    }
+
+    #[test]
+    fn ground_and_size() {
+        let t = ins(emp(), Term::Int(3));
+        assert!(t.is_ground());
+        assert_eq!(t.size(), 3);
+        let tv = ins(Term::var("b", "B"), Term::Int(3));
+        assert!(!tv.is_ground());
+        assert_eq!(tv.variables(), vec![("b".to_string(), Sort::new("B"))]);
+    }
+
+    #[test]
+    fn matching_binds_variables() {
+        let pattern = ins(Term::var("b", "B"), Term::var("e", "E"));
+        let subject = ins(emp(), Term::Int(7));
+        let subst = subject.match_against(&pattern).expect("should match");
+        assert_eq!(subst.get("b"), Some(&emp()));
+        assert_eq!(subst.get("e"), Some(&Term::Int(7)));
+    }
+
+    #[test]
+    fn matching_rejects_mismatched_head() {
+        let pattern = Term::app("del", vec![Term::var("b", "B"), Term::var("e", "E")]);
+        let subject = ins(emp(), Term::Int(7));
+        assert!(subject.match_against(&pattern).is_none());
+    }
+
+    #[test]
+    fn nonlinear_pattern_requires_equal_subterms() {
+        // pattern: pair(x, x)
+        let pattern = Term::app("pair", vec![Term::var("x", "E"), Term::var("x", "E")]);
+        let same = Term::app("pair", vec![Term::Int(1), Term::Int(1)]);
+        let diff = Term::app("pair", vec![Term::Int(1), Term::Int(2)]);
+        assert!(same.match_against(&pattern).is_some());
+        assert!(diff.match_against(&pattern).is_none());
+    }
+
+    #[test]
+    fn substitution_replaces_all_occurrences() {
+        let mut s = Substitution::new();
+        s.insert("e".into(), Term::Int(9));
+        let t = ins(ins(emp(), Term::var("e", "E")), Term::var("e", "E"));
+        let r = t.substitute(&s);
+        assert_eq!(r, ins(ins(emp(), Term::Int(9)), Term::Int(9)));
+    }
+
+    #[test]
+    fn literal_matching() {
+        assert!(Term::Int(5).match_against(&Term::Int(5)).is_some());
+        assert!(Term::Int(5).match_against(&Term::Int(6)).is_none());
+        assert!(Term::Bool(true).match_against(&Term::Bool(true)).is_some());
+        assert!(Term::Bool(true).match_against(&Term::Bool(false)).is_none());
+    }
+}

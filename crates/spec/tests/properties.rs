@@ -1,0 +1,136 @@
+//! Property tests for the specification engine: parser round trips,
+//! rewriting soundness on random ground terms, and engine/theory
+//! agreement with a reference multiset model.
+
+use proptest::prelude::*;
+
+use relax_spec::{parse_term, paper_theories, Rewriter, Term};
+
+/// Random ground bag terms: `ins`-chains interleaved with `del`s.
+fn arb_bag_ops() -> impl Strategy<Value = Vec<(bool, i64)>> {
+    proptest::collection::vec((any::<bool>(), 0i64..5), 0..10)
+}
+
+fn build_term(ops: &[(bool, i64)]) -> Term {
+    let mut t = Term::constant("emp");
+    for (is_ins, item) in ops {
+        let op = if *is_ins { "ins" } else { "del" };
+        t = Term::app(op, vec![t, Term::Int(*item)]);
+    }
+    t
+}
+
+/// Reference model: a multiset where del removes one occurrence.
+fn reference(ops: &[(bool, i64)]) -> Vec<i64> {
+    let mut bag: Vec<i64> = Vec::new();
+    for (is_ins, item) in ops {
+        if *is_ins {
+            bag.push(*item);
+        } else if let Some(pos) = bag.iter().rposition(|x| x == item) {
+            bag.remove(pos);
+        }
+    }
+    bag.sort_unstable();
+    bag
+}
+
+/// Decodes an ins-chain normal form into a sorted multiset.
+fn decode(t: &Term) -> Vec<i64> {
+    let mut out = Vec::new();
+    let mut cur = t;
+    loop {
+        match cur {
+            Term::App(op, args) if op == "ins" => {
+                if let Term::Int(i) = args[1] {
+                    out.push(i);
+                }
+                cur = &args[0];
+            }
+            _ => break,
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    /// Rewriting arbitrary ins/del chains agrees with the multiset
+    /// reference model.
+    #[test]
+    fn bag_rewriting_matches_reference(ops in arb_bag_ops()) {
+        let set = paper_theories().expect("theories");
+        let bag = set.theory("Bag").expect("Bag");
+        let rw = Rewriter::new(bag).expect("rewriter");
+        let nf = rw.normalize(&build_term(&ops)).expect("terminates");
+        prop_assert_eq!(decode(&nf), reference(&ops));
+    }
+
+    /// Display → parse round trip for ground bag terms.
+    #[test]
+    fn term_display_parse_roundtrip(ops in arb_bag_ops()) {
+        let set = paper_theories().expect("theories");
+        let bag = set.theory("Bag").expect("Bag");
+        let t = build_term(&ops);
+        let reparsed = parse_term(bag, &t.to_string()).expect("parses");
+        prop_assert_eq!(t, reparsed);
+    }
+
+    /// isIn agrees with membership in the reference model; isEmp with
+    /// emptiness.
+    #[test]
+    fn observers_match_reference(ops in arb_bag_ops(), probe in 0i64..5) {
+        let set = paper_theories().expect("theories");
+        let bag = set.theory("Bag").expect("Bag");
+        let rw = Rewriter::new(bag).expect("rewriter");
+        let model = reference(&ops);
+        let t = build_term(&ops);
+
+        let is_in = rw
+            .eval_bool(&Term::app("isIn", vec![t.clone(), Term::Int(probe)]))
+            .expect("boolean");
+        prop_assert_eq!(is_in, model.contains(&probe));
+
+        let is_emp = rw
+            .eval_bool(&Term::app("isEmp", vec![t]))
+            .expect("boolean");
+        prop_assert_eq!(is_emp, model.is_empty());
+    }
+
+    /// FIFO first/rest agree with the order-preserving reference.
+    #[test]
+    fn fifo_observers_match_reference(items in proptest::collection::vec(0i64..6, 1..9)) {
+        let set = paper_theories().expect("theories");
+        let fifo = set.theory("FifoQ").expect("FifoQ");
+        let rw = Rewriter::new(fifo).expect("rewriter");
+        let mut t = Term::constant("emp");
+        for i in &items {
+            t = Term::app("ins", vec![t, Term::Int(*i)]);
+        }
+        let first = rw.normalize(&Term::app("first", vec![t.clone()])).expect("first");
+        prop_assert_eq!(first, Term::Int(items[0]));
+        // rest drops the oldest, preserving order.
+        let rest = rw.normalize(&Term::app("rest", vec![t])).expect("rest");
+        let mut expected = Term::constant("emp");
+        for i in &items[1..] {
+            expected = Term::app("ins", vec![expected, Term::Int(*i)]);
+        }
+        prop_assert_eq!(rest, expected);
+    }
+
+    /// Integer arithmetic in the engine matches Rust's (within the small
+    /// generated range).
+    #[test]
+    fn builtin_arithmetic_sound(a in -100i64..100, b in -100i64..100) {
+        let set = paper_theories().expect("theories");
+        let bag = set.theory("Bag").expect("Bag");
+        let rw = Rewriter::new(bag).expect("rewriter");
+        let sum = rw
+            .eval_int(&Term::app("add", vec![Term::Int(a), Term::Int(b)]))
+            .expect("int");
+        prop_assert_eq!(sum, a + b);
+        let lt = rw
+            .eval_bool(&Term::app("lt", vec![Term::Int(a), Term::Int(b)]))
+            .expect("bool");
+        prop_assert_eq!(lt, a < b);
+    }
+}

@@ -1,0 +1,71 @@
+//! The replicated bank account of §3.4, operational.
+//!
+//! Customers' accounts live at three branch offices. ATMs announce a
+//! credit as soon as one branch records it; the rest propagate in the
+//! background (`A1` relaxed). Debits record at every branch (`A2` held),
+//! so the bank can never be overdrawn — but a debit racing a fresh
+//! credit may bounce spuriously, and the chance of that shrinks as the
+//! credit propagates.
+//!
+//! Run with `cargo run --example atm_bank`.
+
+use relaxation_lattice::queues::AccountOp;
+use relaxation_lattice::quorum::relation::AccountKind;
+use relaxation_lattice::quorum::runtime::{AccountInv, BankAccountType, Outcome};
+use relaxation_lattice::quorum::{ClientConfig, QuorumSystem, VotingAssignment};
+use relaxation_lattice::sim::{NetworkConfig, SimTime};
+
+fn atm_assignment() -> VotingAssignment<AccountKind> {
+    VotingAssignment::new(3)
+        .with_initial(AccountKind::Credit, 1)
+        .with_final(AccountKind::Credit, 1) // announce after first branch
+        .with_initial(AccountKind::Debit, 1)
+        .with_final(AccountKind::Debit, 3) // record at every branch: A2
+}
+
+fn one_run(gap: u64, seed: u64) -> (bool, u64) {
+    let mut sys = QuorumSystem::new(
+        BankAccountType,
+        3,
+        atm_assignment(),
+        ClientConfig::default(),
+        NetworkConfig::new(1, 20, 0.0),
+        seed,
+    );
+    sys.submit(AccountInv::Credit(100));
+    sys.run_to_first_outcome(100_000);
+    let announced = sys.world().now();
+    sys.run_until(SimTime(announced.ticks() + gap));
+    sys.submit(AccountInv::Debit(60));
+    sys.run_to_quiescence(100_000);
+    match sys.outcomes().get(1) {
+        Some(Outcome::Completed {
+            op: AccountOp::DebitOverdraft(_),
+            latency,
+        }) => (true, *latency),
+        Some(Outcome::Completed { latency, .. }) => (false, *latency),
+        _ => (false, 0),
+    }
+}
+
+fn main() {
+    println!("ATM account at 3 branches: credit announced after one branch,");
+    println!("debit checked against one branch, recorded at all (A1 relaxed, A2 held).\n");
+
+    println!("deposit $100, then withdraw $60 after a delay:");
+    println!("{:>12}  {:>14}  {:>10}", "gap (ticks)", "bounce rate", "trials");
+    for gap in [0u64, 5, 15, 30, 60] {
+        let trials = 300;
+        let bounced = (0..trials).filter(|&s| one_run(gap, 1000 + s).0).count();
+        println!(
+            "{:>12}  {:>13.1}%  {:>10}",
+            gap,
+            100.0 * bounced as f64 / trials as f64,
+            trials
+        );
+    }
+
+    println!("\nthe same withdrawal issued 'too soon' can bounce spuriously, but the");
+    println!("bank's invariant survives every run: no account is ever overdrawn —");
+    println!("that is what refusing to relax A2 buys (the sublattice of §3.4).");
+}

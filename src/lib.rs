@@ -1,0 +1,31 @@
+//! # relaxation-lattice
+//!
+//! A Rust reproduction of Herlihy & Wing, *Specifying Graceful Degradation
+//! in Distributed Systems* (PODC 1987, CMU-CS-87-120).
+//!
+//! This facade crate re-exports the workspace's crates:
+//!
+//! * [`spec`] — Larch-style algebraic specification engine (§2.4).
+//! * [`automata`] — simple object automata, histories, bounded languages,
+//!   lattices of automata, environment/combined automata (§2.1–2.3).
+//! * [`queues`] — the paper's value types and automata: Bag, FIFO,
+//!   priority queues, MPQ, OPQ, DegenPQ, semiqueues, stuttering queues,
+//!   bank accounts (§3.3, §3.4, §4.2).
+//! * [`quorum`] — quorum-consensus replication and QCA automata (§3.1–3.2).
+//! * [`sim`] — a seeded discrete-event distributed-system simulator used to
+//!   model the environment (crashes, partitions, message loss).
+//! * [`atomic`] — transactions, schedules, atomicity checkers, strict
+//!   two-phase locking (§4.1).
+//! * [`core`] — the paper's contribution packaged: relaxation lattices,
+//!   constraint sets, lattice homomorphisms, sublattices, cost models, the
+//!   probabilistic interface, and the paper's three prebuilt lattices.
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+pub use relax_atomic as atomic;
+pub use relax_automata as automata;
+pub use relax_core as core;
+pub use relax_queues as queues;
+pub use relax_quorum as quorum;
+pub use relax_sim as sim;
+pub use relax_spec as spec;
