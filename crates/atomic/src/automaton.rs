@@ -67,7 +67,10 @@ mod tests {
     use crate::schedule::TxId;
 
     fn op(tx: u32, q: QueueOp) -> TxOp<QueueOp> {
-        TxOp::Op { tx: TxId(tx), op: q }
+        TxOp::Op {
+            tx: TxId(tx),
+            op: q,
+        }
     }
 
     fn accepts<A>(a: &AtomicAutomaton<A>, steps: Vec<TxOp<QueueOp>>) -> bool

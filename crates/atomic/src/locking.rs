@@ -222,8 +222,14 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(TxId(1), "q", LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.request(TxId(2), "q", LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            lm.request(TxId(1), "q", LockMode::Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(TxId(2), "q", LockMode::Shared),
+            LockOutcome::Granted
+        );
         assert_eq!(lm.holders(&"q").len(), 2);
     }
 
@@ -251,7 +257,7 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(TxId(1), "q", LockMode::Shared);
         lm.request(TxId(2), "q", LockMode::Exclusive); // queued
-        // A new shared request must queue behind the exclusive waiter.
+                                                       // A new shared request must queue behind the exclusive waiter.
         assert_eq!(
             lm.request(TxId(3), "q", LockMode::Shared),
             LockOutcome::Queued

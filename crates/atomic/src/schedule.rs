@@ -232,7 +232,10 @@ mod tests {
     use relax_queues::QueueOp;
 
     fn op(tx: u32, q: QueueOp) -> TxOp<QueueOp> {
-        TxOp::Op { tx: TxId(tx), op: q }
+        TxOp::Op {
+            tx: TxId(tx),
+            op: q,
+        }
     }
 
     #[test]

@@ -98,11 +98,7 @@ where
 /// `H|P1 · … · H|Pn ∈ L(A)` for exactly this order? Transactions of the
 /// schedule absent from `order` contribute nothing, so pass `perm(H)`
 /// when checking committed transactions only.
-pub fn serializable_in_order<A>(
-    automaton: &A,
-    schedule: &Schedule<A::Op>,
-    order: &[TxId],
-) -> bool
+pub fn serializable_in_order<A>(automaton: &A, schedule: &Schedule<A::Op>, order: &[TxId]) -> bool
 where
     A: ObjectAutomaton,
 {
@@ -160,7 +156,10 @@ mod tests {
     use crate::schedule::TxOp;
 
     fn op(tx: u32, q: QueueOp) -> TxOp<QueueOp> {
-        TxOp::Op { tx: TxId(tx), op: q }
+        TxOp::Op {
+            tx: TxId(tx),
+            op: q,
+        }
     }
 
     #[test]
@@ -284,8 +283,16 @@ mod tests {
             TxOp::Commit(TxId(2)),
             TxOp::Commit(TxId(1)),
         ]);
-        assert!(serializable_in_order(&AThenB, &s.perm(), &[TxId(1), TxId(2)]));
-        assert!(!serializable_in_order(&AThenB, &s.perm(), &[TxId(2), TxId(1)]));
+        assert!(serializable_in_order(
+            &AThenB,
+            &s.perm(),
+            &[TxId(1), TxId(2)]
+        ));
+        assert!(!serializable_in_order(
+            &AThenB,
+            &s.perm(),
+            &[TxId(2), TxId(1)]
+        ));
     }
 
     #[test]

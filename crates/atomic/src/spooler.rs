@@ -22,8 +22,7 @@
 //! degradation metrics the paper's §5 "stronger statements" are about
 //! (out-of-order distance ≤ k, duplicates ≤ j).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use relax_automata::SplitMix64;
 
 use relax_queues::{Item, QueueOp};
 
@@ -127,7 +126,7 @@ impl Spooler {
     /// Runs the simulation to completion and reports.
     pub fn run(&self) -> SpoolerReport {
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = SplitMix64::seed_from_u64(cfg.seed);
         let mut schedule: Schedule<QueueOp> = Schedule::new();
 
         // One committed client transaction spools all jobs.
@@ -163,8 +162,8 @@ impl Spooler {
                     if finish > round {
                         continue;
                     }
-                    let aborts = cfg.abort_probability > 0.0
-                        && rng.gen::<f64>() < cfg.abort_probability;
+                    let aborts =
+                        cfg.abort_probability > 0.0 && rng.next_f64() < cfg.abort_probability;
                     if aborts {
                         schedule.push(TxOp::Abort(tx));
                         // Tentative dequeue undone: drop the hold.
@@ -200,9 +199,7 @@ impl Spooler {
                 let chosen: Option<Item> = match cfg.strategy {
                     DequeueStrategy::BlockingFifo => {
                         match locks.request(tx, "queue", LockMode::Exclusive) {
-                            LockOutcome::Granted => {
-                                queue.first().map(|(i, _)| *i)
-                            }
+                            LockOutcome::Granted => queue.first().map(|(i, _)| *i),
                             LockOutcome::Queued => {
                                 // Strict 2PL: wait. Withdraw the request
                                 // so the (fresh) tx id can retry next
@@ -234,7 +231,7 @@ impl Spooler {
                 let duration = if cfg.print_time == 1 {
                     1
                 } else {
-                    rng.gen_range(1..=cfg.print_time)
+                    rng.range_u64(1, cfg.print_time)
                 };
                 printers[p] = PrinterState::Printing {
                     tx,
@@ -384,7 +381,10 @@ mod tests {
         let committed = r.schedule.committed();
         let item_of = |tx: TxId| -> Option<relax_queues::Item> {
             r.schedule.steps().iter().find_map(|s| match s {
-                TxOp::Op { tx: t, op: QueueOp::Deq(i) } if *t == tx => Some(*i),
+                TxOp::Op {
+                    tx: t,
+                    op: QueueOp::Deq(i),
+                } if *t == tx => Some(*i),
                 _ => None,
             })
         };

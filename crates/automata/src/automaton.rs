@@ -33,7 +33,11 @@ pub trait ObjectAutomaton {
 
     /// `δ*(s, H)`: the set of states reachable from `s` by the history
     /// `H` (§2.1).
-    fn delta_star_from(&self, state: &Self::State, history: &History<Self::Op>) -> HashSet<Self::State> {
+    fn delta_star_from(
+        &self,
+        state: &Self::State,
+        history: &History<Self::Op>,
+    ) -> HashSet<Self::State> {
         let mut states: HashSet<Self::State> = HashSet::new();
         states.insert(state.clone());
         for op in history.iter() {

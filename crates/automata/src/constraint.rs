@@ -202,7 +202,9 @@ impl ConstraintSet {
 
     /// Iterates over the member constraint ids, ascending.
     pub fn iter(&self) -> impl Iterator<Item = ConstraintId> + '_ {
-        (0..64).filter(|i| self.bits & (1 << i) != 0).map(ConstraintId)
+        (0..64)
+            .filter(|i| self.bits & (1 << i) != 0)
+            .map(ConstraintId)
     }
 
     /// The raw bitmask (stable, documented encoding: bit `i` is constraint
@@ -295,7 +297,10 @@ mod tests {
         let u = u();
         let s = u.empty_set().with(ConstraintId(1));
         assert!(s.contains(ConstraintId(1)));
-        assert!(!s.with(ConstraintId(0)).without(ConstraintId(0)).contains(ConstraintId(0)));
+        assert!(!s
+            .with(ConstraintId(0))
+            .without(ConstraintId(0))
+            .contains(ConstraintId(0)));
     }
 
     #[test]

@@ -123,10 +123,7 @@ where
             .map
             .automaton(constraints)
             .or_else(|| self.map.preferred())
-            .ok_or(CombinedError::PhiUndefined {
-                constraints,
-                at: 0,
-            })?
+            .ok_or(CombinedError::PhiUndefined { constraints, at: 0 })?
             .initial_state();
         states.insert(initial);
 
@@ -142,13 +139,10 @@ where
             }
             // δ2: operation facet steps the object under φ(current c).
             if let Some(op) = op {
-                let automaton =
-                    self.map
-                        .automaton(constraints)
-                        .ok_or(CombinedError::PhiUndefined {
-                            constraints,
-                            at,
-                        })?;
+                let automaton = self
+                    .map
+                    .automaton(constraints)
+                    .ok_or(CombinedError::PhiUndefined { constraints, at })?;
                 let mut next: HashSet<<M::A as ObjectAutomaton>::State> = HashSet::new();
                 for s in &states {
                     next.extend(automaton.step(s, op));
@@ -297,22 +291,14 @@ mod tests {
         // A single input that is both "crash" and an inc: the relaxed
         // automaton must be selected for the very same input. Two incs
         // after it prove the bound is 3.
-        let inputs = [
-            Input::Both(0u8, 0u8),
-            Input::Op(0),
-            Input::Op(0),
-        ];
+        let inputs = [Input::Both(0u8, 0u8), Input::Op(0), Input::Op(0)];
         let end = c.run(&inputs).unwrap();
         assert!(end.states.contains(&3));
     }
 
     #[test]
     fn object_history_projects_ops() {
-        let inputs = [
-            Input::Event(0u8),
-            Input::Op(7u8),
-            Input::Both(1, 9),
-        ];
+        let inputs = [Input::Event(0u8), Input::Op(7u8), Input::Both(1, 9)];
         let h = CombinedAutomaton::<Fam, Env>::object_history(&inputs);
         assert_eq!(h.ops(), &[7, 9]);
     }

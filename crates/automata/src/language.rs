@@ -42,10 +42,8 @@ where
 {
     let mut accepted: HashSet<History<A::Op>> = HashSet::new();
     // Frontier of (history, reachable-state-set) pairs.
-    let mut frontier: Frontier<A::Op, A::State> = vec![(
-        History::empty(),
-        HashSet::from([automaton.initial_state()]),
-    )];
+    let mut frontier: Frontier<A::Op, A::State> =
+        vec![(History::empty(), HashSet::from([automaton.initial_state()]))];
     accepted.insert(History::empty());
 
     for _ in 0..max_len {
@@ -82,10 +80,8 @@ where
     A: ObjectAutomaton,
 {
     let mut sizes = vec![1usize]; // the empty history
-    let mut frontier: Frontier<A::Op, A::State> = vec![(
-        History::empty(),
-        HashSet::from([automaton.initial_state()]),
-    )];
+    let mut frontier: Frontier<A::Op, A::State> =
+        vec![(History::empty(), HashSet::from([automaton.initial_state()]))];
     for _ in 0..max_len {
         let mut next_frontier = Vec::new();
         for (h, states) in &frontier {

@@ -131,8 +131,10 @@ where
 
     // Precompute bounded languages for every domain element.
     #[allow(clippy::type_complexity)]
-    let mut langs: Vec<(ConstraintSet, HashSet<History<<M::A as ObjectAutomaton>::Op>>)> =
-        Vec::new();
+    let mut langs: Vec<(
+        ConstraintSet,
+        HashSet<History<<M::A as ObjectAutomaton>::Op>>,
+    )> = Vec::new();
     for c in &domain {
         match map.automaton(*c) {
             Some(a) => langs.push((*c, language_upto(&a, alphabet, max_len))),
@@ -168,10 +170,7 @@ where
                 if let Some(w) = lj
                     .iter()
                     .find(|h| !(lc.contains(*h) && ld.contains(*h)))
-                    .or_else(|| {
-                        lc.iter()
-                            .find(|h| ld.contains(*h) && !lj.contains(*h))
-                    })
+                    .or_else(|| lc.iter().find(|h| ld.contains(*h) && !lj.contains(*h)))
                 {
                     violations.push(LatticeViolation::JoinNotPreserved {
                         left: *c,
@@ -182,11 +181,7 @@ where
             }
             let meet = c.meet(d);
             if let Some(lm) = lang_of(&meet) {
-                if let Some(w) = lc
-                    .iter()
-                    .chain(ld.iter())
-                    .find(|h| !lm.contains(*h))
-                {
+                if let Some(w) = lc.iter().chain(ld.iter()).find(|h| !lm.contains(*h)) {
                     violations.push(LatticeViolation::MeetNotCovering {
                         left: *c,
                         right: *d,
@@ -336,10 +331,7 @@ mod tests {
         fn domain(&self) -> Vec<ConstraintSet> {
             // Only sets containing B2 (like the account's A2).
             let b2 = self.universe.id("B2").unwrap();
-            self.universe
-                .subsets()
-                .filter(|s| s.contains(b2))
-                .collect()
+            self.universe.subsets().filter(|s| s.contains(b2)).collect()
         }
         fn automaton(&self, c: ConstraintSet) -> Option<BoundedCounter> {
             let b2 = self.universe.id("B2").unwrap();

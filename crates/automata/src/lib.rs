@@ -24,6 +24,8 @@
 //!   (as in the bank-account and atomic-queue examples).
 //! * [`random`] — seeded random walks through an automaton, for Monte
 //!   Carlo experiments.
+//! * [`rng`] — the workspace's seeded PRNG ([`rng::SplitMix64`]); all
+//!   randomness anywhere in the workspace flows through explicit seeds.
 //!
 //! ```
 //! use relax_automata::prelude::*;
@@ -62,6 +64,7 @@ pub mod history;
 pub mod language;
 pub mod lattice;
 pub mod random;
+pub mod rng;
 
 /// Convenient re-exports of the crate's main types.
 pub mod prelude {
@@ -75,6 +78,7 @@ pub mod prelude {
     };
     pub use crate::lattice::{check_reverse_inclusion_lattice, LatticeCheck, RelaxationMap};
     pub use crate::random::{random_history, RandomWalk};
+    pub use crate::rng::SplitMix64;
 }
 
 pub use automaton::ObjectAutomaton;
@@ -87,3 +91,4 @@ pub use language::{
 };
 pub use lattice::{check_reverse_inclusion_lattice, LatticeCheck, RelaxationMap};
 pub use random::{random_history, RandomWalk};
+pub use rng::SplitMix64;

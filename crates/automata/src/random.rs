@@ -5,14 +5,11 @@
 //! of constraints would be satisfied" (§2.3). Monte Carlo experiments over
 //! automata need reproducible random histories; this module provides
 //! seeded random walks (all randomness in the workspace flows through
-//! explicit `rand::rngs::StdRng` seeds).
-
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+//! explicit [`SplitMix64`] seeds).
 
 use crate::automaton::ObjectAutomaton;
 use crate::history::History;
+use crate::rng::SplitMix64;
 
 /// A random walk through an automaton: repeatedly picks a uniformly random
 /// enabled operation and a uniformly random successor state.
@@ -22,7 +19,7 @@ pub struct RandomWalk<'a, A: ObjectAutomaton> {
     alphabet: Vec<A::Op>,
     state: A::State,
     history: History<A::Op>,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl<'a, A: ObjectAutomaton> RandomWalk<'a, A> {
@@ -33,7 +30,7 @@ impl<'a, A: ObjectAutomaton> RandomWalk<'a, A> {
             automaton,
             alphabet,
             history: History::empty(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
         }
     }
 
@@ -51,12 +48,12 @@ impl<'a, A: ObjectAutomaton> RandomWalk<'a, A> {
     /// `None` if no operation is enabled (dead end).
     pub fn step(&mut self) -> Option<A::Op> {
         let mut order: Vec<usize> = (0..self.alphabet.len()).collect();
-        order.shuffle(&mut self.rng);
+        self.rng.shuffle(&mut order);
         for idx in order {
             let op = &self.alphabet[idx];
             let succs = self.automaton.step(&self.state, op);
             if !succs.is_empty() {
-                let i = self.rng.gen_range(0..succs.len());
+                let i = self.rng.index(succs.len());
                 self.state = succs.into_iter().nth(i).expect("index in range");
                 let op = op.clone();
                 self.history.push(op.clone());

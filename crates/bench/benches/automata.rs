@@ -7,7 +7,7 @@ use std::hint::black_box;
 use relax_atomic::{serializable_in_commit_order, DequeueStrategy, Spooler, SpoolerConfig};
 use relax_automata::{language_upto, History, ObjectAutomaton};
 use relax_core::lattices::taxi::{TaxiLattice, TaxiPoint};
-use relax_queues::{queue_alphabet, PQueueAutomaton, SemiqueueAutomaton, QueueOp};
+use relax_queues::{queue_alphabet, PQueueAutomaton, QueueOp, SemiqueueAutomaton};
 
 fn bench_language_enumeration(c: &mut Criterion) {
     let alphabet = queue_alphabet(&[1, 2]);
@@ -33,7 +33,10 @@ fn bench_qca_accept(c: &mut Criterion) {
             ops.push(QueueOp::Deq(1));
         }
         let h = History::from(ops);
-        let qca = lattice.qca(TaxiPoint { q1: true, q2: false });
+        let qca = lattice.qca(TaxiPoint {
+            q1: true,
+            q2: false,
+        });
         group.bench_with_input(BenchmarkId::from_parameter(len), &h, |bencher, h| {
             bencher.iter(|| black_box(qca.accepts(h)));
         });

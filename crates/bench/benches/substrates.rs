@@ -7,7 +7,7 @@ use std::hint::black_box;
 use relax_atomic::{LockManager, LockMode, TxId};
 use relax_queues::QueueOp;
 use relax_quorum::{Entry, Log, Timestamp};
-use relax_spec::{parse_term, paper_theories, Rewriter, Term};
+use relax_spec::{paper_theories, parse_term, Rewriter, Term};
 
 fn make_log(entries: usize, site: usize) -> Log<QueueOp> {
     (0..entries)

@@ -1,9 +1,17 @@
 //! Figure 5-1 "Availability": the Q1 quorum trade-off under site
 //! failures, analytic vs simulated.
+//!
+//! With `--trace [PATH]` the binary additionally runs the §3.3
+//! degradation scenario (partitions force the taxi queue from `PQ` down
+//! to `MPQ`), writes the structured sim-time trace as JSONL to `PATH`
+//! (default `exp_availability_trace.jsonl`), and prints the metrics
+//! registry and monitor verdict.
 
 use relax_bench::experiments::availability::{render, sweep};
+use relax_bench::experiments::degradation::run_partition_scenario;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     println!("== Availability vs quorum assignment (taxi queue, n = 5 sites) ==\n");
     for p_up in [0.95, 0.85, 0.70] {
         println!("site-up probability p = {p_up}: (200 trials each)");
@@ -12,4 +20,33 @@ fn main() {
     }
     println!("shape: shrinking Enq final quorums buys Enq availability at the");
     println!("price of Deq availability (Q1), and Deq quorums stay majorities (Q2).");
+
+    if let Some(ix) = args.iter().position(|a| a == "--trace") {
+        let path = args
+            .get(ix + 1)
+            .cloned()
+            .unwrap_or_else(|| "exp_availability_trace.jsonl".into());
+        let mut report = run_partition_scenario(0x5EED);
+        std::fs::write(&path, &report.trace_jsonl).expect("write trace");
+        println!("\n== Degradation scenario (Q1 held, Q2 dropped) ==\n");
+        println!(
+            "trace: {} events -> {path} (crashes, partitions, quorum \
+             assembly/failure, level transitions)",
+            report.events.len()
+        );
+        println!("\nmetrics registry:\n{}", report.registry.summary());
+        for t in &report.transitions {
+            println!(
+                "level transition at op #{}: left {:?}, now {:?}, witness {}",
+                t.op_index, t.left, t.now, t.witness
+            );
+        }
+        println!(
+            "history of {} completed ops classifies as: {}",
+            report.observed_ops.len(),
+            report.current_level.as_deref().unwrap_or("(none)")
+        );
+    } else {
+        println!("\n(pass --trace [PATH] to run the degradation scenario and dump a JSONL trace)");
+    }
 }

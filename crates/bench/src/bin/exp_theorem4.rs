@@ -10,7 +10,11 @@ fn main() {
         println!("{table}");
         println!(
             "overall: {}\n",
-            if v.holds() { "ALL POINTS EQUAL" } else { "MISMATCH" }
+            if v.holds() {
+                "ALL POINTS EQUAL"
+            } else {
+                "MISMATCH"
+            }
         );
     }
     println!("strictness witnesses (accepted by the relaxed point, rejected by PQ):");

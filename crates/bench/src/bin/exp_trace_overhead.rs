@@ -1,0 +1,103 @@
+//! Prices the structured-tracing instrumentation on the availability
+//! experiment (the workload every quorum measurement runs through).
+//!
+//! Three configurations of the *same* seeded workload:
+//!
+//! * `baseline` — tracer absent (the default `Tracer::disabled()` path:
+//!   one branch per would-be event);
+//! * `enabled` — tracing on with a bounded 4096-event ring buffer per
+//!   trial world;
+//! * results are written to `BENCH_trace_overhead.json` so successive
+//!   PRs can track the overhead trajectory.
+//!
+//! Targets: enabled ≤ 10% slowdown over baseline; the disabled path is
+//! the baseline by construction (~0% — it *is* the default).
+
+use std::time::Instant;
+
+use relax_bench::experiments::availability::{measure_registry_traced, tradeoff_family};
+
+const N: usize = 5;
+const P_UP: f64 = 0.85;
+const TRIALS: u32 = 120;
+const SEED: u64 = 0x5EED;
+const REPS: usize = 25;
+
+/// Times one full sweep over the trade-off family, returning wall-clock
+/// nanoseconds.
+fn one_sweep(trace_capacity: usize, rep: usize) -> u128 {
+    let family = tradeoff_family(N);
+    let start = Instant::now();
+    for na in &family {
+        let reg = measure_registry_traced(
+            N,
+            &na.assignment,
+            P_UP,
+            TRIALS,
+            SEED ^ rep as u64,
+            trace_capacity,
+        );
+        std::hint::black_box(reg);
+    }
+    start.elapsed().as_nanos()
+}
+
+fn main() {
+    // Warm-up: touch both code paths once.
+    std::hint::black_box(measure_registry_traced(
+        N,
+        &tradeoff_family(N)[0].assignment,
+        P_UP,
+        10,
+        SEED,
+        0,
+    ));
+    std::hint::black_box(measure_registry_traced(
+        N,
+        &tradeoff_family(N)[0].assignment,
+        P_UP,
+        10,
+        SEED,
+        4096,
+    ));
+
+    // Interleave baseline and enabled reps so machine-wide noise (other
+    // tenants, frequency scaling) hits both configurations equally, then
+    // take the median per-rep ratio.
+    let mut baselines = Vec::with_capacity(REPS);
+    let mut enabled = Vec::with_capacity(REPS);
+    let mut ratios: Vec<f64> = (0..REPS)
+        .map(|rep| {
+            let b = one_sweep(0, rep);
+            let e = one_sweep(4096, rep);
+            baselines.push(b);
+            enabled.push(e);
+            e as f64 / b as f64
+        })
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios[ratios.len() / 2];
+    let baseline_ns = *baselines.iter().min().expect("reps > 0");
+    let enabled_ns = *enabled.iter().min().expect("reps > 0");
+    let overhead_pct = 100.0 * (ratio - 1.0);
+
+    println!("== Tracing overhead on the availability sweep ==\n");
+    println!(
+        "workload: n={N} sites, p_up={P_UP}, {TRIALS} trials x {} assignments, median ratio of {REPS} interleaved reps",
+        tradeoff_family(N).len()
+    );
+    println!("tracing disabled (baseline): {baseline_ns:>12} ns (min rep)");
+    println!("tracing enabled  (cap 4096): {enabled_ns:>12} ns (min rep)");
+    println!("overhead: {overhead_pct:+.2}%  (target: <= 10%)");
+
+    let json = format!(
+        "{{\"bench\":\"trace_overhead\",\"workload\":\"availability_sweep\",\
+         \"n\":{N},\"p_up\":{P_UP},\"trials\":{TRIALS},\"reps\":{REPS},\
+         \"baseline_ns\":{baseline_ns},\"enabled_ns\":{enabled_ns},\
+         \"overhead_pct\":{overhead_pct:.3},\"target_pct\":10.0,\
+         \"within_target\":{}}}\n",
+        overhead_pct <= 10.0
+    );
+    std::fs::write("BENCH_trace_overhead.json", &json).expect("write BENCH_trace_overhead.json");
+    println!("\nwrote BENCH_trace_overhead.json");
+}

@@ -11,14 +11,13 @@
 //! quorums are made smaller … the other's must be made larger") and the
 //! `Q2` majority consequence.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use relax_automata::SplitMix64;
 use relax_core::cost::operation_availability;
 use relax_quorum::relation::QueueKind;
-use relax_quorum::runtime::{Outcome, QueueInv, TaxiQueueType};
+use relax_quorum::runtime::{QueueInv, TaxiQueueType};
 use relax_quorum::{queue_relation, ClientConfig, QuorumSystem, VotingAssignment};
 use relax_sim::{NetworkConfig, NodeId};
+use relax_trace::Registry;
 
 use crate::table::Table;
 
@@ -87,8 +86,7 @@ pub fn sweep(n: usize, p_up: f64, trials: u32, seed: u64) -> Vec<AvailabilityRow
                 na.assignment.final_size(QueueKind::Deq),
                 p_up,
             );
-            let (enq_measured, deq_measured) =
-                measure(n, &na.assignment, p_up, trials, seed);
+            let (enq_measured, deq_measured) = measure(n, &na.assignment, p_up, trials, seed);
             AvailabilityRow {
                 label: na.label,
                 enq_analytic,
@@ -110,9 +108,37 @@ fn measure(
     trials: u32,
     seed: u64,
 ) -> (f64, f64) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut enq_ok = 0u32;
-    let mut deq_ok = 0u32;
+    let reg = measure_registry(n, assignment, p_up, trials, seed);
+    let rate = |name: &str| reg.get_counter(name).and_then(|c| c.rate()).unwrap_or(0.0);
+    (rate("enq"), rate("deq"))
+}
+
+/// Like `measure`, but returns the full metrics registry: availability
+/// counters (`enq`, `deq`) and completion-latency histograms
+/// (`enq_latency`, `deq_latency`).
+pub fn measure_registry(
+    n: usize,
+    assignment: &VotingAssignment<QueueKind>,
+    p_up: f64,
+    trials: u32,
+    seed: u64,
+) -> Registry {
+    measure_registry_traced(n, assignment, p_up, trials, seed, 0)
+}
+
+/// Like [`measure_registry`], with structured tracing enabled on every
+/// trial's world when `trace_capacity > 0` (used by the
+/// `exp_trace_overhead` bench to price the instrumentation).
+pub fn measure_registry_traced(
+    n: usize,
+    assignment: &VotingAssignment<QueueKind>,
+    p_up: f64,
+    trials: u32,
+    seed: u64,
+    trace_capacity: usize,
+) -> Registry {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut reg = Registry::new();
     for trial in 0..trials {
         let mut sys = QuorumSystem::new(
             TaxiQueueType,
@@ -122,6 +148,9 @@ fn measure(
             NetworkConfig::new(1, 10, 0.0),
             seed ^ (u64::from(trial) * 2_654_435_761),
         );
+        if trace_capacity > 0 {
+            sys = sys.with_trace(trace_capacity);
+        }
         // Preload a request while everything is up, so Deq has something
         // to return.
         sys.submit(QueueInv::Enq(5));
@@ -129,7 +158,7 @@ fn measure(
 
         // Crash sites per p_up.
         for site in 0..n {
-            if rng.gen::<f64>() > p_up {
+            if rng.next_f64() > p_up {
                 sys.world_mut().network_mut().crash(NodeId(site));
             }
         }
@@ -137,21 +166,17 @@ fn measure(
         sys.submit(QueueInv::Deq);
         sys.run_to_quiescence(300_000);
         let outcomes = sys.outcomes();
-        if matches!(outcomes.get(1), Some(o) if o.is_completed()) {
-            enq_ok += 1;
+        // An operation is *available* when its quorum was assembled:
+        // Completed, or Refused (a Deq that ran but saw no visible item).
+        // Only a timeout counts against availability.
+        if let Some(o) = outcomes.get(1) {
+            o.record_to(&mut reg, "enq");
         }
-        // The Deq either completes or times out; a Deq that *ran* but
-        // found no visible item counts as available (Refused), since the
-        // quorum was assembled.
-        match outcomes.get(2) {
-            Some(Outcome::Completed { .. }) | Some(Outcome::Refused { .. }) => deq_ok += 1,
-            _ => {}
+        if let Some(o) = outcomes.get(2) {
+            o.record_to(&mut reg, "deq");
         }
     }
-    (
-        f64::from(enq_ok) / f64::from(trials),
-        f64::from(deq_ok) / f64::from(trials),
-    )
+    reg
 }
 
 /// Renders a sweep.

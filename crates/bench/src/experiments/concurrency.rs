@@ -124,7 +124,10 @@ mod tests {
             opt_gain > 2.0,
             "optimistic should scale, gain {opt_gain:.2}"
         );
-        assert!(blk_gain < 1.5, "blocking should not scale, gain {blk_gain:.2}");
+        assert!(
+            blk_gain < 1.5,
+            "blocking should not scale, gain {blk_gain:.2}"
+        );
 
         // Degradation bounds: optimistic disorder < d, no duplicates;
         // pessimistic in order, duplicates appear.

@@ -116,10 +116,12 @@ where
     let mut refused = 0usize;
     for o in sys.outcomes() {
         match o {
-            Outcome::Completed { op: QueueOp::Deq(e), .. }
-                if !served.contains(e) => {
-                    served.push(*e);
-                }
+            Outcome::Completed {
+                op: QueueOp::Deq(e),
+                ..
+            } if !served.contains(e) => {
+                served.push(*e);
+            }
             Outcome::Refused { .. } => refused += 1,
             _ => {}
         }
@@ -150,8 +152,14 @@ pub fn operational_table(seeds: u64) -> Table {
         let n = runs.len() as f64;
         t.row([
             label.to_string(),
-            format!("{:.2}", runs.iter().map(|r| r.served).sum::<usize>() as f64 / n),
-            format!("{:.2}", runs.iter().map(|r| r.ignored).sum::<usize>() as f64 / n),
+            format!(
+                "{:.2}",
+                runs.iter().map(|r| r.served).sum::<usize>() as f64 / n
+            ),
+            format!(
+                "{:.2}",
+                runs.iter().map(|r| r.ignored).sum::<usize>() as f64 / n
+            ),
             format!(
                 "{:.2}",
                 runs.iter().map(|r| r.inversions).sum::<usize>() as f64 / n
@@ -160,7 +168,9 @@ pub fn operational_table(seeds: u64) -> Table {
     };
     add_row(
         "η  (out-of-order tolerated)",
-        (0..seeds).map(|s| run_replicated(TaxiQueueType, s)).collect(),
+        (0..seeds)
+            .map(|s| run_replicated(TaxiQueueType, s))
+            .collect(),
     );
     add_row(
         "η′ (skipped requests ignored)",

@@ -72,13 +72,12 @@ mod tests {
     fn growth_is_monotone_down_the_lattice() {
         let alphabet = queue_alphabet(&[1, 2]);
         let lattice = TaxiLattice::new();
-        let top = language_sizes(
-            &lattice.qca(TaxiPoint { q1: true, q2: true }),
-            &alphabet,
-            5,
-        );
+        let top = language_sizes(&lattice.qca(TaxiPoint { q1: true, q2: true }), &alphabet, 5);
         let bottom = language_sizes(
-            &lattice.qca(TaxiPoint { q1: false, q2: false }),
+            &lattice.qca(TaxiPoint {
+                q1: false,
+                q2: false,
+            }),
             &alphabet,
             5,
         );

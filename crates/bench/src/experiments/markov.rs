@@ -23,12 +23,7 @@ pub fn taxi_environment_chain(p_fail: f64, p_repair: f64) -> MarkovChain {
     let up = [1.0 - p_fail, p_fail]; // [stay up, go down]
     let down = [p_repair, 1.0 - p_repair]; // [come up, stay down]
     let step = |held: bool| if held { up } else { down };
-    let states = [
-        (true, true),
-        (true, false),
-        (false, true),
-        (false, false),
-    ];
+    let states = [(true, true), (true, false), (false, true), (false, false)];
     let transition = states
         .iter()
         .map(|&(q1, q2)| {
@@ -60,9 +55,18 @@ pub fn stationary_mix(p_fail: f64, p_repair: f64) -> Vec<MarkovRow> {
     let pi = chain.stationary(500);
     let points = [
         TaxiPoint { q1: true, q2: true },
-        TaxiPoint { q1: true, q2: false },
-        TaxiPoint { q1: false, q2: true },
-        TaxiPoint { q1: false, q2: false },
+        TaxiPoint {
+            q1: true,
+            q2: false,
+        },
+        TaxiPoint {
+            q1: false,
+            q2: true,
+        },
+        TaxiPoint {
+            q1: false,
+            q2: false,
+        },
     ];
     points
         .iter()

@@ -3,6 +3,7 @@
 pub mod account;
 pub mod availability;
 pub mod concurrency;
+pub mod degradation;
 pub mod eta_ablation;
 pub mod figures;
 pub mod growth;

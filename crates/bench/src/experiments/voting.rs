@@ -71,7 +71,11 @@ mod tests {
         let p = [0.99, 0.7, 0.7, 0.7, 0.7];
         let rows = sweep(
             &p,
-            &[vec![1, 1, 1, 1, 1], vec![3, 1, 1, 1, 1], vec![7, 1, 1, 1, 1]],
+            &[
+                vec![1, 1, 1, 1, 1],
+                vec![3, 1, 1, 1, 1],
+                vec![7, 1, 1, 1, 1],
+            ],
         );
         // Availability improves as the reliable site gains votes.
         assert!(rows[1].availability > rows[0].availability);

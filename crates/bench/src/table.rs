@@ -56,7 +56,11 @@ impl fmt::Display for Table {
             writeln!(f)
         };
         write_row(f, &self.header)?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+        )?;
         for row in &self.rows {
             write_row(f, row)?;
         }

@@ -64,9 +64,7 @@ pub fn quorum_availability(n_sites: usize, quorum: usize, p_up: f64) -> f64 {
     assert!(quorum <= n_sites, "quorum cannot exceed the site count");
     let n = n_sites as u64;
     (quorum as u64..=n)
-        .map(|i| {
-            binomial(n, i) * p_up.powi(i as i32) * (1.0 - p_up).powi((n - i) as i32)
-        })
+        .map(|i| binomial(n, i) * p_up.powi(i as i32) * (1.0 - p_up).powi((n - i) as i32))
         .sum()
 }
 

@@ -136,10 +136,7 @@ mod tests {
         let relaxed = l.qca_unchecked(false, true);
         // Spurious bounce: Credit(2) then Debit(1)/Overdraft — the debit's
         // view may omit the credit.
-        let bounce = History::from(vec![
-            AccountOp::Credit(2),
-            AccountOp::DebitOverdraft(1),
-        ]);
+        let bounce = History::from(vec![AccountOp::Credit(2), AccountOp::DebitOverdraft(1)]);
         assert!(relaxed.accepts(&bounce));
         assert!(!AccountAutomaton::new().accepts(&bounce));
 
@@ -147,10 +144,7 @@ mod tests {
         // the true balance never dips below zero at any prefix.
         for h in language_upto(&relaxed, &alphabet(), 5) {
             for n in 0..=h.len() {
-                assert!(
-                    true_balance(&h.prefix(n)) >= 0,
-                    "overdraft within {h:?}"
-                );
+                assert!(true_balance(&h.prefix(n)) >= 0, "overdraft within {h:?}");
             }
         }
     }
@@ -182,10 +176,7 @@ mod tests {
         let l = AccountLattice::new();
         let relaxed = l.qca_unchecked(false, true);
         let timely = History::from(vec![AccountOp::Credit(2), AccountOp::DebitOk(1)]);
-        let premature = History::from(vec![
-            AccountOp::Credit(2),
-            AccountOp::DebitOverdraft(1),
-        ]);
+        let premature = History::from(vec![AccountOp::Credit(2), AccountOp::DebitOverdraft(1)]);
         assert!(relaxed.accepts(&timely));
         assert!(relaxed.accepts(&premature));
     }

@@ -97,7 +97,10 @@ mod tests {
     #[test]
     fn q2_point_is_the_discarding_queue() {
         let alphabet = queue_alphabet(&[1, 2, 3]);
-        let relaxed = TaxiLatticeEtaPrime::new().qca(TaxiPoint { q1: false, q2: true });
+        let relaxed = TaxiLatticeEtaPrime::new().qca(TaxiPoint {
+            q1: false,
+            q2: true,
+        });
         assert!(
             equal_upto(&relaxed, &DiscardingPqAutomaton::new(), &alphabet, 4).is_ok(),
             "QCA(PQ, Q2, η′) should equal the discarding priority queue"
@@ -109,7 +112,10 @@ mod tests {
         // L(QCA(PQ,Q2,η′)) ⊊ L(QCA(PQ,Q2,η)): η′ never lets a skipped
         // request be serviced later.
         let alphabet = queue_alphabet(&[1, 2]);
-        let point = TaxiPoint { q1: false, q2: true };
+        let point = TaxiPoint {
+            q1: false,
+            q2: true,
+        };
         let eta = TaxiLattice::new().qca(point);
         let eta_prime = TaxiLatticeEtaPrime::new().qca(point);
         assert!(included_upto(&eta_prime, &eta, &alphabet, 5).is_ok());
@@ -127,7 +133,10 @@ mod tests {
     fn starvation_is_the_price_of_order() {
         // η′ ignores the skipped request entirely: after serving 1 with 2
         // pending, no continuation ever serves 2.
-        let eta_prime = TaxiLatticeEtaPrime::new().qca(TaxiPoint { q1: false, q2: true });
+        let eta_prime = TaxiLatticeEtaPrime::new().qca(TaxiPoint {
+            q1: false,
+            q2: true,
+        });
         let h = History::from(vec![QueueOp::Enq(2), QueueOp::Enq(1), QueueOp::Deq(1)]);
         assert!(eta_prime.accepts(&h));
         assert!(!eta_prime.accepts(&h.appended(QueueOp::Deq(2))));

@@ -39,9 +39,18 @@ impl TaxiPoint {
     pub fn all() -> [TaxiPoint; 4] {
         [
             TaxiPoint { q1: true, q2: true },
-            TaxiPoint { q1: true, q2: false },
-            TaxiPoint { q1: false, q2: true },
-            TaxiPoint { q1: false, q2: false },
+            TaxiPoint {
+                q1: true,
+                q2: false,
+            },
+            TaxiPoint {
+                q1: false,
+                q2: true,
+            },
+            TaxiPoint {
+                q1: false,
+                q2: false,
+            },
         ]
     }
 
@@ -286,12 +295,11 @@ pub fn constraint_trace(
                 }
                 split = now_split;
             }
-            relax_sim::Fault::Heal
-                if split => {
-                    out.push((*t, TaxiEvent::Q1Restored));
-                    out.push((*t, TaxiEvent::Q2Restored));
-                    split = false;
-                }
+            relax_sim::Fault::Heal if split => {
+                out.push((*t, TaxiEvent::Q1Restored));
+                out.push((*t, TaxiEvent::Q2Restored));
+                split = false;
+            }
             _ => {}
         }
     }
@@ -301,9 +309,7 @@ pub fn constraint_trace(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use relax_automata::{
-        check_reverse_inclusion_lattice, equal_upto, CombinedAutomaton, Input,
-    };
+    use relax_automata::{check_reverse_inclusion_lattice, equal_upto, CombinedAutomaton, Input};
     use relax_queues::queue_alphabet;
 
     #[test]
@@ -343,9 +349,12 @@ mod tests {
             TaxiPoint { q1: true, q2: true }.behavior_name(),
             "priority queue (preferred)"
         );
-        assert!(TaxiPoint { q1: false, q2: false }
-            .anomalies()
-            .contains("duplicate"));
+        assert!(TaxiPoint {
+            q1: false,
+            q2: false
+        }
+        .anomalies()
+        .contains("duplicate"));
     }
 
     #[test]
@@ -387,10 +396,7 @@ mod tests {
         let combined = CombinedAutomaton::new(TaxiLattice::new(), TaxiEnvironment::new());
         // Interleave: enqueue before the partition, dequeue out of order
         // during it — accepted because the trace has degraded the object.
-        let mut inputs = vec![
-            Input::Op(QueueOp::Enq(2)),
-            Input::Op(QueueOp::Enq(9)),
-        ];
+        let mut inputs = vec![Input::Op(QueueOp::Enq(2)), Input::Op(QueueOp::Enq(9))];
         for (_, ev) in &trace[..2] {
             inputs.push(Input::Event(*ev));
         }

@@ -19,8 +19,7 @@
 //!   stationary-distribution computation, for long-run expected-behavior
 //!   calculations.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use relax_automata::SplitMix64;
 
 use relax_automata::ConstraintSet;
 
@@ -89,21 +88,15 @@ pub fn top_n_miss_analytic(p_visible: f64, n: u32) -> f64 {
 /// `p_visible`; the Deq returns the best visible request. Counts trials
 /// where the returned request ranks outside the top `n` (no visible
 /// request counts as a miss).
-pub fn top_n_miss_monte_carlo(
-    p_visible: f64,
-    n: u32,
-    items: u32,
-    trials: u32,
-    seed: u64,
-) -> f64 {
+pub fn top_n_miss_monte_carlo(p_visible: f64, n: u32, items: u32, trials: u32, seed: u64) -> f64 {
     assert!(items >= n, "need at least n items");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut misses = 0u32;
     for _ in 0..trials {
         // Ranks 0 (best) … items-1; find the best visible rank.
         let mut best_visible: Option<u32> = None;
         for rank in 0..items {
-            if rng.gen::<f64>() < p_visible {
+            if rng.next_f64() < p_visible {
                 best_visible = Some(rank);
                 break;
             }
@@ -136,10 +129,7 @@ impl MarkovChain {
         for row in &transition {
             assert_eq!(row.len(), n, "matrix must be square");
             let sum: f64 = row.iter().sum();
-            assert!(
-                (sum - 1.0).abs() < 1e-9,
-                "rows must sum to 1 (got {sum})"
-            );
+            assert!((sum - 1.0).abs() < 1e-9, "rows must sum to 1 (got {sum})");
         }
         MarkovChain { transition }
     }

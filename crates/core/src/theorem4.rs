@@ -92,18 +92,27 @@ pub fn separating_histories() -> Vec<(TaxiPoint, History<QueueOp>)> {
     vec![
         (
             // MPQ but not PQ: duplicate service.
-            TaxiPoint { q1: true, q2: false },
+            TaxiPoint {
+                q1: true,
+                q2: false,
+            },
             History::from(vec![QueueOp::Enq(1), QueueOp::Deq(1), QueueOp::Deq(1)]),
         ),
         (
             // OPQ but not PQ: out-of-order service.
-            TaxiPoint { q1: false, q2: true },
+            TaxiPoint {
+                q1: false,
+                q2: true,
+            },
             History::from(vec![QueueOp::Enq(1), QueueOp::Enq(2), QueueOp::Deq(1)]),
         ),
         (
             // DegenPQ but neither MPQ nor OPQ: out-of-order *and*
             // duplicate.
-            TaxiPoint { q1: false, q2: false },
+            TaxiPoint {
+                q1: false,
+                q2: false,
+            },
             History::from(vec![
                 QueueOp::Enq(1),
                 QueueOp::Enq(2),

@@ -134,16 +134,10 @@ mod tests {
         let a = AccountAutomaton::new();
         // Balance 10: a Debit(7)/Overdraft would be a *spurious* bounce and
         // is NOT part of the preferred behavior.
-        let h = History::from(vec![
-            AccountOp::Credit(10),
-            AccountOp::DebitOverdraft(7),
-        ]);
+        let h = History::from(vec![AccountOp::Credit(10), AccountOp::DebitOverdraft(7)]);
         assert!(!a.accepts(&h));
         // Debit(20)/Overdraft is legitimate.
-        let h2 = History::from(vec![
-            AccountOp::Credit(10),
-            AccountOp::DebitOverdraft(20),
-        ]);
+        let h2 = History::from(vec![AccountOp::Credit(10), AccountOp::DebitOverdraft(20)]);
         assert!(a.accepts(&h2));
     }
 

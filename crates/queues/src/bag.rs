@@ -221,11 +221,7 @@ mod tests {
     #[test]
     fn automaton_tracks_multiset_state() {
         let a = BagAutomaton::new();
-        let h = History::from(vec![
-            QueueOp::Enq(1),
-            QueueOp::Enq(1),
-            QueueOp::Deq(1),
-        ]);
+        let h = History::from(vec![QueueOp::Enq(1), QueueOp::Enq(1), QueueOp::Deq(1)]);
         let states = a.delta_star(&h);
         assert_eq!(states.len(), 1);
         let s = states.into_iter().next().unwrap();

@@ -53,8 +53,8 @@ mod tests {
     use relax_automata::{included_upto, History};
 
     use crate::mpq::MpqAutomaton;
-    use crate::ops::queue_alphabet;
     use crate::opq::OpqAutomaton;
+    use crate::ops::queue_alphabet;
     use crate::pqueue::PQueueAutomaton;
 
     #[test]

@@ -51,8 +51,7 @@ impl ObjectAutomaton for DiscardingPqAutomaton {
                     return vec![];
                 }
                 let mut next = s.clone().deleted(e);
-                let better: Vec<Item> =
-                    next.iter().map(|(x, _)| *x).filter(|x| x > e).collect();
+                let better: Vec<Item> = next.iter().map(|(x, _)| *x).filter(|x| x > e).collect();
                 for x in better {
                     while next.contains(&x) {
                         next.del(&x);

@@ -95,8 +95,7 @@ impl Eval for EtaPrime {
             QueueOp::Enq(e) => value.clone().inserted(*e),
             QueueOp::Deq(e) => {
                 let mut v = value.clone().deleted(e);
-                let higher: Vec<Item> =
-                    v.iter().map(|(x, _)| *x).filter(|x| x > e).collect();
+                let higher: Vec<Item> = v.iter().map(|(x, _)| *x).filter(|x| x > e).collect();
                 for x in higher {
                     while v.contains(&x) {
                         v.del(&x);
@@ -145,17 +144,10 @@ mod tests {
     fn eta_on_legal_history_matches_pq_delta_star() {
         // η agrees with the priority queue's transition function on legal
         // histories (§3.3).
-        let h = History::from(vec![
-            QueueOp::Enq(2),
-            QueueOp::Enq(9),
-            QueueOp::Deq(9),
-        ]);
+        let h = History::from(vec![QueueOp::Enq(2), QueueOp::Enq(9), QueueOp::Deq(9)]);
         let pq_states = PQueueAutomaton::new().delta_star(&h);
         assert_eq!(pq_states.len(), 1);
-        assert_eq!(
-            Eta.eval(h.ops()),
-            pq_states.into_iter().next().unwrap()
-        );
+        assert_eq!(Eta.eval(h.ops()), pq_states.into_iter().next().unwrap());
     }
 
     #[test]

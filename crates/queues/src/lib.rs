@@ -38,8 +38,8 @@ pub mod discard;
 pub mod eval;
 pub mod fifo;
 pub mod mpq;
-pub mod ops;
 pub mod opq;
+pub mod ops;
 pub mod pqueue;
 pub mod semiqueue;
 pub mod spec;
@@ -56,8 +56,8 @@ pub mod prelude {
     pub use crate::eval::{Eta, EtaPrime, Eval};
     pub use crate::fifo::{Fifo, FifoAutomaton};
     pub use crate::mpq::{Mpq, MpqAutomaton};
-    pub use crate::ops::{queue_alphabet, AccountOp, Item, QueueOp};
     pub use crate::opq::OpqAutomaton;
+    pub use crate::ops::{queue_alphabet, AccountOp, Item, QueueOp};
     pub use crate::pqueue::PQueueAutomaton;
     pub use crate::semiqueue::SemiqueueAutomaton;
     pub use crate::spec::{PqValueSpec, ValueSpec};
@@ -73,8 +73,8 @@ pub use discard::DiscardingPqAutomaton;
 pub use eval::{Eta, EtaPrime, Eval};
 pub use fifo::{Fifo, FifoAutomaton};
 pub use mpq::{Mpq, MpqAutomaton};
-pub use ops::{queue_alphabet, AccountOp, Item, QueueOp};
 pub use opq::OpqAutomaton;
+pub use ops::{queue_alphabet, AccountOp, Item, QueueOp};
 pub use pqueue::PQueueAutomaton;
 pub use semiqueue::SemiqueueAutomaton;
 pub use spec::{PqValueSpec, ValueSpec};

@@ -80,8 +80,7 @@ impl ObjectAutomaton for MpqAutomaton {
                 let mut out = Vec::new();
                 // Branch 1: re-return an absent item that beats everything
                 // present; the state is unchanged.
-                let beats_present =
-                    s.present.best().is_none_or(|best| e > best);
+                let beats_present = s.present.best().is_none_or(|best| e > best);
                 if s.absent.contains(e) && beats_present {
                     out.push(s.clone());
                 }

@@ -48,9 +48,7 @@ impl ValueSpec for PqValueSpec {
     fn post(&self, value: &Bag<Item>, op: &QueueOp, post: &Bag<Item>) -> bool {
         match op {
             QueueOp::Enq(e) => *post == value.clone().inserted(*e),
-            QueueOp::Deq(e) => {
-                value.best() == Some(e) && *post == value.clone().deleted(e)
-            }
+            QueueOp::Deq(e) => value.best() == Some(e) && *post == value.clone().deleted(e),
         }
     }
 }

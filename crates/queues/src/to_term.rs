@@ -52,10 +52,7 @@ impl ToTerm for Fifo<Item> {
 
 impl ToTerm for Mpq {
     fn to_term(&self) -> Term {
-        Term::app(
-            "mpq",
-            vec![self.present.to_term(), self.absent.to_term()],
-        )
+        Term::app("mpq", vec![self.present.to_term(), self.absent.to_term()])
     }
 }
 

@@ -231,8 +231,9 @@ mod tests {
         }
         // Spot-check a known-good member exists: initial Deq 3, finals 1/1…
         // wait: final(Enq) must satisfy 3 + f > 3 → any f ≥ 1. Yes.
-        assert!(sat.iter().any(|a| a.initial_size(QueueKind::Deq) == 3
-            && a.final_size(QueueKind::Enq) == 1));
+        assert!(sat
+            .iter()
+            .any(|a| a.initial_size(QueueKind::Deq) == 3 && a.final_size(QueueKind::Enq) == 1));
     }
 
     #[test]

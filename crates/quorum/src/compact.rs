@@ -304,10 +304,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert_eq!(
-            stable_frontier(&[&a, &b, &c]),
-            Some(Timestamp::new(2, 0))
-        );
+        assert_eq!(stable_frontier(&[&a, &b, &c]), Some(Timestamp::new(2, 0)));
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod prelude {
     pub use crate::log::{Entry, Log};
     pub use crate::qca::QcaAutomaton;
     pub use crate::relation::{queue_relation, HasKind, IntersectionRelation, QueueKind};
-    pub use crate::runtime::{ClientConfig, QuorumSystem, ReplicatedType};
+    pub use crate::runtime::{queue_lattice_monitor, ClientConfig, QuorumSystem, ReplicatedType};
     pub use crate::serialdep::{check_serial_dependency, is_minimal_serial_dependency};
     pub use crate::timestamp::{LogicalClock, Timestamp};
     pub use crate::view::{is_q_closed, q_views};
@@ -58,7 +58,7 @@ pub use compact::{stable_frontier, CompactLog};
 pub use log::{Entry, Log};
 pub use qca::QcaAutomaton;
 pub use relation::{queue_relation, HasKind, IntersectionRelation, QueueKind};
-pub use runtime::{ClientConfig, QuorumSystem, ReplicatedType};
+pub use runtime::{queue_lattice_monitor, ClientConfig, QuorumSystem, ReplicatedType};
 pub use serialdep::{check_serial_dependency, is_minimal_serial_dependency};
 pub use timestamp::{LogicalClock, Timestamp};
 pub use view::{is_q_closed, q_views};

@@ -47,11 +47,7 @@ where
 {
     /// Builds `QCA(A, Q, η)` from the type's value spec, an evaluation
     /// function, and a quorum intersection relation.
-    pub fn new(
-        spec: S,
-        eta: E,
-        relation: IntersectionRelation<<S::Op as HasKind>::Kind>,
-    ) -> Self {
+    pub fn new(spec: S, eta: E, relation: IntersectionRelation<<S::Op as HasKind>::Kind>) -> Self {
         QcaAutomaton {
             spec,
             eta,
@@ -66,11 +62,7 @@ where
 
     /// The views of `history` for `p` that satisfy `p`'s precondition
     /// under `η` (diagnostic helper; `step` only needs existence).
-    pub fn enabling_views(
-        &self,
-        history: &History<S::Op>,
-        p: &S::Op,
-    ) -> Vec<History<S::Op>>
+    pub fn enabling_views(&self, history: &History<S::Op>, p: &S::Op) -> Vec<History<S::Op>>
     where
         S::Op: Clone,
     {

@@ -18,6 +18,7 @@ use std::collections::BTreeSet;
 
 use relax_automata::History;
 use relax_sim::{Ctx, NetworkConfig, Node, NodeId, SimTime, World};
+use relax_trace::{DegradationMonitor, EventKind as TraceEvent, OpOutcome, QuorumPhase, Registry};
 
 use crate::assignment::VotingAssignment;
 use crate::log::{Entry, Log};
@@ -128,6 +129,24 @@ impl<Op> Outcome<Op> {
     pub fn is_timeout(&self) -> bool {
         matches!(self, Outcome::TimedOut)
     }
+
+    /// Records this outcome into a metrics registry: the counter `name`
+    /// counts *availability* (a quorum was assembled: `Completed` or
+    /// `Refused` succeed, `TimedOut` fails), and the histogram
+    /// `{name}_latency` collects latencies of available operations.
+    pub fn record_to(&self, registry: &mut Registry, name: &str) {
+        match self {
+            Outcome::Completed { latency, .. } | Outcome::Refused { latency } => {
+                registry.counter(name).success();
+                registry
+                    .histogram(&format!("{name}_latency"))
+                    .record(*latency);
+            }
+            Outcome::TimedOut => {
+                registry.counter(name).failure();
+            }
+        }
+    }
 }
 
 /// Client configuration.
@@ -211,6 +230,15 @@ impl<T: ReplicatedType> ClientState<T> {
         let inv = self.backlog.remove(0);
         self.next_inv_id += 1;
         let inv_id = self.next_inv_id;
+        if ctx.trace_enabled() {
+            let op = relax_trace::OpLabel::from_debug(&inv);
+            let node = ctx.me().0 as u32;
+            ctx.trace(TraceEvent::OpBegin {
+                node,
+                op_id: inv_id as u32,
+                op,
+            });
+        }
         let kind = self.ttype.invocation_kind(&inv);
         let needs_read = self.assignment.initial_size(kind) > 0;
         self.pending = Some(Pending {
@@ -247,6 +275,11 @@ impl<T: ReplicatedType> ClientState<T> {
         if let Some(ts) = view.max_timestamp() {
             self.clock.observe(ts);
         }
+        if ctx.trace_enabled() {
+            let node = ctx.me().0 as u32;
+            let merged_len = view.len() as u32;
+            ctx.trace(TraceEvent::ViewMerged { node, merged_len });
+        }
         let value = self.ttype.eval_view(view);
         match self.ttype.execute(&value, &pending.inv) {
             None => {
@@ -276,6 +309,23 @@ impl<T: ReplicatedType> ClientState<T> {
     }
 
     fn finish(&mut self, ctx: &mut Ctx<'_, Msg<T>>, outcome: Outcome<T::Op>) {
+        if ctx.trace_enabled() {
+            if let Some(pending) = self.pending.as_ref() {
+                let (kind, latency) = match &outcome {
+                    Outcome::Completed { latency, .. } => (OpOutcome::Completed, *latency),
+                    Outcome::Refused { latency } => (OpOutcome::Refused, *latency),
+                    Outcome::TimedOut => (OpOutcome::TimedOut, self.config.timeout),
+                };
+                let node = ctx.me().0 as u32;
+                let op_id = pending.inv_id as u32;
+                ctx.trace(TraceEvent::OpEnd {
+                    node,
+                    op_id,
+                    outcome: kind,
+                    latency,
+                });
+            }
+        }
         self.outcomes.push(outcome);
         self.pending = None;
         self.start_next(ctx);
@@ -342,6 +392,17 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                     if responded.len() < client.assignment.initial_size(kind) {
                         return;
                     }
+                    if ctx.trace_enabled() {
+                        let node = ctx.me().0 as u32;
+                        let op_id = pending.inv_id as u32;
+                        let size = responded.len() as u32;
+                        ctx.trace(TraceEvent::QuorumAssembled {
+                            node,
+                            op_id,
+                            phase: QuorumPhase::Read,
+                            size,
+                        });
+                    }
                     // Initial quorum assembled: evaluate and respond.
                     client.respond_with_view(ctx);
                 }
@@ -360,6 +421,17 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                     }
                     let kind = op.kind();
                     if acked.len() >= client.assignment.final_size(kind) {
+                        if ctx.trace_enabled() {
+                            let node = ctx.me().0 as u32;
+                            let op_id = pending.inv_id as u32;
+                            let size = acked.len() as u32;
+                            ctx.trace(TraceEvent::QuorumAssembled {
+                                node,
+                                op_id,
+                                phase: QuorumPhase::Write,
+                                size,
+                            });
+                        }
                         let op = op.clone();
                         let latency = ctx.now() - pending.started_at;
                         client.finish(ctx, Outcome::Completed { op, latency });
@@ -373,11 +445,34 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<T>>, token: u64) {
         match self {
             RoleNode::Client(client) => {
-                if client
-                    .pending
-                    .as_ref()
-                    .is_some_and(|p| p.inv_id == token)
-                {
+                if client.pending.as_ref().is_some_and(|p| p.inv_id == token) {
+                    if ctx.trace_enabled() {
+                        let pending = client.pending.as_ref().expect("checked above");
+                        let node = ctx.me().0 as u32;
+                        let op_id = pending.inv_id as u32;
+                        let (phase, responses, needed) = match &pending.phase {
+                            Phase::Read { responded, .. } => {
+                                let kind = client.ttype.invocation_kind(&pending.inv);
+                                (
+                                    QuorumPhase::Read,
+                                    responded.len(),
+                                    client.assignment.initial_size(kind),
+                                )
+                            }
+                            Phase::Write { acked, op } => (
+                                QuorumPhase::Write,
+                                acked.len(),
+                                client.assignment.final_size(op.kind()),
+                            ),
+                        };
+                        ctx.trace(TraceEvent::QuorumFailed {
+                            node,
+                            op_id,
+                            phase,
+                            responses: responses as u32,
+                            needed: needed as u32,
+                        });
+                    }
                     client.finish(ctx, Outcome::TimedOut);
                 }
             }
@@ -392,11 +487,9 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                 }
                 if let Some(interval) = gossip {
                     // Push the resident log to a random peer and re-arm.
-                    use rand::seq::SliceRandom;
                     let me = ctx.me();
-                    let others: Vec<NodeId> =
-                        peers.iter().copied().filter(|&p| p != me).collect();
-                    if let Some(&peer) = others.choose(ctx.rng()) {
+                    let others: Vec<NodeId> = peers.iter().copied().filter(|&p| p != me).collect();
+                    if let Some(&peer) = ctx.rng().choose(&others) {
                         ctx.send(peer, Msg::Gossip { log: log.clone() });
                     }
                     *epoch += 1;
@@ -422,6 +515,8 @@ pub struct QuorumSystem<T: ReplicatedType> {
     world: World<Msg<T>, RoleNode<T>>,
     clients: Vec<NodeId>,
     n_replicas: usize,
+    monitor: Option<DegradationMonitor<T::Op>>,
+    monitor_seen: Vec<usize>,
 }
 
 impl<T: ReplicatedType> QuorumSystem<T> {
@@ -435,7 +530,15 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         network: NetworkConfig,
         seed: u64,
     ) -> Self {
-        Self::with_clients(ttype, n_replicas, 1, assignment, client_config, network, seed)
+        Self::with_clients(
+            ttype,
+            n_replicas,
+            1,
+            assignment,
+            client_config,
+            network,
+            seed,
+        )
     }
 
     /// Builds a system with `n_replicas` replicas (nodes `0..n`) and
@@ -493,6 +596,64 @@ impl<T: ReplicatedType> QuorumSystem<T> {
             world: World::new(nodes, network, seed),
             clients,
             n_replicas,
+            monitor: None,
+            monitor_seen: vec![0; n_clients],
+        }
+    }
+
+    /// Enables structured tracing on the underlying world with the given
+    /// ring-buffer capacity (builder-style).
+    #[must_use]
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.world = self.world.with_trace(capacity);
+        self
+    }
+
+    /// Attaches an online degradation monitor (builder-style). As
+    /// operations complete, they are fed to the monitor in completion
+    /// order; level transitions are appended to the world's trace (when
+    /// tracing is enabled) with the completed operation as witness.
+    #[must_use]
+    pub fn with_monitor(mut self, monitor: DegradationMonitor<T::Op>) -> Self {
+        self.monitor = Some(monitor);
+        self
+    }
+
+    /// The attached degradation monitor, if any.
+    pub fn monitor(&self) -> Option<&DegradationMonitor<T::Op>> {
+        self.monitor.as_ref()
+    }
+
+    /// Feeds any newly completed operations (across all clients, in
+    /// completion order) to the attached monitor; called automatically by
+    /// the run methods after every step.
+    fn poll_monitor(&mut self) {
+        if self.monitor.is_none() {
+            return;
+        }
+        let mut fresh: Vec<<T as ReplicatedType>::Op> = Vec::new();
+        for ix in 0..self.clients.len() {
+            let outcomes = self.outcomes_of(ix);
+            let seen = self.monitor_seen[ix];
+            if outcomes.len() > seen {
+                for o in &outcomes[seen..] {
+                    if let Outcome::Completed { op, .. } = o {
+                        fresh.push(op.clone());
+                    }
+                }
+                self.monitor_seen[ix] = outcomes.len();
+            }
+        }
+        if fresh.is_empty() {
+            return;
+        }
+        let now = self.world.now().0;
+        let monitor = self.monitor.as_mut().expect("checked above");
+        for op in fresh {
+            if let Some(transition) = monitor.observe(&op) {
+                let event = transition.to_event();
+                self.world.tracer_mut().record(now, event);
+            }
         }
     }
 
@@ -549,12 +710,31 @@ impl<T: ReplicatedType> QuorumSystem<T> {
 
     /// Runs the simulation until `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        self.world.run_until(t);
+        if self.monitor.is_none() {
+            self.world.run_until(t);
+            return;
+        }
+        while self.world.next_event_time().is_some_and(|tn| tn <= t) {
+            self.world.step();
+            self.poll_monitor();
+        }
+        self.world.advance_clock_to(t);
     }
 
     /// Runs to quiescence (bounded by `max_events`).
     pub fn run_to_quiescence(&mut self, max_events: u64) -> bool {
-        self.world.run_to_quiescence(max_events)
+        if self.monitor.is_none() {
+            return self.world.run_to_quiescence(max_events);
+        }
+        let mut budget = max_events;
+        while budget > 0 {
+            if !self.world.step() {
+                return true;
+            }
+            self.poll_monitor();
+            budget -= 1;
+        }
+        self.world.next_event_time().is_none()
     }
 
     /// Runs until at least `count` outcomes have been recorded (or the
@@ -566,6 +746,7 @@ impl<T: ReplicatedType> QuorumSystem<T> {
             if !self.world.step() {
                 break;
             }
+            self.poll_monitor();
             budget -= 1;
         }
         self.outcomes().len() >= count
@@ -716,6 +897,25 @@ impl ReplicatedType for TaxiQueuePrimeType {
     }
 }
 
+/// A [`DegradationMonitor`] preloaded with the paper's priority-queue
+/// relaxation lattice (Figs 3-1 to 3-5), most-constrained first:
+///
+/// * **PQ** — the faithful FIFO-priority queue (`Q1 ∧ Q2` behaviour);
+/// * **MPQ** — duplicates possible, order preserved (only `Q1` held);
+/// * **OPQ** — no duplicates, order may be violated (only `Q2` held);
+/// * **DegenPQ** — anything enqueued may come out, any number of times.
+///
+/// Attach it with [`QuorumSystem::with_monitor`] to classify the live
+/// completion order of a replicated taxi queue against the lattice.
+#[must_use]
+pub fn queue_lattice_monitor() -> DegradationMonitor<relax_queues::QueueOp> {
+    DegradationMonitor::new()
+        .level("PQ", relax_queues::PQueueAutomaton::new())
+        .level("MPQ", relax_queues::MpqAutomaton::new())
+        .level("OPQ", relax_queues::OpqAutomaton::new())
+        .level("DegenPQ", relax_queues::DegenPqAutomaton::new())
+}
+
 /// Invocations for the replicated bank account.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccountInv {
@@ -767,9 +967,9 @@ impl ReplicatedType for BankAccountType {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use relax_automata::ObjectAutomaton;
     use relax_queues::{PQueueAutomaton, QueueOp};
     use relax_sim::{Fault, FaultSchedule};
-    use relax_automata::ObjectAutomaton;
 
     use crate::relation::QueueKind;
 
@@ -809,8 +1009,20 @@ mod tests {
         assert_eq!(outcomes.len(), 4);
         assert!(outcomes.iter().all(Outcome::is_completed));
         // First Deq returns 9 (the best), second returns 2.
-        assert!(matches!(outcomes[2], Outcome::Completed { op: QueueOp::Deq(9), .. }));
-        assert!(matches!(outcomes[3], Outcome::Completed { op: QueueOp::Deq(2), .. }));
+        assert!(matches!(
+            outcomes[2],
+            Outcome::Completed {
+                op: QueueOp::Deq(9),
+                ..
+            }
+        ));
+        assert!(matches!(
+            outcomes[3],
+            Outcome::Completed {
+                op: QueueOp::Deq(2),
+                ..
+            }
+        ));
 
         // The merged replica history is a legal priority-queue history.
         let h = sys.merged_history();
@@ -880,7 +1092,13 @@ mod tests {
         assert!(outcomes[0].is_completed());
         assert!(outcomes[1].is_timeout());
         assert!(
-            matches!(outcomes[2], Outcome::Completed { op: QueueOp::Deq(4), .. }),
+            matches!(
+                outcomes[2],
+                Outcome::Completed {
+                    op: QueueOp::Deq(4),
+                    ..
+                }
+            ),
             "got {:?}",
             outcomes[2]
         );

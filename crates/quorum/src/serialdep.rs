@@ -181,13 +181,8 @@ mod tests {
         // dependency relation, but not minimal.
         let alphabet = queue_alphabet(&[1, 2]);
         let padded = queue_relation(true, true).with(QueueKind::Enq, QueueKind::Enq);
-        let err = is_minimal_serial_dependency(
-            &PQueueAutomaton::new(),
-            &padded,
-            &alphabet,
-            4,
-        )
-        .unwrap_err();
+        let err = is_minimal_serial_dependency(&PQueueAutomaton::new(), &padded, &alphabet, 4)
+            .unwrap_err();
         assert!(matches!(err, MinimalityFailure::SubrelationSuffices(_)));
     }
 

@@ -79,7 +79,10 @@ pub fn q_views<Op: HasKind + Clone>(
     q: &IntersectionRelation<Op::Kind>,
 ) -> Vec<History<Op>> {
     let ops = h.ops();
-    assert!(ops.len() < 64, "q_views is for bounded histories (< 64 ops)");
+    assert!(
+        ops.len() < 64,
+        "q_views is for bounded histories (< 64 ops)"
+    );
     let n = ops.len();
     let inv_kind = p.invocation_kind();
 

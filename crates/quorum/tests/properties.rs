@@ -16,7 +16,13 @@ use relax_quorum::{Entry, Log, QcaAutomaton, Timestamp};
 fn arb_history() -> impl Strategy<Value = History<QueueOp>> {
     proptest::collection::vec((0u8..2, 0i64..3), 0..7).prop_map(|raw| {
         raw.into_iter()
-            .map(|(k, e)| if k == 0 { QueueOp::Enq(e) } else { QueueOp::Deq(e) })
+            .map(|(k, e)| {
+                if k == 0 {
+                    QueueOp::Enq(e)
+                } else {
+                    QueueOp::Deq(e)
+                }
+            })
             .collect()
     })
 }

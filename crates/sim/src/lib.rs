@@ -13,10 +13,15 @@
 //!   setting timers through a context ([`node::Ctx`]);
 //! * timed fault schedules ([`schedule::FaultSchedule`]) injecting
 //!   crashes, recoveries, partitions and loss-rate changes;
-//! * metrics ([`metrics::Counter`], [`metrics::Histogram`]) for
-//!   availability and latency measurements.
+//! * metrics ([`metrics::Counter`], [`metrics::Histogram`], re-exported
+//!   from `relax-trace`) for availability and latency measurements;
+//! * optional structured tracing ([`world::World::with_trace`]): sends,
+//!   deliveries, drops (with cause), timers, and injected faults become
+//!   sim-time-stamped events in a bounded ring buffer, exportable as
+//!   JSONL.
 //!
-//! All randomness flows through a single seeded `StdRng`, so every run is
+//! All randomness flows through a single seeded
+//! [`SplitMix64`](relax_automata::SplitMix64), so every run is
 //! reproducible from its seed. Crashed nodes keep their state (stable
 //! storage, as quorum-consensus replication assumes) but neither receive
 //! nor send while down.
@@ -53,7 +58,7 @@ pub mod world;
 
 /// Convenient re-exports of the crate's main types.
 pub mod prelude {
-    pub use crate::metrics::{Counter, Histogram};
+    pub use crate::metrics::{Counter, Gauge, Histogram, Registry};
     pub use crate::network::{NetworkConfig, Partition};
     pub use crate::node::{Ctx, Node, NodeId};
     pub use crate::schedule::{Fault, FaultSchedule};
@@ -61,7 +66,7 @@ pub mod prelude {
     pub use crate::world::World;
 }
 
-pub use metrics::{Counter, Histogram};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use network::{Network, NetworkConfig, Partition};
 pub use node::{Ctx, Node, NodeId};
 pub use schedule::{Fault, FaultSchedule};

@@ -1,201 +1,8 @@
 //! Simple metrics for simulation experiments.
+//!
+//! [`Counter`] and [`Histogram`] moved to `relax-trace` so the quorum
+//! runtime and experiment binaries can share one metrics registry; this
+//! module re-exports them (plus [`Gauge`] and [`Registry`]) so existing
+//! `relax_sim::metrics::*` users keep compiling unchanged.
 
-use std::fmt;
-
-/// A monotone event counter with a success/failure split, used for
-/// availability measurements (fraction of operations that found a
-/// quorum, etc.).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Counter {
-    successes: u64,
-    failures: u64,
-}
-
-impl Counter {
-    /// A zeroed counter.
-    pub fn new() -> Self {
-        Counter::default()
-    }
-
-    /// Records a success.
-    pub fn success(&mut self) {
-        self.successes += 1;
-    }
-
-    /// Records a failure.
-    pub fn failure(&mut self) {
-        self.failures += 1;
-    }
-
-    /// Records an outcome.
-    pub fn record(&mut self, ok: bool) {
-        if ok {
-            self.success();
-        } else {
-            self.failure();
-        }
-    }
-
-    /// Total events recorded.
-    pub fn total(&self) -> u64 {
-        self.successes + self.failures
-    }
-
-    /// Successes recorded.
-    pub fn successes(&self) -> u64 {
-        self.successes
-    }
-
-    /// Failures recorded.
-    pub fn failures(&self) -> u64 {
-        self.failures
-    }
-
-    /// Success fraction in `[0, 1]`; `None` before any event.
-    pub fn rate(&self) -> Option<f64> {
-        if self.total() == 0 {
-            None
-        } else {
-            Some(self.successes as f64 / self.total() as f64)
-        }
-    }
-}
-
-impl fmt::Display for Counter {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.rate() {
-            Some(r) => write!(
-                f,
-                "{}/{} ({:.1}%)",
-                self.successes,
-                self.total(),
-                r * 100.0
-            ),
-            None => write!(f, "0/0"),
-        }
-    }
-}
-
-/// A latency histogram over raw tick samples (exact, not bucketed; the
-/// sample counts in this workspace's experiments are small enough that
-/// exactness is cheaper than binning).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Histogram {
-    samples: Vec<u64>,
-    sorted: bool,
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram::default()
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, value: u64) {
-        self.samples.push(value);
-        self.sorted = false;
-    }
-
-    /// Number of samples.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// True before any sample.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// Arithmetic mean; `None` when empty.
-    pub fn mean(&self) -> Option<f64> {
-        if self.samples.is_empty() {
-            None
-        } else {
-            Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
-        }
-    }
-
-    /// The `q`-quantile (0 ≤ q ≤ 1, nearest-rank); `None` when empty.
-    pub fn quantile(&mut self, q: f64) -> Option<u64> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
-        Some(self.samples[rank - 1])
-    }
-
-    /// Median (p50).
-    pub fn median(&mut self) -> Option<u64> {
-        self.quantile(0.5)
-    }
-
-    /// Maximum sample.
-    pub fn max(&self) -> Option<u64> {
-        self.samples.iter().copied().max()
-    }
-
-    /// Minimum sample.
-    pub fn min(&self) -> Option<u64> {
-        self.samples.iter().copied().min()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn counter_rates() {
-        let mut c = Counter::new();
-        assert_eq!(c.rate(), None);
-        c.success();
-        c.success();
-        c.failure();
-        assert_eq!(c.total(), 3);
-        assert!((c.rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
-        c.record(true);
-        assert_eq!(c.successes(), 3);
-        assert_eq!(c.failures(), 1);
-    }
-
-    #[test]
-    fn counter_display() {
-        let mut c = Counter::new();
-        assert_eq!(c.to_string(), "0/0");
-        c.success();
-        assert_eq!(c.to_string(), "1/1 (100.0%)");
-    }
-
-    #[test]
-    fn histogram_statistics() {
-        let mut h = Histogram::new();
-        assert!(h.is_empty());
-        assert_eq!(h.mean(), None);
-        for v in [10, 20, 30, 40] {
-            h.record(v);
-        }
-        assert_eq!(h.len(), 4);
-        assert_eq!(h.mean(), Some(25.0));
-        assert_eq!(h.median(), Some(20));
-        assert_eq!(h.quantile(1.0), Some(40));
-        assert_eq!(h.quantile(0.25), Some(10));
-        assert_eq!(h.min(), Some(10));
-        assert_eq!(h.max(), Some(40));
-    }
-
-    #[test]
-    fn quantile_after_new_samples_resorts() {
-        let mut h = Histogram::new();
-        h.record(5);
-        assert_eq!(h.median(), Some(5));
-        h.record(1);
-        assert_eq!(h.min(), Some(1));
-        assert_eq!(h.median(), Some(1));
-    }
-}
+pub use relax_trace::metrics::{Counter, Gauge, Histogram, Registry};

@@ -4,8 +4,8 @@
 //! to: "We assume sites can crash, and that communication is unreliable
 //! (e.g., packet radio)" (§3.3).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use relax_automata::SplitMix64;
+use relax_trace::DropCause;
 
 use crate::node::NodeId;
 
@@ -76,6 +76,11 @@ impl Partition {
         self.groups.is_empty()
     }
 
+    /// The explicit groups (empty when the partition is trivial).
+    pub fn group_list(&self) -> &[Vec<NodeId>] {
+        &self.groups
+    }
+
     /// May `a` and `b` communicate under this partition?
     pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
         if self.groups.is_empty() {
@@ -115,7 +120,10 @@ impl Network {
 
     /// Updates the loss probability (fault injection).
     pub fn set_loss_probability(&mut self, p: f64) {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
         self.config.loss_probability = p;
     }
 
@@ -150,26 +158,29 @@ impl Network {
     }
 
     /// Decides the fate of a message from `src` to `dst` sent now:
-    /// `Some(delay)` if it will be delivered after `delay` ticks, `None`
-    /// if it is lost (crash, partition, or random loss).
+    /// `Ok(delay)` if it will be delivered after `delay` ticks,
+    /// `Err(cause)` if it is lost (crash, partition, or random loss).
     ///
     /// Note: crash of the *destination* is also re-checked at delivery
     /// time by the world, so a node that crashes while a message is in
     /// flight still loses it.
-    pub fn route(&self, src: NodeId, dst: NodeId, rng: &mut StdRng) -> Option<u64> {
-        if !self.is_up(src) || !self.is_up(dst) {
-            return None;
+    pub fn route(&self, src: NodeId, dst: NodeId, rng: &mut SplitMix64) -> Result<u64, DropCause> {
+        if !self.is_up(src) {
+            return Err(DropCause::SourceDown);
+        }
+        if !self.is_up(dst) {
+            return Err(DropCause::DestDown);
         }
         if !self.partition.connected(src, dst) {
-            return None;
+            return Err(DropCause::Partitioned);
         }
-        if self.config.loss_probability > 0.0 && rng.gen::<f64>() < self.config.loss_probability {
-            return None;
+        if self.config.loss_probability > 0.0 && rng.next_f64() < self.config.loss_probability {
+            return Err(DropCause::Loss);
         }
-        Some(if self.config.min_delay == self.config.max_delay {
+        Ok(if self.config.min_delay == self.config.max_delay {
             self.config.min_delay
         } else {
-            rng.gen_range(self.config.min_delay..=self.config.max_delay)
+            rng.range_u64(self.config.min_delay, self.config.max_delay)
         })
     }
 }
@@ -177,12 +188,11 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn default_network_delivers() {
         let net = Network::new(NetworkConfig::default(), 3);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let d = net.route(NodeId(0), NodeId(1), &mut rng).unwrap();
         assert!((1..=10).contains(&d));
     }
@@ -191,11 +201,17 @@ mod tests {
     fn crash_blocks_messages_both_ways() {
         let mut net = Network::new(NetworkConfig::default(), 2);
         net.crash(NodeId(1));
-        let mut rng = StdRng::seed_from_u64(0);
-        assert!(net.route(NodeId(0), NodeId(1), &mut rng).is_none());
-        assert!(net.route(NodeId(1), NodeId(0), &mut rng).is_none());
+        let mut rng = SplitMix64::seed_from_u64(0);
+        assert_eq!(
+            net.route(NodeId(0), NodeId(1), &mut rng),
+            Err(DropCause::DestDown)
+        );
+        assert_eq!(
+            net.route(NodeId(1), NodeId(0), &mut rng),
+            Err(DropCause::SourceDown)
+        );
         net.recover(NodeId(1));
-        assert!(net.route(NodeId(0), NodeId(1), &mut rng).is_some());
+        assert!(net.route(NodeId(0), NodeId(1), &mut rng).is_ok());
     }
 
     #[test]
@@ -205,22 +221,31 @@ mod tests {
             vec![NodeId(0), NodeId(1)],
             vec![NodeId(2)],
         ]));
-        let mut rng = StdRng::seed_from_u64(0);
-        assert!(net.route(NodeId(0), NodeId(1), &mut rng).is_some());
-        assert!(net.route(NodeId(0), NodeId(2), &mut rng).is_none());
+        let mut rng = SplitMix64::seed_from_u64(0);
+        assert!(net.route(NodeId(0), NodeId(1), &mut rng).is_ok());
+        assert_eq!(
+            net.route(NodeId(0), NodeId(2), &mut rng),
+            Err(DropCause::Partitioned)
+        );
         // Node 3 is in no group: isolated.
-        assert!(net.route(NodeId(0), NodeId(3), &mut rng).is_none());
+        assert_eq!(
+            net.route(NodeId(0), NodeId(3), &mut rng),
+            Err(DropCause::Partitioned)
+        );
         net.heal_partition();
-        assert!(net.route(NodeId(0), NodeId(3), &mut rng).is_some());
+        assert!(net.route(NodeId(0), NodeId(3), &mut rng).is_ok());
     }
 
     #[test]
     fn total_loss_drops_everything() {
         let mut net = Network::new(NetworkConfig::default(), 2);
         net.set_loss_probability(1.0);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         for _ in 0..20 {
-            assert!(net.route(NodeId(0), NodeId(1), &mut rng).is_none());
+            assert_eq!(
+                net.route(NodeId(0), NodeId(1), &mut rng),
+                Err(DropCause::Loss)
+            );
         }
     }
 
@@ -228,9 +253,9 @@ mod tests {
     fn loss_rate_roughly_respected() {
         let mut net = Network::new(NetworkConfig::default(), 2);
         net.set_loss_probability(0.3);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let delivered = (0..10_000)
-            .filter(|_| net.route(NodeId(0), NodeId(1), &mut rng).is_some())
+            .filter(|_| net.route(NodeId(0), NodeId(1), &mut rng).is_ok())
             .count();
         let rate = delivered as f64 / 10_000.0;
         assert!((rate - 0.7).abs() < 0.03, "delivery rate {rate}");
@@ -239,8 +264,8 @@ mod tests {
     #[test]
     fn fixed_delay_when_min_equals_max() {
         let net = Network::new(NetworkConfig::new(5, 5, 0.0), 2);
-        let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(net.route(NodeId(0), NodeId(1), &mut rng), Some(5));
+        let mut rng = SplitMix64::seed_from_u64(0);
+        assert_eq!(net.route(NodeId(0), NodeId(1), &mut rng), Ok(5));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Actor-style nodes and their execution context.
 
-use rand::rngs::StdRng;
+use relax_automata::SplitMix64;
+use relax_trace::{EventKind, Tracer};
 
 use crate::time::SimTime;
 
@@ -22,12 +23,13 @@ pub(crate) enum Action<P> {
 }
 
 /// The context handed to node handlers: send messages, set timers, read
-/// the clock, draw randomness.
+/// the clock, draw randomness, record trace events.
 #[derive(Debug)]
 pub struct Ctx<'a, P> {
     pub(crate) me: NodeId,
     pub(crate) now: SimTime,
-    pub(crate) rng: &'a mut StdRng,
+    pub(crate) rng: &'a mut SplitMix64,
+    pub(crate) tracer: &'a mut Tracer,
     pub(crate) actions: Vec<Action<P>>,
 }
 
@@ -43,8 +45,20 @@ impl<'a, P> Ctx<'a, P> {
     }
 
     /// The world's RNG (seeded; all draws are reproducible).
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut SplitMix64 {
         self.rng
+    }
+
+    /// Whether the world is collecting a trace; lets handlers skip
+    /// building expensive event payloads when tracing is off.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Records a trace event at the current virtual time (a no-op when
+    /// tracing is off).
+    pub fn trace(&mut self, kind: EventKind) {
+        self.tracer.record(self.now.0, kind);
     }
 
     /// Sends `payload` to `dst` (subject to the network model: delay,
@@ -79,22 +93,31 @@ pub trait Node<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn ctx_records_actions() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
+        let mut tracer = Tracer::bounded(8);
         let mut ctx: Ctx<'_, u8> = Ctx {
             me: NodeId(3),
             now: SimTime(17),
             rng: &mut rng,
+            tracer: &mut tracer,
             actions: Vec::new(),
         };
         assert_eq!(ctx.me(), NodeId(3));
         assert_eq!(ctx.now(), SimTime(17));
+        assert!(ctx.trace_enabled());
         ctx.send(NodeId(0), 42);
         ctx.set_timer(5, 99);
+        ctx.trace(EventKind::TimerSet {
+            node: 3,
+            token: 99,
+            fire_at: 22,
+        });
         assert_eq!(ctx.actions.len(), 2);
+        let e = tracer.events().next().unwrap();
+        assert_eq!(e.time, 17);
     }
 
     #[test]

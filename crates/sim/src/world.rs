@@ -1,10 +1,16 @@
 //! The simulation world: event queue, clock, nodes, network, faults.
+//!
+//! The world optionally collects a structured trace (see `relax-trace`):
+//! every send, delivery, drop, timer, and injected fault becomes a
+//! sim-time-stamped event in a bounded ring buffer, and node handlers
+//! can add their own events through [`Ctx::trace`]. Tracing is off by
+//! default and costs one branch per would-be event when off.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use relax_automata::SplitMix64;
+use relax_trace::{DropCause, EventKind as TraceEvent, Tracer};
 
 use crate::network::{Network, NetworkConfig};
 use crate::node::{Action, Ctx, Node, NodeId};
@@ -13,8 +19,15 @@ use crate::time::SimTime;
 
 #[derive(Debug, Clone)]
 enum EventKind<P> {
-    Deliver { src: NodeId, dst: NodeId, payload: P },
-    Timer { node: NodeId, token: u64 },
+    Deliver {
+        src: NodeId,
+        dst: NodeId,
+        payload: P,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -44,18 +57,36 @@ impl<P> Ord for QueuedEvent<P> {
 }
 
 /// A simulated distributed system: nodes, network, virtual clock, event
-/// queue, and an optional fault schedule.
+/// queue, an optional fault schedule, and an optional trace collector.
+///
+/// # Message accounting
+///
+/// Messages enter the system two ways — node sends
+/// ([`World::messages_sent`]) and external injections
+/// ([`World::messages_injected`]) — and leave it two ways — delivery to
+/// a handler ([`World::messages_delivered`]) or loss
+/// ([`World::messages_lost`]: crash, partition, or random drop, whether
+/// at send time or in flight). At any instant,
+///
+/// ```text
+/// sent + injected == delivered + lost + in_flight
+/// ```
+///
+/// which [`World::messages_in_flight`] makes checkable.
 #[derive(Debug)]
 pub struct World<P, N> {
     nodes: Vec<N>,
     network: Network,
-    rng: StdRng,
+    rng: SplitMix64,
     now: SimTime,
     queue: BinaryHeap<Reverse<QueuedEvent<P>>>,
     seq: u64,
     schedule: FaultSchedule,
+    tracer: Tracer,
     events_processed: u64,
     messages_sent: u64,
+    messages_injected: u64,
+    messages_delivered: u64,
     messages_lost: u64,
 }
 
@@ -66,13 +97,16 @@ impl<P: Clone, N: Node<P>> World<P, N> {
         World {
             nodes,
             network: Network::new(config, n),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             seq: 0,
             schedule: FaultSchedule::new(),
+            tracer: Tracer::disabled(),
             events_processed: 0,
             messages_sent: 0,
+            messages_injected: 0,
+            messages_delivered: 0,
             messages_lost: 0,
         }
     }
@@ -84,10 +118,35 @@ impl<P: Clone, N: Node<P>> World<P, N> {
         self
     }
 
+    /// Enables trace collection with the given ring-buffer capacity
+    /// (builder-style).
+    #[must_use]
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.tracer = Tracer::bounded(capacity);
+        self
+    }
+
     /// Installs a fault schedule on an existing world (replacing any
     /// pending one).
     pub fn set_schedule(&mut self, schedule: FaultSchedule) {
         self.schedule = schedule;
+    }
+
+    /// The trace collected so far (empty and disabled unless
+    /// [`World::with_trace`] was used).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable trace access (e.g. for the harness to add its own events
+    /// or export and clear between phases).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Whether a trace is being collected.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_enabled()
     }
 
     /// The current virtual time.
@@ -139,20 +198,50 @@ impl<P: Clone, N: Node<P>> World<P, N> {
         self.events_processed
     }
 
-    /// Messages offered to the network so far.
+    /// Messages nodes offered to the network so far (excludes external
+    /// injections; see [`World::messages_injected`]).
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent
     }
 
-    /// Messages the network dropped so far.
+    /// Messages injected from outside the simulated system via
+    /// [`World::send_external`].
+    pub fn messages_injected(&self) -> u64 {
+        self.messages_injected
+    }
+
+    /// Messages delivered to a handler so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// Messages lost so far (crash, partition, or random loss — at send
+    /// time or in flight).
     pub fn messages_lost(&self) -> u64 {
         self.messages_lost
+    }
+
+    /// Messages currently queued for delivery (neither delivered nor
+    /// lost yet). O(queue length).
+    pub fn messages_in_flight(&self) -> u64 {
+        self.queue
+            .iter()
+            .filter(|Reverse(e)| matches!(e.kind, EventKind::Deliver { .. }))
+            .count() as u64
     }
 
     /// Injects a message to `dst` from outside the simulated system (no
     /// loss or delay; delivered at the current instant). Used to kick off
     /// client requests.
     pub fn send_external(&mut self, dst: NodeId, payload: P) {
+        self.messages_injected += 1;
+        self.tracer.record(
+            self.now.0,
+            TraceEvent::MessageInjected {
+                dst: dst.0 as u32,
+                deliver_at: self.now.0,
+            },
+        );
         let ev = QueuedEvent {
             time: self.now,
             seq: self.next_seq(),
@@ -168,6 +257,25 @@ impl<P: Clone, N: Node<P>> World<P, N> {
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
+    }
+
+    /// The time of the next pending event or fault, if any. Useful for
+    /// harnesses that interleave their own observation with stepping.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue
+            .peek()
+            .map(|Reverse(e)| e.time)
+            .into_iter()
+            .chain(self.schedule.next_time())
+            .min()
+    }
+
+    /// Advances the clock to `t` without processing anything (a no-op if
+    /// the clock is already past `t`).
+    pub fn advance_clock_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
     }
 
     /// Processes the next event or fault. Returns `false` when nothing
@@ -197,26 +305,65 @@ impl<P: Clone, N: Node<P>> World<P, N> {
 
     fn apply_fault(&mut self, fault: Fault) {
         match fault {
-            Fault::Crash(n) => self.network.crash(n),
-            Fault::Recover(n) => self.network.recover(n),
-            Fault::Partition(p) => self.network.set_partition(p),
-            Fault::Heal => self.network.heal_partition(),
-            Fault::SetLoss(p) => self.network.set_loss_probability(p),
+            Fault::Crash(n) => {
+                self.tracer
+                    .record(self.now.0, TraceEvent::NodeCrashed { node: n.0 as u32 });
+                self.network.crash(n);
+            }
+            Fault::Recover(n) => {
+                self.tracer
+                    .record(self.now.0, TraceEvent::NodeRecovered { node: n.0 as u32 });
+                self.network.recover(n);
+            }
+            Fault::Partition(p) => {
+                if self.tracer.is_enabled() {
+                    let groups = p
+                        .group_list()
+                        .iter()
+                        .map(|g| g.iter().map(|n| n.0 as u32).collect())
+                        .collect::<Vec<Box<[u32]>>>()
+                        .into_boxed_slice();
+                    self.tracer
+                        .record(self.now.0, TraceEvent::PartitionSet { groups });
+                }
+                self.network.set_partition(p);
+            }
+            Fault::Heal => {
+                self.tracer.record(self.now.0, TraceEvent::PartitionHealed);
+                self.network.heal_partition();
+            }
+            Fault::SetLoss(p) => {
+                self.tracer
+                    .record(self.now.0, TraceEvent::LossRateSet { probability: p });
+                self.network.set_loss_probability(p);
+            }
         }
     }
 
     fn dispatch(&mut self, ev: QueuedEvent<P>) {
         self.events_processed += 1;
         #[allow(clippy::type_complexity)]
-        let (target, invoke): (NodeId, Box<dyn FnOnce(&mut N, &mut Ctx<'_, P>)>) = match ev.kind
-        {
+        let (target, invoke): (NodeId, Box<dyn FnOnce(&mut N, &mut Ctx<'_, P>)>) = match ev.kind {
             EventKind::Deliver { src, dst, payload } => {
                 // Re-check liveness at delivery time: a node that crashed
                 // while the message was in flight loses it.
                 if !self.network.is_up(dst) {
                     self.messages_lost += 1;
+                    self.tracer.record(
+                        self.now.0,
+                        TraceEvent::MessageDropped {
+                            src: src.0 as u32,
+                            dst: dst.0 as u32,
+                            cause: DropCause::DestDown,
+                        },
+                    );
                     return;
                 }
+                self.messages_delivered += 1;
+                self.tracer.record(
+                    self.now.0,
+                    TraceEvent::MessageDelivered { node: dst.0 as u32 },
+                );
                 (
                     dst,
                     Box::new(move |node, ctx| node.on_message(ctx, src, payload)),
@@ -226,6 +373,13 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                 if !self.network.is_up(node) {
                     return; // timers are silent on crashed nodes
                 }
+                self.tracer.record(
+                    self.now.0,
+                    TraceEvent::TimerFired {
+                        node: node.0 as u32,
+                        token,
+                    },
+                );
                 (node, Box::new(move |n, ctx| n.on_timer(ctx, token)))
             }
         };
@@ -234,6 +388,7 @@ impl<P: Clone, N: Node<P>> World<P, N> {
             me: target,
             now: self.now,
             rng: &mut self.rng,
+            tracer: &mut self.tracer,
             actions: Vec::new(),
         };
         invoke(&mut self.nodes[target.0], &mut ctx);
@@ -244,7 +399,15 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                 Action::Send { dst, payload } => {
                     self.messages_sent += 1;
                     match self.network.route(target, dst, &mut self.rng) {
-                        Some(delay) => {
+                        Ok(delay) => {
+                            self.tracer.record(
+                                self.now.0,
+                                TraceEvent::MessageSent {
+                                    src: target.0 as u32,
+                                    dst: dst.0 as u32,
+                                    deliver_at: self.now.0 + delay,
+                                },
+                            );
                             let ev = QueuedEvent {
                                 time: self.now + delay,
                                 seq: self.next_seq(),
@@ -256,10 +419,28 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                             };
                             self.queue.push(Reverse(ev));
                         }
-                        None => self.messages_lost += 1,
+                        Err(cause) => {
+                            self.messages_lost += 1;
+                            self.tracer.record(
+                                self.now.0,
+                                TraceEvent::MessageDropped {
+                                    src: target.0 as u32,
+                                    dst: dst.0 as u32,
+                                    cause,
+                                },
+                            );
+                        }
                     }
                 }
                 Action::Timer { delay, token } => {
+                    self.tracer.record(
+                        self.now.0,
+                        TraceEvent::TimerSet {
+                            node: target.0 as u32,
+                            token,
+                            fire_at: self.now.0 + delay,
+                        },
+                    );
                     let ev = QueuedEvent {
                         time: self.now + delay,
                         seq: self.next_seq(),
@@ -278,14 +459,7 @@ impl<P: Clone, N: Node<P>> World<P, N> {
     /// ends at exactly `t` even if the queue empties earlier.
     pub fn run_until(&mut self, t: SimTime) {
         loop {
-            let next = self
-                .queue
-                .peek()
-                .map(|Reverse(e)| e.time)
-                .into_iter()
-                .chain(self.schedule.next_time())
-                .min();
-            match next {
+            match self.next_event_time() {
                 Some(tn) if tn <= t => {
                     self.step();
                 }
@@ -353,6 +527,11 @@ mod tests {
         )
     }
 
+    fn accounting_balances<P: Clone, N: Node<P>>(w: &World<P, N>) -> bool {
+        w.messages_sent() + w.messages_injected()
+            == w.messages_delivered() + w.messages_lost() + w.messages_in_flight()
+    }
+
     #[test]
     fn ping_pong_runs_to_quiescence() {
         let mut w = two_echoes();
@@ -375,12 +554,10 @@ mod tests {
 
     #[test]
     fn partition_stops_pong() {
-        let mut w = two_echoes().with_schedule(
-            FaultSchedule::new().at(
-                SimTime::ZERO,
-                Fault::Partition(Partition::groups(vec![vec![NodeId(0)], vec![NodeId(1)]])),
-            ),
-        );
+        let mut w = two_echoes().with_schedule(FaultSchedule::new().at(
+            SimTime::ZERO,
+            Fault::Partition(Partition::groups(vec![vec![NodeId(0)], vec![NodeId(1)]])),
+        ));
         w.send_external(NodeId(0), 10);
         w.run_to_quiescence(10_000);
         // Node 0 gets the external message; its reply is dropped.
@@ -415,9 +592,11 @@ mod tests {
 
     #[test]
     fn recovery_allows_later_traffic() {
-        let mut w = two_echoes().with_schedule(
-            FaultSchedule::new().down_between(NodeId(1), SimTime(0), SimTime(50)),
-        );
+        let mut w = two_echoes().with_schedule(FaultSchedule::new().down_between(
+            NodeId(1),
+            SimTime(0),
+            SimTime(50),
+        ));
         // Kick at t=0 (lost), run past recovery, kick again.
         w.send_external(NodeId(0), 0);
         w.run_until(SimTime(60));
@@ -465,5 +644,179 @@ mod tests {
         // staying positive): force with a large count and a small budget.
         w.send_external(NodeId(0), u32::MAX);
         assert!(!w.run_to_quiescence(10));
+    }
+
+    #[test]
+    fn message_accounting_balances_through_faults() {
+        let mut w = two_echoes().with_schedule(
+            FaultSchedule::new()
+                .at(
+                    SimTime(5),
+                    Fault::Partition(Partition::groups(vec![vec![NodeId(0)], vec![NodeId(1)]])),
+                )
+                .at(SimTime(20), Fault::Heal)
+                .at(SimTime(30), Fault::Crash(NodeId(1)))
+                .at(SimTime(60), Fault::Recover(NodeId(1))),
+        );
+        w.send_external(NodeId(0), 40);
+        assert!(accounting_balances(&w), "after injection");
+        while w.step() {
+            assert!(
+                accounting_balances(&w),
+                "at t={} sent={} injected={} delivered={} lost={} in_flight={}",
+                w.now().0,
+                w.messages_sent(),
+                w.messages_injected(),
+                w.messages_delivered(),
+                w.messages_lost(),
+                w.messages_in_flight()
+            );
+        }
+        assert_eq!(w.messages_in_flight(), 0);
+        assert_eq!(w.messages_injected(), 1);
+        // External injections are not network sends.
+        assert_eq!(
+            w.messages_sent() + 1,
+            w.messages_delivered() + w.messages_lost()
+        );
+    }
+
+    #[test]
+    fn injected_messages_counted_separately_from_sends() {
+        let mut w = two_echoes();
+        w.send_external(NodeId(0), 0); // reply chain of length 0
+        w.run_to_quiescence(100);
+        assert_eq!(w.messages_injected(), 1);
+        assert_eq!(w.messages_sent(), 0);
+        assert_eq!(w.messages_delivered(), 1);
+        assert_eq!(w.messages_lost(), 0);
+    }
+
+    #[test]
+    fn trace_records_faults_sends_and_drops_in_time_order() {
+        use relax_trace::EventKind as TE;
+        let mut w = two_echoes().with_trace(4096).with_schedule(
+            FaultSchedule::new()
+                .at(
+                    SimTime(0),
+                    Fault::Partition(Partition::groups(vec![vec![NodeId(0)], vec![NodeId(1)]])),
+                )
+                .at(SimTime(50), Fault::Heal),
+        );
+        w.send_external(NodeId(0), 10);
+        w.run_to_quiescence(10_000);
+        let tr = w.tracer();
+        assert!(!tr.is_empty());
+        // Times are non-decreasing and seq strictly increasing.
+        let evs: Vec<_> = tr.events().collect();
+        for pair in evs.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+            assert!(pair[0].seq < pair[1].seq);
+        }
+        // The partition, the drop it caused, and the heal all appear.
+        assert!(evs
+            .iter()
+            .any(|e| matches!(&e.kind, TE::PartitionSet { groups } if groups.as_ref() == [Box::from([0u32]), Box::from([1u32])])));
+        assert!(evs.iter().any(|e| matches!(
+            &e.kind,
+            TE::MessageDropped {
+                cause: DropCause::Partitioned,
+                ..
+            }
+        )));
+        assert!(evs.iter().any(|e| matches!(e.kind, TE::PartitionHealed)));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.kind, TE::MessageInjected { dst: 0, .. })));
+    }
+
+    #[test]
+    fn disabled_trace_stays_empty() {
+        let mut w = two_echoes();
+        w.send_external(NodeId(0), 10);
+        w.run_to_quiescence(10_000);
+        assert!(!w.trace_enabled());
+        assert_eq!(w.tracer().len(), 0);
+    }
+
+    #[test]
+    fn crash_during_partition_and_recovery_under_partition() {
+        // Node 1 crashes *while* partitioned away from node 0. Recovery
+        // alone must not restore connectivity — the partition still
+        // stands — and messages must be attributed to the dominant
+        // cause (crash checks precede partition checks in routing).
+        let mut w = two_echoes().with_trace(256).with_schedule(
+            FaultSchedule::new()
+                .at(
+                    SimTime(10),
+                    Fault::Partition(Partition::groups(vec![vec![NodeId(0)], vec![NodeId(1)]])),
+                )
+                .at(SimTime(20), Fault::Crash(NodeId(1)))
+                .at(SimTime(30), Fault::Recover(NodeId(1))),
+        );
+        w.run_until(SimTime(25));
+        // Partition + crashed: dropped as DestDown (crash dominates).
+        w.send_external(NodeId(0), 1);
+        w.run_until(SimTime(35));
+        // Recovered but still partitioned: dropped as Partitioned.
+        let before = w.messages_lost();
+        w.send_external(NodeId(0), 1);
+        w.run_to_quiescence(10_000);
+        assert_eq!(w.messages_lost(), before + 1);
+        assert_eq!(w.node(NodeId(1)).received, 0, "partition still stands");
+        use relax_trace::{DropCause, EventKind as TE};
+        let causes: Vec<DropCause> = w
+            .tracer()
+            .events()
+            .filter_map(|e| match e.kind {
+                TE::MessageDropped { cause, .. } => Some(cause),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(causes, vec![DropCause::DestDown, DropCause::Partitioned]);
+        assert!(accounting_balances(&w));
+    }
+
+    #[test]
+    fn recover_after_heal_restores_service() {
+        // Crash inside a partition window, heal first, recover second:
+        // only after *both* lift does the ping-pong resume.
+        let mut w = two_echoes().with_schedule(
+            FaultSchedule::new()
+                .at(
+                    SimTime(0),
+                    Fault::Partition(Partition::groups(vec![vec![NodeId(0)], vec![NodeId(1)]])),
+                )
+                .at(SimTime(5), Fault::Crash(NodeId(1)))
+                .at(SimTime(50), Fault::Heal)
+                .at(SimTime(100), Fault::Recover(NodeId(1))),
+        );
+        // Healed but node 1 still down: message dropped.
+        w.run_until(SimTime(60));
+        w.send_external(NodeId(0), 3);
+        w.run_until(SimTime(90));
+        assert_eq!(w.node(NodeId(1)).received, 0, "still crashed after heal");
+        // Fully restored: the volley completes.
+        w.run_until(SimTime(110));
+        w.send_external(NodeId(0), 3);
+        w.run_to_quiescence(10_000);
+        // The full volley 3→2→1→0 lands (4 receipts) on top of the one
+        // absorbed during the outage.
+        assert_eq!(w.node(NodeId(0)).received + w.node(NodeId(1)).received, 5);
+        assert!(accounting_balances(&w));
+    }
+
+    #[test]
+    fn next_event_time_and_advance_clock() {
+        let mut w = two_echoes();
+        assert_eq!(w.next_event_time(), None);
+        w.send_external(NodeId(0), 1);
+        assert_eq!(w.next_event_time(), Some(SimTime::ZERO));
+        w.advance_clock_to(SimTime(0)); // no-op
+        w.run_to_quiescence(100);
+        w.advance_clock_to(SimTime(500));
+        assert_eq!(w.now(), SimTime(500));
+        w.advance_clock_to(SimTime(10)); // never goes backwards
+        assert_eq!(w.now(), SimTime(500));
     }
 }

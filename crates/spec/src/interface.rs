@@ -367,14 +367,8 @@ end
             requires: Term::Bool(true),
             ensures: Term::Bool(true),
         };
-        let err = InterfaceSpec::new(
-            "X",
-            bag,
-            Sort::new("B"),
-            "b",
-            vec![op.clone(), op],
-        )
-        .unwrap_err();
+        let err =
+            InterfaceSpec::new("X", bag, Sort::new("B"), "b", vec![op.clone(), op]).unwrap_err();
         assert!(matches!(err, SpecError::BadInterface(_)));
     }
 }

@@ -228,8 +228,8 @@ fn is_value(t: &Term) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::theory::{Equation, OpDecl, Theory};
     use crate::term::Sort;
+    use crate::theory::{Equation, OpDecl, Theory};
 
     /// Hand-built Bag theory matching Figure 2-1 of the paper.
     fn bag() -> Theory {
@@ -332,14 +332,15 @@ mod tests {
     #[test]
     fn is_emp_and_is_in() {
         let rw = Rewriter::new(&bag()).unwrap();
-        assert!(rw
-            .eval_bool(&Term::app("isEmp", vec![emp()]))
-            .unwrap());
+        assert!(rw.eval_bool(&Term::app("isEmp", vec![emp()])).unwrap());
         assert!(!rw
             .eval_bool(&Term::app("isEmp", vec![ins(emp(), 1)]))
             .unwrap());
         assert!(rw
-            .eval_bool(&Term::app("isIn", vec![ins(ins(emp(), 1), 2), Term::Int(1)]))
+            .eval_bool(&Term::app(
+                "isIn",
+                vec![ins(ins(emp(), 1), 2), Term::Int(1)]
+            ))
             .unwrap());
         assert!(!rw
             .eval_bool(&Term::app("isIn", vec![ins(emp(), 1), Term::Int(5)]))

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use relax_spec::{parse_term, paper_theories, Rewriter, Term};
+use relax_spec::{paper_theories, parse_term, Rewriter, Term};
 
 /// Random ground bag terms: `ins`-chains interleaved with `del`s.
 fn arb_bag_ops() -> impl Strategy<Value = Vec<(bool, i64)>> {

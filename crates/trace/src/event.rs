@@ -1,0 +1,626 @@
+//! Typed trace events with sim-time stamps and JSONL rendering.
+//!
+//! Every observable action in the simulator and the quorum runtime maps
+//! to one [`EventKind`] variant; a recorded [`Event`] adds the virtual
+//! time and a monotone sequence number, so a trace is totally ordered
+//! even when many events share a tick. Events render to one JSON object
+//! per line (JSONL) with a flat schema: `{"t":…,"seq":…,"kind":…,…}`.
+
+use std::fmt::Write as _;
+
+/// A fixed-capacity inline operation label.
+///
+/// Recording an `op_begin` event must not allocate: labels render into
+/// an inline 14-byte buffer (keeping [`EventKind`] at 24 bytes), and
+/// longer `Debug` output is truncated at a character boundary.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct OpLabel {
+    len: u8,
+    buf: [u8; Self::CAP],
+}
+
+impl OpLabel {
+    /// Inline capacity in bytes.
+    pub const CAP: usize = 14;
+
+    /// Renders `op`'s `Debug` form into an inline label, truncating to
+    /// the capacity without allocating.
+    pub fn from_debug(op: &impl std::fmt::Debug) -> Self {
+        let mut label = OpLabel {
+            len: 0,
+            buf: [0; Self::CAP],
+        };
+        // Truncation surfaces as a full buffer, not as an error.
+        let _ = write!(&mut label, "{op:?}");
+        label
+    }
+
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf[..usize::from(self.len)]).unwrap_or("")
+    }
+}
+
+impl std::fmt::Write for OpLabel {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        let room = Self::CAP - usize::from(self.len);
+        let take = if s.len() <= room {
+            s.len()
+        } else {
+            // Largest prefix within `room` that ends on a char boundary.
+            let mut t = room;
+            while t > 0 && !s.is_char_boundary(t) {
+                t -= 1;
+            }
+            t
+        };
+        self.buf[usize::from(self.len)..usize::from(self.len) + take]
+            .copy_from_slice(&s.as_bytes()[..take]);
+        self.len += take as u8;
+        Ok(())
+    }
+}
+
+impl Default for OpLabel {
+    fn default() -> Self {
+        OpLabel {
+            len: 0,
+            buf: [0; Self::CAP],
+        }
+    }
+}
+
+impl std::ops::Deref for OpLabel {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::fmt::Display for OpLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::fmt::Debug for OpLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+/// Why the network dropped a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The sending node was crashed at send (or delivery) time.
+    SourceDown,
+    /// The destination node was crashed.
+    DestDown,
+    /// Source and destination were in different partition groups.
+    Partitioned,
+    /// The link's random loss fired.
+    Loss,
+}
+
+impl DropCause {
+    /// The stable string used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropCause::SourceDown => "source_down",
+            DropCause::DestDown => "dest_down",
+            DropCause::Partitioned => "partitioned",
+            DropCause::Loss => "loss",
+        }
+    }
+}
+
+/// How a client operation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// A quorum was assembled and the operation took effect.
+    Completed,
+    /// The merged view made the operation undefined (e.g. Deq of an
+    /// empty queue) and it was refused.
+    Refused,
+    /// No quorum answered before the client timeout.
+    TimedOut,
+}
+
+impl OpOutcome {
+    /// The stable string used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpOutcome::Completed => "completed",
+            OpOutcome::Refused => "refused",
+            OpOutcome::TimedOut => "timed_out",
+        }
+    }
+}
+
+/// Which quorum a client was assembling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumPhase {
+    /// The initial (read) quorum.
+    Read,
+    /// The final (write) quorum.
+    Write,
+}
+
+impl QuorumPhase {
+    /// The stable string used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QuorumPhase::Read => "read",
+            QuorumPhase::Write => "write",
+        }
+    }
+}
+
+/// One kind of observable action, with its payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A node sent a message into the network.
+    MessageSent {
+        /// Sending node index.
+        src: u32,
+        /// Destination node index.
+        dst: u32,
+        /// Scheduled delivery tick.
+        deliver_at: u64,
+    },
+    /// The harness injected a message from outside the simulated system.
+    MessageInjected {
+        /// Destination node index.
+        dst: u32,
+        /// Scheduled delivery tick.
+        deliver_at: u64,
+    },
+    /// A message reached its destination's handler.
+    MessageDelivered {
+        /// Receiving node index.
+        node: u32,
+    },
+    /// The network dropped a message.
+    MessageDropped {
+        /// Sending node index.
+        src: u32,
+        /// Destination node index.
+        dst: u32,
+        /// Why it was dropped.
+        cause: DropCause,
+    },
+    /// A node armed a timer.
+    TimerSet {
+        /// Owning node index.
+        node: u32,
+        /// Caller-chosen token identifying the timer.
+        token: u64,
+        /// Tick at which it fires.
+        fire_at: u64,
+    },
+    /// A timer fired at its owner.
+    TimerFired {
+        /// Owning node index.
+        node: u32,
+        /// The timer's token.
+        token: u64,
+    },
+    /// A fault crashed a node.
+    NodeCrashed {
+        /// Crashed node index.
+        node: u32,
+    },
+    /// A fault recovered a node.
+    NodeRecovered {
+        /// Recovered node index.
+        node: u32,
+    },
+    /// A fault installed a partition.
+    PartitionSet {
+        /// The partition's groups of node indices. Boxed slices keep
+        /// this rare variant from inflating every event's footprint.
+        groups: Box<[Box<[u32]>]>,
+    },
+    /// A fault healed the partition.
+    PartitionHealed,
+    /// A fault changed the link loss probability.
+    LossRateSet {
+        /// The new loss probability.
+        probability: f64,
+    },
+    /// A client started an operation.
+    OpBegin {
+        /// Client node index.
+        node: u32,
+        /// Client-local invocation id.
+        op_id: u32,
+        /// Short operation label, e.g. `"Enq(5)"`.
+        op: OpLabel,
+    },
+    /// A client finished an operation.
+    OpEnd {
+        /// Client node index.
+        node: u32,
+        /// Client-local invocation id.
+        op_id: u32,
+        /// How it ended.
+        outcome: OpOutcome,
+        /// Ticks from begin to end.
+        latency: u64,
+    },
+    /// A client assembled a quorum.
+    QuorumAssembled {
+        /// Client node index.
+        node: u32,
+        /// Client-local invocation id.
+        op_id: u32,
+        /// Which quorum.
+        phase: QuorumPhase,
+        /// Number of replicas in the assembled quorum.
+        size: u32,
+    },
+    /// A client's quorum assembly failed (timeout with too few replies).
+    QuorumFailed {
+        /// Client node index.
+        node: u32,
+        /// Client-local invocation id.
+        op_id: u32,
+        /// Which quorum.
+        phase: QuorumPhase,
+        /// Replies received before the timeout.
+        responses: u32,
+        /// Replies the assignment required.
+        needed: u32,
+    },
+    /// A client merged replica logs into a view.
+    ViewMerged {
+        /// Client node index.
+        node: u32,
+        /// Number of log entries in the merged view.
+        merged_len: u32,
+    },
+    /// The degradation monitor observed the history leave one or more
+    /// lattice levels. Boxed: the payload is fat and rare, and every
+    /// recorded event pays for the enum's largest variant.
+    LevelTransition(Box<crate::monitor::LevelTransition>),
+}
+
+impl EventKind {
+    /// The stable `kind` tag used in JSONL output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::MessageSent { .. } => "message_sent",
+            EventKind::MessageInjected { .. } => "message_injected",
+            EventKind::MessageDelivered { .. } => "message_delivered",
+            EventKind::MessageDropped { .. } => "message_dropped",
+            EventKind::TimerSet { .. } => "timer_set",
+            EventKind::TimerFired { .. } => "timer_fired",
+            EventKind::NodeCrashed { .. } => "node_crashed",
+            EventKind::NodeRecovered { .. } => "node_recovered",
+            EventKind::PartitionSet { .. } => "partition_set",
+            EventKind::PartitionHealed => "partition_healed",
+            EventKind::LossRateSet { .. } => "loss_rate_set",
+            EventKind::OpBegin { .. } => "op_begin",
+            EventKind::OpEnd { .. } => "op_end",
+            EventKind::QuorumAssembled { .. } => "quorum_assembled",
+            EventKind::QuorumFailed { .. } => "quorum_failed",
+            EventKind::ViewMerged { .. } => "view_merged",
+            EventKind::LevelTransition(_) => "level_transition",
+        }
+    }
+}
+
+/// A recorded event: sim time, sequence number, and the action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual time (ticks) at which the event happened.
+    pub time: u64,
+    /// Monotone per-tracer sequence number (total order within a trace).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", escape_json(s)))
+        .collect();
+    format!("[{}]", quoted.join(","))
+}
+
+impl Event {
+    /// Renders the event as one flat JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"t\":{},\"seq\":{},\"kind\":\"{}\"",
+            self.time,
+            self.seq,
+            self.kind.tag()
+        );
+        match &self.kind {
+            EventKind::MessageSent {
+                src,
+                dst,
+                deliver_at,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{src},\"dst\":{dst},\"deliver_at\":{deliver_at}"
+                );
+            }
+            EventKind::MessageInjected { dst, deliver_at } => {
+                let _ = write!(s, ",\"dst\":{dst},\"deliver_at\":{deliver_at}");
+            }
+            EventKind::MessageDelivered { node } => {
+                let _ = write!(s, ",\"node\":{node}");
+            }
+            EventKind::MessageDropped { src, dst, cause } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{src},\"dst\":{dst},\"cause\":\"{}\"",
+                    cause.as_str()
+                );
+            }
+            EventKind::TimerSet {
+                node,
+                token,
+                fire_at,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"token\":{token},\"fire_at\":{fire_at}"
+                );
+            }
+            EventKind::TimerFired { node, token } => {
+                let _ = write!(s, ",\"node\":{node},\"token\":{token}");
+            }
+            EventKind::NodeCrashed { node } | EventKind::NodeRecovered { node } => {
+                let _ = write!(s, ",\"node\":{node}");
+            }
+            EventKind::PartitionSet { groups } => {
+                let rendered: Vec<String> = groups
+                    .iter()
+                    .map(|g| {
+                        let ids: Vec<String> = g.iter().map(|n| n.to_string()).collect();
+                        format!("[{}]", ids.join(","))
+                    })
+                    .collect();
+                let _ = write!(s, ",\"groups\":[{}]", rendered.join(","));
+            }
+            EventKind::PartitionHealed => {}
+            EventKind::LossRateSet { probability } => {
+                let _ = write!(s, ",\"probability\":{probability}");
+            }
+            EventKind::OpBegin { node, op_id, op } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"op_id\":{op_id},\"op\":\"{}\"",
+                    escape_json(op)
+                );
+            }
+            EventKind::OpEnd {
+                node,
+                op_id,
+                outcome,
+                latency,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"op_id\":{op_id},\"outcome\":\"{}\",\"latency\":{latency}",
+                    outcome.as_str()
+                );
+            }
+            EventKind::QuorumAssembled {
+                node,
+                op_id,
+                phase,
+                size,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"op_id\":{op_id},\"phase\":\"{}\",\"size\":{size}",
+                    phase.as_str()
+                );
+            }
+            EventKind::QuorumFailed {
+                node,
+                op_id,
+                phase,
+                responses,
+                needed,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"op_id\":{op_id},\"phase\":\"{}\",\"responses\":{responses},\"needed\":{needed}",
+                    phase.as_str()
+                );
+            }
+            EventKind::ViewMerged { node, merged_len } => {
+                let _ = write!(s, ",\"node\":{node},\"merged_len\":{merged_len}");
+            }
+            EventKind::LevelTransition(t) => {
+                let now_json = match &t.now {
+                    Some(n) => format!("\"{}\"", escape_json(n)),
+                    None => "null".to_string(),
+                };
+                let _ = write!(
+                    s,
+                    ",\"left\":{},\"now\":{},\"witness\":\"{}\",\"op_index\":{}",
+                    json_str_list(&t.left),
+                    now_json,
+                    escape_json(&t.witness),
+                    t.op_index
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_flat_and_tagged() {
+        let e = Event {
+            time: 42,
+            seq: 7,
+            kind: EventKind::MessageSent {
+                src: 0,
+                dst: 3,
+                deliver_at: 55,
+            },
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"t":42,"seq":7,"kind":"message_sent","src":0,"dst":3,"deliver_at":55}"#
+        );
+    }
+
+    #[test]
+    fn drop_cause_renders() {
+        let e = Event {
+            time: 1,
+            seq: 0,
+            kind: EventKind::MessageDropped {
+                src: 2,
+                dst: 0,
+                cause: DropCause::Partitioned,
+            },
+        };
+        assert!(e.to_json().contains("\"cause\":\"partitioned\""));
+    }
+
+    #[test]
+    fn partition_groups_render_as_nested_arrays() {
+        let e = Event {
+            time: 200,
+            seq: 3,
+            kind: EventKind::PartitionSet {
+                groups: vec![vec![3, 0], vec![1, 2]]
+                    .into_iter()
+                    .map(Vec::into_boxed_slice)
+                    .collect(),
+            },
+        };
+        assert!(e.to_json().contains("\"groups\":[[3,0],[1,2]]"));
+    }
+
+    #[test]
+    fn level_transition_renders_witness_and_levels() {
+        let e = Event {
+            time: 410,
+            seq: 99,
+            kind: EventKind::LevelTransition(Box::new(crate::monitor::LevelTransition {
+                left: vec!["PQ".into()],
+                now: Some("MPQ".into()),
+                witness: "Deq(5)".into(),
+                op_index: 2,
+            })),
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"left\":[\"PQ\"]"));
+        assert!(j.contains("\"now\":\"MPQ\""));
+        assert!(j.contains("\"witness\":\"Deq(5)\""));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn every_kind_has_a_distinct_tag() {
+        let kinds = [
+            EventKind::MessageSent {
+                src: 0,
+                dst: 0,
+                deliver_at: 0,
+            },
+            EventKind::MessageInjected {
+                dst: 0,
+                deliver_at: 0,
+            },
+            EventKind::MessageDelivered { node: 0 },
+            EventKind::MessageDropped {
+                src: 0,
+                dst: 0,
+                cause: DropCause::Loss,
+            },
+            EventKind::TimerSet {
+                node: 0,
+                token: 0,
+                fire_at: 0,
+            },
+            EventKind::TimerFired { node: 0, token: 0 },
+            EventKind::NodeCrashed { node: 0 },
+            EventKind::NodeRecovered { node: 0 },
+            EventKind::PartitionSet {
+                groups: Box::from([]),
+            },
+            EventKind::PartitionHealed,
+            EventKind::LossRateSet { probability: 0.0 },
+            EventKind::OpBegin {
+                node: 0,
+                op_id: 0,
+                op: OpLabel::default(),
+            },
+            EventKind::OpEnd {
+                node: 0,
+                op_id: 0,
+                outcome: OpOutcome::Completed,
+                latency: 0,
+            },
+            EventKind::QuorumAssembled {
+                node: 0,
+                op_id: 0,
+                phase: QuorumPhase::Read,
+                size: 0,
+            },
+            EventKind::QuorumFailed {
+                node: 0,
+                op_id: 0,
+                phase: QuorumPhase::Write,
+                responses: 0,
+                needed: 0,
+            },
+            EventKind::ViewMerged {
+                node: 0,
+                merged_len: 0,
+            },
+            EventKind::LevelTransition(Box::new(crate::monitor::LevelTransition {
+                left: vec![],
+                now: None,
+                witness: String::new(),
+                op_index: 0,
+            })),
+        ];
+        let mut tags: Vec<&str> = kinds.iter().map(|k| k.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), kinds.len());
+    }
+}

@@ -1,0 +1,54 @@
+//! # relax-trace — structured tracing, metrics, and degradation monitoring
+//!
+//! Observability for the workspace's simulator and quorum runtime:
+//!
+//! * [`event`] — typed, sim-time-stamped trace events ([`event::Event`],
+//!   [`event::EventKind`]) with a flat JSONL rendering; shared vocabulary
+//!   types ([`event::DropCause`], [`event::OpOutcome`],
+//!   [`event::QuorumPhase`]) used by the simulator's network and the
+//!   quorum client runtime.
+//! * [`tracer`] — the bounded ring-buffer collector ([`tracer::Tracer`]);
+//!   disabled by default so instrumented hot paths cost one branch when
+//!   tracing is off.
+//! * [`metrics`] — counters, gauges, exact histograms with
+//!   p50/p95/p99 and `merge`, and a named [`metrics::Registry`].
+//! * [`monitor`] — the online degradation monitor
+//!   ([`monitor::DegradationMonitor`]): per-level language-membership
+//!   frontiers over a relaxation lattice (Herlihy & Wing, PODC 1987),
+//!   emitting [`monitor::LevelTransition`]s with witness operations the
+//!   moment the observed history falls out of a level.
+//!
+//! ```
+//! use relax_trace::prelude::*;
+//!
+//! let mut tracer = Tracer::bounded(1024);
+//! tracer.record(5, EventKind::NodeCrashed { node: 2 });
+//! tracer.record(9, EventKind::PartitionHealed);
+//! assert_eq!(tracer.to_jsonl().lines().count(), 2);
+//!
+//! let mut reg = Registry::new();
+//! reg.counter("deq").record(true);
+//! reg.histogram("latency").record(42);
+//! assert!(reg.to_json().contains("\"deq\""));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod metrics;
+pub mod monitor;
+pub mod tracer;
+
+/// Convenient re-exports of the crate's main types.
+pub mod prelude {
+    pub use crate::event::{DropCause, Event, EventKind, OpLabel, OpOutcome, QuorumPhase};
+    pub use crate::metrics::{Counter, Gauge, Histogram, Registry};
+    pub use crate::monitor::{DegradationMonitor, FrontierChecker, LevelTransition};
+    pub use crate::tracer::Tracer;
+}
+
+pub use event::{DropCause, Event, EventKind, OpLabel, OpOutcome, QuorumPhase};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use monitor::{DegradationMonitor, FrontierChecker, LevelTransition};
+pub use tracer::Tracer;

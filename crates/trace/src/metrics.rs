@@ -1,0 +1,528 @@
+//! Metrics: counters, gauges, exact histograms, and a named registry.
+//!
+//! [`Counter`] and [`Histogram`] began life in `relax-sim` (which still
+//! re-exports them); they live here so the quorum runtime and the
+//! experiment binaries can share one [`Registry`] and merge per-trial
+//! metrics into sweep-level summaries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A monotone event counter with a success/failure split, used for
+/// availability measurements (fraction of operations that found a
+/// quorum, etc.).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    successes: u64,
+    failures: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Records a success.
+    pub fn success(&mut self) {
+        self.successes += 1;
+    }
+
+    /// Records a failure.
+    pub fn failure(&mut self) {
+        self.failures += 1;
+    }
+
+    /// Records an outcome.
+    pub fn record(&mut self, ok: bool) {
+        if ok {
+            self.success();
+        } else {
+            self.failure();
+        }
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.successes + self.failures
+    }
+
+    /// Successes recorded.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Failures recorded.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Success fraction in `[0, 1]`; `None` before any event.
+    pub fn rate(&self) -> Option<f64> {
+        if self.total() == 0 {
+            None
+        } else {
+            Some(self.successes as f64 / self.total() as f64)
+        }
+    }
+
+    /// Adds another counter's tallies into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        self.successes += other.successes;
+        self.failures += other.failures;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.rate() {
+            Some(r) => write!(f, "{}/{} ({:.1}%)", self.successes, self.total(), r * 100.0),
+            None => write!(f, "0/0"),
+        }
+    }
+}
+
+/// A last-value-wins instantaneous measurement (queue depths, frontier
+/// sizes, in-flight message counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    value: i64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the current value.
+    pub fn set(&mut self, value: i64) {
+        self.value = value;
+    }
+
+    /// Adjusts the current value by a delta.
+    pub fn add(&mut self, delta: i64) {
+        self.value += delta;
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+}
+
+/// A latency histogram over raw tick samples (exact, not bucketed; the
+/// sample counts in this workspace's experiments are small enough that
+/// exactness is cheaper than binning).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True before any sample.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1, nearest-rank); `None` when empty.
+    /// `q = 0` yields the smallest sample, `q = 1` the largest.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// The 50th percentile.
+    pub fn p50(&mut self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// The 95th percentile.
+    pub fn p95(&mut self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&mut self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Appends all of another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Backed by `BTreeMap`s so summaries and JSON render in a stable order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter with this name, created zeroed on first use.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_string()).or_default()
+    }
+
+    /// The gauge with this name, created zeroed on first use.
+    pub fn gauge(&mut self, name: &str) -> &mut Gauge {
+        self.gauges.entry(name.to_string()).or_default()
+    }
+
+    /// The histogram with this name, created empty on first use.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Looks up a counter without creating it.
+    pub fn get_counter(&self, name: &str) -> Option<&Counter> {
+        self.counters.get(name)
+    }
+
+    /// Looks up a gauge without creating it.
+    pub fn get_gauge(&self, name: &str) -> Option<&Gauge> {
+        self.gauges.get(name)
+    }
+
+    /// Looks up a histogram without creating it.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges another registry into this one: counters and histograms
+    /// accumulate by name; gauges take the other's (later) value.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, c) in &other.counters {
+            self.counter(name).merge(c);
+        }
+        for (name, h) in &other.histograms {
+            self.histogram(name).merge(h);
+        }
+        for (name, g) in &other.gauges {
+            self.gauge(name).set(g.value());
+        }
+    }
+
+    /// A human-readable multi-line summary (counters with rates,
+    /// histograms with mean/p50/p95/p99/max).
+    pub fn summary(&mut self) -> String {
+        let mut out = String::new();
+        for (name, c) in &self.counters {
+            let _ = writeln!(out, "counter   {name:<32} {c}");
+        }
+        for (name, g) in &self.gauges {
+            let _ = writeln!(out, "gauge     {name:<32} {}", g.value());
+        }
+        let names: Vec<String> = self.histograms.keys().cloned().collect();
+        for name in names {
+            let h = self.histograms.get_mut(&name).expect("key just listed");
+            if h.is_empty() {
+                let _ = writeln!(out, "histogram {name:<32} (empty)");
+            } else {
+                let mean = h.mean().expect("non-empty");
+                let p50 = h.p50().expect("non-empty");
+                let p95 = h.p95().expect("non-empty");
+                let p99 = h.p99().expect("non-empty");
+                let max = h.max().expect("non-empty");
+                let n = h.len();
+                let _ = writeln!(
+                    out,
+                    "histogram {name:<32} n={n} mean={mean:.1} p50={p50} p95={p95} p99={p99} max={max}"
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as one JSON object, with per-histogram
+    /// derived statistics rather than raw samples.
+    pub fn to_json(&mut self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (name, c) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{}\":{{\"successes\":{},\"failures\":{}}}",
+                crate::event::escape_json(name),
+                c.successes(),
+                c.failures()
+            );
+        }
+        out.push_str("},\"gauges\":{");
+        let mut first = true;
+        for (name, g) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", crate::event::escape_json(name), g.value());
+        }
+        out.push_str("},\"histograms\":{");
+        let names: Vec<String> = self.histograms.keys().cloned().collect();
+        let mut first = true;
+        for name in names {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let h = self.histograms.get_mut(&name).expect("key just listed");
+            if h.is_empty() {
+                let _ = write!(out, "\"{}\":{{\"n\":0}}", crate::event::escape_json(&name));
+            } else {
+                let mean = h.mean().expect("non-empty");
+                let (p50, p95, p99) = (
+                    h.p50().expect("non-empty"),
+                    h.p95().expect("non-empty"),
+                    h.p99().expect("non-empty"),
+                );
+                let (min, max) = (h.min().expect("non-empty"), h.max().expect("non-empty"));
+                let _ = write!(
+                    out,
+                    "\"{}\":{{\"n\":{},\"mean\":{mean},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"min\":{min},\"max\":{max}}}",
+                    crate::event::escape_json(&name),
+                    h.len()
+                );
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rates() {
+        let mut c = Counter::new();
+        assert_eq!(c.rate(), None);
+        c.success();
+        c.success();
+        c.failure();
+        assert_eq!(c.total(), 3);
+        assert!((c.rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        c.record(true);
+        assert_eq!(c.successes(), 3);
+        assert_eq!(c.failures(), 1);
+    }
+
+    #[test]
+    fn counter_display() {
+        let mut c = Counter::new();
+        assert_eq!(c.to_string(), "0/0");
+        c.success();
+        assert_eq!(c.to_string(), "1/1 (100.0%)");
+    }
+
+    #[test]
+    fn counter_merge_accumulates() {
+        let mut a = Counter::new();
+        a.success();
+        let mut b = Counter::new();
+        b.failure();
+        b.failure();
+        a.merge(&b);
+        assert_eq!(a.successes(), 1);
+        assert_eq!(a.failures(), 2);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        for v in [10, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.mean(), Some(25.0));
+        assert_eq!(h.median(), Some(20));
+        assert_eq!(h.quantile(1.0), Some(40));
+        assert_eq!(h.quantile(0.25), Some(10));
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(40));
+    }
+
+    #[test]
+    fn quantile_after_new_samples_resorts() {
+        let mut h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.median(), Some(5));
+        h.record(1);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.median(), Some(1));
+    }
+
+    #[test]
+    fn quantile_edge_zero_is_minimum() {
+        let mut h = Histogram::new();
+        for v in [30, 10, 20] {
+            h.record(v);
+        }
+        // ceil(0 * 3) = 0 clamps to rank 1: the smallest sample.
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert_eq!(h.quantile(0.0), h.min());
+    }
+
+    #[test]
+    fn quantile_edge_single_sample_is_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(77);
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(77), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_edge_empty_is_none_for_all_q() {
+        let mut h = Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+    }
+
+    #[test]
+    fn merge_resorts_before_quantiles() {
+        let mut a = Histogram::new();
+        for v in [100, 200] {
+            a.record(v);
+        }
+        assert_eq!(a.median(), Some(100)); // sorts a
+        let mut b = Histogram::new();
+        for v in [1, 2] {
+            b.record(v);
+        }
+        a.merge(&b);
+        // Post-merge ordering: quantiles must see the combined, re-sorted set.
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.quantile(0.0), Some(1));
+        assert_eq!(a.median(), Some(2));
+        assert_eq!(a.quantile(1.0), Some(200));
+    }
+
+    #[test]
+    fn p50_p95_p99_track_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), Some(50));
+        assert_eq!(h.p95(), Some(95));
+        assert_eq!(h.p99(), Some(99));
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let mut g = Gauge::new();
+        assert_eq!(g.value(), 0);
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.value(), 3);
+    }
+
+    #[test]
+    fn registry_creates_on_first_use_and_merges() {
+        let mut r = Registry::new();
+        r.counter("ops").success();
+        r.histogram("latency").record(10);
+        r.gauge("inflight").set(2);
+
+        let mut other = Registry::new();
+        other.counter("ops").failure();
+        other.histogram("latency").record(30);
+        other.gauge("inflight").set(7);
+
+        r.merge(&other);
+        assert_eq!(r.get_counter("ops").unwrap().total(), 2);
+        assert_eq!(r.get_histogram("latency").unwrap().len(), 2);
+        assert_eq!(r.get_gauge("inflight").unwrap().value(), 7);
+        assert!(r.get_counter("missing").is_none());
+    }
+
+    #[test]
+    fn registry_summary_and_json_are_stable() {
+        let mut r = Registry::new();
+        r.counter("enq").record(true);
+        r.histogram("lat").record(4);
+        r.histogram("lat").record(8);
+        let s = r.summary();
+        assert!(s.contains("counter   enq"));
+        assert!(s.contains("p95=8"));
+        let j = r.to_json();
+        assert!(j.starts_with("{\"counters\":{"));
+        assert!(j.contains("\"enq\":{\"successes\":1,\"failures\":0}"));
+        assert!(j.contains("\"lat\":{\"n\":2,\"mean\":6,"));
+        // Rendering twice gives the same bytes (ordering is stable).
+        assert_eq!(j, r.to_json());
+    }
+}

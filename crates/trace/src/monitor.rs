@@ -1,0 +1,405 @@
+//! Online degradation monitor over a relaxation lattice.
+//!
+//! The paper's central object is a lattice of automata ordered by
+//! language inclusion: as faults accumulate, the observed history may
+//! fall out of the strongest specification (e.g. PQ) while remaining in
+//! weaker relaxations (MPQ, OPQ, DegenPQ). The monitor tracks language
+//! membership *online*: one [`FrontierChecker`] per level advances the
+//! set of reachable automaton states past each observed operation
+//! (exactly the frontier construction `language_upto` uses offline in
+//! `relax-automata`), and the moment a frontier empties, that level is
+//! dead — the operation that killed it is the *witness*, and the monitor
+//! emits a [`LevelTransition`] naming the levels left and the strongest
+//! level still inhabited.
+//!
+//! Levels are registered strongest-first; the lattice need not be a
+//! chain (MPQ and OPQ are incomparable), so a single operation can kill
+//! several levels at once.
+
+use crate::event::EventKind;
+use relax_automata::ObjectAutomaton;
+use std::collections::HashSet;
+use std::fmt::Debug;
+
+/// Tracks the reachable-state frontier of one automaton along an
+/// observed history (online language membership).
+#[derive(Debug, Clone)]
+pub struct FrontierChecker<A: ObjectAutomaton> {
+    automaton: A,
+    frontier: HashSet<A::State>,
+}
+
+impl<A: ObjectAutomaton> FrontierChecker<A> {
+    /// Starts at the automaton's initial state.
+    pub fn new(automaton: A) -> Self {
+        let mut frontier = HashSet::new();
+        frontier.insert(automaton.initial_state());
+        FrontierChecker {
+            automaton,
+            frontier,
+        }
+    }
+
+    /// Advances the frontier past `op`. Returns `true` while the
+    /// history so far is still in the automaton's language.
+    pub fn observe(&mut self, op: &A::Op) -> bool {
+        let mut next = HashSet::new();
+        for s in &self.frontier {
+            for t in self.automaton.step(s, op) {
+                next.insert(t);
+            }
+        }
+        self.frontier = next;
+        !self.frontier.is_empty()
+    }
+
+    /// Number of states currently reachable (0 once the level is dead).
+    pub fn frontier_size(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// True while the observed history is in the language.
+    pub fn alive(&self) -> bool {
+        !self.frontier.is_empty()
+    }
+}
+
+/// Object-safe view of a level's membership checker, so one monitor can
+/// hold levels backed by different automaton types (PQ, MPQ, OPQ, … are
+/// distinct types sharing an `Op`).
+trait LevelChecker<Op>: Debug {
+    fn observe(&mut self, op: &Op) -> bool;
+    fn frontier_size(&self) -> usize;
+}
+
+impl<A: ObjectAutomaton + Debug> LevelChecker<A::Op> for FrontierChecker<A> {
+    fn observe(&mut self, op: &A::Op) -> bool {
+        FrontierChecker::observe(self, op)
+    }
+
+    fn frontier_size(&self) -> usize {
+        FrontierChecker::frontier_size(self)
+    }
+}
+
+#[derive(Debug)]
+struct MonitorLevel<Op> {
+    name: String,
+    checker: Box<dyn LevelChecker<Op>>,
+    alive: bool,
+    /// History index of the op that killed this level, once dead.
+    died_at: Option<usize>,
+}
+
+/// A level-change report: which levels the history just left, the
+/// strongest level it still inhabits, and the operation that proved it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelTransition {
+    /// Index (into the monitor's observed history) of the witness op.
+    pub op_index: usize,
+    /// Names of the levels that died on this operation.
+    pub left: Vec<String>,
+    /// Strongest level still alive, or `None` if every level is dead.
+    pub now: Option<String>,
+    /// `Debug` rendering of the witness operation.
+    pub witness: String,
+}
+
+impl LevelTransition {
+    /// The trace event corresponding to this transition.
+    pub fn to_event(&self) -> EventKind {
+        EventKind::LevelTransition(Box::new(self.clone()))
+    }
+}
+
+/// Classifies an observed operation history against the levels of a
+/// relaxation lattice, online.
+#[derive(Debug)]
+pub struct DegradationMonitor<Op> {
+    levels: Vec<MonitorLevel<Op>>,
+    observed: usize,
+    transitions: Vec<LevelTransition>,
+}
+
+impl<Op: Debug> DegradationMonitor<Op> {
+    /// An empty monitor; add levels strongest-first with
+    /// [`DegradationMonitor::level`].
+    pub fn new() -> Self {
+        DegradationMonitor {
+            levels: Vec::new(),
+            observed: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Registers the next level (call in strongest-to-weakest order).
+    /// Builder-style so lattices read as a chain of calls.
+    pub fn level<A>(mut self, name: impl Into<String>, automaton: A) -> Self
+    where
+        A: ObjectAutomaton<Op = Op> + Debug + 'static,
+        A::State: 'static,
+    {
+        self.levels.push(MonitorLevel {
+            name: name.into(),
+            checker: Box::new(FrontierChecker::new(automaton)),
+            alive: true,
+            died_at: None,
+        });
+        self
+    }
+
+    /// Feeds one observed operation. Returns the transition if any
+    /// level died on it.
+    pub fn observe(&mut self, op: &Op) -> Option<&LevelTransition> {
+        let op_index = self.observed;
+        self.observed += 1;
+        let mut left = Vec::new();
+        for lvl in self.levels.iter_mut().filter(|l| l.alive) {
+            if !lvl.checker.observe(op) {
+                lvl.alive = false;
+                lvl.died_at = Some(op_index);
+                left.push(lvl.name.clone());
+            }
+        }
+        if left.is_empty() {
+            return None;
+        }
+        let now = self.levels.iter().find(|l| l.alive).map(|l| l.name.clone());
+        self.transitions.push(LevelTransition {
+            op_index,
+            left,
+            now,
+            witness: format!("{op:?}"),
+        });
+        self.transitions.last()
+    }
+
+    /// The strongest level the observed history still inhabits.
+    pub fn current_level(&self) -> Option<&str> {
+        self.levels
+            .iter()
+            .find(|l| l.alive)
+            .map(|l| l.name.as_str())
+    }
+
+    /// Whether the named level is still alive.
+    pub fn is_alive(&self, name: &str) -> Option<bool> {
+        self.levels.iter().find(|l| l.name == name).map(|l| l.alive)
+    }
+
+    /// History index at which the named level died, if it has.
+    pub fn died_at(&self, name: &str) -> Option<usize> {
+        self.levels
+            .iter()
+            .find(|l| l.name == name)
+            .and_then(|l| l.died_at)
+    }
+
+    /// Number of operations observed so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// All level transitions so far, in observation order.
+    pub fn transitions(&self) -> &[LevelTransition] {
+        &self.transitions
+    }
+
+    /// Per-level `(name, alive, frontier size)` snapshot, strongest first.
+    pub fn level_status(&self) -> Vec<(&str, bool, usize)> {
+        self.levels
+            .iter()
+            .map(|l| (l.name.as_str(), l.alive, l.checker.frontier_size()))
+            .collect()
+    }
+}
+
+impl<Op: Debug> Default for DegradationMonitor<Op> {
+    fn default() -> Self {
+        DegradationMonitor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Strict counter: Inc then Dec only while positive.
+    #[derive(Debug, Clone)]
+    struct Strict;
+
+    /// Relaxed counter: Dec also allowed at zero (saturating).
+    #[derive(Debug, Clone)]
+    struct Relaxed;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Op {
+        Inc,
+        Dec,
+    }
+
+    impl ObjectAutomaton for Strict {
+        type State = i32;
+        type Op = Op;
+        fn initial_state(&self) -> i32 {
+            0
+        }
+        fn step(&self, s: &i32, op: &Op) -> Vec<i32> {
+            match op {
+                Op::Inc => vec![s + 1],
+                Op::Dec if *s > 0 => vec![s - 1],
+                Op::Dec => vec![],
+            }
+        }
+    }
+
+    impl ObjectAutomaton for Relaxed {
+        type State = i32;
+        type Op = Op;
+        fn initial_state(&self) -> i32 {
+            0
+        }
+        fn step(&self, s: &i32, op: &Op) -> Vec<i32> {
+            match op {
+                Op::Inc => vec![s + 1],
+                Op::Dec => vec![(s - 1).max(0)],
+            }
+        }
+    }
+
+    fn monitor() -> DegradationMonitor<Op> {
+        DegradationMonitor::new()
+            .level("strict", Strict)
+            .level("relaxed", Relaxed)
+    }
+
+    #[test]
+    fn stays_at_strongest_level_while_history_conforms() {
+        let mut m = monitor();
+        for op in [Op::Inc, Op::Dec, Op::Inc] {
+            assert!(m.observe(&op).is_none());
+        }
+        assert_eq!(m.current_level(), Some("strict"));
+        assert!(m.transitions().is_empty());
+        assert_eq!(m.observed(), 3);
+    }
+
+    #[test]
+    fn transition_names_witness_and_remaining_level() {
+        let mut m = monitor();
+        m.observe(&Op::Inc);
+        m.observe(&Op::Dec);
+        let t = m.observe(&Op::Dec).expect("strict dies on Dec at zero");
+        assert_eq!(t.left, vec!["strict".to_string()]);
+        assert_eq!(t.now.as_deref(), Some("relaxed"));
+        assert_eq!(t.witness, "Dec");
+        assert_eq!(t.op_index, 2);
+        assert_eq!(m.current_level(), Some("relaxed"));
+        assert_eq!(m.is_alive("strict"), Some(false));
+        assert_eq!(m.died_at("strict"), Some(2));
+    }
+
+    #[test]
+    fn dead_levels_stay_dead_and_do_not_retrigger() {
+        let mut m = monitor();
+        m.observe(&Op::Dec); // kills strict immediately
+        assert_eq!(m.transitions().len(), 1);
+        m.observe(&Op::Dec);
+        m.observe(&Op::Inc);
+        assert_eq!(m.transitions().len(), 1, "no repeat transitions");
+        assert_eq!(m.current_level(), Some("relaxed"));
+    }
+
+    #[test]
+    fn all_levels_dead_reports_none() {
+        /// Rejects everything after one step.
+        #[derive(Debug, Clone)]
+        struct OneShot;
+        impl ObjectAutomaton for OneShot {
+            type State = u8;
+            type Op = Op;
+            fn initial_state(&self) -> u8 {
+                0
+            }
+            fn step(&self, s: &u8, _op: &Op) -> Vec<u8> {
+                if *s == 0 {
+                    vec![1]
+                } else {
+                    vec![]
+                }
+            }
+        }
+        let mut m = DegradationMonitor::new().level("oneshot", OneShot);
+        assert!(m.observe(&Op::Inc).is_none());
+        let t = m.observe(&Op::Inc).expect("level dies");
+        assert_eq!(t.now, None);
+        assert_eq!(m.current_level(), None);
+    }
+
+    #[test]
+    fn one_op_can_kill_multiple_levels() {
+        let mut m = DegradationMonitor::new()
+            .level("strict-a", Strict)
+            .level("strict-b", Strict)
+            .level("relaxed", Relaxed);
+        let t = m.observe(&Op::Dec).expect("both strict levels die");
+        assert_eq!(t.left, vec!["strict-a".to_string(), "strict-b".to_string()]);
+        assert_eq!(t.now.as_deref(), Some("relaxed"));
+    }
+
+    #[test]
+    fn transition_converts_to_trace_event() {
+        let mut m = monitor();
+        let t = m.observe(&Op::Dec).unwrap().clone();
+        match t.to_event() {
+            EventKind::LevelTransition(bt) => {
+                let LevelTransition {
+                    left,
+                    now,
+                    witness,
+                    op_index,
+                } = *bt;
+                assert_eq!(left, vec!["strict".to_string()]);
+                assert_eq!(now.as_deref(), Some("relaxed"));
+                assert_eq!(witness, "Dec");
+                assert_eq!(op_index, 0);
+            }
+            other => panic!("wrong event kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frontier_checker_matches_offline_membership() {
+        use relax_automata::History;
+        // For a batch of histories, the online frontier verdict must equal
+        // the offline `accepts` verdict.
+        let histories: Vec<Vec<Op>> = vec![
+            vec![],
+            vec![Op::Inc],
+            vec![Op::Dec],
+            vec![Op::Inc, Op::Dec],
+            vec![Op::Inc, Op::Dec, Op::Dec],
+            vec![Op::Inc, Op::Inc, Op::Dec, Op::Dec],
+        ];
+        for h in histories {
+            let mut chk = FrontierChecker::new(Strict);
+            let mut online = true;
+            for op in &h {
+                online = chk.observe(op) && online;
+            }
+            let offline = Strict.accepts(&History::from(h.clone()));
+            assert_eq!(online, offline, "history {h:?}");
+        }
+    }
+
+    #[test]
+    fn level_status_reports_frontier_sizes() {
+        let mut m = monitor();
+        m.observe(&Op::Dec);
+        let status = m.level_status();
+        assert_eq!(status[0], ("strict", false, 0));
+        assert_eq!(status[1].0, "relaxed");
+        assert!(status[1].1);
+        assert!(status[1].2 >= 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! The trace collector: a bounded ring buffer of [`Event`]s.
+//!
+//! A [`Tracer`] is either *disabled* (the default — recording is a
+//! single branch, so instrumented hot paths cost nothing when tracing is
+//! off) or *bounded* with a capacity; when full, the oldest events are
+//! evicted and counted in [`Tracer::dropped_oldest`], so a long run
+//! keeps its most recent window instead of growing without bound.
+
+use crate::event::{Event, EventKind};
+use std::io::Write;
+use std::path::Path;
+
+/// A stored event: the sequence number is *not* materialised — it is
+/// always `seq - len + index` for the index-th oldest held event, so
+/// storing it would only widen every slot on the hot path.
+#[derive(Debug, Clone)]
+struct Stored {
+    time: u64,
+    kind: EventKind,
+}
+
+/// Collects sim-time-stamped events into a bounded ring buffer.
+///
+/// Implemented as a `Vec` plus a wrap cursor rather than a `VecDeque`:
+/// recording is on the simulator's hot path, and overwrite-in-place is
+/// measurably cheaper than pop-front/push-back.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    buf: Vec<Stored>,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    seq: u64,
+    dropped_oldest: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing (near-zero overhead).
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            capacity: 0,
+            buf: Vec::new(),
+            head: 0,
+            seq: 0,
+            dropped_oldest: 0,
+        }
+    }
+
+    /// A tracer that keeps the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`; use [`Tracer::disabled`] for that.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "use Tracer::disabled() for capacity 0");
+        Tracer {
+            enabled: true,
+            capacity,
+            // One small up-front block: avoids both the realloc chain of
+            // growing from empty and the cost of eagerly allocating a
+            // huge window for short-lived worlds (one per trial).
+            buf: Vec::with_capacity(capacity.min(256)),
+            head: 0,
+            seq: 0,
+            dropped_oldest: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event at the given sim time. A no-op when disabled.
+    #[inline]
+    pub fn record(&mut self, time: u64, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        let ev = Stored { time, kind };
+        self.seq += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped_oldest += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted to keep the buffer within capacity.
+    pub fn dropped_oldest(&self) -> u64 {
+        self.dropped_oldest
+    }
+
+    /// The held events, oldest first, with their global sequence numbers
+    /// reattached.
+    pub fn events(&self) -> impl Iterator<Item = Event> + '_ {
+        let base = self.seq - self.buf.len() as u64;
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+            .enumerate()
+            .map(move |(i, st)| Event {
+                time: st.time,
+                seq: base + i as u64,
+                kind: st.kind.clone(),
+            })
+    }
+
+    /// Discards all held events (sequence numbers keep counting up).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+
+    /// Renders the held events as JSONL (one JSON object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the held events as JSONL to a file.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for e in self.events() {
+            writeln!(f, "{}", e.to_json())?;
+        }
+        f.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DropCause;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(1, EventKind::PartitionHealed);
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn records_in_order_with_monotone_seq() {
+        let mut t = Tracer::bounded(16);
+        t.record(5, EventKind::NodeCrashed { node: 1 });
+        t.record(5, EventKind::NodeRecovered { node: 1 });
+        t.record(9, EventKind::PartitionHealed);
+        let seqs: Vec<u64> = t.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        let times: Vec<u64> = t.events().map(|e| e.time).collect();
+        assert_eq!(times, vec![5, 5, 9]);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Tracer::bounded(3);
+        for i in 0..5 {
+            t.record(i, EventKind::TimerFired { node: 0, token: i });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped_oldest(), 2);
+        let times: Vec<u64> = t.events().map(|e| e.time).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        // Sequence numbers are global, not buffer-relative.
+        assert_eq!(t.events().next().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event() {
+        let mut t = Tracer::bounded(8);
+        t.record(
+            1,
+            EventKind::MessageDropped {
+                src: 0,
+                dst: 1,
+                cause: DropCause::Loss,
+            },
+        );
+        t.record(2, EventKind::PartitionHealed);
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t\":1,"));
+        assert!(lines[1].contains("\"kind\":\"partition_healed\""));
+    }
+
+    #[test]
+    fn write_jsonl_round_trips_through_a_file() {
+        let mut t = Tracer::bounded(4);
+        t.record(3, EventKind::NodeCrashed { node: 2 });
+        let dir = std::env::temp_dir();
+        let path = dir.join("relax_trace_tracer_test.jsonl");
+        t.write_jsonl(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, t.to_jsonl());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn clear_keeps_counting_seq() {
+        let mut t = Tracer::bounded(4);
+        t.record(1, EventKind::PartitionHealed);
+        t.clear();
+        assert!(t.is_empty());
+        t.record(2, EventKind::PartitionHealed);
+        assert_eq!(t.events().next().unwrap().seq, 1);
+    }
+}

@@ -53,7 +53,10 @@ fn main() {
     println!("debit checked against one branch, recorded at all (A1 relaxed, A2 held).\n");
 
     println!("deposit $100, then withdraw $60 after a delay:");
-    println!("{:>12}  {:>14}  {:>10}", "gap (ticks)", "bounce rate", "trials");
+    println!(
+        "{:>12}  {:>14}  {:>10}",
+        "gap (ticks)", "bounce rate", "trials"
+    );
     for gap in [0u64, 5, 15, 30, 60] {
         let trials = 300;
         let bounced = (0..trials).filter(|&s| one_run(gap, 1000 + s).0).count();

@@ -53,10 +53,8 @@ fn main() {
                 println!("  hybrid-atomic wrt FIFO queue: {ok}");
             }
             DequeueStrategy::Optimistic => {
-                let ok = serializable_in_commit_order(
-                    &SemiqueueAutomaton::new(d),
-                    &report.schedule,
-                );
+                let ok =
+                    serializable_in_commit_order(&SemiqueueAutomaton::new(d), &report.schedule);
                 println!("  hybrid-atomic wrt Semiqueue_{d}: {ok}");
             }
             DequeueStrategy::Pessimistic => {

@@ -46,10 +46,19 @@ fn main() {
         QueueOp::Deq(2), // 9 is better — this skips it
     ]);
     let preferred = lattice.qca(TaxiPoint { q1: true, q2: true });
-    let relaxed = lattice.qca(TaxiPoint { q1: false, q2: true });
+    let relaxed = lattice.qca(TaxiPoint {
+        q1: false,
+        q2: true,
+    });
     println!("\nhistory: {out_of_order}");
-    println!("  accepted by QCA(PQ, {{Q1,Q2}})? {}", preferred.accepts(&out_of_order));
-    println!("  accepted by QCA(PQ, {{Q2}})?    {}", relaxed.accepts(&out_of_order));
+    println!(
+        "  accepted by QCA(PQ, {{Q1,Q2}})? {}",
+        preferred.accepts(&out_of_order)
+    );
+    println!(
+        "  accepted by QCA(PQ, {{Q2}})?    {}",
+        relaxed.accepts(&out_of_order)
+    );
 
     // 4. The environment drives which behavior is in force (§2.3).
     let combined = CombinedAutomaton::new(TaxiLattice::new(), TaxiEnvironment::new());
@@ -59,10 +68,14 @@ fn main() {
         Input::Event(TaxiEvent::Q1Lost), // partition: dispatcher can't see all enqueues
         Input::Op(QueueOp::Deq(2)),      // degraded: tolerated now
         Input::Event(TaxiEvent::Q1Restored),
-        Input::Op(QueueOp::Deq(9)),      // recovered: best-first again
+        Input::Op(QueueOp::Deq(9)), // recovered: best-first again
     ];
     println!(
         "\ncombined environment+object run (degrade, serve out of order, recover): {}",
-        if combined.accepts(&run) { "ACCEPTED" } else { "REJECTED" }
+        if combined.accepts(&run) {
+            "ACCEPTED"
+        } else {
+            "REJECTED"
+        }
     );
 }

@@ -1,17 +1,20 @@
 //! Cross-crate integration: the transactional print spooler against the
 //! atomic-queue lattice of §4.2.
 
+use relaxation_lattice::atomic::AtomicAutomaton;
 use relaxation_lattice::atomic::{
-    is_online_hybrid_atomic, serializable_in_commit_order, serializable_in_order,
-    DequeueStrategy, Schedule, Spooler, SpoolerConfig, TxId, TxOp,
+    is_online_hybrid_atomic, serializable_in_commit_order, serializable_in_order, DequeueStrategy,
+    Schedule, Spooler, SpoolerConfig, TxId, TxOp,
 };
 use relaxation_lattice::automata::{History, ObjectAutomaton};
-use relaxation_lattice::atomic::AtomicAutomaton;
-use relaxation_lattice::queues::{
-    FifoAutomaton, QueueOp, SemiqueueAutomaton, StutteringAutomaton,
-};
+use relaxation_lattice::queues::{FifoAutomaton, QueueOp, SemiqueueAutomaton, StutteringAutomaton};
 
-fn run(strategy: DequeueStrategy, printers: usize, abort_p: f64, seed: u64) -> relaxation_lattice::atomic::SpoolerReport {
+fn run(
+    strategy: DequeueStrategy,
+    printers: usize,
+    abort_p: f64,
+    seed: u64,
+) -> relaxation_lattice::atomic::SpoolerReport {
     Spooler::new(SpoolerConfig {
         strategy,
         printers,
@@ -106,19 +109,34 @@ fn atomic_automaton_agrees_with_checker_on_small_schedules() {
     let cases: Vec<(Vec<TxOp<QueueOp>>, bool)> = vec![
         (
             vec![
-                TxOp::Op { tx: TxId(1), op: QueueOp::Enq(1) },
+                TxOp::Op {
+                    tx: TxId(1),
+                    op: QueueOp::Enq(1),
+                },
                 TxOp::Commit(TxId(1)),
-                TxOp::Op { tx: TxId(2), op: QueueOp::Deq(1) },
+                TxOp::Op {
+                    tx: TxId(2),
+                    op: QueueOp::Deq(1),
+                },
                 TxOp::Commit(TxId(2)),
             ],
             true,
         ),
         (
             vec![
-                TxOp::Op { tx: TxId(1), op: QueueOp::Enq(1) },
+                TxOp::Op {
+                    tx: TxId(1),
+                    op: QueueOp::Enq(1),
+                },
                 TxOp::Commit(TxId(1)),
-                TxOp::Op { tx: TxId(2), op: QueueOp::Deq(1) },
-                TxOp::Op { tx: TxId(3), op: QueueOp::Deq(1) },
+                TxOp::Op {
+                    tx: TxId(2),
+                    op: QueueOp::Deq(1),
+                },
+                TxOp::Op {
+                    tx: TxId(3),
+                    op: QueueOp::Deq(1),
+                },
             ],
             false,
         ),

@@ -2,13 +2,14 @@
 //! (spec engine → automata → lattices → verification).
 
 use relaxation_lattice::automata::{
-    check_reverse_inclusion_lattice, included_upto, language_upto, strictly_included_upto, RelaxationMap,
+    check_reverse_inclusion_lattice, included_upto, language_upto, strictly_included_upto,
+    RelaxationMap,
 };
 use relaxation_lattice::core::lattices::semiqueue::{SemiqueueLattice, SsQueueLattice};
 use relaxation_lattice::core::lattices::taxi::{TaxiLattice, TaxiPoint};
 use relaxation_lattice::core::theorem4::verify_taxi_lattice;
 use relaxation_lattice::queues::{queue_alphabet, FifoAutomaton, PQueueAutomaton};
-use relaxation_lattice::spec::{parse_term, paper_theories, Rewriter};
+use relaxation_lattice::spec::{paper_theories, parse_term, Rewriter};
 
 #[test]
 fn theorem_4_and_all_lattice_points_verify() {
@@ -25,10 +26,19 @@ fn taxi_lattice_is_strictly_ordered() {
     let lattice = TaxiLattice::new();
     let alphabet = queue_alphabet(&[1, 2]);
     let top = lattice.qca(TaxiPoint { q1: true, q2: true });
-    let bottom = lattice.qca(TaxiPoint { q1: false, q2: false });
+    let bottom = lattice.qca(TaxiPoint {
+        q1: false,
+        q2: false,
+    });
     for mid_point in [
-        TaxiPoint { q1: true, q2: false },
-        TaxiPoint { q1: false, q2: true },
+        TaxiPoint {
+            q1: true,
+            q2: false,
+        },
+        TaxiPoint {
+            q1: false,
+            q2: true,
+        },
     ] {
         let mid = lattice.qca(mid_point);
         strictly_included_upto(&top, &mid, &alphabet, 5)
@@ -37,8 +47,14 @@ fn taxi_lattice_is_strictly_ordered() {
             .expect("mid strictly below bottom in language order");
     }
     // The two middle points are incomparable.
-    let mpq = lattice.qca(TaxiPoint { q1: true, q2: false });
-    let opq = lattice.qca(TaxiPoint { q1: false, q2: true });
+    let mpq = lattice.qca(TaxiPoint {
+        q1: true,
+        q2: false,
+    });
+    let opq = lattice.qca(TaxiPoint {
+        q1: false,
+        q2: true,
+    });
     assert!(included_upto(&mpq, &opq, &alphabet, 5).is_err());
     assert!(included_upto(&opq, &mpq, &alphabet, 5).is_err());
 }
@@ -56,8 +72,7 @@ fn preferred_behaviors_match_the_plain_specifications() {
     let semiqueue = SemiqueueLattice::new(3);
     let top = semiqueue.preferred().expect("semiqueue lattice has a top");
     assert!(
-        relaxation_lattice::automata::equal_upto(&top, &FifoAutomaton::new(), &alphabet, 5)
-            .is_ok()
+        relaxation_lattice::automata::equal_upto(&top, &FifoAutomaton::new(), &alphabet, 5).is_ok()
     );
 }
 
@@ -103,10 +118,7 @@ fn algebraic_and_operational_views_agree_on_language_membership() {
                     // trait's own rewrite rules.
                     let next = iface
                         .rewriter()
-                        .normalize(&Term::app(
-                            "del",
-                            vec![state.clone(), Term::Int(*e)],
-                        ))
+                        .normalize(&Term::app("del", vec![state.clone(), Term::Int(*e)]))
                         .expect("normalizes");
                     let deq = iface.operation("Deq").expect("Deq exists").clone();
                     let check = iface
@@ -141,8 +153,7 @@ fn mpq_automaton_agrees_with_its_larch_interface() {
     for h in language_upto(&automaton, &alphabet, 4) {
         // Term-level states reachable after each prefix (sets, since the
         // automaton is nondeterministic).
-        let mut states: Vec<(Term, Term)> =
-            vec![(Term::constant("emp"), Term::constant("emp"))];
+        let mut states: Vec<(Term, Term)> = vec![(Term::constant("emp"), Term::constant("emp"))];
         for op in h.iter() {
             let mut next_states: Vec<(Term, Term)> = Vec::new();
             for (p, a) in &states {
@@ -195,9 +206,7 @@ fn mpq_automaton_agrees_with_its_larch_interface() {
 #[test]
 fn semiqueue_and_account_automata_agree_with_their_interfaces() {
     use relaxation_lattice::queues::ops::account_alphabet;
-    use relaxation_lattice::queues::{
-        AccountAutomaton, AccountOp, QueueOp, SemiqueueAutomaton,
-    };
+    use relaxation_lattice::queues::{AccountAutomaton, AccountOp, QueueOp, SemiqueueAutomaton};
     use relaxation_lattice::spec::traits::{account_interface, semiqueue_interface};
     use relaxation_lattice::spec::Term;
 
@@ -263,7 +272,13 @@ fn semiqueue_and_account_automata_agree_with_their_interfaces() {
                 .expect("declared")
                 .clone();
             let check = iface
-                .check_transition(&op_iface, &state, &[Term::Int(i64::from(amount))], &[], &next)
+                .check_transition(
+                    &op_iface,
+                    &state,
+                    &[Term::Int(i64::from(amount))],
+                    &[],
+                    &next,
+                )
                 .expect("evaluates");
             assert!(check.is_accepted(), "{op} rejected along {h}");
             balance = next_balance;

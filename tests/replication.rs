@@ -54,7 +54,10 @@ fn relaxed_runs_stay_within_the_lattice_bottom() {
     // history is accepted by the degenerate behavior (items are never
     // invented), i.e. degradation stays *within the specified lattice*.
     let lattice = TaxiLattice::new();
-    let degen = lattice.reference(TaxiPoint { q1: false, q2: false });
+    let degen = lattice.reference(TaxiPoint {
+        q1: false,
+        q2: false,
+    });
     for seed in 0..15 {
         let assignment = VotingAssignment::new(3)
             .with_initial(QueueKind::Enq, 1)
@@ -104,9 +107,8 @@ fn account_never_overdraws_under_partitions_and_loss() {
             NetworkConfig::new(1, 20, 0.05),
             seed,
         );
-        sys.world_mut().set_schedule(
-            FaultSchedule::new().down_between(NodeId(2), SimTime(100), SimTime(450)),
-        );
+        sys.world_mut()
+            .set_schedule(FaultSchedule::new().down_between(NodeId(2), SimTime(100), SimTime(450)));
         sys.submit(AccountInv::Credit(10));
         sys.submit(AccountInv::Debit(4));
         sys.submit(AccountInv::Credit(3));
