@@ -9,6 +9,7 @@
 
 use relax_bench::experiments::availability::{render, sweep};
 use relax_bench::experiments::degradation::run_partition_scenario;
+use relax_trace::{read_trace, TraceAnalysis};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +47,14 @@ fn main() {
             report.observed_ops.len(),
             report.current_level.as_deref().unwrap_or("(none)")
         );
+
+        // Close the loop: re-ingest the file we just wrote and run the
+        // causal analysis over it, exactly as `trace_analyze` would.
+        let written = std::fs::read_to_string(&path).expect("re-read trace");
+        let parsed = read_trace(&written).expect("re-ingest trace");
+        let analysis = TraceAnalysis::from_trace(parsed);
+        println!("\n== Causal analysis (re-ingested from {path}) ==\n");
+        print!("{}", analysis.report());
     } else {
         println!("\n(pass --trace [PATH] to run the degradation scenario and dump a JSONL trace)");
     }

@@ -21,7 +21,7 @@ const N: usize = 5;
 const P_UP: f64 = 0.85;
 const TRIALS: u32 = 120;
 const SEED: u64 = 0x5EED;
-const REPS: usize = 25;
+const REPS: usize = 51;
 
 /// Times one full sweep over the trade-off family, returning wall-clock
 /// nanoseconds.

@@ -1,0 +1,96 @@
+//! Offline causal analysis of an exported JSONL trace.
+//!
+//! Ingests a trace written by `Tracer::write_jsonl` /
+//! `exp_availability --trace`, rebuilds the happens-before DAG, derives
+//! per-operation spans with critical-path latency attribution, and — for
+//! every witnessed level transition — walks the DAG backwards to the
+//! minimal cut of fault events that caused the degradation.
+//!
+//! ```text
+//! cargo run -p relax-bench --bin trace_analyze -- TRACE.jsonl [--spans] [--prometheus]
+//! ```
+//!
+//! With no path, reads JSONL from stdin. `--spans` prints one line per
+//! operation span; `--prometheus` appends the aggregated registry in
+//! Prometheus text exposition format.
+
+use relax_trace::{read_trace, OpOutcome, TraceAnalysis};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let show_spans = args.iter().any(|a| a == "--spans");
+    let show_prometheus = args.iter().any(|a| a == "--prometheus");
+    let path = args.iter().find(|a| !a.starts_with("--"));
+
+    let input = match path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trace_analyze: cannot read {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("trace_analyze: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            s
+        }
+    };
+
+    let parsed = match read_trace(&input) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("trace_analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(h) = &parsed.header {
+        if h.dropped_oldest > 0 {
+            eprintln!(
+                "note: ring buffer evicted {} oldest events; causal pasts may be truncated",
+                h.dropped_oldest
+            );
+        }
+    }
+
+    let analysis = TraceAnalysis::from_trace(parsed);
+    print!("{}", analysis.report());
+
+    if show_spans {
+        println!("\nspans:");
+        for s in analysis.spans() {
+            let outcome = match s.outcome {
+                OpOutcome::Completed => "completed",
+                OpOutcome::Refused => "refused",
+                OpOutcome::TimedOut => "timed_out",
+            };
+            println!(
+                "  t={:<6} node {} op #{:<3} {:<14} {:<9} latency {:>5} \
+                 (net {} / retry {} / partition {} / local {})",
+                s.begin_time,
+                s.node,
+                s.op_id,
+                s.label.as_str(),
+                outcome,
+                s.latency,
+                s.breakdown.network_wait,
+                s.breakdown.quorum_retry_stall,
+                s.breakdown.partition_stall,
+                s.breakdown.local_compute,
+            );
+        }
+    }
+
+    if show_prometheus {
+        let mut reg = analysis.registry();
+        println!("\nprometheus exposition:");
+        print!("{}", reg.render_prometheus());
+    }
+
+    ExitCode::SUCCESS
+}

@@ -147,7 +147,7 @@ pub fn run_partition_scenario(seed: u64) -> ScenarioReport {
     let observed_ops = completed_ops(&outcomes);
     let tracer = sys.world().tracer();
     ScenarioReport {
-        trace_jsonl: tracer.to_jsonl(),
+        trace_jsonl: tracer.export_jsonl(),
         events: tracer.events().collect(),
         registry,
         transitions,
@@ -182,14 +182,20 @@ mod tests {
     fn trace_is_valid_jsonl_in_sim_time_order() {
         let r = report();
         assert!(!r.events.is_empty());
+        let mut lines = r.trace_jsonl.lines();
+        let header = lines.next().expect("header line");
+        assert!(header.contains("\"kind\":\"trace_header\""), "{header:?}");
         let mut last = 0;
-        for (line, ev) in r.trace_jsonl.lines().zip(&r.events) {
+        for (line, ev) in lines.by_ref().zip(&r.events) {
             assert!(line.starts_with("{\"t\":"), "line {line:?}");
             assert!(line.ends_with('}'), "line {line:?}");
             assert!(ev.time >= last, "out of order at seq {}", ev.seq);
             last = ev.time;
         }
-        assert_eq!(r.trace_jsonl.lines().count(), r.events.len());
+        assert_eq!(r.trace_jsonl.lines().count(), r.events.len() + 1);
+        // The exported form re-ingests losslessly.
+        let parsed = relax_trace::read_trace(&r.trace_jsonl).expect("re-ingest");
+        assert_eq!(parsed.events, r.events);
     }
 
     #[test]

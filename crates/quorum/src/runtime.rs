@@ -18,7 +18,9 @@ use std::collections::BTreeSet;
 
 use relax_automata::History;
 use relax_sim::{Ctx, NetworkConfig, Node, NodeId, SimTime, World};
-use relax_trace::{DegradationMonitor, EventKind as TraceEvent, OpOutcome, QuorumPhase, Registry};
+use relax_trace::{
+    DegradationMonitor, EventKind as TraceEvent, OpLabel, OpOutcome, QuorumPhase, Registry,
+};
 
 use crate::assignment::VotingAssignment;
 use crate::log::{Entry, Log};
@@ -49,6 +51,17 @@ pub trait ReplicatedType: Clone {
 
     /// The quorum-relevant kind of an invocation.
     fn invocation_kind(&self, inv: &Self::Inv) -> <Self::Op as HasKind>::Kind;
+
+    /// Renders the short trace label for an invocation (provided: the
+    /// `Debug` form, truncated to the label's inline capacity).
+    ///
+    /// This runs once per traced operation on the hot path; concrete
+    /// types with cheap-to-render invocations should override it with
+    /// direct [`OpLabel::push_str`]/[`OpLabel::push_i64`] calls, which
+    /// skip the `fmt` machinery entirely.
+    fn op_label(&self, inv: &Self::Inv) -> OpLabel {
+        OpLabel::from_debug(inv)
+    }
 
     /// Evaluates a whole view (provided).
     fn eval_view(&self, log: &Log<Self::Op>) -> Self::Value {
@@ -231,7 +244,7 @@ impl<T: ReplicatedType> ClientState<T> {
         self.next_inv_id += 1;
         let inv_id = self.next_inv_id;
         if ctx.trace_enabled() {
-            let op = relax_trace::OpLabel::from_debug(&inv);
+            let op = self.ttype.op_label(&inv);
             let node = ctx.me().0 as u32;
             ctx.trace(TraceEvent::OpBegin {
                 node,
@@ -277,8 +290,13 @@ impl<T: ReplicatedType> ClientState<T> {
         }
         if ctx.trace_enabled() {
             let node = ctx.me().0 as u32;
+            let op_id = inv_id as u32;
             let merged_len = view.len() as u32;
-            ctx.trace(TraceEvent::ViewMerged { node, merged_len });
+            ctx.trace(TraceEvent::ViewMerged {
+                node,
+                op_id,
+                merged_len,
+            });
         }
         let value = self.ttype.eval_view(view);
         match self.ttype.execute(&value, &pending.inv) {
@@ -825,6 +843,21 @@ pub enum QueueInv {
     Deq,
 }
 
+/// Renders a [`QueueInv`] label without the `fmt` machinery (hot path;
+/// see [`ReplicatedType::op_label`]).
+fn queue_inv_label(inv: &QueueInv) -> OpLabel {
+    let mut label = OpLabel::default();
+    match inv {
+        QueueInv::Enq(e) => {
+            label.push_str("Enq(");
+            label.push_i64(*e);
+            label.push_str(")");
+        }
+        QueueInv::Deq => label.push_str("Deq"),
+    }
+    label
+}
+
 /// The replicated taxi-dispatch priority queue of §3.3, with the paper's
 /// evaluation function `η` (views are bags).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -856,6 +889,10 @@ impl ReplicatedType for TaxiQueueType {
             QueueInv::Enq(_) => crate::relation::QueueKind::Enq,
             QueueInv::Deq => crate::relation::QueueKind::Deq,
         }
+    }
+
+    fn op_label(&self, inv: &QueueInv) -> OpLabel {
+        queue_inv_label(inv)
     }
 }
 
@@ -894,6 +931,10 @@ impl ReplicatedType for TaxiQueuePrimeType {
             QueueInv::Enq(_) => crate::relation::QueueKind::Enq,
             QueueInv::Deq => crate::relation::QueueKind::Deq,
         }
+    }
+
+    fn op_label(&self, inv: &QueueInv) -> OpLabel {
+        queue_inv_label(inv)
     }
 }
 
@@ -961,6 +1002,18 @@ impl ReplicatedType for BankAccountType {
             AccountInv::Credit(_) => crate::relation::AccountKind::Credit,
             AccountInv::Debit(_) => crate::relation::AccountKind::Debit,
         }
+    }
+
+    fn op_label(&self, inv: &AccountInv) -> OpLabel {
+        let mut label = OpLabel::default();
+        let (name, amount) = match inv {
+            AccountInv::Credit(n) => ("Credit(", n),
+            AccountInv::Debit(n) => ("Debit(", n),
+        };
+        label.push_str(name);
+        label.push_u32(*amount);
+        label.push_str(")");
+        label
     }
 }
 
@@ -1238,6 +1291,56 @@ mod tests {
             assert!(
                 PQueueAutomaton::new().accepts(&h),
                 "seed {seed}: {h} not a PQ history"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_deq_kills_pq_and_opq_in_the_same_step() {
+        // PQ forbids duplicates (and order violations); OPQ forbids
+        // duplicates but tolerates disorder. A history that serves the
+        // same request twice therefore kills both in one step, and the
+        // single emitted transition carries both level names with the
+        // duplicate Deq as the shared witness. MPQ (duplicates allowed,
+        // order kept) survives and becomes the current level.
+        let mut m = queue_lattice_monitor();
+        assert!(m.observe(&QueueOp::Enq(5)).is_none());
+        assert!(m.observe(&QueueOp::Deq(5)).is_none());
+        let t = m
+            .observe(&QueueOp::Deq(5))
+            .expect("duplicate Deq must witness a transition")
+            .clone();
+        assert_eq!(t.left, vec!["PQ".to_string(), "OPQ".to_string()]);
+        assert_eq!(t.now.as_deref(), Some("MPQ"));
+        assert_eq!(t.witness, "Deq(5)");
+        assert_eq!(t.op_index, 2);
+        // Both deaths happened on the same observed op — one shared
+        // witness, not two transitions.
+        assert_eq!(m.transitions().len(), 1);
+        assert_eq!(m.died_at("PQ"), Some(2));
+        assert_eq!(m.died_at("OPQ"), Some(2));
+        assert_eq!(m.is_alive("MPQ"), Some(true));
+        assert_eq!(m.is_alive("DegenPQ"), Some(true));
+    }
+
+    #[test]
+    fn op_labels_render_without_fmt_and_match_debug() {
+        // The manual label builders must agree with the Debug-based
+        // default they replace (for values that fit the label).
+        for inv in [QueueInv::Enq(5), QueueInv::Enq(-3), QueueInv::Deq] {
+            assert_eq!(
+                TaxiQueueType.op_label(&inv).as_str(),
+                OpLabel::from_debug(&inv).as_str()
+            );
+            assert_eq!(
+                TaxiQueuePrimeType.op_label(&inv).as_str(),
+                OpLabel::from_debug(&inv).as_str()
+            );
+        }
+        for inv in [AccountInv::Credit(10), AccountInv::Debit(7)] {
+            assert_eq!(
+                BankAccountType.op_label(&inv).as_str(),
+                OpLabel::from_debug(&inv).as_str()
             );
         }
     }

@@ -23,6 +23,9 @@ enum EventKind<P> {
         src: NodeId,
         dst: NodeId,
         payload: P,
+        /// World-unique id tying this delivery back to its
+        /// `message_sent`/`message_injected` trace event.
+        msg_id: u32,
     },
     Timer {
         node: NodeId,
@@ -81,6 +84,7 @@ pub struct World<P, N> {
     now: SimTime,
     queue: BinaryHeap<Reverse<QueuedEvent<P>>>,
     seq: u64,
+    next_msg_id: u32,
     schedule: FaultSchedule,
     tracer: Tracer,
     events_processed: u64,
@@ -101,6 +105,7 @@ impl<P: Clone, N: Node<P>> World<P, N> {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             seq: 0,
+            next_msg_id: 0,
             schedule: FaultSchedule::new(),
             tracer: Tracer::disabled(),
             events_processed: 0,
@@ -235,11 +240,13 @@ impl<P: Clone, N: Node<P>> World<P, N> {
     /// client requests.
     pub fn send_external(&mut self, dst: NodeId, payload: P) {
         self.messages_injected += 1;
+        let msg_id = self.next_msg_id();
         self.tracer.record(
             self.now.0,
             TraceEvent::MessageInjected {
                 dst: dst.0 as u32,
                 deliver_at: self.now.0,
+                msg_id,
             },
         );
         let ev = QueuedEvent {
@@ -249,6 +256,7 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                 src: dst,
                 dst,
                 payload,
+                msg_id,
             },
         };
         self.queue.push(Reverse(ev));
@@ -257,6 +265,12 @@ impl<P: Clone, N: Node<P>> World<P, N> {
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
+    }
+
+    fn next_msg_id(&mut self) -> u32 {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        id
     }
 
     /// The time of the next pending event or fault, if any. Useful for
@@ -321,8 +335,7 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                         .group_list()
                         .iter()
                         .map(|g| g.iter().map(|n| n.0 as u32).collect())
-                        .collect::<Vec<Box<[u32]>>>()
-                        .into_boxed_slice();
+                        .collect();
                     self.tracer
                         .record(self.now.0, TraceEvent::PartitionSet { groups });
                 }
@@ -344,7 +357,12 @@ impl<P: Clone, N: Node<P>> World<P, N> {
         self.events_processed += 1;
         #[allow(clippy::type_complexity)]
         let (target, invoke): (NodeId, Box<dyn FnOnce(&mut N, &mut Ctx<'_, P>)>) = match ev.kind {
-            EventKind::Deliver { src, dst, payload } => {
+            EventKind::Deliver {
+                src,
+                dst,
+                payload,
+                msg_id,
+            } => {
                 // Re-check liveness at delivery time: a node that crashed
                 // while the message was in flight loses it.
                 if !self.network.is_up(dst) {
@@ -355,6 +373,7 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                             src: src.0 as u32,
                             dst: dst.0 as u32,
                             cause: DropCause::DestDown,
+                            msg_id,
                         },
                     );
                     return;
@@ -362,7 +381,10 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                 self.messages_delivered += 1;
                 self.tracer.record(
                     self.now.0,
-                    TraceEvent::MessageDelivered { node: dst.0 as u32 },
+                    TraceEvent::MessageDelivered {
+                        node: dst.0 as u32,
+                        msg_id,
+                    },
                 );
                 (
                     dst,
@@ -398,6 +420,7 @@ impl<P: Clone, N: Node<P>> World<P, N> {
             match action {
                 Action::Send { dst, payload } => {
                     self.messages_sent += 1;
+                    let msg_id = self.next_msg_id();
                     match self.network.route(target, dst, &mut self.rng) {
                         Ok(delay) => {
                             self.tracer.record(
@@ -406,6 +429,7 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                                     src: target.0 as u32,
                                     dst: dst.0 as u32,
                                     deliver_at: self.now.0 + delay,
+                                    msg_id,
                                 },
                             );
                             let ev = QueuedEvent {
@@ -415,6 +439,7 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                                     src: target,
                                     dst,
                                     payload,
+                                    msg_id,
                                 },
                             };
                             self.queue.push(Reverse(ev));
@@ -427,6 +452,7 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                                     src: target.0 as u32,
                                     dst: dst.0 as u32,
                                     cause,
+                                    msg_id,
                                 },
                             );
                         }
@@ -716,7 +742,7 @@ mod tests {
         // The partition, the drop it caused, and the heal all appear.
         assert!(evs
             .iter()
-            .any(|e| matches!(&e.kind, TE::PartitionSet { groups } if groups.as_ref() == [Box::from([0u32]), Box::from([1u32])])));
+            .any(|e| matches!(&e.kind, TE::PartitionSet { groups } if groups[..] == [vec![0u32], vec![1u32]])));
         assert!(evs.iter().any(|e| matches!(
             &e.kind,
             TE::MessageDropped {

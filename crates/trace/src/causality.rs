@@ -1,0 +1,703 @@
+//! Happens-before reconstruction over a collected trace.
+//!
+//! A trace is a flat, time-ordered event stream; this module rebuilds
+//! the causal structure the simulator executed:
+//!
+//! * **program order** — events at the same node are totally ordered by
+//!   their sequence numbers (each node is a sequential automaton);
+//! * **send → deliver** — a `message_delivered` (or in-flight
+//!   `message_dropped`) is caused by the `message_sent`/
+//!   `message_injected` carrying the same `msg_id`;
+//! * **timer set → fire** — paired by `(node, token)`;
+//! * **fault attribution** — a `message_dropped` is caused by the fault
+//!   that explains it: the latest `partition_set` (cause `partitioned`),
+//!   the latest `node_crashed` of the dead endpoint (`source_down`/
+//!   `dest_down`), or the latest `loss_rate_set` (`loss`, when one was
+//!   scheduled);
+//! * **witness** — a `level_transition` is caused by the `op_end` of its
+//!   witness operation (the monitor observes completed operations in
+//!   completion order, so the witness is the `op_index`-th completed
+//!   `op_end` of the stream).
+//!
+//! On top of the DAG, [`HbGraph::spans`] cuts the client timeline into
+//! per-operation [`Span`]s and attributes each span's end-to-end latency
+//! to phases ([`LatencyBreakdown`]): the client node is sequential, so
+//! every instant between `op_begin` and `op_end` is spent waiting for —
+//! and is classified by — the next client-side event. The four phase
+//! components sum to the span's wall-clock width *exactly*, which
+//! integration tests assert against the latency the runtime measured.
+
+use std::collections::HashMap;
+
+use crate::event::{DropCause, Event, EventKind, OpOutcome};
+use crate::metrics::Registry;
+
+/// The happens-before DAG over one trace: events are indices into the
+/// stream (ascending sequence order), edges point from each event to its
+/// immediate causes.
+#[derive(Debug, Clone)]
+pub struct HbGraph {
+    events: Vec<Event>,
+    preds: Vec<Vec<usize>>,
+    locations: Vec<Option<u32>>,
+}
+
+/// The node at which an event occurs, or `None` for ambient environment
+/// events (partitions, loss-rate changes, monitor transitions) that
+/// belong to no node's program order.
+fn location(kind: &EventKind, in_flight_drop: bool) -> Option<u32> {
+    match kind {
+        EventKind::MessageSent { src, .. } => Some(*src),
+        EventKind::MessageInjected { dst, .. } => Some(*dst),
+        EventKind::MessageDelivered { node, .. } => Some(*node),
+        // An in-flight drop happens at the delivery point; a send-time
+        // drop happens at the sender (it never left).
+        EventKind::MessageDropped { src, dst, .. } => {
+            Some(if in_flight_drop { *dst } else { *src })
+        }
+        EventKind::TimerSet { node, .. } | EventKind::TimerFired { node, .. } => Some(*node),
+        EventKind::NodeCrashed { node } | EventKind::NodeRecovered { node } => Some(*node),
+        EventKind::OpBegin { node, .. }
+        | EventKind::OpEnd { node, .. }
+        | EventKind::QuorumAssembled { node, .. }
+        | EventKind::QuorumFailed { node, .. }
+        | EventKind::ViewMerged { node, .. } => Some(*node),
+        EventKind::PartitionSet { .. }
+        | EventKind::PartitionHealed
+        | EventKind::LossRateSet { .. }
+        | EventKind::LevelTransition(_) => None,
+    }
+}
+
+impl HbGraph {
+    /// Reconstructs the DAG from a trace (events must be in sequence
+    /// order, as every exporter produces them).
+    pub fn build(events: Vec<Event>) -> Self {
+        let n = events.len();
+        // Sends indexed by message id (ids are world-unique).
+        let mut send_of: HashMap<u32, usize> = HashMap::new();
+        for (i, e) in events.iter().enumerate() {
+            if let EventKind::MessageSent { msg_id, .. }
+            | EventKind::MessageInjected { msg_id, .. } = &e.kind
+            {
+                send_of.insert(*msg_id, i);
+            }
+        }
+        let locations: Vec<Option<u32>> = events
+            .iter()
+            .map(|e| {
+                let in_flight = match &e.kind {
+                    EventKind::MessageDropped { msg_id, .. } => send_of.contains_key(msg_id),
+                    _ => false,
+                };
+                location(&e.kind, in_flight)
+            })
+            .collect();
+
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut last_at: HashMap<u32, usize> = HashMap::new();
+        let mut last_crash: HashMap<u32, usize> = HashMap::new();
+        let mut last_partition: Option<usize> = None;
+        let mut last_loss: Option<usize> = None;
+        let mut timer_set_at: HashMap<(u32, u64), usize> = HashMap::new();
+        let mut completed_ends: Vec<usize> = Vec::new();
+
+        for i in 0..n {
+            if let Some(loc) = locations[i] {
+                if let Some(&p) = last_at.get(&loc) {
+                    preds[i].push(p);
+                }
+                last_at.insert(loc, i);
+            }
+            match &events[i].kind {
+                EventKind::MessageDelivered { msg_id, .. } => {
+                    if let Some(&s) = send_of.get(msg_id) {
+                        preds[i].push(s);
+                    }
+                }
+                EventKind::MessageDropped {
+                    src,
+                    dst,
+                    cause,
+                    msg_id,
+                } => {
+                    if let Some(&s) = send_of.get(msg_id) {
+                        preds[i].push(s);
+                    }
+                    let fault = match cause {
+                        DropCause::Partitioned => last_partition,
+                        DropCause::SourceDown => last_crash.get(src).copied(),
+                        DropCause::DestDown => last_crash.get(dst).copied(),
+                        // Background loss may come from the network config
+                        // with no scheduled loss_rate_set: then no edge.
+                        DropCause::Loss => last_loss,
+                    };
+                    if let Some(f) = fault {
+                        preds[i].push(f);
+                    }
+                }
+                EventKind::TimerSet { node, token, .. } => {
+                    timer_set_at.insert((*node, *token), i);
+                }
+                EventKind::TimerFired { node, token } => {
+                    if let Some(&s) = timer_set_at.get(&(*node, *token)) {
+                        preds[i].push(s);
+                    }
+                }
+                EventKind::NodeCrashed { node } => {
+                    last_crash.insert(*node, i);
+                }
+                EventKind::PartitionSet { .. } => {
+                    last_partition = Some(i);
+                }
+                EventKind::LossRateSet { .. } => {
+                    last_loss = Some(i);
+                }
+                EventKind::OpEnd {
+                    outcome: OpOutcome::Completed,
+                    ..
+                } => {
+                    completed_ends.push(i);
+                }
+                EventKind::LevelTransition(t) => {
+                    if let Some(&w) = completed_ends.get(t.op_index) {
+                        preds[i].push(w);
+                    }
+                }
+                _ => {}
+            }
+            preds[i].sort_unstable();
+            preds[i].dedup();
+        }
+
+        HbGraph {
+            events,
+            preds,
+            locations,
+        }
+    }
+
+    /// The underlying events, in sequence order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The immediate causes of event `i` (ascending indices).
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// The node event `i` occurs at, if any.
+    pub fn location(&self, i: usize) -> Option<u32> {
+        self.locations[i]
+    }
+
+    /// Every event in the causal past of `i` (excluding `i` itself),
+    /// ascending — the backward cone through program order, message, and
+    /// fault-attribution edges.
+    pub fn causal_past(&self, i: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.events.len()];
+        let mut stack: Vec<usize> = self.preds[i].to_vec();
+        while let Some(j) = stack.pop() {
+            if seen[j] {
+                continue;
+            }
+            seen[j] = true;
+            stack.extend_from_slice(&self.preds[j]);
+        }
+        (0..self.events.len()).filter(|&j| seen[j]).collect()
+    }
+
+    /// The event index of the `op_index`-th completed `op_end` — the
+    /// witness of a [`crate::monitor::LevelTransition`] with that index.
+    /// `None` when the trace window no longer holds it.
+    pub fn witness_op_end(&self, op_index: usize) -> Option<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                matches!(
+                    e.kind,
+                    EventKind::OpEnd {
+                        outcome: OpOutcome::Completed,
+                        ..
+                    }
+                )
+            })
+            .nth(op_index)
+            .map(|(i, _)| i)
+    }
+
+    /// Cuts each client's timeline into per-operation [`Span`]s (in
+    /// `op_begin` order) with critical-path latency attribution.
+    pub fn spans(&self) -> Vec<Span> {
+        // Partitioned drops involving a node, for stall classification.
+        let partitioned_drops: Vec<(u64, u32, u32)> = self
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::MessageDropped {
+                    src,
+                    dst,
+                    cause: DropCause::Partitioned,
+                    ..
+                } => Some((e.time, *src, *dst)),
+                _ => None,
+            })
+            .collect();
+
+        struct Open {
+            begin_ix: usize,
+            op_id: u32,
+            label: String,
+            events: Vec<usize>,
+        }
+        let mut open: HashMap<u32, Open> = HashMap::new();
+        let mut spans = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match &e.kind {
+                EventKind::OpBegin { node, op_id, op } => {
+                    open.insert(
+                        *node,
+                        Open {
+                            begin_ix: i,
+                            op_id: *op_id,
+                            label: op.as_str().to_string(),
+                            events: vec![i],
+                        },
+                    );
+                }
+                EventKind::OpEnd {
+                    node,
+                    op_id,
+                    outcome,
+                    latency,
+                } => {
+                    let Some(o) = open.get_mut(node) else {
+                        continue;
+                    };
+                    if o.op_id != *op_id {
+                        continue;
+                    }
+                    let o = open.remove(node).expect("just found");
+                    let begin_time = self.events[o.begin_ix].time;
+                    let mut events = o.events;
+                    events.push(i);
+                    let node_val = *node;
+                    let partitioned_before = |t: u64| {
+                        partitioned_drops.iter().any(|&(dt, src, dst)| {
+                            (src == node_val || dst == node_val) && dt >= begin_time && dt <= t
+                        })
+                    };
+                    let breakdown =
+                        self.attribute(&events, begin_time, *outcome, &partitioned_before);
+                    spans.push(Span {
+                        node: node_val,
+                        op_id: *op_id,
+                        label: o.label,
+                        outcome: *outcome,
+                        begin_ix: o.begin_ix,
+                        end_ix: i,
+                        begin_time,
+                        end_time: e.time,
+                        latency: *latency,
+                        events,
+                        breakdown,
+                    });
+                }
+                _ => {
+                    if let Some(loc) = self.locations[i] {
+                        if let Some(o) = open.get_mut(&loc) {
+                            o.events.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        spans.sort_by_key(|s| s.begin_ix);
+        spans
+    }
+
+    /// Classifies each inter-event gap on the client's timeline by the
+    /// event that *ends* it: a gap the client spends waiting for a
+    /// delivery or quorum is network wait; a gap ended by the timeout
+    /// machinery is a stall (partition stall when a partition provably
+    /// dropped this client's traffic in the window, quorum-retry stall
+    /// otherwise); everything else is local compute. Gap widths sum to
+    /// the span's wall-clock width exactly.
+    fn attribute(
+        &self,
+        span_events: &[usize],
+        begin_time: u64,
+        outcome: OpOutcome,
+        partitioned_before: &dyn Fn(u64) -> bool,
+    ) -> LatencyBreakdown {
+        let mut b = LatencyBreakdown::default();
+        let mut prev = begin_time;
+        for &ix in span_events {
+            let e = &self.events[ix];
+            let delta = e.time.saturating_sub(prev);
+            prev = e.time.max(prev);
+            if delta == 0 {
+                continue;
+            }
+            match &e.kind {
+                EventKind::MessageDelivered { .. } | EventKind::QuorumAssembled { .. } => {
+                    b.network_wait += delta;
+                }
+                EventKind::TimerFired { .. } | EventKind::QuorumFailed { .. } => {
+                    if partitioned_before(e.time) {
+                        b.partition_stall += delta;
+                    } else {
+                        b.quorum_retry_stall += delta;
+                    }
+                }
+                EventKind::MessageDropped { cause, .. } => {
+                    if matches!(cause, DropCause::Partitioned) {
+                        b.partition_stall += delta;
+                    } else {
+                        b.quorum_retry_stall += delta;
+                    }
+                }
+                EventKind::OpEnd { .. } => {
+                    if matches!(outcome, OpOutcome::TimedOut) {
+                        if partitioned_before(e.time) {
+                            b.partition_stall += delta;
+                        } else {
+                            b.quorum_retry_stall += delta;
+                        }
+                    } else {
+                        b.local_compute += delta;
+                    }
+                }
+                _ => {
+                    b.local_compute += delta;
+                }
+            }
+        }
+        b
+    }
+}
+
+/// One operation's latency, decomposed along the client's critical path.
+/// The four components sum to `end_time - begin_time` exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Time spent waiting for message deliveries and quorum assembly.
+    pub network_wait: u64,
+    /// Time stalled waiting out the quorum timeout with no partition
+    /// implicated (slow or insufficient responses).
+    pub quorum_retry_stall: u64,
+    /// Time stalled while a partition was dropping this client's traffic.
+    pub partition_stall: u64,
+    /// Everything else: local evaluation between waits.
+    pub local_compute: u64,
+}
+
+impl LatencyBreakdown {
+    /// Sum of the four components.
+    pub fn total(&self) -> u64 {
+        self.network_wait + self.quorum_retry_stall + self.partition_stall + self.local_compute
+    }
+}
+
+/// One operation on one client, as a contiguous slice of the client's
+/// timeline: its bracketing events, the events in between, and the
+/// latency attribution.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// The client node that ran the operation.
+    pub node: u32,
+    /// The client-local operation id (`op_begin`/`op_end` correlation).
+    pub op_id: u32,
+    /// The operation label (from `op_begin`).
+    pub label: String,
+    /// How the operation ended.
+    pub outcome: OpOutcome,
+    /// Index of the `op_begin` event.
+    pub begin_ix: usize,
+    /// Index of the `op_end` event.
+    pub end_ix: usize,
+    /// Sim time of `op_begin`.
+    pub begin_time: u64,
+    /// Sim time of `op_end`.
+    pub end_time: u64,
+    /// The latency the runtime itself measured (from `op_end`).
+    pub latency: u64,
+    /// Indices of the client-node events in `[begin_ix, end_ix]`.
+    pub events: Vec<usize>,
+    /// The critical-path decomposition of `end_time - begin_time`.
+    pub breakdown: LatencyBreakdown,
+}
+
+impl Span {
+    /// Wall-clock width of the span (equals `breakdown.total()`).
+    pub fn width(&self) -> u64 {
+        self.end_time - self.begin_time
+    }
+}
+
+/// Aggregates spans into a [`Registry`]: the `ops` counter counts
+/// availability (timeouts fail), `op_latency` collects measured
+/// end-to-end latencies, and one `phase_*` histogram per
+/// [`LatencyBreakdown`] component feeds per-phase p50/p95/p99.
+pub fn aggregate_spans(spans: &[Span], registry: &mut Registry) {
+    for s in spans {
+        registry
+            .counter("ops")
+            .record(!matches!(s.outcome, OpOutcome::TimedOut));
+        registry.histogram("op_latency").record(s.latency);
+        registry
+            .histogram("phase_network_wait")
+            .record(s.breakdown.network_wait);
+        registry
+            .histogram("phase_quorum_retry_stall")
+            .record(s.breakdown.quorum_retry_stall);
+        registry
+            .histogram("phase_partition_stall")
+            .record(s.breakdown.partition_stall);
+        registry
+            .histogram("phase_local_compute")
+            .record(s.breakdown.local_compute);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{OpLabel, QuorumPhase};
+    use crate::monitor::LevelTransition;
+
+    fn ev(time: u64, seq: u64, kind: EventKind) -> Event {
+        Event { time, seq, kind }
+    }
+
+    fn label(s: &str) -> OpLabel {
+        let mut l = OpLabel::default();
+        l.push_str(s);
+        l
+    }
+
+    /// A hand-built trace: client 9 runs one op against replica 0;
+    /// one request is delivered, one response comes back.
+    fn tiny_trace() -> Vec<Event> {
+        vec![
+            ev(
+                0,
+                0,
+                EventKind::OpBegin {
+                    node: 9,
+                    op_id: 1,
+                    op: label("Deq"),
+                },
+            ),
+            ev(
+                0,
+                1,
+                EventKind::MessageSent {
+                    src: 9,
+                    dst: 0,
+                    deliver_at: 5,
+                    msg_id: 0,
+                },
+            ),
+            ev(5, 2, EventKind::MessageDelivered { node: 0, msg_id: 0 }),
+            ev(
+                5,
+                3,
+                EventKind::MessageSent {
+                    src: 0,
+                    dst: 9,
+                    deliver_at: 10,
+                    msg_id: 1,
+                },
+            ),
+            ev(10, 4, EventKind::MessageDelivered { node: 9, msg_id: 1 }),
+            ev(
+                10,
+                5,
+                EventKind::QuorumAssembled {
+                    node: 9,
+                    op_id: 1,
+                    phase: QuorumPhase::Read,
+                    size: 1,
+                },
+            ),
+            ev(
+                10,
+                6,
+                EventKind::OpEnd {
+                    node: 9,
+                    op_id: 1,
+                    outcome: OpOutcome::Completed,
+                    latency: 10,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn send_deliver_edges_pair_by_msg_id() {
+        let g = HbGraph::build(tiny_trace());
+        // Delivery at the replica (ix 2) is caused by the client's send
+        // (ix 1); the reply delivery (ix 4) by the replica's send (ix 3).
+        assert!(g.preds(2).contains(&1));
+        assert!(g.preds(4).contains(&3));
+        // Program order chains each node's events.
+        assert!(g.preds(1).contains(&0), "client: begin -> send");
+        assert!(g.preds(3).contains(&2), "replica: deliver -> send");
+    }
+
+    #[test]
+    fn causal_past_crosses_nodes() {
+        let g = HbGraph::build(tiny_trace());
+        let past = g.causal_past(6); // the op_end
+                                     // Everything in this trace is in the op's past.
+        assert_eq!(past, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn span_breakdown_sums_exactly_and_classifies_waits() {
+        let g = HbGraph::build(tiny_trace());
+        let spans = g.spans();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.label, "Deq");
+        assert_eq!((s.begin_time, s.end_time, s.latency), (0, 10, 10));
+        // The whole span is spent waiting for the round trip.
+        assert_eq!(s.breakdown.network_wait, 10);
+        assert_eq!(s.breakdown.total(), s.width());
+        assert_eq!(s.breakdown.total(), s.latency);
+    }
+
+    #[test]
+    fn partitioned_drop_links_to_latest_partition_and_stalls() {
+        let events = vec![
+            ev(
+                100,
+                0,
+                EventKind::PartitionSet {
+                    groups: crate::event::PartitionGroups::new(vec![vec![9], vec![0]]),
+                },
+            ),
+            ev(
+                200,
+                1,
+                EventKind::OpBegin {
+                    node: 9,
+                    op_id: 1,
+                    op: label("Deq"),
+                },
+            ),
+            ev(
+                200,
+                2,
+                EventKind::TimerSet {
+                    node: 9,
+                    token: 1,
+                    fire_at: 400,
+                },
+            ),
+            // Send-time drop: no message_sent exists for msg_id 7.
+            ev(
+                200,
+                3,
+                EventKind::MessageDropped {
+                    src: 9,
+                    dst: 0,
+                    cause: DropCause::Partitioned,
+                    msg_id: 7,
+                },
+            ),
+            ev(400, 4, EventKind::TimerFired { node: 9, token: 1 }),
+            ev(
+                400,
+                5,
+                EventKind::QuorumFailed {
+                    node: 9,
+                    op_id: 1,
+                    phase: QuorumPhase::Read,
+                    responses: 0,
+                    needed: 1,
+                },
+            ),
+            ev(
+                400,
+                6,
+                EventKind::OpEnd {
+                    node: 9,
+                    op_id: 1,
+                    outcome: OpOutcome::TimedOut,
+                    latency: 200,
+                },
+            ),
+        ];
+        let g = HbGraph::build(events);
+        // The drop is attributed to the partition.
+        assert!(g.preds(3).contains(&0));
+        // The timer-fire pairs with its set.
+        assert!(g.preds(4).contains(&2));
+        let spans = g.spans();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.outcome, OpOutcome::TimedOut);
+        // The whole wait is a partition stall, and it sums to the width.
+        assert_eq!(s.breakdown.partition_stall, 200);
+        assert_eq!(s.breakdown.total(), s.width());
+    }
+
+    #[test]
+    fn level_transition_links_to_the_indexth_completed_op_end() {
+        let op_end = |t: u64, seq: u64, op_id: u32, outcome: OpOutcome| {
+            ev(
+                t,
+                seq,
+                EventKind::OpEnd {
+                    node: 9,
+                    op_id,
+                    outcome,
+                    latency: 1,
+                },
+            )
+        };
+        let events = vec![
+            op_end(10, 0, 1, OpOutcome::Completed),
+            op_end(20, 1, 2, OpOutcome::TimedOut), // not observed by monitor
+            op_end(30, 2, 3, OpOutcome::Completed),
+            ev(
+                30,
+                3,
+                EventKind::LevelTransition(Box::new(LevelTransition {
+                    op_index: 1,
+                    left: vec!["PQ".into()],
+                    now: Some("MPQ".into()),
+                    witness: "Deq(5)".into(),
+                })),
+            ),
+        ];
+        let g = HbGraph::build(events);
+        assert_eq!(g.witness_op_end(1), Some(2));
+        assert!(g.preds(3).contains(&2), "transition -> witness op_end");
+        assert!(!g.preds(3).contains(&1), "timeouts are not witnesses");
+    }
+
+    #[test]
+    fn aggregate_spans_fills_phase_histograms() {
+        let g = HbGraph::build(tiny_trace());
+        let mut reg = Registry::new();
+        aggregate_spans(&g.spans(), &mut reg);
+        assert_eq!(reg.histogram("op_latency").len(), 1);
+        assert_eq!(reg.histogram("phase_network_wait").len(), 1);
+        assert_eq!(reg.counter("ops").successes(), 1);
+    }
+}

@@ -1,0 +1,687 @@
+//! JSONL round-trip: re-ingesting exported traces.
+//!
+//! The write half lives on [`Event::to_json`](crate::event::Event::to_json)
+//! and [`Tracer::export_jsonl`](crate::tracer::Tracer::export_jsonl); this
+//! module is the read half. An exported trace is a [`TraceHeader`] line
+//! (`{"kind":"trace_header","version":1,…}`) followed by one flat JSON
+//! object per event. [`read_trace`] parses either form — headered exports
+//! or bare event streams (version-1 traces predate the header) — back
+//! into typed [`Event`]s, so any trace a binary wrote can be analyzed by
+//! `trace_analyze`, the causality layer, or tests.
+//!
+//! The parser is a small hand-rolled JSON reader covering exactly the
+//! shapes the schema emits (flat objects; arrays only under `groups` and
+//! `left`; `null` only under `now`): the workspace builds offline with no
+//! external dependencies.
+
+use crate::event::{DropCause, Event, EventKind, OpLabel, OpOutcome, PartitionGroups, QuorumPhase};
+use crate::monitor::LevelTransition;
+
+/// The trace format version this crate writes and the newest it reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The first line of an exported trace: format version plus collection
+/// counters, so a reader knows whether the window is complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version (see [`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Number of event lines that follow.
+    pub events: u64,
+    /// Events the bounded ring buffer evicted before export; nonzero
+    /// means the trace is a suffix window, not the full run.
+    pub dropped_oldest: u64,
+}
+
+impl TraceHeader {
+    /// Renders the header as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\":\"trace_header\",\"version\":{},\"events\":{},\"dropped_oldest\":{}}}",
+            self.version, self.events, self.dropped_oldest
+        )
+    }
+}
+
+/// A re-ingested trace: the header (if the stream had one) and the events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedTrace {
+    /// The header line, when present.
+    pub header: Option<TraceHeader>,
+    /// The events, in stream order.
+    pub events: Vec<Event>,
+}
+
+/// Why a trace line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (only the shapes the schema emits)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum JVal {
+    Int(u64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Arr(Vec<JVal>),
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Self {
+        Reader {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn fail<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.fail(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Parses one `{"key":value,…}` object into key/value pairs.
+    fn object(&mut self) -> Result<Vec<(String, JVal)>, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                _ => return self.fail("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JVal, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JVal::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'n') => self.keyword("null", JVal::Null),
+            Some(b't') => self.keyword("true", JVal::Bool(true)),
+            Some(b'f') => self.keyword("false", JVal::Bool(false)),
+            Some(b'0'..=b'9' | b'-') => self.number(),
+            _ => self.fail("expected a JSON value"),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, val: JVal) -> Result<JVal, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(val)
+        } else {
+            self.fail(&format!("expected '{word}'"))
+        }
+    }
+
+    fn array(&mut self) -> Result<JVal, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JVal::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                _ => return self.fail("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JVal, String> {
+        let start = self.pos;
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF-8 number".to_string())?;
+        if float {
+            text.parse::<f64>()
+                .map(JVal::Float)
+                .map_err(|e| format!("bad float {text:?}: {e}"))
+        } else {
+            // Integers parse exactly (f64 would lose precision past 2^53).
+            text.parse::<u64>()
+                .map(JVal::Int)
+                .map_err(|e| format!("bad integer {text:?}: {e}"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.fail("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| "non-UTF-8 \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                            self.pos += 4;
+                        }
+                        _ => return self.fail("unknown escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: take the whole scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-UTF-8 string".to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field access helpers
+// ---------------------------------------------------------------------------
+
+struct Fields(Vec<(String, JVal)>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Result<&JVal, String> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key)? {
+            JVal::Int(n) => Ok(*n),
+            other => Err(format!("field {key:?}: expected integer, got {other:?}")),
+        }
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, String> {
+        u32::try_from(self.u64(key)?).map_err(|_| format!("field {key:?} overflows u32"))
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key)? {
+            JVal::Float(x) => Ok(*x),
+            JVal::Int(n) => Ok(*n as f64),
+            other => Err(format!("field {key:?}: expected number, got {other:?}")),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        match self.get(key)? {
+            JVal::Str(s) => Ok(s),
+            other => Err(format!("field {key:?}: expected string, got {other:?}")),
+        }
+    }
+}
+
+fn parse_drop_cause(s: &str) -> Result<DropCause, String> {
+    match s {
+        "source_down" => Ok(DropCause::SourceDown),
+        "dest_down" => Ok(DropCause::DestDown),
+        "partitioned" => Ok(DropCause::Partitioned),
+        "loss" => Ok(DropCause::Loss),
+        other => Err(format!("unknown drop cause {other:?}")),
+    }
+}
+
+fn parse_outcome(s: &str) -> Result<OpOutcome, String> {
+    match s {
+        "completed" => Ok(OpOutcome::Completed),
+        "refused" => Ok(OpOutcome::Refused),
+        "timed_out" => Ok(OpOutcome::TimedOut),
+        other => Err(format!("unknown outcome {other:?}")),
+    }
+}
+
+fn parse_phase(s: &str) -> Result<QuorumPhase, String> {
+    match s {
+        "read" => Ok(QuorumPhase::Read),
+        "write" => Ok(QuorumPhase::Write),
+        other => Err(format!("unknown quorum phase {other:?}")),
+    }
+}
+
+fn parse_kind(tag: &str, f: &Fields) -> Result<EventKind, String> {
+    Ok(match tag {
+        "message_sent" => EventKind::MessageSent {
+            src: f.u32("src")?,
+            dst: f.u32("dst")?,
+            deliver_at: f.u64("deliver_at")?,
+            msg_id: f.u32("msg_id")?,
+        },
+        "message_injected" => EventKind::MessageInjected {
+            dst: f.u32("dst")?,
+            deliver_at: f.u64("deliver_at")?,
+            msg_id: f.u32("msg_id")?,
+        },
+        "message_delivered" => EventKind::MessageDelivered {
+            node: f.u32("node")?,
+            msg_id: f.u32("msg_id")?,
+        },
+        "message_dropped" => EventKind::MessageDropped {
+            src: f.u32("src")?,
+            dst: f.u32("dst")?,
+            cause: parse_drop_cause(f.str("cause")?)?,
+            msg_id: f.u32("msg_id")?,
+        },
+        "timer_set" => EventKind::TimerSet {
+            node: f.u32("node")?,
+            token: f.u64("token")?,
+            fire_at: f.u64("fire_at")?,
+        },
+        "timer_fired" => EventKind::TimerFired {
+            node: f.u32("node")?,
+            token: f.u64("token")?,
+        },
+        "node_crashed" => EventKind::NodeCrashed {
+            node: f.u32("node")?,
+        },
+        "node_recovered" => EventKind::NodeRecovered {
+            node: f.u32("node")?,
+        },
+        "partition_set" => {
+            let JVal::Arr(groups) = f.get("groups")? else {
+                return Err("field \"groups\": expected array".into());
+            };
+            let mut parsed: Vec<Vec<u32>> = Vec::with_capacity(groups.len());
+            for g in groups {
+                let JVal::Arr(ids) = g else {
+                    return Err("partition group: expected array".into());
+                };
+                let mut out = Vec::with_capacity(ids.len());
+                for id in ids {
+                    match id {
+                        JVal::Int(n) => out.push(
+                            u32::try_from(*n).map_err(|_| "node id overflows u32".to_string())?,
+                        ),
+                        other => return Err(format!("node id: expected integer, got {other:?}")),
+                    }
+                }
+                parsed.push(out);
+            }
+            EventKind::PartitionSet {
+                groups: PartitionGroups::new(parsed),
+            }
+        }
+        "partition_healed" => EventKind::PartitionHealed,
+        "loss_rate_set" => EventKind::LossRateSet {
+            probability: f.f64("probability")?,
+        },
+        "op_begin" => {
+            let mut op = OpLabel::default();
+            op.push_str(f.str("op")?);
+            EventKind::OpBegin {
+                node: f.u32("node")?,
+                op_id: f.u32("op_id")?,
+                op,
+            }
+        }
+        "op_end" => EventKind::OpEnd {
+            node: f.u32("node")?,
+            op_id: f.u32("op_id")?,
+            outcome: parse_outcome(f.str("outcome")?)?,
+            latency: f.u64("latency")?,
+        },
+        "quorum_assembled" => EventKind::QuorumAssembled {
+            node: f.u32("node")?,
+            op_id: f.u32("op_id")?,
+            phase: parse_phase(f.str("phase")?)?,
+            size: f.u32("size")?,
+        },
+        "quorum_failed" => EventKind::QuorumFailed {
+            node: f.u32("node")?,
+            op_id: f.u32("op_id")?,
+            phase: parse_phase(f.str("phase")?)?,
+            responses: f.u32("responses")?,
+            needed: f.u32("needed")?,
+        },
+        "view_merged" => EventKind::ViewMerged {
+            node: f.u32("node")?,
+            op_id: f.u32("op_id")?,
+            merged_len: f.u32("merged_len")?,
+        },
+        "level_transition" => {
+            let JVal::Arr(left) = f.get("left")? else {
+                return Err("field \"left\": expected array".into());
+            };
+            let mut names = Vec::with_capacity(left.len());
+            for l in left {
+                match l {
+                    JVal::Str(s) => names.push(s.clone()),
+                    other => return Err(format!("level name: expected string, got {other:?}")),
+                }
+            }
+            let now = match f.get("now")? {
+                JVal::Str(s) => Some(s.clone()),
+                JVal::Null => None,
+                other => {
+                    return Err(format!(
+                        "field \"now\": expected string|null, got {other:?}"
+                    ))
+                }
+            };
+            EventKind::LevelTransition(Box::new(LevelTransition {
+                left: names,
+                now,
+                witness: f.str("witness")?.to_string(),
+                op_index: usize::try_from(f.u64("op_index")?)
+                    .map_err(|_| "op_index overflows usize".to_string())?,
+            }))
+        }
+        other => return Err(format!("unknown event kind {other:?}")),
+    })
+}
+
+/// Parses one event line (as produced by
+/// [`Event::to_json`](crate::event::Event::to_json)).
+pub fn parse_event(line: &str) -> Result<Event, String> {
+    let fields = Fields(Reader::new(line).object()?);
+    let kind = parse_kind(fields.str("kind")?, &fields)?;
+    Ok(Event {
+        time: fields.u64("t")?,
+        seq: fields.u64("seq")?,
+        kind,
+    })
+}
+
+/// Parses a header line; `Ok(None)` when the line is not a header.
+fn parse_header(line: &str) -> Result<Option<TraceHeader>, String> {
+    let fields = Fields(Reader::new(line).object()?);
+    if fields.str("kind")? != "trace_header" {
+        return Ok(None);
+    }
+    Ok(Some(TraceHeader {
+        version: fields.u32("version")?,
+        events: fields.u64("events")?,
+        dropped_oldest: fields.u64("dropped_oldest")?,
+    }))
+}
+
+/// Re-ingests an exported JSONL trace: an optional [`TraceHeader`] first
+/// line followed by one event per line. Blank lines are skipped. Fails
+/// on malformed lines and on headers from a future format version.
+pub fn read_trace(input: &str) -> Result<ParsedTrace, TraceParseError> {
+    let mut header = None;
+    let mut events = Vec::new();
+    for (ix, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| TraceParseError {
+            line: ix + 1,
+            message,
+        };
+        // Only line 1 may be a header; a headerless stream (pre-header
+        // export) falls through to event parsing.
+        if ix == 0 {
+            if let Some(h) = parse_header(line).map_err(err)? {
+                if h.version > FORMAT_VERSION {
+                    return Err(TraceParseError {
+                        line: ix + 1,
+                        message: format!(
+                            "trace format version {} is newer than supported ({})",
+                            h.version, FORMAT_VERSION
+                        ),
+                    });
+                }
+                header = Some(h);
+                continue;
+            }
+        }
+        events.push(parse_event(line).map_err(err)?);
+    }
+    Ok(ParsedTrace { header, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(e: Event) {
+        let json = e.to_json();
+        let back = parse_event(&json).unwrap_or_else(|err| panic!("{json}: {err}"));
+        assert_eq!(back, e, "round-trip of {json}");
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let mut op = OpLabel::default();
+        op.push_str("Enq(5)");
+        let kinds = vec![
+            EventKind::MessageSent {
+                src: 0,
+                dst: 3,
+                deliver_at: 55,
+                msg_id: 9,
+            },
+            EventKind::MessageInjected {
+                dst: 1,
+                deliver_at: 2,
+                msg_id: 3,
+            },
+            EventKind::MessageDelivered { node: 2, msg_id: 9 },
+            EventKind::MessageDropped {
+                src: 1,
+                dst: 0,
+                cause: DropCause::Partitioned,
+                msg_id: 10,
+            },
+            EventKind::TimerSet {
+                node: 4,
+                token: 17,
+                fire_at: 300,
+            },
+            EventKind::TimerFired { node: 4, token: 17 },
+            EventKind::NodeCrashed { node: 1 },
+            EventKind::NodeRecovered { node: 1 },
+            EventKind::PartitionSet {
+                groups: PartitionGroups::new(vec![vec![3, 0], vec![1, 2]]),
+            },
+            EventKind::PartitionHealed,
+            EventKind::LossRateSet { probability: 0.25 },
+            EventKind::OpBegin {
+                node: 3,
+                op_id: 2,
+                op,
+            },
+            EventKind::OpEnd {
+                node: 3,
+                op_id: 2,
+                outcome: OpOutcome::TimedOut,
+                latency: 200,
+            },
+            EventKind::QuorumAssembled {
+                node: 3,
+                op_id: 2,
+                phase: QuorumPhase::Read,
+                size: 2,
+            },
+            EventKind::QuorumFailed {
+                node: 3,
+                op_id: 2,
+                phase: QuorumPhase::Write,
+                responses: 1,
+                needed: 3,
+            },
+            EventKind::ViewMerged {
+                node: 3,
+                op_id: 2,
+                merged_len: 7,
+            },
+            EventKind::LevelTransition(Box::new(LevelTransition {
+                left: vec!["PQ".into(), "OPQ".into()],
+                now: Some("MPQ".into()),
+                witness: "Deq(5)".into(),
+                op_index: 2,
+            })),
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            round_trip(Event {
+                time: 10 * i as u64,
+                seq: i as u64,
+                kind,
+            });
+        }
+    }
+
+    #[test]
+    fn escaped_witness_round_trips() {
+        round_trip(Event {
+            time: 1,
+            seq: 0,
+            kind: EventKind::LevelTransition(Box::new(LevelTransition {
+                left: vec!["a\"b\\c".into()],
+                now: None,
+                witness: "line\nbreak\tand \u{1} ctrl".into(),
+                op_index: 0,
+            })),
+        });
+    }
+
+    #[test]
+    fn header_round_trips_and_gates_versions() {
+        let h = TraceHeader {
+            version: FORMAT_VERSION,
+            events: 2,
+            dropped_oldest: 5,
+        };
+        let body = format!(
+            "{}\n{}\n{}\n",
+            h.to_json(),
+            Event {
+                time: 1,
+                seq: 0,
+                kind: EventKind::PartitionHealed
+            }
+            .to_json(),
+            Event {
+                time: 2,
+                seq: 1,
+                kind: EventKind::NodeCrashed { node: 0 }
+            }
+            .to_json(),
+        );
+        let parsed = read_trace(&body).unwrap();
+        assert_eq!(parsed.header, Some(h));
+        assert_eq!(parsed.events.len(), 2);
+
+        let future = "{\"kind\":\"trace_header\",\"version\":99,\"events\":0,\"dropped_oldest\":0}";
+        let err = read_trace(future).unwrap_err();
+        assert!(err.message.contains("newer than supported"), "{err}");
+    }
+
+    #[test]
+    fn headerless_streams_still_parse() {
+        let body = "{\"t\":5,\"seq\":0,\"kind\":\"node_crashed\",\"node\":2}\n";
+        let parsed = read_trace(body).unwrap();
+        assert_eq!(parsed.header, None);
+        assert_eq!(parsed.events[0].kind, EventKind::NodeCrashed { node: 2 },);
+    }
+
+    #[test]
+    fn malformed_lines_name_their_line_number() {
+        let body = "{\"t\":5,\"seq\":0,\"kind\":\"node_crashed\",\"node\":2}\nnot json\n";
+        let err = read_trace(body).unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = read_trace("{\"t\":1,\"seq\":0,\"kind\":\"mystery\"}").unwrap_err();
+        assert!(err.message.contains("unknown event kind"), "{err}");
+    }
+}

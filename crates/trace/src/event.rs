@@ -39,6 +39,55 @@ impl OpLabel {
     pub fn as_str(&self) -> &str {
         std::str::from_utf8(&self.buf[..usize::from(self.len)]).unwrap_or("")
     }
+
+    /// Appends a string, truncating at capacity (char-boundary safe).
+    ///
+    /// Together with [`OpLabel::push_u32`] this lets hot paths build
+    /// labels without going through the `fmt` machinery.
+    pub fn push_str(&mut self, s: &str) {
+        let _ = std::fmt::Write::write_str(self, s);
+    }
+
+    /// Appends a decimal rendering of `v`, truncating at capacity.
+    pub fn push_u32(&mut self, v: u32) {
+        // Ten digits cover u32::MAX; render right-to-left into a stack
+        // buffer and append the used suffix.
+        let mut digits = [0u8; 10];
+        let mut i = digits.len();
+        let mut v = v;
+        loop {
+            i -= 1;
+            digits[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&digits[i..]).expect("ASCII digits");
+        self.push_str(s);
+    }
+
+    /// Appends a decimal rendering of `v`, truncating at capacity.
+    pub fn push_i64(&mut self, v: i64) {
+        // Twenty digits cover u64::MAX; render right-to-left into a
+        // stack buffer and append the used suffix.
+        if v < 0 {
+            self.push_str("-");
+        }
+        let mut digits = [0u8; 20];
+        let mut i = digits.len();
+        let mut m = v.unsigned_abs();
+        loop {
+            i -= 1;
+            digits[i] = b'0' + (m % 10) as u8;
+            m /= 10;
+            if m == 0 {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&digits[i..]).expect("ASCII digits");
+        self.push_str(s);
+    }
 }
 
 impl std::fmt::Write for OpLabel {
@@ -86,6 +135,41 @@ impl std::fmt::Display for OpLabel {
 impl std::fmt::Debug for OpLabel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{:?}", self.as_str())
+    }
+}
+
+/// The groups payload of [`EventKind::PartitionSet`], held behind one
+/// *thin* pointer.
+///
+/// A fat `Box<[Box<[u32]>]>` directly in the enum is measurably hostile
+/// to the tracing hot path: its presence forces every `Tracer::record`
+/// to move the enum through a stack temporary and memcpy (~3x slower per
+/// record, for *all* variants). The rare partition event pays one extra
+/// indirection instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+// The "extra" allocation is the point: `Vec<Vec<u32>>` inline would put
+// 24 bytes (and a fat move) in the enum; `Box<[…]>` is a fat pointer.
+#[allow(clippy::box_collection)]
+pub struct PartitionGroups(Box<Vec<Vec<u32>>>);
+
+impl PartitionGroups {
+    /// Wraps explicit groups of node indices.
+    #[must_use]
+    pub fn new(groups: Vec<Vec<u32>>) -> Self {
+        PartitionGroups(Box::new(groups))
+    }
+}
+
+impl std::ops::Deref for PartitionGroups {
+    type Target = [Vec<u32>];
+    fn deref(&self) -> &[Vec<u32>] {
+        &self.0
+    }
+}
+
+impl FromIterator<Vec<u32>> for PartitionGroups {
+    fn from_iter<I: IntoIterator<Item = Vec<u32>>>(iter: I) -> Self {
+        PartitionGroups::new(iter.into_iter().collect())
     }
 }
 
@@ -167,6 +251,10 @@ pub enum EventKind {
         dst: u32,
         /// Scheduled delivery tick.
         deliver_at: u64,
+        /// World-unique message id; the matching `message_delivered` (or
+        /// in-flight `message_dropped`) carries the same id, so
+        /// send↔deliver edges pair exactly.
+        msg_id: u32,
     },
     /// The harness injected a message from outside the simulated system.
     MessageInjected {
@@ -174,11 +262,15 @@ pub enum EventKind {
         dst: u32,
         /// Scheduled delivery tick.
         deliver_at: u64,
+        /// World-unique message id (shared with its delivery).
+        msg_id: u32,
     },
     /// A message reached its destination's handler.
     MessageDelivered {
         /// Receiving node index.
         node: u32,
+        /// The id the message was sent (or injected) under.
+        msg_id: u32,
     },
     /// The network dropped a message.
     MessageDropped {
@@ -188,6 +280,9 @@ pub enum EventKind {
         dst: u32,
         /// Why it was dropped.
         cause: DropCause,
+        /// The dropped message's id. Send-time drops never produce a
+        /// `message_sent` with this id; in-flight drops do.
+        msg_id: u32,
     },
     /// A node armed a timer.
     TimerSet {
@@ -217,9 +312,9 @@ pub enum EventKind {
     },
     /// A fault installed a partition.
     PartitionSet {
-        /// The partition's groups of node indices. Boxed slices keep
-        /// this rare variant from inflating every event's footprint.
-        groups: Box<[Box<[u32]>]>,
+        /// The partition's groups of node indices, behind one thin
+        /// pointer (see [`PartitionGroups`]).
+        groups: PartitionGroups,
     },
     /// A fault healed the partition.
     PartitionHealed,
@@ -276,6 +371,8 @@ pub enum EventKind {
     ViewMerged {
         /// Client node index.
         node: u32,
+        /// Client-local invocation id of the operation being served.
+        op_id: u32,
         /// Number of log entries in the merged view.
         merged_len: u32,
     },
@@ -362,22 +459,35 @@ impl Event {
                 src,
                 dst,
                 deliver_at,
+                msg_id,
             } => {
                 let _ = write!(
                     s,
-                    ",\"src\":{src},\"dst\":{dst},\"deliver_at\":{deliver_at}"
+                    ",\"src\":{src},\"dst\":{dst},\"deliver_at\":{deliver_at},\"msg_id\":{msg_id}"
                 );
             }
-            EventKind::MessageInjected { dst, deliver_at } => {
-                let _ = write!(s, ",\"dst\":{dst},\"deliver_at\":{deliver_at}");
-            }
-            EventKind::MessageDelivered { node } => {
-                let _ = write!(s, ",\"node\":{node}");
-            }
-            EventKind::MessageDropped { src, dst, cause } => {
+            EventKind::MessageInjected {
+                dst,
+                deliver_at,
+                msg_id,
+            } => {
                 let _ = write!(
                     s,
-                    ",\"src\":{src},\"dst\":{dst},\"cause\":\"{}\"",
+                    ",\"dst\":{dst},\"deliver_at\":{deliver_at},\"msg_id\":{msg_id}"
+                );
+            }
+            EventKind::MessageDelivered { node, msg_id } => {
+                let _ = write!(s, ",\"node\":{node},\"msg_id\":{msg_id}");
+            }
+            EventKind::MessageDropped {
+                src,
+                dst,
+                cause,
+                msg_id,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{src},\"dst\":{dst},\"cause\":\"{}\",\"msg_id\":{msg_id}",
                     cause.as_str()
                 );
             }
@@ -455,8 +565,15 @@ impl Event {
                     phase.as_str()
                 );
             }
-            EventKind::ViewMerged { node, merged_len } => {
-                let _ = write!(s, ",\"node\":{node},\"merged_len\":{merged_len}");
+            EventKind::ViewMerged {
+                node,
+                op_id,
+                merged_len,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"op_id\":{op_id},\"merged_len\":{merged_len}"
+                );
             }
             EventKind::LevelTransition(t) => {
                 let now_json = match &t.now {
@@ -491,11 +608,12 @@ mod tests {
                 src: 0,
                 dst: 3,
                 deliver_at: 55,
+                msg_id: 12,
             },
         };
         assert_eq!(
             e.to_json(),
-            r#"{"t":42,"seq":7,"kind":"message_sent","src":0,"dst":3,"deliver_at":55}"#
+            r#"{"t":42,"seq":7,"kind":"message_sent","src":0,"dst":3,"deliver_at":55,"msg_id":12}"#
         );
     }
 
@@ -508,9 +626,41 @@ mod tests {
                 src: 2,
                 dst: 0,
                 cause: DropCause::Partitioned,
+                msg_id: 4,
             },
         };
         assert!(e.to_json().contains("\"cause\":\"partitioned\""));
+        assert!(e.to_json().contains("\"msg_id\":4"));
+    }
+
+    #[test]
+    fn event_kind_stays_within_the_hot_path_budget() {
+        // Recording copies one `EventKind` per event on the simulator's
+        // hot path; the msg_id fields must stay inside the existing
+        // 24-byte layout (padding holes), not widen every event.
+        assert!(std::mem::size_of::<EventKind>() <= 24);
+    }
+
+    #[test]
+    fn label_push_helpers_render_without_fmt() {
+        let mut l = OpLabel::default();
+        l.push_str("Enq(");
+        l.push_u32(999_999_999);
+        l.push_str(")");
+        assert_eq!(l.as_str(), "Enq(999999999)");
+        let mut n = OpLabel::default();
+        n.push_str("Enq(");
+        n.push_i64(-42);
+        n.push_str(")");
+        assert_eq!(n.as_str(), "Enq(-42)");
+        let mut z = OpLabel::default();
+        z.push_u32(0);
+        assert_eq!(z.as_str(), "0");
+        // Truncation at capacity, never a panic.
+        let mut t = OpLabel::default();
+        t.push_str("abcdefghijklmnop");
+        t.push_u32(99);
+        assert_eq!(t.as_str().len(), OpLabel::CAP);
     }
 
     #[test]
@@ -519,10 +669,7 @@ mod tests {
             time: 200,
             seq: 3,
             kind: EventKind::PartitionSet {
-                groups: vec![vec![3, 0], vec![1, 2]]
-                    .into_iter()
-                    .map(Vec::into_boxed_slice)
-                    .collect(),
+                groups: PartitionGroups::new(vec![vec![3, 0], vec![1, 2]]),
             },
         };
         assert!(e.to_json().contains("\"groups\":[[3,0],[1,2]]"));
@@ -559,16 +706,19 @@ mod tests {
                 src: 0,
                 dst: 0,
                 deliver_at: 0,
+                msg_id: 0,
             },
             EventKind::MessageInjected {
                 dst: 0,
                 deliver_at: 0,
+                msg_id: 0,
             },
-            EventKind::MessageDelivered { node: 0 },
+            EventKind::MessageDelivered { node: 0, msg_id: 0 },
             EventKind::MessageDropped {
                 src: 0,
                 dst: 0,
                 cause: DropCause::Loss,
+                msg_id: 0,
             },
             EventKind::TimerSet {
                 node: 0,
@@ -579,7 +729,7 @@ mod tests {
             EventKind::NodeCrashed { node: 0 },
             EventKind::NodeRecovered { node: 0 },
             EventKind::PartitionSet {
-                groups: Box::from([]),
+                groups: PartitionGroups::new(Vec::new()),
             },
             EventKind::PartitionHealed,
             EventKind::LossRateSet { probability: 0.0 },
@@ -609,6 +759,7 @@ mod tests {
             },
             EventKind::ViewMerged {
                 node: 0,
+                op_id: 0,
                 merged_len: 0,
             },
             EventKind::LevelTransition(Box::new(crate::monitor::LevelTransition {

@@ -17,6 +17,18 @@
 //!   frontiers over a relaxation lattice (Herlihy & Wing, PODC 1987),
 //!   emitting [`monitor::LevelTransition`]s with witness operations the
 //!   moment the observed history falls out of a level.
+//! * [`codec`] — the read half of the JSONL format: a versioned
+//!   [`codec::TraceHeader`] and [`codec::read_trace`], which re-ingests
+//!   any exported trace into typed events.
+//! * [`causality`] — the happens-before DAG over a trace
+//!   ([`causality::HbGraph`]): program order per node, send→deliver
+//!   edges paired by message id, fault-attribution edges; per-operation
+//!   [`causality::Span`]s with critical-path latency attribution
+//!   ([`causality::LatencyBreakdown`]).
+//! * [`analyze`] — degradation root-cause: walk a witnessed
+//!   [`monitor::LevelTransition`] backwards through the DAG to the
+//!   minimal cut of fault events that caused it, rendered as a
+//!   human-readable report ([`analyze::TraceAnalysis`]).
 //!
 //! ```
 //! use relax_trace::prelude::*;
@@ -35,6 +47,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
+pub mod causality;
+pub mod codec;
 pub mod event;
 pub mod metrics;
 pub mod monitor;
@@ -42,13 +57,21 @@ pub mod tracer;
 
 /// Convenient re-exports of the crate's main types.
 pub mod prelude {
-    pub use crate::event::{DropCause, Event, EventKind, OpLabel, OpOutcome, QuorumPhase};
+    pub use crate::analyze::TraceAnalysis;
+    pub use crate::causality::{HbGraph, LatencyBreakdown, Span};
+    pub use crate::codec::{read_trace, ParsedTrace, TraceHeader};
+    pub use crate::event::{
+        DropCause, Event, EventKind, OpLabel, OpOutcome, PartitionGroups, QuorumPhase,
+    };
     pub use crate::metrics::{Counter, Gauge, Histogram, Registry};
     pub use crate::monitor::{DegradationMonitor, FrontierChecker, LevelTransition};
     pub use crate::tracer::Tracer;
 }
 
-pub use event::{DropCause, Event, EventKind, OpLabel, OpOutcome, QuorumPhase};
+pub use analyze::TraceAnalysis;
+pub use causality::{HbGraph, LatencyBreakdown, Span};
+pub use codec::{read_trace, ParsedTrace, TraceHeader};
+pub use event::{DropCause, Event, EventKind, OpLabel, OpOutcome, PartitionGroups, QuorumPhase};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use monitor::{DegradationMonitor, FrontierChecker, LevelTransition};
 pub use tracer::Tracer;

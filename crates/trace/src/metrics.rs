@@ -119,12 +119,61 @@ impl Gauge {
 pub struct Histogram {
     samples: Vec<u64>,
     sorted: bool,
+    /// Explicit bucket upper bounds for text exposition (sorted,
+    /// deduplicated). `None` renders with [`DEFAULT_BUCKETS`]. Purely a
+    /// rendering layout: samples stay exact either way.
+    buckets: Option<Box<[u64]>>,
 }
+
+/// Bucket upper bounds used by [`Registry::render_prometheus`] for
+/// histograms without an explicit layout (in ticks).
+pub const DEFAULT_BUCKETS: &[u64] = &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000];
 
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Histogram::default()
+    }
+
+    /// An empty histogram with an explicit exposition bucket layout
+    /// (bounds are sorted and deduplicated).
+    pub fn with_buckets(bounds: &[u64]) -> Self {
+        let mut h = Histogram::new();
+        h.set_buckets(bounds);
+        h
+    }
+
+    /// Sets the exposition bucket layout (sorted, deduplicated).
+    pub fn set_buckets(&mut self, bounds: &[u64]) {
+        let mut b: Vec<u64> = bounds.to_vec();
+        b.sort_unstable();
+        b.dedup();
+        self.buckets = Some(b.into_boxed_slice());
+    }
+
+    /// The explicit exposition bucket layout, if one was set.
+    pub fn buckets(&self) -> Option<&[u64]> {
+        self.buckets.as_deref()
+    }
+
+    /// Cumulative sample counts per bucket bound (Prometheus `le`
+    /// semantics: each entry counts samples `<= bound`). Uses the
+    /// explicit layout when set, [`DEFAULT_BUCKETS`] otherwise; the
+    /// implicit `+Inf` bucket is [`Histogram::len`].
+    pub fn bucket_counts(&self) -> Vec<(u64, u64)> {
+        let bounds = self.buckets.as_deref().unwrap_or(DEFAULT_BUCKETS);
+        bounds
+            .iter()
+            .map(|&b| {
+                let n = self.samples.iter().filter(|&&s| s <= b).count() as u64;
+                (b, n)
+            })
+            .collect()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.samples.iter().sum()
     }
 
     /// Records one sample.
@@ -197,9 +246,27 @@ impl Histogram {
     }
 
     /// Appends all of another histogram's samples into this one.
+    ///
+    /// Mismatched exposition bucket layouts merge to the *union* of the
+    /// two bounds sets — lossless here, because samples are stored
+    /// exactly and bucket counts are recomputed at render time (a
+    /// pre-binned histogram could not do this). If only one side has an
+    /// explicit layout, it wins.
     pub fn merge(&mut self, other: &Histogram) {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
+        match (&self.buckets, &other.buckets) {
+            (Some(a), Some(b)) if a != b => {
+                let mut union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+                union.sort_unstable();
+                union.dedup();
+                self.buckets = Some(union.into_boxed_slice());
+            }
+            (None, Some(b)) => {
+                self.buckets = Some(b.clone());
+            }
+            _ => {}
+        }
     }
 }
 
@@ -356,6 +423,48 @@ impl Registry {
         out.push_str("}}");
         out
     }
+
+    /// Prometheus text exposition (one sample per line, with `# TYPE`
+    /// headers, names in stable `BTreeMap` order):
+    ///
+    /// * counters → `{name}_total{result="success"|"failure"}`;
+    /// * gauges → `{name}`;
+    /// * histograms → classic cumulative `{name}_bucket{le="…"}` series
+    ///   (explicit layout or [`DEFAULT_BUCKETS`], plus `+Inf`),
+    ///   `{name}_sum`, `{name}_count`, and a nearest-rank quantile
+    ///   summary family `{name}_quantile{quantile="0.5"|"0.95"|"0.99"}`
+    ///   (omitted while empty, since quantiles are undefined there).
+    pub fn render_prometheus(&mut self) -> String {
+        let mut out = String::new();
+        for (name, c) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name}_total counter");
+            let _ = writeln!(out, "{name}_total{{result=\"success\"}} {}", c.successes());
+            let _ = writeln!(out, "{name}_total{{result=\"failure\"}} {}", c.failures());
+        }
+        for (name, g) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.value());
+        }
+        let names: Vec<String> = self.histograms.keys().cloned().collect();
+        for name in names {
+            let h = self.histograms.get_mut(&name).expect("key just listed");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (le, n) in h.bucket_counts() {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {n}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.len());
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.len());
+            if !h.is_empty() {
+                let _ = writeln!(out, "# TYPE {name}_quantile gauge");
+                for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                    let v = h.quantile(q).expect("non-empty");
+                    let _ = writeln!(out, "{name}_quantile{{quantile=\"{label}\"}} {v}");
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -507,6 +616,99 @@ mod tests {
         assert_eq!(r.get_histogram("latency").unwrap().len(), 2);
         assert_eq!(r.get_gauge("inflight").unwrap().value(), 7);
         assert!(r.get_counter("missing").is_none());
+    }
+
+    #[test]
+    fn availability_ratio_with_zero_ops_is_none_never_nan() {
+        // Division by a zero total must surface as None (and render as
+        // "0/0"), not as NaN leaking into reports.
+        let c = Counter::new();
+        assert_eq!(c.rate(), None);
+        assert_eq!(c.to_string(), "0/0");
+        let mut merged = Counter::new();
+        merged.merge(&c);
+        assert_eq!(merged.rate(), None, "merging empties stays empty");
+    }
+
+    #[test]
+    fn merge_of_mismatched_bucket_layouts_takes_the_union() {
+        let mut a = Histogram::with_buckets(&[10, 100]);
+        a.record(7);
+        let mut b = Histogram::with_buckets(&[50, 100, 1000]);
+        b.record(600);
+        a.merge(&b);
+        // Union layout, recomputed cumulative counts over exact samples.
+        assert_eq!(a.buckets(), Some(&[10u64, 50, 100, 1000][..]));
+        assert_eq!(
+            a.bucket_counts(),
+            vec![(10, 1), (50, 1), (100, 1), (1000, 2)]
+        );
+        // Explicit layout wins over an implicit (default) one, in both
+        // merge directions.
+        let mut plain = Histogram::new();
+        plain.record(3);
+        plain.merge(&a);
+        assert_eq!(plain.buckets(), Some(&[10u64, 50, 100, 1000][..]));
+        let mut c = Histogram::with_buckets(&[5]);
+        c.merge(&Histogram::new());
+        assert_eq!(c.buckets(), Some(&[5u64][..]));
+    }
+
+    #[test]
+    fn bucket_counts_default_layout_and_sum() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(3);
+        h.record(20_000); // beyond the last default bound: only in +Inf
+        let counts = h.bucket_counts();
+        assert_eq!(counts.len(), DEFAULT_BUCKETS.len());
+        assert_eq!(counts[0], (1, 1));
+        assert_eq!(counts[2], (5, 2));
+        assert_eq!(counts.last().copied(), Some((10_000, 2)));
+        assert_eq!(h.sum(), 20_004);
+    }
+
+    #[test]
+    fn render_prometheus_golden() {
+        let mut r = Registry::new();
+        r.counter("ops").record(true);
+        r.counter("ops").record(false);
+        r.gauge("inflight").set(3);
+        let h = r.histogram("lat");
+        h.set_buckets(&[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(500);
+        let expected = "\
+# TYPE ops_total counter
+ops_total{result=\"success\"} 1
+ops_total{result=\"failure\"} 1
+# TYPE inflight gauge
+inflight 3
+# TYPE lat histogram
+lat_bucket{le=\"10\"} 1
+lat_bucket{le=\"100\"} 2
+lat_bucket{le=\"+Inf\"} 3
+lat_sum 555
+lat_count 3
+# TYPE lat_quantile gauge
+lat_quantile{quantile=\"0.5\"} 50
+lat_quantile{quantile=\"0.95\"} 500
+lat_quantile{quantile=\"0.99\"} 500
+";
+        assert_eq!(r.render_prometheus(), expected);
+        // Rendering is idempotent (quantile calls sort in place).
+        assert_eq!(r.render_prometheus(), expected);
+    }
+
+    #[test]
+    fn render_prometheus_empty_histogram_omits_quantiles() {
+        let mut r = Registry::new();
+        r.histogram("lat").set_buckets(&[10]);
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_bucket{le=\"10\"} 0"), "{text}");
+        assert!(text.contains("lat_count 0"), "{text}");
+        assert!(!text.contains("quantile"), "{text}");
     }
 
     #[test]

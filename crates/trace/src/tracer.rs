@@ -6,6 +6,7 @@
 //! evicted and counted in [`Tracer::dropped_oldest`], so a long run
 //! keeps its most recent window instead of growing without bound.
 
+use crate::codec::{TraceHeader, FORMAT_VERSION};
 use crate::event::{Event, EventKind};
 use std::io::Write;
 use std::path::Path;
@@ -31,7 +32,9 @@ pub struct Tracer {
     buf: Vec<Stored>,
     /// Index of the oldest event once the buffer has wrapped.
     head: usize,
-    seq: u64,
+    /// Events discarded by [`Tracer::clear`] (sequence numbers keep
+    /// counting across clears, but these are not eviction losses).
+    cleared: u64,
     dropped_oldest: u64,
 }
 
@@ -49,7 +52,7 @@ impl Tracer {
             capacity: 0,
             buf: Vec::new(),
             head: 0,
-            seq: 0,
+            cleared: 0,
             dropped_oldest: 0,
         }
     }
@@ -69,7 +72,7 @@ impl Tracer {
             // huge window for short-lived worlds (one per trial).
             buf: Vec::with_capacity(capacity.min(256)),
             head: 0,
-            seq: 0,
+            cleared: 0,
             dropped_oldest: 0,
         }
     }
@@ -81,23 +84,34 @@ impl Tracer {
     }
 
     /// Records one event at the given sim time. A no-op when disabled.
-    #[inline]
+    ///
+    /// The global sequence number is *derived* as
+    /// `cleared + dropped_oldest + index`, not counted here — the fast
+    /// path is one branch plus a push into the pre-sized buffer, and the
+    /// wrap path is kept out of line so the common case stays small
+    /// enough to inline everywhere.
+    #[inline(always)]
     pub fn record(&mut self, time: u64, kind: EventKind) {
         if !self.enabled {
             return;
         }
-        let ev = Stored { time, kind };
-        self.seq += 1;
         if self.buf.len() < self.capacity {
-            self.buf.push(ev);
+            self.buf.push(Stored { time, kind });
         } else {
-            self.buf[self.head] = ev;
-            self.head += 1;
-            if self.head == self.capacity {
-                self.head = 0;
-            }
-            self.dropped_oldest += 1;
+            self.record_wrapping(time, kind);
         }
+    }
+
+    /// The ring-buffer eviction path, cold by construction: it only runs
+    /// once per event *after* the window has filled.
+    #[cold]
+    fn record_wrapping(&mut self, time: u64, kind: EventKind) {
+        self.buf[self.head] = Stored { time, kind };
+        self.head += 1;
+        if self.head == self.capacity {
+            self.head = 0;
+        }
+        self.dropped_oldest += 1;
     }
 
     /// Number of events currently held.
@@ -118,7 +132,7 @@ impl Tracer {
     /// The held events, oldest first, with their global sequence numbers
     /// reattached.
     pub fn events(&self) -> impl Iterator<Item = Event> + '_ {
-        let base = self.seq - self.buf.len() as u64;
+        let base = self.cleared + self.dropped_oldest;
         self.buf[self.head..]
             .iter()
             .chain(self.buf[..self.head].iter())
@@ -132,11 +146,24 @@ impl Tracer {
 
     /// Discards all held events (sequence numbers keep counting up).
     pub fn clear(&mut self) {
+        self.cleared += self.buf.len() as u64;
         self.buf.clear();
         self.head = 0;
     }
 
-    /// Renders the held events as JSONL (one JSON object per line).
+    /// The versioned header describing this export (format version plus
+    /// collection counters), written as the first JSONL line so readers
+    /// know whether the window is complete.
+    pub fn header(&self) -> TraceHeader {
+        TraceHeader {
+            version: FORMAT_VERSION,
+            events: self.buf.len() as u64,
+            dropped_oldest: self.dropped_oldest,
+        }
+    }
+
+    /// Renders the held events as bare JSONL (one JSON object per line,
+    /// no header). For re-ingestable exports use [`Tracer::export_jsonl`].
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for e in self.events() {
@@ -146,9 +173,20 @@ impl Tracer {
         out
     }
 
-    /// Writes the held events as JSONL to a file.
+    /// Renders a versioned [`TraceHeader`] line followed by the held
+    /// events as JSONL — the round-trippable export format that
+    /// [`crate::codec::read_trace`] ingests.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = self.header().to_json();
+        out.push('\n');
+        out.push_str(&self.to_jsonl());
+        out
+    }
+
+    /// Writes the headered export (see [`Tracer::export_jsonl`]) to a file.
     pub fn write_jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "{}", self.header().to_json())?;
         for e in self.events() {
             writeln!(f, "{}", e.to_json())?;
         }
@@ -204,6 +242,7 @@ mod tests {
                 src: 0,
                 dst: 1,
                 cause: DropCause::Loss,
+                msg_id: 0,
             },
         );
         t.record(2, EventKind::PartitionHealed);
@@ -222,8 +261,24 @@ mod tests {
         let path = dir.join("relax_trace_tracer_test.jsonl");
         t.write_jsonl(&path).unwrap();
         let back = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(back, t.to_jsonl());
+        assert_eq!(back, t.export_jsonl());
+        let parsed = crate::codec::read_trace(&back).unwrap();
+        assert_eq!(parsed.header, Some(t.header()));
+        assert_eq!(parsed.events.len(), 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn export_jsonl_leads_with_a_versioned_header() {
+        let mut t = Tracer::bounded(2);
+        for i in 0..3 {
+            t.record(i, EventKind::PartitionHealed);
+        }
+        let first = t.export_jsonl().lines().next().unwrap().to_string();
+        assert!(first.contains("\"kind\":\"trace_header\""), "{first}");
+        assert!(first.contains("\"version\":1"), "{first}");
+        assert!(first.contains("\"events\":2"), "{first}");
+        assert!(first.contains("\"dropped_oldest\":1"), "{first}");
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`core`] — the paper's contribution packaged: relaxation lattices,
 //!   constraint sets, lattice homomorphisms, sublattices, cost models, the
 //!   probabilistic interface, and the paper's three prebuilt lattices.
+//! * [`trace`] — structured sim-time tracing, metrics, the online
+//!   degradation monitor, and offline causal analysis (happens-before
+//!   graphs, per-op spans, degradation root-cause).
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -29,3 +32,4 @@ pub use relax_queues as queues;
 pub use relax_quorum as quorum;
 pub use relax_sim as sim;
 pub use relax_spec as spec;
+pub use relax_trace as trace;

@@ -231,3 +231,113 @@ fn availability_ordering_matches_quorum_sizes() {
     assert_eq!(majority_ok, 0);
     assert_eq!(cheap_ok, 1);
 }
+
+#[test]
+fn trace_analysis_names_the_flapping_partitions_as_degradation_root_cause() {
+    // The §3.3 degradation scenario, closed through the offline pipeline:
+    // run with trace + monitor, export JSONL, re-ingest, rebuild the
+    // happens-before DAG, and assert (a) per-op latency attribution sums
+    // exactly to each measured end-to-end latency, and (b) the causal
+    // fault cut behind the witnessed PQ -> MPQ transition is exactly the
+    // two flapping partitions — the later crash, which is causally
+    // unrelated to the witness, must not appear.
+    use relaxation_lattice::quorum::queue_lattice_monitor;
+    use relaxation_lattice::sim::{Fault, Partition};
+    use relaxation_lattice::trace::{read_trace, EventKind, TraceAnalysis};
+
+    let n = 3;
+    let client = NodeId(n);
+    let schedule = FaultSchedule::new()
+        .at(
+            SimTime(200),
+            Fault::Partition(Partition::groups(vec![
+                vec![client, NodeId(0)],
+                vec![NodeId(1), NodeId(2)],
+            ])),
+        )
+        .at(
+            SimTime(400),
+            Fault::Partition(Partition::groups(vec![
+                vec![client, NodeId(1)],
+                vec![NodeId(0), NodeId(2)],
+            ])),
+        )
+        .at(SimTime(600), Fault::Crash(NodeId(1)))
+        .at(SimTime(900), Fault::Heal)
+        .at(SimTime(900), Fault::Recover(NodeId(1)));
+
+    // Q1 holds, Q2 deliberately dropped: duplication (MPQ) is invited.
+    let q1_only = VotingAssignment::new(n)
+        .with_initial(QueueKind::Enq, 1)
+        .with_final(QueueKind::Enq, n)
+        .with_initial(QueueKind::Deq, 1)
+        .with_final(QueueKind::Deq, 1);
+    let mut sys = QuorumSystem::new(
+        TaxiQueueType,
+        n,
+        q1_only,
+        ClientConfig::default(),
+        NetworkConfig::new(1, 10, 0.0),
+        0x5EED,
+    )
+    .with_trace(4096)
+    .with_monitor(queue_lattice_monitor());
+    sys.world_mut().set_schedule(schedule);
+
+    sys.submit(QueueInv::Enq(5));
+    sys.run_until(SimTime(200));
+    sys.submit(QueueInv::Deq); // served by r0
+    sys.run_until(SimTime(400));
+    sys.submit(QueueInv::Deq); // served *again* by r1 — the witness
+    sys.run_until(SimTime(600));
+    sys.submit(QueueInv::Deq); // r1 down: timeout
+    sys.run_until(SimTime(900));
+    sys.submit(QueueInv::Enq(9));
+    sys.submit(QueueInv::Deq);
+    assert!(sys.run_to_quiescence(1_000_000));
+
+    // Export and re-ingest: the analysis sees only the JSONL bytes.
+    let jsonl = sys.world().tracer().export_jsonl();
+    let parsed = read_trace(&jsonl).expect("exported trace re-ingests");
+    let analysis = TraceAnalysis::from_trace(parsed);
+
+    // (a) Attribution is exact: the four phases partition each op's
+    // measured end-to-end latency.
+    assert!(!analysis.spans().is_empty());
+    for span in analysis.spans() {
+        assert_eq!(
+            span.breakdown.total(),
+            span.latency,
+            "attribution must sum to the measured latency for {}",
+            span.label.as_str()
+        );
+    }
+
+    // (b) Exactly one degradation, PQ (and OPQ) -> MPQ, and its causal
+    // fault cut is the two flapping partitions at t=200 and t=400.
+    assert_eq!(analysis.root_causes().len(), 1);
+    let rc = &analysis.root_causes()[0];
+    assert!(rc.transition.left.iter().any(|l| l == "PQ"));
+    assert_eq!(rc.transition.now.as_deref(), Some("MPQ"));
+    assert!(rc.transition.witness.starts_with("Deq"));
+    let events = analysis.graph().events();
+    let cut: Vec<(u64, &EventKind)> = rc
+        .fault_cut
+        .iter()
+        .map(|&i| (events[i].time, &events[i].kind))
+        .collect();
+    assert_eq!(cut.len(), 2, "cut should be the two partitions: {cut:?}");
+    assert!(matches!(cut[0], (200, EventKind::PartitionSet { .. })));
+    assert!(matches!(cut[1], (400, EventKind::PartitionSet { .. })));
+    assert!(
+        !rc.fault_cut
+            .iter()
+            .any(|&i| matches!(events[i].kind, EventKind::NodeCrashed { .. })),
+        "the crash at t=600 is causally after the witness"
+    );
+
+    // The report names the faults in plain language.
+    let report = analysis.report();
+    assert!(report.contains("why we degraded"));
+    assert!(report.contains("partition set"));
+}
