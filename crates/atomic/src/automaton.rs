@@ -39,7 +39,7 @@ impl<A> AtomicAutomaton<A> {
 impl<A> ObjectAutomaton for AtomicAutomaton<A>
 where
     A: ObjectAutomaton,
-    A::Op: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    A::Op: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug,
 {
     type State = Schedule<A::Op>;
     type Op = TxOp<A::Op>;

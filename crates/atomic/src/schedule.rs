@@ -23,7 +23,7 @@ impl fmt::Display for TxId {
 
 /// One step of a schedule: an object operation executed by a transaction,
 /// or a transaction's commit/abort.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TxOp<Op> {
     /// `⟨p, P⟩`: transaction `tx` executes object operation `op`.
     Op {
@@ -60,7 +60,7 @@ impl<Op: fmt::Display> fmt::Display for TxOp<Op> {
 
 /// A transactional schedule: a history of [`TxOp`]s with transactional
 /// queries.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Schedule<Op> {
     steps: History<TxOp<Op>>,
 }

@@ -16,8 +16,10 @@ use crate::history::History;
 /// Implementors supply the initial state and single-step transition
 /// function; `δ*`, acceptance, and related operations are provided.
 pub trait ObjectAutomaton {
-    /// The automaton's state set `STATE`.
-    type State: Clone + Eq + Hash + std::fmt::Debug;
+    /// The automaton's state set `STATE`. `Ord` lets the subset-graph
+    /// engine canonicalize reachable state sets as sorted slices (see
+    /// [`crate::subset`]).
+    type State: Clone + Eq + Ord + Hash + std::fmt::Debug;
     /// The automaton's operation alphabet `OP` (operation executions,
     /// i.e. invocation plus response).
     type Op: Clone + Eq + Hash + std::fmt::Debug;
@@ -30,6 +32,18 @@ pub trait ObjectAutomaton {
     /// the specification is nondeterministic. Implementations should not
     /// return duplicate states (harmless but wasteful).
     fn step(&self, state: &Self::State, op: &Self::Op) -> Vec<Self::State>;
+
+    /// `δ(s, p)` for every `p` in `alphabet` at once: `result[i]` is
+    /// `step(state, &alphabet[i])`.
+    ///
+    /// The default just loops over [`ObjectAutomaton::step`]. Automata
+    /// whose transitions share expensive per-state work across operations
+    /// (the quorum consensus automaton's Q-view enumeration, for example)
+    /// should override this: the bounded-language enumerators call it once
+    /// per explored state, making it the hot path of every verification.
+    fn step_all(&self, state: &Self::State, alphabet: &[Self::Op]) -> Vec<Vec<Self::State>> {
+        alphabet.iter().map(|op| self.step(state, op)).collect()
+    }
 
     /// `δ*(s, H)`: the set of states reachable from `s` by the history
     /// `H` (§2.1).
@@ -74,6 +88,24 @@ pub trait ObjectAutomaton {
             .filter(|op| states.iter().any(|s| !self.step(s, op).is_empty()))
             .cloned()
             .collect()
+    }
+}
+
+impl<A: ObjectAutomaton + ?Sized> ObjectAutomaton for &A {
+    type State = A::State;
+    type Op = A::Op;
+
+    fn initial_state(&self) -> Self::State {
+        (**self).initial_state()
+    }
+
+    fn step(&self, state: &Self::State, op: &Self::Op) -> Vec<Self::State> {
+        (**self).step(state, op)
+    }
+
+    // Forwarded explicitly so batched overrides survive the indirection.
+    fn step_all(&self, state: &Self::State, alphabet: &[Self::Op]) -> Vec<Vec<Self::State>> {
+        (**self).step_all(state, alphabet)
     }
 }
 

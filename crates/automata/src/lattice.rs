@@ -22,12 +22,11 @@
 //! quantify over [`RelaxationMap::domain`] and skip pairs whose meet/join
 //! falls outside it.
 
-use std::collections::HashSet;
-
 use crate::automaton::ObjectAutomaton;
 use crate::constraint::{ConstraintSet, ConstraintUniverse};
 use crate::history::History;
-use crate::language::language_upto;
+use crate::language::{equal_upto, included_upto, LanguageDifference};
+use crate::subset::IntersectionAutomaton;
 
 /// A lattice homomorphism `φ` from constraint sets to automata.
 pub trait RelaxationMap {
@@ -118,6 +117,12 @@ impl<Op> LatticeCheck<Op> {
 /// Checks that `map` is a relaxation lattice up to histories of length
 /// `max_len` over `alphabet`: monotone, join-preserving, and
 /// meet-covering on its domain (see module docs).
+///
+/// Every law is checked on product subset graphs (see [`crate::subset`])
+/// without materializing any language: monotonicity and meet coverage are
+/// inclusion walks, and join preservation compares `φ(c ∨ d)` against the
+/// synchronized [`IntersectionAutomaton`] of `φ(c)` and `φ(d)`, whose
+/// language is `L(φ(c)) ∩ L(φ(d))` exactly.
 pub fn check_reverse_inclusion_lattice<M>(
     map: &M,
     alphabet: &[<M::A as ObjectAutomaton>::Op],
@@ -125,35 +130,34 @@ pub fn check_reverse_inclusion_lattice<M>(
 ) -> LatticeCheck<<M::A as ObjectAutomaton>::Op>
 where
     M: RelaxationMap,
+    M::A: Sync,
+    <M::A as ObjectAutomaton>::State: Send + Sync,
+    <M::A as ObjectAutomaton>::Op: Sync,
 {
     let mut violations = Vec::new();
     let domain = map.domain();
 
-    // Precompute bounded languages for every domain element.
-    #[allow(clippy::type_complexity)]
-    let mut langs: Vec<(
-        ConstraintSet,
-        HashSet<History<<M::A as ObjectAutomaton>::Op>>,
-    )> = Vec::new();
+    // Instantiate every domain element's automaton once.
+    let mut autos: Vec<(ConstraintSet, M::A)> = Vec::new();
     for c in &domain {
         match map.automaton(*c) {
-            Some(a) => langs.push((*c, language_upto(&a, alphabet, max_len))),
+            Some(a) => autos.push((*c, a)),
             None => violations.push(LatticeViolation::UndefinedOnDomain(*c)),
         }
     }
 
-    let lang_of = |c: &ConstraintSet| langs.iter().find(|(d, _)| d == c).map(|(_, l)| l);
+    let auto_of = |c: &ConstraintSet| autos.iter().find(|(d, _)| d == c).map(|(_, a)| a);
 
     // Monotonicity over comparable pairs.
-    for (c, lc) in &langs {
-        for (d, ld) in &langs {
+    for (c, ac) in &autos {
+        for (d, ad) in &autos {
             if c.is_subset_of(d) && c != d {
                 // d stronger than c: L(φ(d)) ⊆ L(φ(c)).
-                if let Some(w) = ld.iter().find(|h| !lc.contains(*h)) {
+                if let Err(ce) = included_upto(ad, ac, alphabet, max_len) {
                     violations.push(LatticeViolation::NotMonotone {
                         weaker: *c,
                         stronger: *d,
-                        witness: w.clone(),
+                        witness: ce.history,
                     });
                 }
             }
@@ -162,30 +166,35 @@ where
 
     // Join preservation and meet coverage over pairs whose join/meet land
     // in the domain.
-    for (i, (c, lc)) in langs.iter().enumerate() {
-        for (d, ld) in langs.iter().skip(i + 1) {
+    for (i, (c, ac)) in autos.iter().enumerate() {
+        for (d, ad) in autos.iter().skip(i + 1) {
             let join = c.join(d);
-            if let Some(lj) = lang_of(&join) {
+            if let Some(aj) = auto_of(&join) {
                 // L(φ(c ∨ d)) must equal L(φ(c)) ∩ L(φ(d)).
-                if let Some(w) = lj
-                    .iter()
-                    .find(|h| !(lc.contains(*h) && ld.contains(*h)))
-                    .or_else(|| lc.iter().find(|h| ld.contains(*h) && !lj.contains(*h)))
-                {
+                let inter = IntersectionAutomaton::new(ac, ad);
+                if let Err(diff) = equal_upto(aj, &inter, alphabet, max_len) {
+                    let witness = match diff {
+                        LanguageDifference::LeftNotInRight(h)
+                        | LanguageDifference::RightNotInLeft(h) => h,
+                    };
                     violations.push(LatticeViolation::JoinNotPreserved {
                         left: *c,
                         right: *d,
-                        witness: w.clone(),
+                        witness,
                     });
                 }
             }
             let meet = c.meet(d);
-            if let Some(lm) = lang_of(&meet) {
-                if let Some(w) = lc.iter().chain(ld.iter()).find(|h| !lm.contains(*h)) {
+            if let Some(am) = auto_of(&meet) {
+                // L(φ(c ∧ d)) ⊇ L(φ(c)) ∪ L(φ(d)): check each operand.
+                let violation = included_upto(ac, am, alphabet, max_len)
+                    .err()
+                    .or_else(|| included_upto(ad, am, alphabet, max_len).err());
+                if let Some(ce) = violation {
                     violations.push(LatticeViolation::MeetNotCovering {
                         left: *c,
                         right: *d,
-                        witness: w.clone(),
+                        witness: ce.history,
                     });
                 }
             }

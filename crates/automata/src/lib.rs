@@ -12,6 +12,13 @@
 //!   finite operation alphabet, with inclusion/equality checks up to a
 //!   length bound. Languages of object automata are prefix-closed, which
 //!   the enumerator exploits.
+//! * [`subset`] — the determinized subset-graph engine behind the
+//!   language layer: reachable state-sets are canonicalized and
+//!   hash-consed into an arena, histories leading to the same state-set
+//!   collapse into one node carrying a multiplicity, and
+//!   inclusion/equality run on a *product* subset graph with
+//!   counterexamples rebuilt from parent pointers. Frontier expansion
+//!   parallelizes across scoped threads for wide levels.
 //! * [`constraint`] — named constraint universes and constraint sets (the
 //!   `2^C` lattice of §2.2), with subset iteration and lattice operations.
 //! * [`lattice`] — the `RelaxationMap` abstraction: a lattice homomorphism
@@ -65,6 +72,7 @@ pub mod language;
 pub mod lattice;
 pub mod random;
 pub mod rng;
+pub mod subset;
 
 /// Convenient re-exports of the crate's main types.
 pub mod prelude {
@@ -79,6 +87,10 @@ pub mod prelude {
     pub use crate::lattice::{check_reverse_inclusion_lattice, LatticeCheck, RelaxationMap};
     pub use crate::random::{random_history, RandomWalk};
     pub use crate::rng::SplitMix64;
+    pub use crate::subset::{
+        compare_upto, CompareOptions, IntersectionAutomaton, LanguageComparison, StopWhen,
+        SubsetArena, SubsetGraph, SubsetId, SubsetNode,
+    };
 }
 
 pub use automaton::ObjectAutomaton;
@@ -92,3 +104,7 @@ pub use language::{
 pub use lattice::{check_reverse_inclusion_lattice, LatticeCheck, RelaxationMap};
 pub use random::{random_history, RandomWalk};
 pub use rng::SplitMix64;
+pub use subset::{
+    compare_upto, CompareOptions, IntersectionAutomaton, LanguageComparison, StopWhen, SubsetArena,
+    SubsetGraph, SubsetId, SubsetNode,
+};

@@ -1,0 +1,985 @@
+//! The determinized subset-graph language engine.
+//!
+//! The naive enumerators in [`crate::language::naive`] carry a cloned
+//! [`History`] and a cloned `HashSet<State>` per frontier entry, so two
+//! histories that reach the *same* set of states are explored twice. This
+//! module determinizes on the fly instead: every reachable state set is
+//! canonicalized (sorted, deduplicated) and hash-consed into an arena with
+//! a stable [`SubsetId`], and the bounded exploration becomes a layered
+//! graph whose nodes are `(depth, SubsetId)` pairs annotated with
+//!
+//! * a **multiplicity** — how many distinct accepted histories of length
+//!   `depth` reach this state set (languages of object automata are
+//!   prefix-closed, so accepted histories correspond bijectively to paths
+//!   from the root and per-node multiplicities give *exact* distinct
+//!   history counts), and
+//! * a **parent pointer** `(node index in previous level, alphabet
+//!   index)` — enough to reconstruct one concrete history per node
+//!   without storing any history during the walk.
+//!
+//! Inclusion and equality checks run on the **product** subset graph
+//! (pairs of left/right `SubsetId`s): a node with a nonempty left set and
+//! an empty right set witnesses `L(left) ⊄ L(right)` and its history is
+//! reconstructed from parent pointers only then.
+//!
+//! Frontier expansion can run in parallel: the current level is chunked
+//! over scoped threads, each worker resolves successor sets against the
+//! *frozen* arena and collects unknown sets in a per-thread interner
+//! delta, and the main thread merges the deltas in deterministic chunk
+//! order — results are identical for every thread count.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::automaton::ObjectAutomaton;
+use crate::history::History;
+
+/// Stable identifier of a canonical state set in a [`SubsetArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubsetId(u32);
+
+impl SubsetId {
+    /// The id of the empty state set (interned by every arena at birth).
+    pub const EMPTY: SubsetId = SubsetId(0);
+
+    /// Is this the empty state set?
+    pub fn is_empty(self) -> bool {
+        self == SubsetId::EMPTY
+    }
+}
+
+/// A hash-consing arena of canonical (sorted, deduplicated) state sets.
+///
+/// Interning the same set twice returns the same [`SubsetId`], so set
+/// equality is id equality and per-level deduplication is a small-key
+/// hash-map lookup instead of a set comparison.
+#[derive(Debug, Clone)]
+pub struct SubsetArena<S> {
+    sets: Vec<Arc<[S]>>,
+    ids: HashMap<Arc<[S]>, SubsetId>,
+}
+
+impl<S: Clone + Eq + Ord + Hash> SubsetArena<S> {
+    /// An arena holding only the empty set ([`SubsetId::EMPTY`]).
+    pub fn new() -> Self {
+        let mut arena = SubsetArena {
+            sets: Vec::new(),
+            ids: HashMap::new(),
+        };
+        arena.intern(Vec::new());
+        arena
+    }
+
+    /// Sorts and deduplicates a raw state collection into canonical form.
+    pub fn canonicalize(mut states: Vec<S>) -> Vec<S> {
+        states.sort_unstable();
+        states.dedup();
+        states
+    }
+
+    /// The id of an already-interned canonical set, if known.
+    pub fn lookup(&self, set: &[S]) -> Option<SubsetId> {
+        self.ids.get(set).copied()
+    }
+
+    /// Interns a canonical (sorted, deduplicated) set, returning its
+    /// stable id. Re-interning returns the existing id.
+    pub fn intern(&mut self, set: Vec<S>) -> SubsetId {
+        if let Some(id) = self.ids.get(set.as_slice()) {
+            return *id;
+        }
+        let id = SubsetId(u32::try_from(self.sets.len()).expect("arena exceeds u32 ids"));
+        let arc: Arc<[S]> = set.into();
+        self.sets.push(Arc::clone(&arc));
+        self.ids.insert(arc, id);
+        id
+    }
+
+    /// The states of an interned set.
+    pub fn get(&self, id: SubsetId) -> &[S] {
+        &self.sets[id.0 as usize]
+    }
+
+    /// Number of distinct interned sets (including the empty set).
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Always false: the empty *set of states* is itself interned.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+impl<S: Clone + Eq + Ord + Hash> Default for SubsetArena<S> {
+    fn default() -> Self {
+        SubsetArena::new()
+    }
+}
+
+/// One node of a subset graph level: a state set reached by
+/// `multiplicity` distinct histories of the level's length.
+#[derive(Debug, Clone, Copy)]
+pub struct SubsetNode {
+    /// The canonical reachable state set.
+    pub set: SubsetId,
+    /// Number of distinct accepted histories of this length reaching
+    /// `set` (exact — see module docs).
+    pub multiplicity: u64,
+    /// Index of one predecessor node in the previous level (`u32::MAX`
+    /// for the root).
+    pub parent: u32,
+    /// Alphabet index of the edge from `parent` to this node.
+    pub op: u16,
+}
+
+impl SubsetNode {
+    const NO_PARENT: u32 = u32::MAX;
+}
+
+/// How a worker refers to a successor set: already interned in the frozen
+/// arena, or position `usize` in the worker's own delta table.
+enum SetRef {
+    Known(SubsetId),
+    Local(usize),
+}
+
+/// Per-worker expansion output for one chunk of the frontier: for each
+/// node of the chunk, the nonempty successors per alphabet index, plus
+/// the chunk's interner delta (canonical sets missing from the frozen
+/// arena, deduplicated within the chunk).
+struct ChunkExpansion<S> {
+    succs: Vec<Vec<(u16, SetRef)>>,
+    delta: Vec<Vec<S>>,
+}
+
+/// A local interner for sets not present in the frozen arena.
+struct DeltaInterner<'a, S> {
+    arena: &'a SubsetArena<S>,
+    delta: Vec<Vec<S>>,
+    local_ids: HashMap<Vec<S>, usize>,
+}
+
+impl<'a, S: Clone + Eq + Ord + Hash> DeltaInterner<'a, S> {
+    fn new(arena: &'a SubsetArena<S>) -> Self {
+        DeltaInterner {
+            arena,
+            delta: Vec::new(),
+            local_ids: HashMap::new(),
+        }
+    }
+
+    fn resolve(&mut self, set: Vec<S>) -> SetRef {
+        if let Some(id) = self.arena.lookup(&set) {
+            return SetRef::Known(id);
+        }
+        if let Some(&local) = self.local_ids.get(&set) {
+            return SetRef::Local(local);
+        }
+        let local = self.delta.len();
+        self.delta.push(set.clone());
+        self.local_ids.insert(set, local);
+        SetRef::Local(local)
+    }
+}
+
+/// Canonical successor sets of one state set, indexed by alphabet
+/// position (an empty vec means `δ` is undefined there). Calls
+/// [`ObjectAutomaton::step_all`] once per member state so automata with
+/// batched transitions amortize their per-state work.
+fn canonical_successors<A: ObjectAutomaton>(
+    automaton: &A,
+    alphabet: &[A::Op],
+    set: &[A::State],
+) -> Vec<Vec<A::State>> {
+    let mut per_op: Vec<Vec<A::State>> = vec![Vec::new(); alphabet.len()];
+    for state in set {
+        for (i, mut succ) in automaton.step_all(state, alphabet).into_iter().enumerate() {
+            per_op[i].append(&mut succ);
+        }
+    }
+    per_op.into_iter().map(SubsetArena::canonicalize).collect()
+}
+
+/// Splits `level` into at most `threads` contiguous chunks and expands
+/// them (in parallel when `threads > 1`), returning chunk results in
+/// deterministic chunk order.
+fn expand_level<A>(
+    automaton: &A,
+    alphabet: &[A::Op],
+    arena: &SubsetArena<A::State>,
+    level: &[SubsetNode],
+    threads: usize,
+) -> Vec<ChunkExpansion<A::State>>
+where
+    A: ObjectAutomaton + Sync,
+    A::State: Send + Sync,
+    A::Op: Sync,
+{
+    let expand_chunk = |chunk: &[SubsetNode]| -> ChunkExpansion<A::State> {
+        let mut interner = DeltaInterner::new(arena);
+        let succs = chunk
+            .iter()
+            .map(|node| {
+                canonical_successors(automaton, alphabet, arena.get(node.set))
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, set)| !set.is_empty())
+                    .map(|(i, set)| (i as u16, interner.resolve(set)))
+                    .collect()
+            })
+            .collect();
+        ChunkExpansion {
+            succs,
+            delta: interner.delta,
+        }
+    };
+
+    let threads = threads.max(1).min(level.len().max(1));
+    if threads == 1 {
+        return vec![expand_chunk(level)];
+    }
+    let chunk_size = level.len().div_ceil(threads);
+    let expand_chunk = &expand_chunk;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = level
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || expand_chunk(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("subset-graph worker panicked"))
+            .collect()
+    })
+}
+
+/// Frontier width (in nodes) below which levels are expanded inline —
+/// thread spawn/merge overhead dominates on small frontiers.
+const PARALLEL_THRESHOLD: usize = 1024;
+
+/// The number of worker threads to use for a frontier of `width` nodes.
+fn auto_threads(width: usize) -> usize {
+    if width < PARALLEL_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// The bounded determinized subset graph of one automaton: level `d`
+/// holds the distinct reachable state sets after accepted histories of
+/// length exactly `d`.
+#[derive(Debug, Clone)]
+pub struct SubsetGraph<A: ObjectAutomaton> {
+    arena: SubsetArena<A::State>,
+    alphabet: Vec<A::Op>,
+    levels: Vec<Vec<SubsetNode>>,
+    max_len: usize,
+}
+
+impl<A> SubsetGraph<A>
+where
+    A: ObjectAutomaton + Sync,
+    A::State: Send + Sync,
+    A::Op: Sync,
+{
+    /// Explores the subset graph of `automaton` up to histories of length
+    /// `max_len` over `alphabet`, picking a thread count automatically.
+    pub fn explore(automaton: &A, alphabet: &[A::Op], max_len: usize) -> Self {
+        Self::explore_with_threads(automaton, alphabet, max_len, None)
+    }
+
+    /// [`SubsetGraph::explore`] with an explicit worker-thread count
+    /// (`None` = automatic). The result is identical for every thread
+    /// count; this entry point exists so tests can exercise the parallel
+    /// merge on any machine.
+    pub fn explore_with_threads(
+        automaton: &A,
+        alphabet: &[A::Op],
+        max_len: usize,
+        threads: Option<usize>,
+    ) -> Self {
+        let mut arena = SubsetArena::new();
+        let root = arena.intern(SubsetArena::canonicalize(vec![automaton.initial_state()]));
+        let mut levels = vec![vec![SubsetNode {
+            set: root,
+            multiplicity: 1,
+            parent: SubsetNode::NO_PARENT,
+            op: 0,
+        }]];
+
+        for _ in 0..max_len {
+            let current = levels.last().expect("levels never empty");
+            let nthreads = threads.unwrap_or_else(|| auto_threads(current.len()));
+            let chunks = expand_level(automaton, alphabet, &arena, current, nthreads);
+
+            let mut next: Vec<SubsetNode> = Vec::new();
+            let mut index_of: HashMap<SubsetId, u32> = HashMap::new();
+            let mut parent = 0u32;
+            let mults: Vec<u64> = current.iter().map(|n| n.multiplicity).collect();
+            for chunk in chunks {
+                let globals: Vec<SubsetId> =
+                    chunk.delta.into_iter().map(|s| arena.intern(s)).collect();
+                for per_node in chunk.succs {
+                    let mult = mults[parent as usize];
+                    for (op, succ) in per_node {
+                        let id = match succ {
+                            SetRef::Known(id) => id,
+                            SetRef::Local(local) => globals[local],
+                        };
+                        merge_node(&mut next, &mut index_of, id, mult, parent, op);
+                    }
+                    parent += 1;
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            levels.push(next);
+        }
+
+        SubsetGraph {
+            arena,
+            alphabet: alphabet.to_vec(),
+            levels,
+            max_len,
+        }
+    }
+}
+
+impl<A: ObjectAutomaton> SubsetGraph<A> {
+    /// Distinct accepted histories per length: `result[n]` counts
+    /// histories of length exactly `n`, for `n = 0..=max_len` (padded
+    /// with zeros past any dead end).
+    pub fn sizes(&self) -> Vec<u64> {
+        let mut sizes: Vec<u64> = self
+            .levels
+            .iter()
+            .map(|level| level.iter().map(|n| n.multiplicity).sum())
+            .collect();
+        sizes.resize(self.max_len + 1, 0);
+        sizes
+    }
+
+    /// Total distinct accepted histories of length ≤ `max_len`.
+    pub fn total_size(&self) -> u64 {
+        self.sizes().iter().sum()
+    }
+
+    /// The levels of the graph; `levels()[d][i]` is node `i` at depth `d`.
+    pub fn levels(&self) -> &[Vec<SubsetNode>] {
+        &self.levels
+    }
+
+    /// The states of an interned set.
+    pub fn set(&self, id: SubsetId) -> &[A::State] {
+        self.arena.get(id)
+    }
+
+    /// The widest level, in nodes — the peak memory driver.
+    pub fn peak_level_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total distinct interned state sets.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Reconstructs one concrete history reaching node `index` of level
+    /// `depth`, by following parent pointers to the root.
+    pub fn history_of(&self, depth: usize, index: usize) -> History<A::Op> {
+        let mut ops = Vec::with_capacity(depth);
+        let mut d = depth;
+        let mut i = index;
+        while d > 0 {
+            let node = &self.levels[d][i];
+            ops.push(self.alphabet[node.op as usize].clone());
+            i = node.parent as usize;
+            d -= 1;
+        }
+        ops.reverse();
+        History::from(ops)
+    }
+}
+
+/// Adds multiplicity `mult` for subset `id` to the level under
+/// construction, creating the node (with the given parent edge) on first
+/// sight.
+fn merge_node(
+    next: &mut Vec<SubsetNode>,
+    index_of: &mut HashMap<SubsetId, u32>,
+    id: SubsetId,
+    mult: u64,
+    parent: u32,
+    op: u16,
+) {
+    match index_of.entry(id) {
+        std::collections::hash_map::Entry::Occupied(e) => {
+            next[*e.get() as usize].multiplicity += mult;
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(u32::try_from(next.len()).expect("level exceeds u32 nodes"));
+            next.push(SubsetNode {
+                set: id,
+                multiplicity: mult,
+                parent,
+                op,
+            });
+        }
+    }
+}
+
+/// When a product walk may stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopWhen {
+    /// As soon as either direction has a violation (inclusion/equality
+    /// checks that only need one counterexample).
+    AnyViolation,
+    /// Once both directions have violations, or the frontier dies out
+    /// (strict-inclusion checks need a verdict for each direction).
+    BothViolations,
+    /// Never — walk the whole bounded product (exact per-length counts).
+    Never,
+}
+
+/// Options for [`compare_upto`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompareOptions {
+    /// Also explore histories accepted only by the right automaton.
+    /// Required to detect `L(right) ⊄ L(left)`; plain one-direction
+    /// inclusion checks leave it off and prune right-only nodes.
+    pub walk_right_only: bool,
+    /// When the walk may stop.
+    pub stop: StopWhen,
+    /// Worker-thread count (`None` = automatic).
+    pub threads: Option<usize>,
+}
+
+impl CompareOptions {
+    /// Options for a one-direction `L(left) ⊆ L(right)` check.
+    pub fn inclusion() -> Self {
+        CompareOptions {
+            walk_right_only: false,
+            stop: StopWhen::AnyViolation,
+            threads: None,
+        }
+    }
+
+    /// Options for an equality check (stop at the first difference).
+    pub fn equality() -> Self {
+        CompareOptions {
+            walk_right_only: true,
+            stop: StopWhen::AnyViolation,
+            threads: None,
+        }
+    }
+
+    /// Options for a strict-inclusion check (needs both verdicts).
+    pub fn strictness() -> Self {
+        CompareOptions {
+            walk_right_only: true,
+            stop: StopWhen::BothViolations,
+            threads: None,
+        }
+    }
+
+    /// Options for an exhaustive walk with exact per-length counts.
+    pub fn counting() -> Self {
+        CompareOptions {
+            walk_right_only: true,
+            stop: StopWhen::Never,
+            threads: None,
+        }
+    }
+}
+
+/// The outcome of a product-subset-graph walk.
+#[derive(Debug, Clone)]
+pub struct LanguageComparison<Op> {
+    /// A shallowest history in `L(left) ∖ L(right)` within the bound, if
+    /// any was found before the walk stopped.
+    pub left_not_in_right: Option<History<Op>>,
+    /// A shallowest history in `L(right) ∖ L(left)` within the bound, if
+    /// any was found before the walk stopped (always `None` when
+    /// [`CompareOptions::walk_right_only`] is off).
+    pub right_not_in_left: Option<History<Op>>,
+    /// Distinct histories of `L(left)` per length. Exact only for walks
+    /// that ran to completion with [`StopWhen::Never`] and
+    /// `walk_right_only` on (early stops undercount the tail).
+    pub left_sizes: Vec<u64>,
+    /// Distinct histories of `L(right)` per length (same caveats).
+    pub right_sizes: Vec<u64>,
+    /// Widest product level reached, in nodes.
+    pub peak_level_width: usize,
+    /// The history-length bound walked.
+    pub max_len: usize,
+}
+
+impl<Op> LanguageComparison<Op> {
+    /// Did the two languages agree on everything the walk saw?
+    pub fn agree(&self) -> bool {
+        self.left_not_in_right.is_none() && self.right_not_in_left.is_none()
+    }
+
+    /// Total distinct histories of `L(left)` within the bound.
+    pub fn left_total(&self) -> u64 {
+        self.left_sizes.iter().sum()
+    }
+
+    /// Total distinct histories of `L(right)` within the bound.
+    pub fn right_total(&self) -> u64 {
+        self.right_sizes.iter().sum()
+    }
+}
+
+/// A node of the product subset graph.
+#[derive(Debug, Clone, Copy)]
+struct ProductNode {
+    l: SubsetId,
+    r: SubsetId,
+    multiplicity: u64,
+    parent: u32,
+    op: u16,
+}
+
+/// Per-chunk expansion output for the product walk.
+struct ProductChunk<LS, RS> {
+    succs: Vec<Vec<(u16, SetRef, SetRef)>>,
+    left_delta: Vec<Vec<LS>>,
+    right_delta: Vec<Vec<RS>>,
+}
+
+/// Walks the product subset graph of `left` and `right` up to `max_len`
+/// over `alphabet`, per `options` (see [`CompareOptions`] constructors
+/// for the standard configurations).
+pub fn compare_upto<L, R>(
+    left: &L,
+    right: &R,
+    alphabet: &[L::Op],
+    max_len: usize,
+    options: CompareOptions,
+) -> LanguageComparison<L::Op>
+where
+    L: ObjectAutomaton + Sync,
+    R: ObjectAutomaton<Op = L::Op> + Sync,
+    L::State: Send + Sync,
+    R::State: Send + Sync,
+    L::Op: Sync,
+{
+    let mut left_arena: SubsetArena<L::State> = SubsetArena::new();
+    let mut right_arena: SubsetArena<R::State> = SubsetArena::new();
+    let l0 = left_arena.intern(SubsetArena::canonicalize(vec![left.initial_state()]));
+    let r0 = right_arena.intern(SubsetArena::canonicalize(vec![right.initial_state()]));
+
+    let mut levels = vec![vec![ProductNode {
+        l: l0,
+        r: r0,
+        multiplicity: 1,
+        parent: SubsetNode::NO_PARENT,
+        op: 0,
+    }]];
+    let mut left_sizes = vec![1u64];
+    let mut right_sizes = vec![1u64];
+    let mut peak = 1usize;
+    // (depth, node index) of the shallowest violation per direction.
+    let mut l_violation: Option<(usize, usize)> = None;
+    let mut r_violation: Option<(usize, usize)> = None;
+
+    'walk: for depth in 0..max_len {
+        let current = &levels[depth];
+        let mults: Vec<u64> = current.iter().map(|n| n.multiplicity).collect();
+        let chunks: Vec<ProductChunk<L::State, R::State>> = {
+            let expand_chunk = |chunk: &[ProductNode]| -> ProductChunk<L::State, R::State> {
+                let mut l_interner = DeltaInterner::new(&left_arena);
+                let mut r_interner = DeltaInterner::new(&right_arena);
+                let succs = chunk
+                    .iter()
+                    .map(|node| {
+                        let lnext = if node.l.is_empty() {
+                            vec![Vec::new(); alphabet.len()]
+                        } else {
+                            canonical_successors(left, alphabet, left_arena.get(node.l))
+                        };
+                        let rnext = if node.r.is_empty() {
+                            vec![Vec::new(); alphabet.len()]
+                        } else {
+                            canonical_successors(right, alphabet, right_arena.get(node.r))
+                        };
+                        lnext
+                            .into_iter()
+                            .zip(rnext)
+                            .enumerate()
+                            .filter(|(_, (ls, rs))| {
+                                if options.walk_right_only {
+                                    !ls.is_empty() || !rs.is_empty()
+                                } else {
+                                    !ls.is_empty()
+                                }
+                            })
+                            .map(|(i, (ls, rs))| {
+                                (i as u16, l_interner.resolve(ls), r_interner.resolve(rs))
+                            })
+                            .collect()
+                    })
+                    .collect();
+                ProductChunk {
+                    succs,
+                    left_delta: l_interner.delta,
+                    right_delta: r_interner.delta,
+                }
+            };
+
+            let nthreads = options
+                .threads
+                .unwrap_or_else(|| auto_threads(current.len()))
+                .max(1)
+                .min(current.len().max(1));
+            if nthreads == 1 {
+                vec![expand_chunk(current)]
+            } else {
+                let chunk_size = current.len().div_ceil(nthreads);
+                let expand_chunk = &expand_chunk;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = current
+                        .chunks(chunk_size)
+                        .map(|chunk| scope.spawn(move || expand_chunk(chunk)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("product-walk worker panicked"))
+                        .collect()
+                })
+            }
+        };
+
+        let mut next: Vec<ProductNode> = Vec::new();
+        let mut index_of: HashMap<(SubsetId, SubsetId), u32> = HashMap::new();
+        let mut l_level = 0u64;
+        let mut r_level = 0u64;
+        let mut parent = 0u32;
+        for chunk in chunks {
+            let l_globals: Vec<SubsetId> = chunk
+                .left_delta
+                .into_iter()
+                .map(|s| left_arena.intern(s))
+                .collect();
+            let r_globals: Vec<SubsetId> = chunk
+                .right_delta
+                .into_iter()
+                .map(|s| right_arena.intern(s))
+                .collect();
+            for per_node in chunk.succs {
+                let mult = mults[parent as usize];
+                for (op, lsucc, rsucc) in per_node {
+                    let l = match lsucc {
+                        SetRef::Known(id) => id,
+                        SetRef::Local(local) => l_globals[local],
+                    };
+                    let r = match rsucc {
+                        SetRef::Known(id) => id,
+                        SetRef::Local(local) => r_globals[local],
+                    };
+                    if !l.is_empty() {
+                        l_level += mult;
+                    }
+                    if !r.is_empty() {
+                        r_level += mult;
+                    }
+                    let index = match index_of.entry((l, r)) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            next[*e.get() as usize].multiplicity += mult;
+                            *e.get() as usize
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            let index = next.len();
+                            e.insert(u32::try_from(index).expect("level exceeds u32 nodes"));
+                            next.push(ProductNode {
+                                l,
+                                r,
+                                multiplicity: mult,
+                                parent,
+                                op,
+                            });
+                            index
+                        }
+                    };
+                    if !l.is_empty() && r.is_empty() && l_violation.is_none() {
+                        l_violation = Some((depth + 1, index));
+                    }
+                    if l.is_empty() && !r.is_empty() && r_violation.is_none() {
+                        r_violation = Some((depth + 1, index));
+                    }
+                }
+                parent += 1;
+            }
+        }
+
+        left_sizes.push(l_level);
+        right_sizes.push(r_level);
+        peak = peak.max(next.len());
+        let dead = next.is_empty();
+        levels.push(next);
+
+        let stop = match options.stop {
+            StopWhen::AnyViolation => l_violation.is_some() || r_violation.is_some(),
+            StopWhen::BothViolations => {
+                l_violation.is_some() && (r_violation.is_some() || !options.walk_right_only)
+            }
+            StopWhen::Never => false,
+        };
+        if stop || dead {
+            break 'walk;
+        }
+    }
+
+    let reconstruct = |violation: Option<(usize, usize)>| {
+        violation.map(|(depth, index)| {
+            let mut ops = Vec::with_capacity(depth);
+            let mut d = depth;
+            let mut i = index;
+            while d > 0 {
+                let node = &levels[d][i];
+                ops.push(alphabet[node.op as usize].clone());
+                i = node.parent as usize;
+                d -= 1;
+            }
+            ops.reverse();
+            History::from(ops)
+        })
+    };
+
+    left_sizes.resize(max_len + 1, 0);
+    right_sizes.resize(max_len + 1, 0);
+    LanguageComparison {
+        left_not_in_right: reconstruct(l_violation),
+        right_not_in_left: reconstruct(r_violation),
+        left_sizes,
+        right_sizes,
+        peak_level_width: peak,
+        max_len,
+    }
+}
+
+/// An automaton accepting exactly `L(A) ∩ L(B)`: the synchronized
+/// product. `δ*((a0,b0), H) = δ*_A(H) × δ*_B(H)`, so `H` is accepted iff
+/// both components accept it — which is what lets the lattice checks test
+/// join preservation (`L(φ(c ∨ d)) = L(φ(c)) ∩ L(φ(d))`) without
+/// materializing either language.
+#[derive(Debug, Clone)]
+pub struct IntersectionAutomaton<A, B> {
+    left: A,
+    right: B,
+}
+
+impl<A, B> IntersectionAutomaton<A, B> {
+    /// Builds the synchronized product of two automata over a shared
+    /// alphabet.
+    pub fn new(left: A, right: B) -> Self {
+        IntersectionAutomaton { left, right }
+    }
+}
+
+impl<A, B> ObjectAutomaton for IntersectionAutomaton<A, B>
+where
+    A: ObjectAutomaton,
+    B: ObjectAutomaton<Op = A::Op>,
+{
+    type State = (A::State, B::State);
+    type Op = A::Op;
+
+    fn initial_state(&self) -> Self::State {
+        (self.left.initial_state(), self.right.initial_state())
+    }
+
+    fn step(&self, state: &Self::State, op: &Self::Op) -> Vec<Self::State> {
+        let lefts = self.left.step(&state.0, op);
+        if lefts.is_empty() {
+            return Vec::new();
+        }
+        let rights = self.right.step(&state.1, op);
+        let mut out = Vec::with_capacity(lefts.len() * rights.len());
+        for l in &lefts {
+            for r in &rights {
+                out.push((l.clone(), r.clone()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::naive;
+
+    /// FIFO queue over two items.
+    #[derive(Debug, Clone)]
+    struct Fifo;
+    /// Bag over the same alphabet.
+    #[derive(Debug, Clone)]
+    struct Bag;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Op {
+        Enq(u8),
+        Deq(u8),
+    }
+
+    fn alphabet() -> Vec<Op> {
+        vec![Op::Enq(1), Op::Enq(2), Op::Deq(1), Op::Deq(2)]
+    }
+
+    impl ObjectAutomaton for Fifo {
+        type State = Vec<u8>;
+        type Op = Op;
+        fn initial_state(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn step(&self, s: &Vec<u8>, op: &Op) -> Vec<Vec<u8>> {
+            match op {
+                Op::Enq(x) => {
+                    let mut s2 = s.clone();
+                    s2.push(*x);
+                    vec![s2]
+                }
+                Op::Deq(x) => {
+                    if s.first() == Some(x) {
+                        vec![s[1..].to_vec()]
+                    } else {
+                        vec![]
+                    }
+                }
+            }
+        }
+    }
+
+    impl ObjectAutomaton for Bag {
+        type State = Vec<u8>;
+        type Op = Op;
+        fn initial_state(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn step(&self, s: &Vec<u8>, op: &Op) -> Vec<Vec<u8>> {
+            match op {
+                Op::Enq(x) => {
+                    let mut s2 = s.clone();
+                    s2.push(*x);
+                    s2.sort_unstable();
+                    vec![s2]
+                }
+                Op::Deq(x) => match s.iter().position(|y| y == x) {
+                    Some(i) => {
+                        let mut s2 = s.clone();
+                        s2.remove(i);
+                        vec![s2]
+                    }
+                    None => vec![],
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn arena_hash_conses() {
+        let mut arena: SubsetArena<u8> = SubsetArena::new();
+        let a = arena.intern(vec![1, 2, 3]);
+        let b = arena.intern(vec![1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(arena.len(), 2); // empty + {1,2,3}
+        assert_eq!(arena.lookup(&[1, 2, 3]), Some(a));
+        assert!(arena.lookup(&[9]).is_none());
+        assert_eq!(arena.get(SubsetId::EMPTY), &[] as &[u8]);
+    }
+
+    #[test]
+    fn graph_sizes_match_naive_language() {
+        let graph = SubsetGraph::explore(&Bag, &alphabet(), 5);
+        let naive_lang = naive::language_upto(&Bag, &alphabet(), 5);
+        assert_eq!(graph.total_size() as usize, naive_lang.len());
+        for (n, size) in graph.sizes().iter().enumerate() {
+            let count = naive_lang.iter().filter(|h| h.len() == n).count();
+            assert_eq!(*size as usize, count, "length {n}");
+        }
+    }
+
+    #[test]
+    fn graph_collapses_merged_state_sets() {
+        // In the bag, Enq(1)·Enq(2) and Enq(2)·Enq(1) reach the same
+        // multiset: one node, multiplicity ≥ 2.
+        let graph = SubsetGraph::explore(&Bag, &alphabet(), 2);
+        let level2 = &graph.levels()[2];
+        assert!(level2.iter().any(|n| n.multiplicity >= 2));
+        // The naive frontier would hold one entry per history instead.
+        let per_history: u64 = graph.sizes()[2];
+        assert!((level2.len() as u64) < per_history);
+    }
+
+    #[test]
+    fn histories_reconstruct_through_parent_pointers() {
+        let graph = SubsetGraph::explore(&Fifo, &alphabet(), 4);
+        for (depth, level) in graph.levels().iter().enumerate() {
+            for (i, node) in level.iter().enumerate() {
+                let h = graph.history_of(depth, i);
+                assert_eq!(h.len(), depth);
+                // The reconstructed history really reaches this node's set.
+                let reached =
+                    SubsetArena::canonicalize(Fifo.delta_star(&h).into_iter().collect::<Vec<_>>());
+                assert_eq!(reached.as_slice(), graph.set(node.set));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential() {
+        let seq = SubsetGraph::explore_with_threads(&Bag, &alphabet(), 5, Some(1));
+        for threads in [2, 3, 7] {
+            let par = SubsetGraph::explore_with_threads(&Bag, &alphabet(), 5, Some(threads));
+            assert_eq!(seq.sizes(), par.sizes(), "threads={threads}");
+            assert_eq!(seq.levels().len(), par.levels().len(), "threads={threads}");
+            for (d, (ls, lp)) in seq.levels().iter().zip(par.levels()).enumerate() {
+                assert_eq!(ls.len(), lp.len(), "level {d}, threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_walk_finds_shallowest_violation() {
+        let cmp = compare_upto(&Bag, &Fifo, &alphabet(), 5, CompareOptions::inclusion());
+        let witness = cmp.left_not_in_right.expect("bag not included in fifo");
+        // Shallowest possible out-of-FIFO-order history has length 3.
+        assert_eq!(witness.len(), 3);
+        assert!(Bag.accepts(&witness));
+        assert!(!Fifo.accepts(&witness));
+        assert!(cmp.right_not_in_left.is_none());
+    }
+
+    #[test]
+    fn counting_walk_counts_both_sides() {
+        let cmp = compare_upto(&Fifo, &Bag, &alphabet(), 4, CompareOptions::counting());
+        assert_eq!(
+            cmp.left_total() as usize,
+            naive::language_upto(&Fifo, &alphabet(), 4).len()
+        );
+        assert_eq!(
+            cmp.right_total() as usize,
+            naive::language_upto(&Bag, &alphabet(), 4).len()
+        );
+        assert!(cmp.left_not_in_right.is_none());
+        assert!(cmp.right_not_in_left.is_some());
+    }
+
+    #[test]
+    fn intersection_automaton_accepts_common_language() {
+        let inter = IntersectionAutomaton::new(Fifo, Bag);
+        let lang = naive::language_upto(&inter, &alphabet(), 4);
+        let fifo_lang = naive::language_upto(&Fifo, &alphabet(), 4);
+        let bag_lang = naive::language_upto(&Bag, &alphabet(), 4);
+        let expected: std::collections::HashSet<_> =
+            fifo_lang.intersection(&bag_lang).cloned().collect();
+        assert_eq!(lang, expected);
+    }
+}

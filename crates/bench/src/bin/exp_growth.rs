@@ -5,10 +5,12 @@ use relax_bench::experiments::growth::{semiqueue_growth, taxi_growth};
 
 fn main() {
     println!("== Behavior complexity: |L_n| per lattice point ==\n");
+    // Bounds deepened from 6 to 8 once language_sizes moved to the
+    // subset-graph engine.
     println!("taxi lattice over items {{1,2}} (η vs η′):");
-    println!("{}", taxi_growth(&[1, 2], 6));
+    println!("{}", taxi_growth(&[1, 2], 8));
     println!("semiqueue chain over items {{1,2}}:");
-    println!("{}", semiqueue_growth(&[1, 2], 6, 4));
+    println!("{}", semiqueue_growth(&[1, 2], 8, 4));
     println!("the gap between rows is the anomaly space each constraint rules out —");
     println!("the complexity the designer weighs against the constraint's cost (§5).");
 }

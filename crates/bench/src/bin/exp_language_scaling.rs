@@ -1,0 +1,34 @@
+//! Old-vs-new language-engine scaling: times the retained naive
+//! verification path against the subset-graph engine at increasing
+//! bounds and gates on the deepest one (items {1,2,3}, length ≤ 8 —
+//! the Theorem-4 bound EXPERIMENTS.md records).
+//!
+//! Results go to `BENCH_language_scaling.json`; CI requires
+//! `within_target: true` (engine ≥ 5× faster than naive at the gate
+//! bound, with both paths agreeing on every language size).
+
+use relax_bench::experiments::scaling::{run, to_json, TARGET_SPEEDUP};
+
+fn main() {
+    println!("== Language-engine scaling on the taxi-lattice verification ==\n");
+    let bounds = [
+        (vec![1, 2], 5usize),
+        (vec![1, 2, 3], 5),
+        (vec![1, 2, 3], 6),
+        (vec![1, 2, 3], 7),
+        (vec![1, 2, 3], 8),
+    ];
+    let (table, rows) = run(&bounds);
+    println!("{table}");
+
+    let gate = rows.last().expect("bounds nonempty");
+    println!(
+        "gate: items {:?}, len ≤ {} → {:.2}x (target ≥ {TARGET_SPEEDUP:.0}x, holds={}, agree={})",
+        gate.items, gate.max_len, gate.speedup, gate.holds, gate.agree
+    );
+
+    let json = to_json(&rows);
+    std::fs::write("BENCH_language_scaling.json", &json)
+        .expect("write BENCH_language_scaling.json");
+    println!("\nwrote BENCH_language_scaling.json");
+}

@@ -6,7 +6,7 @@
 //! Operationally, the same replicated system under the same partition
 //! schedule trades *inversions* (η) against *ignored requests* (η′).
 
-use relax_automata::language_upto;
+use relax_automata::language_sizes;
 use relax_core::lattices::eta_prime::TaxiLatticeEtaPrime;
 use relax_core::lattices::taxi::{TaxiLattice, TaxiPoint};
 use relax_queues::{queue_alphabet, Item, QueueOp};
@@ -24,8 +24,13 @@ pub fn language_size_table(max_len: usize) -> Table {
     let eta_prime = TaxiLatticeEtaPrime::new();
     let mut t = Table::new(["point", "|L| with η", "|L| with η′", "relation"]);
     for point in TaxiPoint::all() {
-        let l_eta = language_upto(&eta.qca(point), &alphabet, max_len).len();
-        let l_prime = language_upto(&eta_prime.qca(point), &alphabet, max_len).len();
+        // Counted on the subset graph — no history materialization.
+        let l_eta: usize = language_sizes(&eta.qca(point), &alphabet, max_len)
+            .iter()
+            .sum();
+        let l_prime: usize = language_sizes(&eta_prime.qca(point), &alphabet, max_len)
+            .iter()
+            .sum();
         let relation = match l_eta.cmp(&l_prime) {
             std::cmp::Ordering::Equal => "equal",
             std::cmp::Ordering::Greater => "η′ stricter",

@@ -76,6 +76,20 @@ mod tests {
     }
 
     #[test]
+    fn ssqueue_join_preservation_genuinely_fails_from_length_5() {
+        // Found once the subset-graph engine made bound 5 affordable:
+        // Enq(1)·Enq(2)·Enq(1)·Deq(1)·Deq(1) is accepted by Stuttering_2 and
+        // Semiqueue_2 separately but not by SSqueue_{2,2}, so the two-chain
+        // map preserves joins only up to length 4. Confirmed against the
+        // naive enumerators, so this pins a property of the lattice, not of
+        // the engine.
+        let (_, ok4) = ssqueue_lattice_table(2, 2, 4);
+        assert!(ok4);
+        let (_, ok5) = ssqueue_lattice_table(2, 2, 5);
+        assert!(!ok5);
+    }
+
+    #[test]
     fn figure_4_2_matches_paper() {
         let (t, ok) = figure_4_2(3, 4);
         assert_eq!(t.len(), 3);

@@ -11,6 +11,7 @@ pub mod latency;
 pub mod lattices;
 pub mod markov;
 pub mod prob;
+pub mod scaling;
 pub mod serialdep;
 pub mod theorem4;
 pub mod voting;

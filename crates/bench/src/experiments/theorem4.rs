@@ -7,12 +7,19 @@ use crate::table::Table;
 /// Runs the verification and renders the per-point table.
 pub fn run(items: &[i64], max_len: usize) -> (Table, TaxiVerification) {
     let v = verify_taxi_lattice(items, max_len);
-    let mut t = Table::new(["point", "claimed behavior", "|L| (≤ bound)", "verdict"]);
+    let mut t = Table::new([
+        "point",
+        "claimed behavior",
+        "|L| (≤ bound)",
+        "peak nodes",
+        "verdict",
+    ]);
     for p in &v.points {
         t.row([
             format!("Q1={} Q2={}", p.point.q1 as u8, p.point.q2 as u8),
             p.behavior.to_string(),
             p.language_size.to_string(),
+            p.peak_frontier.to_string(),
             if p.holds() {
                 "EQUAL".to_string()
             } else {

@@ -90,7 +90,7 @@ impl TaxiReference {
 }
 
 /// State of [`TaxiReference`] (a sum over the four behaviors' states).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TaxiRefState {
     /// Priority-queue / OPQ / DegenPQ state: a bag.
     Bag(Bag<Item>),

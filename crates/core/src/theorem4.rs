@@ -8,7 +8,8 @@
 //! induction — and does the same for the other lattice points:
 //! `{Q1, Q2} ↔ PQ`, `{Q2} ↔ OPQ`, `∅ ↔ DegenPQ`.
 
-use relax_automata::{equal_upto, language_upto, History, LanguageDifference};
+use relax_automata::language::naive;
+use relax_automata::{compare_upto, CompareOptions, History, LanguageDifference};
 use relax_queues::{queue_alphabet, Item, QueueOp};
 
 use crate::lattices::taxi::{TaxiLattice, TaxiPoint};
@@ -22,6 +23,10 @@ pub struct PointVerification {
     pub behavior: &'static str,
     /// Number of histories in the (common) language up to the bound.
     pub language_size: usize,
+    /// Peak working-set width of the check: for the subset-graph engine
+    /// the widest product level in *nodes*; for the naive enumerator the
+    /// widest per-length frontier in *histories*.
+    pub peak_frontier: usize,
     /// `None` if the languages agree up to the bound; otherwise the
     /// difference.
     pub difference: Option<LanguageDifference<QueueOp>>,
@@ -51,6 +56,16 @@ impl TaxiVerification {
         self.points.iter().all(PointVerification::holds)
     }
 
+    /// The widest working set across all points (see
+    /// [`PointVerification::peak_frontier`] for units).
+    pub fn peak_frontier(&self) -> usize {
+        self.points
+            .iter()
+            .map(|p| p.peak_frontier)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The Theorem-4 point (`{Q1}` ↔ MPQ) specifically.
     pub fn theorem_4(&self) -> &PointVerification {
         self.points
@@ -63,6 +78,12 @@ impl TaxiVerification {
 /// Runs the bounded verification: for each of the four lattice points,
 /// checks `L(QCA(PQ, R, η)) = L(reference)` for histories of length
 /// ≤ `max_len` over `items`.
+///
+/// Each point is a **single** product-subset-graph walk
+/// ([`compare_upto`] in counting mode): the same pass decides equality in
+/// both directions *and* counts the language, where the old
+/// implementation ran `equal_upto` and then re-enumerated the entire
+/// language just for its size.
 pub fn verify_taxi_lattice(items: &[Item], max_len: usize) -> TaxiVerification {
     let lattice = TaxiLattice::new();
     let alphabet = queue_alphabet(items);
@@ -70,12 +91,59 @@ pub fn verify_taxi_lattice(items: &[Item], max_len: usize) -> TaxiVerification {
     for point in TaxiPoint::all() {
         let qca = lattice.qca(point);
         let reference = lattice.reference(point);
-        let difference = equal_upto(&qca, &reference, &alphabet, max_len).err();
-        let language_size = language_upto(&qca, &alphabet, max_len).len();
+        let cmp = compare_upto(
+            &qca,
+            &reference,
+            &alphabet,
+            max_len,
+            CompareOptions::counting(),
+        );
+        let difference = cmp
+            .left_not_in_right
+            .clone()
+            .map(LanguageDifference::LeftNotInRight)
+            .or_else(|| {
+                cmp.right_not_in_left
+                    .clone()
+                    .map(LanguageDifference::RightNotInLeft)
+            });
         points.push(PointVerification {
             point,
             behavior: point.behavior_name(),
-            language_size,
+            language_size: cmp.left_total() as usize,
+            peak_frontier: cmp.peak_level_width,
+            difference,
+        });
+    }
+    TaxiVerification {
+        points,
+        items: items.to_vec(),
+        max_len,
+    }
+}
+
+/// The pre-engine implementation of [`verify_taxi_lattice`]: a two-pass
+/// naive `equal_upto` followed by a full naive language enumeration per
+/// point. Kept as the reference for differential tests and as the
+/// baseline the `exp_language_scaling` benchmark measures against.
+pub fn verify_taxi_lattice_naive(items: &[Item], max_len: usize) -> TaxiVerification {
+    let lattice = TaxiLattice::new();
+    let alphabet = queue_alphabet(items);
+    let mut points = Vec::new();
+    for point in TaxiPoint::all() {
+        let qca = lattice.qca(point);
+        let reference = lattice.reference(point);
+        let difference = naive::equal_upto(&qca, &reference, &alphabet, max_len).err();
+        let language = naive::language_upto(&qca, &alphabet, max_len);
+        let mut by_len = vec![0usize; max_len + 1];
+        for h in &language {
+            by_len[h.len()] += 1;
+        }
+        points.push(PointVerification {
+            point,
+            behavior: point.behavior_name(),
+            language_size: language.len(),
+            peak_frontier: by_len.into_iter().max().unwrap_or(0),
             difference,
         });
     }
@@ -136,6 +204,28 @@ mod tests {
         assert!(v.holds(), "some point failed: {:?}", v.points);
         assert!(v.theorem_4().holds());
         assert_eq!(v.theorem_4().behavior, "multi-priority queue");
+    }
+
+    #[test]
+    fn language_sizes_match_published_f_table() {
+        // Fixed point of record: over items {1, 2} at length ≤ 5 the four
+        // lattice languages have exactly these many distinct histories
+        // (the F-table recorded in EXPERIMENTS.md since the seed).
+        let v = verify_taxi_lattice(&[1, 2], 5);
+        assert!(v.holds());
+        let sizes: Vec<usize> = v.points.iter().map(|p| p.language_size).collect();
+        assert_eq!(sizes, vec![209, 269, 287, 373]);
+    }
+
+    #[test]
+    fn engine_verification_matches_naive() {
+        let engine = verify_taxi_lattice(&[1, 2], 4);
+        let naive = verify_taxi_lattice_naive(&[1, 2], 4);
+        for (e, n) in engine.points.iter().zip(&naive.points) {
+            assert_eq!(e.point, n.point);
+            assert_eq!(e.language_size, n.language_size, "{:?}", e.point);
+            assert_eq!(e.holds(), n.holds(), "{:?}", e.point);
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::bag::Bag;
 use crate::ops::{Item, QueueOp};
 
 /// The MPQ value: `record of [present: Q, absent: Q]`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Mpq {
     /// Requests enqueued but not yet dequeued.
     pub present: Bag<Item>,

@@ -16,7 +16,7 @@ use crate::ops::{Item, QueueOp};
 
 /// The SSqueue value: a sequence of `(item, returns-so-far)` pairs,
 /// oldest first.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SsState {
     entries: Vec<(Item, u32)>,
 }

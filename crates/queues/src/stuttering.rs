@@ -19,7 +19,7 @@ use crate::fifo::Fifo;
 use crate::ops::{Item, QueueOp};
 
 /// The stuttering-queue value: items plus the head's return count.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct StutQ {
     /// The queued items (front = head).
     pub items: Fifo<Item>,

@@ -20,7 +20,7 @@ use relax_automata::{History, ObjectAutomaton};
 use relax_queues::{Eval, ValueSpec};
 
 use crate::relation::{HasKind, IntersectionRelation};
-use crate::view::q_views;
+use crate::view::{closure_pred_masks, is_q_closed_with_preds, q_views, required_mask};
 
 /// The quorum consensus automaton.
 ///
@@ -83,7 +83,7 @@ where
 impl<S, E> ObjectAutomaton for QcaAutomaton<S, E>
 where
     S: ValueSpec,
-    S::Op: HasKind + Clone + Eq + std::hash::Hash + std::fmt::Debug,
+    S::Op: HasKind + Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug,
     E: Eval<Value = S::Value, Op = S::Op>,
 {
     /// The accepted history so far (§3.2: "the automaton's state is simply
@@ -109,6 +109,76 @@ where
         } else {
             vec![]
         }
+    }
+
+    /// Batched transition: checks every alphabet operation against the
+    /// views of `h` in one pass instead of re-enumerating views per
+    /// operation (this is the hot path of the subset-graph engine).
+    ///
+    /// Operations sharing an invocation kind have identical required
+    /// masks, so views are enumerated once per kind group; Q-closure is
+    /// checked against precomputed per-position predecessor masks; `η(G)`
+    /// is folded once per view and extended to `η(G·p)` incrementally via
+    /// [`Eval::apply`]; a group stops scanning views as soon as all its
+    /// operations are enabled.
+    fn step_all(&self, h: &History<S::Op>, alphabet: &[S::Op]) -> Vec<Vec<History<S::Op>>> {
+        let ops = h.ops();
+        assert!(
+            ops.len() < 64,
+            "step_all is for bounded histories (< 64 ops)"
+        );
+        let n = ops.len();
+        let preds = closure_pred_masks(h, &self.relation);
+        let mut out: Vec<Vec<History<S::Op>>> = vec![Vec::new(); alphabet.len()];
+
+        // Group alphabet indices by invocation kind.
+        let mut groups: Vec<(<S::Op as HasKind>::Kind, Vec<usize>)> = Vec::new();
+        for (i, p) in alphabet.iter().enumerate() {
+            let kind = p.invocation_kind();
+            match groups.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((kind, vec![i])),
+            }
+        }
+
+        for (kind, idxs) in groups {
+            let required = required_mask(h, kind, &self.relation);
+            let free = !required & ((1u64 << n) - 1);
+            let mut pending = idxs;
+            let mut subset = 0u64;
+            loop {
+                let mask = required | subset;
+                if is_q_closed_with_preds(mask, &preds) {
+                    // η(G), folded once and shared by every pending op.
+                    let mut v = self.eta.initial();
+                    let mut rest = mask;
+                    while rest != 0 {
+                        let i = rest.trailing_zeros() as usize;
+                        v = self.eta.apply(&v, &ops[i]);
+                        rest &= rest - 1;
+                    }
+                    pending.retain(|&ai| {
+                        let p = &alphabet[ai];
+                        if self.spec.pre(&v, p) {
+                            let v2 = self.eta.apply(&v, p);
+                            if self.spec.post(&v, p, &v2) {
+                                out[ai] = vec![h.appended(p.clone())];
+                                return false;
+                            }
+                        }
+                        true
+                    });
+                    if pending.is_empty() {
+                        break;
+                    }
+                }
+                if subset == free {
+                    break;
+                }
+                subset = (subset.wrapping_sub(free)) & free;
+            }
+        }
+        out
     }
 }
 
@@ -203,6 +273,33 @@ mod tests {
         // Exactly the view that omits the earlier Deq enables a duplicate.
         assert_eq!(views.len(), 1);
         assert_eq!(views[0], History::from(vec![QueueOp::Enq(5)]));
+    }
+
+    #[test]
+    fn step_all_matches_per_op_step() {
+        // The batched transition (kind-grouped views, incremental η) must
+        // agree exactly with the naive per-operation `step` on every
+        // reachable history.
+        let alphabet = queue_alphabet(&[1, 2]);
+        for (q1, q2) in [(true, true), (true, false), (false, true), (false, false)] {
+            let a = qca(q1, q2);
+            let mut frontier = vec![History::empty()];
+            for _ in 0..4 {
+                let mut next = Vec::new();
+                for h in &frontier {
+                    let batched = a.step_all(h, &alphabet);
+                    for (i, p) in alphabet.iter().enumerate() {
+                        assert_eq!(
+                            batched[i],
+                            a.step(h, p),
+                            "batched/naive disagree on {h:?} · {p:?} under ({q1},{q2})"
+                        );
+                        next.extend(batched[i].iter().cloned());
+                    }
+                }
+                frontier = next;
+            }
+        }
     }
 
     #[test]

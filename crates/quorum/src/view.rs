@@ -40,6 +40,63 @@ pub fn is_q_closed_mask<Op: HasKind>(
     true
 }
 
+/// The required-positions mask for an invocation of kind `inv_kind` over
+/// `h` (Definition 2, clause 1): bit `i` is set iff `inv(p) Q h[i]`. Every
+/// Q-view of `h` for `p` is a superset of this mask.
+pub fn required_mask<Op: HasKind>(
+    h: &History<Op>,
+    inv_kind: Op::Kind,
+    q: &IntersectionRelation<Op::Kind>,
+) -> u64 {
+    let mut required = 0u64;
+    for (i, op) in h.ops().iter().enumerate() {
+        if q.relates(inv_kind, op.kind()) {
+            required |= 1 << i;
+        }
+    }
+    required
+}
+
+/// Per-position predecessor masks for Q-closure: `preds[i]` has bit `j`
+/// set iff `j < i` and `inv(h[i]) Q h[j]`, i.e. including position `i` in
+/// a subhistory forces every position in `preds[i]`. Precomputing these
+/// turns each closure check from an `O(n²)` relation scan into one
+/// bit-test per included position (see [`is_q_closed_with_preds`]).
+pub fn closure_pred_masks<Op: HasKind>(
+    h: &History<Op>,
+    q: &IntersectionRelation<Op::Kind>,
+) -> Vec<u64> {
+    let ops = h.ops();
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let inv_kind = op.invocation_kind();
+            let mut mask = 0u64;
+            for (j, earlier) in ops.iter().enumerate().take(i) {
+                if q.relates(inv_kind, earlier.kind()) {
+                    mask |= 1 << j;
+                }
+            }
+            mask
+        })
+        .collect()
+}
+
+/// Q-closure check against masks precomputed by [`closure_pred_masks`]:
+/// `mask` is Q-closed iff every included position's predecessors are also
+/// included.
+pub fn is_q_closed_with_preds(mask: u64, preds: &[u64]) -> bool {
+    let mut rest = mask;
+    while rest != 0 {
+        let i = rest.trailing_zeros() as usize;
+        if preds[i] & !mask != 0 {
+            return false;
+        }
+        rest &= rest - 1;
+    }
+    true
+}
+
 /// Is `g` (as a subsequence of `h`) Q-closed? Convenience wrapper that
 /// finds `g`'s positions in `h` greedily; for precise control use
 /// [`is_q_closed_mask`].
@@ -84,15 +141,7 @@ pub fn q_views<Op: HasKind + Clone>(
         "q_views is for bounded histories (< 64 ops)"
     );
     let n = ops.len();
-    let inv_kind = p.invocation_kind();
-
-    // Required positions: every operation related to inv(p).
-    let mut required = 0u64;
-    for (i, op) in ops.iter().enumerate() {
-        if q.relates(inv_kind, op.kind()) {
-            required |= 1 << i;
-        }
-    }
+    let required = required_mask(h, p.invocation_kind(), q);
 
     let mut views = Vec::new();
     // Enumerate supersets of `required` among all position subsets.
