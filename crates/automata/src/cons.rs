@@ -1,0 +1,228 @@
+//! A single-probe hash-consing table.
+//!
+//! `std::collections::HashMap` offers no stable entry API keyed by a
+//! precomputed hash, so the arena's original `lookup`-then-`insert`
+//! interning hashed every set twice (and probed twice). [`ConsTable`] is
+//! a minimal open-addressing table storing `(hash, id)` pairs: callers
+//! hash a candidate **once**, probe **once** via [`ConsTable::entry`],
+//! and either get the existing id back or fill the vacant slot they were
+//! handed — the classic raw-entry pattern, with the keys themselves held
+//! in the caller's own dense storage (a `Vec` indexed by id).
+//!
+//! Growth rehashes from the stored hashes alone, so no key access (and
+//! no re-hashing of keys) is ever needed after insertion.
+
+/// The sentinel id marking a vacant slot. Ids must stay below this.
+const VACANT: u32 = u32::MAX;
+
+/// One slot: the full 64-bit hash (cheap early-out on probe collisions)
+/// plus the caller's id for the key.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    hash: u64,
+    id: u32,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    hash: 0,
+    id: VACANT,
+};
+
+/// An open-addressing (linear probing) index from 64-bit hashes to
+/// caller-owned `u32` ids, with a single-probe entry API.
+#[derive(Debug, Clone)]
+pub struct ConsTable {
+    /// Power-of-two slot array.
+    slots: Vec<Slot>,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+/// The result of probing a [`ConsTable`] for a hash: either the id of an
+/// existing matching key, or the vacant slot where it belongs.
+pub enum Entry<'a> {
+    /// A key with this hash for which `is_match` returned true is already
+    /// present, under the contained id.
+    Occupied(u32),
+    /// No matching key; insert through the handle without re-probing.
+    Vacant(VacantEntry<'a>),
+}
+
+/// A claim on the vacant slot found by [`ConsTable::entry`].
+pub struct VacantEntry<'a> {
+    table: &'a mut ConsTable,
+    index: usize,
+    hash: u64,
+}
+
+impl VacantEntry<'_> {
+    /// Records `id` in the claimed slot. The caller stores the key itself
+    /// at `id` in its own dense storage.
+    pub fn insert(self, id: u32) {
+        debug_assert!(id < VACANT, "id space exhausted");
+        self.table.slots[self.index] = Slot {
+            hash: self.hash,
+            id,
+        };
+        self.table.len += 1;
+    }
+}
+
+impl ConsTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ConsTable {
+            slots: vec![EMPTY_SLOT; 16],
+            len: 0,
+        }
+    }
+
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are interned.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Single-probe lookup: the id of a present key with this hash for
+    /// which `is_match` returns true.
+    pub fn get(&self, hash: u64, mut is_match: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot.id == VACANT {
+                return None;
+            }
+            if slot.hash == hash && is_match(slot.id) {
+                return Some(slot.id);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Single-probe intern: finds the id of a present matching key, or
+    /// hands back the vacant slot to fill — the hash is computed by the
+    /// caller exactly once per candidate, and the probe sequence is
+    /// walked exactly once.
+    pub fn entry(&mut self, hash: u64, mut is_match: impl FnMut(u32) -> bool) -> Entry<'_> {
+        // Keep the load factor below 7/8 *before* probing, so the vacant
+        // slot we hand out stays valid.
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot.id == VACANT {
+                return Entry::Vacant(VacantEntry {
+                    table: self,
+                    index: i,
+                    hash,
+                });
+            }
+            if slot.hash == hash && is_match(slot.id) {
+                return Entry::Occupied(slot.id);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Doubles the slot array, reinserting from stored hashes (keys are
+    /// never touched).
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
+        let mask = new_cap - 1;
+        for slot in old {
+            if slot.id == VACANT {
+                continue;
+            }
+            let mut i = slot.hash as usize & mask;
+            while self.slots[i].id != VACANT {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = slot;
+        }
+    }
+}
+
+impl Default for ConsTable {
+    fn default() -> Self {
+        ConsTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    /// Intern `value` into `(table, keys)`, returning (id, was_new).
+    fn intern(table: &mut ConsTable, keys: &mut Vec<String>, value: &str) -> (u32, bool) {
+        let hash = hash_of(&value);
+        match table.entry(hash, |id| keys[id as usize] == value) {
+            Entry::Occupied(id) => (id, false),
+            Entry::Vacant(slot) => {
+                let id = keys.len() as u32;
+                keys.push(value.to_string());
+                slot.insert(id);
+                (id, true)
+            }
+        }
+    }
+
+    #[test]
+    fn interning_is_stable_across_growth() {
+        let mut table = ConsTable::new();
+        let mut keys = Vec::new();
+        // Enough keys to force several growths past the initial 16 slots.
+        let ids: Vec<u32> = (0..1000)
+            .map(|i| intern(&mut table, &mut keys, &format!("key-{i}")).0)
+            .collect();
+        assert_eq!(table.len(), 1000);
+        // Every id is dense and stable: re-interning and direct lookup
+        // both return the original id after all the growth.
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(id as usize, i);
+            let key = format!("key-{i}");
+            let (again, new) = intern(&mut table, &mut keys, &key);
+            assert_eq!(again, id);
+            assert!(!new);
+            let hash = hash_of(&key.as_str());
+            assert_eq!(table.get(hash, |id| keys[id as usize] == key), Some(id));
+        }
+        assert_eq!(table.len(), 1000);
+    }
+
+    #[test]
+    fn get_distinguishes_colliding_hashes() {
+        // Force two different keys through the same hash by lying about
+        // the hash: the is_match callback must disambiguate.
+        let mut table = ConsTable::new();
+        let keys = ["a", "b"];
+        match table.entry(42, |_| false) {
+            Entry::Vacant(v) => v.insert(0),
+            Entry::Occupied(_) => unreachable!(),
+        }
+        match table.entry(42, |id| keys[id as usize] == "b") {
+            Entry::Vacant(v) => v.insert(1),
+            Entry::Occupied(_) => panic!("should not match"),
+        }
+        assert_eq!(table.get(42, |id| keys[id as usize] == "a"), Some(0));
+        assert_eq!(table.get(42, |id| keys[id as usize] == "b"), Some(1));
+        assert_eq!(table.get(42, |id| keys[id as usize] == "c"), None);
+        assert_eq!(table.get(7, |_| true), None);
+    }
+}

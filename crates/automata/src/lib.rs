@@ -65,14 +65,18 @@
 #![forbid(unsafe_code)]
 
 pub mod automaton;
+pub mod cons;
 pub mod constraint;
 pub mod environment;
 pub mod history;
 pub mod language;
 pub mod lattice;
+pub mod multiwalk;
 pub mod random;
 pub mod rng;
+pub mod small;
 pub mod subset;
+pub mod symmetry;
 
 /// Convenient re-exports of the crate's main types.
 pub mod prelude {
@@ -85,11 +89,16 @@ pub mod prelude {
         Counterexample, LanguageDifference, StrictInclusionFailure,
     };
     pub use crate::lattice::{check_reverse_inclusion_lattice, LatticeCheck, RelaxationMap};
+    pub use crate::multiwalk::{multi_compare_upto, DenseArena, MultiComparison};
     pub use crate::random::{random_history, RandomWalk};
     pub use crate::rng::SplitMix64;
     pub use crate::subset::{
         compare_upto, CompareOptions, IntersectionAutomaton, LanguageComparison, StopWhen,
         SubsetArena, SubsetGraph, SubsetId, SubsetNode,
+    };
+    pub use crate::symmetry::{
+        check_equivariance, compare_upto_reduced, ReducedSubsetGraph, SymmetryPolicy,
+        TrivialSymmetry,
     };
 }
 
@@ -102,9 +111,13 @@ pub use language::{
     Counterexample, LanguageDifference, StrictInclusionFailure,
 };
 pub use lattice::{check_reverse_inclusion_lattice, LatticeCheck, RelaxationMap};
+pub use multiwalk::{multi_compare_upto, DenseArena, MultiComparison};
 pub use random::{random_history, RandomWalk};
 pub use rng::SplitMix64;
 pub use subset::{
     compare_upto, CompareOptions, IntersectionAutomaton, LanguageComparison, StopWhen, SubsetArena,
     SubsetGraph, SubsetId, SubsetNode,
+};
+pub use symmetry::{
+    check_equivariance, compare_upto_reduced, ReducedSubsetGraph, SymmetryPolicy, TrivialSymmetry,
 };

@@ -1,0 +1,529 @@
+//! One shared subset walk for a whole family of comparisons.
+//!
+//! The Theorem-4 taxi verification runs **four** product walks — one per
+//! lattice point — over the *same* alphabet and the same length bound.
+//! Those walks re-explore enormously overlapping history sets and
+//! re-intern near-identical state sets four times. This module walks the
+//! bounded history space **once**: a node is the tuple of all `N`
+//! points' (left set, right set) pairs, histories collapsing whenever
+//! the whole tuple matches. Per-point per-length counts, verdicts, and
+//! shallowest witnesses come out identical to `N` separate
+//! [`crate::subset::compare_upto`] calls with
+//! [`CompareOptions::counting`](crate::subset::CompareOptions::counting).
+//!
+//! Two sharing layers make the tuple walk cheap:
+//!
+//! * [`DenseArena`] — states and state *sets* are interned to dense
+//!   `u32` ids in flat storage shared by all points on a side, with
+//!   single-probe [`ConsTable`] probing and set payloads packed
+//!   end-to-end in one `Vec<u32>` (cache-friendly, one allocation
+//!   amortized over every set).
+//! * **Successor-row memoization** — for each point, the successor
+//!   set-ids of each set-id under every alphabet symbol are computed
+//!   once and reused by every tuple node containing that set. Points
+//!   whose component automata coincide on a history prefix hit the same
+//!   rows.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use crate::automaton::ObjectAutomaton;
+use crate::cons::{ConsTable, Entry};
+use crate::subset::{reconstruct_path, LanguageComparison};
+
+/// Dense interner for states and sorted state-id sets.
+///
+/// States get dense `u32` ids in insertion order; canonical sets of
+/// state ids are packed end-to-end in one flat `u32` buffer and
+/// identified by dense set ids. **Set id 0 is always the empty set.**
+/// Both layers use single-probe [`ConsTable`] interning.
+#[derive(Debug, Clone)]
+pub struct DenseArena<S> {
+    states: Vec<S>,
+    state_table: ConsTable,
+    data: Vec<u32>,
+    spans: Vec<(u32, u32)>,
+    set_table: ConsTable,
+}
+
+/// The set id of the empty set in every [`DenseArena`].
+pub const EMPTY_SET: u32 = 0;
+
+impl<S: Clone + Eq + Ord + Hash> DenseArena<S> {
+    /// An arena holding only the empty set (id [`EMPTY_SET`]).
+    pub fn new() -> Self {
+        let mut arena = DenseArena {
+            states: Vec::new(),
+            state_table: ConsTable::new(),
+            data: Vec::new(),
+            spans: Vec::new(),
+            set_table: ConsTable::new(),
+        };
+        let empty = arena.intern_set(Vec::new());
+        debug_assert_eq!(empty, EMPTY_SET);
+        arena
+    }
+
+    fn hash_state(s: &S) -> u64 {
+        let mut h = DefaultHasher::new();
+        s.hash(&mut h);
+        h.finish()
+    }
+
+    fn hash_ids(ids: &[u32]) -> u64 {
+        let mut h = DefaultHasher::new();
+        ids.hash(&mut h);
+        h.finish()
+    }
+
+    /// Interns a state, returning its dense id (stable thereafter).
+    pub fn intern_state(&mut self, s: &S) -> u32 {
+        let hash = Self::hash_state(s);
+        let states = &self.states;
+        match self.state_table.entry(hash, |id| &states[id as usize] == s) {
+            Entry::Occupied(id) => id,
+            Entry::Vacant(slot) => {
+                let id = u32::try_from(self.states.len()).expect("arena exceeds u32 state ids");
+                slot.insert(id);
+                self.states.push(s.clone());
+                id
+            }
+        }
+    }
+
+    /// Interns a set of state ids (canonicalized in place: sorted,
+    /// deduplicated), returning its dense set id.
+    pub fn intern_set(&mut self, mut ids: Vec<u32>) -> u32 {
+        ids.sort_unstable();
+        ids.dedup();
+        let hash = Self::hash_ids(&ids);
+        let data = &self.data;
+        let spans = &self.spans;
+        match self.set_table.entry(hash, |id| {
+            let (start, len) = spans[id as usize];
+            data[start as usize..(start + len) as usize] == *ids
+        }) {
+            Entry::Occupied(id) => id,
+            Entry::Vacant(slot) => {
+                let id = u32::try_from(self.spans.len()).expect("arena exceeds u32 set ids");
+                slot.insert(id);
+                let start = u32::try_from(self.data.len()).expect("arena data exceeds u32 span");
+                let len = u32::try_from(ids.len()).expect("set exceeds u32 members");
+                self.data.extend_from_slice(&ids);
+                self.spans.push((start, len));
+                id
+            }
+        }
+    }
+
+    /// The member state ids of an interned set.
+    pub fn set(&self, id: u32) -> &[u32] {
+        let (start, len) = self.spans[id as usize];
+        &self.data[start as usize..(start + len) as usize]
+    }
+
+    /// The state behind a dense state id.
+    pub fn state(&self, id: u32) -> &S {
+        &self.states[id as usize]
+    }
+
+    /// Number of interned sets (including the empty set).
+    pub fn set_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Number of interned states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+}
+
+impl<S: Clone + Eq + Ord + Hash> Default for DenseArena<S> {
+    fn default() -> Self {
+        DenseArena::new()
+    }
+}
+
+/// The per-point successor set-ids of `set_id` under every alphabet
+/// symbol ([`EMPTY_SET`] where `δ` is undefined).
+fn compute_row<A: ObjectAutomaton>(
+    automaton: &A,
+    alphabet: &[A::Op],
+    arena: &mut DenseArena<A::State>,
+    set_id: u32,
+) -> Box<[u32]>
+where
+    A::State: Clone + Eq + Ord + Hash,
+{
+    let members: Vec<u32> = arena.set(set_id).to_vec();
+    let mut per_op: Vec<Vec<u32>> = vec![Vec::new(); alphabet.len()];
+    for sid in members {
+        // Clone out: interning successors may reallocate the state store.
+        let state = arena.state(sid).clone();
+        for (i, succs) in automaton.step_all(&state, alphabet).into_iter().enumerate() {
+            for t in &succs {
+                per_op[i].push(arena.intern_state(t));
+            }
+        }
+    }
+    per_op
+        .into_iter()
+        .map(|ids| arena.intern_set(ids))
+        .collect()
+}
+
+/// Memoized [`compute_row`]: fills `rows[set_id]` on first demand.
+fn ensure_row<A: ObjectAutomaton>(
+    automaton: &A,
+    alphabet: &[A::Op],
+    arena: &mut DenseArena<A::State>,
+    rows: &mut Vec<Option<Box<[u32]>>>,
+    set_id: u32,
+) where
+    A::State: Clone + Eq + Ord + Hash,
+{
+    let idx = set_id as usize;
+    if rows.len() <= idx {
+        rows.resize_with(idx + 1, || None);
+    }
+    if rows[idx].is_none() {
+        let row = compute_row(automaton, alphabet, arena, set_id);
+        rows[idx] = Some(row);
+    }
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// One node of the shared walk: the `N` points' (left, right) set ids
+/// for one class of histories, plus the class's exact history count.
+#[derive(Debug, Clone, Copy)]
+struct MultiNode<const N: usize> {
+    l: [u32; N],
+    r: [u32; N],
+    multiplicity: u64,
+    parent: u32,
+    op: u16,
+}
+
+/// The outcome of a shared multi-point walk.
+#[derive(Debug, Clone)]
+pub struct MultiComparison<Op> {
+    /// Per-point results, in input order — each equivalent to a separate
+    /// [`crate::subset::compare_upto`] with counting options (the
+    /// `peak_level_width` field reports the *shared* walk's peak for
+    /// every point, since there is only one walk).
+    pub points: Vec<LanguageComparison<Op>>,
+    /// Widest shared level, in tuple nodes.
+    pub peak_level_width: usize,
+    /// Distinct left-side state sets interned across all points.
+    pub left_sets: usize,
+    /// Distinct right-side state sets interned across all points.
+    pub right_sets: usize,
+}
+
+/// Walks the `N` product languages `L(lefts[p])` vs `L(rights[p])` in
+/// **one** shared bounded walk (exhaustive to `max_len`, both sides —
+/// the equivalent of per-point
+/// [`CompareOptions::counting`](crate::subset::CompareOptions::counting)).
+/// Per-length counts are exact, verdict witnesses are shallowest.
+///
+/// All left automata must share a state type, as must all right
+/// automata; the points themselves may differ arbitrarily (the taxi
+/// lattice: same Rep-view machine type at four `(q1, q2)` points).
+pub fn multi_compare_upto<L, R, const N: usize>(
+    lefts: &[L; N],
+    rights: &[R; N],
+    alphabet: &[L::Op],
+    max_len: usize,
+) -> MultiComparison<L::Op>
+where
+    L: ObjectAutomaton,
+    R: ObjectAutomaton<Op = L::Op>,
+    L::State: Clone + Eq + Ord + Hash,
+    R::State: Clone + Eq + Ord + Hash,
+{
+    assert!(N > 0, "multi_compare_upto needs at least one point");
+    let mut left_arena: DenseArena<L::State> = DenseArena::new();
+    let mut right_arena: DenseArena<R::State> = DenseArena::new();
+    let mut left_rows: Vec<Vec<Option<Box<[u32]>>>> = vec![Vec::new(); N];
+    let mut right_rows: Vec<Vec<Option<Box<[u32]>>>> = vec![Vec::new(); N];
+
+    let mut l0 = [EMPTY_SET; N];
+    let mut r0 = [EMPTY_SET; N];
+    for p in 0..N {
+        let ls = left_arena.intern_state(&lefts[p].initial_state());
+        l0[p] = left_arena.intern_set(vec![ls]);
+        let rs = right_arena.intern_state(&rights[p].initial_state());
+        r0[p] = right_arena.intern_set(vec![rs]);
+    }
+
+    let mut levels: Vec<Vec<MultiNode<N>>> = vec![vec![MultiNode {
+        l: l0,
+        r: r0,
+        multiplicity: 1,
+        parent: NO_PARENT,
+        op: 0,
+    }]];
+    let mut left_sizes = vec![vec![1u64]; N];
+    let mut right_sizes = vec![vec![1u64]; N];
+    let mut l_violation: Vec<Option<(usize, usize)>> = vec![None; N];
+    let mut r_violation: Vec<Option<(usize, usize)>> = vec![None; N];
+    let mut peak = 1usize;
+
+    for depth in 0..max_len {
+        let mut next: Vec<MultiNode<N>> = Vec::new();
+        let mut index_of: HashMap<([u32; N], [u32; N]), u32> = HashMap::new();
+        let mut l_level = [0u64; N];
+        let mut r_level = [0u64; N];
+        for (node_index, &node) in levels[depth].iter().enumerate() {
+            for p in 0..N {
+                if node.l[p] != EMPTY_SET {
+                    ensure_row(
+                        &lefts[p],
+                        alphabet,
+                        &mut left_arena,
+                        &mut left_rows[p],
+                        node.l[p],
+                    );
+                }
+                if node.r[p] != EMPTY_SET {
+                    ensure_row(
+                        &rights[p],
+                        alphabet,
+                        &mut right_arena,
+                        &mut right_rows[p],
+                        node.r[p],
+                    );
+                }
+            }
+            for (i, _) in alphabet.iter().enumerate() {
+                let mut l = [EMPTY_SET; N];
+                let mut r = [EMPTY_SET; N];
+                let mut alive = false;
+                for p in 0..N {
+                    if node.l[p] != EMPTY_SET {
+                        l[p] = left_rows[p][node.l[p] as usize]
+                            .as_ref()
+                            .expect("row ensured above")[i];
+                    }
+                    if node.r[p] != EMPTY_SET {
+                        r[p] = right_rows[p][node.r[p] as usize]
+                            .as_ref()
+                            .expect("row ensured above")[i];
+                    }
+                    alive |= l[p] != EMPTY_SET || r[p] != EMPTY_SET;
+                }
+                if !alive {
+                    continue;
+                }
+                let mult = node.multiplicity;
+                for p in 0..N {
+                    if l[p] != EMPTY_SET {
+                        l_level[p] += mult;
+                    }
+                    if r[p] != EMPTY_SET {
+                        r_level[p] += mult;
+                    }
+                }
+                let index = match index_of.entry((l, r)) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let index = *e.get() as usize;
+                        next[index].multiplicity += mult;
+                        index
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let index = next.len();
+                        e.insert(u32::try_from(index).expect("level exceeds u32 nodes"));
+                        next.push(MultiNode {
+                            l,
+                            r,
+                            multiplicity: mult,
+                            parent: u32::try_from(node_index).expect("level exceeds u32 nodes"),
+                            op: u16::try_from(i).expect("alphabet exceeds u16 symbols"),
+                        });
+                        index
+                    }
+                };
+                for p in 0..N {
+                    if l[p] != EMPTY_SET && r[p] == EMPTY_SET && l_violation[p].is_none() {
+                        l_violation[p] = Some((depth + 1, index));
+                    }
+                    if l[p] == EMPTY_SET && r[p] != EMPTY_SET && r_violation[p].is_none() {
+                        r_violation[p] = Some((depth + 1, index));
+                    }
+                }
+            }
+        }
+        for p in 0..N {
+            left_sizes[p].push(l_level[p]);
+            right_sizes[p].push(r_level[p]);
+        }
+        peak = peak.max(next.len());
+        let dead = next.is_empty();
+        levels.push(next);
+        if dead {
+            break;
+        }
+    }
+
+    let reconstruct = |violation: Option<(usize, usize)>| {
+        violation.map(|(depth, index)| {
+            reconstruct_path(
+                &levels,
+                |n: &MultiNode<N>| (n.parent, n.op),
+                alphabet,
+                depth,
+                index,
+            )
+        })
+    };
+
+    let points = (0..N)
+        .map(|p| {
+            let mut ls = left_sizes[p].clone();
+            let mut rs = right_sizes[p].clone();
+            ls.resize(max_len + 1, 0);
+            rs.resize(max_len + 1, 0);
+            LanguageComparison {
+                left_not_in_right: reconstruct(l_violation[p]),
+                right_not_in_left: reconstruct(r_violation[p]),
+                left_sizes: ls,
+                right_sizes: rs,
+                peak_level_width: peak,
+                max_len,
+            }
+        })
+        .collect();
+
+    MultiComparison {
+        points,
+        peak_level_width: peak,
+        left_sets: left_arena.set_count(),
+        right_sets: right_arena.set_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subset::{compare_upto, CompareOptions};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    enum Op {
+        Put(u8),
+        Take(u8),
+    }
+
+    fn alphabet() -> Vec<Op> {
+        vec![Op::Put(0), Op::Put(1), Op::Take(0), Op::Take(1)]
+    }
+
+    /// A bag over {0, 1} holding at most `cap` items.
+    #[derive(Debug, Clone)]
+    struct CappedBag {
+        cap: usize,
+    }
+
+    impl ObjectAutomaton for CappedBag {
+        type State = Vec<u8>;
+        type Op = Op;
+        fn initial_state(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn step(&self, s: &Vec<u8>, op: &Op) -> Vec<Vec<u8>> {
+            match op {
+                Op::Put(x) if s.len() < self.cap => {
+                    let mut s2 = s.clone();
+                    s2.push(*x);
+                    s2.sort_unstable();
+                    vec![s2]
+                }
+                Op::Put(_) => vec![],
+                Op::Take(x) => match s.iter().position(|y| y == x) {
+                    Some(i) => {
+                        let mut s2 = s.clone();
+                        s2.remove(i);
+                        vec![s2]
+                    }
+                    None => vec![],
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn dense_arena_interns_states_and_sets_stably() {
+        let mut arena: DenseArena<Vec<u8>> = DenseArena::new();
+        assert_eq!(arena.set(EMPTY_SET), &[] as &[u32]);
+        let a = arena.intern_state(&vec![1]);
+        let b = arena.intern_state(&vec![2]);
+        assert_eq!(arena.intern_state(&vec![1]), a);
+        let s1 = arena.intern_set(vec![b, a, a]);
+        let s2 = arena.intern_set(vec![a, b]);
+        assert_eq!(s1, s2, "canonicalization dedups and sorts");
+        assert_eq!(arena.set(s1), &[a, b]);
+        assert_eq!(arena.intern_set(Vec::new()), EMPTY_SET);
+        assert_eq!(arena.set_count(), 2);
+        assert_eq!(arena.state_count(), 2);
+    }
+
+    #[test]
+    fn shared_walk_matches_separate_counting_walks() {
+        let lefts = [CappedBag { cap: 2 }, CappedBag { cap: 3 }];
+        let rights = [CappedBag { cap: 1 }, CappedBag { cap: 3 }];
+        let multi = multi_compare_upto(&lefts, &rights, &alphabet(), 6);
+        for p in 0..2 {
+            let single = compare_upto(
+                &lefts[p],
+                &rights[p],
+                &alphabet(),
+                6,
+                CompareOptions::counting(),
+            );
+            let shared = &multi.points[p];
+            assert_eq!(single.left_sizes, shared.left_sizes, "point {p} left sizes");
+            assert_eq!(
+                single.right_sizes, shared.right_sizes,
+                "point {p} right sizes"
+            );
+            assert_eq!(
+                single.left_not_in_right.is_some(),
+                shared.left_not_in_right.is_some(),
+                "point {p} left verdict"
+            );
+            assert_eq!(
+                single.right_not_in_left.is_some(),
+                shared.right_not_in_left.is_some(),
+                "point {p} right verdict"
+            );
+            assert_eq!(
+                single.left_not_in_right.as_ref().map(|h| h.len()),
+                shared.left_not_in_right.as_ref().map(|h| h.len()),
+                "point {p} witness depth"
+            );
+        }
+        // Point 0: cap-2 accepts Put·Put, cap-1 does not.
+        let w = multi.points[0]
+            .left_not_in_right
+            .as_ref()
+            .expect("cap-2 exceeds cap-1");
+        assert!(lefts[0].accepts(w));
+        assert!(!rights[0].accepts(w));
+        // Point 1: identical automata agree.
+        assert!(multi.points[1].agree());
+    }
+
+    #[test]
+    fn shared_walk_witnesses_are_shallowest() {
+        let lefts = [CappedBag { cap: 3 }];
+        let rights = [CappedBag { cap: 1 }];
+        let multi = multi_compare_upto(&lefts, &rights, &alphabet(), 5);
+        // The shallowest separating history is Put·Put (length 2).
+        let w = multi.points[0]
+            .left_not_in_right
+            .as_ref()
+            .expect("separated");
+        assert_eq!(w.len(), 2);
+    }
+}

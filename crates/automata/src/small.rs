@@ -1,0 +1,106 @@
+//! A small-vector for hot frontier loops.
+//!
+//! The subset engine's per-node successor lists are tiny (at most one
+//! entry per alphabet symbol, and queue alphabets have 4–8 symbols), yet
+//! the original code heap-allocated a `Vec` per node per level. This
+//! `SmallVec` keeps up to `N` elements inline and only spills past that.
+//! It stays within the crate's `#![forbid(unsafe_code)]` by requiring
+//! `Copy + Default` elements — exactly what the engine's `(alphabet
+//! index, set reference)` tuples are — so the inline buffer is a plain
+//! array, not `MaybeUninit` gymnastics.
+
+/// A vector storing up to `N` elements inline, spilling to the heap past
+/// that. Elements must be `Copy + Default` (see module docs).
+#[derive(Debug, Clone)]
+pub struct SmallVec<T, const N: usize> {
+    len: usize,
+    inline: [T; N],
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub fn new() -> Self {
+        SmallVec {
+            len: 0,
+            inline: [T::default(); N],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = value;
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline[..self.len.min(N)]
+            .iter()
+            .chain(self.spill.iter())
+    }
+
+    /// Did the vector outgrow its inline buffer?
+    pub fn spilled(&self) -> bool {
+        self.len > N
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = SmallVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert!(!v.spilled());
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_past_capacity_preserving_order() {
+        let v: SmallVec<u32, 4> = (0..10).collect();
+        assert_eq!(v.len(), 10);
+        assert!(v.spilled());
+        assert_eq!(
+            v.iter().copied().collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+}

@@ -28,12 +28,15 @@
 //! delta, and the main thread merges the deltas in deterministic chunk
 //! order — results are identical for every thread count.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crate::automaton::ObjectAutomaton;
+use crate::cons::{ConsTable, Entry};
 use crate::history::History;
+use crate::small::SmallVec;
 
 /// Stable identifier of a canonical state set in a [`SubsetArena`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -54,10 +57,15 @@ impl SubsetId {
 /// Interning the same set twice returns the same [`SubsetId`], so set
 /// equality is id equality and per-level deduplication is a small-key
 /// hash-map lookup instead of a set comparison.
+///
+/// Interning is **single-probe**: each candidate set is hashed exactly
+/// once and the [`ConsTable`] entry API either returns the existing id
+/// or hands back the vacant slot — the old `HashMap`-based arena hashed
+/// a miss twice (lookup, then insert).
 #[derive(Debug, Clone)]
 pub struct SubsetArena<S> {
     sets: Vec<Arc<[S]>>,
-    ids: HashMap<Arc<[S]>, SubsetId>,
+    table: ConsTable,
 }
 
 impl<S: Clone + Eq + Ord + Hash> SubsetArena<S> {
@@ -65,7 +73,7 @@ impl<S: Clone + Eq + Ord + Hash> SubsetArena<S> {
     pub fn new() -> Self {
         let mut arena = SubsetArena {
             sets: Vec::new(),
-            ids: HashMap::new(),
+            table: ConsTable::new(),
         };
         arena.intern(Vec::new());
         arena
@@ -78,22 +86,46 @@ impl<S: Clone + Eq + Ord + Hash> SubsetArena<S> {
         states
     }
 
+    /// The hash under which a canonical set is interned (the engine's
+    /// single hashing point: callers reuse the value across an arena
+    /// lookup and a delta-table probe).
+    pub(crate) fn hash_slice(set: &[S]) -> u64 {
+        let mut h = DefaultHasher::new();
+        set.hash(&mut h);
+        h.finish()
+    }
+
     /// The id of an already-interned canonical set, if known.
     pub fn lookup(&self, set: &[S]) -> Option<SubsetId> {
-        self.ids.get(set).copied()
+        self.lookup_hashed(Self::hash_slice(set), set)
+    }
+
+    /// [`SubsetArena::lookup`] with a precomputed [`SubsetArena::hash_slice`] hash.
+    pub(crate) fn lookup_hashed(&self, hash: u64, set: &[S]) -> Option<SubsetId> {
+        self.table
+            .get(hash, |id| &*self.sets[id as usize] == set)
+            .map(SubsetId)
     }
 
     /// Interns a canonical (sorted, deduplicated) set, returning its
-    /// stable id. Re-interning returns the existing id.
+    /// stable id. Re-interning returns the existing id. One hash, one
+    /// probe.
     pub fn intern(&mut self, set: Vec<S>) -> SubsetId {
-        if let Some(id) = self.ids.get(set.as_slice()) {
-            return *id;
+        let hash = Self::hash_slice(&set);
+        let sets = &self.sets;
+        match self.table.entry(hash, |id| *sets[id as usize] == set) {
+            Entry::Occupied(id) => SubsetId(id),
+            Entry::Vacant(slot) => {
+                let id = u32::try_from(self.sets.len()).expect("arena exceeds u32 ids");
+                slot.insert(id);
+                self.sets.push(set.into());
+                // Ids are positions in `sets`: stable across table growth
+                // (growth rehashes stored hashes only) and re-interning.
+                debug_assert_eq!(self.sets.len(), id as usize + 1);
+                debug_assert_eq!(self.lookup(&self.sets[id as usize]), Some(SubsetId(id)));
+                SubsetId(id)
+            }
         }
-        let id = SubsetId(u32::try_from(self.sets.len()).expect("arena exceeds u32 ids"));
-        let arc: Arc<[S]> = set.into();
-        self.sets.push(Arc::clone(&arc));
-        self.ids.insert(arc, id);
-        id
     }
 
     /// The states of an interned set.
@@ -139,26 +171,39 @@ impl SubsetNode {
 }
 
 /// How a worker refers to a successor set: already interned in the frozen
-/// arena, or position `usize` in the worker's own delta table.
+/// arena, or position `u32` in the worker's own delta table.
+#[derive(Debug, Clone, Copy)]
 enum SetRef {
     Known(SubsetId),
-    Local(usize),
+    Local(u32),
 }
+
+impl Default for SetRef {
+    fn default() -> Self {
+        SetRef::Known(SubsetId::EMPTY)
+    }
+}
+
+/// Inline capacity of per-node successor lists: one slot per alphabet
+/// symbol covers the queue alphabets (4–8 symbols) without spilling.
+const SUCC_INLINE: usize = 8;
 
 /// Per-worker expansion output for one chunk of the frontier: for each
 /// node of the chunk, the nonempty successors per alphabet index, plus
 /// the chunk's interner delta (canonical sets missing from the frozen
 /// arena, deduplicated within the chunk).
 struct ChunkExpansion<S> {
-    succs: Vec<Vec<(u16, SetRef)>>,
+    succs: Vec<SmallVec<(u16, SetRef), SUCC_INLINE>>,
     delta: Vec<Vec<S>>,
 }
 
-/// A local interner for sets not present in the frozen arena.
+/// A local interner for sets not present in the frozen arena. Each
+/// candidate is hashed once; the hash is shared between the frozen-arena
+/// lookup and the local single-probe table.
 struct DeltaInterner<'a, S> {
     arena: &'a SubsetArena<S>,
     delta: Vec<Vec<S>>,
-    local_ids: HashMap<Vec<S>, usize>,
+    local: ConsTable,
 }
 
 impl<'a, S: Clone + Eq + Ord + Hash> DeltaInterner<'a, S> {
@@ -166,21 +211,25 @@ impl<'a, S: Clone + Eq + Ord + Hash> DeltaInterner<'a, S> {
         DeltaInterner {
             arena,
             delta: Vec::new(),
-            local_ids: HashMap::new(),
+            local: ConsTable::new(),
         }
     }
 
     fn resolve(&mut self, set: Vec<S>) -> SetRef {
-        if let Some(id) = self.arena.lookup(&set) {
+        let hash = SubsetArena::hash_slice(&set);
+        if let Some(id) = self.arena.lookup_hashed(hash, &set) {
             return SetRef::Known(id);
         }
-        if let Some(&local) = self.local_ids.get(&set) {
-            return SetRef::Local(local);
+        let delta = &self.delta;
+        match self.local.entry(hash, |i| delta[i as usize] == set) {
+            Entry::Occupied(local) => SetRef::Local(local),
+            Entry::Vacant(slot) => {
+                let local = u32::try_from(self.delta.len()).expect("delta exceeds u32 ids");
+                slot.insert(local);
+                self.delta.push(set);
+                SetRef::Local(local)
+            }
         }
-        let local = self.delta.len();
-        self.delta.push(set.clone());
-        self.local_ids.insert(set, local);
-        SetRef::Local(local)
     }
 }
 
@@ -188,7 +237,7 @@ impl<'a, S: Clone + Eq + Ord + Hash> DeltaInterner<'a, S> {
 /// position (an empty vec means `δ` is undefined there). Calls
 /// [`ObjectAutomaton::step_all`] once per member state so automata with
 /// batched transitions amortize their per-state work.
-fn canonical_successors<A: ObjectAutomaton>(
+pub(crate) fn canonical_successors<A: ObjectAutomaton>(
     automaton: &A,
     alphabet: &[A::Op],
     set: &[A::State],
@@ -325,10 +374,10 @@ where
                     chunk.delta.into_iter().map(|s| arena.intern(s)).collect();
                 for per_node in chunk.succs {
                     let mult = mults[parent as usize];
-                    for (op, succ) in per_node {
+                    for &(op, succ) in per_node.iter() {
                         let id = match succ {
                             SetRef::Known(id) => id,
-                            SetRef::Local(local) => globals[local],
+                            SetRef::Local(local) => globals[local as usize],
                         };
                         merge_node(&mut next, &mut index_of, id, mult, parent, op);
                     }
@@ -390,20 +439,41 @@ impl<A: ObjectAutomaton> SubsetGraph<A> {
     }
 
     /// Reconstructs one concrete history reaching node `index` of level
-    /// `depth`, by following parent pointers to the root.
+    /// `depth`, by following parent pointers to the root — O(depth), no
+    /// level scans.
     pub fn history_of(&self, depth: usize, index: usize) -> History<A::Op> {
-        let mut ops = Vec::with_capacity(depth);
-        let mut d = depth;
-        let mut i = index;
-        while d > 0 {
-            let node = &self.levels[d][i];
-            ops.push(self.alphabet[node.op as usize].clone());
-            i = node.parent as usize;
-            d -= 1;
-        }
-        ops.reverse();
-        History::from(ops)
+        reconstruct_path(
+            &self.levels,
+            |n| (n.parent, n.op),
+            &self.alphabet,
+            depth,
+            index,
+        )
     }
+}
+
+/// Shared O(depth) witness reconstruction: walks `(parent, alphabet
+/// index)` edges from `(depth, index)` to the root. Every layered walk in
+/// the engine (single graph, product walk, multi-point walk) stores the
+/// same two fields per node and reconstructs through this helper.
+pub(crate) fn reconstruct_path<Op: Clone, N>(
+    levels: &[Vec<N>],
+    edge: impl Fn(&N) -> (u32, u16),
+    alphabet: &[Op],
+    depth: usize,
+    index: usize,
+) -> History<Op> {
+    let mut ops = Vec::with_capacity(depth);
+    let mut d = depth;
+    let mut i = index;
+    while d > 0 {
+        let (parent, op) = edge(&levels[d][i]);
+        ops.push(alphabet[op as usize].clone());
+        i = parent as usize;
+        d -= 1;
+    }
+    ops.reverse();
+    History::from(ops)
 }
 
 /// Adds multiplicity `mult` for subset `id` to the level under
@@ -548,7 +618,7 @@ struct ProductNode {
 
 /// Per-chunk expansion output for the product walk.
 struct ProductChunk<LS, RS> {
-    succs: Vec<Vec<(u16, SetRef, SetRef)>>,
+    succs: Vec<SmallVec<(u16, SetRef, SetRef), SUCC_INLINE>>,
     left_delta: Vec<Vec<LS>>,
     right_delta: Vec<Vec<RS>>,
 }
@@ -674,14 +744,14 @@ where
                 .collect();
             for per_node in chunk.succs {
                 let mult = mults[parent as usize];
-                for (op, lsucc, rsucc) in per_node {
+                for &(op, lsucc, rsucc) in per_node.iter() {
                     let l = match lsucc {
                         SetRef::Known(id) => id,
-                        SetRef::Local(local) => l_globals[local],
+                        SetRef::Local(local) => l_globals[local as usize],
                     };
                     let r = match rsucc {
                         SetRef::Known(id) => id,
-                        SetRef::Local(local) => r_globals[local],
+                        SetRef::Local(local) => r_globals[local as usize],
                     };
                     if !l.is_empty() {
                         l_level += mult;
@@ -738,17 +808,13 @@ where
 
     let reconstruct = |violation: Option<(usize, usize)>| {
         violation.map(|(depth, index)| {
-            let mut ops = Vec::with_capacity(depth);
-            let mut d = depth;
-            let mut i = index;
-            while d > 0 {
-                let node = &levels[d][i];
-                ops.push(alphabet[node.op as usize].clone());
-                i = node.parent as usize;
-                d -= 1;
-            }
-            ops.reverse();
-            History::from(ops)
+            reconstruct_path(
+                &levels,
+                |n: &ProductNode| (n.parent, n.op),
+                alphabet,
+                depth,
+                index,
+            )
         })
     };
 
@@ -893,6 +959,23 @@ mod tests {
         assert_eq!(arena.lookup(&[1, 2, 3]), Some(a));
         assert!(arena.lookup(&[9]).is_none());
         assert_eq!(arena.get(SubsetId::EMPTY), &[] as &[u8]);
+    }
+
+    #[test]
+    fn arena_ids_stay_stable_across_growth() {
+        // Interning enough sets to force several table growths must not
+        // move any id: ids are positions in the dense set store, and
+        // growth rehashes the index only.
+        let mut arena: SubsetArena<u32> = SubsetArena::new();
+        let ids: Vec<SubsetId> = (0..500u32).map(|i| arena.intern(vec![i, i + 1])).collect();
+        assert_eq!(arena.len(), 501); // empty set + 500
+        for (i, &id) in ids.iter().enumerate() {
+            let i = i as u32;
+            assert_eq!(arena.intern(vec![i, i + 1]), id, "re-intern moved an id");
+            assert_eq!(arena.lookup(&[i, i + 1]), Some(id), "lookup moved an id");
+            assert_eq!(arena.get(id), &[i, i + 1]);
+        }
+        assert_eq!(arena.len(), 501);
     }
 
     #[test]

@@ -38,7 +38,8 @@ fn main() {
     println!(
         "deeper check (histories ≤ 5): {} — join preservation genuinely fails; \
          e.g. Enq(1)·Enq(2)·Enq(1)·Deq(1)·Deq(1) is accepted by Stuttering_2 \
-         and Semiqueue_2 but not by SSqueue_{{2,2}}",
+         and Semiqueue_2, but φ maps their join (the full constraint set) to \
+         SSqueue_{{1,1}} = FIFO, which rejects it",
         if ss_deep_ok {
             "PASS"
         } else {

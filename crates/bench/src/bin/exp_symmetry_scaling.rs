@@ -1,0 +1,48 @@
+//! Shared-walk scaling on the taxi-lattice verification: times the
+//! per-point PR-3 engine against the Rep-view-quotient shared multi-walk
+//! at common bounds, gates on the deepest one (items {1,2,3}, length
+//! ≤ 8, shared walk ≥ 5× faster with identical language sizes), then
+//! pushes the shared walk past the old frontier (items {1,2,3} at
+//! length ≤ 10, items {1,2,3,4} at length ≤ 8) and measures
+//! item-permutation orbit reduction on the SSqueue join check.
+//!
+//! Results go to `BENCH_symmetry_scaling.json`; CI requires
+//! `within_target: true`.
+
+use relax_bench::experiments::symmetry::{run, to_json, TARGET_SPEEDUP};
+
+fn main() {
+    println!("== Shared multi-point walk vs per-point engine ==\n");
+    let common = [
+        (vec![1, 2], 5usize),
+        (vec![1, 2, 3], 6),
+        (vec![1, 2, 3], 7),
+        (vec![1, 2, 3], 8),
+    ];
+    let frontier = [
+        (vec![1, 2, 3], 9usize),
+        (vec![1, 2, 3], 10),
+        (vec![1, 2, 3, 4], 6),
+        (vec![1, 2, 3, 4], 8),
+    ];
+    let orbit = [(vec![1, 2], 6usize), (vec![1, 2, 3], 5)];
+
+    let (tables, common_rows, frontier_rows, orbit_rows) = run(&common, &frontier, &orbit);
+    println!("common bounds (per-point vs shared):\n{}", tables[0]);
+    println!("frontier bounds (shared walk only):\n{}", tables[1]);
+    println!(
+        "SSqueue join check (unreduced vs orbit-reduced):\n{}",
+        tables[2]
+    );
+
+    let gate = common_rows.last().expect("common bounds nonempty");
+    println!(
+        "gate: items {:?}, len ≤ {} → {:.2}x (target ≥ {TARGET_SPEEDUP:.0}x, holds={}, agree={})",
+        gate.items, gate.max_len, gate.speedup, gate.holds, gate.agree
+    );
+
+    let json = to_json(&common_rows, &frontier_rows, &orbit_rows);
+    std::fs::write("BENCH_symmetry_scaling.json", &json)
+        .expect("write BENCH_symmetry_scaling.json");
+    println!("\nwrote BENCH_symmetry_scaling.json");
+}

@@ -79,7 +79,8 @@ mod tests {
     fn ssqueue_join_preservation_genuinely_fails_from_length_5() {
         // Found once the subset-graph engine made bound 5 affordable:
         // Enq(1)·Enq(2)·Enq(1)·Deq(1)·Deq(1) is accepted by Stuttering_2 and
-        // Semiqueue_2 separately but not by SSqueue_{2,2}, so the two-chain
+        // Semiqueue_2 separately, but φ maps their join (the full constraint
+        // set) to SSqueue_{1,1} = FIFO, which rejects it — so the two-chain
         // map preserves joins only up to length 4. Confirmed against the
         // naive enumerators, so this pins a property of the lattice, not of
         // the engine.

@@ -13,5 +13,6 @@ pub mod markov;
 pub mod prob;
 pub mod scaling;
 pub mod serialdep;
+pub mod symmetry;
 pub mod theorem4;
 pub mod voting;

@@ -2,8 +2,11 @@
 //!
 //! Times [`verify_taxi_lattice_naive`] (the retained pre-engine path:
 //! two-pass naive `equal_upto` plus a full language enumeration per
-//! point) against [`verify_taxi_lattice`] (one product-subset-graph walk
-//! per point) at increasing bounds, recording wall-clock time and the
+//! point) against [`verify_taxi_lattice_perpoint`] (one
+//! product-subset-graph walk per point — the engine this experiment has
+//! always measured; the newer shared-walk path is benchmarked separately
+//! by `exp_symmetry_scaling`) at increasing bounds, recording
+//! wall-clock time and the
 //! peak working-set width of each — histories in the widest naive
 //! frontier vs nodes in the widest product level.
 //!
@@ -12,7 +15,7 @@
 
 use std::time::Instant;
 
-use relax_core::theorem4::{verify_taxi_lattice, verify_taxi_lattice_naive};
+use relax_core::theorem4::{verify_taxi_lattice_naive, verify_taxi_lattice_perpoint};
 
 use crate::table::Table;
 
@@ -49,7 +52,7 @@ pub fn measure(items: &[i64], max_len: usize) -> ScalingRow {
     let naive_ns = start.elapsed().as_nanos();
 
     let start = Instant::now();
-    let engine = verify_taxi_lattice(items, max_len);
+    let engine = verify_taxi_lattice_perpoint(items, max_len);
     let engine_ns = start.elapsed().as_nanos();
 
     let agree = naive

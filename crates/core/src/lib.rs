@@ -47,7 +47,9 @@ pub mod prelude {
         top_n_miss_analytic, top_n_miss_monte_carlo, ConstraintModel, MarkovChain,
     };
     pub use crate::summary::{summary_chart, SummaryRow};
-    pub use crate::theorem4::{verify_taxi_lattice, TaxiVerification};
+    pub use crate::theorem4::{
+        verify_taxi_lattice, verify_taxi_lattice_perpoint, TaxiVerification,
+    };
 }
 
 pub use cost::{operation_availability, quorum_availability, CostDimension};
@@ -57,4 +59,4 @@ pub use lattices::semiqueue::{SemiqueueLattice, SsQueueLattice, StutteringLattic
 pub use lattices::taxi::{TaxiLattice, TaxiPoint};
 pub use prob::{top_n_miss_analytic, top_n_miss_monte_carlo, ConstraintModel, MarkovChain};
 pub use summary::{summary_chart, SummaryRow};
-pub use theorem4::{verify_taxi_lattice, TaxiVerification};
+pub use theorem4::{verify_taxi_lattice, verify_taxi_lattice_perpoint, TaxiVerification};

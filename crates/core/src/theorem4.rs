@@ -9,10 +9,12 @@
 //! `{Q1, Q2} ↔ PQ`, `{Q2} ↔ OPQ`, `∅ ↔ DegenPQ`.
 
 use relax_automata::language::naive;
+use relax_automata::multiwalk::multi_compare_upto;
 use relax_automata::{compare_upto, CompareOptions, History, LanguageDifference};
 use relax_queues::{queue_alphabet, Item, QueueOp};
+use relax_quorum::repview::RepViewAutomaton;
 
-use crate::lattices::taxi::{TaxiLattice, TaxiPoint};
+use crate::lattices::taxi::{TaxiLattice, TaxiPoint, TaxiReference};
 
 /// Verification result for one lattice point.
 #[derive(Debug, Clone)]
@@ -77,14 +79,68 @@ impl TaxiVerification {
 
 /// Runs the bounded verification: for each of the four lattice points,
 /// checks `L(QCA(PQ, R, η)) = L(reference)` for histories of length
-/// ≤ `max_len` over `items`.
+/// ≤ `max_len` over `items` — in **one shared walk** for all four
+/// points.
 ///
-/// Each point is a **single** product-subset-graph walk
-/// ([`compare_upto`] in counting mode): the same pass decides equality in
-/// both directions *and* counts the language, where the old
-/// implementation ran `equal_upto` and then re-enumerated the entire
-/// language just for its size.
+/// Two layers replace the four independent product walks of
+/// [`verify_taxi_lattice_perpoint`]:
+///
+/// 1. The QCA side of each point is its [`RepViewAutomaton`] quotient —
+///    an exact bisimulation (`L(RepView) = L(QCA)`, verified
+///    differentially in `relax-quorum`), collapsing the QCA's
+///    never-merging history states into achievable-view-bag sets.
+/// 2. All four `(quotient, reference)` pairs ride one
+///    [`multi_compare_upto`] tuple walk with a shared dense
+///    state/set interner and memoized successor rows, so common history
+///    structure is explored once instead of four times.
+///
+/// Verdicts, per-point language sizes, and counterexamples are identical
+/// to the per-point path (tests pin both against each other and against
+/// the naive enumerator).
 pub fn verify_taxi_lattice(items: &[Item], max_len: usize) -> TaxiVerification {
+    let lattice = TaxiLattice::new();
+    let alphabet = queue_alphabet(items);
+    let point_list = TaxiPoint::all();
+    let quotients: [RepViewAutomaton; 4] =
+        point_list.map(|p| RepViewAutomaton::new(p.q1, p.q2, items));
+    let references: [TaxiReference; 4] = point_list.map(|p| lattice.reference(p));
+    let multi = multi_compare_upto(&quotients, &references, &alphabet, max_len);
+
+    let points = point_list
+        .iter()
+        .zip(multi.points)
+        .map(|(&point, cmp)| {
+            let difference = cmp
+                .left_not_in_right
+                .clone()
+                .map(LanguageDifference::LeftNotInRight)
+                .or_else(|| {
+                    cmp.right_not_in_left
+                        .clone()
+                        .map(LanguageDifference::RightNotInLeft)
+                });
+            PointVerification {
+                point,
+                behavior: point.behavior_name(),
+                language_size: cmp.left_total() as usize,
+                peak_frontier: cmp.peak_level_width,
+                difference,
+            }
+        })
+        .collect();
+    TaxiVerification {
+        points,
+        items: items.to_vec(),
+        max_len,
+    }
+}
+
+/// The PR-3 engine path: one product-subset-graph walk **per lattice
+/// point**, each over the raw QCA (whose state is the full history).
+/// Kept as the baseline the `exp_symmetry_scaling` benchmark measures
+/// the shared-walk [`verify_taxi_lattice`] against, and as a
+/// differential oracle in tests.
+pub fn verify_taxi_lattice_perpoint(items: &[Item], max_len: usize) -> TaxiVerification {
     let lattice = TaxiLattice::new();
     let alphabet = queue_alphabet(items);
     let mut points = Vec::new();
@@ -226,6 +282,25 @@ mod tests {
             assert_eq!(e.language_size, n.language_size, "{:?}", e.point);
             assert_eq!(e.holds(), n.holds(), "{:?}", e.point);
         }
+    }
+
+    #[test]
+    fn shared_walk_matches_perpoint_engine() {
+        let shared = verify_taxi_lattice(&[1, 2], 5);
+        let perpoint = verify_taxi_lattice_perpoint(&[1, 2], 5);
+        for (s, p) in shared.points.iter().zip(&perpoint.points) {
+            assert_eq!(s.point, p.point);
+            assert_eq!(s.language_size, p.language_size, "{:?}", s.point);
+            assert_eq!(s.holds(), p.holds(), "{:?}", s.point);
+        }
+        // The quotient plus tuple sharing must actually shrink the
+        // working set relative to four raw-QCA walks.
+        assert!(
+            shared.peak_frontier() < perpoint.peak_frontier(),
+            "shared {} vs perpoint {}",
+            shared.peak_frontier(),
+            perpoint.peak_frontier()
+        );
     }
 
     #[test]

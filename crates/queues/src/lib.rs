@@ -41,6 +41,7 @@ pub mod mpq;
 pub mod opq;
 pub mod ops;
 pub mod pqueue;
+pub mod relabel;
 pub mod semiqueue;
 pub mod spec;
 pub mod ssqueue;
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use crate::opq::OpqAutomaton;
     pub use crate::ops::{queue_alphabet, AccountOp, Item, QueueOp};
     pub use crate::pqueue::PQueueAutomaton;
+    pub use crate::relabel::QueueItemSymmetry;
     pub use crate::semiqueue::SemiqueueAutomaton;
     pub use crate::spec::{PqValueSpec, ValueSpec};
     pub use crate::ssqueue::{SsQueueAutomaton, SsState};
@@ -76,6 +78,7 @@ pub use mpq::{Mpq, MpqAutomaton};
 pub use opq::OpqAutomaton;
 pub use ops::{queue_alphabet, AccountOp, Item, QueueOp};
 pub use pqueue::PQueueAutomaton;
+pub use relabel::QueueItemSymmetry;
 pub use semiqueue::SemiqueueAutomaton;
 pub use spec::{PqValueSpec, ValueSpec};
 pub use ssqueue::{SsQueueAutomaton, SsState};

@@ -1,0 +1,303 @@
+//! Item-relabeling symmetry for the queue family.
+//!
+//! The full symmetric group on the item domain acts on queue histories by
+//! relabeling every `Enq(e)`/`Deq(e)` execution. The *equality-based*
+//! queue types — FIFO, bag, semiqueue, stuttering queue, SSqueue — only
+//! ever compare items for equality, so their transition relations are
+//! **equivariant** under this action and their subset graphs can be
+//! orbit-reduced ([`relax_automata::symmetry`]) with exact counts.
+//!
+//! The *priority-ordered* types are **not** equivariant: `best` consults
+//! the total order on items, which a nontrivial permutation does not
+//! preserve. Concretely, `L(PQueue)` contains `Enq(1)·Enq(2)·Deq(2)` but
+//! not its swap image `Enq(2)·Enq(1)·Deq(1)`. This module still
+//! implements the policy for [`PQueueAutomaton`] and [`MpqAutomaton`] —
+//! precisely so that
+//! [`check_equivariance`](relax_automata::symmetry::check_equivariance)
+//! can *reject* them in tests, keeping the soundness boundary executable
+//! rather than folklore. Never orbit-reduce those types.
+
+use relax_automata::subset::IntersectionAutomaton;
+use relax_automata::symmetry::SymmetryPolicy;
+use relax_automata::ObjectAutomaton;
+
+use crate::bag::{Bag, BagAutomaton};
+use crate::fifo::{Fifo, FifoAutomaton};
+use crate::mpq::{Mpq, MpqAutomaton};
+use crate::ops::{Item, QueueOp};
+use crate::pqueue::PQueueAutomaton;
+use crate::semiqueue::SemiqueueAutomaton;
+use crate::ssqueue::{SsQueueAutomaton, SsState};
+use crate::stuttering::{StutQ, StutteringAutomaton};
+
+/// The full symmetric group on a finite item domain, acting on queue
+/// states and on the [`crate::ops::queue_alphabet`] layout
+/// `[Enq(e_0)…Enq(e_{n-1}), Deq(e_0)…Deq(e_{n-1})]`.
+///
+/// Group elements are indices into an enumeration of all `n!`
+/// permutations with **element 0 the identity**; composition and
+/// inverses are table lookups built once at construction. Domains are
+/// tiny (the experiments use 2–4 items), so the tables are too.
+#[derive(Debug, Clone)]
+pub struct QueueItemSymmetry {
+    items: Vec<Item>,
+    /// `perms[g][i]` = image of item index `i` under group element `g`.
+    perms: Vec<Vec<usize>>,
+    /// `compose[g][h]` = the element acting as `h` then `g`.
+    compose: Vec<Vec<u16>>,
+    /// `inverse[g]` = the inverse element.
+    inverse: Vec<u16>,
+}
+
+/// All permutations of `0..n` with the identity first (Heap's
+/// algorithm, then rotated so `[0, 1, …]` leads).
+fn all_permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut perms = Vec::new();
+    let mut current: Vec<usize> = (0..n).collect();
+    heap_permute(&mut current, n, &mut perms);
+    let identity: Vec<usize> = (0..n).collect();
+    let id_pos = perms
+        .iter()
+        .position(|p| *p == identity)
+        .expect("identity is a permutation");
+    perms.swap(0, id_pos);
+    perms
+}
+
+fn heap_permute(current: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(current.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(current, k - 1, out);
+        if k.is_multiple_of(2) {
+            current.swap(i, k - 1);
+        } else {
+            current.swap(0, k - 1);
+        }
+    }
+}
+
+impl QueueItemSymmetry {
+    /// The symmetric group on `items` (order `items.len()!`). Panics on
+    /// an empty or duplicated domain, or one larger than 6 items (the
+    /// group tables grow factorially).
+    pub fn new(items: &[Item]) -> Self {
+        let n = items.len();
+        assert!((1..=6).contains(&n), "item domain must have 1..=6 items");
+        let mut dedup = items.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), n, "item domain has duplicates");
+
+        let perms = all_permutations(n);
+        let order = perms.len();
+        let index_of = |p: &[usize]| -> u16 {
+            u16::try_from(
+                perms
+                    .iter()
+                    .position(|q| q == p)
+                    .expect("composition stays in the group"),
+            )
+            .expect("group order fits u16")
+        };
+        let mut compose = vec![vec![0u16; order]; order];
+        let mut inverse = vec![0u16; order];
+        for (g, pg) in perms.iter().enumerate() {
+            for (h, ph) in perms.iter().enumerate() {
+                // "h then g": i ↦ g[h[i]].
+                let composed: Vec<usize> = (0..n).map(|i| pg[ph[i]]).collect();
+                compose[g][h] = index_of(&composed);
+            }
+            let mut inv = vec![0usize; n];
+            for (i, &gi) in pg.iter().enumerate() {
+                inv[gi] = i;
+            }
+            inverse[g] = index_of(&inv);
+        }
+        QueueItemSymmetry {
+            items: items.to_vec(),
+            perms,
+            compose,
+            inverse,
+        }
+    }
+
+    /// The group order (`n!`).
+    pub fn group_order(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// The image of one item under group element `g`. Items outside the
+    /// domain are left fixed (they cannot appear in reachable states when
+    /// the walk's alphabet is the domain's [`crate::ops::queue_alphabet`]).
+    pub fn relabel_item(&self, g: usize, e: Item) -> Item {
+        match self.items.iter().position(|&d| d == e) {
+            Some(i) => self.items[self.perms[g][i]],
+            None => e,
+        }
+    }
+
+    fn op_index(&self, g: usize, i: usize) -> usize {
+        let n = self.items.len();
+        debug_assert!(i < 2 * n, "op index outside the queue_alphabet layout");
+        if i < n {
+            self.perms[g][i]
+        } else {
+            n + self.perms[g][i - n]
+        }
+    }
+
+    /// The image of a [`QueueOp`] value under `g` (the value-level twin
+    /// of the index-level alphabet action).
+    pub fn relabel_queue_op(&self, g: usize, op: QueueOp) -> QueueOp {
+        match op {
+            QueueOp::Enq(e) => QueueOp::Enq(self.relabel_item(g, e)),
+            QueueOp::Deq(e) => QueueOp::Deq(self.relabel_item(g, e)),
+        }
+    }
+}
+
+/// Implements [`SymmetryPolicy`] for a queue automaton whose state is
+/// rebuilt by mapping items through [`QueueItemSymmetry::relabel_item`].
+macro_rules! impl_queue_symmetry {
+    ($automaton:ty, $state:ty, |$policy:ident, $g:ident, $s:ident| $relabel:expr) => {
+        impl SymmetryPolicy<$automaton> for QueueItemSymmetry {
+            fn order(&self) -> usize {
+                self.group_order()
+            }
+            fn relabel_state(&self, $g: usize, $s: &$state) -> $state {
+                let $policy = self;
+                $relabel
+            }
+            fn relabel_op(&self, g: usize, i: usize) -> usize {
+                self.op_index(g, i)
+            }
+            fn compose(&self, g: usize, h: usize) -> usize {
+                self.compose[g][h] as usize
+            }
+            fn inverse(&self, g: usize) -> usize {
+                self.inverse[g] as usize
+            }
+        }
+    };
+}
+
+fn map_fifo(policy: &QueueItemSymmetry, g: usize, s: &Fifo<Item>) -> Fifo<Item> {
+    s.iter().map(|&e| policy.relabel_item(g, e)).collect()
+}
+
+fn map_bag(policy: &QueueItemSymmetry, g: usize, s: &Bag<Item>) -> Bag<Item> {
+    s.items().map(|&e| policy.relabel_item(g, e)).collect()
+}
+
+impl_queue_symmetry!(FifoAutomaton, Fifo<Item>, |p, g, s| map_fifo(p, g, s));
+impl_queue_symmetry!(SemiqueueAutomaton, Fifo<Item>, |p, g, s| map_fifo(p, g, s));
+impl_queue_symmetry!(BagAutomaton, Bag<Item>, |p, g, s| map_bag(p, g, s));
+impl_queue_symmetry!(StutteringAutomaton, StutQ, |p, g, s| StutQ {
+    items: map_fifo(p, g, &s.items),
+    count: s.count,
+});
+impl_queue_symmetry!(SsQueueAutomaton, SsState, |p, g, s| s
+    .map_items(|e| p.relabel_item(g, e)));
+// The priority-ordered types get the policy too — ONLY so tests can show
+// check_equivariance rejecting them (see module docs). Orbit-reducing
+// them would be unsound.
+impl_queue_symmetry!(PQueueAutomaton, Bag<Item>, |p, g, s| map_bag(p, g, s));
+impl_queue_symmetry!(MpqAutomaton, Mpq, |p, g, s| Mpq {
+    present: map_bag(p, g, &s.present),
+    absent: map_bag(p, g, &s.absent),
+});
+
+/// Joint action on a synchronized product: the same group element
+/// relabels both components (what a product subset walk needs).
+impl<A, B> SymmetryPolicy<IntersectionAutomaton<A, B>> for QueueItemSymmetry
+where
+    A: ObjectAutomaton,
+    B: ObjectAutomaton<Op = A::Op>,
+    QueueItemSymmetry: SymmetryPolicy<A> + SymmetryPolicy<B>,
+{
+    fn order(&self) -> usize {
+        self.group_order()
+    }
+    fn relabel_state(&self, g: usize, s: &(A::State, B::State)) -> (A::State, B::State) {
+        (
+            <Self as SymmetryPolicy<A>>::relabel_state(self, g, &s.0),
+            <Self as SymmetryPolicy<B>>::relabel_state(self, g, &s.1),
+        )
+    }
+    fn relabel_op(&self, g: usize, i: usize) -> usize {
+        self.op_index(g, i)
+    }
+    fn compose(&self, g: usize, h: usize) -> usize {
+        self.compose[g][h] as usize
+    }
+    fn inverse(&self, g: usize) -> usize {
+        self.inverse[g] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::queue_alphabet;
+    use relax_automata::symmetry::check_equivariance;
+
+    fn domain() -> Vec<Item> {
+        vec![1, 2, 3]
+    }
+
+    #[test]
+    fn group_tables_are_a_symmetric_group() {
+        let sym = QueueItemSymmetry::new(&domain());
+        assert_eq!(sym.group_order(), 6);
+        // Element 0 is the identity on items and ops.
+        for &e in &domain() {
+            assert_eq!(sym.relabel_item(0, e), e);
+        }
+        let alphabet = queue_alphabet(&domain());
+        for (i, &op) in alphabet.iter().enumerate() {
+            for g in 0..sym.group_order() {
+                // Index action and value action agree.
+                let via_index = alphabet[SymmetryPolicy::<FifoAutomaton>::relabel_op(&sym, g, i)];
+                assert_eq!(via_index, sym.relabel_queue_op(g, op));
+            }
+        }
+    }
+
+    #[test]
+    fn equality_based_types_are_equivariant() {
+        let sym = QueueItemSymmetry::new(&domain());
+        let alphabet = queue_alphabet(&domain());
+        check_equivariance(&FifoAutomaton::new(), &alphabet, &sym, 3).expect("FIFO");
+        check_equivariance(&BagAutomaton::new(), &alphabet, &sym, 3).expect("Bag");
+        check_equivariance(&SemiqueueAutomaton::new(2), &alphabet, &sym, 3).expect("Semiqueue");
+        check_equivariance(&StutteringAutomaton::new(2), &alphabet, &sym, 3).expect("Stuttering");
+        check_equivariance(&SsQueueAutomaton::new(2, 2), &alphabet, &sym, 3).expect("SSqueue");
+        check_equivariance(
+            &IntersectionAutomaton::new(StutteringAutomaton::new(2), SemiqueueAutomaton::new(2)),
+            &alphabet,
+            &sym,
+            3,
+        )
+        .expect("Stut ∩ Semi");
+    }
+
+    #[test]
+    fn priority_ordered_types_are_rejected() {
+        // The soundness boundary: `best` consults the item ORDER, which
+        // permutations do not preserve, so equivariance must FAIL —
+        // orbit-reducing PQ/MPQ would corrupt verdicts and counts.
+        let sym = QueueItemSymmetry::new(&domain());
+        let alphabet = queue_alphabet(&domain());
+        assert!(
+            check_equivariance(&PQueueAutomaton::new(), &alphabet, &sym, 3).is_err(),
+            "PQueue wrongly passed equivariance"
+        );
+        assert!(
+            check_equivariance(&MpqAutomaton::new(), &alphabet, &sym, 3).is_err(),
+            "MPQ wrongly passed equivariance"
+        );
+    }
+}

@@ -33,6 +33,7 @@ pub mod compact;
 pub mod log;
 pub mod qca;
 pub mod relation;
+pub mod repview;
 pub mod runtime;
 pub mod serialdep;
 pub mod timestamp;
@@ -46,6 +47,7 @@ pub mod prelude {
     pub use crate::log::{Entry, Log};
     pub use crate::qca::QcaAutomaton;
     pub use crate::relation::{queue_relation, HasKind, IntersectionRelation, QueueKind};
+    pub use crate::repview::RepViewAutomaton;
     pub use crate::runtime::{queue_lattice_monitor, ClientConfig, QuorumSystem, ReplicatedType};
     pub use crate::serialdep::{check_serial_dependency, is_minimal_serial_dependency};
     pub use crate::timestamp::{LogicalClock, Timestamp};
@@ -58,6 +60,7 @@ pub use compact::{stable_frontier, CompactLog};
 pub use log::{Entry, Log};
 pub use qca::QcaAutomaton;
 pub use relation::{queue_relation, HasKind, IntersectionRelation, QueueKind};
+pub use repview::RepViewAutomaton;
 pub use runtime::{queue_lattice_monitor, ClientConfig, QuorumSystem, ReplicatedType};
 pub use serialdep::{check_serial_dependency, is_minimal_serial_dependency};
 pub use timestamp::{LogicalClock, Timestamp};

@@ -129,6 +129,42 @@ where
         );
         let n = ops.len();
         let preds = closure_pred_masks(h, &self.relation);
+
+        // The closure and required masks must commute with item
+        // relabeling: they may consult operation *kinds* only (this is
+        // what lets the Rep-view quotient and symmetry relabelings
+        // preserve views). Debug builds verify by substituting every op
+        // with the earliest same-kind op — the universal kind-preserving
+        // relabeling — and asserting the masks cannot tell the
+        // difference.
+        #[cfg(debug_assertions)]
+        {
+            let substituted: Vec<S::Op> = ops
+                .iter()
+                .map(|p| {
+                    ops.iter()
+                        .find(|q| {
+                            q.kind() == p.kind() && q.invocation_kind() == p.invocation_kind()
+                        })
+                        .expect("p matches itself")
+                        .clone()
+                })
+                .collect();
+            let sh = History::from(substituted);
+            debug_assert_eq!(
+                closure_pred_masks(&sh, &self.relation),
+                preds,
+                "closure predecessor masks depend on more than op kinds"
+            );
+            for p in alphabet {
+                debug_assert_eq!(
+                    required_mask(&sh, p.invocation_kind(), &self.relation),
+                    required_mask(h, p.invocation_kind(), &self.relation),
+                    "required masks depend on more than op kinds"
+                );
+            }
+        }
+
         let mut out: Vec<Vec<History<S::Op>>> = vec![Vec::new(); alphabet.len()];
 
         // Group alphabet indices by invocation kind.

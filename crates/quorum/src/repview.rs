@@ -1,0 +1,228 @@
+//! The Rep-view quotient of the taxi-queue QCA — an exact bisimulation
+//! that collapses the QCA's history states.
+//!
+//! `QcaAutomaton`'s state is the full accepted history (§3.2), so its
+//! determinized subset graph never shares anything: every distinct
+//! history is a distinct singleton node, and the bounded walk is a pure
+//! history enumeration (the `(3 items, len 8)` taxi verification peaks
+//! above 200k nodes). But for the taxi relation `{Q1, Q2}` over `η`,
+//! enabledness of every operation depends on the history **only through
+//! the set of bags `η(G)` achievable over its Deq-views**:
+//!
+//! * `Enq(e)` is always enabled: its invocation kind relates to nothing
+//!   (`queue_relation` only has `(Deq, Enq)` and `(Deq, Deq)` pairs), so
+//!   the empty subhistory is a view, `pre` is trivial, and `post` is
+//!   automatic because `η` applies exactly the postcondition's insert.
+//! * `Deq(e)` is enabled iff some Q-closed view `G` containing the
+//!   required positions has `best(η(G)) = e` (the `pre` and the `post`'s
+//!   second conjunct follow automatically).
+//!
+//! A Deq-view must contain every Enq iff `Q1` and every Deq iff `Q2`;
+//! Q-closure adds nothing beyond that (Enqs pull nothing). Hence the
+//! achievable-bag set `V(H)` evolves **as a function of `(V, op)`**:
+//!
+//! ```text
+//! Enq(e):  V ↦ ins_e(V)            if Q1,  else V ∪ ins_e(V)
+//! Deq(e):  V ↦ del_e(V)            if Q2,  else V ∪ del_e(V)
+//!          (enabled iff ∃ b ∈ V. best(b) = e)
+//! ```
+//!
+//! so `H ↦ V(H)` is a functional bisimulation and
+//! `L(RepView) = L(QCA)` **exactly, at all four lattice points** — which
+//! the differential tests below check against the literal Definition-1/2
+//! implementation. Distinct histories with equal view sets merge, and
+//! the subset walk regains the sharing the QCA lacks.
+//!
+//! Bags are packed into a `u64` ([`PackedBag`]): 8 bits of multiplicity
+//! per item rank, so `ins`/`del`/`best` are shifts and the view set is a
+//! sorted `Vec<u64>` with cheap hashing — the state the dense interner
+//! of `relax_automata::multiwalk` was built for.
+
+use relax_automata::ObjectAutomaton;
+use relax_queues::{Item, QueueOp};
+
+/// A multiset over an item domain of ≤ 8 ranks, packed 8 bits per rank.
+///
+/// Rank 0 occupies the low byte; `best` (the maximum item) is the
+/// highest nonzero byte. Multiplicities stay below 256 because QCA
+/// histories are bounded below 64 operations.
+pub type PackedBag = u64;
+
+/// Insert one occurrence of `rank`.
+#[inline]
+fn ins(bag: PackedBag, rank: usize) -> PackedBag {
+    debug_assert!((bag >> (8 * rank)) & 0xff < 0xff, "bag byte overflow");
+    bag + (1u64 << (8 * rank))
+}
+
+/// Delete one occurrence of `rank` (no-op when absent — matching
+/// `Bag::del`, hence `η` on views lacking the item).
+#[inline]
+fn del(bag: PackedBag, rank: usize) -> PackedBag {
+    if (bag >> (8 * rank)) & 0xff != 0 {
+        bag - (1u64 << (8 * rank))
+    } else {
+        bag
+    }
+}
+
+/// The rank of the best (maximum) item present, if any: the highest
+/// nonzero byte.
+#[inline]
+fn best(bag: PackedBag) -> Option<usize> {
+    if bag == 0 {
+        None
+    } else {
+        Some((63 - bag.leading_zeros() as usize) / 8)
+    }
+}
+
+/// The Rep-view automaton: the taxi-queue `QCA(PQ, {Q1?, Q2?}, η)`
+/// quotiented by achievable Deq-view bags (see the module docs for the
+/// bisimulation argument). `L(RepViewAutomaton(q1, q2, D)) =
+/// L(QcaAutomaton(PqValueSpec, Eta, queue_relation(q1, q2)))` over the
+/// queue alphabet of the domain `D`.
+#[derive(Debug, Clone)]
+pub struct RepViewAutomaton {
+    q1: bool,
+    q2: bool,
+    /// Sorted ascending; index = priority rank.
+    domain: Vec<Item>,
+}
+
+impl RepViewAutomaton {
+    /// Builds the quotient automaton for one lattice point over a finite
+    /// item domain (at most 8 items — the packed-bag width).
+    pub fn new(q1: bool, q2: bool, domain: &[Item]) -> Self {
+        let mut domain = domain.to_vec();
+        domain.sort_unstable();
+        domain.dedup();
+        assert!(
+            !domain.is_empty() && domain.len() <= 8,
+            "packed bags support 1..=8 distinct items"
+        );
+        RepViewAutomaton { q1, q2, domain }
+    }
+
+    /// The lattice point `(q1, q2)` this automaton models.
+    pub fn point(&self) -> (bool, bool) {
+        (self.q1, self.q2)
+    }
+
+    fn rank_of(&self, e: Item) -> Option<usize> {
+        self.domain.binary_search(&e).ok()
+    }
+
+    fn canonical(mut v: Vec<PackedBag>) -> Vec<PackedBag> {
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl ObjectAutomaton for RepViewAutomaton {
+    /// The sorted set of achievable Deq-view bags `{ η(G) }`.
+    type State = Vec<PackedBag>;
+    type Op = QueueOp;
+
+    fn initial_state(&self) -> Vec<PackedBag> {
+        vec![0]
+    }
+
+    fn step(&self, v: &Vec<PackedBag>, op: &QueueOp) -> Vec<Vec<PackedBag>> {
+        match op {
+            QueueOp::Enq(e) => {
+                let Some(rank) = self.rank_of(*e) else {
+                    return Vec::new(); // outside the domain: δ undefined
+                };
+                let mut next: Vec<PackedBag> = v.iter().map(|&b| ins(b, rank)).collect();
+                if !self.q1 {
+                    // The new Enq's membership in a view is free.
+                    next.extend_from_slice(v);
+                }
+                vec![Self::canonical(next)]
+            }
+            QueueOp::Deq(e) => {
+                let Some(rank) = self.rank_of(*e) else {
+                    return Vec::new();
+                };
+                if !v.iter().any(|&b| best(b) == Some(rank)) {
+                    return Vec::new(); // no view serves e as the best item
+                }
+                let mut next: Vec<PackedBag> = v.iter().map(|&b| del(b, rank)).collect();
+                if !self.q2 {
+                    next.extend_from_slice(v);
+                }
+                vec![Self::canonical(next)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relax_automata::{compare_upto, CompareOptions};
+    use relax_queues::{queue_alphabet, Eta, PqValueSpec};
+
+    use crate::qca::QcaAutomaton;
+    use crate::relation::queue_relation;
+
+    fn qca(q1: bool, q2: bool) -> QcaAutomaton<PqValueSpec, Eta> {
+        QcaAutomaton::new(PqValueSpec, Eta, queue_relation(q1, q2))
+    }
+
+    #[test]
+    fn packed_bag_primitives() {
+        let b = ins(ins(ins(0, 0), 2), 2);
+        assert_eq!(best(b), Some(2));
+        assert_eq!(best(del(del(b, 2), 2)), Some(0));
+        assert_eq!(best(0), None);
+        // Deleting an absent rank is a no-op, like `Bag::del`.
+        assert_eq!(del(b, 1), b);
+    }
+
+    /// The load-bearing equivalence: at every lattice point, the quotient
+    /// accepts exactly the QCA's language (checked against the literal
+    /// Definition-1/2 view enumeration).
+    #[test]
+    fn quotient_matches_qca_at_every_point() {
+        for &(q1, q2) in &[(true, true), (true, false), (false, true), (false, false)] {
+            for (domain, max_len) in [(vec![1, 2], 5), (vec![1, 2, 3], 4)] {
+                let alphabet = queue_alphabet(&domain);
+                let rep = RepViewAutomaton::new(q1, q2, &domain);
+                let outcome = compare_upto(
+                    &qca(q1, q2),
+                    &rep,
+                    &alphabet,
+                    max_len,
+                    CompareOptions::counting(),
+                );
+                assert!(
+                    outcome.agree(),
+                    "point ({q1},{q2}) domain {domain:?}: {:?} / {:?}",
+                    outcome.left_not_in_right,
+                    outcome.right_not_in_left,
+                );
+                assert_eq!(
+                    outcome.left_sizes, outcome.right_sizes,
+                    "point ({q1},{q2}) domain {domain:?} sizes"
+                );
+            }
+        }
+    }
+
+    /// The whole point of the quotient: the QCA's history states never
+    /// merge, the view states do.
+    #[test]
+    fn quotient_states_merge() {
+        use relax_automata::SubsetGraph;
+        let domain = vec![1, 2];
+        let alphabet = queue_alphabet(&domain);
+        let rep = RepViewAutomaton::new(true, false, &domain);
+        let qca_graph = SubsetGraph::explore(&qca(true, false), &alphabet, 5);
+        let rep_graph = SubsetGraph::explore(&rep, &alphabet, 5);
+        assert_eq!(qca_graph.sizes(), rep_graph.sizes());
+        assert!(rep_graph.peak_level_width() < qca_graph.peak_level_width());
+    }
+}

@@ -223,3 +223,177 @@ fn parallel_walks_match_sequential_on_random_automata() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Symmetry-reduced engine: the orbit-canonicalized walks must be
+// observationally identical to the unreduced engine (and hence to the
+// naive enumerators) wherever the policy is equivariant.
+// ---------------------------------------------------------------------------
+
+use relaxation_lattice::automata::subset::IntersectionAutomaton;
+use relaxation_lattice::automata::symmetry::{
+    compare_upto_reduced, ReducedSubsetGraph, TrivialSymmetry,
+};
+use relaxation_lattice::automata::History;
+use relaxation_lattice::queues::{
+    queue_alphabet, QueueItemSymmetry, QueueOp, SemiqueueAutomaton, SsQueueAutomaton,
+    StutteringAutomaton,
+};
+
+#[test]
+fn reduced_engine_with_trivial_policy_matches_unreduced_on_random_automata() {
+    // The one-element group makes every automaton equivariant, so the
+    // reduced code path must reproduce the unreduced engine exactly —
+    // counts, verdicts, witness depths, and node counts.
+    for seed in 0..SEEDS / 2 {
+        let (a, b, alphabet) = random_pair(seed);
+        let graph = SubsetGraph::explore(&a, &alphabet, MAX_LEN);
+        let reduced = ReducedSubsetGraph::explore(&a, &alphabet, MAX_LEN, &TrivialSymmetry);
+        assert_eq!(graph.sizes(), reduced.sizes(), "seed {seed}");
+        assert_eq!(
+            graph.peak_level_width(),
+            reduced.peak_level_width(),
+            "seed {seed}"
+        );
+
+        let full = compare_upto(&a, &b, &alphabet, MAX_LEN, CompareOptions::counting());
+        let red = compare_upto_reduced(
+            &a,
+            &b,
+            &alphabet,
+            MAX_LEN,
+            CompareOptions::counting(),
+            &TrivialSymmetry,
+        );
+        assert_eq!(full.left_sizes, red.left_sizes, "seed {seed}");
+        assert_eq!(full.right_sizes, red.right_sizes, "seed {seed}");
+        assert_eq!(
+            full.left_not_in_right.as_ref().map(|h| h.len()),
+            red.left_not_in_right.as_ref().map(|h| h.len()),
+            "seed {seed}"
+        );
+        assert_eq!(
+            full.right_not_in_left.as_ref().map(|h| h.len()),
+            red.right_not_in_left.as_ref().map(|h| h.len()),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn orbit_reduced_queue_graphs_match_naive_counts() {
+    // Item permutation is equivariant for the equality-based queue
+    // types; orbit-reduced per-length counts must equal the naive
+    // enumeration's exactly while the frontier shrinks.
+    let items = vec![1, 2, 3];
+    let alphabet = queue_alphabet(&items);
+    let sym = QueueItemSymmetry::new(&items);
+    let max_len = 4;
+
+    let stut = StutteringAutomaton::new(2);
+    let reduced = ReducedSubsetGraph::explore(&stut, &alphabet, max_len, &sym);
+    let lang = naive::language_upto(&stut, &alphabet, max_len);
+    let mut by_len = vec![0u64; max_len + 1];
+    for h in &lang {
+        by_len[h.len()] += 1;
+    }
+    assert_eq!(reduced.sizes(), by_len);
+    let full = SubsetGraph::explore(&stut, &alphabet, max_len);
+    assert!(reduced.peak_level_width() < full.peak_level_width());
+
+    // Reconstructed orbit histories are genuine histories of the
+    // ORIGINAL automaton (relabelings composed away).
+    for (depth, level) in reduced.levels().iter().enumerate() {
+        for i in 0..level.len() {
+            let h = reduced.history_of(&sym, depth, i);
+            assert!(stut.accepts(&h), "reconstructed {h:?} rejected");
+        }
+    }
+}
+
+#[test]
+fn ssqueue_join_check_survives_orbit_reduction() {
+    // The PR-3 lattice finding in the SSqueue_{2,2} lattice: the join of
+    // the Stuttering_2 and Semiqueue_2 constraint points is the full
+    // constraint set, which φ maps to SSqueue_{1,1} = FIFO, yet
+    // L(Stuttering_2) ∩ L(Semiqueue_2) strictly exceeds L(FIFO) from
+    // length 5 — so the two-chain map stops preserving joins there. The
+    // reduced product walk must reproduce the verdict, the exact counts,
+    // and a genuine witness.
+    let items = vec![1, 2];
+    let alphabet = queue_alphabet(&items);
+    let sym = QueueItemSymmetry::new(&items);
+    let join = IntersectionAutomaton::new(StutteringAutomaton::new(2), SemiqueueAutomaton::new(2));
+    let phi_of_join = SsQueueAutomaton::new(1, 1);
+
+    let known = History::from(vec![
+        QueueOp::Enq(1),
+        QueueOp::Enq(2),
+        QueueOp::Enq(1),
+        QueueOp::Deq(1),
+        QueueOp::Deq(1),
+    ]);
+    assert!(join.accepts(&known), "join must accept the PR-3 witness");
+    assert!(
+        !phi_of_join.accepts(&known),
+        "φ(c ∨ d) = SSqueue_{{1,1}} must reject the PR-3 witness"
+    );
+
+    let full = compare_upto(
+        &join,
+        &phi_of_join,
+        &alphabet,
+        5,
+        CompareOptions::counting(),
+    );
+    let reduced = compare_upto_reduced(
+        &join,
+        &phi_of_join,
+        &alphabet,
+        5,
+        CompareOptions::counting(),
+        &sym,
+    );
+    assert_eq!(full.left_sizes, reduced.left_sizes);
+    assert_eq!(full.right_sizes, reduced.right_sizes);
+    assert!(reduced.peak_level_width < full.peak_level_width);
+
+    let witness = reduced
+        .left_not_in_right
+        .as_ref()
+        .expect("join exceeds φ(c ∨ d) within length 5");
+    assert_eq!(
+        witness.len(),
+        full.left_not_in_right
+            .as_ref()
+            .expect("unreduced finds it")
+            .len(),
+        "reduced witness must be as shallow as the unreduced one"
+    );
+    assert!(join.accepts(witness), "reduced witness rejected by join");
+    assert!(
+        !phi_of_join.accepts(witness),
+        "reduced witness accepted by φ(c ∨ d)"
+    );
+}
+
+#[test]
+fn shared_taxi_walk_matches_naive_at_small_bounds() {
+    use relaxation_lattice::core::theorem4::{
+        verify_taxi_lattice, verify_taxi_lattice_naive, verify_taxi_lattice_perpoint,
+    };
+    let shared = verify_taxi_lattice(&[1, 2], 4);
+    let perpoint = verify_taxi_lattice_perpoint(&[1, 2], 4);
+    let naive_v = verify_taxi_lattice_naive(&[1, 2], 4);
+    for ((s, p), n) in shared
+        .points
+        .iter()
+        .zip(&perpoint.points)
+        .zip(&naive_v.points)
+    {
+        assert_eq!(s.point, p.point);
+        assert_eq!(s.language_size, p.language_size, "{:?}", s.point);
+        assert_eq!(s.language_size, n.language_size, "{:?}", s.point);
+        assert!(s.holds() && p.holds() && n.holds(), "{:?}", s.point);
+    }
+}
