@@ -14,6 +14,7 @@ use relax_quorum::runtime::{AccountInv, BankAccountType, Outcome};
 use relax_quorum::{ClientConfig, QuorumSystem, VotingAssignment};
 use relax_sim::NetworkConfig;
 
+use crate::experiments::par::fan_trials;
 use crate::table::Table;
 
 /// One row of the premature-debit decay experiment.
@@ -59,8 +60,10 @@ pub fn premature_debit_decay_with_gossip(
 ) -> Vec<DecayRow> {
     let mut rows = Vec::new();
     for &gap in gaps {
-        let mut bounced = 0u32;
-        for trial in 0..trials {
+        // Each trial is self-contained (its seed derives from the trial
+        // index), so the sweep fans across threads; the bounce count is
+        // a sum, so merge order cannot matter.
+        let bounces = fan_trials(trials, |trial| {
             let mut sys = QuorumSystem::new(
                 BankAccountType,
                 n_replicas,
@@ -83,16 +86,15 @@ pub fn premature_debit_decay_with_gossip(
             sys.submit(AccountInv::Debit(5));
             let deadline = sys.world().now().ticks() + 2_000;
             sys.run_until(relax_sim::SimTime(deadline));
-            if matches!(
+            u32::from(matches!(
                 sys.outcomes().get(1),
                 Some(Outcome::Completed {
                     op: AccountOp::DebitOverdraft(_),
                     ..
                 })
-            ) {
-                bounced += 1;
-            }
-        }
+            ))
+        });
+        let bounced: u32 = bounces.iter().sum();
         rows.push(DecayRow {
             gap,
             bounce_rate: f64::from(bounced) / f64::from(trials),
@@ -121,9 +123,7 @@ pub fn render_decay(rows: &[DecayRow]) -> Table {
 /// from stale views plus legitimate insufficient-funds ones — occur.
 /// Returns `(overdrafts, bounces, runs)`.
 pub fn overdraft_invariant(trials: u32, n_replicas: usize) -> (u32, u32, u32) {
-    let mut overdrafts = 0u32;
-    let mut spurious = 0u32;
-    for trial in 0..trials {
+    let per_trial = fan_trials(trials, |trial| {
         let mut sys = QuorumSystem::new(
             BankAccountType,
             n_replicas,
@@ -138,6 +138,7 @@ pub fn overdraft_invariant(trials: u32, n_replicas: usize) -> (u32, u32, u32) {
         sys.run_to_quiescence(300_000);
         let mut credits = 0i64;
         let mut debits = 0i64;
+        let mut spurious = 0u32;
         for o in sys.outcomes() {
             if let Outcome::Completed { op, .. } = o {
                 match op {
@@ -147,10 +148,10 @@ pub fn overdraft_invariant(trials: u32, n_replicas: usize) -> (u32, u32, u32) {
                 }
             }
         }
-        if debits > credits {
-            overdrafts += 1;
-        }
-    }
+        (u32::from(debits > credits), spurious)
+    });
+    let overdrafts = per_trial.iter().map(|(o, _)| o).sum();
+    let spurious = per_trial.iter().map(|(_, s)| s).sum();
     (overdrafts, spurious, trials)
 }
 

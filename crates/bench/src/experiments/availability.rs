@@ -17,8 +17,10 @@ use relax_quorum::relation::QueueKind;
 use relax_quorum::runtime::{QueueInv, TaxiQueueType};
 use relax_quorum::{queue_relation, ClientConfig, QuorumSystem, VotingAssignment};
 use relax_sim::{NetworkConfig, NodeId};
+use relax_trace::metrics::wire;
 use relax_trace::Registry;
 
+use crate::experiments::par::fan_trials;
 use crate::table::Table;
 
 /// A named quorum assignment for the sweep.
@@ -114,9 +116,33 @@ fn measure(
 }
 
 /// Like `measure`, but returns the full metrics registry: availability
-/// counters (`enq`, `deq`) and completion-latency histograms
-/// (`enq_latency`, `deq_latency`).
+/// counters (`enq`, `deq`), completion-latency histograms
+/// (`enq_latency`, `deq_latency`), and summed wire gauges
+/// (`wire_bytes_shipped`, `wire_messages_sent`).
+///
+/// Trials fan across scoped threads (everything a trial needs derives
+/// from its index) and their registries merge back in trial order, so
+/// the result is identical to [`measure_registry_sequential`].
 pub fn measure_registry(
+    n: usize,
+    assignment: &VotingAssignment<QueueKind>,
+    p_up: f64,
+    trials: u32,
+    seed: u64,
+) -> Registry {
+    let regs = fan_trials(trials, |trial| {
+        trial_registry(n, assignment, p_up, trial, seed, 0)
+    });
+    let mut reg = Registry::new();
+    for r in &regs {
+        reg.merge_accumulating(r);
+    }
+    reg
+}
+
+/// The sequential reference for [`measure_registry`] (same trials, same
+/// merge order, one thread) — pinned equal by test.
+pub fn measure_registry_sequential(
     n: usize,
     assignment: &VotingAssignment<QueueKind>,
     p_up: f64,
@@ -129,6 +155,8 @@ pub fn measure_registry(
 /// Like [`measure_registry`], with structured tracing enabled on every
 /// trial's world when `trace_capacity > 0` (used by the
 /// `exp_trace_overhead` bench to price the instrumentation).
+/// Deliberately sequential: the overhead bench compares per-trial wall
+/// clock, which thread scheduling would distort.
 pub fn measure_registry_traced(
     n: usize,
     assignment: &VotingAssignment<QueueKind>,
@@ -137,45 +165,69 @@ pub fn measure_registry_traced(
     seed: u64,
     trace_capacity: usize,
 ) -> Registry {
-    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut reg = Registry::new();
     for trial in 0..trials {
-        let mut sys = QuorumSystem::new(
-            TaxiQueueType,
-            n,
-            assignment.clone(),
-            ClientConfig::default(),
-            NetworkConfig::new(1, 10, 0.0),
-            seed ^ (u64::from(trial) * 2_654_435_761),
-        );
-        if trace_capacity > 0 {
-            sys = sys.with_trace(trace_capacity);
-        }
-        // Preload a request while everything is up, so Deq has something
-        // to return.
-        sys.submit(QueueInv::Enq(5));
-        sys.run_to_first_outcome(100_000);
+        let r = trial_registry(n, assignment, p_up, trial, seed, trace_capacity);
+        reg.merge_accumulating(&r);
+    }
+    reg
+}
 
-        // Crash sites per p_up.
-        for site in 0..n {
-            if rng.next_f64() > p_up {
-                sys.world_mut().network_mut().crash(NodeId(site));
-            }
-        }
-        sys.submit(QueueInv::Enq(7));
-        sys.submit(QueueInv::Deq);
-        sys.run_to_quiescence(300_000);
-        let outcomes = sys.outcomes();
-        // An operation is *available* when its quorum was assembled:
-        // Completed, or Refused (a Deq that ran but saw no visible item).
-        // Only a timeout counts against availability.
-        if let Some(o) = outcomes.get(1) {
-            o.record_to(&mut reg, "enq");
-        }
-        if let Some(o) = outcomes.get(2) {
-            o.record_to(&mut reg, "deq");
+/// One availability trial, self-contained: crash draws come from a
+/// per-trial rng (not a shared stream), so trials can run on any thread
+/// in any order and still produce identical results.
+fn trial_registry(
+    n: usize,
+    assignment: &VotingAssignment<QueueKind>,
+    p_up: f64,
+    trial: u32,
+    seed: u64,
+    trace_capacity: usize,
+) -> Registry {
+    let mut reg = Registry::new();
+    let mut rng = SplitMix64::seed_from_u64(
+        seed.rotate_left(17) ^ u64::from(trial).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let mut sys = QuorumSystem::new(
+        TaxiQueueType,
+        n,
+        assignment.clone(),
+        ClientConfig::default(),
+        NetworkConfig::new(1, 10, 0.0),
+        seed ^ (u64::from(trial) * 2_654_435_761),
+    )
+    .with_wire_accounting();
+    if trace_capacity > 0 {
+        sys = sys.with_trace(trace_capacity);
+    }
+    // Preload a request while everything is up, so Deq has something
+    // to return.
+    sys.submit(QueueInv::Enq(5));
+    sys.run_to_first_outcome(100_000);
+
+    // Crash sites per p_up.
+    for site in 0..n {
+        if rng.next_f64() > p_up {
+            sys.world_mut().network_mut().crash(NodeId(site));
         }
     }
+    sys.submit(QueueInv::Enq(7));
+    sys.submit(QueueInv::Deq);
+    sys.run_to_quiescence(300_000);
+    let outcomes = sys.outcomes();
+    // An operation is *available* when its quorum was assembled:
+    // Completed, or Refused (a Deq that ran but saw no visible item).
+    // Only a timeout counts against availability.
+    if let Some(o) = outcomes.get(1) {
+        o.record_to(&mut reg, "enq");
+    }
+    if let Some(o) = outcomes.get(2) {
+        o.record_to(&mut reg, "deq");
+    }
+    reg.gauge(wire::BYTES_SHIPPED)
+        .set(sys.world().bytes_sent() as i64);
+    reg.gauge(wire::MESSAGES_SENT)
+        .set(sys.world().messages_sent() as i64);
     reg
 }
 
@@ -240,6 +292,24 @@ mod tests {
                 r.deq_analytic
             );
         }
+    }
+
+    #[test]
+    fn parallel_trials_match_sequential_exactly() {
+        let na = &tradeoff_family(3)[1];
+        let par = measure_registry(3, &na.assignment, 0.8, 24, 123);
+        let seq = measure_registry_sequential(3, &na.assignment, 0.8, 24, 123);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn wire_gauges_accumulate_across_trials() {
+        let na = &tradeoff_family(3)[0];
+        let one = measure_registry(3, &na.assignment, 1.0, 1, 9);
+        let four = measure_registry(3, &na.assignment, 1.0, 4, 9);
+        let bytes = |r: &Registry| r.get_gauge(wire::BYTES_SHIPPED).map_or(0, |g| g.value());
+        assert!(bytes(&one) > 0);
+        assert!(bytes(&four) > bytes(&one));
     }
 
     #[test]

@@ -10,9 +10,11 @@ pub mod growth;
 pub mod latency;
 pub mod lattices;
 pub mod markov;
+pub mod par;
 pub mod prob;
 pub mod scaling;
 pub mod serialdep;
 pub mod symmetry;
 pub mod theorem4;
+pub mod throughput;
 pub mod voting;

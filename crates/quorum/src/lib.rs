@@ -30,6 +30,7 @@
 
 pub mod assignment;
 pub mod compact;
+pub mod frontier;
 pub mod log;
 pub mod qca;
 pub mod relation;
@@ -38,31 +39,40 @@ pub mod runtime;
 pub mod serialdep;
 pub mod timestamp;
 pub mod view;
+pub mod viewcache;
 pub mod voting;
 
 /// Convenient re-exports of the crate's main types.
 pub mod prelude {
     pub use crate::assignment::VotingAssignment;
     pub use crate::compact::{stable_frontier, CompactLog};
+    pub use crate::frontier::{Frontier, SiteSummary};
     pub use crate::log::{Entry, Log};
     pub use crate::qca::QcaAutomaton;
     pub use crate::relation::{queue_relation, HasKind, IntersectionRelation, QueueKind};
     pub use crate::repview::RepViewAutomaton;
-    pub use crate::runtime::{queue_lattice_monitor, ClientConfig, QuorumSystem, ReplicatedType};
+    pub use crate::runtime::{
+        queue_lattice_monitor, ClientConfig, QuorumSystem, ReplicatedType, ReplicationMode,
+    };
     pub use crate::serialdep::{check_serial_dependency, is_minimal_serial_dependency};
     pub use crate::timestamp::{LogicalClock, Timestamp};
     pub use crate::view::{is_q_closed, q_views};
+    pub use crate::viewcache::ViewCache;
     pub use crate::voting::WeightedVoting;
 }
 
 pub use assignment::VotingAssignment;
 pub use compact::{stable_frontier, CompactLog};
+pub use frontier::{Frontier, SiteSummary};
 pub use log::{Entry, Log};
 pub use qca::QcaAutomaton;
 pub use relation::{queue_relation, HasKind, IntersectionRelation, QueueKind};
 pub use repview::RepViewAutomaton;
-pub use runtime::{queue_lattice_monitor, ClientConfig, QuorumSystem, ReplicatedType};
+pub use runtime::{
+    queue_lattice_monitor, ClientConfig, QuorumSystem, ReplicatedType, ReplicationMode,
+};
 pub use serialdep::{check_serial_dependency, is_minimal_serial_dependency};
 pub use timestamp::{LogicalClock, Timestamp};
 pub use view::{is_q_closed, q_views};
+pub use viewcache::ViewCache;
 pub use voting::WeightedVoting;

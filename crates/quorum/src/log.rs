@@ -5,11 +5,26 @@
 //! keeps entries sorted by timestamp with no duplicates, so `merge` is a
 //! sorted-set union; `to_history` reads the operations back out in
 //! timestamp order.
+//!
+//! Beyond the entry vector, a log maintains two cheap incremental
+//! indices that the delta-replication runtime relies on:
+//!
+//! * a per-site [`SiteSummary`] table (count, max counter, XOR set hash)
+//!   from which [`Log::frontier`] is read off in O(sites), and against
+//!   which [`Log::delta_above`] computes the exact set of entries a peer
+//!   advertising that frontier is missing;
+//! * a prefix-XOR array of mixed timestamps, giving [`Log::prefix_hash`]
+//!   in O(1) — the validity check behind memoized view evaluation.
+//!
+//! Both indices are deterministic functions of the entry set, so
+//! equality and hashing remain defined by the entries alone.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use relax_automata::History;
 
+use crate::frontier::{mix_ts, Frontier, SiteSummary};
 use crate::timestamp::Timestamp;
 
 /// A timestamped record of an operation execution.
@@ -36,15 +51,34 @@ impl<Op: fmt::Display> fmt::Display for Entry<Op> {
 
 /// A log: entries sorted by timestamp, duplicates (same timestamp)
 /// discarded.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Log<Op> {
     entries: Vec<Entry<Op>>,
+    /// `prefix[i]` = XOR of [`mix_ts`] over `entries[..=i]`.
+    prefix: Vec<u64>,
+    /// Per-site summaries, sorted by site id; only sites with entries.
+    sites: Vec<SiteSummary>,
+}
+
+// The indices are functions of the entry set: identity is the entries.
+impl<Op: PartialEq> PartialEq for Log<Op> {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+impl<Op: Eq> Eq for Log<Op> {}
+impl<Op: Hash> Hash for Log<Op> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.entries.hash(state);
+    }
 }
 
 impl<Op> Default for Log<Op> {
     fn default() -> Self {
         Log {
             entries: Vec::new(),
+            prefix: Vec::new(),
+            sites: Vec::new(),
         }
     }
 }
@@ -70,21 +104,141 @@ impl<Op: Clone> Log<Op> {
         &self.entries
     }
 
+    /// XOR of [`mix_ts`] over the first `len` entries, in O(1) — an
+    /// order-independent hash of the length-`len` prefix *set*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the log's length.
+    pub fn prefix_hash(&self, len: usize) -> u64 {
+        if len == 0 {
+            0
+        } else {
+            self.prefix[len - 1]
+        }
+    }
+
+    /// Folds `ts` into the site-summary table.
+    fn note_site(sites: &mut Vec<SiteSummary>, ts: Timestamp) {
+        match sites.binary_search_by_key(&ts.site, |s| s.site) {
+            Ok(i) => {
+                let s = &mut sites[i];
+                s.count += 1;
+                s.max = s.max.max(ts.counter);
+                s.hash ^= mix_ts(ts);
+            }
+            Err(i) => sites.insert(
+                i,
+                SiteSummary {
+                    site: ts.site,
+                    count: 1,
+                    max: ts.counter,
+                    hash: mix_ts(ts),
+                },
+            ),
+        }
+    }
+
+    /// Appends an entry known to sort strictly above everything present.
+    fn push_back(&mut self, entry: Entry<Op>) {
+        debug_assert!(self.entries.last().is_none_or(|e| e.ts < entry.ts));
+        let acc = self.prefix.last().copied().unwrap_or(0) ^ mix_ts(entry.ts);
+        Self::note_site(&mut self.sites, entry.ts);
+        self.prefix.push(acc);
+        self.entries.push(entry);
+    }
+
     /// Inserts an entry, keeping timestamp order; an entry with an
     /// already-present timestamp is discarded as a duplicate.
     pub fn insert(&mut self, entry: Entry<Op>) {
         match self.entries.binary_search_by_key(&entry.ts, |e| e.ts) {
             Ok(_) => {} // duplicate timestamp: already recorded
-            Err(pos) => self.entries.insert(pos, entry),
+            Err(pos) if pos == self.entries.len() => self.push_back(entry),
+            Err(pos) => {
+                let h = mix_ts(entry.ts);
+                let base = if pos == 0 { 0 } else { self.prefix[pos - 1] };
+                self.prefix.insert(pos, base ^ h);
+                for p in &mut self.prefix[pos + 1..] {
+                    *p ^= h;
+                }
+                Self::note_site(&mut self.sites, entry.ts);
+                self.entries.insert(pos, entry);
+            }
         }
     }
 
     /// Merges another log into this one (sorted union, duplicates
     /// discarded) — the fundamental replica/view operation of §3.1.
+    ///
+    /// One two-pointer pass over both logs in the general case, with
+    /// O(1)/O(m log n) fast paths for the common protocol shapes: a
+    /// disjoint suffix (appending fresh entries), an exact prefix (one
+    /// prefix-hash compare, same ≈2⁻⁶⁴ trust model as [`Log::delta_above`]),
+    /// and a subset (anti-entropy at steady state, where nothing is new).
     pub fn merge(&mut self, other: &Log<Op>) {
-        for e in &other.entries {
-            self.insert(e.clone());
+        if other.entries.is_empty() {
+            return;
         }
+        if self.entries.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        // Disjoint-suffix fast path: everything in `other` sorts above us.
+        if other.entries[0].ts > self.entries[self.entries.len() - 1].ts {
+            for e in &other.entries {
+                self.push_back(e.clone());
+            }
+            return;
+        }
+        // Prefix fast path: `other` is exactly our first `m` entries
+        // (one hash compare — the steady-state view merge, where the
+        // second initial-quorum log repeats what the first delivered).
+        let m = other.entries.len();
+        if m <= self.entries.len() && self.prefix_hash(m) == other.prefix_hash(m) {
+            return;
+        }
+        // Subset fast path: nothing new (gossip at steady state).
+        if self.contains_log(other) {
+            return;
+        }
+        // General case: one sorted-union pass, moving our own entries.
+        let old = std::mem::take(&mut self.entries);
+        let mut merged = Vec::with_capacity(old.len() + other.entries.len());
+        let mut ours = old.into_iter().peekable();
+        let mut j = 0;
+        loop {
+            match (ours.peek(), other.entries.get(j)) {
+                (None, None) => break,
+                (Some(_), None) => merged.push(ours.next().expect("peeked")),
+                (Some(a), Some(b)) => {
+                    if b.ts < a.ts {
+                        let e = b.clone();
+                        j += 1;
+                        Self::note_site(&mut self.sites, e.ts);
+                        merged.push(e);
+                    } else {
+                        if a.ts == b.ts {
+                            j += 1; // duplicate: keep ours
+                        }
+                        merged.push(ours.next().expect("peeked"));
+                    }
+                }
+                (None, Some(b)) => {
+                    let e = b.clone();
+                    j += 1;
+                    Self::note_site(&mut self.sites, e.ts);
+                    merged.push(e);
+                }
+            }
+        }
+        self.prefix.clear();
+        self.prefix.reserve(merged.len());
+        let mut acc = 0u64;
+        for e in &merged {
+            acc ^= mix_ts(e.ts);
+            self.prefix.push(acc);
+        }
+        self.entries = merged;
     }
 
     /// A merged copy of two logs.
@@ -92,6 +246,115 @@ impl<Op: Clone> Log<Op> {
     pub fn merged(&self, other: &Log<Op>) -> Log<Op> {
         let mut out = self.clone();
         out.merge(other);
+        out
+    }
+
+    /// The per-site summary of this log's entry set (O(sites)).
+    #[must_use]
+    pub fn frontier(&self) -> Frontier {
+        Frontier::from_summaries(self.sites.clone())
+    }
+
+    /// The entries a peer advertising frontier `f` is missing, such that
+    /// merging the result into *any* superset `K` of the summarized set
+    /// (with `K ⊆ self`) yields exactly `K ∪ self` — in the runtime's
+    /// use, exactly `self`.
+    ///
+    /// Per site: if our entries with counters up to the advertised
+    /// maximum match the advertised (count, max, hash) summary exactly,
+    /// only entries above the maximum are included; otherwise (the peer
+    /// has per-site holes we cannot see through the summary, or claims
+    /// entries we lack) the site's entries are included wholesale —
+    /// redundancy is safe because merge is idempotent.
+    #[must_use]
+    pub fn delta_above(&self, f: &Frontier) -> Log<Op> {
+        if f.is_empty() || self.is_empty() {
+            return self.clone();
+        }
+        let fsites = f.sites();
+        // Suffix fast path (one hash compare): when the advertised set
+        // is exactly our first `claimed` entries, every advertised site
+        // is confirmed — timestamps sort by (counter, site), so a site's
+        // entries above its advertised max are precisely its entries
+        // past the prefix — and the delta is our suffix, O(delta). This
+        // is the steady-state gossip shape: the peer trails us by a
+        // contiguous batch or not at all.
+        let claimed: usize = fsites.iter().map(|s| s.count as usize).sum();
+        let claimed_hash = fsites.iter().fold(0u64, |h, s| h ^ s.hash);
+        if claimed <= self.entries.len() && self.prefix_hash(claimed) == claimed_hash {
+            let mut out = Log::new();
+            for e in &self.entries[claimed..] {
+                out.push_back(e.clone());
+            }
+            return out;
+        }
+        // Summarize, per advertised site, our entries at-or-below the
+        // advertised maximum counter.
+        let mut below: Vec<SiteSummary> = fsites
+            .iter()
+            .map(|s| SiteSummary {
+                site: s.site,
+                count: 0,
+                max: 0,
+                hash: 0,
+            })
+            .collect();
+        for e in &self.entries {
+            if let Some(ix) = f.index_of(e.ts.site) {
+                if e.ts.counter <= fsites[ix].max {
+                    let b = &mut below[ix];
+                    b.count += 1;
+                    b.max = b.max.max(e.ts.counter);
+                    b.hash ^= mix_ts(e.ts);
+                }
+            }
+        }
+        let confirmed: Vec<bool> = fsites
+            .iter()
+            .zip(&below)
+            .map(|(s, b)| b.count == s.count && b.max == s.max && b.hash == s.hash)
+            .collect();
+        let mut out = Log::new();
+        for e in &self.entries {
+            let include = match f.index_of(e.ts.site) {
+                None => true,
+                Some(ix) => !confirmed[ix] || e.ts.counter > fsites[ix].max,
+            };
+            if include {
+                out.push_back(e.clone());
+            }
+        }
+        out
+    }
+
+    /// The entries of `self` absent from `other` (two-pointer set
+    /// difference; both logs are sorted).
+    #[must_use]
+    pub fn diff(&self, other: &Log<Op>) -> Log<Op> {
+        // Prefix fast path (one hash compare): `other` is exactly our
+        // first `m` entries, so the difference is our suffix — the
+        // steady-state write shape, where the replica already holds
+        // everything but the entry being recorded.
+        let m = other.entries.len();
+        if m <= self.entries.len() && self.prefix_hash(m) == other.prefix_hash(m) {
+            let mut out = Log::new();
+            for e in &self.entries[m..] {
+                out.push_back(e.clone());
+            }
+            return out;
+        }
+        let mut out = Log::new();
+        let mut j = 0;
+        for e in &self.entries {
+            while j < other.entries.len() && other.entries[j].ts < e.ts {
+                j += 1;
+            }
+            if j < other.entries.len() && other.entries[j].ts == e.ts {
+                j += 1;
+                continue;
+            }
+            out.push_back(e.clone());
+        }
         out
     }
 
@@ -143,6 +406,30 @@ mod tests {
         Entry::new(Timestamp::new(counter, site), op.to_string())
     }
 
+    /// The pre-optimization merge (repeated inserts), kept as the oracle.
+    fn naive_merged(a: &Log<String>, b: &Log<String>) -> Log<String> {
+        let mut out = a.clone();
+        for entry in b.entries() {
+            out.insert(entry.clone());
+        }
+        out
+    }
+
+    /// Recomputes the indices from scratch and checks them against the
+    /// incrementally maintained ones.
+    fn check_indices(log: &Log<String>) {
+        let mut acc = 0u64;
+        for (i, entry) in log.entries().iter().enumerate() {
+            acc ^= mix_ts(entry.ts);
+            assert_eq!(log.prefix_hash(i + 1), acc, "prefix[{i}]");
+        }
+        let mut fresh: Vec<SiteSummary> = Vec::new();
+        for entry in log.entries() {
+            Log::<String>::note_site(&mut fresh, entry.ts);
+        }
+        assert_eq!(log.sites, fresh, "site summaries");
+    }
+
     #[test]
     fn paper_replicated_queue_example() {
         // The three-site schematic of §3.1: merging reconstructs
@@ -155,6 +442,7 @@ mod tests {
         assert_eq!(merged.len(), 3);
         let ops: Vec<String> = merged.to_history().into_ops();
         assert_eq!(ops, vec!["Enq(x)", "Enq(y)", "Enq(z)"]);
+        check_indices(&merged);
     }
 
     #[test]
@@ -166,6 +454,7 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log.entries()[0].op, "a");
         assert_eq!(log.entries()[1].op, "b");
+        check_indices(&log);
     }
 
     #[test]
@@ -182,6 +471,62 @@ mod tests {
         let log: Log<String> = [e(3, 0, "c"), e(1, 0, "a")].into_iter().collect();
         assert_eq!(log.max_timestamp(), Some(Timestamp::new(3, 0)));
         assert_eq!(Log::<String>::new().max_timestamp(), None);
+    }
+
+    #[test]
+    fn delta_above_ships_only_the_missing_suffix() {
+        let replica: Log<String> = [e(1, 0, "a"), e(2, 0, "b"), e(3, 1, "c"), e(4, 0, "d")]
+            .into_iter()
+            .collect();
+        let known: Log<String> = [e(1, 0, "a"), e(2, 0, "b")].into_iter().collect();
+        let delta = replica.delta_above(&known.frontier());
+        // Site 0 confirmed up to counter 2 → only (4,0); site 1 unknown →
+        // all of it.
+        assert_eq!(delta.len(), 2);
+        assert_eq!(known.merged(&delta), replica);
+    }
+
+    #[test]
+    fn delta_above_detects_per_site_holes() {
+        // The peer holds {1,5} of site 0 — a hole at 3. Its summary
+        // (count 2, max 5) cannot match our below-set {1,3,5}, so the
+        // whole site is resent and the merge still reconstructs us.
+        let replica: Log<String> = [e(1, 0, "a"), e(3, 0, "h"), e(5, 0, "z")]
+            .into_iter()
+            .collect();
+        let known: Log<String> = [e(1, 0, "a"), e(5, 0, "z")].into_iter().collect();
+        let delta = replica.delta_above(&known.frontier());
+        assert_eq!(delta.len(), 3, "hole forces a full-site resend");
+        assert_eq!(known.merged(&delta), replica);
+
+        // Without the hole the same maximum yields a minimal delta.
+        let known: Log<String> = [e(1, 0, "a"), e(3, 0, "h")].into_iter().collect();
+        let delta = replica.delta_above(&known.frontier());
+        assert_eq!(delta.len(), 1);
+        assert_eq!(known.merged(&delta), replica);
+    }
+
+    #[test]
+    fn delta_against_empty_frontier_is_the_whole_log() {
+        let replica: Log<String> = [e(1, 0, "a"), e(2, 1, "b")].into_iter().collect();
+        assert_eq!(replica.delta_above(&Frontier::empty()), replica);
+        assert_eq!(
+            replica.delta_above(&Log::<String>::new().frontier()),
+            replica
+        );
+    }
+
+    #[test]
+    fn diff_is_set_difference() {
+        let a: Log<String> = [e(1, 0, "a"), e(2, 0, "b"), e(3, 1, "c")]
+            .into_iter()
+            .collect();
+        let b: Log<String> = [e(2, 0, "b")].into_iter().collect();
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(b.merged(&d), a);
+        assert!(a.diff(&a).is_empty());
+        assert_eq!(a.diff(&Log::new()), a);
     }
 
     proptest! {
@@ -218,6 +563,67 @@ mod tests {
             let m = la.merged(&lb);
             prop_assert!(m.contains_log(&la));
             prop_assert!(m.contains_log(&lb));
+        }
+
+        /// The two-pointer merge agrees with the repeated-insert oracle,
+        /// and the incremental indices agree with a from-scratch rebuild.
+        #[test]
+        fn merge_matches_naive_and_indices_hold(
+            a in proptest::collection::vec((1u64..10, 0usize..4), 0..16),
+            b in proptest::collection::vec((1u64..10, 0usize..4), 0..16),
+        ) {
+            let to_log = |v: &Vec<(u64, usize)>| -> Log<String> {
+                v.iter()
+                    .map(|&(ct, s)| Entry::new(Timestamp::new(ct, s), format!("op{ct}:{s}")))
+                    .collect()
+            };
+            let (la, lb) = (to_log(&a), to_log(&b));
+            let m = la.merged(&lb);
+            prop_assert_eq!(&m, &naive_merged(&la, &lb));
+            check_indices(&m);
+            check_indices(&la);
+        }
+
+        /// Exactness of delta shipping: for any replica log and any
+        /// subset the peer already knows, `known ∪ delta == replica`.
+        #[test]
+        fn delta_reconstructs_exactly(
+            entries in proptest::collection::vec((1u64..12, 0usize..4), 0..20),
+            keep in proptest::collection::vec(any::<bool>(), 20),
+        ) {
+            let replica: Log<String> = entries
+                .iter()
+                .map(|&(ct, s)| Entry::new(Timestamp::new(ct, s), format!("op{ct}:{s}")))
+                .collect();
+            let known: Log<String> = replica
+                .entries()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep[*i % keep.len()])
+                .map(|(_, entry)| entry.clone())
+                .collect();
+            let delta = replica.delta_above(&known.frontier());
+            prop_assert_eq!(known.merged(&delta), replica);
+            // The delta never ships entries the peer provably has: every
+            // confirmed site's below-max entries are excluded, so the
+            // delta is disjoint from `known` on confirmed sites. At
+            // minimum it is never larger than the replica log.
+            prop_assert!(delta.len() <= replica.len());
+        }
+
+        /// diff is exact: `other ∪ (self \ other) == self ∪ other`.
+        #[test]
+        fn diff_reconstructs(
+            a in proptest::collection::vec((1u64..10, 0usize..3), 0..16),
+            b in proptest::collection::vec((1u64..10, 0usize..3), 0..16),
+        ) {
+            let to_log = |v: &Vec<(u64, usize)>| -> Log<String> {
+                v.iter()
+                    .map(|&(ct, s)| Entry::new(Timestamp::new(ct, s), format!("op{ct}:{s}")))
+                    .collect()
+            };
+            let (la, lb) = (to_log(&a), to_log(&b));
+            prop_assert_eq!(lb.merged(&la.diff(&lb)), lb.merged(&la));
         }
     }
 }

@@ -13,8 +13,25 @@
 //! *availability* cost the paper's Figure 5-1 attributes to quorum
 //! intersection constraints. Experiments drive this runtime under fault
 //! schedules to measure availability and latency per quorum assignment.
+//!
+//! ## Replication modes
+//!
+//! The literal protocol of §3.1 ships whole logs: every read response,
+//! commit broadcast, and gossip push carries the full growing log, so
+//! bytes-on-the-wire and per-query evaluation grow quadratically with
+//! history length. Because log merge is a join on the timestamp lattice
+//! (pinned by `log`'s proptests), shipping only the entries the receiver
+//! is missing is sound: [`ReplicationMode::Delta`] (the default) has
+//! clients and replicas advertise compact per-site [`Frontier`]s and
+//! respond with [`Log::delta_above`] suffixes, while
+//! [`ReplicationMode::FullLog`] keeps the paper-literal path for
+//! differential testing. The two modes exchange the *same messages at
+//! the same times* (only payload contents shrink), so fault handling,
+//! randomness, outcomes, and degradation transitions are bit-identical —
+//! asserted by `tests/delta_equivalence.rs`.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use relax_automata::History;
 use relax_sim::{Ctx, NetworkConfig, Node, NodeId, SimTime, World};
@@ -23,9 +40,11 @@ use relax_trace::{
 };
 
 use crate::assignment::VotingAssignment;
+use crate::frontier::Frontier;
 use crate::log::{Entry, Log};
 use crate::relation::HasKind;
 use crate::timestamp::LogicalClock;
+use crate::viewcache::ViewCache;
 
 /// A replicated data type, as the runtime needs it: evaluation of views
 /// plus client-side response choice.
@@ -73,29 +92,51 @@ pub trait ReplicatedType: Clone {
     }
 }
 
-/// Messages of the quorum protocol.
+/// How log contents travel between nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicationMode {
+    /// The paper-literal path: every read response, commit broadcast,
+    /// and gossip push carries the sender's whole log.
+    FullLog,
+    /// Delta replication: receivers advertise a [`Frontier`] and senders
+    /// ship only the missing entries ([`Log::delta_above`] /
+    /// [`Log::diff`]). Message pattern and timing are identical to
+    /// [`ReplicationMode::FullLog`]; only payloads shrink.
+    #[default]
+    Delta,
+}
+
+/// Messages of the quorum protocol. Log payloads are [`Arc`]-shared so a
+/// broadcast of the same log to `n` replicas clones a pointer, not the
+/// entries.
 #[derive(Debug, Clone)]
 pub enum Msg<T: ReplicatedType> {
     /// External kick: the client should run this invocation.
     Start(T::Inv),
-    /// Client → replica: send me your log.
+    /// Client → replica: send me your log (or, in delta mode, the part
+    /// of it above my known frontier).
     ReadReq {
         /// Correlates responses with the pending invocation.
         inv_id: u64,
+        /// In delta mode, the client's summary of what it already holds
+        /// of this replica's log; `None` requests the whole log.
+        known: Option<Frontier>,
     },
-    /// Replica → client: my resident log.
+    /// Replica → client: my resident log (or the requested delta).
     ReadResp {
         /// Correlation id.
         inv_id: u64,
-        /// The replica's log.
-        log: Log<T::Op>,
+        /// The replica's log, or its delta above the requested frontier.
+        log: Arc<Log<T::Op>>,
     },
-    /// Client → replica: merge this updated view.
+    /// Client → replica: merge this updated view (or just the entries of
+    /// it the client believes this replica is missing).
     WriteReq {
         /// Correlation id.
         inv_id: u64,
-        /// The updated view (original view plus the new entry).
-        log: Log<T::Op>,
+        /// The updated view (original view plus the new entry), or its
+        /// delta against the client's record of this replica's log.
+        log: Arc<Log<T::Op>>,
     },
     /// Replica → client: merged.
     WriteAck {
@@ -105,11 +146,34 @@ pub enum Msg<T: ReplicatedType> {
     /// Replica → replica anti-entropy: merge my log (§3's "updates …
     /// propagated asynchronously, perhaps as inaccessible sites rejoin").
     Gossip {
-        /// The sender's resident log.
-        log: Log<T::Op>,
+        /// The sender's resident log, or its delta above the last
+        /// frontier the receiver advertised to the sender.
+        log: Arc<Log<T::Op>>,
+        /// In delta mode, the sender's current full-log frontier, letting
+        /// the receiver push deltas back on its own gossip turns.
+        frontier: Option<Frontier>,
     },
     /// Control: arm a replica's gossip timer.
     GossipKick,
+}
+
+/// Models the wire size of a protocol message, for the world's payload
+/// accounting: 16 bytes of header, ~24 per log entry (timestamp + small
+/// operation), ~28 per advertised frontier site. Install with
+/// [`QuorumSystem::with_wire_accounting`].
+pub fn msg_wire_bytes<T: ReplicatedType>(msg: &Msg<T>) -> u64 {
+    const HEADER: u64 = 16;
+    const ENTRY: u64 = 24;
+    const SITE: u64 = 28;
+    let frontier_bytes = |f: &Frontier| f.sites().len() as u64 * SITE;
+    match msg {
+        Msg::Start(_) | Msg::WriteAck { .. } | Msg::GossipKick => HEADER,
+        Msg::ReadReq { known, .. } => HEADER + known.as_ref().map_or(0, frontier_bytes),
+        Msg::ReadResp { log, .. } | Msg::WriteReq { log, .. } => HEADER + ENTRY * log.len() as u64,
+        Msg::Gossip { log, frontier } => {
+            HEADER + ENTRY * log.len() as u64 + frontier.as_ref().map_or(0, frontier_bytes)
+        }
+    }
 }
 
 /// How one invocation ended, from the client's point of view.
@@ -185,6 +249,9 @@ enum Phase<T: ReplicatedType> {
     Write {
         acked: BTreeSet<NodeId>,
         op: T::Op,
+        /// The full updated view being recorded; acks fold it into the
+        /// client's per-replica `known` record in delta mode.
+        updated: Arc<Log<T::Op>>,
     },
 }
 
@@ -205,29 +272,58 @@ pub enum RoleNode<T: ReplicatedType> {
         log: Log<T::Op>,
         /// Gossip interval in ticks (`None` disables anti-entropy).
         gossip: Option<u64>,
-        /// All replicas (gossip peers).
-        peers: Vec<NodeId>,
+        /// All replicas (gossip peers; shared, not cloned per node).
+        peers: Arc<[NodeId]>,
         /// Timer generation: stale timer tokens are ignored, and any
         /// received message re-arms the timer (so replicas that lost
         /// their timer while crashed resume gossiping on first contact).
         epoch: u64,
+        /// How this replica ships its log to peers and clients.
+        mode: ReplicationMode,
+        /// The last frontier each peer advertised via gossip (indexed by
+        /// node id; replicas are nodes `0..n`). `None` → push the whole
+        /// log. Lost advertisements only cost redundancy: merge is
+        /// idempotent.
+        peer_frontiers: Vec<Option<Frontier>>,
     },
     /// The client running the three-step protocol.
     Client(Box<ClientState<T>>),
 }
 
 /// Client-side protocol state.
-#[derive(Debug)]
 pub struct ClientState<T: ReplicatedType> {
     ttype: T,
-    assignment: VotingAssignment<<T::Op as HasKind>::Kind>,
-    replicas: Vec<NodeId>,
+    assignment: Arc<VotingAssignment<<T::Op as HasKind>::Kind>>,
+    replicas: Arc<[NodeId]>,
     config: ClientConfig,
     clock: LogicalClock,
     next_inv_id: u64,
     pending: Option<Pending<T>>,
-    backlog: Vec<T::Inv>,
+    backlog: VecDeque<T::Inv>,
     outcomes: Vec<Outcome<T::Op>>,
+    mode: ReplicationMode,
+    /// In delta mode, a per-replica lower bound on that replica's log
+    /// (`known[r] ⊆ log_r` always): grown from read-response deltas
+    /// (after which it equals `log_r` exactly) and accepted write acks.
+    known: Vec<Log<T::Op>>,
+    /// Memoize view evaluation across invocations (suffix-only replay).
+    memoize: bool,
+    cache: ViewCache<T::Value>,
+}
+
+// Manual impl: the derive would demand `T::Value: Debug` (via the view
+// cache) and `T: Debug`, neither of which the trait requires.
+impl<T: ReplicatedType> std::fmt::Debug for ClientState<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientState")
+            .field("mode", &self.mode)
+            .field("memoize", &self.memoize)
+            .field("next_inv_id", &self.next_inv_id)
+            .field("pending", &self.pending.is_some())
+            .field("backlog", &self.backlog.len())
+            .field("outcomes", &self.outcomes.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T: ReplicatedType> ClientState<T> {
@@ -237,10 +333,12 @@ impl<T: ReplicatedType> ClientState<T> {
     }
 
     fn start_next(&mut self, ctx: &mut Ctx<'_, Msg<T>>) {
-        if self.pending.is_some() || self.backlog.is_empty() {
+        if self.pending.is_some() {
             return;
         }
-        let inv = self.backlog.remove(0);
+        let Some(inv) = self.backlog.pop_front() else {
+            return;
+        };
         self.next_inv_id += 1;
         let inv_id = self.next_inv_id;
         if ctx.trace_enabled() {
@@ -265,8 +363,12 @@ impl<T: ReplicatedType> ClientState<T> {
         });
         ctx.set_timer(self.config.timeout, inv_id);
         if needs_read {
-            for &r in &self.replicas {
-                ctx.send(r, Msg::ReadReq { inv_id });
+            for &r in self.replicas.iter() {
+                let known = match self.mode {
+                    ReplicationMode::FullLog => None,
+                    ReplicationMode::Delta => Some(self.known[r.0].frontier()),
+                };
+                ctx.send(r, Msg::ReadReq { inv_id, known });
             }
         } else {
             // A zero initial quorum: the response does not depend on the
@@ -298,7 +400,13 @@ impl<T: ReplicatedType> ClientState<T> {
                 merged_len,
             });
         }
-        let value = self.ttype.eval_view(view);
+        let value = if self.memoize {
+            let ttype = &self.ttype;
+            self.cache
+                .eval(view, ttype.initial_value(), |v, op| ttype.apply(v, op))
+        } else {
+            self.ttype.eval_view(view)
+        };
         match self.ttype.execute(&value, &pending.inv) {
             None => {
                 let latency = ctx.now() - pending.started_at;
@@ -308,17 +416,27 @@ impl<T: ReplicatedType> ClientState<T> {
                 let ts = self.clock.tick();
                 let mut updated = view.clone();
                 updated.insert(Entry::new(ts, op.clone()));
+                let updated = Arc::new(updated);
                 pending.phase = Phase::Write {
                     acked: BTreeSet::new(),
                     op,
+                    updated: Arc::clone(&updated),
                 };
-                let replicas = self.replicas.clone();
-                for r in replicas {
+                let replicas = Arc::clone(&self.replicas);
+                for &r in replicas.iter() {
+                    let payload = match self.mode {
+                        // One shared view, n pointer clones.
+                        ReplicationMode::FullLog => Arc::clone(&updated),
+                        // Only what we believe the replica is missing;
+                        // `known[r] ⊆ log_r`, so its merge result is
+                        // unchanged.
+                        ReplicationMode::Delta => Arc::new(updated.diff(&self.known[r.0])),
+                    };
                     ctx.send(
                         r,
                         Msg::WriteReq {
                             inv_id,
-                            log: updated.clone(),
+                            log: payload,
                         },
                     );
                 }
@@ -358,14 +476,22 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                 gossip,
                 peers,
                 epoch,
+                mode: _,
+                peer_frontiers,
             } => {
                 match msg {
-                    Msg::ReadReq { inv_id } => {
+                    Msg::ReadReq { inv_id, known } => {
+                        let payload = match known {
+                            // Delta mode: only the entries above the
+                            // client's advertised frontier.
+                            Some(f) => log.delta_above(&f),
+                            None => log.clone(),
+                        };
                         ctx.send(
                             from,
                             Msg::ReadResp {
                                 inv_id,
-                                log: log.clone(),
+                                log: Arc::new(payload),
                             },
                         );
                     }
@@ -373,8 +499,16 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                         log.merge(&view);
                         ctx.send(from, Msg::WriteAck { inv_id });
                     }
-                    Msg::Gossip { log: peer_log } => {
+                    Msg::Gossip {
+                        log: peer_log,
+                        frontier,
+                    } => {
                         log.merge(&peer_log);
+                        if let Some(f) = frontier {
+                            // Remember what the peer holds, so our own
+                            // pushes to it can ship deltas.
+                            peer_frontiers[from.0] = Some(f);
+                        }
                     }
                     Msg::GossipKick => {}
                     _ => {}
@@ -389,7 +523,7 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
             }
             RoleNode::Client(client) => match msg {
                 Msg::Start(inv) => {
-                    client.backlog.push(inv);
+                    client.backlog.push_back(inv);
                     client.start_next(ctx);
                 }
                 Msg::ReadResp { inv_id, log } => {
@@ -405,7 +539,18 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                     if !responded.insert(from) {
                         return;
                     }
-                    view.merge(&log);
+                    match client.mode {
+                        ReplicationMode::FullLog => view.merge(&log),
+                        ReplicationMode::Delta => {
+                            // The delta answered exactly our advertised
+                            // frontier, so merging it into `known[from]`
+                            // reconstructs the replica's log at response
+                            // time (see `Log::delta_above`).
+                            let known = &mut client.known[from.0];
+                            known.merge(&log);
+                            view.merge(known);
+                        }
+                    }
                     let kind = client.ttype.invocation_kind(&pending.inv);
                     if responded.len() < client.assignment.initial_size(kind) {
                         return;
@@ -431,11 +576,16 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                     if pending.inv_id != inv_id {
                         return;
                     }
-                    let Phase::Write { acked, op } = &mut pending.phase else {
+                    let Phase::Write { acked, op, updated } = &mut pending.phase else {
                         return;
                     };
                     if !acked.insert(from) {
                         return;
+                    }
+                    if client.mode == ReplicationMode::Delta {
+                        // The replica merged our delta, so its log now
+                        // contains the whole updated view.
+                        client.known[from.0].merge(updated);
                     }
                     let kind = op.kind();
                     if acked.len() >= client.assignment.final_size(kind) {
@@ -477,7 +627,7 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                                     client.assignment.initial_size(kind),
                                 )
                             }
-                            Phase::Write { acked, op } => (
+                            Phase::Write { acked, op, .. } => (
                                 QuorumPhase::Write,
                                 acked.len(),
                                 client.assignment.final_size(op.kind()),
@@ -499,6 +649,8 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                 gossip,
                 peers,
                 epoch,
+                mode,
+                peer_frontiers,
             } => {
                 if token != *epoch {
                     return; // stale timer from a previous epoch
@@ -508,7 +660,27 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                     let me = ctx.me();
                     let others: Vec<NodeId> = peers.iter().copied().filter(|&p| p != me).collect();
                     if let Some(&peer) = ctx.rng().choose(&others) {
-                        ctx.send(peer, Msg::Gossip { log: log.clone() });
+                        let msg = match mode {
+                            ReplicationMode::FullLog => Msg::Gossip {
+                                log: Arc::new(log.clone()),
+                                frontier: None,
+                            },
+                            ReplicationMode::Delta => {
+                                // Ship only what the peer last told us it
+                                // was missing; never heard from it → the
+                                // whole log (merge is idempotent either
+                                // way).
+                                let payload = match &peer_frontiers[peer.0] {
+                                    Some(f) => log.delta_above(f),
+                                    None => log.clone(),
+                                };
+                                Msg::Gossip {
+                                    log: Arc::new(payload),
+                                    frontier: Some(log.frontier()),
+                                }
+                            }
+                        };
+                        ctx.send(peer, msg);
                     }
                     *epoch += 1;
                     ctx.set_timer(*interval, *epoch);
@@ -585,13 +757,16 @@ impl<T: ReplicatedType> QuorumSystem<T> {
             n_replicas,
             "assignment must cover exactly the replica set"
         );
-        let replica_ids: Vec<NodeId> = (0..n_replicas).map(NodeId).collect();
+        let replica_ids: Arc<[NodeId]> = (0..n_replicas).map(NodeId).collect();
+        let assignment = Arc::new(assignment);
         let mut nodes: Vec<RoleNode<T>> = (0..n_replicas)
             .map(|_| RoleNode::Replica {
                 log: Log::new(),
                 gossip: None,
-                peers: replica_ids.clone(),
+                peers: Arc::clone(&replica_ids),
                 epoch: 0,
+                mode: ReplicationMode::default(),
+                peer_frontiers: vec![None; n_replicas],
             })
             .collect();
         let mut clients = Vec::with_capacity(n_clients);
@@ -600,14 +775,18 @@ impl<T: ReplicatedType> QuorumSystem<T> {
             clients.push(id);
             nodes.push(RoleNode::Client(Box::new(ClientState {
                 ttype: ttype.clone(),
-                assignment: assignment.clone(),
-                replicas: (0..n_replicas).map(NodeId).collect(),
+                assignment: Arc::clone(&assignment),
+                replicas: Arc::clone(&replica_ids),
                 config: client_config.clone(),
                 clock: LogicalClock::new(id.0),
                 next_inv_id: 0,
                 pending: None,
-                backlog: Vec::new(),
+                backlog: VecDeque::new(),
                 outcomes: Vec::new(),
+                mode: ReplicationMode::default(),
+                known: vec![Log::new(); n_replicas],
+                memoize: true,
+                cache: ViewCache::new(),
             })));
         }
         QuorumSystem {
@@ -624,6 +803,46 @@ impl<T: ReplicatedType> QuorumSystem<T> {
     #[must_use]
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.world = self.world.with_trace(capacity);
+        self
+    }
+
+    /// Selects how log contents travel ([`ReplicationMode::Delta`] by
+    /// default; [`ReplicationMode::FullLog`] is the paper-literal
+    /// baseline). Builder-style; call before running.
+    #[must_use]
+    pub fn with_replication(mut self, new_mode: ReplicationMode) -> Self {
+        for i in 0..self.n_replicas {
+            if let RoleNode::Replica { mode, .. } = self.world.node_mut(NodeId(i)) {
+                *mode = new_mode;
+            }
+        }
+        for &id in &self.clients.clone() {
+            if let RoleNode::Client(c) = self.world.node_mut(id) {
+                c.mode = new_mode;
+            }
+        }
+        self
+    }
+
+    /// Enables or disables memoized view evaluation on every client
+    /// (enabled by default; disable for the unmemoized baseline).
+    /// Builder-style; call before running.
+    #[must_use]
+    pub fn with_memoized_views(mut self, on: bool) -> Self {
+        for &id in &self.clients.clone() {
+            if let RoleNode::Client(c) = self.world.node_mut(id) {
+                c.memoize = on;
+            }
+        }
+        self
+    }
+
+    /// Installs the protocol's wire-size model ([`msg_wire_bytes`]) on
+    /// the underlying world, so `bytes_sent` / `bytes_delivered` track
+    /// modeled payload bytes. Builder-style.
+    #[must_use]
+    pub fn with_wire_accounting(mut self) -> Self {
+        self.world = self.world.with_payload_sizer(msg_wire_bytes::<T>);
         self
     }
 
@@ -1343,6 +1562,101 @@ mod tests {
                 OpLabel::from_debug(&inv).as_str()
             );
         }
+    }
+
+    /// Runs the same partitioned, gossiping workload in one replication
+    /// mode and returns everything observable.
+    #[allow(clippy::type_complexity)]
+    fn observable_run(
+        mode: ReplicationMode,
+        memoize: bool,
+        seed: u64,
+    ) -> (Vec<Outcome<QueueOp>>, Vec<QueueOp>, u64, u64) {
+        use relax_sim::Partition;
+        let mut sys = QuorumSystem::new(
+            TaxiQueueType,
+            3,
+            taxi_assignment(3),
+            ClientConfig::default(),
+            NetworkConfig::default(),
+            seed,
+        )
+        .with_replication(mode)
+        .with_memoized_views(memoize)
+        .with_wire_accounting()
+        .with_gossip(30);
+        sys.world_mut().set_schedule(
+            FaultSchedule::new()
+                .at(
+                    SimTime(40),
+                    Fault::Partition(Partition::groups(vec![
+                        vec![NodeId(3), NodeId(0), NodeId(1)],
+                        vec![NodeId(2)],
+                    ])),
+                )
+                .at(SimTime(400), Fault::Heal),
+        );
+        for i in 0..12 {
+            sys.submit(if i % 3 == 2 {
+                QueueInv::Deq
+            } else {
+                QueueInv::Enq(i)
+            });
+        }
+        sys.run_until(SimTime(5_000));
+        (
+            sys.outcomes().to_vec(),
+            sys.merged_history().into_ops(),
+            sys.world().messages_sent(),
+            sys.world().bytes_sent(),
+        )
+    }
+
+    #[test]
+    fn delta_mode_is_observably_identical_to_full_log() {
+        // Same messages at the same times → same rng draws → the two
+        // modes agree on *everything* except payload bytes.
+        for seed in [3, 17, 99] {
+            let full = observable_run(ReplicationMode::FullLog, false, seed);
+            let delta = observable_run(ReplicationMode::Delta, true, seed);
+            assert_eq!(full.0, delta.0, "outcomes diverged (seed {seed})");
+            assert_eq!(full.1, delta.1, "merged history diverged (seed {seed})");
+            assert_eq!(full.2, delta.2, "message counts diverged (seed {seed})");
+            assert!(
+                delta.3 <= full.3,
+                "delta mode shipped more bytes (seed {seed}): {} > {}",
+                delta.3,
+                full.3
+            );
+        }
+    }
+
+    #[test]
+    fn delta_mode_ships_far_fewer_bytes_on_long_histories() {
+        let run = |mode| {
+            let mut sys = QuorumSystem::new(
+                TaxiQueueType,
+                3,
+                taxi_assignment(3),
+                ClientConfig::default(),
+                NetworkConfig::default(),
+                42,
+            )
+            .with_replication(mode)
+            .with_wire_accounting()
+            .with_gossip(40);
+            for i in 0..120 {
+                sys.submit(QueueInv::Enq(i));
+            }
+            assert!(sys.run_until_outcomes(120, 1_000_000));
+            sys.world().bytes_sent()
+        };
+        let full = run(ReplicationMode::FullLog);
+        let delta = run(ReplicationMode::Delta);
+        assert!(
+            delta * 5 < full,
+            "expected ≥5× byte reduction at 120 ops: delta={delta} full={full}"
+        );
     }
 
     #[test]

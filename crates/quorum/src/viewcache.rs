@@ -1,0 +1,195 @@
+//! Memoized view evaluation keyed by log version.
+//!
+//! Evaluating a view (§3.1's `eval_view`: fold the view's operations in
+//! timestamp order into the object's value) from scratch costs O(n) per
+//! query — O(n²) over a run. But a client's view between two queries
+//! usually grows by appending entries *above* everything it held: the
+//! previously evaluated log is then a strict prefix of the new one, and
+//! only the suffix needs replaying.
+//!
+//! A [`ViewCache`] detects that case in O(1) using the log's incremental
+//! prefix hash: the cached state is valid for `log` iff `log` has at
+//! least `len` entries, the entry at `len - 1` carries the cached last
+//! timestamp, and `log.prefix_hash(len)` matches the cached hash — which
+//! identifies the prefix *set* up to XOR collision (≈ 2⁻⁶⁴; same trust
+//! model as [`crate::frontier`]). On a miss (the merge introduced
+//! entries below the cached point, reordering the fold) it falls back to
+//! a full replay, so results are always exactly the fresh evaluation.
+
+use crate::log::Log;
+use crate::timestamp::Timestamp;
+
+#[derive(Clone)]
+struct Cached<V> {
+    /// Length of the evaluated prefix.
+    len: usize,
+    /// Timestamp of its last entry.
+    last_ts: Timestamp,
+    /// `log.prefix_hash(len)` at evaluation time.
+    hash: u64,
+    /// The folded value over that prefix.
+    value: V,
+}
+
+/// An incremental evaluator for a growing log.
+#[derive(Clone)]
+pub struct ViewCache<V> {
+    cached: Option<Cached<V>>,
+    hits: u64,
+    misses: u64,
+}
+
+// Manual impl so `Debug` does not require `V: Debug` (values may be
+// arbitrary user state).
+impl<V> std::fmt::Debug for ViewCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ViewCache")
+            .field("cached_len", &self.cached.as_ref().map(|c| c.len))
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+impl<V> Default for ViewCache<V> {
+    fn default() -> Self {
+        ViewCache {
+            cached: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<V: Clone> ViewCache<V> {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ViewCache::default()
+    }
+
+    /// Folds `apply` over `log`'s operations in timestamp order starting
+    /// from `initial`, replaying only the suffix beyond the cached
+    /// prefix when the cache is valid for `log`.
+    pub fn eval<Op: Clone>(
+        &mut self,
+        log: &Log<Op>,
+        initial: V,
+        mut apply: impl FnMut(&V, &Op) -> V,
+    ) -> V {
+        let entries = log.entries();
+        let start = match &self.cached {
+            Some(c)
+                if c.len <= entries.len()
+                    && entries[c.len - 1].ts == c.last_ts
+                    && log.prefix_hash(c.len) == c.hash =>
+            {
+                self.hits += 1;
+                c.len
+            }
+            Some(_) => {
+                self.misses += 1;
+                0
+            }
+            None => 0,
+        };
+        let mut value = if start > 0 {
+            self.cached.as_ref().expect("validated above").value.clone()
+        } else {
+            initial
+        };
+        for e in &entries[start..] {
+            value = apply(&value, &e.op);
+        }
+        if let Some(last) = entries.last() {
+            self.cached = Some(Cached {
+                len: entries.len(),
+                last_ts: last.ts,
+                hash: log.prefix_hash(entries.len()),
+                value: value.clone(),
+            });
+        }
+        value
+    }
+
+    /// How many evaluations reused a cached prefix.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// How many evaluations found a stale cache and replayed fully.
+    /// First-ever evaluations count as neither.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::Entry;
+
+    fn e(counter: u64, site: usize, op: i64) -> Entry<i64> {
+        Entry::new(Timestamp::new(counter, site), op)
+    }
+
+    fn fresh_sum(log: &Log<i64>) -> i64 {
+        log.entries().iter().map(|x| x.op).sum()
+    }
+
+    #[test]
+    fn append_only_growth_hits_the_cache() {
+        let mut cache = ViewCache::new();
+        let mut log = Log::new();
+        for i in 1..=10u64 {
+            log.insert(e(i, 0, i as i64));
+            let v = cache.eval(&log, 0i64, |acc, op| acc + op);
+            assert_eq!(v, fresh_sum(&log));
+        }
+        assert_eq!(cache.hits(), 9); // everything after the first eval
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn merge_below_cached_point_invalidates() {
+        let mut cache = ViewCache::new();
+        let mut log = Log::new();
+        log.insert(e(2, 0, 10));
+        log.insert(e(4, 0, 20));
+        assert_eq!(cache.eval(&log, 0i64, |a, op| a + op), 30);
+
+        // An entry lands *below* the cached prefix: replay must restart.
+        log.insert(e(1, 1, 100));
+        assert_eq!(cache.eval(&log, 0i64, |a, op| a + op), 130);
+        assert_eq!(cache.misses(), 1);
+
+        // And the rebuilt cache serves appends again.
+        log.insert(e(9, 0, 1));
+        assert_eq!(cache.eval(&log, 0i64, |a, op| a + op), 131);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn order_sensitive_fold_stays_exact() {
+        // Subtraction is order-sensitive: any prefix confusion would
+        // change the result.
+        let mut cache = ViewCache::new();
+        let mut log = Log::new();
+        log.insert(e(3, 0, 7));
+        let _ = cache.eval(&log, 100i64, |a, op| a - op);
+        log.insert(e(1, 0, 5));
+        log.insert(e(2, 1, 3));
+        let v = cache.eval(&log, 100i64, |a, op| a - op);
+        assert_eq!(v, 100 - 5 - 3 - 7);
+    }
+
+    #[test]
+    fn empty_log_returns_initial() {
+        let mut cache = ViewCache::new();
+        let log: Log<i64> = Log::new();
+        assert_eq!(cache.eval(&log, 42i64, |a, op| a + op), 42);
+        assert_eq!(cache.hits() + cache.misses(), 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Differential verification of delta replication: under random fault
+//! schedules, gossip intervals, message loss, and workloads, a
+//! [`ReplicationMode::Delta`] run (with memoized view evaluation) is
+//! observably identical to a [`ReplicationMode::FullLog`] run (with
+//! fresh evaluation) — same outcomes, same merged history, same final
+//! replica logs, same degradation-monitor transitions, same message
+//! count — while never shipping more bytes.
+//!
+//! The argument the tests check operationally: delta payloads change
+//! only message *contents*, never which messages are sent or when, so
+//! the simulator draws the same delays and losses in the same order;
+//! and every omitted entry is one the receiver provably already holds
+//! (logs only grow, and a frontier confirms a site's prefix by count,
+//! max, and hash), so every merge lands in the same state.
+
+use proptest::prelude::*;
+
+use relax_queues::QueueOp;
+use relax_quorum::relation::QueueKind;
+use relax_quorum::runtime::{queue_lattice_monitor, Outcome, QueueInv, TaxiQueueType};
+use relax_quorum::{ClientConfig, Log, QuorumSystem, ReplicationMode, VotingAssignment};
+use relax_sim::{Fault, FaultSchedule, NetworkConfig, NodeId, Partition, SimTime};
+
+/// Replicas; the single client is `NodeId(N)`.
+const N: usize = 3;
+
+/// Majority-Deq taxi-queue assignment (the runtime's canonical shape).
+fn taxi_assignment(n: usize) -> VotingAssignment<QueueKind> {
+    let maj = n / 2 + 1;
+    VotingAssignment::new(n)
+        .with_initial(QueueKind::Deq, maj)
+        .with_final(QueueKind::Deq, maj)
+        .with_initial(QueueKind::Enq, 1)
+        .with_final(QueueKind::Enq, n - maj + 1)
+}
+
+/// Everything externally observable about one run.
+#[derive(Debug, Clone, PartialEq)]
+struct Observed {
+    outcomes: Vec<Outcome<QueueOp>>,
+    history: Vec<QueueOp>,
+    replica_logs: Vec<Log<QueueOp>>,
+    transitions: Vec<(usize, Vec<String>, Option<String>)>,
+    messages: u64,
+}
+
+/// One randomized environment + workload.
+#[derive(Debug, Clone)]
+struct Scenario {
+    seed: u64,
+    loss: f64,
+    gossip: Option<u64>,
+    /// Node `i` (of the `N + 1` nodes) goes in partition group A iff bit
+    /// `i` is set; masks leaving a group empty mean "no partition".
+    part_mask: u8,
+    part_at: u64,
+    part_len: u64,
+    crash: Option<(usize, u64, u64)>,
+    /// The lattice monitor's MPQ frontier can branch on every `Deq`, so
+    /// it is only attached on short workloads (the monitor-transition
+    /// comparison needs it; long byte-ratio runs don't).
+    monitor: bool,
+    invs: Vec<QueueInv>,
+}
+
+fn run_one(mode: ReplicationMode, memoize: bool, s: &Scenario) -> (Observed, u64) {
+    let mut sys = QuorumSystem::new(
+        TaxiQueueType,
+        N,
+        taxi_assignment(N),
+        ClientConfig::default(),
+        NetworkConfig::new(1, 10, s.loss),
+        s.seed,
+    )
+    .with_replication(mode)
+    .with_memoized_views(memoize)
+    .with_wire_accounting();
+    if s.monitor {
+        sys = sys.with_monitor(queue_lattice_monitor());
+    }
+    if let Some(g) = s.gossip {
+        sys = sys.with_gossip(g);
+    }
+
+    let mut sched = FaultSchedule::new();
+    let group_a: Vec<NodeId> = (0..=N)
+        .filter(|i| s.part_mask & (1 << i) != 0)
+        .map(NodeId)
+        .collect();
+    let group_b: Vec<NodeId> = (0..=N)
+        .filter(|i| s.part_mask & (1 << i) == 0)
+        .map(NodeId)
+        .collect();
+    if !group_a.is_empty() && !group_b.is_empty() {
+        sched = sched
+            .at(
+                SimTime(s.part_at),
+                Fault::Partition(Partition::groups(vec![group_a, group_b])),
+            )
+            .at(SimTime(s.part_at + s.part_len), Fault::Heal);
+    }
+    if let Some((r, from, len)) = s.crash {
+        sched = sched.down_between(NodeId(r % N), SimTime(from), SimTime(from + len));
+    }
+    sys.world_mut().set_schedule(sched);
+
+    for inv in &s.invs {
+        sys.submit(*inv);
+    }
+    sys.run_until(SimTime(3_000));
+
+    let observed = Observed {
+        outcomes: sys.outcomes().to_vec(),
+        history: sys.merged_history().into_ops(),
+        replica_logs: (0..N).map(|i| sys.replica_log(i).clone()).collect(),
+        transitions: sys
+            .monitor()
+            .map(|m| {
+                m.transitions()
+                    .iter()
+                    .map(|t| (t.op_index, t.left.clone(), t.now.clone()))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        messages: sys.world().messages_sent(),
+    };
+    let bytes = sys.world().bytes_sent();
+    (observed, bytes)
+}
+
+fn check_equivalence(s: &Scenario) -> Result<(), proptest::TestCaseError> {
+    let (full, full_bytes) = run_one(ReplicationMode::FullLog, false, s);
+    let (delta, delta_bytes) = run_one(ReplicationMode::Delta, true, s);
+    prop_assert_eq!(
+        &full,
+        &delta,
+        "observable divergence under {:?} (full {} bytes, delta {} bytes)",
+        s,
+        full_bytes,
+        delta_bytes
+    );
+    // On tiny histories the frontier metadata (≤ 28 bytes per site per
+    // message) can outweigh the entries saved, so the sound bound is
+    // full-log bytes plus that overhead; the long-history test below
+    // pins the actual reduction.
+    let frontier_overhead = delta.messages * (N as u64) * 28;
+    prop_assert!(
+        delta_bytes <= full_bytes + frontier_overhead,
+        "delta shipped more than full-log + frontier overhead \
+         ({delta_bytes} > {full_bytes} + {frontier_overhead}) under {s:?}"
+    );
+    Ok(())
+}
+
+proptest! {
+    /// The differential property: delta ≡ full-log, observably, under
+    /// random partitions, crashes, gossip intervals, loss rates, and
+    /// workloads.
+    #[test]
+    fn delta_is_observably_equivalent_to_full_log(
+        seed in 0u64..1_000_000,
+        loss in 0.0f64..0.3,
+        gossip_raw in (any::<bool>(), 5u64..60),
+        part_mask in 1u8..15,
+        part_at in 10u64..200,
+        part_len in 20u64..400,
+        crash_raw in ((any::<bool>(), 0usize..3), (10u64..200, 20u64..300)),
+        invs_raw in proptest::collection::vec((0u8..3, 0i64..8), 1..24),
+    ) {
+        let s = Scenario {
+            seed,
+            loss,
+            gossip: gossip_raw.0.then_some(gossip_raw.1),
+            part_mask,
+            part_at,
+            part_len,
+            crash: (crash_raw.0).0.then_some(((crash_raw.0).1, (crash_raw.1).0, (crash_raw.1).1)),
+            monitor: true,
+            invs: invs_raw
+                .into_iter()
+                .map(|(k, v)| if k == 2 { QueueInv::Deq } else { QueueInv::Enq(v) })
+                .collect(),
+        };
+        check_equivalence(&s)?;
+    }
+}
+
+/// A deterministic long-history stress: partition + replica crash +
+/// anti-entropy, ending with the byte-reduction the delta path exists
+/// for. (The precise ≥10× gate at history ≥ 1000 lives in the
+/// `exp_runtime_throughput` bench; this pins a conservative floor in
+/// the test suite.)
+#[test]
+fn long_history_delta_bytes_shrink_under_faults() {
+    let s = Scenario {
+        seed: 0xFEED,
+        loss: 0.0,
+        gossip: Some(25),
+        part_mask: 0b0101,
+        part_at: 100,
+        part_len: 300,
+        crash: Some((1, 600, 200)),
+        monitor: false,
+        invs: (0..150)
+            .map(|i| {
+                if i % 5 == 4 {
+                    QueueInv::Deq
+                } else {
+                    QueueInv::Enq(i)
+                }
+            })
+            .collect(),
+    };
+    let (full, full_bytes) = run_one(ReplicationMode::FullLog, false, &s);
+    let (delta, delta_bytes) = run_one(ReplicationMode::Delta, true, &s);
+    assert_eq!(full, delta, "observable divergence on the long history");
+    assert!(
+        delta_bytes * 4 < full_bytes,
+        "expected ≥4x byte reduction, got {full_bytes} vs {delta_bytes}"
+    );
+}
+
+/// Memoization alone (full-log mode) must also be invisible: it changes
+/// evaluation effort, never evaluation results.
+#[test]
+fn memoization_is_invisible_in_full_log_mode() {
+    let s = Scenario {
+        seed: 0xABCD,
+        loss: 0.1,
+        gossip: Some(40),
+        part_mask: 0b0011,
+        part_at: 50,
+        part_len: 250,
+        crash: None,
+        monitor: true,
+        invs: (0..40)
+            .map(|i| {
+                if i % 3 == 2 {
+                    QueueInv::Deq
+                } else {
+                    QueueInv::Enq(i)
+                }
+            })
+            .collect(),
+    };
+    let (plain, _) = run_one(ReplicationMode::FullLog, false, &s);
+    let (memo, _) = run_one(ReplicationMode::FullLog, true, &s);
+    assert_eq!(plain, memo);
+}

@@ -1,0 +1,89 @@
+//! View-cache invalidation: memoized evaluation must equal a fresh
+//! replay of the whole log at *every* step of an arbitrary interleaving
+//! of appends, out-of-order inserts, merges, and queries.
+//!
+//! The cache keys on `(length, last timestamp, prefix hash)`; a merge
+//! that splices entries below the cached point changes the prefix hash
+//! and must force a full replay, while append-only growth replays only
+//! the suffix. Both paths must produce the value `η` would.
+
+use proptest::prelude::*;
+
+use relax_queues::QueueOp;
+use relax_quorum::runtime::{ReplicatedType, TaxiQueueType};
+use relax_quorum::{Entry, Log, Timestamp, ViewCache};
+
+/// Deterministic op for a timestamp, so the same timestamp always
+/// carries the same operation (as the runtime guarantees).
+fn op_for(ts: Timestamp) -> QueueOp {
+    if ts.counter % 3 == 2 {
+        QueueOp::Deq((ts.counter % 5) as i64)
+    } else {
+        QueueOp::Enq((ts.counter % 7) as i64)
+    }
+}
+
+fn entry(counter: u64, site: usize) -> Entry<QueueOp> {
+    let ts = Timestamp::new(counter, site);
+    Entry::new(ts, op_for(ts))
+}
+
+proptest! {
+    /// Interleaves inserts into a main log and a scratch log with
+    /// merges of scratch into main, querying through the cache after
+    /// every step and checking against an uncached replay.
+    #[test]
+    fn memoized_eval_matches_fresh_replay_at_every_step(
+        script in proptest::collection::vec((0u8..4, 1u64..40, 0usize..4), 1..40),
+    ) {
+        let ttype = TaxiQueueType;
+        let mut main = Log::new();
+        let mut scratch = Log::new();
+        let mut cache: ViewCache<<TaxiQueueType as ReplicatedType>::Value> =
+            ViewCache::default();
+        for (kind, counter, site) in script {
+            match kind {
+                0 | 1 => main.insert(entry(counter, site)),
+                2 => scratch.insert(entry(counter, site)),
+                _ => main.merge(&scratch),
+            }
+            let memoized = cache.eval(&main, ttype.initial_value(), |v, op| ttype.apply(v, op));
+            let fresh = ttype.eval_view(&main);
+            prop_assert_eq!(
+                &memoized,
+                &fresh,
+                "cache diverged after {} entries ({} hits / {} misses)",
+                main.len(),
+                cache.hits(),
+                cache.misses()
+            );
+        }
+    }
+}
+
+/// Append-only growth must hit the cache on every step after the first,
+/// and a merge splicing below the cached point must miss — the cheap
+/// path and the invalidation path, exercised through the public API.
+#[test]
+fn cache_hits_on_growth_and_misses_on_splice() {
+    let ttype = TaxiQueueType;
+    let mut cache: ViewCache<<TaxiQueueType as ReplicatedType>::Value> = ViewCache::default();
+    let mut log = Log::new();
+
+    for c in [10u64, 20, 30, 40, 50] {
+        log.insert(entry(c, 0));
+        let got = cache.eval(&log, ttype.initial_value(), |v, op| ttype.apply(v, op));
+        assert_eq!(got, ttype.eval_view(&log));
+    }
+    // First eval primes; the next four replay suffixes.
+    assert_eq!(cache.hits(), 4);
+    assert_eq!(cache.misses(), 0);
+
+    // Splice an entry below the cached point: prefix hash changes.
+    let mut other = Log::new();
+    other.insert(entry(15, 1));
+    log.merge(&other);
+    let got = cache.eval(&log, ttype.initial_value(), |v, op| ttype.apply(v, op));
+    assert_eq!(got, ttype.eval_view(&log));
+    assert_eq!(cache.misses(), 1, "mid-log splice must invalidate");
+}

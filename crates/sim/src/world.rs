@@ -92,6 +92,11 @@ pub struct World<P, N> {
     messages_injected: u64,
     messages_delivered: u64,
     messages_lost: u64,
+    /// Optional payload wire-size model; when installed, every offered
+    /// and delivered payload is sized into the byte counters.
+    payload_bytes: Option<fn(&P) -> u64>,
+    bytes_sent: u64,
+    bytes_delivered: u64,
 }
 
 impl<P: Clone, N: Node<P>> World<P, N> {
@@ -113,7 +118,22 @@ impl<P: Clone, N: Node<P>> World<P, N> {
             messages_injected: 0,
             messages_delivered: 0,
             messages_lost: 0,
+            payload_bytes: None,
+            bytes_sent: 0,
+            bytes_delivered: 0,
         }
+    }
+
+    /// Installs a payload wire-size model (builder-style): `sizer` is
+    /// applied to every payload a node offers to the network (counted in
+    /// [`World::bytes_sent`], whether or not the message survives) and to
+    /// every payload handed to a handler ([`World::bytes_delivered`],
+    /// which includes external injections). Sizing draws no randomness
+    /// and changes no behavior — installing it cannot perturb a run.
+    #[must_use]
+    pub fn with_payload_sizer(mut self, sizer: fn(&P) -> u64) -> Self {
+        self.payload_bytes = Some(sizer);
+        self
     }
 
     /// Installs a fault schedule (builder-style).
@@ -224,6 +244,19 @@ impl<P: Clone, N: Node<P>> World<P, N> {
     /// time or in flight).
     pub fn messages_lost(&self) -> u64 {
         self.messages_lost
+    }
+
+    /// Modeled payload bytes nodes offered to the network (0 unless a
+    /// sizer was installed with [`World::with_payload_sizer`]). Counts
+    /// lost messages too, mirroring [`World::messages_sent`].
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Modeled payload bytes delivered to handlers (0 unless a sizer was
+    /// installed). Includes external injections.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
     }
 
     /// Messages currently queued for delivery (neither delivered nor
@@ -379,6 +412,9 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                     return;
                 }
                 self.messages_delivered += 1;
+                if let Some(sizer) = self.payload_bytes {
+                    self.bytes_delivered += sizer(&payload);
+                }
                 self.tracer.record(
                     self.now.0,
                     TraceEvent::MessageDelivered {
@@ -420,6 +456,9 @@ impl<P: Clone, N: Node<P>> World<P, N> {
             match action {
                 Action::Send { dst, payload } => {
                     self.messages_sent += 1;
+                    if let Some(sizer) = self.payload_bytes {
+                        self.bytes_sent += sizer(&payload);
+                    }
                     let msg_id = self.next_msg_id();
                     match self.network.route(target, dst, &mut self.rng) {
                         Ok(delay) => {
@@ -705,6 +744,38 @@ mod tests {
             w.messages_sent() + 1,
             w.messages_delivered() + w.messages_lost()
         );
+    }
+
+    #[test]
+    fn payload_sizer_counts_sent_and_delivered_bytes() {
+        // Without a sizer, byte counters stay 0.
+        let mut w = two_echoes();
+        w.send_external(NodeId(0), 3);
+        w.run_to_quiescence(1000);
+        assert_eq!(w.bytes_sent(), 0);
+        assert_eq!(w.bytes_delivered(), 0);
+
+        // With a flat 10-byte model: the injected kick is delivered-only;
+        // every node send is counted on both sides (lossless network).
+        let mut w = two_echoes().with_payload_sizer(|_| 10);
+        w.send_external(NodeId(0), 3);
+        w.run_to_quiescence(1000);
+        assert_eq!(w.bytes_sent(), 10 * w.messages_sent());
+        assert_eq!(w.bytes_delivered(), 10 * (w.messages_sent() + 1));
+
+        // Sends into a partition still count toward bytes_sent (they
+        // mirror messages_sent), but never toward bytes_delivered.
+        let mut w = two_echoes()
+            .with_payload_sizer(|_| 7)
+            .with_schedule(FaultSchedule::new().at(
+                SimTime::ZERO,
+                Fault::Partition(Partition::groups(vec![vec![NodeId(0)], vec![NodeId(1)]])),
+            ));
+        w.send_external(NodeId(0), 3);
+        w.run_to_quiescence(1000);
+        assert_eq!(w.messages_lost(), 1);
+        assert_eq!(w.bytes_sent(), 7);
+        assert_eq!(w.bytes_delivered(), 7, "only the injected kick landed");
     }
 
     #[test]

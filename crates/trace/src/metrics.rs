@@ -270,6 +270,16 @@ impl Histogram {
     }
 }
 
+/// Canonical gauge names for wire-level accounting, set by experiment
+/// harnesses from the sim world's byte/message counters and summed
+/// across trials with [`Registry::merge_accumulating`].
+pub mod wire {
+    /// Modeled payload bytes offered to the network.
+    pub const BYTES_SHIPPED: &str = "wire_bytes_shipped";
+    /// Messages offered to the network.
+    pub const MESSAGES_SENT: &str = "wire_messages_sent";
+}
+
 /// A named collection of counters, gauges, and histograms.
 ///
 /// Backed by `BTreeMap`s so summaries and JSON render in a stable order.
@@ -332,6 +342,22 @@ impl Registry {
         }
         for (name, g) in &other.gauges {
             self.gauge(name).set(g.value());
+        }
+    }
+
+    /// Like [`Registry::merge`], but gauges *add* instead of last-wins —
+    /// the right semantics when each merged registry carries a per-trial
+    /// total (e.g. the [`wire`] byte counts) that should sum across
+    /// trials.
+    pub fn merge_accumulating(&mut self, other: &Registry) {
+        for (name, c) in &other.counters {
+            self.counter(name).merge(c);
+        }
+        for (name, h) in &other.histograms {
+            self.histogram(name).merge(h);
+        }
+        for (name, g) in &other.gauges {
+            self.gauge(name).add(g.value());
         }
     }
 
@@ -470,6 +496,29 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_accumulating_sums_gauges() {
+        let mut total = Registry::new();
+        for trial in 1..=3i64 {
+            let mut r = Registry::new();
+            r.gauge(wire::BYTES_SHIPPED).set(100 * trial);
+            r.gauge(wire::MESSAGES_SENT).set(trial);
+            r.counter("ops").success();
+            r.histogram("lat").record(trial as u64);
+            total.merge_accumulating(&r);
+        }
+        assert_eq!(total.gauge(wire::BYTES_SHIPPED).value(), 600);
+        assert_eq!(total.gauge(wire::MESSAGES_SENT).value(), 6);
+        assert_eq!(total.counter("ops").successes(), 3);
+        assert_eq!(total.histogram("lat").len(), 3);
+        // Plain merge would have kept only the last trial's gauge.
+        let mut last_wins = Registry::new();
+        let mut r = Registry::new();
+        r.gauge(wire::BYTES_SHIPPED).set(300);
+        last_wins.merge(&r);
+        assert_eq!(last_wins.gauge(wire::BYTES_SHIPPED).value(), 300);
+    }
 
     #[test]
     fn counter_rates() {
