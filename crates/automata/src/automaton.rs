@@ -45,6 +45,20 @@ pub trait ObjectAutomaton {
         alphabet.iter().map(|op| self.step(state, op)).collect()
     }
 
+    /// An optional simulation preorder for frontier pruning: return
+    /// `true` only when every history accepted from `weaker` is also
+    /// accepted from `stronger`, so a reachable-state frontier that
+    /// contains `stronger` may drop `weaker` without changing the
+    /// accepted language. Online monitors use this to keep frontiers of
+    /// nondeterministic specifications small (a remove-or-keep branch
+    /// otherwise doubles the frontier on every operation).
+    ///
+    /// The default prunes nothing, which is always sound.
+    fn subsumes(&self, stronger: &Self::State, weaker: &Self::State) -> bool {
+        let _ = (stronger, weaker);
+        false
+    }
+
     /// `δ*(s, H)`: the set of states reachable from `s` by the history
     /// `H` (§2.1).
     fn delta_star_from(

@@ -1,0 +1,139 @@
+//! Runs the adversarial fault campaigns and prices the observability
+//! layer that watches them.
+//!
+//! Two halves:
+//!
+//! * **verdicts** — every named campaign (gray failure, flapping
+//!   partition, asymmetric partition, message duplication, combined)
+//!   runs fully instrumented; the trace is replayed through the
+//!   happens-before analysis and each witnessed transition's minimal
+//!   fault cut is checked against the injected fault pattern.
+//! * **overhead** — the same deterministic workloads run with the
+//!   verification engine alone (degradation monitor + SLO budget clock,
+//!   the machinery the campaigns exist to exercise — part of the system
+//!   under test) and with the *online* telemetry layered on top
+//!   (tracing and staleness sampling), reps in ABBA order, and the
+//!   median per-rep ratio prices the telemetry. The offline
+//!   happens-before replay behind the verdicts is a post-mortem tool
+//!   and is excluded from the gate. Target: ≤ 10% slowdown.
+//!
+//! Results land in `BENCH_fault_campaign.json`; CI gates on
+//! `"within_target":true` (overhead in budget *and* every verdict ok).
+//!
+//! `--trace NAME PATH` additionally exports the named campaign's full
+//! JSONL trace, ready for `trace_analyze PATH --staleness`.
+
+use std::time::Instant;
+
+use relax_bench::experiments::campaign::{
+    export_campaign_trace, render, run_all, run_instrumented, run_monitored, CAMPAIGNS,
+};
+
+const SEED: u64 = 0xCA11;
+const REPS: usize = 101;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let name = args.get(i + 1).expect("--trace NAME PATH");
+        let path = args.get(i + 2).expect("--trace NAME PATH");
+        assert!(
+            CAMPAIGNS.contains(&name.as_str()),
+            "unknown campaign {name}; one of {CAMPAIGNS:?}"
+        );
+        export_campaign_trace(name, SEED, path).expect("write campaign trace");
+        println!("wrote {name} trace to {path}");
+    }
+
+    let outcomes = run_all(SEED);
+    println!("== Adversarial fault campaigns ==\n");
+    print!("{}", render(&outcomes));
+    let all_ok = outcomes.iter().all(|o| o.verdict_ok());
+    println!(
+        "\nverdicts: {}/{} campaigns attributed correctly",
+        outcomes.iter().filter(|o| o.verdict_ok()).count(),
+        outcomes.len()
+    );
+
+    // Warm-up both paths, then interleave baseline and instrumented
+    // reps so machine-wide noise hits both equally; gate on the median
+    // ratio.
+    for c in CAMPAIGNS {
+        run_monitored(c, SEED);
+        run_instrumented(c, SEED);
+    }
+    let mut baselines = Vec::with_capacity(REPS);
+    let mut enabled = Vec::with_capacity(REPS);
+    let time_suite = |f: &dyn Fn(&str, u64), seed: u64| {
+        let start = Instant::now();
+        for c in CAMPAIGNS {
+            f(c, seed);
+        }
+        start.elapsed().as_nanos()
+    };
+    let mut ratios: Vec<f64> = (0..REPS)
+        .map(|rep| {
+            let seed = SEED ^ rep as u64;
+            // ABBA order inside each rep so monotone machine drift
+            // (thermal, scheduler) cancels instead of biasing one side.
+            let b1 = time_suite(&run_monitored, seed);
+            let e1 = time_suite(&run_instrumented, seed);
+            let e2 = time_suite(&run_instrumented, seed);
+            let b2 = time_suite(&run_monitored, seed);
+            baselines.push(b1 + b2);
+            enabled.push(e1 + e2);
+            (e1 + e2) as f64 / (b1 + b2) as f64
+        })
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios[ratios.len() / 2];
+    let baseline_ns = *baselines.iter().min().expect("reps > 0");
+    let enabled_ns = *enabled.iter().min().expect("reps > 0");
+    let overhead_pct = 100.0 * (ratio - 1.0);
+    let within_target = overhead_pct <= 10.0 && all_ok;
+
+    println!("\n== Observability overhead on the campaign suite ==\n");
+    println!(
+        "workload: {} campaigns x {REPS} interleaved reps, median per-rep ratio",
+        CAMPAIGNS.len()
+    );
+    println!("baseline     (monitor + slo)   : {baseline_ns:>12} ns (min rep, 2 suites)");
+    println!("instrumented (+trace +stale)   : {enabled_ns:>12} ns (min rep, 2 suites)");
+    println!("overhead: {overhead_pct:+.2}%  (target: <= 10%)");
+
+    let campaigns_json: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            let classes: Vec<String> = o
+                .observed
+                .iter()
+                .map(|c| format!("\"{}\"", c.as_str()))
+                .collect();
+            format!(
+                "{{\"name\":\"{}\",\"transitions\":{},\"classes\":[{}],\
+                 \"duplicated\":{},\"slo_exhausted\":{},\"samples\":{},\
+                 \"lag_p50\":{},\"lag_p95\":{},\"lag_max\":{},\"verdict\":{}}}",
+                o.name,
+                o.transitions,
+                classes.join(","),
+                o.messages_duplicated,
+                o.slo_exhausted,
+                o.samples,
+                o.lag_p50,
+                o.lag_p95,
+                o.lag_max,
+                o.verdict_ok()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"fault_campaign\",\"seed\":{SEED},\"reps\":{REPS},\
+         \"campaigns\":[{}],\"all_verdicts_ok\":{all_ok},\
+         \"baseline_ns\":{baseline_ns},\"enabled_ns\":{enabled_ns},\
+         \"overhead_pct\":{overhead_pct:.3},\"target_pct\":10.0,\
+         \"within_target\":{within_target}}}\n",
+        campaigns_json.join(",")
+    );
+    std::fs::write("BENCH_fault_campaign.json", &json).expect("write BENCH_fault_campaign.json");
+    println!("\nwrote BENCH_fault_campaign.json");
+}

@@ -7,20 +7,23 @@
 //! minimal cut of fault events that caused the degradation.
 //!
 //! ```text
-//! cargo run -p relax-bench --bin trace_analyze -- TRACE.jsonl [--spans] [--prometheus]
+//! cargo run -p relax-bench --bin trace_analyze -- TRACE.jsonl [--spans] [--staleness] [--prometheus]
 //! ```
 //!
 //! With no path, reads JSONL from stdin. `--spans` prints one line per
-//! operation span; `--prometheus` appends the aggregated registry in
-//! Prometheus text exposition format.
+//! operation span; `--staleness` appends the staleness timeline (lag
+//! samples, divergence probes, level deaths, budget exhaustions);
+//! `--prometheus` appends the aggregated registry in Prometheus text
+//! exposition format.
 
-use relax_trace::{read_trace, OpOutcome, TraceAnalysis};
+use relax_trace::{read_trace, staleness_report, OpOutcome, TraceAnalysis};
 use std::io::Read as _;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let show_spans = args.iter().any(|a| a == "--spans");
+    let show_staleness = args.iter().any(|a| a == "--staleness");
     let show_prometheus = args.iter().any(|a| a == "--prometheus");
     let path = args.iter().find(|a| !a.starts_with("--"));
 
@@ -58,8 +61,15 @@ fn main() -> ExitCode {
         }
     }
 
+    let staleness = show_staleness.then(|| staleness_report(&parsed.events));
+
     let analysis = TraceAnalysis::from_trace(parsed);
     print!("{}", analysis.report());
+
+    if let Some(s) = staleness {
+        println!("\nstaleness timeline:");
+        print!("{s}");
+    }
 
     if show_spans {
         println!("\nspans:");

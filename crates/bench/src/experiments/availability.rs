@@ -118,7 +118,7 @@ fn measure(
 /// Like `measure`, but returns the full metrics registry: availability
 /// counters (`enq`, `deq`), completion-latency histograms
 /// (`enq_latency`, `deq_latency`), and summed wire gauges
-/// (`wire_bytes_shipped`, `wire_messages_sent`).
+/// (`wire_shipped_bytes`, `wire_messages_sent`).
 ///
 /// Trials fan across scoped threads (everything a trial needs derives
 /// from its index) and their registries merge back in trial order, so

@@ -2,6 +2,7 @@
 
 pub mod account;
 pub mod availability;
+pub mod campaign;
 pub mod concurrency;
 pub mod degradation;
 pub mod eta_ablation;

@@ -1,0 +1,37 @@
+//! Integration check for the adversarial fault campaigns: the
+//! root-cause engine's minimal fault cut must match the injected fault
+//! pattern on every campaign, across seeds.
+
+use relax_bench::experiments::campaign::{run_all, FaultClass, CAMPAIGNS};
+
+#[test]
+fn every_campaign_verdict_holds_across_seeds() {
+    for seed in [0xCA11, 7, 99] {
+        let outcomes = run_all(seed);
+        assert_eq!(outcomes.len(), CAMPAIGNS.len());
+        for o in &outcomes {
+            assert!(o.verdict_ok(), "seed {seed}: campaign failed: {o:?}");
+        }
+        // The cut classes are exact, not merely overlapping: each
+        // campaign's attribution names its own fault and nothing else.
+        assert_eq!(outcomes[0].observed, vec![FaultClass::Gray]);
+        assert_eq!(outcomes[1].observed, vec![FaultClass::Partition]);
+        assert_eq!(outcomes[2].observed, vec![FaultClass::LinkBlock]);
+        assert_eq!(outcomes[3].observed, vec![]);
+        assert!(outcomes[4].observed.contains(&FaultClass::Partition));
+        assert!(outcomes[4].observed.contains(&FaultClass::Gray));
+    }
+}
+
+#[test]
+fn degrading_campaigns_exhaust_the_pq_budget_and_masked_ones_do_not() {
+    let outcomes = run_all(0xCA11);
+    for o in &outcomes {
+        if o.expect_masked {
+            assert!(!o.slo_exhausted, "masked campaign spent budget: {o:?}");
+            assert_eq!(o.transitions, 0, "{o:?}");
+        } else {
+            assert!(o.slo_exhausted, "budget should exhaust: {o:?}");
+        }
+    }
+}

@@ -58,6 +58,11 @@ impl<T: Ord> Bag<T> {
         self.counts.get(item).copied().unwrap_or(0)
     }
 
+    /// Multiset inclusion: every occurrence in `self` also in `other`.
+    pub fn is_subbag(&self, other: &Bag<T>) -> bool {
+        self.counts.iter().all(|(item, &n)| other.count(item) >= n)
+    }
+
     /// Total number of items (with multiplicity).
     pub fn len(&self) -> usize {
         self.counts.values().sum()

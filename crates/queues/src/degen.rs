@@ -45,6 +45,15 @@ impl ObjectAutomaton for DegenPqAutomaton {
             }
         }
     }
+
+    /// DegenPQ is monotone in the bag: `Enq` is always enabled and
+    /// `Deq(e)` needs only `isIn(q, e)`, so a superbag accepts every
+    /// history a subbag does. Frontier monitors can therefore keep just
+    /// the ⊆-maximal bags — without this, the remove-or-keep branch of
+    /// `Deq` doubles the frontier on every dequeue.
+    fn subsumes(&self, stronger: &Bag<Item>, weaker: &Bag<Item>) -> bool {
+        weaker.is_subbag(stronger)
+    }
 }
 
 #[cfg(test)]

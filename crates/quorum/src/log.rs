@@ -249,6 +249,13 @@ impl<Op: Clone> Log<Op> {
         out
     }
 
+    /// The per-site summary table behind [`Log::frontier`], borrowed
+    /// without the copy (sorted by site id; only sites with entries).
+    #[must_use]
+    pub fn site_summaries(&self) -> &[SiteSummary] {
+        &self.sites
+    }
+
     /// The per-site summary of this log's entry set (O(sites)).
     #[must_use]
     pub fn frontier(&self) -> Frontier {

@@ -36,7 +36,8 @@ use std::sync::Arc;
 use relax_automata::History;
 use relax_sim::{Ctx, NetworkConfig, Node, NodeId, SimTime, World};
 use relax_trace::{
-    DegradationMonitor, EventKind as TraceEvent, OpLabel, OpOutcome, QuorumPhase, Registry,
+    DegradationMonitor, EventKind as TraceEvent, FrontierView, OpLabel, OpOutcome, QuorumPhase,
+    Registry, SiteCount, SloMonitor, StalenessTracker,
 };
 
 use crate::assignment::VotingAssignment;
@@ -285,6 +286,12 @@ pub enum RoleNode<T: ReplicatedType> {
         /// log. Lost advertisements only cost redundancy: merge is
         /// idempotent.
         peer_frontiers: Vec<Option<Frontier>>,
+        /// Gossip pushes that shipped only a delta suffix (the receiver's
+        /// frontier was known).
+        gossip_delta: u64,
+        /// Gossip pushes that replayed the whole log (frontier unknown,
+        /// or [`ReplicationMode::FullLog`]).
+        gossip_full: u64,
     },
     /// The client running the three-step protocol.
     Client(Box<ClientState<T>>),
@@ -478,6 +485,8 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                 epoch,
                 mode: _,
                 peer_frontiers,
+                gossip_delta: _,
+                gossip_full: _,
             } => {
                 match msg {
                     Msg::ReadReq { inv_id, known } => {
@@ -651,6 +660,8 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                 epoch,
                 mode,
                 peer_frontiers,
+                gossip_delta,
+                gossip_full,
             } => {
                 if token != *epoch {
                     return; // stale timer from a previous epoch
@@ -661,18 +672,27 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                     let others: Vec<NodeId> = peers.iter().copied().filter(|&p| p != me).collect();
                     if let Some(&peer) = ctx.rng().choose(&others) {
                         let msg = match mode {
-                            ReplicationMode::FullLog => Msg::Gossip {
-                                log: Arc::new(log.clone()),
-                                frontier: None,
-                            },
+                            ReplicationMode::FullLog => {
+                                *gossip_full += 1;
+                                Msg::Gossip {
+                                    log: Arc::new(log.clone()),
+                                    frontier: None,
+                                }
+                            }
                             ReplicationMode::Delta => {
                                 // Ship only what the peer last told us it
                                 // was missing; never heard from it → the
                                 // whole log (merge is idempotent either
                                 // way).
                                 let payload = match &peer_frontiers[peer.0] {
-                                    Some(f) => log.delta_above(f),
-                                    None => log.clone(),
+                                    Some(f) => {
+                                        *gossip_delta += 1;
+                                        log.delta_above(f)
+                                    }
+                                    None => {
+                                        *gossip_full += 1;
+                                        log.clone()
+                                    }
                                 };
                                 Msg::Gossip {
                                     log: Arc::new(payload),
@@ -707,6 +727,14 @@ pub struct QuorumSystem<T: ReplicatedType> {
     n_replicas: usize,
     monitor: Option<DegradationMonitor<T::Op>>,
     monitor_seen: Vec<usize>,
+    staleness: Option<StalenessTracker>,
+    /// Reusable frontier-snapshot buffers for `sample_staleness` (one
+    /// view per replica; inner vectors cleared and refilled per sample).
+    staleness_views: Vec<FrontierView>,
+    /// Reusable event buffer for `sample_staleness`.
+    staleness_scratch: Vec<TraceEvent>,
+    slo: Option<SloMonitor>,
+    registry: Registry,
 }
 
 impl<T: ReplicatedType> QuorumSystem<T> {
@@ -767,6 +795,8 @@ impl<T: ReplicatedType> QuorumSystem<T> {
                 epoch: 0,
                 mode: ReplicationMode::default(),
                 peer_frontiers: vec![None; n_replicas],
+                gossip_delta: 0,
+                gossip_full: 0,
             })
             .collect();
         let mut clients = Vec::with_capacity(n_clients);
@@ -795,6 +825,16 @@ impl<T: ReplicatedType> QuorumSystem<T> {
             n_replicas,
             monitor: None,
             monitor_seen: vec![0; n_clients],
+            staleness: None,
+            staleness_views: (0..n_replicas)
+                .map(|i| FrontierView {
+                    replica: i as u32,
+                    sites: Vec::new(),
+                })
+                .collect(),
+            staleness_scratch: Vec::new(),
+            slo: None,
+            registry: Registry::new(),
         }
     }
 
@@ -861,6 +901,136 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         self.monitor.as_ref()
     }
 
+    /// Attaches a replica-staleness tracker (builder-style). Each
+    /// [`QuorumSystem::sample_staleness`] call then snapshots every
+    /// replica's frontier and records per-replica lag and pairwise
+    /// divergence events into the trace; the corresponding gauges in
+    /// [`QuorumSystem::registry`] reflect the latest sample after
+    /// [`QuorumSystem::export_metrics`].
+    #[must_use]
+    pub fn with_staleness(mut self) -> Self {
+        self.staleness = Some(StalenessTracker::new(self.n_replicas));
+        self
+    }
+
+    /// Attaches a degradation SLO monitor (builder-style). Requires
+    /// [`QuorumSystem::with_monitor`] to be of use: each level the
+    /// degradation monitor reports as dead starts that level's error
+    /// budget clock, and exhaustion is recorded into the trace as an
+    /// `SloBudgetExhausted` event (at most once per level).
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloMonitor) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// The attached staleness tracker, if any.
+    pub fn staleness(&self) -> Option<&StalenessTracker> {
+        self.staleness.as_ref()
+    }
+
+    /// The attached SLO monitor, if any.
+    pub fn slo(&self) -> Option<&SloMonitor> {
+        self.slo.as_ref()
+    }
+
+    /// The observability metrics registry: staleness, gossip-efficiency,
+    /// view-cache, and wire gauges, all refreshed by
+    /// [`QuorumSystem::export_metrics`] (call it before scraping).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Snapshots every replica's frontier into the staleness tracker and
+    /// records `ReplicaLagSampled` / `FrontierDivergence` trace events.
+    /// No-op unless [`QuorumSystem::with_staleness`] was called. Purely
+    /// observational — sends no messages and draws no randomness, so
+    /// sampling cannot perturb a run.
+    ///
+    /// This is the hot path of high-frequency monitoring, so it reuses
+    /// the system's snapshot buffers and defers all gauge refreshes:
+    /// [`QuorumSystem::export_metrics`] writes the latest readings into
+    /// the registry when a scrape actually wants them.
+    pub fn sample_staleness(&mut self) {
+        let Some(tracker) = self.staleness.as_mut() else {
+            return;
+        };
+        for (i, view) in self.staleness_views.iter_mut().enumerate() {
+            let log = match self.world.node(NodeId(i)) {
+                RoleNode::Replica { log, .. } => log,
+                RoleNode::Client(_) => unreachable!("replica ids are 0..n"),
+            };
+            view.sites.clear();
+            view.sites
+                .extend(log.site_summaries().iter().map(|s| SiteCount {
+                    site: s.site as u32,
+                    count: s.count,
+                    hash: s.hash,
+                }));
+        }
+        let now = self.world.now().0;
+        self.staleness_scratch.clear();
+        tracker.sample_into(now, &self.staleness_views, &mut self.staleness_scratch);
+        for event in self.staleness_scratch.drain(..) {
+            self.world.tracer_mut().record(now, event);
+        }
+    }
+
+    /// Gossip sends across all replicas as `(delta, full)`: pushes that
+    /// shipped only a delta suffix vs. full-log replays (the fallback
+    /// when the receiver's frontier is unknown, and the only payload
+    /// under [`ReplicationMode::FullLog`]).
+    pub fn gossip_send_counts(&self) -> (u64, u64) {
+        let mut delta = 0;
+        let mut full = 0;
+        for i in 0..self.n_replicas {
+            if let RoleNode::Replica {
+                gossip_delta,
+                gossip_full,
+                ..
+            } = self.world.node(NodeId(i))
+            {
+                delta += gossip_delta;
+                full += gossip_full;
+            }
+        }
+        (delta, full)
+    }
+
+    /// View-cache hits and misses summed across all clients.
+    pub fn viewcache_counts(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for &id in &self.clients {
+            if let RoleNode::Client(c) = self.world.node(id) {
+                hits += c.cache.hits();
+                misses += c.cache.misses();
+            }
+        }
+        (hits, misses)
+    }
+
+    /// Refreshes the gossip-efficiency, view-cache, and wire gauges in
+    /// [`QuorumSystem::registry`] from the current node and world state.
+    /// Call before rendering or scraping the registry.
+    pub fn export_metrics(&mut self) {
+        if let Some(tracker) = &self.staleness {
+            tracker.flush_gauges(&mut self.registry);
+        }
+        let (delta, full) = self.gossip_send_counts();
+        let (hits, misses) = self.viewcache_counts();
+        self.registry.gauge("gossip_delta_sends").set(delta as i64);
+        self.registry.gauge("gossip_full_sends").set(full as i64);
+        self.registry.gauge("viewcache_hits").set(hits as i64);
+        self.registry.gauge("viewcache_misses").set(misses as i64);
+        self.registry
+            .gauge(relax_trace::metrics::wire::MESSAGES_SENT)
+            .set(self.world.messages_sent() as i64);
+        self.registry
+            .gauge(relax_trace::metrics::wire::BYTES_SHIPPED)
+            .set(self.world.bytes_sent() as i64);
+    }
+
     /// Feeds any newly completed operations (across all clients, in
     /// completion order) to the attached monitor; called automatically by
     /// the run methods after every step.
@@ -881,16 +1051,26 @@ impl<T: ReplicatedType> QuorumSystem<T> {
                 self.monitor_seen[ix] = outcomes.len();
             }
         }
-        if fresh.is_empty() {
-            return;
-        }
         let now = self.world.now().0;
-        let monitor = self.monitor.as_mut().expect("checked above");
-        for op in fresh {
-            if let Some(transition) = monitor.observe(&op) {
-                let event = transition.to_event();
-                self.world.tracer_mut().record(now, event);
+        let mut events: Vec<TraceEvent> = Vec::new();
+        if !fresh.is_empty() {
+            let monitor = self.monitor.as_mut().expect("checked above");
+            for op in fresh {
+                if let Some(transition) = monitor.observe(&op) {
+                    if let Some(slo) = self.slo.as_mut() {
+                        for level in &transition.left {
+                            slo.level_died(now, level);
+                        }
+                    }
+                    events.push(transition.to_event());
+                }
             }
+        }
+        if let Some(slo) = self.slo.as_mut() {
+            events.extend(slo.advance(now));
+        }
+        for event in events {
+            self.world.tracer_mut().record(now, event);
         }
     }
 
@@ -1734,5 +1914,220 @@ mod tests {
             }
             assert!(debits <= credits, "overdraft with A2 held (seed {seed})");
         }
+    }
+
+    #[test]
+    fn staleness_sampling_tracks_lag_and_convergence() {
+        use relax_sim::Partition;
+        // Same setup as `gossip_converges_divergent_replicas`: one write
+        // isolated at replica 0, then gossip spreads it after healing.
+        let assignment = VotingAssignment::new(3)
+            .with_initial(QueueKind::Enq, 0)
+            .with_final(QueueKind::Enq, 1)
+            .with_initial(QueueKind::Deq, 1)
+            .with_final(QueueKind::Deq, 1);
+        let mut sys = QuorumSystem::new(
+            TaxiQueueType,
+            3,
+            assignment,
+            ClientConfig::default(),
+            NetworkConfig::default(),
+            13,
+        )
+        .with_trace(1024)
+        .with_gossip(25)
+        .with_staleness();
+        sys.world_mut().set_schedule(
+            FaultSchedule::new()
+                .at(
+                    SimTime(0),
+                    Fault::Partition(Partition::groups(vec![
+                        vec![NodeId(3), NodeId(0)],
+                        vec![NodeId(1), NodeId(2)],
+                    ])),
+                )
+                .at(SimTime(100), Fault::Heal),
+        );
+        sys.submit(QueueInv::Enq(7));
+        sys.run_until(SimTime(90));
+        sys.sample_staleness();
+        sys.export_metrics();
+        let lag = |sys: &QuorumSystem<TaxiQueueType>, i: usize| {
+            sys.registry()
+                .get_gauge(&format!("staleness_lag_entries_r{i}"))
+                .map(relax_trace::Gauge::value)
+        };
+        // Replica 0 holds the write; 1 and 2 are one entry behind.
+        assert_eq!(lag(&sys, 0), Some(0));
+        assert_eq!(lag(&sys, 1), Some(1));
+        assert_eq!(lag(&sys, 2), Some(1));
+        assert_eq!(
+            sys.registry()
+                .get_gauge("frontier_divergence_entries_r0_r1")
+                .map(relax_trace::Gauge::value),
+            Some(1)
+        );
+        // Heal + gossip: everyone converges; gauges drop back to zero
+        // on the next export.
+        sys.run_until(SimTime(1_000));
+        sys.sample_staleness();
+        sys.export_metrics();
+        for i in 0..3 {
+            assert_eq!(lag(&sys, i), Some(0), "replica {i} still lagging");
+        }
+        let tracker = sys.staleness().expect("attached");
+        assert_eq!(tracker.samples(), 2);
+        assert_eq!(tracker.max_lag(), &[0, 1, 1]);
+        // Both samples landed in the trace: 3 lag events each.
+        let lag_events = sys
+            .world()
+            .tracer()
+            .events()
+            .filter(|e| matches!(e.kind, TraceEvent::ReplicaLagSampled { .. }))
+            .count();
+        assert_eq!(lag_events, 6);
+    }
+
+    #[test]
+    fn gossip_counters_split_delta_from_full_replay() {
+        let run = |mode| {
+            let mut sys = QuorumSystem::new(
+                TaxiQueueType,
+                3,
+                taxi_assignment(3),
+                ClientConfig::default(),
+                NetworkConfig::default(),
+                42,
+            )
+            .with_replication(mode)
+            .with_gossip(40);
+            for i in 0..30 {
+                sys.submit(QueueInv::Enq(i));
+            }
+            assert!(sys.run_until_outcomes(30, 1_000_000));
+            // Keep gossiping: once frontiers have been exchanged, delta
+            // mode pushes suffixes instead of whole logs.
+            let t = sys.world().now();
+            sys.run_until(SimTime(t.0 + 2_000));
+            sys.gossip_send_counts()
+        };
+        let (delta_d, full_d) = run(ReplicationMode::Delta);
+        assert!(
+            full_d > 0,
+            "first pushes replay in full (no frontier known yet)"
+        );
+        assert!(delta_d > 0, "later pushes ship deltas");
+        let (delta_f, full_f) = run(ReplicationMode::FullLog);
+        assert_eq!(delta_f, 0, "full-log mode never ships a delta");
+        assert!(full_f > 0);
+    }
+
+    #[test]
+    fn slo_budget_exhaustion_fires_once_and_is_traced() {
+        use relax_sim::Partition;
+        use relax_trace::SloMonitor;
+        let assignment = VotingAssignment::new(3)
+            .with_initial(QueueKind::Enq, 0)
+            .with_final(QueueKind::Enq, 1)
+            .with_initial(QueueKind::Deq, 1)
+            .with_final(QueueKind::Deq, 1);
+        let mut sys = QuorumSystem::new(
+            TaxiQueueType,
+            3,
+            assignment,
+            ClientConfig::default(),
+            NetworkConfig::default(),
+            7,
+        )
+        .with_trace(2048)
+        .with_gossip(25)
+        .with_monitor(queue_lattice_monitor())
+        .with_slo(SloMonitor::new().budget("PQ", 150).budget("DegenPQ", 10));
+        sys.world_mut().set_schedule(
+            FaultSchedule::new()
+                // Isolate {client, r2}: the next write lands only at r2.
+                .at(
+                    SimTime(50),
+                    Fault::Partition(Partition::groups(vec![
+                        vec![NodeId(3), NodeId(2)],
+                        vec![NodeId(0), NodeId(1)],
+                    ])),
+                )
+                // Then isolate r2: the Deq reads a stale replica.
+                .at(
+                    SimTime(100),
+                    Fault::Partition(Partition::groups(vec![
+                        vec![NodeId(3), NodeId(0), NodeId(1)],
+                        vec![NodeId(2)],
+                    ])),
+                ),
+        );
+        sys.submit(QueueInv::Enq(5));
+        sys.run_until(SimTime(60));
+        sys.submit(QueueInv::Enq(9));
+        sys.run_until(SimTime(110));
+        // Deq sees a view without the pending 9 and serves 5 over it —
+        // an order violation killing PQ (and MPQ).
+        sys.submit(QueueInv::Deq);
+        sys.run_until(SimTime(500));
+        assert!(matches!(
+            sys.outcomes()[2],
+            Outcome::Completed {
+                op: QueueOp::Deq(5),
+                ..
+            }
+        ));
+        let slo = sys.slo().expect("attached");
+        assert!(slo.exhausted("PQ"), "PQ budget should have exhausted");
+        assert!(slo.spent("PQ").unwrap() >= 150);
+        // DegenPQ never died, so its (tiny) budget never starts spending.
+        assert!(!slo.exhausted("DegenPQ"));
+        let violations: Vec<_> = sys
+            .world()
+            .tracer()
+            .events()
+            .filter_map(|e| match &e.kind {
+                TraceEvent::SloBudgetExhausted(v) => Some((*v).clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(violations.len(), 1, "each budget fires at most once");
+        assert_eq!(violations[0].level, "PQ");
+        assert_eq!(violations[0].budget, 150);
+        assert!(violations[0].spent >= 150);
+    }
+
+    #[test]
+    fn export_metrics_refreshes_the_pinned_gauge_names() {
+        let mut sys = QuorumSystem::new(
+            TaxiQueueType,
+            3,
+            taxi_assignment(3),
+            ClientConfig::default(),
+            NetworkConfig::default(),
+            5,
+        )
+        .with_wire_accounting()
+        .with_gossip(30);
+        for i in 0..10 {
+            sys.submit(QueueInv::Enq(i));
+        }
+        assert!(sys.run_until_outcomes(10, 1_000_000));
+        sys.export_metrics();
+        let (delta, full) = sys.gossip_send_counts();
+        let (hits, misses) = sys.viewcache_counts();
+        assert!(hits + misses > 0, "memoized clients consult the cache");
+        let g = |name: &str| {
+            sys.registry()
+                .get_gauge(name)
+                .unwrap_or_else(|| panic!("gauge {name} missing"))
+                .value()
+        };
+        assert_eq!(g("gossip_delta_sends"), delta as i64);
+        assert_eq!(g("gossip_full_sends"), full as i64);
+        assert_eq!(g("viewcache_hits"), hits as i64);
+        assert_eq!(g("viewcache_misses"), misses as i64);
+        assert_eq!(g("wire_messages_sent"), sys.world().messages_sent() as i64);
+        assert_eq!(g("wire_shipped_bytes"), sys.world().bytes_sent() as i64);
     }
 }

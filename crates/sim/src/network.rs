@@ -94,13 +94,24 @@ impl Partition {
     }
 }
 
-/// The dynamic network state: configuration plus crashes and the current
-/// partition.
+/// The dynamic network state: configuration plus crashes, the current
+/// partition, gray degradations, blocked directed links, and the
+/// duplication rate.
 #[derive(Debug, Clone)]
 pub struct Network {
     config: NetworkConfig,
     crashed: Vec<bool>,
     partition: Partition,
+    /// Per-node delay multiplier (1 = healthy). A gray-failed node is
+    /// up and routes messages, but everything it touches is slow.
+    gray: Vec<u64>,
+    /// Blocked *directed* links (asymmetric partition): `(src, dst)`
+    /// pairs whose messages are dropped while the reverse direction
+    /// still works. A plain sorted Vec: the set is tiny and scanned on
+    /// the hot path, so cache-friendly linear search beats hashing.
+    blocked: Vec<(NodeId, NodeId)>,
+    /// Probability an individual routed message is duplicated.
+    duplication_probability: f64,
 }
 
 impl Network {
@@ -110,6 +121,9 @@ impl Network {
             config,
             crashed: vec![false; n],
             partition: Partition::none(),
+            gray: vec![1; n],
+            blocked: Vec::new(),
+            duplication_probability: 0.0,
         }
     }
 
@@ -157,9 +171,68 @@ impl Network {
         &self.partition
     }
 
+    /// Gray-degrades a node: it stays up, but messages it sends or
+    /// receives take `multiplier`× the drawn delay (1 restores health).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero multiplier (that would make messages instant,
+    /// not slow).
+    pub fn set_gray(&mut self, node: NodeId, multiplier: u32) {
+        assert!(multiplier > 0, "gray multiplier must be ≥ 1");
+        self.gray[node.0] = u64::from(multiplier);
+    }
+
+    /// Restores a gray-degraded node to full speed.
+    pub fn restore_gray(&mut self, node: NodeId) {
+        self.gray[node.0] = 1;
+    }
+
+    /// The node's current delay multiplier (1 = healthy).
+    pub fn gray_multiplier(&self, node: NodeId) -> u64 {
+        self.gray[node.0]
+    }
+
+    /// Blocks the directed link `src -> dst` (idempotent); the reverse
+    /// direction is unaffected.
+    pub fn block_link(&mut self, src: NodeId, dst: NodeId) {
+        if let Err(ix) = self.blocked.binary_search(&(src, dst)) {
+            self.blocked.insert(ix, (src, dst));
+        }
+    }
+
+    /// Unblocks a directed link (a no-op when it was not blocked).
+    pub fn unblock_link(&mut self, src: NodeId, dst: NodeId) {
+        if let Ok(ix) = self.blocked.binary_search(&(src, dst)) {
+            self.blocked.remove(ix);
+        }
+    }
+
+    /// Is the directed link `src -> dst` currently blocked?
+    pub fn is_link_blocked(&self, src: NodeId, dst: NodeId) -> bool {
+        self.blocked.binary_search(&(src, dst)).is_ok()
+    }
+
+    /// Updates the duplication probability (fault injection).
+    pub fn set_duplication_probability(&mut self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplication probability must be in [0, 1]"
+        );
+        self.duplication_probability = p;
+    }
+
+    /// The current duplication probability.
+    pub fn duplication_probability(&self) -> f64 {
+        self.duplication_probability
+    }
+
     /// Decides the fate of a message from `src` to `dst` sent now:
     /// `Ok(delay)` if it will be delivered after `delay` ticks,
-    /// `Err(cause)` if it is lost (crash, partition, or random loss).
+    /// `Err(cause)` if it is lost (crash, partition, blocked link, or
+    /// random loss). Gray degradation of either endpoint multiplies the
+    /// drawn delay (the larger multiplier wins; healthy endpoints leave
+    /// it untouched).
     ///
     /// Note: crash of the *destination* is also re-checked at delivery
     /// time by the world, so a node that crashes while a message is in
@@ -174,14 +247,18 @@ impl Network {
         if !self.partition.connected(src, dst) {
             return Err(DropCause::Partitioned);
         }
+        if !self.blocked.is_empty() && self.is_link_blocked(src, dst) {
+            return Err(DropCause::LinkBlocked);
+        }
         if self.config.loss_probability > 0.0 && rng.next_f64() < self.config.loss_probability {
             return Err(DropCause::Loss);
         }
-        Ok(if self.config.min_delay == self.config.max_delay {
+        let delay = if self.config.min_delay == self.config.max_delay {
             self.config.min_delay
         } else {
             rng.range_u64(self.config.min_delay, self.config.max_delay)
-        })
+        };
+        Ok(delay * self.gray[src.0].max(self.gray[dst.0]))
     }
 }
 
@@ -272,5 +349,60 @@ mod tests {
     #[should_panic(expected = "min_delay")]
     fn bad_config_panics() {
         NetworkConfig::new(10, 1, 0.0);
+    }
+
+    #[test]
+    fn gray_degradation_multiplies_delay_both_directions() {
+        let mut net = Network::new(NetworkConfig::new(5, 5, 0.0), 3);
+        net.set_gray(NodeId(1), 8);
+        let mut rng = SplitMix64::seed_from_u64(0);
+        // Slow node as destination and as source: 5 * 8.
+        assert_eq!(net.route(NodeId(0), NodeId(1), &mut rng), Ok(40));
+        assert_eq!(net.route(NodeId(1), NodeId(0), &mut rng), Ok(40));
+        // Untouched pair stays at the base delay.
+        assert_eq!(net.route(NodeId(0), NodeId(2), &mut rng), Ok(5));
+        // The larger multiplier wins when both endpoints are gray.
+        net.set_gray(NodeId(0), 2);
+        assert_eq!(net.route(NodeId(0), NodeId(1), &mut rng), Ok(40));
+        net.restore_gray(NodeId(1));
+        assert_eq!(net.route(NodeId(0), NodeId(1), &mut rng), Ok(10));
+        assert_eq!(net.gray_multiplier(NodeId(0)), 2);
+        assert_eq!(net.gray_multiplier(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn blocked_link_is_directional() {
+        let mut net = Network::new(NetworkConfig::new(5, 5, 0.0), 2);
+        net.block_link(NodeId(0), NodeId(1));
+        net.block_link(NodeId(0), NodeId(1)); // idempotent
+        let mut rng = SplitMix64::seed_from_u64(0);
+        assert_eq!(
+            net.route(NodeId(0), NodeId(1), &mut rng),
+            Err(DropCause::LinkBlocked)
+        );
+        // The reverse direction still works: that is the asymmetry.
+        assert_eq!(net.route(NodeId(1), NodeId(0), &mut rng), Ok(5));
+        net.unblock_link(NodeId(0), NodeId(1));
+        assert!(!net.is_link_blocked(NodeId(0), NodeId(1)));
+        assert_eq!(net.route(NodeId(0), NodeId(1), &mut rng), Ok(5));
+    }
+
+    #[test]
+    fn gray_and_blocked_state_do_not_perturb_the_rng_stream() {
+        // Fault bookkeeping must not consume randomness: two networks
+        // with the same loss config but different gray/block state draw
+        // identical loss decisions from identical rngs.
+        let mut healthy = Network::new(NetworkConfig::new(1, 10, 0.5), 3);
+        let mut faulty = Network::new(NetworkConfig::new(1, 10, 0.5), 3);
+        faulty.set_gray(NodeId(2), 4);
+        faulty.block_link(NodeId(2), NodeId(0));
+        healthy.set_duplication_probability(0.0);
+        let mut rng_a = SplitMix64::seed_from_u64(42);
+        let mut rng_b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            let a = healthy.route(NodeId(0), NodeId(1), &mut rng_a);
+            let b = faulty.route(NodeId(0), NodeId(1), &mut rng_b);
+            assert_eq!(a, b, "0->1 avoids all injected faults");
+        }
     }
 }

@@ -1,7 +1,9 @@
 //! Timed fault schedules — the environment's script.
 //!
-//! A [`FaultSchedule`] injects crashes, recoveries, partitions, and
-//! loss-rate changes at fixed virtual times. In the paper's terms, these
+//! A [`FaultSchedule`] injects crashes, recoveries, partitions,
+//! loss-rate changes, gray degradations, directed link blocks, and
+//! duplication-rate changes at fixed virtual times. In the paper's
+//! terms, these
 //! are the `EVENT` inputs of the environment automaton (§2.3); the
 //! schedule makes an experiment's environment explicit and reproducible.
 
@@ -22,6 +24,18 @@ pub enum Fault {
     Heal,
     /// Change the message-loss probability.
     SetLoss(f64),
+    /// Gray-degrade a node: it stays up but every message it sends or
+    /// receives is slowed by the multiplier (a "slow-but-alive" site).
+    GrayDegrade(NodeId, u32),
+    /// Restore a gray-degraded node to full speed.
+    GrayRestore(NodeId),
+    /// Block the *directed* link from the first node to the second
+    /// (asymmetric partition); the reverse direction keeps working.
+    BlockLink(NodeId, NodeId),
+    /// Unblock a previously blocked directed link.
+    UnblockLink(NodeId, NodeId),
+    /// Change the message-duplication probability.
+    SetDuplication(f64),
 }
 
 /// A timed sequence of faults, sorted by time.

@@ -64,15 +64,16 @@ impl<P> Ord for QueuedEvent<P> {
 ///
 /// # Message accounting
 ///
-/// Messages enter the system two ways — node sends
-/// ([`World::messages_sent`]) and external injections
-/// ([`World::messages_injected`]) — and leave it two ways — delivery to
-/// a handler ([`World::messages_delivered`]) or loss
-/// ([`World::messages_lost`]: crash, partition, or random drop, whether
-/// at send time or in flight). At any instant,
+/// Messages enter the system three ways — node sends
+/// ([`World::messages_sent`]), external injections
+/// ([`World::messages_injected`]), and network duplication
+/// ([`World::messages_duplicated`]) — and leave it two ways — delivery
+/// to a handler ([`World::messages_delivered`]) or loss
+/// ([`World::messages_lost`]: crash, partition, blocked link, or random
+/// drop, whether at send time or in flight). At any instant,
 ///
 /// ```text
-/// sent + injected == delivered + lost + in_flight
+/// sent + injected + duplicated == delivered + lost + in_flight
 /// ```
 ///
 /// which [`World::messages_in_flight`] makes checkable.
@@ -92,6 +93,7 @@ pub struct World<P, N> {
     messages_injected: u64,
     messages_delivered: u64,
     messages_lost: u64,
+    messages_duplicated: u64,
     /// Optional payload wire-size model; when installed, every offered
     /// and delivered payload is sized into the byte counters.
     payload_bytes: Option<fn(&P) -> u64>,
@@ -118,6 +120,7 @@ impl<P: Clone, N: Node<P>> World<P, N> {
             messages_injected: 0,
             messages_delivered: 0,
             messages_lost: 0,
+            messages_duplicated: 0,
             payload_bytes: None,
             bytes_sent: 0,
             bytes_delivered: 0,
@@ -240,10 +243,17 @@ impl<P: Clone, N: Node<P>> World<P, N> {
         self.messages_delivered
     }
 
-    /// Messages lost so far (crash, partition, or random loss — at send
-    /// time or in flight).
+    /// Messages lost so far (crash, partition, blocked link, or random
+    /// loss — at send time or in flight).
     pub fn messages_lost(&self) -> u64 {
         self.messages_lost
+    }
+
+    /// Extra copies the network created by message duplication (each
+    /// enters the in-flight pool like a send and leaves by delivery or
+    /// loss).
+    pub fn messages_duplicated(&self) -> u64 {
+        self.messages_duplicated
     }
 
     /// Modeled payload bytes nodes offered to the network (0 unless a
@@ -383,6 +393,48 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                     .record(self.now.0, TraceEvent::LossRateSet { probability: p });
                 self.network.set_loss_probability(p);
             }
+            Fault::GrayDegrade(n, multiplier) => {
+                self.tracer.record(
+                    self.now.0,
+                    TraceEvent::GrayDegraded {
+                        node: n.0 as u32,
+                        multiplier,
+                    },
+                );
+                self.network.set_gray(n, multiplier);
+            }
+            Fault::GrayRestore(n) => {
+                self.tracer
+                    .record(self.now.0, TraceEvent::GrayRestored { node: n.0 as u32 });
+                self.network.restore_gray(n);
+            }
+            Fault::BlockLink(src, dst) => {
+                self.tracer.record(
+                    self.now.0,
+                    TraceEvent::LinkBlocked {
+                        src: src.0 as u32,
+                        dst: dst.0 as u32,
+                    },
+                );
+                self.network.block_link(src, dst);
+            }
+            Fault::UnblockLink(src, dst) => {
+                self.tracer.record(
+                    self.now.0,
+                    TraceEvent::LinkRestored {
+                        src: src.0 as u32,
+                        dst: dst.0 as u32,
+                    },
+                );
+                self.network.unblock_link(src, dst);
+            }
+            Fault::SetDuplication(p) => {
+                self.tracer.record(
+                    self.now.0,
+                    TraceEvent::DuplicationRateSet { probability: p },
+                );
+                self.network.set_duplication_probability(p);
+            }
         }
     }
 
@@ -471,6 +523,16 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                                     msg_id,
                                 },
                             );
+                            // Duplication fault: the network sometimes emits
+                            // a second copy of a routed message. The copy
+                            // reuses the original's delay (no extra delay
+                            // draw keeps rng parity with duplication-free
+                            // runs), gets its own msg_id, and its delivery
+                            // pairs with the message_duplicated event. The
+                            // gate on p > 0 means healthy runs draw nothing.
+                            let dup = self.network.duplication_probability();
+                            let dup_payload =
+                                (dup > 0.0 && self.rng.next_f64() < dup).then(|| payload.clone());
                             let ev = QueuedEvent {
                                 time: self.now + delay,
                                 seq: self.next_seq(),
@@ -482,6 +544,30 @@ impl<P: Clone, N: Node<P>> World<P, N> {
                                 },
                             };
                             self.queue.push(Reverse(ev));
+                            if let Some(copy) = dup_payload {
+                                self.messages_duplicated += 1;
+                                let dup_id = self.next_msg_id();
+                                self.tracer.record(
+                                    self.now.0,
+                                    TraceEvent::MessageDuplicated {
+                                        src: target.0 as u32,
+                                        dst: dst.0 as u32,
+                                        msg_id: dup_id,
+                                        orig_msg_id: msg_id,
+                                    },
+                                );
+                                let ev = QueuedEvent {
+                                    time: self.now + delay,
+                                    seq: self.next_seq(),
+                                    kind: EventKind::Deliver {
+                                        src: target,
+                                        dst,
+                                        payload: copy,
+                                        msg_id: dup_id,
+                                    },
+                                };
+                                self.queue.push(Reverse(ev));
+                            }
                         }
                         Err(cause) => {
                             self.messages_lost += 1;
@@ -593,7 +679,7 @@ mod tests {
     }
 
     fn accounting_balances<P: Clone, N: Node<P>>(w: &World<P, N>) -> bool {
-        w.messages_sent() + w.messages_injected()
+        w.messages_sent() + w.messages_injected() + w.messages_duplicated()
             == w.messages_delivered() + w.messages_lost() + w.messages_in_flight()
     }
 
@@ -900,6 +986,148 @@ mod tests {
         // The full volley 3→2→1→0 lands (4 receipts) on top of the one
         // absorbed during the outage.
         assert_eq!(w.node(NodeId(0)).received + w.node(NodeId(1)).received, 5);
+        assert!(accounting_balances(&w));
+    }
+
+    #[test]
+    fn duplication_creates_traced_copies_and_accounting_balances() {
+        use relax_trace::EventKind as TE;
+        let mut w = two_echoes()
+            .with_trace(4096)
+            .with_schedule(FaultSchedule::new().at(SimTime(0), Fault::SetDuplication(1.0)));
+        w.send_external(NodeId(0), 5);
+        w.run_to_quiescence(10_000);
+        assert!(w.messages_duplicated() > 0, "p=1 duplicates every send");
+        assert!(accounting_balances(&w));
+        // Every duplication is traced, with its own msg_id, and the copy
+        // is actually delivered (extra receipts beyond the volley).
+        let evs: Vec<_> = w.tracer().events().collect();
+        let dup_ids: Vec<u32> = evs
+            .iter()
+            .filter_map(|e| match e.kind {
+                TE::MessageDuplicated { msg_id, .. } => Some(msg_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dup_ids.len() as u64, w.messages_duplicated());
+        for id in &dup_ids {
+            assert!(
+                evs.iter().any(
+                    |e| matches!(e.kind, TE::MessageDelivered { msg_id, .. } if msg_id == *id)
+                ),
+                "copy {id} was delivered"
+            );
+        }
+        assert!(evs.iter().any(
+            |e| matches!(e.kind, TE::DuplicationRateSet { probability } if probability == 1.0)
+        ));
+        let receipts = w.node(NodeId(0)).received + w.node(NodeId(1)).received;
+        assert!(receipts > 6, "duplicates land as extra receipts");
+    }
+
+    #[test]
+    fn zero_duplication_probability_changes_nothing() {
+        // Setting p=0 must leave runs bit-identical to never touching
+        // duplication at all (the rng draw is gated on p > 0).
+        let run = |with_fault: bool| {
+            let mut w = two_echoes();
+            if with_fault {
+                w.set_schedule(FaultSchedule::new().at(SimTime(0), Fault::SetDuplication(0.0)));
+            }
+            w.send_external(NodeId(0), 50);
+            w.run_to_quiescence(100_000);
+            (w.now(), w.events_processed(), w.messages_sent())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn gray_failure_slows_but_never_drops() {
+        use relax_trace::EventKind as TE;
+        // Fixed delay 5; node 1 gray with multiplier 10 for a window.
+        let make = |sched: FaultSchedule| {
+            let mut w = World::new(
+                vec![
+                    Echo {
+                        received: 0,
+                        reply_to: Some(NodeId(1)),
+                    },
+                    Echo {
+                        received: 0,
+                        reply_to: Some(NodeId(0)),
+                    },
+                ],
+                NetworkConfig::new(5, 5, 0.0),
+                1,
+            )
+            .with_trace(1024)
+            .with_schedule(sched);
+            w.send_external(NodeId(0), 3);
+            w.run_to_quiescence(10_000);
+            w
+        };
+        let healthy = make(FaultSchedule::new());
+        let gray = make(
+            FaultSchedule::new()
+                .at(SimTime(0), Fault::GrayDegrade(NodeId(1), 10))
+                .at(SimTime(200), Fault::GrayRestore(NodeId(1))),
+        );
+        // Same traffic either way — gray drops nothing...
+        assert_eq!(gray.messages_lost(), 0);
+        assert_eq!(
+            gray.node(NodeId(0)).received + gray.node(NodeId(1)).received,
+            healthy.node(NodeId(0)).received + healthy.node(NodeId(1)).received,
+        );
+        // ...but the volley takes far longer while node 1 crawls.
+        assert!(
+            gray.now().0 > healthy.now().0 * 5,
+            "gray {} vs healthy {}",
+            gray.now().0,
+            healthy.now().0
+        );
+        let evs: Vec<_> = gray.tracer().events().collect();
+        assert!(evs.iter().any(|e| matches!(
+            e.kind,
+            TE::GrayDegraded {
+                node: 1,
+                multiplier: 10
+            }
+        )));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.kind, TE::GrayRestored { node: 1 })));
+    }
+
+    #[test]
+    fn blocked_link_drops_one_direction_only() {
+        use relax_trace::EventKind as TE;
+        let mut w = two_echoes().with_trace(1024).with_schedule(
+            FaultSchedule::new().at(SimTime(0), Fault::BlockLink(NodeId(0), NodeId(1))),
+        );
+        // Node 0's reply toward node 1 dies on the blocked direction.
+        w.send_external(NodeId(0), 3);
+        w.run_to_quiescence(10_000);
+        assert_eq!(w.node(NodeId(1)).received, 0);
+        assert_eq!(w.messages_lost(), 1);
+        // The reverse direction still works: node 1's reply reaches 0.
+        let received_0 = w.node(NodeId(0)).received;
+        w.send_external(NodeId(1), 1);
+        w.run_to_quiescence(10_000);
+        assert_eq!(w.node(NodeId(1)).received, 1);
+        assert_eq!(w.node(NodeId(0)).received, received_0 + 1);
+        let evs: Vec<_> = w.tracer().events().collect();
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.kind, TE::LinkBlocked { src: 0, dst: 1 })));
+        assert!(evs.iter().any(|e| matches!(
+            e.kind,
+            TE::MessageDropped {
+                cause: DropCause::LinkBlocked,
+                src: 0,
+                dst: 1,
+                ..
+            }
+        )));
         assert!(accounting_balances(&w));
     }
 

@@ -7,10 +7,13 @@
 //! the [`HbGraph`] backwards and collects every `message_dropped` in the
 //! witness's causal past, then reduces those drops to their
 //! fault-attribution causes — the **minimal cut of fault events**
-//! (partitions, crashes, loss-rate changes) that causally explains the
+//! (partitions, crashes, loss-rate changes, blocked links, gray
+//! degradations, duplication settings) that causally explains the
 //! witnessed behavior. Faults that occurred but did not causally precede
 //! the witness (e.g. a crash after the duplicate dispatch) are excluded
-//! by construction.
+//! by construction. Gray failures drop nothing and are collected
+//! directly from the causal past; duplication faults are reached through
+//! the `message_duplicated` events they spawned.
 //!
 //! [`TraceAnalysis`] bundles the DAG, the per-op [`Span`]s, the
 //! root-cause cuts, and an aggregated [`Registry`]; `trace_analyze` in
@@ -38,8 +41,9 @@ pub struct RootCause {
     /// past (ascending).
     pub dropped: Vec<usize>,
     /// The minimal fault cut: deduplicated event indices of the
-    /// `partition_set` / `node_crashed` / `loss_rate_set` events the
-    /// drops are attributed to (ascending).
+    /// `partition_set` / `node_crashed` / `loss_rate_set` /
+    /// `link_blocked` / `gray_degraded` / `duplication_rate_set` events
+    /// the witnessed behavior is attributed to (ascending).
     pub fault_cut: Vec<usize>,
 }
 
@@ -186,6 +190,21 @@ pub fn describe(kind: &EventKind) -> String {
         EventKind::LossRateSet { probability } => {
             format!("loss rate set to {probability}")
         }
+        EventKind::GrayDegraded { node, multiplier } => {
+            format!("node {node} gray-degraded ({multiplier}x slower)")
+        }
+        EventKind::GrayRestored { node } => format!("node {node} gray-restored"),
+        EventKind::LinkBlocked { src, dst } => format!("link {src}->{dst} blocked"),
+        EventKind::LinkRestored { src, dst } => format!("link {src}->{dst} restored"),
+        EventKind::DuplicationRateSet { probability } => {
+            format!("duplication rate set to {probability}")
+        }
+        EventKind::MessageDuplicated {
+            src,
+            dst,
+            orig_msg_id,
+            ..
+        } => format!("message {src}->{dst} duplicated (copy of #{orig_msg_id})"),
         EventKind::MessageDropped {
             src, dst, cause, ..
         } => format!("message {src}->{dst} dropped ({cause:?})"),
@@ -206,21 +225,36 @@ fn find_root_causes(graph: &HbGraph) -> Vec<RootCause> {
         let mut dropped = Vec::new();
         let mut fault_cut = Vec::new();
         for &j in &past {
-            if !matches!(events[j].kind, EventKind::MessageDropped { .. }) {
-                continue;
-            }
-            dropped.push(j);
-            // The drop's fault attribution is one of its immediate
-            // causes; collect the environment-fault preds.
-            for &p in graph.preds(j) {
-                if matches!(
-                    events[p].kind,
-                    EventKind::PartitionSet { .. }
-                        | EventKind::NodeCrashed { .. }
-                        | EventKind::LossRateSet { .. }
-                ) {
-                    fault_cut.push(p);
+            match events[j].kind {
+                EventKind::MessageDropped { .. } => {
+                    dropped.push(j);
+                    // The drop's fault attribution is one of its immediate
+                    // causes; collect the environment-fault preds.
+                    for &p in graph.preds(j) {
+                        if matches!(
+                            events[p].kind,
+                            EventKind::PartitionSet { .. }
+                                | EventKind::NodeCrashed { .. }
+                                | EventKind::LossRateSet { .. }
+                                | EventKind::LinkBlocked { .. }
+                        ) {
+                            fault_cut.push(p);
+                        }
+                    }
                 }
+                // Gray failures drop nothing — the degradation *is* the
+                // fault, reached through the send edges it slowed.
+                EventKind::GrayDegraded { .. } => fault_cut.push(j),
+                // A duplicated message in the past implicates the
+                // duplication fault setting directly.
+                EventKind::MessageDuplicated { .. } => {
+                    for &p in graph.preds(j) {
+                        if matches!(events[p].kind, EventKind::DuplicationRateSet { .. }) {
+                            fault_cut.push(p);
+                        }
+                    }
+                }
+                _ => {}
             }
         }
         fault_cut.sort_unstable();
@@ -425,6 +459,126 @@ mod tests {
         assert!(rc.fault_cut.is_empty());
         assert!(rc.dropped.is_empty());
         assert!(analysis.report().contains("causal fault cut: (empty)"));
+    }
+
+    #[test]
+    fn gray_failure_appears_in_the_cut_without_any_drops() {
+        let events = vec![
+            ev(
+                10,
+                0,
+                EventKind::GrayDegraded {
+                    node: 0,
+                    multiplier: 50,
+                },
+            ),
+            ev(
+                20,
+                1,
+                EventKind::MessageSent {
+                    src: 9,
+                    dst: 0,
+                    deliver_at: 520,
+                    msg_id: 0,
+                },
+            ),
+            ev(520, 2, EventKind::MessageDelivered { node: 9, msg_id: 0 }),
+            ev(
+                520,
+                3,
+                EventKind::OpEnd {
+                    node: 9,
+                    op_id: 1,
+                    outcome: OpOutcome::Completed,
+                    latency: 500,
+                },
+            ),
+            ev(
+                520,
+                4,
+                EventKind::LevelTransition(Box::new(LevelTransition {
+                    op_index: 0,
+                    left: vec!["PQ".into()],
+                    now: Some("MPQ".into()),
+                    witness: "Deq(5)".into(),
+                })),
+            ),
+        ];
+        let analysis = TraceAnalysis::from_events(events);
+        let rc = &analysis.root_causes()[0];
+        assert!(rc.dropped.is_empty(), "gray failures drop nothing");
+        assert_eq!(rc.fault_cut, vec![0], "the gray event is the cut");
+        assert!(analysis.report().contains("gray-degraded (50x slower)"));
+    }
+
+    #[test]
+    fn blocked_link_and_duplication_reach_the_cut() {
+        let events = vec![
+            ev(0, 0, EventKind::DuplicationRateSet { probability: 0.5 }),
+            ev(5, 1, EventKind::LinkBlocked { src: 9, dst: 0 }),
+            ev(
+                10,
+                2,
+                EventKind::MessageSent {
+                    src: 9,
+                    dst: 1,
+                    deliver_at: 15,
+                    msg_id: 0,
+                },
+            ),
+            ev(
+                10,
+                3,
+                EventKind::MessageDuplicated {
+                    src: 9,
+                    dst: 1,
+                    msg_id: 1,
+                    orig_msg_id: 0,
+                },
+            ),
+            ev(
+                10,
+                4,
+                EventKind::MessageDropped {
+                    src: 9,
+                    dst: 0,
+                    cause: DropCause::LinkBlocked,
+                    msg_id: 2,
+                },
+            ),
+            ev(15, 5, EventKind::MessageDelivered { node: 9, msg_id: 1 }),
+            ev(
+                20,
+                6,
+                EventKind::OpEnd {
+                    node: 9,
+                    op_id: 1,
+                    outcome: OpOutcome::Completed,
+                    latency: 10,
+                },
+            ),
+            ev(
+                20,
+                7,
+                EventKind::LevelTransition(Box::new(LevelTransition {
+                    op_index: 0,
+                    left: vec!["PQ".into()],
+                    now: Some("MPQ".into()),
+                    witness: "Deq(9)".into(),
+                })),
+            ),
+        ];
+        let analysis = TraceAnalysis::from_events(events);
+        let rc = &analysis.root_causes()[0];
+        assert_eq!(rc.dropped, vec![4], "the link-blocked drop");
+        assert_eq!(
+            rc.fault_cut,
+            vec![0, 1],
+            "duplication setting + blocked link"
+        );
+        let report = analysis.report();
+        assert!(report.contains("link 9->0 blocked"), "{report}");
+        assert!(report.contains("duplication rate set to 0.5"), "{report}");
     }
 
     #[test]

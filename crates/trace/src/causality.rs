@@ -12,8 +12,12 @@
 //! * **fault attribution** — a `message_dropped` is caused by the fault
 //!   that explains it: the latest `partition_set` (cause `partitioned`),
 //!   the latest `node_crashed` of the dead endpoint (`source_down`/
-//!   `dest_down`), or the latest `loss_rate_set` (`loss`, when one was
-//!   scheduled);
+//!   `dest_down`), the latest `loss_rate_set` (`loss`, when one was
+//!   scheduled), or the latest `link_blocked` on that directed link
+//!   (`link_blocked`); a `message_sent` touching a gray-degraded
+//!   endpoint is caused by the `gray_degraded` that is slowing it, and a
+//!   `message_duplicated` by its original send plus the
+//!   `duplication_rate_set` that enabled it;
 //! * **witness** — a `level_transition` is caused by the `op_end` of its
 //!   witness operation (the monitor observes completed operations in
 //!   completion order, so the witness is the `op_index`-th completed
@@ -57,6 +61,7 @@ fn location(kind: &EventKind, in_flight_drop: bool) -> Option<u32> {
         }
         EventKind::TimerSet { node, .. } | EventKind::TimerFired { node, .. } => Some(*node),
         EventKind::NodeCrashed { node } | EventKind::NodeRecovered { node } => Some(*node),
+        EventKind::GrayDegraded { node, .. } | EventKind::GrayRestored { node } => Some(*node),
         EventKind::OpBegin { node, .. }
         | EventKind::OpEnd { node, .. }
         | EventKind::QuorumAssembled { node, .. }
@@ -65,7 +70,17 @@ fn location(kind: &EventKind, in_flight_drop: bool) -> Option<u32> {
         EventKind::PartitionSet { .. }
         | EventKind::PartitionHealed
         | EventKind::LossRateSet { .. }
-        | EventKind::LevelTransition(_) => None,
+        | EventKind::LevelTransition(_)
+        // Link blocks are properties of the medium, duplication happens
+        // inside the network, and telemetry samples observe all nodes:
+        // none of these belong to one node's program order.
+        | EventKind::LinkBlocked { .. }
+        | EventKind::LinkRestored { .. }
+        | EventKind::DuplicationRateSet { .. }
+        | EventKind::MessageDuplicated { .. }
+        | EventKind::ReplicaLagSampled { .. }
+        | EventKind::FrontierDivergence { .. }
+        | EventKind::SloBudgetExhausted(_) => None,
     }
 }
 
@@ -78,7 +93,8 @@ impl HbGraph {
         let mut send_of: HashMap<u32, usize> = HashMap::new();
         for (i, e) in events.iter().enumerate() {
             if let EventKind::MessageSent { msg_id, .. }
-            | EventKind::MessageInjected { msg_id, .. } = &e.kind
+            | EventKind::MessageInjected { msg_id, .. }
+            | EventKind::MessageDuplicated { msg_id, .. } = &e.kind
             {
                 send_of.insert(*msg_id, i);
             }
@@ -99,6 +115,9 @@ impl HbGraph {
         let mut last_crash: HashMap<u32, usize> = HashMap::new();
         let mut last_partition: Option<usize> = None;
         let mut last_loss: Option<usize> = None;
+        let mut last_gray: HashMap<u32, usize> = HashMap::new();
+        let mut last_link_block: HashMap<(u32, u32), usize> = HashMap::new();
+        let mut last_dup: Option<usize> = None;
         let mut timer_set_at: HashMap<(u32, u64), usize> = HashMap::new();
         let mut completed_ends: Vec<usize> = Vec::new();
 
@@ -110,6 +129,16 @@ impl HbGraph {
                 last_at.insert(loc, i);
             }
             match &events[i].kind {
+                EventKind::MessageSent { src, dst, .. } => {
+                    // A gray-degraded endpoint slows this message: the
+                    // degradation is part of why everything downstream of
+                    // the send happened when it did.
+                    for endpoint in [src, dst] {
+                        if let Some(&g) = last_gray.get(endpoint) {
+                            preds[i].push(g);
+                        }
+                    }
+                }
                 EventKind::MessageDelivered { msg_id, .. } => {
                     if let Some(&s) = send_of.get(msg_id) {
                         preds[i].push(s);
@@ -131,6 +160,7 @@ impl HbGraph {
                         // Background loss may come from the network config
                         // with no scheduled loss_rate_set: then no edge.
                         DropCause::Loss => last_loss,
+                        DropCause::LinkBlocked => last_link_block.get(&(*src, *dst)).copied(),
                     };
                     if let Some(f) = fault {
                         preds[i].push(f);
@@ -152,6 +182,31 @@ impl HbGraph {
                 }
                 EventKind::LossRateSet { .. } => {
                     last_loss = Some(i);
+                }
+                EventKind::GrayDegraded { node, .. } => {
+                    last_gray.insert(*node, i);
+                }
+                EventKind::GrayRestored { node } => {
+                    last_gray.remove(node);
+                }
+                EventKind::LinkBlocked { src, dst } => {
+                    last_link_block.insert((*src, *dst), i);
+                }
+                EventKind::LinkRestored { src, dst } => {
+                    last_link_block.remove(&(*src, *dst));
+                }
+                EventKind::DuplicationRateSet { .. } => {
+                    last_dup = Some(i);
+                }
+                EventKind::MessageDuplicated { orig_msg_id, .. } => {
+                    // The copy descends from the original send, and the
+                    // duplication fault setting explains why it exists.
+                    if let Some(&s) = send_of.get(orig_msg_id) {
+                        preds[i].push(s);
+                    }
+                    if let Some(d) = last_dup {
+                        preds[i].push(d);
+                    }
                 }
                 EventKind::OpEnd {
                     outcome: OpOutcome::Completed,
@@ -363,7 +418,7 @@ impl HbGraph {
                     }
                 }
                 EventKind::MessageDropped { cause, .. } => {
-                    if matches!(cause, DropCause::Partitioned) {
+                    if matches!(cause, DropCause::Partitioned | DropCause::LinkBlocked) {
                         b.partition_stall += delta;
                     } else {
                         b.quorum_retry_stall += delta;
@@ -689,6 +744,107 @@ mod tests {
         assert_eq!(g.witness_op_end(1), Some(2));
         assert!(g.preds(3).contains(&2), "transition -> witness op_end");
         assert!(!g.preds(3).contains(&1), "timeouts are not witnesses");
+    }
+
+    #[test]
+    fn gray_degradation_is_an_ancestor_of_sends_it_slows() {
+        let events = vec![
+            ev(
+                10,
+                0,
+                EventKind::GrayDegraded {
+                    node: 0,
+                    multiplier: 8,
+                },
+            ),
+            // Client 9 sends to the gray replica 0: edge from the gray event.
+            ev(
+                20,
+                1,
+                EventKind::MessageSent {
+                    src: 9,
+                    dst: 0,
+                    deliver_at: 100,
+                    msg_id: 0,
+                },
+            ),
+            ev(30, 2, EventKind::GrayRestored { node: 0 }),
+            // After restoration: no gray edge.
+            ev(
+                40,
+                3,
+                EventKind::MessageSent {
+                    src: 9,
+                    dst: 0,
+                    deliver_at: 45,
+                    msg_id: 1,
+                },
+            ),
+            ev(100, 4, EventKind::MessageDelivered { node: 0, msg_id: 0 }),
+        ];
+        let g = HbGraph::build(events);
+        assert!(g.preds(1).contains(&0), "send to gray dst <- gray event");
+        assert!(!g.preds(3).contains(&0), "restored: no gray edge");
+        // The gray event reaches the delivery through the send.
+        assert!(g.causal_past(4).contains(&0));
+    }
+
+    #[test]
+    fn link_blocked_drop_links_to_the_latest_block_of_that_direction() {
+        let events = vec![
+            ev(10, 0, EventKind::LinkBlocked { src: 9, dst: 0 }),
+            ev(10, 1, EventKind::LinkBlocked { src: 9, dst: 1 }),
+            ev(15, 2, EventKind::LinkRestored { src: 9, dst: 1 }),
+            // Send-time drop on the still-blocked 9->0 direction.
+            ev(
+                20,
+                3,
+                EventKind::MessageDropped {
+                    src: 9,
+                    dst: 0,
+                    cause: DropCause::LinkBlocked,
+                    msg_id: 7,
+                },
+            ),
+        ];
+        let g = HbGraph::build(events);
+        assert!(g.preds(3).contains(&0), "drop <- its direction's block");
+        assert!(!g.preds(3).contains(&1), "other direction irrelevant");
+    }
+
+    #[test]
+    fn duplicated_message_descends_from_original_send_and_dup_setting() {
+        let events = vec![
+            ev(0, 0, EventKind::DuplicationRateSet { probability: 0.5 }),
+            ev(
+                10,
+                1,
+                EventKind::MessageSent {
+                    src: 9,
+                    dst: 0,
+                    deliver_at: 15,
+                    msg_id: 0,
+                },
+            ),
+            ev(
+                10,
+                2,
+                EventKind::MessageDuplicated {
+                    src: 9,
+                    dst: 0,
+                    msg_id: 1,
+                    orig_msg_id: 0,
+                },
+            ),
+            ev(15, 3, EventKind::MessageDelivered { node: 0, msg_id: 0 }),
+            // The copy's delivery pairs with the duplication event.
+            ev(15, 4, EventKind::MessageDelivered { node: 0, msg_id: 1 }),
+        ];
+        let g = HbGraph::build(events);
+        assert!(g.preds(2).contains(&1), "copy <- original send");
+        assert!(g.preds(2).contains(&0), "copy <- duplication setting");
+        assert!(g.preds(4).contains(&2), "copy delivery <- duplication");
+        assert!(g.causal_past(4).contains(&0));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! The write half lives on [`Event::to_json`](crate::event::Event::to_json)
 //! and [`Tracer::export_jsonl`](crate::tracer::Tracer::export_jsonl); this
 //! module is the read half. An exported trace is a [`TraceHeader`] line
-//! (`{"kind":"trace_header","version":1,…}`) followed by one flat JSON
+//! (`{"kind":"trace_header","version":2,…}`) followed by one flat JSON
 //! object per event. [`read_trace`] parses either form — headered exports
 //! or bare event streams (version-1 traces predate the header) — back
 //! into typed [`Event`]s, so any trace a binary wrote can be analyzed by
@@ -16,9 +16,14 @@
 
 use crate::event::{DropCause, Event, EventKind, OpLabel, OpOutcome, PartitionGroups, QuorumPhase};
 use crate::monitor::LevelTransition;
+use crate::staleness::SloViolation;
 
 /// The trace format version this crate writes and the newest it reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// Older versions stay readable: version 2 added the gray-failure /
+/// asymmetric-partition / duplication fault events and the staleness
+/// telemetry events, all of which are strict additions to the version-1
+/// schema.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// The first line of an exported trace: format version plus collection
 /// counters, so a reader knows whether the window is complete.
@@ -317,6 +322,7 @@ fn parse_drop_cause(s: &str) -> Result<DropCause, String> {
         "dest_down" => Ok(DropCause::DestDown),
         "partitioned" => Ok(DropCause::Partitioned),
         "loss" => Ok(DropCause::Loss),
+        "link_blocked" => Ok(DropCause::LinkBlocked),
         other => Err(format!("unknown drop cause {other:?}")),
     }
 }
@@ -465,6 +471,45 @@ fn parse_kind(tag: &str, f: &Fields) -> Result<EventKind, String> {
                     .map_err(|_| "op_index overflows usize".to_string())?,
             }))
         }
+        "gray_degraded" => EventKind::GrayDegraded {
+            node: f.u32("node")?,
+            multiplier: f.u32("multiplier")?,
+        },
+        "gray_restored" => EventKind::GrayRestored {
+            node: f.u32("node")?,
+        },
+        "link_blocked" => EventKind::LinkBlocked {
+            src: f.u32("src")?,
+            dst: f.u32("dst")?,
+        },
+        "link_restored" => EventKind::LinkRestored {
+            src: f.u32("src")?,
+            dst: f.u32("dst")?,
+        },
+        "duplication_rate_set" => EventKind::DuplicationRateSet {
+            probability: f.f64("probability")?,
+        },
+        "message_duplicated" => EventKind::MessageDuplicated {
+            src: f.u32("src")?,
+            dst: f.u32("dst")?,
+            msg_id: f.u32("msg_id")?,
+            orig_msg_id: f.u32("orig_msg_id")?,
+        },
+        "replica_lag_sampled" => EventKind::ReplicaLagSampled {
+            site: f.u32("site")?,
+            entries_behind: f.u64("entries_behind")?,
+            time_behind: f.u64("time_behind")?,
+        },
+        "frontier_divergence" => EventKind::FrontierDivergence {
+            a: f.u32("a")?,
+            b: f.u32("b")?,
+            entries: f.u64("entries")?,
+        },
+        "slo_budget_exhausted" => EventKind::SloBudgetExhausted(Box::new(SloViolation {
+            level: f.str("level")?.to_string(),
+            budget: f.u64("budget")?,
+            spent: f.u64("spent")?,
+        })),
         other => return Err(format!("unknown event kind {other:?}")),
     })
 }
@@ -612,6 +657,35 @@ mod tests {
                 witness: "Deq(5)".into(),
                 op_index: 2,
             })),
+            EventKind::GrayDegraded {
+                node: 2,
+                multiplier: 10,
+            },
+            EventKind::GrayRestored { node: 2 },
+            EventKind::LinkBlocked { src: 9, dst: 0 },
+            EventKind::LinkRestored { src: 9, dst: 0 },
+            EventKind::DuplicationRateSet { probability: 0.5 },
+            EventKind::MessageDuplicated {
+                src: 9,
+                dst: 1,
+                msg_id: 12,
+                orig_msg_id: 11,
+            },
+            EventKind::ReplicaLagSampled {
+                site: 1,
+                entries_behind: 4,
+                time_behind: 120,
+            },
+            EventKind::FrontierDivergence {
+                a: 0,
+                b: 2,
+                entries: 3,
+            },
+            EventKind::SloBudgetExhausted(Box::new(crate::staleness::SloViolation {
+                level: "PQ".into(),
+                budget: 50,
+                spent: 61,
+            })),
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             round_trip(Event {
@@ -674,6 +748,112 @@ mod tests {
         let parsed = read_trace(body).unwrap();
         assert_eq!(parsed.header, None);
         assert_eq!(parsed.events[0].kind, EventKind::NodeCrashed { node: 2 },);
+    }
+
+    /// Property-style round-trip over randomized events (hand-rolled
+    /// SplitMix64 generator — the workspace builds with no external
+    /// crates, so this plays the role a proptest dependency would).
+    #[test]
+    fn randomized_events_round_trip() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        for trial in 0..500u64 {
+            let a = next();
+            let b = next();
+            let c = next();
+            let kind = match trial % 10 {
+                0 => EventKind::GrayDegraded {
+                    node: a as u32 % 64,
+                    multiplier: 1 + b as u32 % 100,
+                },
+                1 => EventKind::GrayRestored {
+                    node: a as u32 % 64,
+                },
+                2 => EventKind::LinkBlocked {
+                    src: a as u32 % 64,
+                    dst: b as u32 % 64,
+                },
+                3 => EventKind::LinkRestored {
+                    src: a as u32 % 64,
+                    dst: b as u32 % 64,
+                },
+                4 => EventKind::DuplicationRateSet {
+                    // Dyadic rationals render and re-parse exactly.
+                    probability: (a % 1024) as f64 / 1024.0,
+                },
+                5 => EventKind::MessageDuplicated {
+                    src: a as u32 % 64,
+                    dst: b as u32 % 64,
+                    msg_id: c as u32,
+                    orig_msg_id: c as u32 ^ 1,
+                },
+                6 => EventKind::ReplicaLagSampled {
+                    site: a as u32 % 64,
+                    entries_behind: b >> 8,
+                    time_behind: c >> 8,
+                },
+                7 => EventKind::FrontierDivergence {
+                    a: a as u32 % 64,
+                    b: b as u32 % 64,
+                    entries: c >> 8,
+                },
+                8 => EventKind::SloBudgetExhausted(Box::new(crate::staleness::SloViolation {
+                    level: format!("L{}", a % 7),
+                    budget: b >> 8,
+                    spent: c >> 8,
+                })),
+                _ => EventKind::MessageDropped {
+                    src: a as u32 % 64,
+                    dst: b as u32 % 64,
+                    cause: match c % 5 {
+                        0 => DropCause::SourceDown,
+                        1 => DropCause::DestDown,
+                        2 => DropCause::Partitioned,
+                        3 => DropCause::Loss,
+                        _ => DropCause::LinkBlocked,
+                    },
+                    msg_id: c as u32,
+                },
+            };
+            round_trip(Event {
+                time: a >> 8,
+                seq: trial,
+                kind,
+            });
+        }
+    }
+
+    /// A version-1 trace (captured before the version-2 event additions)
+    /// must keep parsing byte-for-byte: version 2 is a strict superset.
+    #[test]
+    fn version_1_traces_still_ingest() {
+        let v1 = "\
+{\"kind\":\"trace_header\",\"version\":1,\"events\":4,\"dropped_oldest\":0}
+{\"t\":0,\"seq\":0,\"kind\":\"partition_set\",\"groups\":[[9,0],[1,2]]}
+{\"t\":5,\"seq\":1,\"kind\":\"message_dropped\",\"src\":9,\"dst\":1,\"cause\":\"partitioned\",\"msg_id\":0}
+{\"t\":9,\"seq\":2,\"kind\":\"op_end\",\"node\":9,\"op_id\":1,\"outcome\":\"completed\",\"latency\":9}
+{\"t\":9,\"seq\":3,\"kind\":\"level_transition\",\"op_index\":0,\"left\":[\"PQ\"],\"now\":\"MPQ\",\"witness\":\"Deq(5)\"}
+";
+        let parsed = read_trace(v1).unwrap();
+        assert_eq!(parsed.header.as_ref().unwrap().version, 1);
+        assert_eq!(parsed.events.len(), 4);
+        assert!(matches!(
+            parsed.events[1].kind,
+            EventKind::MessageDropped {
+                cause: DropCause::Partitioned,
+                ..
+            }
+        ));
+        // And the analysis stack still consumes it end to end.
+        let analysis = crate::analyze::TraceAnalysis::from_trace(parsed);
+        assert_eq!(analysis.root_causes().len(), 1);
+        assert_eq!(analysis.root_causes()[0].fault_cut, vec![0]);
     }
 
     #[test]

@@ -184,6 +184,9 @@ pub enum DropCause {
     Partitioned,
     /// The link's random loss fired.
     Loss,
+    /// The *directed* link from source to destination was blocked
+    /// (asymmetric partition); the reverse direction may still work.
+    LinkBlocked,
 }
 
 impl DropCause {
@@ -194,6 +197,7 @@ impl DropCause {
             DropCause::DestDown => "dest_down",
             DropCause::Partitioned => "partitioned",
             DropCause::Loss => "loss",
+            DropCause::LinkBlocked => "link_blocked",
         }
     }
 }
@@ -380,6 +384,76 @@ pub enum EventKind {
     /// lattice levels. Boxed: the payload is fat and rare, and every
     /// recorded event pays for the enum's largest variant.
     LevelTransition(Box<crate::monitor::LevelTransition>),
+    /// A fault gray-degraded a node: still alive and responsive, but
+    /// every link touching it runs at a delay multiplier.
+    GrayDegraded {
+        /// The slowed node.
+        node: u32,
+        /// The integer delay multiplier now in force (≥ 2).
+        multiplier: u32,
+    },
+    /// A fault restored a gray-degraded node to full speed.
+    GrayRestored {
+        /// The restored node.
+        node: u32,
+    },
+    /// A fault blocked the *directed* link `src → dst` (asymmetric
+    /// partition); traffic `dst → src` is unaffected.
+    LinkBlocked {
+        /// Blocked direction: sender.
+        src: u32,
+        /// Blocked direction: receiver.
+        dst: u32,
+    },
+    /// A fault unblocked the directed link `src → dst`.
+    LinkRestored {
+        /// Restored direction: sender.
+        src: u32,
+        /// Restored direction: receiver.
+        dst: u32,
+    },
+    /// A fault changed the message-duplication probability.
+    DuplicationRateSet {
+        /// The new duplication probability.
+        probability: f64,
+    },
+    /// The network manufactured a duplicate copy of a sent message. The
+    /// copy travels under its own `msg_id` (its delivery pairs with this
+    /// event the way a delivery pairs with a send).
+    MessageDuplicated {
+        /// Sending node index (of the original send).
+        src: u32,
+        /// Destination node index.
+        dst: u32,
+        /// The duplicate copy's world-unique id.
+        msg_id: u32,
+        /// The id of the original message this copy was cloned from.
+        orig_msg_id: u32,
+    },
+    /// Staleness probe: one replica's lag behind the merged frontier.
+    ReplicaLagSampled {
+        /// The sampled replica.
+        site: u32,
+        /// Log entries the replica is missing relative to the merged
+        /// frontier of all replicas.
+        entries_behind: u64,
+        /// Sim-time ticks since the replica last matched the merged
+        /// frontier.
+        time_behind: u64,
+    },
+    /// Staleness probe: pairwise frontier divergence between two
+    /// replicas (entries held by one but not the other).
+    FrontierDivergence {
+        /// First replica of the pair (`a < b`).
+        a: u32,
+        /// Second replica of the pair.
+        b: u32,
+        /// Total entries by which the two frontiers differ.
+        entries: u64,
+    },
+    /// A degradation SLO error budget ran out. Boxed: fat and rare, like
+    /// [`EventKind::LevelTransition`].
+    SloBudgetExhausted(Box<crate::staleness::SloViolation>),
 }
 
 impl EventKind {
@@ -403,6 +477,15 @@ impl EventKind {
             EventKind::QuorumFailed { .. } => "quorum_failed",
             EventKind::ViewMerged { .. } => "view_merged",
             EventKind::LevelTransition(_) => "level_transition",
+            EventKind::GrayDegraded { .. } => "gray_degraded",
+            EventKind::GrayRestored { .. } => "gray_restored",
+            EventKind::LinkBlocked { .. } => "link_blocked",
+            EventKind::LinkRestored { .. } => "link_restored",
+            EventKind::DuplicationRateSet { .. } => "duplication_rate_set",
+            EventKind::MessageDuplicated { .. } => "message_duplicated",
+            EventKind::ReplicaLagSampled { .. } => "replica_lag_sampled",
+            EventKind::FrontierDivergence { .. } => "frontier_divergence",
+            EventKind::SloBudgetExhausted(_) => "slo_budget_exhausted",
         }
     }
 }
@@ -589,6 +672,51 @@ impl Event {
                     t.op_index
                 );
             }
+            EventKind::GrayDegraded { node, multiplier } => {
+                let _ = write!(s, ",\"node\":{node},\"multiplier\":{multiplier}");
+            }
+            EventKind::GrayRestored { node } => {
+                let _ = write!(s, ",\"node\":{node}");
+            }
+            EventKind::LinkBlocked { src, dst } | EventKind::LinkRestored { src, dst } => {
+                let _ = write!(s, ",\"src\":{src},\"dst\":{dst}");
+            }
+            EventKind::DuplicationRateSet { probability } => {
+                let _ = write!(s, ",\"probability\":{probability}");
+            }
+            EventKind::MessageDuplicated {
+                src,
+                dst,
+                msg_id,
+                orig_msg_id,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{src},\"dst\":{dst},\"msg_id\":{msg_id},\"orig_msg_id\":{orig_msg_id}"
+                );
+            }
+            EventKind::ReplicaLagSampled {
+                site,
+                entries_behind,
+                time_behind,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"site\":{site},\"entries_behind\":{entries_behind},\"time_behind\":{time_behind}"
+                );
+            }
+            EventKind::FrontierDivergence { a, b, entries } => {
+                let _ = write!(s, ",\"a\":{a},\"b\":{b},\"entries\":{entries}");
+            }
+            EventKind::SloBudgetExhausted(v) => {
+                let _ = write!(
+                    s,
+                    ",\"level\":\"{}\",\"budget\":{},\"spent\":{}",
+                    escape_json(&v.level),
+                    v.budget,
+                    v.spent
+                );
+            }
         }
         s.push('}');
         s
@@ -767,6 +895,35 @@ mod tests {
                 now: None,
                 witness: String::new(),
                 op_index: 0,
+            })),
+            EventKind::GrayDegraded {
+                node: 0,
+                multiplier: 2,
+            },
+            EventKind::GrayRestored { node: 0 },
+            EventKind::LinkBlocked { src: 0, dst: 0 },
+            EventKind::LinkRestored { src: 0, dst: 0 },
+            EventKind::DuplicationRateSet { probability: 0.0 },
+            EventKind::MessageDuplicated {
+                src: 0,
+                dst: 0,
+                msg_id: 0,
+                orig_msg_id: 0,
+            },
+            EventKind::ReplicaLagSampled {
+                site: 0,
+                entries_behind: 0,
+                time_behind: 0,
+            },
+            EventKind::FrontierDivergence {
+                a: 0,
+                b: 0,
+                entries: 0,
+            },
+            EventKind::SloBudgetExhausted(Box::new(crate::staleness::SloViolation {
+                level: String::new(),
+                budget: 0,
+                spent: 0,
             })),
         ];
         let mut tags: Vec<&str> = kinds.iter().map(|k| k.tag()).collect();

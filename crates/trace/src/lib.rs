@@ -29,6 +29,11 @@
 //!   [`monitor::LevelTransition`] backwards through the DAG to the
 //!   minimal cut of fault events that caused it, rendered as a
 //!   human-readable report ([`analyze::TraceAnalysis`]).
+//! * [`staleness`] — replication staleness telemetry: per-replica lag
+//!   and pairwise frontier divergence from periodic snapshots
+//!   ([`staleness::StalenessTracker`]), plus degradation SLO error
+//!   budgets with witnessed exhaustion events
+//!   ([`staleness::SloMonitor`]).
 //!
 //! ```
 //! use relax_trace::prelude::*;
@@ -53,6 +58,7 @@ pub mod codec;
 pub mod event;
 pub mod metrics;
 pub mod monitor;
+pub mod staleness;
 pub mod tracer;
 
 /// Convenient re-exports of the crate's main types.
@@ -65,6 +71,9 @@ pub mod prelude {
     };
     pub use crate::metrics::{Counter, Gauge, Histogram, Registry};
     pub use crate::monitor::{DegradationMonitor, FrontierChecker, LevelTransition};
+    pub use crate::staleness::{
+        staleness_report, FrontierView, SiteCount, SloMonitor, SloViolation, StalenessTracker,
+    };
     pub use crate::tracer::Tracer;
 }
 
@@ -74,4 +83,7 @@ pub use codec::{read_trace, ParsedTrace, TraceHeader};
 pub use event::{DropCause, Event, EventKind, OpLabel, OpOutcome, PartitionGroups, QuorumPhase};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use monitor::{DegradationMonitor, FrontierChecker, LevelTransition};
+pub use staleness::{
+    staleness_report, FrontierView, SiteCount, SloMonitor, SloViolation, StalenessTracker,
+};
 pub use tracer::Tracer;

@@ -273,11 +273,50 @@ impl Histogram {
 /// Canonical gauge names for wire-level accounting, set by experiment
 /// harnesses from the sim world's byte/message counters and summed
 /// across trials with [`Registry::merge_accumulating`].
+///
+/// Names follow the Prometheus convention of putting the unit last
+/// (`_bytes`, not `bytes_` mid-name) — see [`lint_name`], which the
+/// naming test applies to every canonical metric name in the workspace.
 pub mod wire {
     /// Modeled payload bytes offered to the network.
-    pub const BYTES_SHIPPED: &str = "wire_bytes_shipped";
+    pub const BYTES_SHIPPED: &str = "wire_shipped_bytes";
     /// Messages offered to the network.
     pub const MESSAGES_SENT: &str = "wire_messages_sent";
+}
+
+/// Checks a metric base name against the workspace's Prometheus naming
+/// rules; returns a violation description, or `None` when the name is
+/// clean. The rules:
+///
+/// * snake_case: lowercase letters, digits, and `_`, starting with a
+///   letter;
+/// * no reserved suffix — `_total`, `_bucket`, `_sum`, `_count`, and
+///   `_quantile` are appended by [`Registry::render_prometheus`], so a
+///   base name carrying one would collide with the generated series;
+/// * unit last: a name mentioning `bytes` must end in `_bytes` (sim
+///   durations use `_ticks` rather than `_seconds` — the simulator's
+///   clock is discrete, and mislabeling ticks as seconds would be the
+///   real convention violation).
+pub fn lint_name(name: &str) -> Option<String> {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some('a'..='z') => {}
+        _ => return Some(format!("{name:?}: must start with a lowercase letter")),
+    }
+    if !chars.all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_')) {
+        return Some(format!("{name:?}: not snake_case"));
+    }
+    for suffix in ["_total", "_bucket", "_sum", "_count", "_quantile"] {
+        if name.ends_with(suffix) {
+            return Some(format!(
+                "{name:?}: reserved suffix {suffix} (generated by the exposition)"
+            ));
+        }
+    }
+    if name.contains("bytes") && !name.ends_with("_bytes") {
+        return Some(format!("{name:?}: unit must come last (…_bytes)"));
+    }
+    None
 }
 
 /// A named collection of counters, gauges, and histograms.
@@ -723,6 +762,8 @@ mod tests {
         r.counter("ops").record(true);
         r.counter("ops").record(false);
         r.gauge("inflight").set(3);
+        r.gauge(wire::BYTES_SHIPPED).set(4096);
+        r.gauge(wire::MESSAGES_SENT).set(128);
         let h = r.histogram("lat");
         h.set_buckets(&[10, 100]);
         h.record(5);
@@ -734,6 +775,10 @@ ops_total{result=\"success\"} 1
 ops_total{result=\"failure\"} 1
 # TYPE inflight gauge
 inflight 3
+# TYPE wire_messages_sent gauge
+wire_messages_sent 128
+# TYPE wire_shipped_bytes gauge
+wire_shipped_bytes 4096
 # TYPE lat histogram
 lat_bucket{le=\"10\"} 1
 lat_bucket{le=\"100\"} 2
@@ -748,6 +793,55 @@ lat_quantile{quantile=\"0.99\"} 500
         assert_eq!(r.render_prometheus(), expected);
         // Rendering is idempotent (quantile calls sort in place).
         assert_eq!(r.render_prometheus(), expected);
+    }
+
+    /// Every canonical metric name the workspace emits, pinned against
+    /// the naming rules. A new metric that violates the convention must
+    /// be caught here, not in a dashboard.
+    #[test]
+    fn canonical_metric_names_pass_the_lint() {
+        let canonical = [
+            // span aggregation (causality.rs)
+            "ops",
+            "op_latency",
+            "phase_network_wait",
+            "phase_quorum_retry_stall",
+            "phase_partition_stall",
+            "phase_local_compute",
+            // wire accounting
+            wire::BYTES_SHIPPED,
+            wire::MESSAGES_SENT,
+            // staleness telemetry (staleness.rs; per-replica instances)
+            "staleness_lag_entries_r0",
+            "staleness_lag_ticks_r0",
+            "frontier_divergence_entries_r0_r1",
+            // gossip efficiency (quorum runtime exposition)
+            "gossip_delta_sends",
+            "gossip_full_sends",
+            "viewcache_hits",
+            "viewcache_misses",
+        ];
+        for name in canonical {
+            assert_eq!(lint_name(name), None, "metric name {name:?} fails lint");
+        }
+    }
+
+    #[test]
+    fn lint_rejects_unconventional_names() {
+        for (bad, why) in [
+            ("wire_bytes_shipped", "unit not last"),
+            ("ops_total", "reserved suffix"),
+            ("lat_bucket", "reserved suffix"),
+            ("lat_sum", "reserved suffix"),
+            ("retry_count", "reserved suffix"),
+            ("lat_quantile", "reserved suffix"),
+            ("OpsDone", "not snake_case"),
+            ("op-latency", "not snake_case"),
+            ("_private", "leading underscore"),
+            ("9lives", "leading digit"),
+        ] {
+            assert!(lint_name(bad).is_some(), "{bad:?} should fail ({why})");
+        }
     }
 
     #[test]

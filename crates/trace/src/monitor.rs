@@ -18,38 +18,53 @@
 
 use crate::event::EventKind;
 use relax_automata::ObjectAutomaton;
-use std::collections::HashSet;
 use std::fmt::Debug;
 
 /// Tracks the reachable-state frontier of one automaton along an
 /// observed history (online language membership).
+///
+/// The frontier is a plain vector, deduplicated by equality and pruned
+/// by the automaton's [`ObjectAutomaton::subsumes`] preorder: monitored
+/// frontiers stay tiny (usually a single state), so linear scans beat
+/// hashing whole states, and subsumption keeps nondeterministic
+/// remove-or-keep specifications from doubling the frontier per op.
 #[derive(Debug, Clone)]
 pub struct FrontierChecker<A: ObjectAutomaton> {
     automaton: A,
-    frontier: HashSet<A::State>,
+    frontier: Vec<A::State>,
+    /// Previous frontier buffer, recycled to avoid a per-op allocation.
+    scratch: Vec<A::State>,
 }
 
 impl<A: ObjectAutomaton> FrontierChecker<A> {
     /// Starts at the automaton's initial state.
     pub fn new(automaton: A) -> Self {
-        let mut frontier = HashSet::new();
-        frontier.insert(automaton.initial_state());
+        let frontier = vec![automaton.initial_state()];
         FrontierChecker {
             automaton,
             frontier,
+            scratch: Vec::new(),
         }
     }
 
     /// Advances the frontier past `op`. Returns `true` while the
     /// history so far is still in the automaton's language.
     pub fn observe(&mut self, op: &A::Op) -> bool {
-        let mut next = HashSet::new();
+        let mut next = std::mem::take(&mut self.scratch);
+        next.clear();
         for s in &self.frontier {
             for t in self.automaton.step(s, op) {
-                next.insert(t);
+                if next
+                    .iter()
+                    .any(|u| *u == t || self.automaton.subsumes(u, &t))
+                {
+                    continue;
+                }
+                next.retain(|u| !self.automaton.subsumes(&t, u));
+                next.push(t);
             }
         }
-        self.frontier = next;
+        self.scratch = std::mem::replace(&mut self.frontier, next);
         !self.frontier.is_empty()
     }
 

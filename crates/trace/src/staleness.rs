@@ -1,0 +1,542 @@
+//! Staleness telemetry: per-replica lag, pairwise frontier divergence,
+//! and degradation SLO error budgets.
+//!
+//! The lattice monitor (PR 4) witnesses *that* a level died; this module
+//! makes the replica-level cause observable. A [`StalenessTracker`] is
+//! fed periodic [`FrontierView`] snapshots (one per replica, decoupled
+//! from the quorum crate's `Frontier` type so `relax-trace` stays
+//! dependency-free) and emits [`EventKind::ReplicaLagSampled`] and
+//! [`EventKind::FrontierDivergence`] events plus last-value gauges. An
+//! [`SloMonitor`] turns "how long have we been degraded" into an error
+//! budget: each level gets a budget of ticks it may spend dead, and the
+//! first tick past the budget emits a witnessed
+//! [`EventKind::SloBudgetExhausted`] event.
+
+use crate::event::{Event, EventKind};
+use crate::metrics::Registry;
+use std::fmt::Write as _;
+
+/// One site's entry count inside a replica's frontier snapshot, plus the
+/// order-insensitive hash of that site's entries (mirrors the quorum
+/// crate's `SiteSummary`, re-declared here so the trace crate does not
+/// depend on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteCount {
+    /// Originating site (replica id namespace of the log entries).
+    pub site: u32,
+    /// Entries this replica holds from that site.
+    pub count: u64,
+    /// Order-insensitive hash of those entries.
+    pub hash: u64,
+}
+
+/// A replica's frontier at sampling time: how many entries it holds from
+/// each originating site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierView {
+    /// The replica this snapshot describes.
+    pub replica: u32,
+    /// Per-site entry counts (any order; missing sites count as zero).
+    pub sites: Vec<SiteCount>,
+}
+
+impl FrontierView {
+    fn count_of(&self, site: u32) -> u64 {
+        self.sites
+            .iter()
+            .find(|s| s.site == site)
+            .map_or(0, |s| s.count)
+    }
+}
+
+/// Computes per-replica lag and pairwise divergence from frontier
+/// snapshots, remembering when each replica was last caught up so
+/// `time_behind` measures sim-ticks of continuous staleness.
+#[derive(Debug, Clone)]
+pub struct StalenessTracker {
+    /// Last sim time each replica matched the merged frontier.
+    caught_up: Vec<u64>,
+    /// Largest `entries_behind` ever sampled per replica.
+    max_lag: Vec<u64>,
+    samples: u64,
+    /// Most recent per-replica `(replica, entries_behind, time_behind)`,
+    /// for deferred gauge flushing.
+    last_lag: Vec<(u32, u64, u64)>,
+    /// Most recent pairwise `(a, b, entries)` divergences, same purpose.
+    last_div: Vec<(u32, u32, u64)>,
+    /// Scratch `(site, max count)` buffer reused across samples.
+    merged: Vec<(u32, u64)>,
+}
+
+impl StalenessTracker {
+    /// A tracker for `n_replicas` replicas, all considered caught up at
+    /// time zero.
+    pub fn new(n_replicas: usize) -> Self {
+        StalenessTracker {
+            caught_up: vec![0; n_replicas],
+            max_lag: vec![0; n_replicas],
+            samples: 0,
+            last_lag: vec![(0, 0, 0); n_replicas],
+            last_div: Vec::new(),
+            merged: Vec::new(),
+        }
+    }
+
+    /// Number of `sample` calls so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Largest `entries_behind` ever sampled for each replica.
+    pub fn max_lag(&self) -> &[u64] {
+        &self.max_lag
+    }
+
+    /// Takes one staleness sample: computes the merged frontier (per-site
+    /// max across all views), then per-replica lag and pairwise
+    /// divergence. Returns the telemetry events to record (the caller
+    /// stamps time and sequence) and sets last-value gauges in `reg`.
+    ///
+    /// `views[i]` must describe replica `i` (one view per replica, in
+    /// replica order).
+    pub fn sample(
+        &mut self,
+        now: u64,
+        views: &[FrontierView],
+        reg: Option<&mut Registry>,
+    ) -> Vec<EventKind> {
+        let mut out = Vec::new();
+        self.sample_into(now, views, &mut out);
+        if let Some(reg) = reg {
+            self.flush_gauges(reg);
+        }
+        out
+    }
+
+    /// Allocation-light [`StalenessTracker::sample`]: appends the
+    /// telemetry events to `out` (not cleared) and defers all gauge
+    /// updates — call [`StalenessTracker::flush_gauges`] when a scrape
+    /// actually needs them. This is the hot sampling path: per-sample
+    /// cost is a handful of integer loops over reusable buffers, so
+    /// high-frequency sampling stays cheap enough for an overhead budget.
+    pub fn sample_into(&mut self, now: u64, views: &[FrontierView], out: &mut Vec<EventKind>) {
+        assert_eq!(
+            views.len(),
+            self.caught_up.len(),
+            "one FrontierView per replica"
+        );
+        self.samples += 1;
+        // Merged frontier: the union view a perfectly-replicated site
+        // would hold — per-site max entry count across all replicas.
+        self.merged.clear();
+        for v in views {
+            for s in &v.sites {
+                match self.merged.iter_mut().find(|(site, _)| *site == s.site) {
+                    Some((_, max)) => *max = (*max).max(s.count),
+                    None => self.merged.push((s.site, s.count)),
+                }
+            }
+        }
+        let merged_total: u64 = self.merged.iter().map(|(_, n)| n).sum();
+
+        for (i, v) in views.iter().enumerate() {
+            let held: u64 = self.merged.iter().map(|&(site, _)| v.count_of(site)).sum();
+            let entries_behind = merged_total - held;
+            if entries_behind == 0 {
+                self.caught_up[i] = now;
+            }
+            self.max_lag[i] = self.max_lag[i].max(entries_behind);
+            let time_behind = now - self.caught_up[i];
+            self.last_lag[i] = (v.replica, entries_behind, time_behind);
+            out.push(EventKind::ReplicaLagSampled {
+                site: v.replica,
+                entries_behind,
+                time_behind,
+            });
+        }
+        // Pairwise divergence: entry-count distance, plus one entry per
+        // site whose counts agree but whose hashes do not (same length,
+        // different contents — invisible to counts alone).
+        self.last_div.clear();
+        for a in 0..views.len() {
+            for b in (a + 1)..views.len() {
+                let (va, vb) = (&views[a], &views[b]);
+                let mut entries = 0u64;
+                for &(site, _) in &self.merged {
+                    let (ca, cb) = (va.count_of(site), vb.count_of(site));
+                    entries += ca.abs_diff(cb);
+                    if ca == cb && ca > 0 {
+                        let ha = va.sites.iter().find(|s| s.site == site).map(|s| s.hash);
+                        let hb = vb.sites.iter().find(|s| s.site == site).map(|s| s.hash);
+                        if ha != hb {
+                            entries += 1;
+                        }
+                    }
+                }
+                self.last_div.push((va.replica, vb.replica, entries));
+                out.push(EventKind::FrontierDivergence {
+                    a: va.replica,
+                    b: vb.replica,
+                    entries,
+                });
+            }
+        }
+    }
+
+    /// Writes the most recent sample's lag and divergence readings into
+    /// `reg` as last-value gauges (`staleness_lag_entries_r{i}`,
+    /// `staleness_lag_ticks_r{i}`, `frontier_divergence_entries_r{a}_r{b}`).
+    /// A no-op before the first sample.
+    pub fn flush_gauges(&self, reg: &mut Registry) {
+        if self.samples == 0 {
+            return;
+        }
+        for &(site, entries, ticks) in &self.last_lag {
+            reg.gauge(&format!("staleness_lag_entries_r{site}"))
+                .set(entries as i64);
+            reg.gauge(&format!("staleness_lag_ticks_r{site}"))
+                .set(ticks as i64);
+        }
+        for &(a, b, entries) in &self.last_div {
+            reg.gauge(&format!("frontier_divergence_entries_r{a}_r{b}"))
+                .set(entries as i64);
+        }
+    }
+}
+
+/// A witnessed SLO violation: the named level has been dead for `spent`
+/// ticks against a budget of `budget`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloViolation {
+    /// The relaxation-lattice level whose budget ran out.
+    pub level: String,
+    /// Ticks the level was allowed to spend dead.
+    pub budget: u64,
+    /// Ticks actually spent dead when the budget exhausted.
+    pub spent: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SloBudget {
+    level: String,
+    budget: u64,
+    died_at: Option<u64>,
+    spent: u64,
+    fired: bool,
+}
+
+/// Tracks time-above-level-k error budgets: each registered level may
+/// spend at most `budget` ticks dead; the first [`SloMonitor::advance`]
+/// past the budget emits one [`EventKind::SloBudgetExhausted`].
+///
+/// Levels die monotonically in this workspace (a `DegradationMonitor`
+/// never resurrects a level within a run), so spent time is simply
+/// `now - died_at`.
+#[derive(Debug, Clone, Default)]
+pub struct SloMonitor {
+    budgets: Vec<SloBudget>,
+}
+
+impl SloMonitor {
+    /// An SLO monitor with no budgets registered.
+    pub fn new() -> Self {
+        SloMonitor::default()
+    }
+
+    /// Registers an error budget: `level` may spend `budget_ticks` dead
+    /// before the budget exhausts. Builder-style.
+    pub fn budget(mut self, level: &str, budget_ticks: u64) -> Self {
+        self.budgets.push(SloBudget {
+            level: level.to_string(),
+            budget: budget_ticks,
+            died_at: None,
+            spent: 0,
+            fired: false,
+        });
+        self
+    }
+
+    /// Marks a level dead as of `now` (idempotent: later calls for the
+    /// same level keep the earliest death time). Levels without a
+    /// registered budget are ignored.
+    pub fn level_died(&mut self, now: u64, level: &str) {
+        if let Some(b) = self.budgets.iter_mut().find(|b| b.level == level) {
+            if b.died_at.is_none() {
+                b.died_at = Some(now);
+            }
+        }
+    }
+
+    /// Advances the clock: accrues spent time for dead levels and
+    /// returns one [`EventKind::SloBudgetExhausted`] for each budget that
+    /// crossed its limit since the last call (each fires at most once).
+    pub fn advance(&mut self, now: u64) -> Vec<EventKind> {
+        let mut out = Vec::new();
+        for b in &mut self.budgets {
+            let Some(died_at) = b.died_at else { continue };
+            b.spent = now.saturating_sub(died_at);
+            if !b.fired && b.spent >= b.budget {
+                b.fired = true;
+                out.push(EventKind::SloBudgetExhausted(Box::new(SloViolation {
+                    level: b.level.clone(),
+                    budget: b.budget,
+                    spent: b.spent,
+                })));
+            }
+        }
+        out
+    }
+
+    /// Ticks the named level has spent dead; `None` when no budget is
+    /// registered for it.
+    pub fn spent(&self, level: &str) -> Option<u64> {
+        self.budgets
+            .iter()
+            .find(|b| b.level == level)
+            .map(|b| b.spent)
+    }
+
+    /// Whether the named level's budget has exhausted.
+    pub fn exhausted(&self, level: &str) -> bool {
+        self.budgets
+            .iter()
+            .find(|b| b.level == level)
+            .is_some_and(|b| b.fired)
+    }
+}
+
+/// Renders a staleness timeline from a recorded trace: lag samples,
+/// divergence probes, level deaths, and budget exhaustions in time
+/// order, followed by a per-replica max-lag summary.
+pub fn staleness_report(events: &[Event]) -> String {
+    let mut out = String::new();
+    let mut max_lag: Vec<(u32, u64)> = Vec::new();
+    let mut lines = 0usize;
+    for e in events {
+        match &e.kind {
+            EventKind::ReplicaLagSampled {
+                site,
+                entries_behind,
+                time_behind,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  t={:<6} replica {site} lag: {entries_behind} entries, {time_behind} ticks behind",
+                    e.time
+                );
+                match max_lag.iter_mut().find(|(s, _)| s == site) {
+                    Some((_, m)) => *m = (*m).max(*entries_behind),
+                    None => max_lag.push((*site, *entries_behind)),
+                }
+                lines += 1;
+            }
+            EventKind::FrontierDivergence { a, b, entries } => {
+                let _ = writeln!(
+                    out,
+                    "  t={:<6} divergence r{a}<->r{b}: {entries} entries",
+                    e.time
+                );
+                lines += 1;
+            }
+            EventKind::LevelTransition(t) => {
+                let _ = writeln!(
+                    out,
+                    "  t={:<6} level(s) {} died (witness: {})",
+                    e.time,
+                    t.left.join(", "),
+                    t.witness
+                );
+                lines += 1;
+            }
+            EventKind::SloBudgetExhausted(v) => {
+                let _ = writeln!(
+                    out,
+                    "  t={:<6} SLO BUDGET EXHAUSTED for {}: spent {}/{} ticks dead",
+                    e.time, v.level, v.spent, v.budget
+                );
+                lines += 1;
+            }
+            _ => {}
+        }
+    }
+    if lines == 0 {
+        return "no staleness telemetry in trace (run with staleness sampling enabled)\n"
+            .to_string();
+    }
+    let mut report = String::from("staleness timeline:\n");
+    report.push_str(&out);
+    max_lag.sort_unstable();
+    report.push_str("max lag per replica:");
+    for (site, m) in &max_lag {
+        let _ = write!(report, " r{site}={m}");
+    }
+    report.push('\n');
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(replica: u32, sites: &[(u32, u64, u64)]) -> FrontierView {
+        FrontierView {
+            replica,
+            sites: sites
+                .iter()
+                .map(|&(site, count, hash)| SiteCount { site, count, hash })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn lag_measures_entries_and_time_behind_the_merged_frontier() {
+        let mut t = StalenessTracker::new(2);
+        // Replica 1 is two entries behind from t=10 onward.
+        let ahead = view(0, &[(0, 3, 7), (1, 1, 8)]);
+        let behind = view(1, &[(0, 1, 5), (1, 1, 8)]);
+        let evs = t.sample(10, &[ahead.clone(), behind.clone()], None);
+        assert!(evs.contains(&EventKind::ReplicaLagSampled {
+            site: 0,
+            entries_behind: 0,
+            time_behind: 0,
+        }));
+        assert!(evs.contains(&EventKind::ReplicaLagSampled {
+            site: 1,
+            entries_behind: 2,
+            time_behind: 10,
+        }));
+        // Still behind 30 ticks later: time_behind grows, entries stay.
+        let evs = t.sample(40, &[ahead.clone(), behind], None);
+        assert!(evs.contains(&EventKind::ReplicaLagSampled {
+            site: 1,
+            entries_behind: 2,
+            time_behind: 40,
+        }));
+        // Caught up: lag resets, and time_behind restarts from here.
+        let caught = view(1, &[(0, 3, 7), (1, 1, 8)]);
+        let evs = t.sample(50, &[ahead, caught], None);
+        assert!(evs.contains(&EventKind::ReplicaLagSampled {
+            site: 1,
+            entries_behind: 0,
+            time_behind: 0,
+        }));
+        assert_eq!(t.max_lag(), &[0, 2]);
+        assert_eq!(t.samples(), 3);
+    }
+
+    #[test]
+    fn divergence_counts_entry_distance_and_hash_mismatches() {
+        let mut t = StalenessTracker::new(2);
+        // Same counts on site 0 but different hashes (+1), two entries
+        // apart on site 1 (+2).
+        let a = view(0, &[(0, 2, 111), (1, 4, 9)]);
+        let b = view(1, &[(0, 2, 222), (1, 2, 3)]);
+        let evs = t.sample(5, &[a, b], None);
+        assert!(evs.contains(&EventKind::FrontierDivergence {
+            a: 0,
+            b: 1,
+            entries: 3,
+        }));
+    }
+
+    #[test]
+    fn sample_sets_gauges_when_given_a_registry() {
+        let mut t = StalenessTracker::new(2);
+        let mut reg = Registry::new();
+        let a = view(0, &[(0, 3, 1)]);
+        let b = view(1, &[(0, 1, 1)]);
+        t.sample(20, &[a, b], Some(&mut reg));
+        assert_eq!(
+            reg.get_gauge("staleness_lag_entries_r1").unwrap().value(),
+            2
+        );
+        assert_eq!(reg.get_gauge("staleness_lag_ticks_r1").unwrap().value(), 20);
+        assert_eq!(
+            reg.get_gauge("frontier_divergence_entries_r0_r1")
+                .unwrap()
+                .value(),
+            2
+        );
+    }
+
+    #[test]
+    fn slo_budget_fires_once_at_exhaustion() {
+        let mut slo = SloMonitor::new().budget("PQ", 50).budget("MPQ", 500);
+        assert!(slo.advance(10).is_empty(), "nothing dead yet");
+        slo.level_died(30, "PQ");
+        slo.level_died(40, "PQ"); // idempotent: earliest death wins
+        assert!(slo.advance(60).is_empty(), "spent 30 < budget 50");
+        let fired = slo.advance(90);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(
+            fired[0],
+            EventKind::SloBudgetExhausted(Box::new(SloViolation {
+                level: "PQ".into(),
+                budget: 50,
+                spent: 60,
+            }))
+        );
+        assert!(slo.exhausted("PQ"));
+        assert!(!slo.exhausted("MPQ"));
+        assert_eq!(slo.spent("PQ"), Some(60));
+        assert!(slo.advance(1000).is_empty(), "fires at most once");
+        assert_eq!(slo.spent("MPQ"), Some(0));
+    }
+
+    #[test]
+    fn unbudgeted_levels_are_ignored() {
+        let mut slo = SloMonitor::new().budget("PQ", 10);
+        slo.level_died(0, "OPQ");
+        assert!(slo.advance(100).is_empty());
+        assert_eq!(slo.spent("OPQ"), None);
+    }
+
+    #[test]
+    fn report_renders_a_timeline_and_max_lag_summary() {
+        let events = vec![
+            Event {
+                time: 30,
+                seq: 0,
+                kind: EventKind::ReplicaLagSampled {
+                    site: 1,
+                    entries_behind: 2,
+                    time_behind: 10,
+                },
+            },
+            Event {
+                time: 30,
+                seq: 1,
+                kind: EventKind::FrontierDivergence {
+                    a: 0,
+                    b: 1,
+                    entries: 2,
+                },
+            },
+            Event {
+                time: 90,
+                seq: 2,
+                kind: EventKind::SloBudgetExhausted(Box::new(SloViolation {
+                    level: "PQ".into(),
+                    budget: 50,
+                    spent: 60,
+                })),
+            },
+        ];
+        let r = staleness_report(&events);
+        assert!(
+            r.contains("replica 1 lag: 2 entries, 10 ticks behind"),
+            "{r}"
+        );
+        assert!(r.contains("divergence r0<->r1: 2 entries"), "{r}");
+        assert!(
+            r.contains("SLO BUDGET EXHAUSTED for PQ: spent 60/50"),
+            "{r}"
+        );
+        assert!(r.contains("max lag per replica: r1=2"), "{r}");
+    }
+
+    #[test]
+    fn empty_trace_reports_no_telemetry() {
+        assert!(staleness_report(&[]).contains("no staleness telemetry"));
+    }
+}

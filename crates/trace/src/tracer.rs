@@ -83,6 +83,17 @@ impl Tracer {
         self.enabled
     }
 
+    /// Pre-sizes the buffer for an expected event count (clamped to the
+    /// ring capacity). [`Tracer::bounded`] deliberately starts small so
+    /// short-lived worlds stay cheap; callers that know a run will emit
+    /// thousands of events can skip the growth-realloc chain up front.
+    pub fn reserve_events(&mut self, expected: usize) {
+        let target = expected.min(self.capacity);
+        if self.buf.capacity() < target {
+            self.buf.reserve_exact(target - self.buf.len());
+        }
+    }
+
     /// Records one event at the given sim time. A no-op when disabled.
     ///
     /// The global sequence number is *derived* as
@@ -276,7 +287,7 @@ mod tests {
         }
         let first = t.export_jsonl().lines().next().unwrap().to_string();
         assert!(first.contains("\"kind\":\"trace_header\""), "{first}");
-        assert!(first.contains("\"version\":1"), "{first}");
+        assert!(first.contains("\"version\":2"), "{first}");
         assert!(first.contains("\"events\":2"), "{first}");
         assert!(first.contains("\"dropped_oldest\":1"), "{first}");
     }
