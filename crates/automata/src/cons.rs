@@ -87,6 +87,18 @@ impl ConsTable {
         self.len == 0
     }
 
+    /// Number of slots in the probe array. `len() / capacity()` is the
+    /// live load factor (kept below 7/8 by [`ConsTable::entry`]); the
+    /// profiling layer reports it as table occupancy.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate heap bytes held by the slot array.
+    pub fn approx_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot>()
+    }
+
     /// Single-probe lookup: the id of a present key with this hash for
     /// which `is_match` returns true.
     pub fn get(&self, hash: u64, mut is_match: impl FnMut(u32) -> bool) -> Option<u32> {

@@ -72,6 +72,7 @@ pub mod history;
 pub mod language;
 pub mod lattice;
 pub mod multiwalk;
+pub mod probe;
 pub mod random;
 pub mod rng;
 pub mod small;
@@ -89,16 +90,19 @@ pub mod prelude {
         Counterexample, LanguageDifference, StrictInclusionFailure,
     };
     pub use crate::lattice::{check_reverse_inclusion_lattice, LatticeCheck, RelaxationMap};
-    pub use crate::multiwalk::{multi_compare_upto, DenseArena, MultiComparison};
+    pub use crate::multiwalk::{
+        multi_compare_upto, multi_compare_upto_probed, DenseArena, MultiComparison,
+    };
+    pub use crate::probe::{EngineProbe, NoopProbe};
     pub use crate::random::{random_history, RandomWalk};
     pub use crate::rng::SplitMix64;
     pub use crate::subset::{
-        compare_upto, CompareOptions, IntersectionAutomaton, LanguageComparison, StopWhen,
-        SubsetArena, SubsetGraph, SubsetId, SubsetNode,
+        compare_upto, compare_upto_probed, CompareOptions, IntersectionAutomaton,
+        LanguageComparison, StopWhen, SubsetArena, SubsetGraph, SubsetId, SubsetNode,
     };
     pub use crate::symmetry::{
-        check_equivariance, compare_upto_reduced, ReducedSubsetGraph, SymmetryPolicy,
-        TrivialSymmetry,
+        check_equivariance, compare_upto_reduced, compare_upto_reduced_probed, ReducedSubsetGraph,
+        SymmetryPolicy, TrivialSymmetry,
     };
 }
 
@@ -111,13 +115,15 @@ pub use language::{
     Counterexample, LanguageDifference, StrictInclusionFailure,
 };
 pub use lattice::{check_reverse_inclusion_lattice, LatticeCheck, RelaxationMap};
-pub use multiwalk::{multi_compare_upto, DenseArena, MultiComparison};
+pub use multiwalk::{multi_compare_upto, multi_compare_upto_probed, DenseArena, MultiComparison};
+pub use probe::{EngineProbe, NoopProbe};
 pub use random::{random_history, RandomWalk};
 pub use rng::SplitMix64;
 pub use subset::{
-    compare_upto, CompareOptions, IntersectionAutomaton, LanguageComparison, StopWhen, SubsetArena,
-    SubsetGraph, SubsetId, SubsetNode,
+    compare_upto, compare_upto_probed, CompareOptions, IntersectionAutomaton, LanguageComparison,
+    StopWhen, SubsetArena, SubsetGraph, SubsetId, SubsetNode,
 };
 pub use symmetry::{
-    check_equivariance, compare_upto_reduced, ReducedSubsetGraph, SymmetryPolicy, TrivialSymmetry,
+    check_equivariance, compare_upto_reduced, compare_upto_reduced_probed, ReducedSubsetGraph,
+    SymmetryPolicy, TrivialSymmetry,
 };

@@ -30,6 +30,7 @@ use std::hash::{Hash, Hasher};
 
 use crate::automaton::ObjectAutomaton;
 use crate::cons::{ConsTable, Entry};
+use crate::probe::{EngineProbe, NoopProbe};
 use crate::subset::{reconstruct_path, LanguageComparison};
 
 /// Dense interner for states and sorted state-id sets.
@@ -137,6 +138,27 @@ impl<S: Clone + Eq + Ord + Hash> DenseArena<S> {
     pub fn state_count(&self) -> usize {
         self.states.len()
     }
+
+    /// Approximate heap bytes held by the arena: dense state storage,
+    /// packed set payloads, spans, and both cons tables. An estimate —
+    /// states owning further heap memory (e.g. `Vec` states) count only
+    /// their inline size.
+    pub fn approx_bytes(&self) -> usize {
+        self.states.capacity() * std::mem::size_of::<S>()
+            + self.data.capacity() * std::mem::size_of::<u32>()
+            + self.spans.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.state_table.approx_bytes()
+            + self.set_table.approx_bytes()
+    }
+
+    /// `(occupied, slots)` across both cons tables, for load-factor
+    /// reporting.
+    pub fn table_load(&self) -> (usize, usize) {
+        (
+            self.state_table.len() + self.set_table.len(),
+            self.state_table.capacity() + self.set_table.capacity(),
+        )
+    }
 }
 
 impl<S: Clone + Eq + Ord + Hash> Default for DenseArena<S> {
@@ -174,13 +196,15 @@ where
 }
 
 /// Memoized [`compute_row`]: fills `rows[set_id]` on first demand.
+/// Returns true when the row was computed fresh (a memo miss).
 fn ensure_row<A: ObjectAutomaton>(
     automaton: &A,
     alphabet: &[A::Op],
     arena: &mut DenseArena<A::State>,
     rows: &mut Vec<Option<Box<[u32]>>>,
     set_id: u32,
-) where
+) -> bool
+where
     A::State: Clone + Eq + Ord + Hash,
 {
     let idx = set_id as usize;
@@ -190,6 +214,9 @@ fn ensure_row<A: ObjectAutomaton>(
     if rows[idx].is_none() {
         let row = compute_row(automaton, alphabet, arena, set_id);
         rows[idx] = Some(row);
+        true
+    } else {
+        false
     }
 }
 
@@ -243,7 +270,35 @@ where
     L::State: Clone + Eq + Ord + Hash,
     R::State: Clone + Eq + Ord + Hash,
 {
+    multi_compare_upto_probed(lefts, rights, alphabet, max_len, &mut NoopProbe)
+}
+
+/// [`multi_compare_upto`] with an [`EngineProbe`] watching the walk.
+///
+/// Per depth the probe receives one `multi_depth` span plus gauges for
+/// frontier width (`frontier_nodes`), distinct interned sets per side
+/// (`left_sets`/`right_sets`), arena memory (`arena_bytes`), cons-table
+/// occupancy (`cons_used` of `cons_slots`, `cons_load_pct`), and
+/// counters for successor-row memoization (`row_fills`/`row_hits`,
+/// batched per depth — never incremented per node). The whole walk sits
+/// inside a `multiwalk` span. With [`NoopProbe`] this monomorphizes to
+/// the plain walk.
+pub fn multi_compare_upto_probed<L, R, P, const N: usize>(
+    lefts: &[L; N],
+    rights: &[R; N],
+    alphabet: &[L::Op],
+    max_len: usize,
+    probe: &mut P,
+) -> MultiComparison<L::Op>
+where
+    L: ObjectAutomaton,
+    R: ObjectAutomaton<Op = L::Op>,
+    L::State: Clone + Eq + Ord + Hash,
+    R::State: Clone + Eq + Ord + Hash,
+    P: EngineProbe,
+{
     assert!(N > 0, "multi_compare_upto needs at least one point");
+    probe.enter("multiwalk");
     let mut left_arena: DenseArena<L::State> = DenseArena::new();
     let mut right_arena: DenseArena<R::State> = DenseArena::new();
     let mut left_rows: Vec<Vec<Option<Box<[u32]>>>> = vec![Vec::new(); N];
@@ -272,6 +327,9 @@ where
     let mut peak = 1usize;
 
     for depth in 0..max_len {
+        probe.enter("multi_depth");
+        let mut row_fills = 0u64;
+        let mut row_hits = 0u64;
         let mut next: Vec<MultiNode<N>> = Vec::new();
         let mut index_of: HashMap<([u32; N], [u32; N]), u32> = HashMap::new();
         let mut l_level = [0u64; N];
@@ -279,22 +337,32 @@ where
         for (node_index, &node) in levels[depth].iter().enumerate() {
             for p in 0..N {
                 if node.l[p] != EMPTY_SET {
-                    ensure_row(
+                    let filled = ensure_row(
                         &lefts[p],
                         alphabet,
                         &mut left_arena,
                         &mut left_rows[p],
                         node.l[p],
                     );
+                    if filled {
+                        row_fills += 1;
+                    } else {
+                        row_hits += 1;
+                    }
                 }
                 if node.r[p] != EMPTY_SET {
-                    ensure_row(
+                    let filled = ensure_row(
                         &rights[p],
                         alphabet,
                         &mut right_arena,
                         &mut right_rows[p],
                         node.r[p],
                     );
+                    if filled {
+                        row_fills += 1;
+                    } else {
+                        row_hits += 1;
+                    }
                 }
             }
             for (i, _) in alphabet.iter().enumerate() {
@@ -360,6 +428,21 @@ where
             right_sizes[p].push(r_level[p]);
         }
         peak = peak.max(next.len());
+        if probe.is_enabled() {
+            probe.add("row_fills", row_fills);
+            probe.add("row_hits", row_hits);
+            probe.gauge("frontier_nodes", next.len() as i64);
+            probe.gauge("left_sets", left_arena.set_count() as i64);
+            probe.gauge("right_sets", right_arena.set_count() as i64);
+            let bytes = left_arena.approx_bytes() + right_arena.approx_bytes();
+            probe.gauge("arena_bytes", bytes as i64);
+            let (lu, ls) = left_arena.table_load();
+            let (ru, rs) = right_arena.table_load();
+            probe.gauge("cons_used", (lu + ru) as i64);
+            probe.gauge("cons_slots", (ls + rs) as i64);
+            probe.gauge("cons_load_pct", (100 * (lu + ru) / (ls + rs)) as i64);
+        }
+        probe.exit("multi_depth");
         let dead = next.is_empty();
         levels.push(next);
         if dead {
@@ -396,6 +479,7 @@ where
         })
         .collect();
 
+    probe.exit("multiwalk");
     MultiComparison {
         points,
         peak_level_width: peak,

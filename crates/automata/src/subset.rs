@@ -36,6 +36,7 @@ use std::sync::Arc;
 use crate::automaton::ObjectAutomaton;
 use crate::cons::{ConsTable, Entry};
 use crate::history::History;
+use crate::probe::{EngineProbe, NoopProbe};
 use crate::small::SmallVec;
 
 /// Stable identifier of a canonical state set in a [`SubsetArena`].
@@ -141,6 +142,23 @@ impl<S: Clone + Eq + Ord + Hash> SubsetArena<S> {
     /// Always false: the empty *set of states* is itself interned.
     pub fn is_empty(&self) -> bool {
         self.sets.is_empty()
+    }
+
+    /// Approximate heap bytes held by the arena: set payloads, the
+    /// `Arc` handles, and the cons table. States owning further heap
+    /// memory count only their inline size.
+    pub fn approx_bytes(&self) -> usize {
+        let payload: usize = self
+            .sets
+            .iter()
+            .map(|s| s.len() * std::mem::size_of::<S>())
+            .sum();
+        payload + self.sets.capacity() * std::mem::size_of::<Arc<[S]>>() + self.table.approx_bytes()
+    }
+
+    /// `(occupied, slots)` of the cons table, for load-factor reporting.
+    pub fn table_load(&self) -> (usize, usize) {
+        (self.table.len(), self.table.capacity())
     }
 }
 
@@ -640,6 +658,33 @@ where
     R::State: Send + Sync,
     L::Op: Sync,
 {
+    compare_upto_probed(left, right, alphabet, max_len, options, &mut NoopProbe)
+}
+
+/// [`compare_upto`] with an [`EngineProbe`] watching the walk: a
+/// `product_walk` span around the whole walk, one `depth` span per
+/// level, and per-depth gauges for frontier width (`frontier_nodes`),
+/// interned sets per side (`left_sets`/`right_sets`), arena memory
+/// (`arena_bytes`), and cons-table occupancy (`cons_used`,
+/// `cons_slots`, `cons_load_pct`). With [`NoopProbe`] (which
+/// [`compare_upto`] passes) this monomorphizes to the plain walk.
+pub fn compare_upto_probed<L, R, P>(
+    left: &L,
+    right: &R,
+    alphabet: &[L::Op],
+    max_len: usize,
+    options: CompareOptions,
+    probe: &mut P,
+) -> LanguageComparison<L::Op>
+where
+    L: ObjectAutomaton + Sync,
+    R: ObjectAutomaton<Op = L::Op> + Sync,
+    L::State: Send + Sync,
+    R::State: Send + Sync,
+    L::Op: Sync,
+    P: EngineProbe,
+{
+    probe.enter("product_walk");
     let mut left_arena: SubsetArena<L::State> = SubsetArena::new();
     let mut right_arena: SubsetArena<R::State> = SubsetArena::new();
     let l0 = left_arena.intern(SubsetArena::canonicalize(vec![left.initial_state()]));
@@ -660,6 +705,7 @@ where
     let mut r_violation: Option<(usize, usize)> = None;
 
     'walk: for depth in 0..max_len {
+        probe.enter("depth");
         let current = &levels[depth];
         let mults: Vec<u64> = current.iter().map(|n| n.multiplicity).collect();
         let chunks: Vec<ProductChunk<L::State, R::State>> = {
@@ -791,6 +837,19 @@ where
         left_sizes.push(l_level);
         right_sizes.push(r_level);
         peak = peak.max(next.len());
+        if probe.is_enabled() {
+            probe.gauge("frontier_nodes", next.len() as i64);
+            probe.gauge("left_sets", left_arena.len() as i64);
+            probe.gauge("right_sets", right_arena.len() as i64);
+            let bytes = left_arena.approx_bytes() + right_arena.approx_bytes();
+            probe.gauge("arena_bytes", bytes as i64);
+            let (lu, ls) = left_arena.table_load();
+            let (ru, rs) = right_arena.table_load();
+            probe.gauge("cons_used", (lu + ru) as i64);
+            probe.gauge("cons_slots", (ls + rs) as i64);
+            probe.gauge("cons_load_pct", (100 * (lu + ru) / (ls + rs)) as i64);
+        }
+        probe.exit("depth");
         let dead = next.is_empty();
         levels.push(next);
 
@@ -820,6 +879,7 @@ where
 
     left_sizes.resize(max_len + 1, 0);
     right_sizes.resize(max_len + 1, 0);
+    probe.exit("product_walk");
     LanguageComparison {
         left_not_in_right: reconstruct(l_violation),
         right_not_in_left: reconstruct(r_violation),

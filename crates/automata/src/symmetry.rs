@@ -45,6 +45,7 @@ use std::collections::HashMap;
 
 use crate::automaton::ObjectAutomaton;
 use crate::history::History;
+use crate::probe::{EngineProbe, NoopProbe};
 use crate::subset::{
     canonical_successors, CompareOptions, LanguageComparison, StopWhen, SubsetArena, SubsetId,
 };
@@ -485,10 +486,46 @@ where
     R: ObjectAutomaton<Op = L::Op>,
     P: SymmetryPolicy<L> + SymmetryPolicy<R>,
 {
+    compare_upto_reduced_probed(
+        left,
+        right,
+        alphabet,
+        max_len,
+        options,
+        policy,
+        &mut NoopProbe,
+    )
+}
+
+/// [`compare_upto_reduced`] with an [`EngineProbe`] watching the walk:
+/// a `reduced_walk` span, one `depth` span per level, the shared
+/// frontier/arena/cons gauges of
+/// [`crate::subset::compare_upto_probed`], and per-depth `orbit_folds`
+/// / `orbit_nodes` counters — an edge whose canonical pair already has
+/// a representative this level is a *fold* (its multiplicity merges
+/// into the representative), so `folds / (folds + nodes)` is the orbit
+/// hit rate the symmetry policy is buying.
+#[allow(clippy::too_many_arguments)]
+pub fn compare_upto_reduced_probed<L, R, P, Q>(
+    left: &L,
+    right: &R,
+    alphabet: &[L::Op],
+    max_len: usize,
+    options: CompareOptions,
+    policy: &P,
+    probe: &mut Q,
+) -> LanguageComparison<L::Op>
+where
+    L: ObjectAutomaton,
+    R: ObjectAutomaton<Op = L::Op>,
+    P: SymmetryPolicy<L> + SymmetryPolicy<R>,
+    Q: EngineProbe,
+{
     debug_assert!(
         check_group_laws::<L, P>(policy, alphabet.len()).is_ok(),
         "symmetry policy violates the group laws"
     );
+    probe.enter("reduced_walk");
     let mut left_arena: SubsetArena<L::State> = SubsetArena::new();
     let mut right_arena: SubsetArena<R::State> = SubsetArena::new();
     let (l_rep, r_rep, root_perm) =
@@ -511,6 +548,9 @@ where
     let mut r_violation: Option<(usize, usize)> = None;
 
     'walk: for depth in 0..max_len {
+        probe.enter("depth");
+        let mut orbit_folds = 0u64;
+        let mut orbit_nodes = 0u64;
         let current = &levels[depth];
         let mut next: Vec<ReducedProductNode> = Vec::new();
         let mut index_of: HashMap<(SubsetId, SubsetId), u32> = HashMap::new();
@@ -552,10 +592,12 @@ where
             }
             let index = match index_of.entry((l, r)) {
                 std::collections::hash_map::Entry::Occupied(e) => {
+                    orbit_folds += 1;
                     next[*e.get() as usize].multiplicity += mult;
                     *e.get() as usize
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
+                    orbit_nodes += 1;
                     let index = next.len();
                     e.insert(u32::try_from(index).expect("level exceeds u32 nodes"));
                     next.push(ReducedProductNode {
@@ -580,6 +622,21 @@ where
         left_sizes.push(l_level);
         right_sizes.push(r_level);
         peak = peak.max(next.len());
+        if probe.is_enabled() {
+            probe.add("orbit_folds", orbit_folds);
+            probe.add("orbit_nodes", orbit_nodes);
+            probe.gauge("frontier_nodes", next.len() as i64);
+            probe.gauge("left_sets", left_arena.len() as i64);
+            probe.gauge("right_sets", right_arena.len() as i64);
+            let bytes = left_arena.approx_bytes() + right_arena.approx_bytes();
+            probe.gauge("arena_bytes", bytes as i64);
+            let (lu, ls) = left_arena.table_load();
+            let (ru, rs) = right_arena.table_load();
+            probe.gauge("cons_used", (lu + ru) as i64);
+            probe.gauge("cons_slots", (ls + rs) as i64);
+            probe.gauge("cons_load_pct", (100 * (lu + ru) / (ls + rs)) as i64);
+        }
+        probe.exit("depth");
         let dead = next.is_empty();
         levels.push(next);
 
@@ -623,6 +680,7 @@ where
 
     left_sizes.resize(max_len + 1, 0);
     right_sizes.resize(max_len + 1, 0);
+    probe.exit("reduced_walk");
     LanguageComparison {
         left_not_in_right: reconstruct(l_violation),
         right_not_in_left: reconstruct(r_violation),

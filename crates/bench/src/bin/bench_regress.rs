@@ -1,0 +1,82 @@
+//! CI perf-regression gate: diff fresh `BENCH_*.json` payloads against
+//! the committed baselines with per-metric tolerance bands and render
+//! one uniform report.
+//!
+//! ```text
+//! bench_regress [--fresh DIR] [--baselines DIR] [--bless]
+//! ```
+//!
+//! * `--fresh DIR` — directory holding the just-produced payloads
+//!   (default `.`, where the `exp_*` bins write them).
+//! * `--baselines DIR` — directory holding the committed baselines
+//!   (default `baselines`).
+//! * `--bless` — copy the fresh payloads over the baselines instead of
+//!   checking (after an intentional perf change; commit the result).
+//!
+//! Exits non-zero on any regressed check or unreadable payload.
+
+use std::path::PathBuf;
+
+use relax_bench::experiments::regress::{bless, compare, report};
+
+fn main() {
+    let mut fresh = PathBuf::from(".");
+    let mut baselines = PathBuf::from("baselines");
+    let mut do_bless = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fresh" => fresh = PathBuf::from(args.next().expect("--fresh needs a directory")),
+            "--baselines" => {
+                baselines = PathBuf::from(args.next().expect("--baselines needs a directory"))
+            }
+            "--bless" => do_bless = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: bench_regress [--fresh DIR] [--baselines DIR] [--bless]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if do_bless {
+        match bless(&fresh, &baselines) {
+            Ok(files) => {
+                println!(
+                    "blessed {} baselines into {}:",
+                    files.len(),
+                    baselines.display()
+                );
+                for f in files {
+                    println!("  {f}");
+                }
+            }
+            Err(e) => {
+                eprintln!("bless failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!(
+        "== Bench regression gate: {} vs baselines in {} ==\n",
+        fresh.display(),
+        baselines.display()
+    );
+    match compare(&fresh, &baselines) {
+        Ok(outcomes) => {
+            println!("{}", report(&outcomes));
+            let failed = outcomes.iter().filter(|o| !o.pass).count();
+            if failed > 0 {
+                eprintln!("{failed} check(s) REGRESSED");
+                std::process::exit(1);
+            }
+            println!("all {} checks OK", outcomes.len());
+        }
+        Err(e) => {
+            eprintln!("regression check failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

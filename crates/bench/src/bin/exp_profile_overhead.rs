@@ -1,0 +1,66 @@
+//! Probe-overhead gate: what does the *enabled* flight recorder cost on
+//! the (3, 8) shared taxi-lattice walk, against the compiled-out
+//! `NoopProbe` baseline?
+//!
+//! ABBA interleaving (baseline, probed, probed, baseline per rep)
+//! cancels clock drift; the gate is the **median** per-rep ratio, which
+//! must stay within +5%. The run also asserts the exact-sum attribution
+//! invariant (span self-times sum to the root total to the nanosecond)
+//! and exports the span tree two ways: `stacks.folded` (flamegraph
+//! folded-stack format, always) and a re-ingestable JSONL trace
+//! (`--trace <path>`, for `trace_analyze --profile`).
+//!
+//! Results go to `BENCH_profile_overhead.json`; CI requires
+//! `within_target: true`.
+
+use relax_bench::experiments::profile::{measure_overhead, table, to_json, TARGET_OVERHEAD_PCT};
+
+/// ABBA repetitions: enough for a stable median on a ~5 ms walk while
+/// keeping the bench a couple of seconds end to end.
+const REPS: usize = 51;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut trace_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
+            other => panic!("unknown argument {other:?} (expected --trace <path>)"),
+        }
+    }
+
+    println!("== Flight-recorder overhead on the shared (3, 8) walk ==\n");
+    let r = measure_overhead(&[1, 2, 3], 8, REPS);
+    println!("{}", table(&r));
+
+    // The invariant the whole report rests on, asserted on live data.
+    assert_eq!(
+        r.report.self_sum_ns(),
+        r.report.total_ns(),
+        "span self-times must sum exactly to the root total"
+    );
+
+    println!("{}", r.report.render(10));
+    println!(
+        "verdict: {:+.2}% overhead (target ≤ {TARGET_OVERHEAD_PCT:.0}%) → within_target={}",
+        r.overhead_pct(),
+        r.within_target()
+    );
+
+    std::fs::write("stacks.folded", r.report.to_folded()).expect("write stacks.folded");
+    println!("wrote stacks.folded");
+
+    if let Some(path) = trace_path {
+        // Re-record one probed run as a headered JSONL trace so
+        // `trace_analyze --profile` has something to ingest.
+        let mut probe = relax_trace::Probe::enabled();
+        let v = relax_core::verify_taxi_lattice_probed(&[1, 2, 3], 8, &mut probe);
+        assert!(v.holds());
+        probe.write_jsonl(&path).expect("write profile trace");
+        println!("wrote {path}");
+    }
+
+    std::fs::write("BENCH_profile_overhead.json", to_json(&r))
+        .expect("write BENCH_profile_overhead.json");
+    println!("\nwrote BENCH_profile_overhead.json");
+}

@@ -1,15 +1,30 @@
 //! Bounded verification of Theorem 4 and the other taxi-lattice points.
+//!
+//! With `--profile`, the deep (3, 8) bound runs under the flight
+//! recorder and prints its span tree, hot spans, and frontier
+//! timelines after the verdicts.
 
-use relax_bench::experiments::theorem4::{run, witnesses_table};
+use relax_bench::experiments::theorem4::{run, run_profiled, witnesses_table};
 
 fn main() {
+    let profile = std::env::args().any(|a| a == "--profile");
     println!("== Theorem 4: L(QCA(PQ, Q1, η)) = L(MPQ), and siblings ==\n");
     // The (3, 8) row is the deep bound the subset-graph engine makes
     // affordable (the naive enumerators needed ~10x longer).
     for (items, max_len) in [(vec![1, 2], 5usize), (vec![1, 2, 3], 4), (vec![1, 2, 3], 8)] {
         println!("items = {items:?}, history length ≤ {max_len}:");
-        let (table, v) = run(&items, max_len);
-        println!("{table}");
+        let deep = max_len == 8;
+        let (table, v) = if profile && deep {
+            let (table, v, report) = run_profiled(&items, max_len);
+            println!("{table}");
+            println!("{}", report.render(10));
+            (table, v)
+        } else {
+            let (table, v) = run(&items, max_len);
+            println!("{table}");
+            (table, v)
+        };
+        let _ = table;
         println!(
             "overall: {}\n",
             if v.holds() {

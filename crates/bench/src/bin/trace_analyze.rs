@@ -7,16 +7,18 @@
 //! minimal cut of fault events that caused the degradation.
 //!
 //! ```text
-//! cargo run -p relax-bench --bin trace_analyze -- TRACE.jsonl [--spans] [--staleness] [--prometheus]
+//! cargo run -p relax-bench --bin trace_analyze -- TRACE.jsonl [--spans] [--staleness] [--prometheus] [--profile]
 //! ```
 //!
 //! With no path, reads JSONL from stdin. `--spans` prints one line per
 //! operation span; `--staleness` appends the staleness timeline (lag
 //! samples, divergence probes, level deaths, budget exhaustions);
 //! `--prometheus` appends the aggregated registry in Prometheus text
-//! exposition format.
+//! exposition format; `--profile` reconstructs the flight recorder's
+//! hierarchical span tree (hot spans with exact self/child attribution,
+//! counters, gauge timelines) from any profile events in the trace.
 
-use relax_trace::{read_trace, staleness_report, OpOutcome, TraceAnalysis};
+use relax_trace::{read_trace, staleness_report, OpOutcome, ProfileReport, TraceAnalysis};
 use std::io::Read as _;
 use std::process::ExitCode;
 
@@ -25,6 +27,7 @@ fn main() -> ExitCode {
     let show_spans = args.iter().any(|a| a == "--spans");
     let show_staleness = args.iter().any(|a| a == "--staleness");
     let show_prometheus = args.iter().any(|a| a == "--prometheus");
+    let show_profile = args.iter().any(|a| a == "--profile");
     let path = args.iter().find(|a| !a.starts_with("--"));
 
     let input = match path {
@@ -62,6 +65,17 @@ fn main() -> ExitCode {
     }
 
     let staleness = show_staleness.then(|| staleness_report(&parsed.events));
+    let profile = if show_profile {
+        match ProfileReport::from_events(&parsed.events) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("trace_analyze: --profile: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
 
     let analysis = TraceAnalysis::from_trace(parsed);
     print!("{}", analysis.report());
@@ -100,6 +114,11 @@ fn main() -> ExitCode {
         let mut reg = analysis.registry();
         println!("\nprometheus exposition:");
         print!("{}", reg.render_prometheus());
+    }
+
+    if let Some(p) = profile {
+        println!();
+        print!("{}", p.render(10));
     }
 
     ExitCode::SUCCESS

@@ -13,6 +13,8 @@ pub mod lattices;
 pub mod markov;
 pub mod par;
 pub mod prob;
+pub mod profile;
+pub mod regress;
 pub mod scaling;
 pub mod serialdep;
 pub mod symmetry;

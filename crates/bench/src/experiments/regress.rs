@@ -1,0 +1,425 @@
+//! Uniform benchmark regression gating: diff fresh `BENCH_*.json`
+//! payloads against the committed baselines in `baselines/` with
+//! per-metric tolerance bands, and render one report instead of a
+//! per-bench pile of `grep '"within_target":true'` CI steps.
+//!
+//! Band semantics are asymmetric on purpose — only *regressions* fail:
+//!
+//! * [`Band::MinRatio`] guards speedup-style metrics: the fresh value
+//!   must be at least `baseline × ratio`. Getting faster never fails.
+//! * [`Band::MaxAbsDelta`] guards overhead-percent metrics: the fresh
+//!   value may exceed the baseline by at most `delta` points. Getting
+//!   cheaper never fails.
+//! * [`Band::MustBeTrue`] pins boolean gate verdicts regardless of the
+//!   baseline.
+//!
+//! The wide ratio/delta bands absorb machine-to-machine noise (CI
+//! runners are not the machine the baselines were recorded on); the
+//! boolean gates stay strict because each bench already self-judges
+//! against its own same-machine target.
+
+use std::path::Path;
+
+use relax_trace::codec::{report_fields, ReportValue};
+
+use crate::table::Table;
+
+/// A tolerance band for one metric.
+#[derive(Debug, Clone, Copy)]
+pub enum Band {
+    /// Fresh numeric value must be ≥ `baseline × ratio`.
+    MinRatio(f64),
+    /// Fresh numeric value must be ≤ `baseline + delta`.
+    MaxAbsDelta(f64),
+    /// Fresh boolean value must be `true` (baseline must agree).
+    MustBeTrue,
+}
+
+impl Band {
+    fn describe(&self) -> String {
+        match self {
+            Band::MinRatio(r) => format!("≥ {r:.2}× base"),
+            Band::MaxAbsDelta(d) => format!("≤ base {d:+.1}"),
+            Band::MustBeTrue => "must be true".to_string(),
+        }
+    }
+}
+
+/// One gated metric of one benchmark payload.
+#[derive(Debug, Clone, Copy)]
+pub struct Check {
+    /// The payload file name (same in both directories).
+    pub file: &'static str,
+    /// Top-level metric name inside the payload.
+    pub metric: &'static str,
+    /// The tolerance band.
+    pub band: Band,
+}
+
+/// Every gated metric across the workspace's benchmark payloads.
+pub const CHECKS: &[Check] = &[
+    Check {
+        file: "BENCH_language_scaling.json",
+        metric: "gate_speedup",
+        band: Band::MinRatio(0.4),
+    },
+    Check {
+        file: "BENCH_language_scaling.json",
+        metric: "within_target",
+        band: Band::MustBeTrue,
+    },
+    Check {
+        file: "BENCH_symmetry_scaling.json",
+        metric: "gate_speedup",
+        band: Band::MinRatio(0.4),
+    },
+    Check {
+        file: "BENCH_symmetry_scaling.json",
+        metric: "within_target",
+        band: Band::MustBeTrue,
+    },
+    Check {
+        file: "BENCH_runtime_throughput.json",
+        metric: "gate_speedup",
+        band: Band::MinRatio(0.4),
+    },
+    Check {
+        file: "BENCH_runtime_throughput.json",
+        metric: "gate_bytes_ratio",
+        band: Band::MinRatio(0.5),
+    },
+    Check {
+        file: "BENCH_runtime_throughput.json",
+        metric: "within_target",
+        band: Band::MustBeTrue,
+    },
+    Check {
+        file: "BENCH_trace_overhead.json",
+        metric: "overhead_pct",
+        band: Band::MaxAbsDelta(3.0),
+    },
+    Check {
+        file: "BENCH_trace_overhead.json",
+        metric: "within_target",
+        band: Band::MustBeTrue,
+    },
+    Check {
+        file: "BENCH_fault_campaign.json",
+        metric: "overhead_pct",
+        band: Band::MaxAbsDelta(4.0),
+    },
+    Check {
+        file: "BENCH_fault_campaign.json",
+        metric: "all_verdicts_ok",
+        band: Band::MustBeTrue,
+    },
+    Check {
+        file: "BENCH_fault_campaign.json",
+        metric: "within_target",
+        band: Band::MustBeTrue,
+    },
+    Check {
+        file: "BENCH_profile_overhead.json",
+        metric: "overhead_pct",
+        band: Band::MaxAbsDelta(3.0),
+    },
+    Check {
+        file: "BENCH_profile_overhead.json",
+        metric: "exact_attribution",
+        band: Band::MustBeTrue,
+    },
+    Check {
+        file: "BENCH_profile_overhead.json",
+        metric: "within_target",
+        band: Band::MustBeTrue,
+    },
+];
+
+/// The verdict on one check.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Which check this judges.
+    pub check: Check,
+    /// Baseline value rendered for the report.
+    pub baseline: String,
+    /// Fresh value rendered for the report.
+    pub fresh: String,
+    /// Did the fresh value stay within the band?
+    pub pass: bool,
+    /// One-line explanation when failing.
+    pub detail: String,
+}
+
+fn load_metrics(path: &Path) -> Result<Vec<(String, ReportValue)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e} (run the benches first?)", path.display()))?;
+    report_fields(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn lookup<'a>(
+    fields: &'a [(String, ReportValue)],
+    metric: &str,
+    path: &Path,
+) -> Result<&'a ReportValue, String> {
+    fields
+        .iter()
+        .find(|(name, _)| name == metric)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("{}: metric {metric:?} missing", path.display()))
+}
+
+fn as_number(v: &ReportValue, what: &str) -> Result<f64, String> {
+    match v {
+        ReportValue::Number(n) => Ok(*n),
+        other => Err(format!("{what}: expected a number, found {other:?}")),
+    }
+}
+
+fn as_bool(v: &ReportValue, what: &str) -> Result<bool, String> {
+    match v {
+        ReportValue::Bool(b) => Ok(*b),
+        other => Err(format!("{what}: expected a bool, found {other:?}")),
+    }
+}
+
+fn judge(check: &Check, base: &ReportValue, fresh: &ReportValue) -> Result<CheckOutcome, String> {
+    let what = format!("{} {}", check.file, check.metric);
+    let (baseline_s, fresh_s, pass, detail) = match check.band {
+        Band::MinRatio(ratio) => {
+            let b = as_number(base, &what)?;
+            let f = as_number(fresh, &what)?;
+            let floor = b * ratio;
+            (
+                format!("{b:.3}"),
+                format!("{f:.3}"),
+                f >= floor,
+                format!("{f:.3} < floor {floor:.3} ({ratio:.2}× baseline {b:.3})"),
+            )
+        }
+        Band::MaxAbsDelta(delta) => {
+            let b = as_number(base, &what)?;
+            let f = as_number(fresh, &what)?;
+            let ceil = b + delta;
+            (
+                format!("{b:.2}"),
+                format!("{f:.2}"),
+                f <= ceil,
+                format!("{f:.2} > ceiling {ceil:.2} (baseline {b:.2} {delta:+.1})"),
+            )
+        }
+        Band::MustBeTrue => {
+            let b = as_bool(base, &what)?;
+            let f = as_bool(fresh, &what)?;
+            (
+                b.to_string(),
+                f.to_string(),
+                f,
+                "gate verdict is false".to_string(),
+            )
+        }
+    };
+    Ok(CheckOutcome {
+        check: *check,
+        baseline: baseline_s,
+        fresh: fresh_s,
+        pass,
+        detail: if pass { String::new() } else { detail },
+    })
+}
+
+/// Runs every check in [`CHECKS`]: fresh payloads from `fresh_dir`,
+/// committed baselines from `baseline_dir`. Errors on unreadable or
+/// malformed payloads (a missing bench output is a failure, not a
+/// skip — silent coverage loss is how regressions hide).
+pub fn compare(fresh_dir: &Path, baseline_dir: &Path) -> Result<Vec<CheckOutcome>, String> {
+    type Metrics = Vec<(String, ReportValue)>;
+    let mut outcomes = Vec::with_capacity(CHECKS.len());
+    let mut last_file: Option<(&str, Metrics, Metrics)> = None;
+    for check in CHECKS {
+        let reload = match &last_file {
+            Some((file, _, _)) => *file != check.file,
+            None => true,
+        };
+        if reload {
+            let fresh = load_metrics(&fresh_dir.join(check.file))?;
+            let base = load_metrics(&baseline_dir.join(check.file))?;
+            last_file = Some((check.file, base, fresh));
+        }
+        let (_, base, fresh) = last_file.as_ref().expect("loaded above");
+        let b = lookup(base, check.metric, &baseline_dir.join(check.file))?;
+        let f = lookup(fresh, check.metric, &fresh_dir.join(check.file))?;
+        outcomes.push(judge(check, b, f)?);
+    }
+    Ok(outcomes)
+}
+
+/// Renders the uniform regression report.
+pub fn report(outcomes: &[CheckOutcome]) -> Table {
+    let mut t = Table::new(["payload", "metric", "band", "baseline", "fresh", "verdict"]);
+    for o in outcomes {
+        t.row([
+            o.check.file.to_string(),
+            o.check.metric.to_string(),
+            o.check.band.describe(),
+            o.baseline.clone(),
+            o.fresh.clone(),
+            if o.pass {
+                "OK".to_string()
+            } else {
+                format!("REGRESSED: {}", o.detail)
+            },
+        ]);
+    }
+    t
+}
+
+/// Copies every checked payload from `fresh_dir` over the committed
+/// baselines — the `--bless` path after an intentional perf change.
+pub fn bless(fresh_dir: &Path, baseline_dir: &Path) -> Result<Vec<&'static str>, String> {
+    std::fs::create_dir_all(baseline_dir)
+        .map_err(|e| format!("{}: {e}", baseline_dir.display()))?;
+    let mut files: Vec<&'static str> = CHECKS.iter().map(|c| c.file).collect();
+    files.dedup();
+    for file in &files {
+        let from = fresh_dir.join(file);
+        // Validate before blessing: never commit a malformed baseline.
+        load_metrics(&from)?;
+        std::fs::copy(&from, baseline_dir.join(file))
+            .map_err(|e| format!("{}: {e}", from.display()))?;
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, file: &str, contents: &str) {
+        std::fs::write(dir.join(file), contents).unwrap();
+    }
+
+    fn scaffold(dir: &Path, speedup: f64, overhead: f64, ok: bool) {
+        write(
+            dir,
+            "BENCH_language_scaling.json",
+            &format!("{{\"gate_speedup\":{speedup},\"within_target\":{ok}}}\n"),
+        );
+        write(
+            dir,
+            "BENCH_symmetry_scaling.json",
+            &format!("{{\"gate_speedup\":{speedup},\"within_target\":{ok}}}\n"),
+        );
+        write(
+            dir,
+            "BENCH_runtime_throughput.json",
+            &format!(
+                "{{\"gate_speedup\":{speedup},\"gate_bytes_ratio\":2.0,\"within_target\":{ok}}}\n"
+            ),
+        );
+        write(
+            dir,
+            "BENCH_trace_overhead.json",
+            &format!("{{\"overhead_pct\":{overhead},\"within_target\":{ok}}}\n"),
+        );
+        write(
+            dir,
+            "BENCH_fault_campaign.json",
+            &format!(
+                "{{\"overhead_pct\":{overhead},\"all_verdicts_ok\":{ok},\"within_target\":{ok}}}\n"
+            ),
+        );
+        write(
+            dir,
+            "BENCH_profile_overhead.json",
+            &format!(
+                "{{\"overhead_pct\":{overhead},\"exact_attribution\":{ok},\
+                 \"within_target\":{ok}}}\n"
+            ),
+        );
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("relax_regress_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn identical_payloads_pass_every_check() {
+        let base = tmp("base_ok");
+        let fresh = tmp("fresh_ok");
+        scaffold(&base, 10.0, 1.0, true);
+        scaffold(&fresh, 10.0, 1.0, true);
+        let outcomes = compare(&fresh, &base).unwrap();
+        assert_eq!(outcomes.len(), CHECKS.len());
+        assert!(outcomes.iter().all(|o| o.pass));
+        let rendered = report(&outcomes).to_string();
+        assert!(rendered.contains("OK"));
+        assert!(!rendered.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn slow_speedup_and_fat_overhead_regress() {
+        let base = tmp("base_reg");
+        let fresh = tmp("fresh_reg");
+        scaffold(&base, 10.0, 1.0, true);
+        // Speedup collapsed below 0.4× of baseline; overhead grew by
+        // more than any delta band.
+        scaffold(&fresh, 2.0, 9.0, true);
+        let outcomes = compare(&fresh, &base).unwrap();
+        let failed: Vec<&str> = outcomes
+            .iter()
+            .filter(|o| !o.pass)
+            .map(|o| o.check.metric)
+            .collect();
+        assert!(failed.contains(&"gate_speedup"));
+        assert!(failed.contains(&"overhead_pct"));
+        assert!(report(&outcomes).to_string().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = tmp("base_imp");
+        let fresh = tmp("fresh_imp");
+        scaffold(&base, 10.0, 3.0, true);
+        // Faster and cheaper than the baseline.
+        scaffold(&fresh, 50.0, 0.1, true);
+        let outcomes = compare(&fresh, &base).unwrap();
+        assert!(outcomes.iter().all(|o| o.pass));
+    }
+
+    #[test]
+    fn false_gate_fails_even_within_bands() {
+        let base = tmp("base_gate");
+        let fresh = tmp("fresh_gate");
+        scaffold(&base, 10.0, 1.0, true);
+        scaffold(&fresh, 10.0, 1.0, false);
+        let outcomes = compare(&fresh, &base).unwrap();
+        assert!(outcomes
+            .iter()
+            .any(|o| o.check.metric == "within_target" && !o.pass));
+    }
+
+    #[test]
+    fn missing_payload_is_an_error_not_a_skip() {
+        let base = tmp("base_missing");
+        let fresh = tmp("fresh_missing");
+        scaffold(&base, 10.0, 1.0, true);
+        scaffold(&fresh, 10.0, 1.0, true);
+        std::fs::remove_file(fresh.join("BENCH_profile_overhead.json")).unwrap();
+        let err = compare(&fresh, &base).unwrap_err();
+        assert!(err.contains("BENCH_profile_overhead.json"), "{err}");
+    }
+
+    #[test]
+    fn bless_copies_and_validates() {
+        let base = tmp("base_bless");
+        let fresh = tmp("fresh_bless");
+        scaffold(&fresh, 7.0, 2.0, true);
+        let files = bless(&fresh, &base).unwrap();
+        assert_eq!(files.len(), 6);
+        let outcomes = compare(&fresh, &base).unwrap();
+        assert!(outcomes.iter().all(|o| o.pass));
+    }
+}

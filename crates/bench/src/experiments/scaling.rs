@@ -15,8 +15,9 @@
 
 use std::time::Instant;
 
-use relax_core::theorem4::{verify_taxi_lattice_naive, verify_taxi_lattice_perpoint};
+use relax_core::theorem4::verify_taxi_lattice_naive;
 
+use crate::experiments::profile::profiled_perpoint;
 use crate::table::Table;
 
 /// The gate: engine speedup over naive required at the deepest bound.
@@ -45,15 +46,19 @@ pub struct ScalingRow {
     pub agree: bool,
 }
 
-/// Measures one bound with both paths.
+/// Measures one bound with both paths. The naive side keeps its
+/// hand-rolled `Instant` (it is not instrumented); the engine side is
+/// timed by the flight recorder — `engine_ns` is the `theorem4` root
+/// span's total, so the same clock that feeds `trace_analyze --profile`
+/// feeds this table.
 pub fn measure(items: &[i64], max_len: usize) -> ScalingRow {
     let start = Instant::now();
     let naive = verify_taxi_lattice_naive(items, max_len);
     let naive_ns = start.elapsed().as_nanos();
 
-    let start = Instant::now();
-    let engine = verify_taxi_lattice_perpoint(items, max_len);
-    let engine_ns = start.elapsed().as_nanos();
+    let engine_run = profiled_perpoint(items, max_len);
+    let engine_ns = engine_run.wall_ns();
+    let engine = engine_run.result;
 
     let agree = naive
         .points

@@ -17,16 +17,14 @@
 //!   (counts must match exactly; these types are equality-based, so the
 //!   reduction is sound — see `relax_queues::relabel`).
 
-use std::time::Instant;
-
 use relax_automata::subset::IntersectionAutomaton;
-use relax_automata::symmetry::compare_upto_reduced;
-use relax_automata::{compare_upto, CompareOptions};
-use relax_core::theorem4::{verify_taxi_lattice, verify_taxi_lattice_perpoint};
+use relax_automata::symmetry::compare_upto_reduced_probed;
+use relax_automata::{compare_upto_probed, CompareOptions};
 use relax_queues::{
     queue_alphabet, QueueItemSymmetry, SemiqueueAutomaton, SsQueueAutomaton, StutteringAutomaton,
 };
 
+use crate::experiments::profile::{probed, profiled_perpoint, profiled_shared};
 use crate::table::Table;
 
 /// The gate: shared-walk speedup over the per-point engine required at
@@ -92,15 +90,17 @@ pub struct OrbitRow {
     pub agree: bool,
 }
 
-/// Measures one common bound with both taxi-verification paths.
+/// Measures one common bound with both taxi-verification paths, each
+/// timed by the flight recorder (wall time = `theorem4` root span
+/// total) instead of a separate hand-rolled `Instant`.
 pub fn measure_common(items: &[i64], max_len: usize) -> CommonRow {
-    let start = Instant::now();
-    let perpoint = verify_taxi_lattice_perpoint(items, max_len);
-    let perpoint_ns = start.elapsed().as_nanos();
+    let perpoint_run = profiled_perpoint(items, max_len);
+    let perpoint_ns = perpoint_run.wall_ns();
+    let perpoint = perpoint_run.result;
 
-    let start = Instant::now();
-    let shared = verify_taxi_lattice(items, max_len);
-    let shared_ns = start.elapsed().as_nanos();
+    let shared_run = profiled_shared(items, max_len);
+    let shared_ns = shared_run.wall_ns();
+    let shared = shared_run.result;
 
     let agree = perpoint
         .points
@@ -122,9 +122,9 @@ pub fn measure_common(items: &[i64], max_len: usize) -> CommonRow {
 
 /// Verifies one frontier bound with the shared walk alone.
 pub fn measure_frontier(items: &[i64], max_len: usize) -> FrontierRow {
-    let start = Instant::now();
-    let shared = verify_taxi_lattice(items, max_len);
-    let shared_ns = start.elapsed().as_nanos();
+    let shared_run = profiled_shared(items, max_len);
+    let shared_ns = shared_run.wall_ns();
+    let shared = shared_run.result;
     FrontierRow {
         items: items.to_vec(),
         max_len,
@@ -142,20 +142,32 @@ pub fn measure_orbit(items: &[i64], max_len: usize) -> OrbitRow {
     let ssq = SsQueueAutomaton::new(2, 2);
     let sym = QueueItemSymmetry::new(items);
 
-    let start = Instant::now();
-    let full = compare_upto(&join, &ssq, &alphabet, max_len, CompareOptions::counting());
-    let full_ns = start.elapsed().as_nanos();
+    let full_run = probed(|p| {
+        compare_upto_probed(
+            &join,
+            &ssq,
+            &alphabet,
+            max_len,
+            CompareOptions::counting(),
+            p,
+        )
+    });
+    let full_ns = full_run.wall_ns();
+    let full = full_run.result;
 
-    let start = Instant::now();
-    let reduced = compare_upto_reduced(
-        &join,
-        &ssq,
-        &alphabet,
-        max_len,
-        CompareOptions::counting(),
-        &sym,
-    );
-    let reduced_ns = start.elapsed().as_nanos();
+    let reduced_run = probed(|p| {
+        compare_upto_reduced_probed(
+            &join,
+            &ssq,
+            &alphabet,
+            max_len,
+            CompareOptions::counting(),
+            &sym,
+            p,
+        )
+    });
+    let reduced_ns = reduced_run.wall_ns();
+    let reduced = reduced_run.result;
 
     let agree = full.left_sizes == reduced.left_sizes
         && full.right_sizes == reduced.right_sizes

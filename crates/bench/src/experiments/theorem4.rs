@@ -1,12 +1,27 @@
 //! Theorem 4 (and the other lattice points), bounded verification.
 
 use relax_core::theorem4::{separating_histories, verify_taxi_lattice, TaxiVerification};
+use relax_trace::ProfileReport;
 
+use crate::experiments::profile::profiled_shared;
 use crate::table::Table;
 
 /// Runs the verification and renders the per-point table.
 pub fn run(items: &[i64], max_len: usize) -> (Table, TaxiVerification) {
     let v = verify_taxi_lattice(items, max_len);
+    (point_table(&v), v)
+}
+
+/// [`run`] under the flight recorder: the same table plus the
+/// reconstructed span tree of the shared walk — the per-point language
+/// sizes and peak frontiers in the table come from the verification,
+/// their timing breakdown from the profile, one source each.
+pub fn run_profiled(items: &[i64], max_len: usize) -> (Table, TaxiVerification, ProfileReport) {
+    let probed = profiled_shared(items, max_len);
+    (point_table(&probed.result), probed.result, probed.report)
+}
+
+fn point_table(v: &TaxiVerification) -> Table {
     let mut t = Table::new([
         "point",
         "claimed behavior",
@@ -27,7 +42,7 @@ pub fn run(items: &[i64], max_len: usize) -> (Table, TaxiVerification) {
             },
         ]);
     }
-    (t, v)
+    t
 }
 
 /// Renders the strictness witnesses (histories separating each relaxed
@@ -59,5 +74,14 @@ mod tests {
     fn witnesses_render() {
         let t = witnesses_table();
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn profiled_run_matches_and_carries_spans() {
+        let (t, v, report) = run_profiled(&[1, 2], 5);
+        assert!(v.holds());
+        assert_eq!(t.len(), 4);
+        assert_eq!(report.roots[0].name, "theorem4");
+        assert_eq!(report.self_sum_ns(), report.total_ns());
     }
 }

@@ -9,8 +9,10 @@
 //! `{Q1, Q2} ↔ PQ`, `{Q2} ↔ OPQ`, `∅ ↔ DegenPQ`.
 
 use relax_automata::language::naive;
-use relax_automata::multiwalk::multi_compare_upto;
-use relax_automata::{compare_upto, CompareOptions, History, LanguageDifference};
+use relax_automata::multiwalk::multi_compare_upto_probed;
+use relax_automata::{
+    compare_upto_probed, CompareOptions, EngineProbe, History, LanguageDifference, NoopProbe,
+};
 use relax_queues::{queue_alphabet, Item, QueueOp};
 use relax_quorum::repview::RepViewAutomaton;
 
@@ -98,18 +100,47 @@ impl TaxiVerification {
 /// to the per-point path (tests pin both against each other and against
 /// the naive enumerator).
 pub fn verify_taxi_lattice(items: &[Item], max_len: usize) -> TaxiVerification {
+    verify_taxi_lattice_probed(items, max_len, &mut NoopProbe)
+}
+
+/// The profiling span name of a lattice point: `point_q1q2` with each
+/// relaxation bit spelled as 0/1, e.g. `{Q1}` is `point_10`.
+fn point_span(p: TaxiPoint) -> &'static str {
+    match (p.q1, p.q2) {
+        (true, true) => "point_11",
+        (true, false) => "point_10",
+        (false, true) => "point_01",
+        (false, false) => "point_00",
+    }
+}
+
+/// [`verify_taxi_lattice`] with a profiling probe: one `theorem4` span
+/// wraps the whole verification, the `shared_walk` child covers the
+/// tuple walk (whose own `multiwalk` / `multi_depth` spans and frontier
+/// gauges nest inside it), and one `point_q1q2` span per lattice point
+/// covers that point's result assembly and carries its `lang_size` /
+/// `peak_frontier` gauges.
+pub fn verify_taxi_lattice_probed<P: EngineProbe>(
+    items: &[Item],
+    max_len: usize,
+    probe: &mut P,
+) -> TaxiVerification {
+    probe.enter("theorem4");
     let lattice = TaxiLattice::new();
     let alphabet = queue_alphabet(items);
     let point_list = TaxiPoint::all();
     let quotients: [RepViewAutomaton; 4] =
         point_list.map(|p| RepViewAutomaton::new(p.q1, p.q2, items));
     let references: [TaxiReference; 4] = point_list.map(|p| lattice.reference(p));
-    let multi = multi_compare_upto(&quotients, &references, &alphabet, max_len);
+    probe.enter("shared_walk");
+    let multi = multi_compare_upto_probed(&quotients, &references, &alphabet, max_len, &mut *probe);
+    probe.exit("shared_walk");
 
     let points = point_list
         .iter()
         .zip(multi.points)
         .map(|(&point, cmp)| {
+            probe.enter(point_span(point));
             let difference = cmp
                 .left_not_in_right
                 .clone()
@@ -119,20 +150,28 @@ pub fn verify_taxi_lattice(items: &[Item], max_len: usize) -> TaxiVerification {
                         .clone()
                         .map(LanguageDifference::RightNotInLeft)
                 });
-            PointVerification {
+            let verification = PointVerification {
                 point,
                 behavior: point.behavior_name(),
                 language_size: cmp.left_total() as usize,
                 peak_frontier: cmp.peak_level_width,
                 difference,
+            };
+            if probe.is_enabled() {
+                probe.gauge("lang_size", verification.language_size as i64);
+                probe.gauge("peak_frontier", verification.peak_frontier as i64);
             }
+            probe.exit(point_span(point));
+            verification
         })
         .collect();
-    TaxiVerification {
+    let out = TaxiVerification {
         points,
         items: items.to_vec(),
         max_len,
-    }
+    };
+    probe.exit("theorem4");
+    out
 }
 
 /// The PR-3 engine path: one product-subset-graph walk **per lattice
@@ -141,18 +180,33 @@ pub fn verify_taxi_lattice(items: &[Item], max_len: usize) -> TaxiVerification {
 /// the shared-walk [`verify_taxi_lattice`] against, and as a
 /// differential oracle in tests.
 pub fn verify_taxi_lattice_perpoint(items: &[Item], max_len: usize) -> TaxiVerification {
+    verify_taxi_lattice_perpoint_probed(items, max_len, &mut NoopProbe)
+}
+
+/// [`verify_taxi_lattice_perpoint`] with a profiling probe: one
+/// `theorem4` span over the run, one `point_q1q2` span per lattice
+/// point wrapping that point's full product walk (whose `product_walk`
+/// / `depth` spans nest inside it).
+pub fn verify_taxi_lattice_perpoint_probed<P: EngineProbe>(
+    items: &[Item],
+    max_len: usize,
+    probe: &mut P,
+) -> TaxiVerification {
+    probe.enter("theorem4");
     let lattice = TaxiLattice::new();
     let alphabet = queue_alphabet(items);
     let mut points = Vec::new();
     for point in TaxiPoint::all() {
+        probe.enter(point_span(point));
         let qca = lattice.qca(point);
         let reference = lattice.reference(point);
-        let cmp = compare_upto(
+        let cmp = compare_upto_probed(
             &qca,
             &reference,
             &alphabet,
             max_len,
             CompareOptions::counting(),
+            &mut *probe,
         );
         let difference = cmp
             .left_not_in_right
@@ -163,19 +217,27 @@ pub fn verify_taxi_lattice_perpoint(items: &[Item], max_len: usize) -> TaxiVerif
                     .clone()
                     .map(LanguageDifference::RightNotInLeft)
             });
-        points.push(PointVerification {
+        let verification = PointVerification {
             point,
             behavior: point.behavior_name(),
             language_size: cmp.left_total() as usize,
             peak_frontier: cmp.peak_level_width,
             difference,
-        });
+        };
+        if probe.is_enabled() {
+            probe.gauge("lang_size", verification.language_size as i64);
+            probe.gauge("peak_frontier", verification.peak_frontier as i64);
+        }
+        points.push(verification);
+        probe.exit(point_span(point));
     }
-    TaxiVerification {
+    let out = TaxiVerification {
         points,
         items: items.to_vec(),
         max_len,
-    }
+    };
+    probe.exit("theorem4");
+    out
 }
 
 /// The pre-engine implementation of [`verify_taxi_lattice`]: a two-pass
@@ -338,6 +400,53 @@ mod tests {
             let m = states.into_iter().next().expect("len checked");
             prop_assert_eq!(m.alpha(), &Eta.eval(h.ops()), "α∘δ* ≠ η on {}", h);
         }
+    }
+
+    #[test]
+    fn probed_shared_walk_yields_an_exact_span_tree() {
+        let mut probe = relax_trace::Probe::enabled();
+        let v = verify_taxi_lattice_probed(&[1, 2], 5, &mut probe);
+        assert!(v.holds());
+        let report = probe.report().expect("balanced spans");
+        // One theorem4 root; the tuple walk nests under shared_walk.
+        assert_eq!(report.roots.len(), 1);
+        assert_eq!(report.roots[0].name, "theorem4");
+        let paths: Vec<String> = report
+            .aggregated_paths()
+            .into_iter()
+            .map(|h| h.path)
+            .collect();
+        assert!(paths.contains(&"theorem4;shared_walk;multiwalk".to_string()));
+        for span in ["point_11", "point_10", "point_01", "point_00"] {
+            assert!(
+                paths.contains(&format!("theorem4;{span}")),
+                "missing {span} in {paths:?}"
+            );
+        }
+        // Per-point gauges carry the F-table in lattice order.
+        assert_eq!(
+            report.gauge("lang_size"),
+            Some(&[209i64, 269, 287, 373][..])
+        );
+        // Exact-sum attribution holds over the live tree.
+        assert_eq!(report.self_sum_ns(), report.total_ns());
+        // The per-depth frontier timeline came through the walk.
+        assert!(!report.gauge("frontier_nodes").unwrap_or(&[]).is_empty());
+    }
+
+    #[test]
+    fn probed_perpoint_walk_nests_product_walks_under_points() {
+        let mut probe = relax_trace::Probe::enabled();
+        let v = verify_taxi_lattice_perpoint_probed(&[1, 2], 4, &mut probe);
+        assert!(v.holds());
+        let report = probe.report().expect("balanced spans");
+        let paths: Vec<String> = report
+            .aggregated_paths()
+            .into_iter()
+            .map(|h| h.path)
+            .collect();
+        assert!(paths.contains(&"theorem4;point_10;product_walk".to_string()));
+        assert_eq!(report.self_sum_ns(), report.total_ns());
     }
 
     #[test]

@@ -33,11 +33,12 @@
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
+use relax_automata::probe::EngineProbe;
 use relax_automata::History;
 use relax_sim::{Ctx, NetworkConfig, Node, NodeId, SimTime, World};
 use relax_trace::{
-    DegradationMonitor, EventKind as TraceEvent, FrontierView, OpLabel, OpOutcome, QuorumPhase,
-    Registry, SiteCount, SloMonitor, StalenessTracker,
+    DegradationMonitor, EventKind as TraceEvent, FrontierView, OpLabel, OpOutcome, Probe,
+    ProfileReport, QuorumPhase, Registry, SiteCount, SloMonitor, StalenessTracker,
 };
 
 use crate::assignment::VotingAssignment;
@@ -735,6 +736,11 @@ pub struct QuorumSystem<T: ReplicatedType> {
     staleness_scratch: Vec<TraceEvent>,
     slo: Option<SloMonitor>,
     registry: Registry,
+    /// The flight-recorder probe (disabled unless
+    /// [`QuorumSystem::with_profile`] was called): per-event `step` /
+    /// `monitor` spans, `staleness` sampling spans, and the runtime's
+    /// cache/gossip tallies as gauges on [`QuorumSystem::flush_profile`].
+    probe: Probe,
 }
 
 impl<T: ReplicatedType> QuorumSystem<T> {
@@ -835,6 +841,7 @@ impl<T: ReplicatedType> QuorumSystem<T> {
             staleness_scratch: Vec::new(),
             slo: None,
             registry: Registry::new(),
+            probe: Probe::disabled(),
         }
     }
 
@@ -924,6 +931,51 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         self
     }
 
+    /// Enables the profiling flight recorder (builder-style): the run
+    /// loops then wrap every simulator event in a `step` span and every
+    /// monitor poll in a `monitor` span, [`QuorumSystem::sample_staleness`]
+    /// records a `staleness` span per sample, and
+    /// [`QuorumSystem::flush_profile`] snapshots the cache/gossip
+    /// tallies as gauges. Costs one branch per step when not called.
+    #[must_use]
+    pub fn with_profile(mut self) -> Self {
+        self.probe = Probe::enabled();
+        self
+    }
+
+    /// The profiling probe (disabled unless
+    /// [`QuorumSystem::with_profile`] was called).
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// Writes the runtime's view-cache and gossip tallies into the
+    /// profiling probe as gauges, stamped at current sim time. The short
+    /// names (`vc_hits`, `gossip_delta`, …) fit the trace's inline
+    /// labels; the canonical Prometheus-style names stay in
+    /// [`QuorumSystem::registry`]. No-op when profiling is off.
+    pub fn flush_profile(&mut self) {
+        if !self.probe.is_enabled() {
+            return;
+        }
+        let (delta, full) = self.gossip_send_counts();
+        let (hits, misses) = self.viewcache_counts();
+        let replayed = self.viewcache_replayed_entries();
+        self.probe.set_sim_time(self.world.now().0);
+        self.probe.gauge("vc_hits", hits as i64);
+        self.probe.gauge("vc_misses", misses as i64);
+        self.probe.gauge("vc_replay", replayed as i64);
+        self.probe.gauge("gossip_delta", delta as i64);
+        self.probe.gauge("gossip_full", full as i64);
+    }
+
+    /// Flushes the runtime tallies ([`QuorumSystem::flush_profile`]) and
+    /// builds the profile report over everything recorded so far.
+    pub fn profile_report(&mut self) -> Result<ProfileReport, String> {
+        self.flush_profile();
+        self.probe.report()
+    }
+
     /// The attached staleness tracker, if any.
     pub fn staleness(&self) -> Option<&StalenessTracker> {
         self.staleness.as_ref()
@@ -952,6 +1004,17 @@ impl<T: ReplicatedType> QuorumSystem<T> {
     /// [`QuorumSystem::export_metrics`] writes the latest readings into
     /// the registry when a scrape actually wants them.
     pub fn sample_staleness(&mut self) {
+        if self.probe.is_enabled() {
+            self.probe.set_sim_time(self.world.now().0);
+            self.probe.enter("staleness");
+            self.sample_staleness_inner();
+            self.probe.exit("staleness");
+        } else {
+            self.sample_staleness_inner();
+        }
+    }
+
+    fn sample_staleness_inner(&mut self) {
         let Some(tracker) = self.staleness.as_mut() else {
             return;
         };
@@ -1010,6 +1073,19 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         (hits, misses)
     }
 
+    /// Total log entries folded by the clients' view caches — the
+    /// replay depth memoization could not avoid (see
+    /// [`ViewCache::entries_replayed`]).
+    pub fn viewcache_replayed_entries(&self) -> u64 {
+        let mut replayed = 0;
+        for &id in &self.clients {
+            if let RoleNode::Client(c) = self.world.node(id) {
+                replayed += c.cache.entries_replayed();
+            }
+        }
+        replayed
+    }
+
     /// Refreshes the gossip-efficiency, view-cache, and wire gauges in
     /// [`QuorumSystem::registry`] from the current node and world state.
     /// Call before rendering or scraping the registry.
@@ -1023,6 +1099,10 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         self.registry.gauge("gossip_full_sends").set(full as i64);
         self.registry.gauge("viewcache_hits").set(hits as i64);
         self.registry.gauge("viewcache_misses").set(misses as i64);
+        let replayed = self.viewcache_replayed_entries();
+        self.registry
+            .gauge("viewcache_replayed_entries")
+            .set(replayed as i64);
         self.registry
             .gauge(relax_trace::metrics::wire::MESSAGES_SENT)
             .set(self.world.messages_sent() as i64);
@@ -1125,30 +1205,53 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         self.world.send_external(client, Msg::Start(inv));
     }
 
+    /// One simulator event plus a monitor poll, wrapped in `step` /
+    /// `monitor` profiling spans when the probe is on. Returns whether
+    /// the world made progress.
+    fn step_once(&mut self) -> bool {
+        if self.probe.is_enabled() {
+            self.probe.set_sim_time(self.world.now().0);
+            self.probe.enter("step");
+            let progressed = self.world.step();
+            self.probe.set_sim_time(self.world.now().0);
+            self.probe.exit("step");
+            if progressed {
+                self.probe.enter("monitor");
+                self.poll_monitor();
+                self.probe.exit("monitor");
+            }
+            progressed
+        } else {
+            let progressed = self.world.step();
+            if progressed {
+                self.poll_monitor();
+            }
+            progressed
+        }
+    }
+
     /// Runs the simulation until `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        if self.monitor.is_none() {
+        if self.monitor.is_none() && !self.probe.is_enabled() {
             self.world.run_until(t);
             return;
         }
         while self.world.next_event_time().is_some_and(|tn| tn <= t) {
-            self.world.step();
-            self.poll_monitor();
+            self.step_once();
         }
         self.world.advance_clock_to(t);
     }
 
     /// Runs to quiescence (bounded by `max_events`).
     pub fn run_to_quiescence(&mut self, max_events: u64) -> bool {
-        if self.monitor.is_none() {
+        if self.monitor.is_none() && !self.probe.is_enabled() {
             return self.world.run_to_quiescence(max_events);
         }
         let mut budget = max_events;
         while budget > 0 {
-            if !self.world.step() {
+            if !self.step_once() {
                 return true;
             }
-            self.poll_monitor();
             budget -= 1;
         }
         self.world.next_event_time().is_none()
@@ -1160,10 +1263,9 @@ impl<T: ReplicatedType> QuorumSystem<T> {
     pub fn run_until_outcomes(&mut self, count: usize, max_events: u64) -> bool {
         let mut budget = max_events;
         while self.outcomes().len() < count && budget > 0 {
-            if !self.world.step() {
+            if !self.step_once() {
                 break;
             }
-            self.poll_monitor();
             budget -= 1;
         }
         self.outcomes().len() >= count
@@ -2129,5 +2231,53 @@ mod tests {
         assert_eq!(g("viewcache_misses"), misses as i64);
         assert_eq!(g("wire_messages_sent"), sys.world().messages_sent() as i64);
         assert_eq!(g("wire_shipped_bytes"), sys.world().bytes_sent() as i64);
+        assert_eq!(
+            g("viewcache_replayed_entries"),
+            sys.viewcache_replayed_entries() as i64
+        );
+    }
+
+    #[test]
+    fn profiled_run_records_step_spans_and_runtime_gauges() {
+        let mut sys = healthy_system(11).with_gossip(30).with_profile();
+        for i in 0..6 {
+            sys.submit(QueueInv::Enq(i));
+        }
+        assert!(sys.run_until_outcomes(6, 1_000_000));
+        let report = sys.profile_report().expect("balanced spans");
+        // Every simulator event ran inside a `step` span.
+        let steps = report
+            .aggregated_paths()
+            .into_iter()
+            .find(|h| h.path == "step")
+            .expect("step spans recorded");
+        assert!(steps.count > 6, "one span per simulator event");
+        // The runtime tallies surfaced as probe gauges match the
+        // canonical accessors.
+        let (hits, _) = sys.viewcache_counts();
+        let (delta, _) = sys.gossip_send_counts();
+        assert_eq!(report.gauge("vc_hits"), Some(&[hits as i64][..]));
+        assert_eq!(report.gauge("gossip_delta"), Some(&[delta as i64][..]));
+        assert_eq!(
+            report.gauge("vc_replay"),
+            Some(&[sys.viewcache_replayed_entries() as i64][..])
+        );
+        // Exact-sum attribution holds on a live run.
+        assert_eq!(report.self_sum_ns(), report.total_ns());
+    }
+
+    #[test]
+    fn unprofiled_run_records_no_probe_state() {
+        let mut sys = healthy_system(11);
+        sys.submit(QueueInv::Enq(1));
+        assert!(sys.run_to_quiescence(100_000));
+        assert!(!sys.probe().is_enabled());
+        assert!(sys.probe().events().is_empty());
+        assert!(sys.probe().counter_totals().is_empty());
+        sys.flush_profile();
+        assert!(
+            sys.probe().events().is_empty(),
+            "flush on disabled is a no-op"
+        );
     }
 }

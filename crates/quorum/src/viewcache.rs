@@ -37,6 +37,7 @@ pub struct ViewCache<V> {
     cached: Option<Cached<V>>,
     hits: u64,
     misses: u64,
+    entries_replayed: u64,
 }
 
 // Manual impl so `Debug` does not require `V: Debug` (values may be
@@ -57,6 +58,7 @@ impl<V> Default for ViewCache<V> {
             cached: None,
             hits: 0,
             misses: 0,
+            entries_replayed: 0,
         }
     }
 }
@@ -98,6 +100,7 @@ impl<V: Clone> ViewCache<V> {
         } else {
             initial
         };
+        self.entries_replayed += (entries.len() - start) as u64;
         for e in &entries[start..] {
             value = apply(&value, &e.op);
         }
@@ -123,6 +126,15 @@ impl<V: Clone> ViewCache<V> {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Total log entries folded across all evaluations — the replay
+    /// depth the cache could not avoid. A perfect append-only run
+    /// replays each entry exactly once; full-replay misses show up here
+    /// as the prefix being folded again.
+    #[must_use]
+    pub fn entries_replayed(&self) -> u64 {
+        self.entries_replayed
     }
 }
 
@@ -150,6 +162,8 @@ mod tests {
         }
         assert_eq!(cache.hits(), 9); // everything after the first eval
         assert_eq!(cache.misses(), 0);
+        // Append-only growth folds each entry exactly once.
+        assert_eq!(cache.entries_replayed(), 10);
     }
 
     #[test]

@@ -80,7 +80,13 @@ fn location(kind: &EventKind, in_flight_drop: bool) -> Option<u32> {
         | EventKind::MessageDuplicated { .. }
         | EventKind::ReplicaLagSampled { .. }
         | EventKind::FrontierDivergence { .. }
-        | EventKind::SloBudgetExhausted(_) => None,
+        | EventKind::SloBudgetExhausted(_)
+        // Profiling spans describe the engine/runtime itself, not any
+        // simulated node's program order.
+        | EventKind::ProfileSpanEnter { .. }
+        | EventKind::ProfileSpanExit { .. }
+        | EventKind::ProfileCounter { .. }
+        | EventKind::ProfileGauge { .. } => None,
     }
 }
 

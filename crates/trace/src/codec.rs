@@ -21,9 +21,10 @@ use crate::staleness::SloViolation;
 /// The trace format version this crate writes and the newest it reads.
 /// Older versions stay readable: version 2 added the gray-failure /
 /// asymmetric-partition / duplication fault events and the staleness
-/// telemetry events, all of which are strict additions to the version-1
-/// schema.
-pub const FORMAT_VERSION: u32 = 2;
+/// telemetry events; version 3 added the profiling events
+/// (`profile_span_enter`/`exit`, `profile_counter`, `profile_gauge`).
+/// Both are strict additions to the version-1 schema.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// The first line of an exported trace: format version plus collection
 /// counters, so a reader knows whether the window is complete.
@@ -81,11 +82,15 @@ impl std::error::Error for TraceParseError {}
 #[derive(Debug, Clone, PartialEq)]
 enum JVal {
     Int(u64),
+    /// A negative integer, parsed exactly (gauge samples are `i64`).
+    Neg(i64),
     Float(f64),
     Str(String),
     Bool(bool),
     Null,
     Arr(Vec<JVal>),
+    /// A nested object (only under report arrays like `campaigns`).
+    Obj(Vec<(String, JVal)>),
 }
 
 struct Reader<'a> {
@@ -158,6 +163,7 @@ impl<'a> Reader<'a> {
         match self.peek() {
             Some(b'"') => Ok(JVal::Str(self.string()?)),
             Some(b'[') => self.array(),
+            Some(b'{') => self.object().map(JVal::Obj),
             Some(b'n') => self.keyword("null", JVal::Null),
             Some(b't') => self.keyword("true", JVal::Bool(true)),
             Some(b'f') => self.keyword("false", JVal::Bool(false)),
@@ -214,6 +220,11 @@ impl<'a> Reader<'a> {
             text.parse::<f64>()
                 .map(JVal::Float)
                 .map_err(|e| format!("bad float {text:?}: {e}"))
+        } else if text.starts_with('-') {
+            // Negative integers parse exactly too (i64 gauge samples).
+            text.parse::<i64>()
+                .map(JVal::Neg)
+                .map_err(|e| format!("bad integer {text:?}: {e}"))
         } else {
             // Integers parse exactly (f64 would lose precision past 2^53).
             text.parse::<u64>()
@@ -300,10 +311,19 @@ impl Fields {
         u32::try_from(self.u64(key)?).map_err(|_| format!("field {key:?} overflows u32"))
     }
 
+    fn i64(&self, key: &str) -> Result<i64, String> {
+        match self.get(key)? {
+            JVal::Int(n) => i64::try_from(*n).map_err(|_| format!("field {key:?} overflows i64")),
+            JVal::Neg(n) => Ok(*n),
+            other => Err(format!("field {key:?}: expected integer, got {other:?}")),
+        }
+    }
+
     fn f64(&self, key: &str) -> Result<f64, String> {
         match self.get(key)? {
             JVal::Float(x) => Ok(*x),
             JVal::Int(n) => Ok(*n as f64),
+            JVal::Neg(n) => Ok(*n as f64),
             other => Err(format!("field {key:?}: expected number, got {other:?}")),
         }
     }
@@ -510,8 +530,30 @@ fn parse_kind(tag: &str, f: &Fields) -> Result<EventKind, String> {
             budget: f.u64("budget")?,
             spent: f.u64("spent")?,
         })),
+        "profile_span_enter" => EventKind::ProfileSpanEnter {
+            name: parse_label(f.str("name")?),
+            wall_ns: f.u64("wall_ns")?,
+        },
+        "profile_span_exit" => EventKind::ProfileSpanExit {
+            name: parse_label(f.str("name")?),
+            wall_ns: f.u64("wall_ns")?,
+        },
+        "profile_counter" => EventKind::ProfileCounter {
+            name: parse_label(f.str("name")?),
+            total: f.u64("total")?,
+        },
+        "profile_gauge" => EventKind::ProfileGauge {
+            name: parse_label(f.str("name")?),
+            value: f.i64("value")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     })
+}
+
+fn parse_label(s: &str) -> OpLabel {
+    let mut label = OpLabel::default();
+    label.push_str(s);
+    label
 }
 
 /// Parses one event line (as produced by
@@ -574,6 +616,48 @@ pub fn read_trace(input: &str) -> Result<ParsedTrace, TraceParseError> {
         events.push(parse_event(line).map_err(err)?);
     }
     Ok(ParsedTrace { header, events })
+}
+
+// ---------------------------------------------------------------------------
+// Flat report documents (BENCH_*.json gate files)
+// ---------------------------------------------------------------------------
+
+/// A top-level field of a flat JSON report document, as surfaced by
+/// [`report_fields`]. Gate metrics are numbers and booleans; nested
+/// arrays/objects (per-row detail) are marked but not traversed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportValue {
+    /// A numeric field (integers are widened to `f64`).
+    Number(f64),
+    /// A boolean field (e.g. `within_target`).
+    Bool(bool),
+    /// A string field (e.g. `bench`, `workload`).
+    Text(String),
+    /// An array or object field, present but not flattened.
+    Nested,
+}
+
+/// Parses one flat JSON document — the shape every `BENCH_*.json` gate
+/// file uses — into its top-level fields, in document order. The
+/// regression checker (`bench_regress`) diffs these against committed
+/// baselines; reusing the trace codec's reader keeps the workspace
+/// dependency-free.
+pub fn report_fields(input: &str) -> Result<Vec<(String, ReportValue)>, String> {
+    let fields = Reader::new(input.trim()).object()?;
+    Ok(fields
+        .into_iter()
+        .map(|(k, v)| {
+            let v = match v {
+                JVal::Int(n) => ReportValue::Number(n as f64),
+                JVal::Neg(n) => ReportValue::Number(n as f64),
+                JVal::Float(x) => ReportValue::Number(x),
+                JVal::Bool(b) => ReportValue::Bool(b),
+                JVal::Str(s) => ReportValue::Text(s),
+                JVal::Null | JVal::Arr(_) | JVal::Obj(_) => ReportValue::Nested,
+            };
+            (k, v)
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -686,6 +770,22 @@ mod tests {
                 budget: 50,
                 spent: 61,
             })),
+            EventKind::ProfileSpanEnter {
+                name: parse_label("multiwalk"),
+                wall_ns: 12_345,
+            },
+            EventKind::ProfileSpanExit {
+                name: parse_label("multiwalk"),
+                wall_ns: 99_999,
+            },
+            EventKind::ProfileCounter {
+                name: parse_label("row_hits"),
+                total: u64::MAX,
+            },
+            EventKind::ProfileGauge {
+                name: parse_label("frontier_nodes"),
+                value: -42,
+            },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             round_trip(Event {
@@ -767,7 +867,7 @@ mod tests {
             let a = next();
             let b = next();
             let c = next();
-            let kind = match trial % 10 {
+            let kind = match trial % 14 {
                 0 => EventKind::GrayDegraded {
                     node: a as u32 % 64,
                     multiplier: 1 + b as u32 % 100,
@@ -808,6 +908,23 @@ mod tests {
                     budget: b >> 8,
                     spent: c >> 8,
                 })),
+                9 => EventKind::ProfileSpanEnter {
+                    name: parse_label(["multiwalk", "depth", "theorem4"][(a % 3) as usize]),
+                    wall_ns: b,
+                },
+                10 => EventKind::ProfileSpanExit {
+                    name: parse_label(["multiwalk", "depth", "theorem4"][(a % 3) as usize]),
+                    wall_ns: b,
+                },
+                11 => EventKind::ProfileCounter {
+                    name: parse_label("orbit_folds"),
+                    total: b,
+                },
+                12 => EventKind::ProfileGauge {
+                    // Signed: negative samples must survive the codec.
+                    name: parse_label("frontier_nodes"),
+                    value: b as i64,
+                },
                 _ => EventKind::MessageDropped {
                     src: a as u32 % 64,
                     dst: b as u32 % 64,
@@ -829,8 +946,48 @@ mod tests {
         }
     }
 
+    /// A version-2 trace (captured before the version-3 profiling
+    /// events) must keep parsing byte-for-byte: version 3 is a strict
+    /// superset.
+    #[test]
+    fn version_2_traces_still_ingest() {
+        let v2 = "\
+{\"kind\":\"trace_header\",\"version\":2,\"events\":3,\"dropped_oldest\":0}
+{\"t\":0,\"seq\":0,\"kind\":\"gray_degraded\",\"node\":2,\"multiplier\":10}
+{\"t\":4,\"seq\":1,\"kind\":\"replica_lag_sampled\",\"site\":1,\"entries_behind\":4,\"time_behind\":120}
+{\"t\":9,\"seq\":2,\"kind\":\"slo_budget_exhausted\",\"level\":\"PQ\",\"budget\":50,\"spent\":61}
+";
+        let parsed = read_trace(v2).unwrap();
+        assert_eq!(parsed.header.as_ref().unwrap().version, 2);
+        assert_eq!(parsed.events.len(), 3);
+        assert!(matches!(
+            parsed.events[1].kind,
+            EventKind::ReplicaLagSampled { site: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn report_fields_surface_gate_metrics() {
+        let doc = "{\"bench\":\"profile_overhead\",\"reps\":51,\
+                   \"campaigns\":[{\"name\":\"gray\",\"ok\":true}],\
+                   \"overhead_pct\":-1.25,\"target_pct\":5.0,\
+                   \"within_target\":true}\n";
+        let fields = report_fields(doc).unwrap();
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+        assert_eq!(
+            get("bench"),
+            Some(ReportValue::Text("profile_overhead".into()))
+        );
+        assert_eq!(get("reps"), Some(ReportValue::Number(51.0)));
+        assert_eq!(get("overhead_pct"), Some(ReportValue::Number(-1.25)));
+        assert_eq!(get("target_pct"), Some(ReportValue::Number(5.0)));
+        assert_eq!(get("within_target"), Some(ReportValue::Bool(true)));
+        assert_eq!(get("campaigns"), Some(ReportValue::Nested));
+    }
+
     /// A version-1 trace (captured before the version-2 event additions)
-    /// must keep parsing byte-for-byte: version 2 is a strict superset.
+    /// must keep parsing byte-for-byte: later versions are strict
+    /// supersets.
     #[test]
     fn version_1_traces_still_ingest() {
         let v1 = "\

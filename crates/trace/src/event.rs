@@ -454,6 +454,42 @@ pub enum EventKind {
     /// A degradation SLO error budget ran out. Boxed: fat and rare, like
     /// [`EventKind::LevelTransition`].
     SloBudgetExhausted(Box<crate::staleness::SloViolation>),
+    /// Profiling: a hierarchical span opened. Spans nest LIFO within a
+    /// trace; `wall_ns` is monotone (nanoseconds since the probe was
+    /// enabled, derived from `Instant` — never `SystemTime`), while the
+    /// event's `t` carries sim time as usual.
+    ProfileSpanEnter {
+        /// Span name (≤ 14 bytes, inline — see [`OpLabel`]).
+        name: OpLabel,
+        /// Monotone nanoseconds since the probe's anchor.
+        wall_ns: u64,
+    },
+    /// Profiling: the innermost open span closed; `name` matches its
+    /// `profile_span_enter`.
+    ProfileSpanExit {
+        /// Span name, equal to the matching enter's.
+        name: OpLabel,
+        /// Monotone nanoseconds since the probe's anchor.
+        wall_ns: u64,
+    },
+    /// Profiling: a monotone counter's accumulated total at flush time.
+    /// Hot paths batch increments in the probe and the total is emitted
+    /// once, so a trace carries at most a few of these per counter.
+    ProfileCounter {
+        /// Counter name.
+        name: OpLabel,
+        /// Accumulated total at emission.
+        total: u64,
+    },
+    /// Profiling: one gauge sample, attributed to the innermost span
+    /// open at record time (per-depth samples yield per-depth
+    /// timelines, e.g. `frontier_nodes`).
+    ProfileGauge {
+        /// Gauge name.
+        name: OpLabel,
+        /// Sampled value.
+        value: i64,
+    },
 }
 
 impl EventKind {
@@ -486,6 +522,10 @@ impl EventKind {
             EventKind::ReplicaLagSampled { .. } => "replica_lag_sampled",
             EventKind::FrontierDivergence { .. } => "frontier_divergence",
             EventKind::SloBudgetExhausted(_) => "slo_budget_exhausted",
+            EventKind::ProfileSpanEnter { .. } => "profile_span_enter",
+            EventKind::ProfileSpanExit { .. } => "profile_span_exit",
+            EventKind::ProfileCounter { .. } => "profile_counter",
+            EventKind::ProfileGauge { .. } => "profile_gauge",
         }
     }
 }
@@ -717,6 +757,20 @@ impl Event {
                     v.spent
                 );
             }
+            EventKind::ProfileSpanEnter { name, wall_ns }
+            | EventKind::ProfileSpanExit { name, wall_ns } => {
+                let _ = write!(
+                    s,
+                    ",\"name\":\"{}\",\"wall_ns\":{wall_ns}",
+                    escape_json(name)
+                );
+            }
+            EventKind::ProfileCounter { name, total } => {
+                let _ = write!(s, ",\"name\":\"{}\",\"total\":{total}", escape_json(name));
+            }
+            EventKind::ProfileGauge { name, value } => {
+                let _ = write!(s, ",\"name\":\"{}\",\"value\":{value}", escape_json(name));
+            }
         }
         s.push('}');
         s
@@ -925,6 +979,22 @@ mod tests {
                 budget: 0,
                 spent: 0,
             })),
+            EventKind::ProfileSpanEnter {
+                name: OpLabel::default(),
+                wall_ns: 0,
+            },
+            EventKind::ProfileSpanExit {
+                name: OpLabel::default(),
+                wall_ns: 0,
+            },
+            EventKind::ProfileCounter {
+                name: OpLabel::default(),
+                total: 0,
+            },
+            EventKind::ProfileGauge {
+                name: OpLabel::default(),
+                value: 0,
+            },
         ];
         let mut tags: Vec<&str> = kinds.iter().map(|k| k.tag()).collect();
         tags.sort_unstable();

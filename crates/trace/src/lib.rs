@@ -29,6 +29,12 @@
 //!   [`monitor::LevelTransition`] backwards through the DAG to the
 //!   minimal cut of fault events that caused it, rendered as a
 //!   human-readable report ([`analyze::TraceAnalysis`]).
+//! * [`profile`] — the engine flight recorder: a recording
+//!   [`profile::Probe`] (hierarchical wall+sim-time spans, batched
+//!   counters, per-depth gauges) behind the engine's zero-cost
+//!   `EngineProbe` seam, and [`profile::ProfileReport`] with exact-sum
+//!   self/child attribution, hot-span rankings, and folded-stack
+//!   export.
 //! * [`staleness`] — replication staleness telemetry: per-replica lag
 //!   and pairwise frontier divergence from periodic snapshots
 //!   ([`staleness::StalenessTracker`]), plus degradation SLO error
@@ -58,6 +64,7 @@ pub mod codec;
 pub mod event;
 pub mod metrics;
 pub mod monitor;
+pub mod profile;
 pub mod staleness;
 pub mod tracer;
 
@@ -71,6 +78,7 @@ pub mod prelude {
     };
     pub use crate::metrics::{Counter, Gauge, Histogram, Registry};
     pub use crate::monitor::{DegradationMonitor, FrontierChecker, LevelTransition};
+    pub use crate::profile::{parse_folded, GaugeSeries, HotSpan, Probe, ProfileReport, SpanNode};
     pub use crate::staleness::{
         staleness_report, FrontierView, SiteCount, SloMonitor, SloViolation, StalenessTracker,
     };
@@ -83,6 +91,7 @@ pub use codec::{read_trace, ParsedTrace, TraceHeader};
 pub use event::{DropCause, Event, EventKind, OpLabel, OpOutcome, PartitionGroups, QuorumPhase};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use monitor::{DegradationMonitor, FrontierChecker, LevelTransition};
+pub use profile::{parse_folded, GaugeSeries, HotSpan, Probe, ProfileReport, SpanNode};
 pub use staleness::{
     staleness_report, FrontierView, SiteCount, SloMonitor, SloViolation, StalenessTracker,
 };

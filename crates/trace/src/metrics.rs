@@ -820,6 +820,27 @@ lat_quantile{quantile=\"0.99\"} 500
             "gossip_full_sends",
             "viewcache_hits",
             "viewcache_misses",
+            "viewcache_replayed_entries",
+            // engine flight recorder (profile.rs; span/counter/gauge
+            // names, each ≤ the trace's 14-byte inline label)
+            "frontier_nodes",
+            "left_sets",
+            "right_sets",
+            "arena_bytes",
+            "cons_used",
+            "cons_slots",
+            "cons_load_pct",
+            "row_fills",
+            "row_hits",
+            "orbit_folds",
+            "orbit_nodes",
+            "lang_size",
+            "peak_frontier",
+            "vc_hits",
+            "vc_misses",
+            "vc_replay",
+            "gossip_delta",
+            "gossip_full",
         ];
         for name in canonical {
             assert_eq!(lint_name(name), None, "metric name {name:?} fails lint");

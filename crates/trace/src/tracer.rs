@@ -287,7 +287,7 @@ mod tests {
         }
         let first = t.export_jsonl().lines().next().unwrap().to_string();
         assert!(first.contains("\"kind\":\"trace_header\""), "{first}");
-        assert!(first.contains("\"version\":2"), "{first}");
+        assert!(first.contains("\"version\":3"), "{first}");
         assert!(first.contains("\"events\":2"), "{first}");
         assert!(first.contains("\"dropped_oldest\":1"), "{first}");
     }
