@@ -1,0 +1,37 @@
+//! Merkle anti-entropy repair: runs the rotating-partition splice
+//! workload through the quorum runtime in whole-log, XOR-delta, and
+//! Merkle replication, measuring the bytes each mode ships to repair
+//! the same divergence, plus checkpointed vs plain view-cache replay
+//! depth — with full observable-equivalence checks on every row.
+//!
+//! Results go to `BENCH_merkle_antientropy.json`; CI requires
+//! `within_target: true` (Merkle repair ≥ 5× fewer bytes than delta and
+//! checkpointed replay ≥ 3× shallower at the deepest history length,
+//! all rows equivalent and converged).
+
+use relax_bench::experiments::antientropy::{
+    run, to_json, TARGET_BYTES_RATIO, TARGET_REPLAY_RATIO,
+};
+
+fn main() {
+    println!("== Merkle anti-entropy: repair bytes and checkpointed replay ==\n");
+    let (table, rows) = run(&[256, 512, 1024], 0x3E8C1E);
+    println!("{table}");
+
+    let gate = rows.last().expect("history lengths nonempty");
+    println!(
+        "gate: history {} → {:.1}x fewer repair bytes than delta \
+         (target ≥ {TARGET_BYTES_RATIO:.0}x), {:.1}x shallower replay \
+         (target ≥ {TARGET_REPLAY_RATIO:.0}x), equivalent={}, converged={}",
+        gate.history_len, gate.bytes_ratio, gate.replay_ratio, gate.equivalent, gate.converged
+    );
+    println!(
+        "merkle walk: {} rounds, {} node summaries, {} leaf payloads reused",
+        gate.merkle_rounds, gate.merkle_nodes, gate.merkle_leaf_reuses
+    );
+
+    let json = to_json(&rows);
+    std::fs::write("BENCH_merkle_antientropy.json", &json)
+        .expect("write BENCH_merkle_antientropy.json");
+    println!("wrote BENCH_merkle_antientropy.json");
+}

@@ -1,0 +1,376 @@
+//! Merkle anti-entropy repair efficiency: localized leaf shipping vs
+//! XOR-delta frontiers vs whole-log pushes, plus checkpointed view
+//! replay, under a splice-heavy schedule.
+//!
+//! The workload has two phases. Phase 1 (gossip off) manufactures the
+//! divergence the frontier scheme degrades on: two clients sit on
+//! opposite sides of a rotating partition, so each window lands the
+//! second client's writes on a *different* lone replica. By the end,
+//! every replica holds an interleaved subset of that client's site —
+//! per-site holes, not a clean suffix, which is exactly the shape where
+//! `delta_above` must fall back to full-site resends. Phase 2 heals the
+//! network, turns on anti-entropy with no client load, and counts every
+//! byte until the replica logs converge: that is the repair bill, paid
+//! once per replication mode on the identical phase-1 state.
+//!
+//! Because phase 1 is gossip-free, the client protocol sends the same
+//! messages at the same times in all modes: outcomes, merged history,
+//! and (offline) degradation-monitor transitions must be bit-identical
+//! — the full-log and delta runs are retained as differential oracles
+//! and `within_target` requires agreement on every row.
+//!
+//! The same workload also measures the view-cache checkpoint chain: the
+//! rotating windows splice entries below each client's cached view
+//! prefix, so an uncheckpointed cache replays from zero on every miss
+//! while the checkpoint chain resumes from the deepest surviving
+//! snapshot. Both runs are observably identical (checkpoints never
+//! change results); only `entries_replayed` moves.
+//!
+//! The deepest history is the CI gate: Merkle repair must ship at most
+//! 1/[`TARGET_BYTES_RATIO`] of the delta repair bytes, and checkpointed
+//! replay must fold at most 1/[`TARGET_REPLAY_RATIO`] of the
+//! uncheckpointed entries.
+
+use relax_queues::QueueOp;
+use relax_quorum::relation::QueueKind;
+use relax_quorum::runtime::{queue_lattice_monitor, Outcome, QueueInv, TaxiQueueType};
+use relax_quorum::{ClientConfig, QuorumSystem, ReplicationMode, VotingAssignment};
+use relax_sim::{Fault, FaultSchedule, NetworkConfig, NodeId, Partition, SimTime};
+use relax_trace::monitor::LevelTransition;
+
+use crate::table::Table;
+
+/// The gate: delta-to-Merkle repair-byte ratio required at the deepest
+/// history length.
+pub const TARGET_BYTES_RATIO: f64 = 5.0;
+
+/// The gate: uncheckpointed-to-checkpointed replay-depth ratio required
+/// at the deepest history length.
+pub const TARGET_REPLAY_RATIO: f64 = 3.0;
+
+/// Anti-entropy interval for the phase-2 repair race (identical across
+/// modes; only payloads differ).
+pub const GOSSIP_INTERVAL: u64 = 20;
+
+/// Partition windows in phase 1; window `w` pairs the second client
+/// with replica `w % 3`. Every rotation splices the other side's
+/// interleaved entries into each client's next view, so more windows
+/// mean more checkpoint-resumable cache misses.
+const WINDOWS: usize = 12;
+
+/// Replicas (clients are nodes 3 and 4).
+const N: usize = 3;
+
+/// Majority-Deq taxi-queue assignment (the runtime's canonical shape).
+fn taxi_assignment(n: usize) -> VotingAssignment<QueueKind> {
+    let maj = n / 2 + 1;
+    VotingAssignment::new(n)
+        .with_initial(QueueKind::Deq, maj)
+        .with_final(QueueKind::Deq, maj)
+        .with_initial(QueueKind::Enq, 1)
+        .with_final(QueueKind::Enq, n - maj + 1)
+}
+
+/// Everything one run observes that must not depend on the mode.
+#[derive(Debug, Clone, PartialEq)]
+struct RunObservables {
+    outcomes_a: Vec<Outcome<QueueOp>>,
+    outcomes_b: Vec<Outcome<QueueOp>>,
+    history: Vec<QueueOp>,
+    transitions: Vec<LevelTransition>,
+}
+
+/// What one configured run measured.
+#[derive(Debug, Clone)]
+struct RunMeasurement {
+    obs: RunObservables,
+    repair_bytes: u64,
+    converged: bool,
+    merkle: (u64, u64, u64),
+    replayed: u64,
+    checkpoint_hits: u64,
+}
+
+/// One measured history length.
+#[derive(Debug, Clone)]
+pub struct AntiEntropyRow {
+    /// Total operations completed across both clients in phase 1.
+    pub history_len: usize,
+    /// Phase-2 repair bytes under whole-log gossip.
+    pub full_repair_bytes: u64,
+    /// Phase-2 repair bytes under XOR-delta frontiers.
+    pub delta_repair_bytes: u64,
+    /// Phase-2 repair bytes under Merkle localization.
+    pub merkle_repair_bytes: u64,
+    /// `delta_repair_bytes / merkle_repair_bytes`.
+    pub bytes_ratio: f64,
+    /// Localization rounds answered during the Merkle repair.
+    pub merkle_rounds: u64,
+    /// Tree-node summaries shipped during the Merkle repair.
+    pub merkle_nodes: u64,
+    /// Divergent leaf payloads served from the Arc cache.
+    pub merkle_leaf_reuses: u64,
+    /// View-cache entries folded with the checkpoint chain disabled.
+    pub plain_replayed: u64,
+    /// View-cache entries folded with the checkpoint chain on.
+    pub checkpointed_replayed: u64,
+    /// `plain_replayed / checkpointed_replayed`.
+    pub replay_ratio: f64,
+    /// Misses that resumed from a surviving checkpoint.
+    pub checkpoint_hits: u64,
+    /// Did every run converge within the phase-2 budget?
+    pub converged: bool,
+    /// Did all four runs observe identical outcomes, merged history,
+    /// and monitor transitions?
+    pub equivalent: bool,
+}
+
+/// Runs the two-phase workload in one configuration.
+fn run_mode(
+    history_len: usize,
+    mode: ReplicationMode,
+    checkpoints: bool,
+    seed: u64,
+) -> RunMeasurement {
+    let mut sys = QuorumSystem::with_clients(
+        TaxiQueueType,
+        N,
+        2,
+        taxi_assignment(N),
+        ClientConfig::default(),
+        NetworkConfig::new(1, 5, 0.0),
+        seed,
+    )
+    .with_replication(mode)
+    .with_wire_accounting()
+    .with_view_checkpoints(checkpoints);
+
+    // Phase 1: rotating partition, gossip off. Client a (node 3) keeps
+    // a majority and mixes Deqs in; client b (node 4) is paired with a
+    // single rotating replica and appends — its entries interleave
+    // into every view below the cached point on the next rotation.
+    let per = (history_len / (2 * WINDOWS)).max(1);
+    let mut submitted = 0usize;
+    for w in 0..WINDOWS {
+        let lone = NodeId(w % N);
+        let now = sys.world().now().0;
+        let with_a: Vec<NodeId> = (0..N)
+            .map(NodeId)
+            .filter(|&r| r != lone)
+            .chain([NodeId(N)])
+            .collect();
+        sys.world_mut().set_schedule(FaultSchedule::new().at(
+            SimTime(now + 1),
+            Fault::Partition(Partition::groups(vec![with_a, vec![NodeId(N + 1), lone]])),
+        ));
+        for i in 0..per {
+            let k = (w * per + i) as i64;
+            sys.submit_to(
+                0,
+                if i % 8 == 7 {
+                    QueueInv::Deq
+                } else {
+                    QueueInv::Enq(k)
+                },
+            );
+            sys.submit_to(1, QueueInv::Enq(1_000 + k));
+        }
+        submitted += per;
+        let mut t = sys.world().now().0;
+        let deadline = t + 4_000_000;
+        while t < deadline
+            && (sys.outcomes_of(0).len() < submitted || sys.outcomes_of(1).len() < submitted)
+        {
+            t += 500;
+            sys.run_until(SimTime(t));
+        }
+        assert!(
+            sys.outcomes_of(0).len() >= submitted && sys.outcomes_of(1).len() >= submitted,
+            "phase-1 window {w} stalled at {}/{} outcomes",
+            sys.outcomes_of(0).len(),
+            sys.outcomes_of(1).len()
+        );
+    }
+
+    // Phase 2: heal, enable anti-entropy, no client load — every byte
+    // from here on is repair traffic.
+    let repair_start = sys.world().bytes_sent();
+    let now = sys.world().now().0;
+    sys.world_mut()
+        .set_schedule(FaultSchedule::new().at(SimTime(now + 1), Fault::Heal));
+    sys.enable_gossip(GOSSIP_INTERVAL);
+    let converged = |sys: &QuorumSystem<TaxiQueueType>| {
+        (1..N).all(|i| sys.replica_log(i) == sys.replica_log(0))
+    };
+    let mut t = now;
+    let deadline = now + 400_000;
+    while t < deadline && !converged(&sys) {
+        t += 200;
+        sys.run_until(SimTime(t));
+    }
+    let converged = converged(&sys);
+
+    // Monitor transitions computed offline over the completed ops: the
+    // MPQ frontier can branch per Deq, so attaching the monitor live
+    // would dominate the measured run.
+    let mut monitor = queue_lattice_monitor();
+    for op in sys.completed_ops() {
+        let _ = monitor.observe(&op);
+    }
+    RunMeasurement {
+        obs: RunObservables {
+            outcomes_a: sys.outcomes_of(0).to_vec(),
+            outcomes_b: sys.outcomes_of(1).to_vec(),
+            history: sys.merged_history().into_ops(),
+            transitions: monitor.transitions().to_vec(),
+        },
+        repair_bytes: sys.world().bytes_sent() - repair_start,
+        converged,
+        merkle: sys.merkle_sync_counts(),
+        replayed: sys.viewcache_replayed_entries(),
+        checkpoint_hits: sys.viewcache_checkpoint_hits(),
+    }
+}
+
+/// Measures one history length across all four configurations.
+pub fn measure(history_len: usize, seed: u64) -> AntiEntropyRow {
+    let full = run_mode(history_len, ReplicationMode::FullLog, true, seed);
+    let delta = run_mode(history_len, ReplicationMode::Delta, true, seed);
+    let merkle = run_mode(history_len, ReplicationMode::Merkle, true, seed);
+    let plain = run_mode(history_len, ReplicationMode::Merkle, false, seed);
+    let equivalent = full.obs == delta.obs && full.obs == merkle.obs && full.obs == plain.obs;
+    let (rounds, nodes, reuses) = merkle.merkle;
+    AntiEntropyRow {
+        history_len,
+        full_repair_bytes: full.repair_bytes,
+        delta_repair_bytes: delta.repair_bytes,
+        merkle_repair_bytes: merkle.repair_bytes,
+        bytes_ratio: delta.repair_bytes as f64 / merkle.repair_bytes.max(1) as f64,
+        merkle_rounds: rounds,
+        merkle_nodes: nodes,
+        merkle_leaf_reuses: reuses,
+        plain_replayed: plain.replayed,
+        checkpointed_replayed: merkle.replayed,
+        replay_ratio: plain.replayed as f64 / merkle.replayed.max(1) as f64,
+        checkpoint_hits: merkle.checkpoint_hits,
+        converged: full.converged && delta.converged && merkle.converged && plain.converged,
+        equivalent,
+    }
+}
+
+/// Measures every history length and renders the comparison table. The
+/// last length is the gate row.
+pub fn run(history_lens: &[usize], seed: u64) -> (Table, Vec<AntiEntropyRow>) {
+    let rows: Vec<AntiEntropyRow> = history_lens.iter().map(|&len| measure(len, seed)).collect();
+    let mut t = Table::new([
+        "history len",
+        "full repair B",
+        "delta repair B",
+        "merkle repair B",
+        "bytes ratio",
+        "replay plain",
+        "replay ckpt",
+        "replay ratio",
+        "verdict",
+    ]);
+    for r in &rows {
+        t.row([
+            r.history_len.to_string(),
+            r.full_repair_bytes.to_string(),
+            r.delta_repair_bytes.to_string(),
+            r.merkle_repair_bytes.to_string(),
+            format!("{:.1}x", r.bytes_ratio),
+            r.plain_replayed.to_string(),
+            r.checkpointed_replayed.to_string(),
+            format!("{:.1}x", r.replay_ratio),
+            if r.equivalent && r.converged {
+                "EQUIVALENT".to_string()
+            } else {
+                "DIVERGED".to_string()
+            },
+        ]);
+    }
+    (t, rows)
+}
+
+/// Renders the rows as the `BENCH_merkle_antientropy.json` payload; the
+/// last row carries the gates.
+pub fn to_json(rows: &[AntiEntropyRow]) -> String {
+    let gate = rows.last().expect("at least one history length");
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"history_len\":{},\"full_repair_bytes\":{},\"delta_repair_bytes\":{},\
+                 \"merkle_repair_bytes\":{},\"bytes_ratio\":{:.3},\
+                 \"merkle_rounds\":{},\"merkle_nodes\":{},\"merkle_leaf_reuses\":{},\
+                 \"plain_replayed\":{},\"checkpointed_replayed\":{},\"replay_ratio\":{:.3},\
+                 \"checkpoint_hits\":{},\"converged\":{},\"equivalent\":{}}}",
+                r.history_len,
+                r.full_repair_bytes,
+                r.delta_repair_bytes,
+                r.merkle_repair_bytes,
+                r.bytes_ratio,
+                r.merkle_rounds,
+                r.merkle_nodes,
+                r.merkle_leaf_reuses,
+                r.plain_replayed,
+                r.checkpointed_replayed,
+                r.replay_ratio,
+                r.checkpoint_hits,
+                r.converged,
+                r.equivalent
+            )
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"merkle_antientropy\",\"workload\":\"rotating_partition_splice\",\
+         \"gossip_interval\":{GOSSIP_INTERVAL},\"windows\":{WINDOWS},\
+         \"rows\":[{}],\
+         \"gate_history_len\":{},\"gate_bytes_ratio\":{:.3},\"gate_replay_ratio\":{:.3},\
+         \"target_bytes_ratio\":{TARGET_BYTES_RATIO:.1},\
+         \"target_replay_ratio\":{TARGET_REPLAY_RATIO:.1},\
+         \"within_target\":{}}}\n",
+        row_json.join(","),
+        gate.history_len,
+        gate.bytes_ratio,
+        gate.replay_ratio,
+        gate.bytes_ratio >= TARGET_BYTES_RATIO
+            && gate.replay_ratio >= TARGET_REPLAY_RATIO
+            && rows.iter().all(|r| r.equivalent && r.converged)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_are_equivalent_and_merkle_repair_is_lighter_at_small_lengths() {
+        let row = measure(96, 29);
+        assert!(row.converged, "phase-2 repair did not converge");
+        assert!(row.equivalent, "modes diverged at history 96");
+        assert!(
+            row.merkle_repair_bytes < row.delta_repair_bytes,
+            "merkle repair shipped {} bytes vs delta {}",
+            row.merkle_repair_bytes,
+            row.delta_repair_bytes
+        );
+        assert!(
+            row.checkpointed_replayed < row.plain_replayed,
+            "checkpoints did not shorten replays: {} vs {}",
+            row.checkpointed_replayed,
+            row.plain_replayed
+        );
+    }
+
+    #[test]
+    fn json_payload_carries_the_gates() {
+        let (_, rows) = run(&[48], 7);
+        let json = to_json(&rows);
+        assert!(json.contains("\"bench\":\"merkle_antientropy\""));
+        assert!(json.contains("\"gate_bytes_ratio\":"));
+        assert!(json.contains("\"gate_replay_ratio\":"));
+        assert!(json.contains("\"within_target\":"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per paper artifact.
 
 pub mod account;
+pub mod antientropy;
 pub mod availability;
 pub mod campaign;
 pub mod concurrency;

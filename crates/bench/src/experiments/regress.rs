@@ -133,7 +133,37 @@ pub const CHECKS: &[Check] = &[
         metric: "within_target",
         band: Band::MustBeTrue,
     },
+    Check {
+        file: "BENCH_merkle_antientropy.json",
+        metric: "gate_bytes_ratio",
+        band: Band::MinRatio(0.5),
+    },
+    Check {
+        file: "BENCH_merkle_antientropy.json",
+        metric: "gate_replay_ratio",
+        band: Band::MinRatio(0.5),
+    },
+    Check {
+        file: "BENCH_merkle_antientropy.json",
+        metric: "within_target",
+        band: Band::MustBeTrue,
+    },
 ];
+
+/// Returns the checks whose payload file or metric name contains
+/// `only` (case-sensitive substring; `None` selects everything).
+/// Backs `bench_regress --only`, so a local perf iteration can rerun
+/// one bench's gates without producing every payload first.
+pub fn selected(only: Option<&str>) -> Vec<Check> {
+    CHECKS
+        .iter()
+        .filter(|c| match only {
+            Some(needle) => c.file.contains(needle) || c.metric.contains(needle),
+            None => true,
+        })
+        .copied()
+        .collect()
+}
 
 /// The verdict on one check.
 #[derive(Debug, Clone)]
@@ -232,10 +262,24 @@ fn judge(check: &Check, base: &ReportValue, fresh: &ReportValue) -> Result<Check
 /// malformed payloads (a missing bench output is a failure, not a
 /// skip — silent coverage loss is how regressions hide).
 pub fn compare(fresh_dir: &Path, baseline_dir: &Path) -> Result<Vec<CheckOutcome>, String> {
+    compare_checks(CHECKS, fresh_dir, baseline_dir)
+}
+
+/// Runs an explicit subset of checks (see [`selected`]). An empty
+/// subset is an error: a filter that matches nothing would otherwise
+/// report a vacuous pass.
+pub fn compare_checks(
+    checks: &[Check],
+    fresh_dir: &Path,
+    baseline_dir: &Path,
+) -> Result<Vec<CheckOutcome>, String> {
+    if checks.is_empty() {
+        return Err("no checks selected (filter matched nothing)".to_string());
+    }
     type Metrics = Vec<(String, ReportValue)>;
-    let mut outcomes = Vec::with_capacity(CHECKS.len());
+    let mut outcomes = Vec::with_capacity(checks.len());
     let mut last_file: Option<(&str, Metrics, Metrics)> = None;
-    for check in CHECKS {
+    for check in checks {
         let reload = match &last_file {
             Some((file, _, _)) => *file != check.file,
             None => true,
@@ -336,6 +380,14 @@ mod tests {
                  \"within_target\":{ok}}}\n"
             ),
         );
+        write(
+            dir,
+            "BENCH_merkle_antientropy.json",
+            &format!(
+                "{{\"gate_bytes_ratio\":{speedup},\"gate_replay_ratio\":{speedup},\
+                 \"within_target\":{ok}}}\n"
+            ),
+        );
     }
 
     fn tmp(name: &str) -> std::path::PathBuf {
@@ -418,8 +470,40 @@ mod tests {
         let fresh = tmp("fresh_bless");
         scaffold(&fresh, 7.0, 2.0, true);
         let files = bless(&fresh, &base).unwrap();
-        assert_eq!(files.len(), 6);
+        assert_eq!(files.len(), 7);
         let outcomes = compare(&fresh, &base).unwrap();
         assert!(outcomes.iter().all(|o| o.pass));
+    }
+
+    #[test]
+    fn selection_filters_by_payload_or_metric_substring() {
+        let all = selected(None);
+        assert_eq!(all.len(), CHECKS.len());
+        let merkle = selected(Some("merkle"));
+        assert_eq!(merkle.len(), 3);
+        assert!(merkle
+            .iter()
+            .all(|c| c.file == "BENCH_merkle_antientropy.json"));
+        let by_metric = selected(Some("gate_bytes_ratio"));
+        assert!(!by_metric.is_empty());
+        assert!(by_metric.iter().all(|c| c.metric == "gate_bytes_ratio"));
+        assert!(selected(Some("no_such_check")).is_empty());
+    }
+
+    #[test]
+    fn filtered_compare_only_reads_the_matching_payloads() {
+        let base = tmp("base_only");
+        let fresh = tmp("fresh_only");
+        scaffold(&base, 10.0, 1.0, true);
+        scaffold(&fresh, 10.0, 1.0, true);
+        // Remove an unrelated payload: a merkle-only run must not
+        // touch it, and an unfiltered run must still fail on it.
+        std::fs::remove_file(fresh.join("BENCH_trace_overhead.json")).unwrap();
+        let outcomes = compare_checks(&selected(Some("merkle")), &fresh, &base).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.pass));
+        assert!(compare(&fresh, &base).is_err());
+        let err = compare_checks(&selected(Some("no_such_check")), &fresh, &base).unwrap_err();
+        assert!(err.contains("matched nothing"), "{err}");
     }
 }

@@ -7,6 +7,9 @@
 //!   entries;
 //! * [`log`] — replica logs: timestamped operation records, merged in
 //!   timestamp order with duplicates discarded;
+//! * [`merkle`] — per-site Merkle trees over the timestamp space, the
+//!   O(log n) divergence-localizing refinement of [`frontier`] behind
+//!   `ReplicationMode::Merkle` anti-entropy;
 //! * [`relation`] — quorum intersection relations `Q` between invocations
 //!   and operations (`inv(p) Q q` ⇔ every initial quorum for `p`
 //!   intersects every final quorum for `q`);
@@ -32,6 +35,7 @@ pub mod assignment;
 pub mod compact;
 pub mod frontier;
 pub mod log;
+pub mod merkle;
 pub mod qca;
 pub mod relation;
 pub mod repview;
@@ -47,7 +51,8 @@ pub mod prelude {
     pub use crate::assignment::VotingAssignment;
     pub use crate::compact::{stable_frontier, CompactLog};
     pub use crate::frontier::{Frontier, SiteSummary};
-    pub use crate::log::{Entry, Log};
+    pub use crate::log::{DiffScratch, Entry, Log};
+    pub use crate::merkle::{MerkleIndex, MerkleNode, NodeRange};
     pub use crate::qca::QcaAutomaton;
     pub use crate::relation::{queue_relation, HasKind, IntersectionRelation, QueueKind};
     pub use crate::repview::RepViewAutomaton;
@@ -64,7 +69,8 @@ pub mod prelude {
 pub use assignment::VotingAssignment;
 pub use compact::{stable_frontier, CompactLog};
 pub use frontier::{Frontier, SiteSummary};
-pub use log::{Entry, Log};
+pub use log::{DiffScratch, Entry, Log};
+pub use merkle::{MerkleIndex, MerkleNode, NodeRange};
 pub use qca::QcaAutomaton;
 pub use relation::{queue_relation, HasKind, IntersectionRelation, QueueKind};
 pub use repview::RepViewAutomaton;

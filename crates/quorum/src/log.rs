@@ -25,6 +25,7 @@ use std::hash::{Hash, Hasher};
 use relax_automata::History;
 
 use crate::frontier::{mix_ts, Frontier, SiteSummary};
+use crate::merkle::MerkleIndex;
 use crate::timestamp::Timestamp;
 
 /// A timestamped record of an operation execution.
@@ -58,6 +59,12 @@ pub struct Log<Op> {
     prefix: Vec<u64>,
     /// Per-site summaries, sorted by site id; only sites with entries.
     sites: Vec<SiteSummary>,
+    /// Per-site Merkle tree over the timestamp set, built lazily on the
+    /// first [`Log::merkle_index`] call and maintained incrementally
+    /// from then on. `None` for logs that never sync via Merkle
+    /// anti-entropy (delta payloads, full-log mode), so those paths pay
+    /// nothing for it.
+    merkle: Option<Box<MerkleIndex>>,
 }
 
 // The indices are functions of the entry set: identity is the entries.
@@ -79,8 +86,24 @@ impl<Op> Default for Log<Op> {
             entries: Vec::new(),
             prefix: Vec::new(),
             sites: Vec::new(),
+            merkle: None,
         }
     }
+}
+
+/// Reusable buffers for [`Log::diff_with`] / [`Log::delta_above_with`],
+/// so the gossip and client write hot loops do not allocate fresh
+/// per-site vectors on every call. All buffers are cleared, never
+/// shrunk: at steady state a scratch owned by a client or replica stops
+/// allocating entirely (pinned by `tests/diff_alloc.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct DiffScratch {
+    /// Per advertised site: our entries at-or-below its claimed max.
+    below: Vec<SiteSummary>,
+    /// Per advertised site: whether the claimed summary matched.
+    confirmed: Vec<bool>,
+    /// Per own entry: whether it is absent from the other log.
+    missing: Vec<bool>,
 }
 
 impl<Op: Clone> Log<Op> {
@@ -139,11 +162,31 @@ impl<Op: Clone> Log<Op> {
         }
     }
 
+    /// Folds a new timestamp into the Merkle index, if one is built.
+    fn note_merkle(&mut self, ts: Timestamp) {
+        if let Some(m) = &mut self.merkle {
+            m.note(ts);
+        }
+    }
+
+    /// A log with exact capacity reserved for its vectors — together
+    /// with [`Log::push_back`] this gives allocation-exact construction
+    /// (at most one allocation per vector, none when `entries == 0`).
+    fn with_capacity_for(entries: usize, sites: usize) -> Log<Op> {
+        Log {
+            entries: Vec::with_capacity(entries),
+            prefix: Vec::with_capacity(entries),
+            sites: Vec::with_capacity(if entries == 0 { 0 } else { sites }),
+            merkle: None,
+        }
+    }
+
     /// Appends an entry known to sort strictly above everything present.
     fn push_back(&mut self, entry: Entry<Op>) {
         debug_assert!(self.entries.last().is_none_or(|e| e.ts < entry.ts));
         let acc = self.prefix.last().copied().unwrap_or(0) ^ mix_ts(entry.ts);
         Self::note_site(&mut self.sites, entry.ts);
+        self.note_merkle(entry.ts);
         self.prefix.push(acc);
         self.entries.push(entry);
     }
@@ -162,6 +205,7 @@ impl<Op: Clone> Log<Op> {
                     *p ^= h;
                 }
                 Self::note_site(&mut self.sites, entry.ts);
+                self.note_merkle(entry.ts);
                 self.entries.insert(pos, entry);
             }
         }
@@ -215,6 +259,7 @@ impl<Op: Clone> Log<Op> {
                         let e = b.clone();
                         j += 1;
                         Self::note_site(&mut self.sites, e.ts);
+                        self.note_merkle(e.ts);
                         merged.push(e);
                     } else {
                         if a.ts == b.ts {
@@ -227,6 +272,7 @@ impl<Op: Clone> Log<Op> {
                     let e = b.clone();
                     j += 1;
                     Self::note_site(&mut self.sites, e.ts);
+                    self.note_merkle(e.ts);
                     merged.push(e);
                 }
             }
@@ -275,6 +321,15 @@ impl<Op: Clone> Log<Op> {
     /// redundancy is safe because merge is idempotent.
     #[must_use]
     pub fn delta_above(&self, f: &Frontier) -> Log<Op> {
+        self.delta_above_with(f, &mut DiffScratch::default())
+    }
+
+    /// [`Log::delta_above`] with caller-owned scratch buffers: the
+    /// per-site summary vectors are reused across calls, and the output
+    /// log's vectors are reserved to exact size, so a warm call performs
+    /// at most three allocations (zero for an empty delta).
+    #[must_use]
+    pub fn delta_above_with(&self, f: &Frontier, scratch: &mut DiffScratch) -> Log<Op> {
         if f.is_empty() || self.is_empty() {
             return self.clone();
         }
@@ -289,47 +344,47 @@ impl<Op: Clone> Log<Op> {
         let claimed: usize = fsites.iter().map(|s| s.count as usize).sum();
         let claimed_hash = fsites.iter().fold(0u64, |h, s| h ^ s.hash);
         if claimed <= self.entries.len() && self.prefix_hash(claimed) == claimed_hash {
-            let mut out = Log::new();
-            for e in &self.entries[claimed..] {
+            let suffix = &self.entries[claimed..];
+            let mut out = Log::with_capacity_for(suffix.len(), self.sites.len());
+            for e in suffix {
                 out.push_back(e.clone());
             }
             return out;
         }
         // Summarize, per advertised site, our entries at-or-below the
         // advertised maximum counter.
-        let mut below: Vec<SiteSummary> = fsites
-            .iter()
-            .map(|s| SiteSummary {
-                site: s.site,
-                count: 0,
-                max: 0,
-                hash: 0,
-            })
-            .collect();
+        scratch.below.clear();
+        scratch.below.extend(fsites.iter().map(|s| SiteSummary {
+            site: s.site,
+            count: 0,
+            max: 0,
+            hash: 0,
+        }));
         for e in &self.entries {
             if let Some(ix) = f.index_of(e.ts.site) {
                 if e.ts.counter <= fsites[ix].max {
-                    let b = &mut below[ix];
+                    let b = &mut scratch.below[ix];
                     b.count += 1;
                     b.max = b.max.max(e.ts.counter);
                     b.hash ^= mix_ts(e.ts);
                 }
             }
         }
-        let confirmed: Vec<bool> = fsites
-            .iter()
-            .zip(&below)
-            .map(|(s, b)| b.count == s.count && b.max == s.max && b.hash == s.hash)
-            .collect();
-        let mut out = Log::new();
-        for e in &self.entries {
-            let include = match f.index_of(e.ts.site) {
-                None => true,
-                Some(ix) => !confirmed[ix] || e.ts.counter > fsites[ix].max,
-            };
-            if include {
-                out.push_back(e.clone());
-            }
+        scratch.confirmed.clear();
+        scratch.confirmed.extend(
+            fsites
+                .iter()
+                .zip(&scratch.below)
+                .map(|(s, b)| b.count == s.count && b.max == s.max && b.hash == s.hash),
+        );
+        let include = |e: &Entry<Op>| match f.index_of(e.ts.site) {
+            None => true,
+            Some(ix) => !scratch.confirmed[ix] || e.ts.counter > fsites[ix].max,
+        };
+        let n = self.entries.iter().filter(|e| include(e)).count();
+        let mut out = Log::with_capacity_for(n, self.sites.len());
+        for e in self.entries.iter().filter(|e| include(e)) {
+            out.push_back(e.clone());
         }
         out
     }
@@ -338,29 +393,47 @@ impl<Op: Clone> Log<Op> {
     /// difference; both logs are sorted).
     #[must_use]
     pub fn diff(&self, other: &Log<Op>) -> Log<Op> {
+        self.diff_with(other, &mut DiffScratch::default())
+    }
+
+    /// [`Log::diff`] with caller-owned scratch: one two-pointer pass
+    /// marks missing entries in a reused flag buffer, then the output is
+    /// built with exact capacity — at most three allocations on a warm
+    /// scratch, zero when nothing is missing.
+    #[must_use]
+    pub fn diff_with(&self, other: &Log<Op>, scratch: &mut DiffScratch) -> Log<Op> {
         // Prefix fast path (one hash compare): `other` is exactly our
         // first `m` entries, so the difference is our suffix — the
         // steady-state write shape, where the replica already holds
         // everything but the entry being recorded.
         let m = other.entries.len();
         if m <= self.entries.len() && self.prefix_hash(m) == other.prefix_hash(m) {
-            let mut out = Log::new();
-            for e in &self.entries[m..] {
+            let suffix = &self.entries[m..];
+            let mut out = Log::with_capacity_for(suffix.len(), self.sites.len());
+            for e in suffix {
                 out.push_back(e.clone());
             }
             return out;
         }
-        let mut out = Log::new();
+        scratch.missing.clear();
+        let mut n = 0usize;
         let mut j = 0;
         for e in &self.entries {
             while j < other.entries.len() && other.entries[j].ts < e.ts {
                 j += 1;
             }
-            if j < other.entries.len() && other.entries[j].ts == e.ts {
+            let missing = !(j < other.entries.len() && other.entries[j].ts == e.ts);
+            if !missing {
                 j += 1;
-                continue;
             }
-            out.push_back(e.clone());
+            n += usize::from(missing);
+            scratch.missing.push(missing);
+        }
+        let mut out = Log::with_capacity_for(n, self.sites.len());
+        for (e, &missing) in self.entries.iter().zip(&scratch.missing) {
+            if missing {
+                out.push_back(e.clone());
+            }
         }
         out
     }
@@ -373,6 +446,36 @@ impl<Op: Clone> Log<Op> {
     /// The largest timestamp present, if any.
     pub fn max_timestamp(&self) -> Option<Timestamp> {
         self.entries.last().map(|e| e.ts)
+    }
+
+    /// The per-site Merkle index of this log's timestamp set, built
+    /// from scratch on first use (O(n log n)) and maintained
+    /// incrementally (O(log n) per new entry) from then on. Logs that
+    /// never call this pay nothing.
+    pub fn merkle_index(&mut self) -> &MerkleIndex {
+        if self.merkle.is_none() {
+            self.merkle = Some(Box::new(MerkleIndex::from_timestamps(
+                self.entries.iter().map(|e| e.ts),
+            )));
+        }
+        self.merkle.as_deref().expect("just built")
+    }
+
+    /// The entries of `site` with counters in `[lo, hi)` as a log — the
+    /// payload for one divergent Merkle leaf. Counter ranges are
+    /// contiguous in the (counter, site) sort order, so this is two
+    /// binary searches plus a scan of the range.
+    #[must_use]
+    pub fn entries_in_range(&self, site: usize, lo: u64, hi: u64) -> Log<Op> {
+        let start = self.entries.partition_point(|e| e.ts.counter < lo);
+        let end = self.entries.partition_point(|e| e.ts.counter < hi);
+        let slice = &self.entries[start..end];
+        let n = slice.iter().filter(|e| e.ts.site == site).count();
+        let mut out = Log::with_capacity_for(n, 1);
+        for e in slice.iter().filter(|e| e.ts.site == site) {
+            out.push_back(e.clone());
+        }
+        out
     }
 
     /// True if this log contains every entry of `other`.
@@ -435,6 +538,40 @@ mod tests {
             Log::<String>::note_site(&mut fresh, entry.ts);
         }
         assert_eq!(log.sites, fresh, "site summaries");
+        if log.merkle.is_some() {
+            let rebuilt = MerkleIndex::from_timestamps(log.entries().iter().map(|e| e.ts));
+            assert_eq!(
+                log.merkle.as_deref(),
+                Some(&rebuilt),
+                "incrementally maintained merkle index"
+            );
+        }
+    }
+
+    #[test]
+    fn merkle_index_is_maintained_through_insert_and_merge() {
+        let mut log: Log<String> = [e(1, 0, "a"), e(9, 1, "b")].into_iter().collect();
+        let _ = log.merkle_index(); // build; from here on it is incremental
+        log.insert(e(40, 0, "c")); // push_back path (grows the tree)
+        log.insert(e(3, 0, "d")); // middle-insert path
+        let other: Log<String> = [e(3, 0, "d"), e(5, 1, "x"), e(200, 2, "y")]
+            .into_iter()
+            .collect();
+        log.merge(&other); // general merge path with a duplicate
+        check_indices(&log);
+        assert_eq!(log.merkle_index().roots().len(), 3);
+    }
+
+    #[test]
+    fn entries_in_range_selects_one_site_counter_window() {
+        let log: Log<String> = [e(1, 0, "a"), e(2, 1, "b"), e(2, 0, "c"), e(9, 0, "d")]
+            .into_iter()
+            .collect();
+        let got = log.entries_in_range(0, 2, 9);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.entries()[0].op, "c");
+        assert_eq!(log.entries_in_range(0, 0, 100).len(), 3);
+        assert!(log.entries_in_range(2, 0, 100).is_empty());
     }
 
     #[test]
@@ -610,7 +747,13 @@ mod tests {
                 .map(|(_, entry)| entry.clone())
                 .collect();
             let delta = replica.delta_above(&known.frontier());
-            prop_assert_eq!(known.merged(&delta), replica);
+            prop_assert_eq!(&known.merged(&delta), &replica);
+            // The scratch-threaded form is the same function, warm or cold.
+            let mut scratch = DiffScratch::default();
+            let d1 = replica.delta_above_with(&known.frontier(), &mut scratch);
+            let d2 = replica.delta_above_with(&known.frontier(), &mut scratch);
+            prop_assert_eq!(&d1, &delta);
+            prop_assert_eq!(d2, delta);
             // The delta never ships entries the peer provably has: every
             // confirmed site's below-max entries are excluded, so the
             // delta is disjoint from `known` on confirmed sites. At
@@ -631,6 +774,11 @@ mod tests {
             };
             let (la, lb) = (to_log(&a), to_log(&b));
             prop_assert_eq!(lb.merged(&la.diff(&lb)), lb.merged(&la));
+            let mut scratch = DiffScratch::default();
+            let d1 = la.diff_with(&lb, &mut scratch);
+            let d2 = la.diff_with(&lb, &mut scratch);
+            prop_assert_eq!(&d1, &la.diff(&lb));
+            prop_assert_eq!(d1, d2);
         }
     }
 }

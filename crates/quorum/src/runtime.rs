@@ -29,6 +29,16 @@
 //! the same times* (only payload contents shrink), so fault handling,
 //! randomness, outcomes, and degradation transitions are bit-identical —
 //! asserted by `tests/delta_equivalence.rs`.
+//!
+//! [`ReplicationMode::Merkle`] keeps the delta client paths but replaces
+//! replica gossip with hash-tree anti-entropy ([`crate::merkle`]):
+//! instead of one (count, max, hash) triple per site — which degrades to
+//! a full-site resend whenever histories *splice* — replicas walk
+//! mismatched tree nodes root-to-leaf over multiple message rounds and
+//! ship only divergent leaf ranges. Gossip timing necessarily differs
+//! (probes are broadcast, no random peer draw), so equivalence with the
+//! oracles is asserted on *outcomes and merged state*, not message
+//! counts (see `relax-bench`'s `exp_merkle_antientropy`).
 
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -43,7 +53,8 @@ use relax_trace::{
 
 use crate::assignment::VotingAssignment;
 use crate::frontier::Frontier;
-use crate::log::{Entry, Log};
+use crate::log::{DiffScratch, Entry, Log};
+use crate::merkle::{MerkleNode, NodeRange};
 use crate::relation::HasKind;
 use crate::timestamp::LogicalClock;
 use crate::viewcache::ViewCache;
@@ -106,6 +117,16 @@ pub enum ReplicationMode {
     /// [`ReplicationMode::FullLog`]; only payloads shrink.
     #[default]
     Delta,
+    /// Merkle anti-entropy: client read/write paths are identical to
+    /// [`ReplicationMode::Delta`], but replica-to-replica gossip
+    /// exchanges hash-tree node summaries ([`crate::merkle`]) over
+    /// multiple rounds to *localize* divergence, shipping only the
+    /// entries in mismatched leaf ranges — where the XOR frontier
+    /// degrades to full-site resends on spliced histories. Gossip turns
+    /// broadcast one Arc-shared root summary to every peer, and leaf
+    /// payloads are cached per log version so each divergent range is
+    /// materialized once and reused across peers.
+    Merkle,
 }
 
 /// Messages of the quorum protocol. Log payloads are [`Arc`]-shared so a
@@ -155,25 +176,58 @@ pub enum Msg<T: ReplicatedType> {
         /// the receiver push deltas back on its own gossip turns.
         frontier: Option<Frontier>,
     },
+    /// Replica → replica ([`ReplicationMode::Merkle`]): node summaries
+    /// of the sender's hash tree — the per-site roots on a probe turn,
+    /// or the children of requested nodes during a localization walk.
+    /// One `Arc` body is shared across every peer of a broadcast.
+    MerkleSummary {
+        /// The advertised nodes (identity + count + hash).
+        nodes: Arc<Vec<MerkleNode>>,
+    },
+    /// Replica → replica: the receiver's mismatches from a
+    /// [`Msg::MerkleSummary`] — expand these internal nodes, ship the
+    /// entries of these leaves.
+    MerkleRequest {
+        /// Internal nodes whose children should be advertised next.
+        expand: Vec<NodeRange>,
+        /// Divergent leaves whose entries should ship.
+        leaves: Vec<NodeRange>,
+    },
+    /// Replica → replica: the entries of one divergent leaf range
+    /// (Arc-shared with the sender's leaf-payload cache, so serving the
+    /// same range to many peers materializes it once).
+    MerkleEntries {
+        /// The leaf range's entries as a mergeable log.
+        log: Arc<Log<T::Op>>,
+    },
     /// Control: arm a replica's gossip timer.
     GossipKick,
 }
 
 /// Models the wire size of a protocol message, for the world's payload
 /// accounting: 16 bytes of header, ~24 per log entry (timestamp + small
-/// operation), ~28 per advertised frontier site. Install with
-/// [`QuorumSystem::with_wire_accounting`].
+/// operation), ~28 per advertised frontier site or tree node (site +
+/// level/index + count + hash), ~16 per requested node range. Install
+/// with [`QuorumSystem::with_wire_accounting`].
 pub fn msg_wire_bytes<T: ReplicatedType>(msg: &Msg<T>) -> u64 {
     const HEADER: u64 = 16;
     const ENTRY: u64 = 24;
     const SITE: u64 = 28;
+    const NODE: u64 = 28;
+    const RANGE: u64 = 16;
     let frontier_bytes = |f: &Frontier| f.sites().len() as u64 * SITE;
     match msg {
         Msg::Start(_) | Msg::WriteAck { .. } | Msg::GossipKick => HEADER,
         Msg::ReadReq { known, .. } => HEADER + known.as_ref().map_or(0, frontier_bytes),
-        Msg::ReadResp { log, .. } | Msg::WriteReq { log, .. } => HEADER + ENTRY * log.len() as u64,
+        Msg::ReadResp { log, .. } | Msg::WriteReq { log, .. } | Msg::MerkleEntries { log } => {
+            HEADER + ENTRY * log.len() as u64
+        }
         Msg::Gossip { log, frontier } => {
             HEADER + ENTRY * log.len() as u64 + frontier.as_ref().map_or(0, frontier_bytes)
+        }
+        Msg::MerkleSummary { nodes } => HEADER + NODE * nodes.len() as u64,
+        Msg::MerkleRequest { expand, leaves } => {
+            HEADER + RANGE * (expand.len() + leaves.len()) as u64
         }
     }
 }
@@ -269,33 +323,68 @@ struct Pending<T: ReplicatedType> {
 #[derive(Debug)]
 pub enum RoleNode<T: ReplicatedType> {
     /// A replica site holding a resident log.
-    Replica {
-        /// The resident log (stable storage; survives crashes).
-        log: Log<T::Op>,
-        /// Gossip interval in ticks (`None` disables anti-entropy).
-        gossip: Option<u64>,
-        /// All replicas (gossip peers; shared, not cloned per node).
-        peers: Arc<[NodeId]>,
-        /// Timer generation: stale timer tokens are ignored, and any
-        /// received message re-arms the timer (so replicas that lost
-        /// their timer while crashed resume gossiping on first contact).
-        epoch: u64,
-        /// How this replica ships its log to peers and clients.
-        mode: ReplicationMode,
-        /// The last frontier each peer advertised via gossip (indexed by
-        /// node id; replicas are nodes `0..n`). `None` → push the whole
-        /// log. Lost advertisements only cost redundancy: merge is
-        /// idempotent.
-        peer_frontiers: Vec<Option<Frontier>>,
-        /// Gossip pushes that shipped only a delta suffix (the receiver's
-        /// frontier was known).
-        gossip_delta: u64,
-        /// Gossip pushes that replayed the whole log (frontier unknown,
-        /// or [`ReplicationMode::FullLog`]).
-        gossip_full: u64,
-    },
+    Replica(Box<ReplicaState<T>>),
     /// The client running the three-step protocol.
     Client(Box<ClientState<T>>),
+}
+
+/// A replica site's state: the resident log plus gossip bookkeeping.
+pub struct ReplicaState<T: ReplicatedType> {
+    /// The resident log (stable storage; survives crashes).
+    log: Log<T::Op>,
+    /// Gossip interval in ticks (`None` disables anti-entropy).
+    gossip: Option<u64>,
+    /// All replicas (gossip peers; shared, not cloned per node).
+    peers: Arc<[NodeId]>,
+    /// Timer generation: stale timer tokens are ignored, and received
+    /// protocol messages re-arm the timer (so replicas that lost their
+    /// timer while crashed resume gossiping on first contact). Merkle
+    /// sync messages do *not* re-arm: a probed replica must keep its own
+    /// probe cadence, or a chatty peer would starve the reverse
+    /// direction of the sync.
+    epoch: u64,
+    /// How this replica ships its log to peers and clients.
+    mode: ReplicationMode,
+    /// The last frontier each peer advertised via gossip (indexed by
+    /// node id; replicas are nodes `0..n`). `None` → push the whole
+    /// log. Lost advertisements only cost redundancy: merge is
+    /// idempotent.
+    peer_frontiers: Vec<Option<Frontier>>,
+    /// Gossip pushes that shipped only a delta suffix (the receiver's
+    /// frontier was known).
+    gossip_delta: u64,
+    /// Gossip pushes that replayed the whole log (frontier unknown, or
+    /// [`ReplicationMode::FullLog`]).
+    gossip_full: u64,
+    /// Merkle sync: probe broadcasts plus localization requests served.
+    merkle_rounds: u64,
+    /// Merkle sync: node summaries sent (roots and children).
+    merkle_nodes: u64,
+    /// Merkle sync: leaf payloads served from the batch cache instead of
+    /// being re-materialized (Arc reuse across peers).
+    merkle_leaf_reuse: u64,
+    /// Batched leaf payloads, valid for `leaf_cache_version` only: each
+    /// divergent range is materialized once and shared across every peer
+    /// that requests it.
+    leaf_cache: Vec<(NodeRange, Arc<Log<T::Op>>)>,
+    /// The `(len, prefix_hash)` log version `leaf_cache` was built
+    /// against; any local change invalidates the whole cache.
+    leaf_cache_version: (usize, u64),
+    /// Reusable diff buffers for the gossip/read hot paths.
+    scratch: DiffScratch,
+}
+
+// Manual impl: the derive would demand `T: Debug`, which the trait does
+// not require.
+impl<T: ReplicatedType> std::fmt::Debug for ReplicaState<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaState")
+            .field("log_len", &self.log.len())
+            .field("gossip", &self.gossip)
+            .field("epoch", &self.epoch)
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Client-side protocol state.
@@ -317,6 +406,8 @@ pub struct ClientState<T: ReplicatedType> {
     /// Memoize view evaluation across invocations (suffix-only replay).
     memoize: bool,
     cache: ViewCache<T::Value>,
+    /// Reusable buffers for write-phase `diff_with` calls.
+    scratch: DiffScratch,
 }
 
 // Manual impl: the derive would demand `T::Value: Debug` (via the view
@@ -374,7 +465,9 @@ impl<T: ReplicatedType> ClientState<T> {
             for &r in self.replicas.iter() {
                 let known = match self.mode {
                     ReplicationMode::FullLog => None,
-                    ReplicationMode::Delta => Some(self.known[r.0].frontier()),
+                    // Delta and Merkle both advertise the frontier so
+                    // read responses stay O(missing suffix).
+                    _ => Some(self.known[r.0].frontier()),
                 };
                 ctx.send(r, Msg::ReadReq { inv_id, known });
             }
@@ -438,7 +531,7 @@ impl<T: ReplicatedType> ClientState<T> {
                         // Only what we believe the replica is missing;
                         // `known[r] ⊆ log_r`, so its merge result is
                         // unchanged.
-                        ReplicationMode::Delta => Arc::new(updated.diff(&self.known[r.0])),
+                        _ => Arc::new(updated.diff_with(&self.known[r.0], &mut self.scratch)),
                     };
                     ctx.send(
                         r,
@@ -476,61 +569,203 @@ impl<T: ReplicatedType> ClientState<T> {
     }
 }
 
-impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
+impl<T: ReplicatedType> ReplicaState<T> {
+    /// The divergent-leaf payload for `r`, materialized once per log
+    /// version and Arc-shared across every peer that requests it.
+    fn leaf_payload(&mut self, r: NodeRange) -> Arc<Log<T::Op>> {
+        let version = (self.log.len(), self.log.prefix_hash(self.log.len()));
+        if self.leaf_cache_version != version {
+            self.leaf_cache.clear();
+            self.leaf_cache_version = version;
+        }
+        if let Some((_, payload)) = self.leaf_cache.iter().find(|(k, _)| *k == r) {
+            self.merkle_leaf_reuse += 1;
+            return Arc::clone(payload);
+        }
+        let (lo, hi) = r.range();
+        let payload = Arc::new(self.log.entries_in_range(r.site, lo, hi));
+        self.leaf_cache.push((r, Arc::clone(&payload)));
+        payload
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<T>>, from: NodeId, msg: Msg<T>) {
-        match self {
-            RoleNode::Replica {
-                log,
-                gossip,
-                peers,
-                epoch,
-                mode: _,
-                peer_frontiers,
-                gossip_delta: _,
-                gossip_full: _,
+        // Merkle sync messages don't re-arm the gossip timer: the walk
+        // is driven by each side's own probe cadence, and resetting the
+        // countdown on every probe would let one talkative peer starve
+        // the reverse sync direction forever.
+        let rearm = !matches!(
+            msg,
+            Msg::MerkleSummary { .. } | Msg::MerkleRequest { .. } | Msg::MerkleEntries { .. }
+        );
+        match msg {
+            Msg::ReadReq { inv_id, known } => {
+                let payload = match known {
+                    // Delta mode: only the entries above the
+                    // client's advertised frontier.
+                    Some(f) => self.log.delta_above_with(&f, &mut self.scratch),
+                    None => self.log.clone(),
+                };
+                ctx.send(
+                    from,
+                    Msg::ReadResp {
+                        inv_id,
+                        log: Arc::new(payload),
+                    },
+                );
+            }
+            Msg::WriteReq { inv_id, log: view } => {
+                self.log.merge(&view);
+                ctx.send(from, Msg::WriteAck { inv_id });
+            }
+            Msg::Gossip {
+                log: peer_log,
+                frontier,
             } => {
-                match msg {
-                    Msg::ReadReq { inv_id, known } => {
-                        let payload = match known {
-                            // Delta mode: only the entries above the
-                            // client's advertised frontier.
-                            Some(f) => log.delta_above(&f),
-                            None => log.clone(),
-                        };
-                        ctx.send(
-                            from,
-                            Msg::ReadResp {
-                                inv_id,
+                self.log.merge(&peer_log);
+                if let Some(f) = frontier {
+                    // Remember what the peer holds, so our own
+                    // pushes to it can ship deltas.
+                    self.peer_frontiers[from.0] = Some(f);
+                }
+            }
+            Msg::MerkleSummary { nodes } => {
+                // Compare each advertised node against our own tree:
+                // matching ranges are settled, mismatched internal nodes
+                // get expanded next round, mismatched leaves get shipped.
+                let idx = self.log.merkle_index();
+                let mut expand: Vec<NodeRange> = Vec::new();
+                let mut leaves: Vec<NodeRange> = Vec::new();
+                for n in nodes.iter() {
+                    if idx.node(n.site, n.level, n.index) == (n.count, n.hash) {
+                        continue;
+                    }
+                    let r = NodeRange {
+                        site: n.site,
+                        level: n.level,
+                        index: n.index,
+                    };
+                    if n.level == 0 {
+                        leaves.push(r);
+                    } else {
+                        expand.push(r);
+                    }
+                }
+                if !expand.is_empty() || !leaves.is_empty() {
+                    ctx.send(from, Msg::MerkleRequest { expand, leaves });
+                }
+            }
+            Msg::MerkleRequest { expand, leaves } => {
+                self.merkle_rounds += 1;
+                if !expand.is_empty() {
+                    let mut children = Vec::new();
+                    let idx = self.log.merkle_index();
+                    for r in &expand {
+                        idx.children_into(r.site, r.level, r.index, &mut children);
+                    }
+                    self.merkle_nodes += children.len() as u64;
+                    ctx.send(
+                        from,
+                        Msg::MerkleSummary {
+                            nodes: Arc::new(children),
+                        },
+                    );
+                }
+                for r in leaves {
+                    let payload = self.leaf_payload(r);
+                    ctx.send(from, Msg::MerkleEntries { log: payload });
+                }
+            }
+            Msg::MerkleEntries { log } => {
+                self.log.merge(&log);
+            }
+            Msg::GossipKick => {}
+            _ => {}
+        }
+        // Any other contact (including the kick) re-arms the gossip
+        // timer under a fresh epoch.
+        if rearm {
+            if let Some(interval) = self.gossip {
+                self.epoch += 1;
+                ctx.set_timer(interval, self.epoch);
+            }
+        }
+    }
+
+    fn on_gossip_timer(&mut self, ctx: &mut Ctx<'_, Msg<T>>) {
+        let Some(interval) = self.gossip else {
+            return;
+        };
+        let me = ctx.me();
+        match self.mode {
+            ReplicationMode::FullLog | ReplicationMode::Delta => {
+                // Push the resident log to a random peer.
+                let others: Vec<NodeId> = self.peers.iter().copied().filter(|&p| p != me).collect();
+                if let Some(&peer) = ctx.rng().choose(&others) {
+                    let msg = match self.mode {
+                        ReplicationMode::FullLog => {
+                            self.gossip_full += 1;
+                            Msg::Gossip {
+                                log: Arc::new(self.log.clone()),
+                                frontier: None,
+                            }
+                        }
+                        _ => {
+                            // Ship only what the peer last told us it
+                            // was missing; never heard from it → the
+                            // whole log (merge is idempotent either
+                            // way).
+                            let payload = match &self.peer_frontiers[peer.0] {
+                                Some(f) => {
+                                    self.gossip_delta += 1;
+                                    self.log.delta_above_with(f, &mut self.scratch)
+                                }
+                                None => {
+                                    self.gossip_full += 1;
+                                    self.log.clone()
+                                }
+                            };
+                            Msg::Gossip {
                                 log: Arc::new(payload),
+                                frontier: Some(self.log.frontier()),
+                            }
+                        }
+                    };
+                    ctx.send(peer, msg);
+                }
+            }
+            ReplicationMode::Merkle => {
+                // Broadcast one Arc-shared root summary to every peer
+                // (carbon's batched-root idiom): each receiver replies
+                // only if its own tree disagrees, and the localization
+                // walk proceeds within the interval. No randomness is
+                // drawn, so gossip cannot perturb the client protocol's
+                // rng stream.
+                let roots = self.log.merkle_index().roots();
+                if !roots.is_empty() {
+                    let nodes = Arc::new(roots);
+                    self.merkle_rounds += 1;
+                    let peers = Arc::clone(&self.peers);
+                    for &p in peers.iter().filter(|&&p| p != me) {
+                        self.merkle_nodes += nodes.len() as u64;
+                        ctx.send(
+                            p,
+                            Msg::MerkleSummary {
+                                nodes: Arc::clone(&nodes),
                             },
                         );
                     }
-                    Msg::WriteReq { inv_id, log: view } => {
-                        log.merge(&view);
-                        ctx.send(from, Msg::WriteAck { inv_id });
-                    }
-                    Msg::Gossip {
-                        log: peer_log,
-                        frontier,
-                    } => {
-                        log.merge(&peer_log);
-                        if let Some(f) = frontier {
-                            // Remember what the peer holds, so our own
-                            // pushes to it can ship deltas.
-                            peer_frontiers[from.0] = Some(f);
-                        }
-                    }
-                    Msg::GossipKick => {}
-                    _ => {}
-                }
-                // Any contact (including the kick) re-arms the gossip
-                // timer under a fresh epoch.
-                if let Some(interval) = gossip {
-                    *epoch += 1;
-                    let _ = peers;
-                    ctx.set_timer(*interval, *epoch);
                 }
             }
+        }
+        self.epoch += 1;
+        ctx.set_timer(interval, self.epoch);
+    }
+}
+
+impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<T>>, from: NodeId, msg: Msg<T>) {
+        match self {
+            RoleNode::Replica(replica) => replica.on_message(ctx, from, msg),
             RoleNode::Client(client) => match msg {
                 Msg::Start(inv) => {
                     client.backlog.push_back(inv);
@@ -551,7 +786,7 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                     }
                     match client.mode {
                         ReplicationMode::FullLog => view.merge(&log),
-                        ReplicationMode::Delta => {
+                        _ => {
                             // The delta answered exactly our advertised
                             // frontier, so merging it into `known[from]`
                             // reconstructs the replica's log at response
@@ -592,7 +827,7 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                     if !acked.insert(from) {
                         return;
                     }
-                    if client.mode == ReplicationMode::Delta {
+                    if client.mode != ReplicationMode::FullLog {
                         // The replica merged our delta, so its log now
                         // contains the whole updated view.
                         client.known[from.0].merge(updated);
@@ -654,58 +889,11 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                     client.finish(ctx, Outcome::TimedOut);
                 }
             }
-            RoleNode::Replica {
-                log,
-                gossip,
-                peers,
-                epoch,
-                mode,
-                peer_frontiers,
-                gossip_delta,
-                gossip_full,
-            } => {
-                if token != *epoch {
+            RoleNode::Replica(replica) => {
+                if token != replica.epoch {
                     return; // stale timer from a previous epoch
                 }
-                if let Some(interval) = gossip {
-                    // Push the resident log to a random peer and re-arm.
-                    let me = ctx.me();
-                    let others: Vec<NodeId> = peers.iter().copied().filter(|&p| p != me).collect();
-                    if let Some(&peer) = ctx.rng().choose(&others) {
-                        let msg = match mode {
-                            ReplicationMode::FullLog => {
-                                *gossip_full += 1;
-                                Msg::Gossip {
-                                    log: Arc::new(log.clone()),
-                                    frontier: None,
-                                }
-                            }
-                            ReplicationMode::Delta => {
-                                // Ship only what the peer last told us it
-                                // was missing; never heard from it → the
-                                // whole log (merge is idempotent either
-                                // way).
-                                let payload = match &peer_frontiers[peer.0] {
-                                    Some(f) => {
-                                        *gossip_delta += 1;
-                                        log.delta_above(f)
-                                    }
-                                    None => {
-                                        *gossip_full += 1;
-                                        log.clone()
-                                    }
-                                };
-                                Msg::Gossip {
-                                    log: Arc::new(payload),
-                                    frontier: Some(log.frontier()),
-                                }
-                            }
-                        };
-                        ctx.send(peer, msg);
-                    }
-                    *epoch += 1;
-                    ctx.set_timer(*interval, *epoch);
-                }
+                replica.on_gossip_timer(ctx);
             }
         }
     }
@@ -794,15 +982,23 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         let replica_ids: Arc<[NodeId]> = (0..n_replicas).map(NodeId).collect();
         let assignment = Arc::new(assignment);
         let mut nodes: Vec<RoleNode<T>> = (0..n_replicas)
-            .map(|_| RoleNode::Replica {
-                log: Log::new(),
-                gossip: None,
-                peers: Arc::clone(&replica_ids),
-                epoch: 0,
-                mode: ReplicationMode::default(),
-                peer_frontiers: vec![None; n_replicas],
-                gossip_delta: 0,
-                gossip_full: 0,
+            .map(|_| {
+                RoleNode::Replica(Box::new(ReplicaState {
+                    log: Log::new(),
+                    gossip: None,
+                    peers: Arc::clone(&replica_ids),
+                    epoch: 0,
+                    mode: ReplicationMode::default(),
+                    peer_frontiers: vec![None; n_replicas],
+                    gossip_delta: 0,
+                    gossip_full: 0,
+                    merkle_rounds: 0,
+                    merkle_nodes: 0,
+                    merkle_leaf_reuse: 0,
+                    leaf_cache: Vec::new(),
+                    leaf_cache_version: (0, 0),
+                    scratch: DiffScratch::default(),
+                }))
             })
             .collect();
         let mut clients = Vec::with_capacity(n_clients);
@@ -823,6 +1019,7 @@ impl<T: ReplicatedType> QuorumSystem<T> {
                 known: vec![Log::new(); n_replicas],
                 memoize: true,
                 cache: ViewCache::new(),
+                scratch: DiffScratch::default(),
             })));
         }
         QuorumSystem {
@@ -859,8 +1056,8 @@ impl<T: ReplicatedType> QuorumSystem<T> {
     #[must_use]
     pub fn with_replication(mut self, new_mode: ReplicationMode) -> Self {
         for i in 0..self.n_replicas {
-            if let RoleNode::Replica { mode, .. } = self.world.node_mut(NodeId(i)) {
-                *mode = new_mode;
+            if let RoleNode::Replica(r) = self.world.node_mut(NodeId(i)) {
+                r.mode = new_mode;
             }
         }
         for &id in &self.clients.clone() {
@@ -967,6 +1164,11 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         self.probe.gauge("vc_replay", replayed as i64);
         self.probe.gauge("gossip_delta", delta as i64);
         self.probe.gauge("gossip_full", full as i64);
+        let (rounds, nodes, _) = self.merkle_sync_counts();
+        self.probe.gauge("merkle_rounds", rounds as i64);
+        self.probe.gauge("merkle_nodes", nodes as i64);
+        self.probe
+            .gauge("vc_cp_hits", self.viewcache_checkpoint_hits() as i64);
     }
 
     /// Flushes the runtime tallies ([`QuorumSystem::flush_profile`]) and
@@ -1020,7 +1222,7 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         };
         for (i, view) in self.staleness_views.iter_mut().enumerate() {
             let log = match self.world.node(NodeId(i)) {
-                RoleNode::Replica { log, .. } => log,
+                RoleNode::Replica(r) => &r.log,
                 RoleNode::Client(_) => unreachable!("replica ids are 0..n"),
             };
             view.sites.clear();
@@ -1047,17 +1249,43 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         let mut delta = 0;
         let mut full = 0;
         for i in 0..self.n_replicas {
-            if let RoleNode::Replica {
-                gossip_delta,
-                gossip_full,
-                ..
-            } = self.world.node(NodeId(i))
-            {
-                delta += gossip_delta;
-                full += gossip_full;
+            if let RoleNode::Replica(r) = self.world.node(NodeId(i)) {
+                delta += r.gossip_delta;
+                full += r.gossip_full;
             }
         }
         (delta, full)
+    }
+
+    /// Merkle anti-entropy counters summed across all replicas, as
+    /// `(sync_rounds, nodes_exchanged, leaf_reuses)`: localization
+    /// rounds answered, tree nodes shipped in summaries, and divergent
+    /// leaf payloads served from the per-version Arc cache instead of
+    /// being re-materialized.
+    pub fn merkle_sync_counts(&self) -> (u64, u64, u64) {
+        let mut rounds = 0;
+        let mut nodes = 0;
+        let mut reuses = 0;
+        for i in 0..self.n_replicas {
+            if let RoleNode::Replica(r) = self.world.node(NodeId(i)) {
+                rounds += r.merkle_rounds;
+                nodes += r.merkle_nodes;
+                reuses += r.merkle_leaf_reuse;
+            }
+        }
+        (rounds, nodes, reuses)
+    }
+
+    /// How many view-cache misses (across all clients) resumed from a
+    /// surviving checkpoint instead of replaying from zero.
+    pub fn viewcache_checkpoint_hits(&self) -> u64 {
+        let mut hits = 0;
+        for &id in &self.clients {
+            if let RoleNode::Client(c) = self.world.node(id) {
+                hits += c.cache.checkpoint_hits();
+            }
+        }
+        hits
     }
 
     /// View-cache hits and misses summed across all clients.
@@ -1103,6 +1331,16 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         self.registry
             .gauge("viewcache_replayed_entries")
             .set(replayed as i64);
+        let cp_hits = self.viewcache_checkpoint_hits();
+        self.registry
+            .gauge("viewcache_checkpoint_hits")
+            .set(cp_hits as i64);
+        let (rounds, nodes, reuses) = self.merkle_sync_counts();
+        self.registry.gauge("merkle_sync_rounds").set(rounds as i64);
+        self.registry
+            .gauge("merkle_nodes_exchanged")
+            .set(nodes as i64);
+        self.registry.gauge("merkle_leaf_reuses").set(reuses as i64);
         self.registry
             .gauge(relax_trace::metrics::wire::MESSAGES_SENT)
             .set(self.world.messages_sent() as i64);
@@ -1168,13 +1406,33 @@ impl<T: ReplicatedType> QuorumSystem<T> {
     /// [`QuorumSystem::run_to_quiescence`].
     #[must_use]
     pub fn with_gossip(mut self, interval: u64) -> Self {
+        self.enable_gossip(interval);
+        self
+    }
+
+    /// Non-consuming form of [`QuorumSystem::with_gossip`]: turns
+    /// anti-entropy on mid-run (e.g. after a partition heals), so an
+    /// experiment can measure the repair traffic in isolation.
+    pub fn enable_gossip(&mut self, interval: u64) {
         assert!(interval > 0, "gossip interval must be positive");
         for i in 0..self.n_replicas {
-            if let RoleNode::Replica { gossip, .. } = self.world.node_mut(NodeId(i)) {
-                *gossip = Some(interval);
+            if let RoleNode::Replica(r) = self.world.node_mut(NodeId(i)) {
+                r.gossip = Some(interval);
             }
             // Arm the first timer.
             self.world.send_external(NodeId(i), Msg::GossipKick);
+        }
+    }
+
+    /// Enables or disables the clients' view-cache checkpoint chains
+    /// (enabled by default; disable for the replay-depth baseline).
+    /// Builder-style; call before running.
+    #[must_use]
+    pub fn with_view_checkpoints(mut self, on: bool) -> Self {
+        for &id in &self.clients.clone() {
+            if let RoleNode::Client(c) = self.world.node_mut(id) {
+                c.cache.set_checkpoints(on);
+            }
         }
         self
     }
@@ -1290,7 +1548,7 @@ impl<T: ReplicatedType> QuorumSystem<T> {
     pub fn outcomes_of(&self, ix: usize) -> &[Outcome<T::Op>] {
         match self.world.node(self.clients[ix]) {
             RoleNode::Client(c) => c.outcomes(),
-            RoleNode::Replica { .. } => unreachable!("client ids are fixed"),
+            RoleNode::Replica(_) => unreachable!("client ids are fixed"),
         }
     }
 
@@ -1315,7 +1573,7 @@ impl<T: ReplicatedType> QuorumSystem<T> {
     pub fn replica_log(&self, i: usize) -> &Log<T::Op> {
         assert!(i < self.n_replicas, "replica index out of range");
         match self.world.node(NodeId(i)) {
-            RoleNode::Replica { log, .. } => log,
+            RoleNode::Replica(r) => &r.log,
             RoleNode::Client(_) => unreachable!("replica ids are 0..n"),
         }
     }
@@ -1941,6 +2199,138 @@ mod tests {
         );
     }
 
+    /// Two clients on opposite sides of a rotating partition, gossip
+    /// off: each window lands one client's writes on a different lone
+    /// replica, so by the end every replica holds an interleaved subset
+    /// of the other client's site — splice-shaped divergence, not a
+    /// clean suffix. Returns (outcomes c1, outcomes c2, merged history,
+    /// repair bytes after heal+gossip, merkle counters).
+    #[allow(clippy::type_complexity)]
+    fn splice_run(
+        mode: ReplicationMode,
+    ) -> (
+        Vec<Outcome<QueueOp>>,
+        Vec<Outcome<QueueOp>>,
+        Vec<QueueOp>,
+        u64,
+        (u64, u64, u64),
+    ) {
+        use relax_sim::Partition;
+        let mut sys = QuorumSystem::with_clients(
+            TaxiQueueType,
+            3,
+            2,
+            taxi_assignment(3),
+            ClientConfig::default(),
+            NetworkConfig::default(),
+            23,
+        )
+        .with_replication(mode)
+        .with_wire_accounting();
+        let wait = |sys: &mut QuorumSystem<TaxiQueueType>, a: usize, b: usize| {
+            let mut budget = 1_000_000u64;
+            while (sys.outcomes_of(0).len() < a || sys.outcomes_of(1).len() < b) && budget > 0 {
+                if !sys.step_once() {
+                    break;
+                }
+                budget -= 1;
+            }
+            assert!(sys.outcomes_of(0).len() >= a && sys.outcomes_of(1).len() >= b);
+        };
+        // Window A: client 2 (node 4) can only reach replica 2.
+        sys.world_mut().set_schedule(FaultSchedule::new().at(
+            SimTime(1),
+            Fault::Partition(Partition::groups(vec![
+                vec![NodeId(3), NodeId(0), NodeId(1)],
+                vec![NodeId(4), NodeId(2)],
+            ])),
+        ));
+        for i in 0..8 {
+            sys.submit_to(0, QueueInv::Enq(i));
+            sys.submit_to(1, QueueInv::Enq(100 + i));
+        }
+        wait(&mut sys, 8, 8);
+        // Window B: client 2 can only reach replica 1, so its later
+        // entries land above a hole (replica 1 never saw window A).
+        let now = sys.world().now().0;
+        sys.world_mut().set_schedule(FaultSchedule::new().at(
+            SimTime(now + 1),
+            Fault::Partition(Partition::groups(vec![
+                vec![NodeId(3), NodeId(0), NodeId(2)],
+                vec![NodeId(4), NodeId(1)],
+            ])),
+        ));
+        for i in 0..40 {
+            sys.submit_to(0, QueueInv::Enq(200 + i));
+            sys.submit_to(1, QueueInv::Enq(300 + i));
+        }
+        wait(&mut sys, 48, 48);
+        assert_ne!(
+            sys.replica_log(1),
+            sys.replica_log(2),
+            "phase 1 must end divergent"
+        );
+        // Phase 2: heal and turn on anti-entropy, with no client load —
+        // everything sent from here on is repair traffic.
+        let before = sys.world().bytes_sent();
+        let now = sys.world().now().0;
+        sys.world_mut()
+            .set_schedule(FaultSchedule::new().at(SimTime(now + 1), Fault::Heal));
+        sys.enable_gossip(20);
+        let mut t = now;
+        let deadline = now + 40_000;
+        let converged = |sys: &QuorumSystem<TaxiQueueType>| {
+            (1..3).all(|i| sys.replica_log(i) == sys.replica_log(0))
+        };
+        while t < deadline && !converged(&sys) {
+            t += 200;
+            sys.run_until(SimTime(t));
+        }
+        assert!(converged(&sys), "anti-entropy must converge ({mode:?})");
+        (
+            sys.outcomes_of(0).to_vec(),
+            sys.outcomes_of(1).to_vec(),
+            sys.merged_history().into_ops(),
+            sys.world().bytes_sent() - before,
+            sys.merkle_sync_counts(),
+        )
+    }
+
+    #[test]
+    fn merkle_anti_entropy_repairs_splices_with_fewer_bytes() {
+        let full = splice_run(ReplicationMode::FullLog);
+        let delta = splice_run(ReplicationMode::Delta);
+        let merkle = splice_run(ReplicationMode::Merkle);
+        // Phase 1 is gossip-free, so the client protocol sends the same
+        // messages at the same times in every mode: outcomes and the
+        // merged history must be bit-identical.
+        assert_eq!(full.0, delta.0);
+        assert_eq!(full.0, merkle.0);
+        assert_eq!(full.1, delta.1);
+        assert_eq!(full.1, merkle.1);
+        assert_eq!(full.2, delta.2);
+        assert_eq!(full.2, merkle.2);
+        // The Merkle walk actually ran, and localization beat both the
+        // delta fallback (full-site resends on spliced frontiers) and
+        // whole-log pushes on repair bytes.
+        let (rounds, nodes, _) = merkle.4;
+        assert!(rounds > 0, "merkle sync rounds recorded");
+        assert!(nodes > 0, "merkle nodes exchanged");
+        assert_eq!(delta.4, (0, 0, 0), "delta mode never walks trees");
+        assert!(
+            merkle.3 < delta.3,
+            "merkle repair should undercut delta: {} vs {}",
+            merkle.3,
+            delta.3
+        );
+        assert!(
+            merkle.3 < full.3,
+            "merkle repair should undercut full-log: {} vs {}",
+            merkle.3,
+            full.3
+        );
+    }
+
     #[test]
     fn account_overdraft_on_stale_view() {
         // A1 relaxed: Credit final quorum = 1, Debit initial quorum = 1 —
@@ -2234,6 +2624,14 @@ mod tests {
         assert_eq!(
             g("viewcache_replayed_entries"),
             sys.viewcache_replayed_entries() as i64
+        );
+        let (rounds, nodes, reuses) = sys.merkle_sync_counts();
+        assert_eq!(g("merkle_sync_rounds"), rounds as i64);
+        assert_eq!(g("merkle_nodes_exchanged"), nodes as i64);
+        assert_eq!(g("merkle_leaf_reuses"), reuses as i64);
+        assert_eq!(
+            g("viewcache_checkpoint_hits"),
+            sys.viewcache_checkpoint_hits() as i64
         );
     }
 

@@ -15,6 +15,16 @@
 //! model as [`crate::frontier`]). On a miss (the merge introduced
 //! entries below the cached point, reordering the fold) it falls back to
 //! a full replay, so results are always exactly the fresh evaluation.
+//!
+//! A miss need not replay from zero, though: the cache also keeps a
+//! *checkpoint chain* — snapshots of the folded value at geometric
+//! prefix lengths (four per octave; see [`checkpoint_slot`]), stored as
+//! replays cross those boundaries. A checkpoint at length `L` survives
+//! a splice at position `p` iff `p >= L` (checked by the same
+//! prefix-hash validity test), so a splice replays from the deepest
+//! surviving checkpoint below the splice point instead of from zero.
+//! The chain costs O(log n) stored values and never changes results —
+//! only replay depth.
 
 use crate::log::Log;
 use crate::timestamp::Timestamp;
@@ -31,12 +41,46 @@ struct Cached<V> {
     value: V,
 }
 
+/// Smallest prefix length that gets a checkpoint.
+const CP_MIN: usize = 16;
+
+/// The chain's slot for prefix length `len`, if `len` is a checkpoint
+/// boundary. Boundaries are geometric with eight points per octave —
+/// every `m · 2^k` with even `m ∈ {16, 18, …, 30}` — so consecutive
+/// boundaries stay within a factor 1.125 of each other (a splice at
+/// position `p` then resumes no deeper than `p/1.125`) while the chain
+/// still holds only O(log n) snapshots.
+fn checkpoint_slot(len: usize) -> Option<usize> {
+    if len < CP_MIN {
+        return None;
+    }
+    let k = (len / CP_MIN).ilog2() as usize;
+    let m = len >> k;
+    if !m.is_multiple_of(2) || (m << k) != len {
+        return None;
+    }
+    Some(8 * k + (m - CP_MIN) / 2)
+}
+
+/// True when `c` still names a prefix of `log`: same length-`c.len`
+/// entry set (prefix hash) ending in the same timestamp.
+fn is_valid<V, Op: Clone>(c: &Cached<V>, log: &Log<Op>) -> bool {
+    let entries = log.entries();
+    c.len <= entries.len() && entries[c.len - 1].ts == c.last_ts && log.prefix_hash(c.len) == c.hash
+}
+
 /// An incremental evaluator for a growing log.
 #[derive(Clone)]
 pub struct ViewCache<V> {
     cached: Option<Cached<V>>,
+    /// Checkpoint chain: slot `k` snapshots the fold at the `k`-th
+    /// geometric boundary (see [`checkpoint_slot`]), refreshed whenever
+    /// a replay crosses that length.
+    checkpoints: Vec<Option<Cached<V>>>,
+    use_checkpoints: bool,
     hits: u64,
     misses: u64,
+    checkpoint_hits: u64,
     entries_replayed: u64,
 }
 
@@ -48,6 +92,7 @@ impl<V> std::fmt::Debug for ViewCache<V> {
             .field("cached_len", &self.cached.as_ref().map(|c| c.len))
             .field("hits", &self.hits)
             .field("misses", &self.misses)
+            .field("checkpoint_hits", &self.checkpoint_hits)
             .finish()
     }
 }
@@ -56,8 +101,11 @@ impl<V> Default for ViewCache<V> {
     fn default() -> Self {
         ViewCache {
             cached: None,
+            checkpoints: Vec::new(),
+            use_checkpoints: true,
             hits: 0,
             misses: 0,
+            checkpoint_hits: 0,
             entries_replayed: 0,
         }
     }
@@ -80,29 +128,48 @@ impl<V: Clone> ViewCache<V> {
         mut apply: impl FnMut(&V, &Op) -> V,
     ) -> V {
         let entries = log.entries();
-        let start = match &self.cached {
-            Some(c)
-                if c.len <= entries.len()
-                    && entries[c.len - 1].ts == c.last_ts
-                    && log.prefix_hash(c.len) == c.hash =>
-            {
+        let (start, mut value) = match &self.cached {
+            Some(c) if is_valid(c, log) => {
                 self.hits += 1;
-                c.len
+                (c.len, c.value.clone())
             }
             Some(_) => {
                 self.misses += 1;
-                0
+                // Splice below the cached point: resume from the
+                // deepest checkpoint whose prefix survived the splice.
+                match self
+                    .checkpoints
+                    .iter()
+                    .rev()
+                    .flatten()
+                    .find(|c| is_valid(c, log))
+                {
+                    Some(c) => {
+                        self.checkpoint_hits += 1;
+                        (c.len, c.value.clone())
+                    }
+                    None => (0, initial),
+                }
             }
-            None => 0,
-        };
-        let mut value = if start > 0 {
-            self.cached.as_ref().expect("validated above").value.clone()
-        } else {
-            initial
+            None => (0, initial),
         };
         self.entries_replayed += (entries.len() - start) as u64;
-        for e in &entries[start..] {
+        for (i, e) in entries.iter().enumerate().skip(start) {
             value = apply(&value, &e.op);
+            let len = i + 1;
+            if self.use_checkpoints {
+                if let Some(k) = checkpoint_slot(len) {
+                    if self.checkpoints.len() <= k {
+                        self.checkpoints.resize_with(k + 1, || None);
+                    }
+                    self.checkpoints[k] = Some(Cached {
+                        len,
+                        last_ts: e.ts,
+                        hash: log.prefix_hash(len),
+                        value: value.clone(),
+                    });
+                }
+            }
         }
         if let Some(last) = entries.last() {
             self.cached = Some(Cached {
@@ -135,6 +202,23 @@ impl<V: Clone> ViewCache<V> {
     #[must_use]
     pub fn entries_replayed(&self) -> u64 {
         self.entries_replayed
+    }
+
+    /// How many misses resumed from a surviving checkpoint instead of
+    /// replaying from zero.
+    #[must_use]
+    pub fn checkpoint_hits(&self) -> u64 {
+        self.checkpoint_hits
+    }
+
+    /// Enables or disables the checkpoint chain (on by default).
+    /// Disabling drops stored checkpoints; results never change either
+    /// way, only the replay depth on splices.
+    pub fn set_checkpoints(&mut self, on: bool) {
+        self.use_checkpoints = on;
+        if !on {
+            self.checkpoints.clear();
+        }
     }
 }
 
@@ -197,6 +281,54 @@ mod tests {
         log.insert(e(2, 1, 3));
         let v = cache.eval(&log, 100i64, |a, op| a - op);
         assert_eq!(v, 100 - 5 - 3 - 7);
+    }
+
+    #[test]
+    fn checkpoints_bound_splice_replay_depth() {
+        let mut plain = ViewCache::new();
+        plain.set_checkpoints(false);
+        let mut cp = ViewCache::new();
+        let mut log = Log::new();
+        // 100 appends at even counters, evaluated at every step.
+        for i in 1..=100u64 {
+            log.insert(e(2 * i, 0, i as i64));
+            let a = plain.eval(&log, 0i64, |acc, op| acc + op);
+            let b = cp.eval(&log, 0i64, |acc, op| acc + op);
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.entries_replayed(), 100);
+        assert_eq!(cp.entries_replayed(), 100);
+        // Splice at position 64 (counter 129 lands between 128 and 130):
+        // the length-64 prefix survives, longer checkpoints do not.
+        log.insert(e(129, 1, 1000));
+        let a = plain.eval(&log, 0i64, |acc, op| acc + op);
+        let b = cp.eval(&log, 0i64, |acc, op| acc + op);
+        assert_eq!(a, b);
+        assert_eq!(plain.misses(), 1);
+        assert_eq!(cp.misses(), 1, "a checkpoint resume still counts as a miss");
+        assert_eq!(cp.checkpoint_hits(), 1);
+        assert_eq!(plain.entries_replayed(), 201, "full replay from zero");
+        assert_eq!(cp.entries_replayed(), 137, "replay resumes at length 64");
+    }
+
+    #[test]
+    fn checkpoint_resume_preserves_order_sensitive_folds() {
+        // Fold must be bit-exact through a checkpoint resume, not just
+        // for commutative sums.
+        let mut cp = ViewCache::new();
+        let mut log = Log::new();
+        for i in 1..=40u64 {
+            log.insert(e(2 * i, 0, i as i64));
+            let _ = cp.eval(&log, 1_000_000i64, |acc, op| acc * 31 % 999_983 - op);
+        }
+        log.insert(e(33, 1, 777)); // splice above the length-16 checkpoint
+        let got = cp.eval(&log, 1_000_000i64, |acc, op| acc * 31 % 999_983 - op);
+        let fresh = log
+            .entries()
+            .iter()
+            .fold(1_000_000i64, |acc, x| acc * 31 % 999_983 - x.op);
+        assert_eq!(got, fresh);
+        assert!(cp.checkpoint_hits() >= 1);
     }
 
     #[test]

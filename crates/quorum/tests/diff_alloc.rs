@@ -1,0 +1,105 @@
+//! Pins the allocation discipline of the scratch-buffered diff paths.
+//!
+//! `Log::diff_with` / `Log::delta_above_with` are the gossip and write
+//! hot loops: with a warm [`DiffScratch`] they must allocate only the
+//! exactly-sized vectors of the *returned* log (entries, prefix hashes,
+//! site summaries — ≤ 3 allocations), and nothing at all when the
+//! result is empty. A regression here (per-call temporaries, growth
+//! reallocs) shows up as a hard test failure, not a slow benchmark.
+//!
+//! Single `#[test]` on purpose: the counting allocator is process-global
+//! and concurrent tests would double-count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use relax_quorum::{DiffScratch, Entry, Log, Timestamp};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn log_of(counters: impl IntoIterator<Item = u64>, site: usize) -> Log<i64> {
+    let mut log = Log::new();
+    for c in counters {
+        log.insert(Entry::new(Timestamp::new(c, site), c as i64));
+    }
+    log
+}
+
+#[test]
+fn warm_scratch_diffs_allocate_only_the_result() {
+    // Two-site logs whose difference is non-trivial in both directions:
+    // `a` has odd counters `b` lacks, interleaved below b's maximum, so
+    // both calls take the general (scratch-using) path.
+    let mut a = log_of((1..=200).map(|i| 2 * i), 0);
+    a.merge(&log_of((1..=50).map(|i| 4 * i + 1), 1));
+    let b = log_of((1..=200).filter(|i| i % 3 != 0).map(|i| 2 * i), 0);
+
+    let mut scratch = DiffScratch::default();
+    // Frontiers are built outside the timed sections (constructing one
+    // clones the site summaries, which is not the diff path's cost).
+    let bf = b.frontier();
+    // Warm the scratch buffers (first calls may grow them).
+    let _ = a.diff_with(&b, &mut scratch);
+    let _ = a.delta_above_with(&bf, &mut scratch);
+
+    let mut out = Log::new();
+    let n = allocs_during(|| {
+        out = a.diff_with(&b, &mut scratch);
+    });
+    assert!(!out.is_empty(), "difference must be non-trivial");
+    assert!(
+        n <= 3,
+        "warm diff_with must allocate only the result's three vectors, got {n}"
+    );
+
+    let n = allocs_during(|| {
+        out = a.delta_above_with(&bf, &mut scratch);
+    });
+    assert!(!out.is_empty(), "delta must be non-trivial");
+    assert!(
+        n <= 3,
+        "warm delta_above_with must allocate only the result's three vectors, got {n}"
+    );
+
+    // Identical logs: the empty result must not allocate at all.
+    let c = a.clone();
+    let cf = c.frontier();
+    let n = allocs_during(|| {
+        out = a.diff_with(&c, &mut scratch);
+    });
+    assert!(out.is_empty());
+    assert_eq!(n, 0, "empty diff must be allocation-free, got {n}");
+
+    let n = allocs_during(|| {
+        out = a.delta_above_with(&cf, &mut scratch);
+    });
+    assert!(out.is_empty());
+    assert_eq!(n, 0, "empty delta must be allocation-free, got {n}");
+}

@@ -1,0 +1,96 @@
+//! Merkle localization soundness: the divergent leaves found by the
+//! O(log n) walk must cover *exactly* the naive set difference.
+//!
+//! For arbitrary interleaved logs `a` and `b`, shipping the sender's
+//! entries for every leaf in `localize(a, b)` must hand `b` everything
+//! it was missing from `a` (completeness), and a leaf is only flagged
+//! when the two logs actually disagree on its range (soundness) — so
+//! identical logs produce an empty plan after one root exchange.
+
+use proptest::prelude::*;
+
+use relax_quorum::merkle::{localize, span};
+use relax_quorum::{Entry, Log, Timestamp};
+
+fn build(entries: &[(u64, usize)]) -> Log<u32> {
+    let mut log = Log::new();
+    for &(counter, site) in entries {
+        log.insert(Entry::new(Timestamp::new(counter, site), counter as u32));
+    }
+    log
+}
+
+proptest! {
+    /// Localize on random interleaved logs, ship the flagged leaf
+    /// ranges, and compare against the naive merge.
+    #[test]
+    fn shipping_localized_leaves_equals_naive_set_difference(
+        a_entries in proptest::collection::vec((1u64..600, 0usize..3), 0..120),
+        b_entries in proptest::collection::vec((1u64..600, 0usize..3), 0..120),
+    ) {
+        let mut a = build(&a_entries);
+        let mut b = build(&b_entries);
+        let before = b.clone();
+        let expected = b.merged(&a);
+
+        let plan = localize(a.merkle_index(), b.merkle_index());
+        for leaf in &plan.leaves {
+            let (lo, hi) = leaf.range();
+            b.merge(&a.entries_in_range(leaf.site, lo, hi));
+        }
+        prop_assert_eq!(&b, &expected, "leaf shipping missed entries");
+
+        // Soundness: every flagged leaf covers a range where sender and
+        // receiver actually disagreed before shipping.
+        for leaf in &plan.leaves {
+            let (lo, hi) = leaf.range();
+            prop_assert!(
+                a.entries_in_range(leaf.site, lo, hi)
+                    != before.entries_in_range(leaf.site, lo, hi),
+                "leaf flagged although sender and receiver agree"
+            );
+        }
+
+        // Sync the reverse direction the same way; the logs are then
+        // equal and a further walk finds nothing beyond the root
+        // exchange.
+        let reverse = localize(b.merkle_index(), a.merkle_index());
+        for leaf in &reverse.leaves {
+            let (lo, hi) = leaf.range();
+            let shipped = b.entries_in_range(leaf.site, lo, hi);
+            a.merge(&shipped);
+        }
+        prop_assert_eq!(&a, &b, "bidirectional shipping must converge");
+        let settled = localize(a.merkle_index(), b.merkle_index());
+        prop_assert!(settled.leaves.is_empty(), "no divergence left to find");
+        prop_assert!(settled.rounds <= 1);
+    }
+
+    /// The walk's cost is logarithmic: for a single missing entry the
+    /// plan flags exactly one leaf and takes at most the tree height in
+    /// rounds.
+    #[test]
+    fn single_hole_costs_one_leaf(
+        counters in proptest::collection::vec(1u64..5_000, 2..200),
+        hole_ix in 0usize..200,
+    ) {
+        let all: Vec<u64> = counters
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let hole = all[hole_ix % all.len()];
+        let mut a = build(&all.iter().map(|&c| (c, 0)).collect::<Vec<_>>());
+        let mut b = build(
+            &all.iter()
+                .filter(|&&c| c != hole)
+                .map(|&c| (c, 0))
+                .collect::<Vec<_>>(),
+        );
+        let plan = localize(a.merkle_index(), b.merkle_index());
+        prop_assert_eq!(plan.leaves.len(), 1, "one hole, one leaf");
+        let (lo, hi) = plan.leaves[0].range();
+        prop_assert!(lo <= hole && hole < hi);
+        prop_assert_eq!(hi - lo, span(0), "flagged at leaf granularity");
+    }
+}

@@ -59,6 +59,40 @@ proptest! {
             );
         }
     }
+
+    /// The checkpoint chain must never change results — only replay
+    /// depth. Runs the same random insert/merge/splice script through a
+    /// checkpointed cache, a checkpoint-free cache, and a fresh replay,
+    /// requiring three-way agreement at every step; long scripts with
+    /// big counters make power-of-two checkpoint boundaries and deep
+    /// splices actually occur.
+    #[test]
+    fn checkpointed_eval_matches_plain_and_fresh_at_every_step(
+        script in proptest::collection::vec((0u8..4, 1u64..200, 0usize..3), 1..80),
+    ) {
+        let ttype = TaxiQueueType;
+        let mut main = Log::new();
+        let mut scratch = Log::new();
+        let mut with_cp: ViewCache<<TaxiQueueType as ReplicatedType>::Value> =
+            ViewCache::default();
+        let mut without_cp: ViewCache<<TaxiQueueType as ReplicatedType>::Value> =
+            ViewCache::default();
+        without_cp.set_checkpoints(false);
+        for (kind, counter, site) in script {
+            match kind {
+                0 | 1 => main.insert(entry(counter, site)),
+                2 => scratch.insert(entry(counter, site)),
+                _ => main.merge(&scratch),
+            }
+            let a = with_cp.eval(&main, ttype.initial_value(), |v, op| ttype.apply(v, op));
+            let b = without_cp.eval(&main, ttype.initial_value(), |v, op| ttype.apply(v, op));
+            let fresh = ttype.eval_view(&main);
+            prop_assert_eq!(&a, &fresh, "checkpointed cache diverged");
+            prop_assert_eq!(&b, &fresh, "plain cache diverged");
+        }
+        // Resuming from a checkpoint can only shorten replays.
+        prop_assert!(with_cp.entries_replayed() <= without_cp.entries_replayed());
+    }
 }
 
 /// Append-only growth must hit the cache on every step after the first,

@@ -764,6 +764,8 @@ mod tests {
         r.gauge("inflight").set(3);
         r.gauge(wire::BYTES_SHIPPED).set(4096);
         r.gauge(wire::MESSAGES_SENT).set(128);
+        r.gauge("merkle_sync_rounds").set(7);
+        r.gauge("viewcache_replayed_entries").set(912);
         let h = r.histogram("lat");
         h.set_buckets(&[10, 100]);
         h.record(5);
@@ -775,6 +777,10 @@ ops_total{result=\"success\"} 1
 ops_total{result=\"failure\"} 1
 # TYPE inflight gauge
 inflight 3
+# TYPE merkle_sync_rounds gauge
+merkle_sync_rounds 7
+# TYPE viewcache_replayed_entries gauge
+viewcache_replayed_entries 912
 # TYPE wire_messages_sent gauge
 wire_messages_sent 128
 # TYPE wire_shipped_bytes gauge
@@ -821,6 +827,11 @@ lat_quantile{quantile=\"0.99\"} 500
             "viewcache_hits",
             "viewcache_misses",
             "viewcache_replayed_entries",
+            "viewcache_checkpoint_hits",
+            // merkle anti-entropy (quorum runtime exposition)
+            "merkle_sync_rounds",
+            "merkle_nodes_exchanged",
+            "merkle_leaf_reuses",
             // engine flight recorder (profile.rs; span/counter/gauge
             // names, each ≤ the trace's 14-byte inline label)
             "frontier_nodes",
@@ -839,8 +850,11 @@ lat_quantile{quantile=\"0.99\"} 500
             "vc_hits",
             "vc_misses",
             "vc_replay",
+            "vc_cp_hits",
             "gossip_delta",
             "gossip_full",
+            "merkle_rounds",
+            "merkle_nodes",
         ];
         for name in canonical {
             assert_eq!(lint_name(name), None, "metric name {name:?} fails lint");
