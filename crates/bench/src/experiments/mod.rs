@@ -15,6 +15,7 @@ pub mod markov;
 pub mod par;
 pub mod prob;
 pub mod profile;
+pub mod realtime;
 pub mod regress;
 pub mod scaling;
 pub mod serialdep;

@@ -11,8 +11,19 @@
 use std::thread;
 
 /// Worker count: available parallelism, capped (the trials are short;
-/// more threads than ~8 just adds scheduling noise), floored at 1.
+/// more threads than ~8 just adds scheduling noise), floored at 1. The
+/// `RELAX_BENCH_THREADS` environment variable overrides the probe —
+/// `RELAX_BENCH_THREADS=1` forces sequential runs (CI determinism
+/// checks), larger values pin a fixed width for comparable timings
+/// across machines. Unparsable or zero values fall back to the probe.
 pub fn auto_threads() -> usize {
+    if let Some(n) = std::env::var("RELAX_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
@@ -79,5 +90,28 @@ mod tests {
         };
         let seq: Vec<u64> = (0..37).map(work).collect();
         assert_eq!(fan_trials(37, work), seq);
+    }
+
+    #[test]
+    fn parallel_registry_equals_sequential() {
+        // The guarantee the experiment sweeps lean on: folding per-trial
+        // samples into a Registry in trial order yields a Registry equal
+        // to the sequential run's — same histograms, same sample order,
+        // same quantiles.
+        use relax_trace::Registry;
+        let work = |t: u32| -> Vec<u64> { (0..8).map(|i| (u64::from(t) * 31 + i) % 97).collect() };
+        let fold = |per_trial: Vec<Vec<u64>>| -> Registry {
+            let mut reg = Registry::new();
+            for samples in per_trial {
+                let hist = reg.histogram("trial_latency");
+                for s in samples {
+                    hist.record(s);
+                }
+            }
+            reg
+        };
+        let parallel = fold(fan_trials(23, work));
+        let sequential = fold((0..23).map(work).collect());
+        assert_eq!(parallel, sequential);
     }
 }

@@ -1,0 +1,447 @@
+//! Wall-clock throughput of the sharded threaded backend (PERF-T).
+//!
+//! Sweeps shard count × group-commit batch × replica count over the
+//! taxi-queue and bank-account workloads, each row driving hundreds of
+//! thousands of operations through [`ThreadedSystem`] and measuring
+//! aggregate operations per wall-clock second plus p50/p99 operation
+//! latency from the backend's wall-nanosecond histogram.
+//!
+//! Every row also runs an *equivalence probe*: a small single-client
+//! prefix of the row's workload through both the discrete-event
+//! simulator and the threaded backend (same replica count), demanding
+//! exactly equal outcome shapes, replica logs, and merged history — the
+//! differential-oracle check inlined into the benchmark, so a fast but
+//! wrong backend cannot pass the gate. (The full randomized oracle
+//! lives in `relax-quorum/tests/backend_oracle.rs`.)
+//!
+//! The gate: the best sweep point must clear
+//! [`TARGET_OPS_PER_SEC`] with every row equivalent.
+
+use relax_quorum::relation::{AccountKind, QueueKind};
+use relax_quorum::runtime::{AccountInv, BankAccountType, QueueInv, TaxiQueueType};
+use relax_quorum::{
+    outcome_shapes, ClientConfig, ClientTable, Executor, OutcomeShape, QuorumSystem,
+    ReplicatedType, ThreadedConfig, ThreadedSystem, VotingAssignment,
+};
+use relax_sim::NetworkConfig;
+use relax_trace::TimeBase;
+
+use crate::table::Table;
+
+/// The gate: aggregate operations per second the best sweep point must
+/// reach.
+pub const TARGET_OPS_PER_SEC: f64 = 1_000_000.0;
+
+/// Broker flush deadline used by every row (microseconds).
+pub const FLUSH_MICROS: u64 = 20;
+
+/// Which replicated type a row drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Taxi priority queue: non-commutative bag views (every dequeue
+    /// evaluates the view), majority dequeue quorums.
+    Taxi,
+    /// Bank account: commutative integer views maintained incrementally,
+    /// single-site credit quorums.
+    Account,
+}
+
+impl Workload {
+    /// Short name used in tables and the JSON payload.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Taxi => "taxi",
+            Workload::Account => "account",
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Which workload.
+    pub workload: Workload,
+    /// Shard front-end threads.
+    pub shards: usize,
+    /// Group-commit batch ceiling (also clients per shard).
+    pub batch: usize,
+    /// Replica sites.
+    pub replicas: usize,
+    /// Invocations each client submits.
+    pub ops_per_client: usize,
+}
+
+/// The sweep the `exp_realtime_throughput` binary runs. Account rows
+/// carry the deep batches (the commutative fast path the batching
+/// layers exist for: views maintained incrementally, O(1) per op). Taxi
+/// rows stay small — every taxi `apply` rebuilds a bag of pending
+/// requests, so its per-op cost grows with the live history and the row
+/// would measure bag cloning, not the execution backend.
+pub const SWEEP: &[Config] = &[
+    Config {
+        workload: Workload::Taxi,
+        shards: 1,
+        batch: 64,
+        replicas: 3,
+        ops_per_client: 32,
+    },
+    Config {
+        workload: Workload::Taxi,
+        shards: 4,
+        batch: 64,
+        replicas: 3,
+        ops_per_client: 32,
+    },
+    Config {
+        workload: Workload::Account,
+        shards: 1,
+        batch: 256,
+        replicas: 3,
+        ops_per_client: 512,
+    },
+    Config {
+        workload: Workload::Account,
+        shards: 2,
+        batch: 256,
+        replicas: 3,
+        ops_per_client: 256,
+    },
+    Config {
+        workload: Workload::Account,
+        shards: 4,
+        batch: 256,
+        replicas: 3,
+        ops_per_client: 128,
+    },
+    Config {
+        workload: Workload::Account,
+        shards: 1,
+        batch: 512,
+        replicas: 3,
+        ops_per_client: 256,
+    },
+    Config {
+        workload: Workload::Account,
+        shards: 1,
+        batch: 256,
+        replicas: 5,
+        ops_per_client: 256,
+    },
+];
+
+/// One measured sweep point.
+#[derive(Debug, Clone)]
+pub struct RealtimeRow {
+    /// The configuration.
+    pub config: Config,
+    /// Clients (`shards × batch`).
+    pub clients: usize,
+    /// Operations completed.
+    pub ops: u64,
+    /// Wall-clock nanoseconds for the whole run.
+    pub wall_nanos: u64,
+    /// Aggregate operations per second.
+    pub ops_per_sec: f64,
+    /// Median operation latency in nanoseconds (wall-clock, from the
+    /// relax-trace registry's `WallNanos` histogram).
+    pub p50_nanos: u64,
+    /// 99th-percentile operation latency in nanoseconds.
+    pub p99_nanos: u64,
+    /// Did the row's equivalence probe find the threaded backend
+    /// observably identical to the sim?
+    pub equivalent: bool,
+}
+
+fn taxi_assignment(n: usize) -> VotingAssignment<QueueKind> {
+    let maj = n / 2 + 1;
+    VotingAssignment::new(n)
+        .with_initial(QueueKind::Deq, maj)
+        .with_final(QueueKind::Deq, maj)
+        .with_initial(QueueKind::Enq, 1)
+        .with_final(QueueKind::Enq, n - maj + 1)
+}
+
+fn account_assignment(n: usize) -> VotingAssignment<AccountKind> {
+    VotingAssignment::new(n)
+        .with_initial(AccountKind::Credit, 1)
+        .with_final(AccountKind::Credit, 1)
+        .with_initial(AccountKind::Debit, 1)
+        .with_final(AccountKind::Debit, n)
+}
+
+/// The taxi workload: mostly enqueues (distinct priorities), every
+/// eighth invocation a dequeue.
+fn taxi_inv(client: usize, i: usize) -> QueueInv {
+    if i % 8 == 7 {
+        QueueInv::Deq
+    } else {
+        QueueInv::Enq((client * 1_000 + i) as i64)
+    }
+}
+
+/// The account workload: credits with every sixteenth invocation a
+/// debit (which must record at every site — the expensive write).
+fn account_inv(_client: usize, i: usize) -> AccountInv {
+    if i % 16 == 15 {
+        AccountInv::Debit(1)
+    } else {
+        AccountInv::Credit(1)
+    }
+}
+
+/// Runs a small single-client prefix of the row's workload through both
+/// backends and compares outcome shapes, per-replica logs, and the
+/// merged history exactly.
+fn probe_equivalence<T>(
+    ttype: T,
+    replicas: usize,
+    assignment: VotingAssignment<<T::Op as relax_quorum::HasKind>::Kind>,
+    invs: &[T::Inv],
+) -> bool
+where
+    T: ReplicatedType + Clone + Sync,
+    T::Op: PartialEq + Send + Sync,
+    T::Inv: Send,
+    T::Value: Send,
+    <T::Op as relax_quorum::HasKind>::Kind: Sync,
+{
+    let mut sim = QuorumSystem::new(
+        ttype.clone(),
+        replicas,
+        assignment.clone(),
+        ClientConfig::default(),
+        // Fixed delay, no loss: FIFO, so the sim is deterministic and
+        // the threaded backend must reproduce it exactly.
+        NetworkConfig::new(2, 2, 0.0),
+        0xB0A7,
+    );
+    let mut thr = ThreadedSystem::new(ttype, replicas, 1, assignment, ThreadedConfig::default());
+    for inv in invs {
+        sim.submit_to(0, inv.clone());
+        thr.submit_to(0, inv.clone());
+    }
+    Executor::run_all(&mut sim);
+    thr.run_all();
+    let sim_shapes: Vec<OutcomeShape<T::Op>> = outcome_shapes(sim.outcomes_of(0));
+    let thr_shapes: Vec<OutcomeShape<T::Op>> = outcome_shapes(ClientTable::outcomes_of(&thr, 0));
+    sim_shapes == thr_shapes
+        && (0..replicas).all(|i| sim.replica_log(i) == Executor::replica_log(&thr, i))
+        && sim.merged_history() == Executor::merged_history(&thr)
+}
+
+/// Builds, loads, and runs one sweep point end to end.
+pub fn measure(config: Config) -> RealtimeRow {
+    let clients = config.shards * config.batch;
+    let tc = ThreadedConfig {
+        shards: config.shards,
+        batch: config.batch,
+        flush_micros: FLUSH_MICROS,
+    };
+    let (stats, p50, p99, equivalent) = match config.workload {
+        Workload::Taxi => {
+            let mut sys = ThreadedSystem::new(
+                TaxiQueueType,
+                config.replicas,
+                clients,
+                taxi_assignment(config.replicas),
+                tc,
+            );
+            for c in 0..clients {
+                for i in 0..config.ops_per_client {
+                    sys.submit_to(c, taxi_inv(c, i));
+                }
+            }
+            let stats = sys.run_all();
+            let (p50, p99) = latency_quantiles(sys.registry());
+            let probe: Vec<QueueInv> = (0..24).map(|i| taxi_inv(0, i)).collect();
+            let eq = probe_equivalence(
+                TaxiQueueType,
+                config.replicas,
+                taxi_assignment(config.replicas),
+                &probe,
+            );
+            (stats, p50, p99, eq)
+        }
+        Workload::Account => {
+            let mut sys = ThreadedSystem::new(
+                BankAccountType,
+                config.replicas,
+                clients,
+                account_assignment(config.replicas),
+                tc,
+            );
+            for c in 0..clients {
+                for i in 0..config.ops_per_client {
+                    sys.submit_to(c, account_inv(c, i));
+                }
+            }
+            let stats = sys.run_all();
+            let (p50, p99) = latency_quantiles(sys.registry());
+            let probe: Vec<AccountInv> = (0..24).map(|i| account_inv(0, i)).collect();
+            let eq = probe_equivalence(
+                BankAccountType,
+                config.replicas,
+                account_assignment(config.replicas),
+                &probe,
+            );
+            (stats, p50, p99, eq)
+        }
+    };
+    RealtimeRow {
+        config,
+        clients,
+        ops: stats.ops,
+        wall_nanos: stats.wall_nanos,
+        ops_per_sec: stats.ops_per_sec(),
+        p50_nanos: p50,
+        p99_nanos: p99,
+        equivalent,
+    }
+}
+
+/// Pulls p50/p99 out of the backend's wall-nanos latency histogram.
+fn latency_quantiles(registry: &relax_trace::Registry) -> (u64, u64) {
+    let Some(hist) = registry.get_histogram("realtime_op_latency_nanos") else {
+        return (0, 0);
+    };
+    debug_assert_eq!(hist.time_base(), TimeBase::WallNanos);
+    let mut hist = hist.clone();
+    (
+        hist.quantile(0.5).unwrap_or(0),
+        hist.quantile(0.99).unwrap_or(0),
+    )
+}
+
+/// Measures every sweep point and renders the table.
+pub fn run(sweep: &[Config]) -> (Table, Vec<RealtimeRow>) {
+    let rows: Vec<RealtimeRow> = sweep.iter().map(|&c| measure(c)).collect();
+    let mut t = Table::new([
+        "workload",
+        "shards",
+        "batch",
+        "replicas",
+        "clients",
+        "ops",
+        "wall (ms)",
+        "ops/sec",
+        "p50 (µs)",
+        "p99 (µs)",
+        "verdict",
+    ]);
+    for r in &rows {
+        t.row([
+            r.config.workload.name().to_string(),
+            r.config.shards.to_string(),
+            r.config.batch.to_string(),
+            r.config.replicas.to_string(),
+            r.clients.to_string(),
+            r.ops.to_string(),
+            format!("{:.1}", r.wall_nanos as f64 / 1e6),
+            format!("{:.0}", r.ops_per_sec),
+            format!("{:.1}", r.p50_nanos as f64 / 1e3),
+            format!("{:.1}", r.p99_nanos as f64 / 1e3),
+            if r.equivalent {
+                "EQUIVALENT".to_string()
+            } else {
+                "DIVERGED".to_string()
+            },
+        ]);
+    }
+    (t, rows)
+}
+
+/// The best (highest-throughput) row.
+pub fn best(rows: &[RealtimeRow]) -> &RealtimeRow {
+    rows.iter()
+        .max_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec))
+        .expect("at least one sweep point")
+}
+
+/// Renders the rows as the `BENCH_realtime_throughput.json` payload.
+pub fn to_json(rows: &[RealtimeRow]) -> String {
+    let top = best(rows);
+    let all_equivalent = rows.iter().all(|r| r.equivalent);
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"workload\":\"{}\",\"shards\":{},\"batch\":{},\"replicas\":{},\
+                 \"clients\":{},\"ops\":{},\"wall_nanos\":{},\"ops_per_sec\":{:.0},\
+                 \"p50_nanos\":{},\"p99_nanos\":{},\"equivalent\":{}}}",
+                r.config.workload.name(),
+                r.config.shards,
+                r.config.batch,
+                r.config.replicas,
+                r.clients,
+                r.ops,
+                r.wall_nanos,
+                r.ops_per_sec,
+                r.p50_nanos,
+                r.p99_nanos,
+                r.equivalent
+            )
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"realtime_throughput\",\
+         \"workloads\":\"taxi_queue,bank_account\",\
+         \"flush_micros\":{FLUSH_MICROS},\
+         \"rows\":[{}],\
+         \"best_workload\":\"{}\",\"best_shards\":{},\"best_batch\":{},\
+         \"best_replicas\":{},\"best_ops_per_sec\":{:.0},\
+         \"best_p50_nanos\":{},\"best_p99_nanos\":{},\
+         \"all_equivalent\":{all_equivalent},\
+         \"target_ops_per_sec\":{TARGET_OPS_PER_SEC:.0},\
+         \"within_target\":{}}}\n",
+        row_json.join(","),
+        top.config.workload.name(),
+        top.config.shards,
+        top.config.batch,
+        top.config.replicas,
+        top.ops_per_sec,
+        top.p50_nanos,
+        top.p99_nanos,
+        top.ops_per_sec >= TARGET_OPS_PER_SEC && all_equivalent
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny sweep point exercising both workloads end to end (debug
+    /// builds run this; the 1M-ops/sec gate itself is release-only, in
+    /// the binary).
+    fn small(workload: Workload) -> Config {
+        Config {
+            workload,
+            shards: 2,
+            batch: 4,
+            replicas: 3,
+            ops_per_client: 6,
+        }
+    }
+
+    #[test]
+    fn rows_complete_all_ops_and_probe_equivalence() {
+        for workload in [Workload::Taxi, Workload::Account] {
+            let row = measure(small(workload));
+            assert_eq!(row.clients, 8);
+            assert_eq!(row.ops, 8 * 6, "{workload:?}");
+            assert!(row.equivalent, "{workload:?} probe diverged");
+            assert!(row.ops_per_sec > 0.0);
+            assert!(row.p99_nanos >= row.p50_nanos);
+        }
+    }
+
+    #[test]
+    fn json_payload_carries_the_gate() {
+        let rows = vec![measure(small(Workload::Account))];
+        let json = to_json(&rows);
+        assert!(json.contains("\"bench\":\"realtime_throughput\""));
+        assert!(json.contains("\"best_ops_per_sec\":"));
+        assert!(json.contains("\"all_equivalent\":true"));
+        assert!(json.contains("\"within_target\":"));
+        assert!(json.contains("\"target_ops_per_sec\":1000000"));
+    }
+}

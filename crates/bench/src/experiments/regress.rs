@@ -148,6 +148,25 @@ pub const CHECKS: &[Check] = &[
         metric: "within_target",
         band: Band::MustBeTrue,
     },
+    // Wall-clock throughput is the noisiest metric in the suite (CI
+    // runner, thermal state), so the conservative floor is a quarter of
+    // the recorded baseline; the 1M-ops/sec absolute gate and the
+    // sim-equivalence verdicts stay strict booleans.
+    Check {
+        file: "BENCH_realtime_throughput.json",
+        metric: "best_ops_per_sec",
+        band: Band::MinRatio(0.25),
+    },
+    Check {
+        file: "BENCH_realtime_throughput.json",
+        metric: "all_equivalent",
+        band: Band::MustBeTrue,
+    },
+    Check {
+        file: "BENCH_realtime_throughput.json",
+        metric: "within_target",
+        band: Band::MustBeTrue,
+    },
 ];
 
 /// Returns the checks whose payload file or metric name contains
@@ -388,6 +407,15 @@ mod tests {
                  \"within_target\":{ok}}}\n"
             ),
         );
+        write(
+            dir,
+            "BENCH_realtime_throughput.json",
+            &format!(
+                "{{\"best_ops_per_sec\":{},\"all_equivalent\":{ok},\
+                 \"within_target\":{ok}}}\n",
+                speedup * 1.0e6
+            ),
+        );
     }
 
     fn tmp(name: &str) -> std::path::PathBuf {
@@ -470,7 +498,7 @@ mod tests {
         let fresh = tmp("fresh_bless");
         scaffold(&fresh, 7.0, 2.0, true);
         let files = bless(&fresh, &base).unwrap();
-        assert_eq!(files.len(), 7);
+        assert_eq!(files.len(), 8);
         let outcomes = compare(&fresh, &base).unwrap();
         assert!(outcomes.iter().all(|o| o.pass));
     }
@@ -484,6 +512,11 @@ mod tests {
         assert!(merkle
             .iter()
             .all(|c| c.file == "BENCH_merkle_antientropy.json"));
+        let realtime = selected(Some("realtime"));
+        assert_eq!(realtime.len(), 3);
+        assert!(realtime
+            .iter()
+            .all(|c| c.file == "BENCH_realtime_throughput.json"));
         let by_metric = selected(Some("gate_bytes_ratio"));
         assert!(!by_metric.is_empty());
         assert!(by_metric.iter().all(|c| c.metric == "gate_bytes_ratio"));

@@ -26,12 +26,19 @@
 //!   replicas hold logs, clients run the three-step quorum protocol
 //!   (merge an initial quorum's logs into a view; choose a response;
 //!   record at a final quorum), used by the availability and latency
-//!   experiments.
+//!   experiments;
+//! * [`backend`] — the `Executor` / `Transport` / `ClientTable` trait
+//!   split separating the protocol state machines from their execution
+//!   substrate;
+//! * [`threaded`] — the sharded wall-clock backend: batching
+//!   per-replica brokers, group-committed log appends, one OS thread
+//!   per replica and per shard, differentially tested against the sim.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod assignment;
+pub mod backend;
 pub mod compact;
 pub mod frontier;
 pub mod log;
@@ -41,6 +48,7 @@ pub mod relation;
 pub mod repview;
 pub mod runtime;
 pub mod serialdep;
+pub mod threaded;
 pub mod timestamp;
 pub mod view;
 pub mod viewcache;
@@ -49,6 +57,7 @@ pub mod voting;
 /// Convenient re-exports of the crate's main types.
 pub mod prelude {
     pub use crate::assignment::VotingAssignment;
+    pub use crate::backend::{outcome_shapes, ClientTable, Executor, OutcomeShape, RunStats};
     pub use crate::compact::{stable_frontier, CompactLog};
     pub use crate::frontier::{Frontier, SiteSummary};
     pub use crate::log::{DiffScratch, Entry, Log};
@@ -60,6 +69,7 @@ pub mod prelude {
         queue_lattice_monitor, ClientConfig, QuorumSystem, ReplicatedType, ReplicationMode,
     };
     pub use crate::serialdep::{check_serial_dependency, is_minimal_serial_dependency};
+    pub use crate::threaded::{ThreadedConfig, ThreadedSystem};
     pub use crate::timestamp::{LogicalClock, Timestamp};
     pub use crate::view::{is_q_closed, q_views};
     pub use crate::viewcache::ViewCache;
@@ -67,6 +77,7 @@ pub mod prelude {
 }
 
 pub use assignment::VotingAssignment;
+pub use backend::{outcome_shapes, ClientTable, Executor, OutcomeShape, RunStats, Transport};
 pub use compact::{stable_frontier, CompactLog};
 pub use frontier::{Frontier, SiteSummary};
 pub use log::{DiffScratch, Entry, Log};
@@ -78,6 +89,7 @@ pub use runtime::{
     queue_lattice_monitor, ClientConfig, QuorumSystem, ReplicatedType, ReplicationMode,
 };
 pub use serialdep::{check_serial_dependency, is_minimal_serial_dependency};
+pub use threaded::{ThreadedConfig, ThreadedSystem};
 pub use timestamp::{LogicalClock, Timestamp};
 pub use view::{is_q_closed, q_views};
 pub use viewcache::ViewCache;

@@ -52,6 +52,7 @@ use relax_trace::{
 };
 
 use crate::assignment::VotingAssignment;
+use crate::backend::{ClientTable, Executor, RunStats, Transport};
 use crate::frontier::Frontier;
 use crate::log::{DiffScratch, Entry, Log};
 use crate::merkle::{MerkleNode, NodeRange};
@@ -102,6 +103,17 @@ pub trait ReplicatedType: Clone {
             v = self.apply(&v, &e.op);
         }
         v
+    }
+
+    /// Whether `apply` commutes across operations: folding any set of
+    /// operations into a value yields the same result in every order.
+    /// Backends may then maintain view values incrementally (fold each
+    /// arriving entry once) instead of replaying merged views. `false`
+    /// is always sound and is the provided default; [`BankAccountType`]
+    /// overrides it (integer adds commute), the taxi queues must not
+    /// (`Deq` of an absent item is a no-op, so order matters).
+    fn apply_commutes(&self) -> bool {
+        false
     }
 }
 
@@ -315,7 +327,8 @@ enum Phase<T: ReplicatedType> {
 struct Pending<T: ReplicatedType> {
     inv_id: u64,
     inv: T::Inv,
-    started_at: SimTime,
+    /// Start time in the backend's tick domain ([`Transport::now_ticks`]).
+    started_at: u64,
     phase: Phase<T>,
 }
 
@@ -431,7 +444,7 @@ impl<T: ReplicatedType> ClientState<T> {
         &self.outcomes
     }
 
-    fn start_next(&mut self, ctx: &mut Ctx<'_, Msg<T>>) {
+    fn start_next(&mut self, ctx: &mut impl Transport<T>) {
         if self.pending.is_some() {
             return;
         }
@@ -454,7 +467,7 @@ impl<T: ReplicatedType> ClientState<T> {
         self.pending = Some(Pending {
             inv_id,
             inv,
-            started_at: ctx.now(),
+            started_at: ctx.now_ticks(),
             phase: Phase::Read {
                 responded: BTreeSet::new(),
                 view: Log::new(),
@@ -480,7 +493,7 @@ impl<T: ReplicatedType> ClientState<T> {
 
     /// The initial quorum is assembled (or empty by design): choose a
     /// response against the view and enter the write phase.
-    fn respond_with_view(&mut self, ctx: &mut Ctx<'_, Msg<T>>) {
+    fn respond_with_view(&mut self, ctx: &mut impl Transport<T>) {
         let Some(pending) = self.pending.as_mut() else {
             return;
         };
@@ -510,7 +523,7 @@ impl<T: ReplicatedType> ClientState<T> {
         };
         match self.ttype.execute(&value, &pending.inv) {
             None => {
-                let latency = ctx.now() - pending.started_at;
+                let latency = ctx.now_ticks() - pending.started_at;
                 self.finish(ctx, Outcome::Refused { latency });
             }
             Some(op) => {
@@ -545,7 +558,7 @@ impl<T: ReplicatedType> ClientState<T> {
         }
     }
 
-    fn finish(&mut self, ctx: &mut Ctx<'_, Msg<T>>, outcome: Outcome<T::Op>) {
+    fn finish(&mut self, ctx: &mut impl Transport<T>, outcome: Outcome<T::Op>) {
         if ctx.trace_enabled() {
             if let Some(pending) = self.pending.as_ref() {
                 let (kind, latency) = match &outcome {
@@ -567,9 +580,168 @@ impl<T: ReplicatedType> ClientState<T> {
         self.pending = None;
         self.start_next(ctx);
     }
+
+    /// External kick: queue the invocation and run it if idle.
+    pub(crate) fn on_start(&mut self, ctx: &mut impl Transport<T>, inv: T::Inv) {
+        self.backlog.push_back(inv);
+        self.start_next(ctx);
+    }
+
+    /// A replica answered the read phase with its log (or delta).
+    pub(crate) fn on_read_resp(
+        &mut self,
+        ctx: &mut impl Transport<T>,
+        from: NodeId,
+        inv_id: u64,
+        log: &Log<T::Op>,
+    ) {
+        let Some(pending) = self.pending.as_mut() else {
+            return;
+        };
+        if pending.inv_id != inv_id {
+            return;
+        }
+        let Phase::Read { responded, view } = &mut pending.phase else {
+            return;
+        };
+        if !responded.insert(from) {
+            return;
+        }
+        match self.mode {
+            ReplicationMode::FullLog => view.merge(log),
+            _ => {
+                // The delta answered exactly our advertised frontier, so
+                // merging it into `known[from]` reconstructs the
+                // replica's log at response time (see
+                // `Log::delta_above`).
+                let known = &mut self.known[from.0];
+                known.merge(log);
+                view.merge(known);
+            }
+        }
+        let kind = self.ttype.invocation_kind(&pending.inv);
+        if responded.len() < self.assignment.initial_size(kind) {
+            return;
+        }
+        if ctx.trace_enabled() {
+            let node = ctx.me().0 as u32;
+            let op_id = pending.inv_id as u32;
+            let size = responded.len() as u32;
+            ctx.trace(TraceEvent::QuorumAssembled {
+                node,
+                op_id,
+                phase: QuorumPhase::Read,
+                size,
+            });
+        }
+        // Initial quorum assembled: evaluate and respond.
+        self.respond_with_view(ctx);
+    }
+
+    /// A replica acknowledged the write phase.
+    pub(crate) fn on_write_ack(&mut self, ctx: &mut impl Transport<T>, from: NodeId, inv_id: u64) {
+        let Some(pending) = self.pending.as_mut() else {
+            return;
+        };
+        if pending.inv_id != inv_id {
+            return;
+        }
+        let Phase::Write { acked, op, updated } = &mut pending.phase else {
+            return;
+        };
+        if !acked.insert(from) {
+            return;
+        }
+        if self.mode != ReplicationMode::FullLog {
+            // The replica merged our delta, so its log now contains the
+            // whole updated view.
+            self.known[from.0].merge(updated);
+        }
+        let kind = op.kind();
+        if acked.len() >= self.assignment.final_size(kind) {
+            if ctx.trace_enabled() {
+                let node = ctx.me().0 as u32;
+                let op_id = pending.inv_id as u32;
+                let size = acked.len() as u32;
+                ctx.trace(TraceEvent::QuorumAssembled {
+                    node,
+                    op_id,
+                    phase: QuorumPhase::Write,
+                    size,
+                });
+            }
+            let op = op.clone();
+            let latency = ctx.now_ticks() - pending.started_at;
+            self.finish(ctx, Outcome::Completed { op, latency });
+        }
+    }
+
+    /// The per-invocation timeout fired: if it matches the pending
+    /// invocation, the operation is unavailable.
+    pub(crate) fn on_timeout(&mut self, ctx: &mut impl Transport<T>, token: u64) {
+        if self.pending.as_ref().is_none_or(|p| p.inv_id != token) {
+            return;
+        }
+        if ctx.trace_enabled() {
+            let pending = self.pending.as_ref().expect("checked above");
+            let node = ctx.me().0 as u32;
+            let op_id = pending.inv_id as u32;
+            let (phase, responses, needed) = match &pending.phase {
+                Phase::Read { responded, .. } => {
+                    let kind = self.ttype.invocation_kind(&pending.inv);
+                    (
+                        QuorumPhase::Read,
+                        responded.len(),
+                        self.assignment.initial_size(kind),
+                    )
+                }
+                Phase::Write { acked, op, .. } => (
+                    QuorumPhase::Write,
+                    acked.len(),
+                    self.assignment.final_size(op.kind()),
+                ),
+            };
+            ctx.trace(TraceEvent::QuorumFailed {
+                node,
+                op_id,
+                phase,
+                responses: responses as u32,
+                needed: needed as u32,
+            });
+        }
+        self.finish(ctx, Outcome::TimedOut);
+    }
 }
 
 impl<T: ReplicatedType> ReplicaState<T> {
+    /// A fresh replica over the given peer set. Both backends construct
+    /// their replicas through this: the sim wraps them in [`RoleNode`]s,
+    /// the threaded backend hands each to a broker worker thread.
+    pub(crate) fn new(peers: Arc<[NodeId]>, mode: ReplicationMode) -> Self {
+        let n = peers.len();
+        ReplicaState {
+            log: Log::new(),
+            gossip: None,
+            peers,
+            epoch: 0,
+            mode,
+            peer_frontiers: vec![None; n],
+            gossip_delta: 0,
+            gossip_full: 0,
+            merkle_rounds: 0,
+            merkle_nodes: 0,
+            merkle_leaf_reuse: 0,
+            leaf_cache: Vec::new(),
+            leaf_cache_version: (0, 0),
+            scratch: DiffScratch::default(),
+        }
+    }
+
+    /// The resident log.
+    pub(crate) fn log(&self) -> &Log<T::Op> {
+        &self.log
+    }
+
     /// The divergent-leaf payload for `r`, materialized once per log
     /// version and Arc-shared across every peer that requests it.
     fn leaf_payload(&mut self, r: NodeRange) -> Arc<Log<T::Op>> {
@@ -588,7 +760,7 @@ impl<T: ReplicatedType> ReplicaState<T> {
         payload
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<T>>, from: NodeId, msg: Msg<T>) {
+    pub(crate) fn on_message(&mut self, ctx: &mut impl Transport<T>, from: NodeId, msg: Msg<T>) {
         // Merkle sync messages don't re-arm the gossip timer: the walk
         // is driven by each side's own probe cadence, and resetting the
         // countdown on every probe would let one talkative peer starve
@@ -684,23 +856,39 @@ impl<T: ReplicatedType> ReplicaState<T> {
         // Any other contact (including the kick) re-arms the gossip
         // timer under a fresh epoch.
         if rearm {
-            if let Some(interval) = self.gossip {
-                self.epoch += 1;
-                ctx.set_timer(interval, self.epoch);
-            }
+            self.rearm_gossip(ctx);
         }
     }
 
-    fn on_gossip_timer(&mut self, ctx: &mut Ctx<'_, Msg<T>>) {
-        let Some(interval) = self.gossip else {
+    /// Re-arms the anti-entropy timer under a fresh epoch — the one
+    /// place the re-arm/suppress rule lives, shared by the
+    /// contact-triggered and timer-triggered paths across all
+    /// replication modes. No-op when gossip is disabled.
+    fn rearm_gossip(&mut self, ctx: &mut impl Transport<T>) {
+        if let Some(interval) = self.gossip {
+            self.epoch += 1;
+            ctx.set_timer(interval, self.epoch);
+        }
+    }
+
+    /// A timer fired: run a gossip turn unless the token is stale.
+    pub(crate) fn on_timer(&mut self, ctx: &mut impl Transport<T>, token: u64) {
+        if token != self.epoch {
+            return; // stale timer from a previous epoch
+        }
+        self.on_gossip_timer(ctx);
+    }
+
+    fn on_gossip_timer(&mut self, ctx: &mut impl Transport<T>) {
+        if self.gossip.is_none() {
             return;
-        };
+        }
         let me = ctx.me();
         match self.mode {
             ReplicationMode::FullLog | ReplicationMode::Delta => {
                 // Push the resident log to a random peer.
                 let others: Vec<NodeId> = self.peers.iter().copied().filter(|&p| p != me).collect();
-                if let Some(&peer) = ctx.rng().choose(&others) {
+                if let Some(peer) = ctx.choose_peer(&others) {
                     let msg = match self.mode {
                         ReplicationMode::FullLog => {
                             self.gossip_full += 1;
@@ -757,8 +945,7 @@ impl<T: ReplicatedType> ReplicaState<T> {
                 }
             }
         }
-        self.epoch += 1;
-        ctx.set_timer(interval, self.epoch);
+        self.rearm_gossip(ctx);
     }
 }
 
@@ -767,89 +954,9 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
         match self {
             RoleNode::Replica(replica) => replica.on_message(ctx, from, msg),
             RoleNode::Client(client) => match msg {
-                Msg::Start(inv) => {
-                    client.backlog.push_back(inv);
-                    client.start_next(ctx);
-                }
-                Msg::ReadResp { inv_id, log } => {
-                    let Some(pending) = client.pending.as_mut() else {
-                        return;
-                    };
-                    if pending.inv_id != inv_id {
-                        return;
-                    }
-                    let Phase::Read { responded, view } = &mut pending.phase else {
-                        return;
-                    };
-                    if !responded.insert(from) {
-                        return;
-                    }
-                    match client.mode {
-                        ReplicationMode::FullLog => view.merge(&log),
-                        _ => {
-                            // The delta answered exactly our advertised
-                            // frontier, so merging it into `known[from]`
-                            // reconstructs the replica's log at response
-                            // time (see `Log::delta_above`).
-                            let known = &mut client.known[from.0];
-                            known.merge(&log);
-                            view.merge(known);
-                        }
-                    }
-                    let kind = client.ttype.invocation_kind(&pending.inv);
-                    if responded.len() < client.assignment.initial_size(kind) {
-                        return;
-                    }
-                    if ctx.trace_enabled() {
-                        let node = ctx.me().0 as u32;
-                        let op_id = pending.inv_id as u32;
-                        let size = responded.len() as u32;
-                        ctx.trace(TraceEvent::QuorumAssembled {
-                            node,
-                            op_id,
-                            phase: QuorumPhase::Read,
-                            size,
-                        });
-                    }
-                    // Initial quorum assembled: evaluate and respond.
-                    client.respond_with_view(ctx);
-                }
-                Msg::WriteAck { inv_id } => {
-                    let Some(pending) = client.pending.as_mut() else {
-                        return;
-                    };
-                    if pending.inv_id != inv_id {
-                        return;
-                    }
-                    let Phase::Write { acked, op, updated } = &mut pending.phase else {
-                        return;
-                    };
-                    if !acked.insert(from) {
-                        return;
-                    }
-                    if client.mode != ReplicationMode::FullLog {
-                        // The replica merged our delta, so its log now
-                        // contains the whole updated view.
-                        client.known[from.0].merge(updated);
-                    }
-                    let kind = op.kind();
-                    if acked.len() >= client.assignment.final_size(kind) {
-                        if ctx.trace_enabled() {
-                            let node = ctx.me().0 as u32;
-                            let op_id = pending.inv_id as u32;
-                            let size = acked.len() as u32;
-                            ctx.trace(TraceEvent::QuorumAssembled {
-                                node,
-                                op_id,
-                                phase: QuorumPhase::Write,
-                                size,
-                            });
-                        }
-                        let op = op.clone();
-                        let latency = ctx.now() - pending.started_at;
-                        client.finish(ctx, Outcome::Completed { op, latency });
-                    }
-                }
+                Msg::Start(inv) => client.on_start(ctx, inv),
+                Msg::ReadResp { inv_id, log } => client.on_read_resp(ctx, from, inv_id, &log),
+                Msg::WriteAck { inv_id } => client.on_write_ack(ctx, from, inv_id),
                 _ => {}
             },
         }
@@ -857,44 +964,8 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<T>>, token: u64) {
         match self {
-            RoleNode::Client(client) => {
-                if client.pending.as_ref().is_some_and(|p| p.inv_id == token) {
-                    if ctx.trace_enabled() {
-                        let pending = client.pending.as_ref().expect("checked above");
-                        let node = ctx.me().0 as u32;
-                        let op_id = pending.inv_id as u32;
-                        let (phase, responses, needed) = match &pending.phase {
-                            Phase::Read { responded, .. } => {
-                                let kind = client.ttype.invocation_kind(&pending.inv);
-                                (
-                                    QuorumPhase::Read,
-                                    responded.len(),
-                                    client.assignment.initial_size(kind),
-                                )
-                            }
-                            Phase::Write { acked, op, .. } => (
-                                QuorumPhase::Write,
-                                acked.len(),
-                                client.assignment.final_size(op.kind()),
-                            ),
-                        };
-                        ctx.trace(TraceEvent::QuorumFailed {
-                            node,
-                            op_id,
-                            phase,
-                            responses: responses as u32,
-                            needed: needed as u32,
-                        });
-                    }
-                    client.finish(ctx, Outcome::TimedOut);
-                }
-            }
-            RoleNode::Replica(replica) => {
-                if token != replica.epoch {
-                    return; // stale timer from a previous epoch
-                }
-                replica.on_gossip_timer(ctx);
-            }
+            RoleNode::Client(client) => client.on_timeout(ctx, token),
+            RoleNode::Replica(replica) => replica.on_timer(ctx, token),
         }
     }
 }
@@ -983,22 +1054,10 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         let assignment = Arc::new(assignment);
         let mut nodes: Vec<RoleNode<T>> = (0..n_replicas)
             .map(|_| {
-                RoleNode::Replica(Box::new(ReplicaState {
-                    log: Log::new(),
-                    gossip: None,
-                    peers: Arc::clone(&replica_ids),
-                    epoch: 0,
-                    mode: ReplicationMode::default(),
-                    peer_frontiers: vec![None; n_replicas],
-                    gossip_delta: 0,
-                    gossip_full: 0,
-                    merkle_rounds: 0,
-                    merkle_nodes: 0,
-                    merkle_leaf_reuse: 0,
-                    leaf_cache: Vec::new(),
-                    leaf_cache_version: (0, 0),
-                    scratch: DiffScratch::default(),
-                }))
+                RoleNode::Replica(Box::new(ReplicaState::new(
+                    Arc::clone(&replica_ids),
+                    ReplicationMode::default(),
+                )))
             })
             .collect();
         let mut clients = Vec::with_capacity(n_clients);
@@ -1589,6 +1648,53 @@ impl<T: ReplicatedType> QuorumSystem<T> {
     }
 }
 
+impl<T: ReplicatedType> ClientTable<T> for QuorumSystem<T> {
+    fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn outcomes_of(&self, ix: usize) -> &[Outcome<T::Op>] {
+        QuorumSystem::outcomes_of(self, ix)
+    }
+}
+
+impl<T: ReplicatedType> Executor<T> for QuorumSystem<T> {
+    fn n_replicas(&self) -> usize {
+        self.n_replicas
+    }
+
+    fn submit_to(&mut self, ix: usize, inv: T::Inv) {
+        QuorumSystem::submit_to(self, ix, inv);
+    }
+
+    /// Drives the simulated world to quiescence. Requires a quiescing
+    /// configuration — gossip off — or the run never drains. Wall time
+    /// is the host's real elapsed time around the event loop, so sim
+    /// throughput is directly comparable to the threaded backend's.
+    fn run_all(&mut self) -> RunStats {
+        let total = |sys: &Self| -> usize {
+            (0..sys.clients.len())
+                .map(|ix| QuorumSystem::outcomes_of(sys, ix).len())
+                .sum()
+        };
+        let before = total(self);
+        let start = std::time::Instant::now();
+        self.run_to_quiescence(u64::MAX);
+        RunStats {
+            ops: (total(self) - before) as u64,
+            wall_nanos: (start.elapsed().as_nanos() as u64).max(1),
+        }
+    }
+
+    fn replica_log(&self, i: usize) -> &Log<T::Op> {
+        QuorumSystem::replica_log(self, i)
+    }
+
+    fn merged_history(&self) -> History<T::Op> {
+        QuorumSystem::merged_history(self)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Concrete replicated types
 // ---------------------------------------------------------------------------
@@ -1761,6 +1867,12 @@ impl ReplicatedType for BankAccountType {
             AccountInv::Credit(_) => crate::relation::AccountKind::Credit,
             AccountInv::Debit(_) => crate::relation::AccountKind::Debit,
         }
+    }
+
+    fn apply_commutes(&self) -> bool {
+        // Credits add, debits subtract, overdrafts no-op: integer
+        // addition commutes, so views fold in any order.
+        true
     }
 
     fn op_label(&self, inv: &AccountInv) -> OpLabel {

@@ -1,0 +1,340 @@
+//! The differential oracle: the sharded wall-clock backend against the
+//! discrete-event simulator.
+//!
+//! Both backends implement [`Executor`], so one generic driver pushes
+//! the *same* invocation stream through both and compares everything
+//! observable: per-client outcome shapes (latencies erased — they live
+//! in different time domains), final per-replica logs, the merged
+//! history, and degradation-monitor transitions.
+//!
+//! Equality granularity:
+//!
+//! * **Single client → exact.** Over a FIFO fixed-delay network with a
+//!   static down-set, the sim is deterministic and the threaded backend
+//!   mints identical timestamps, so replica logs match *entry for
+//!   entry*. Proptest drives random workloads, replica counts, and
+//!   down-sets through both.
+//! * **Racing clients → structural.** Cross-client interleaving is
+//!   scheduler-dependent on both backends (and differs between them),
+//!   so the comparison is per-client outcome kinds and op multisets.
+
+use proptest::prelude::*;
+
+use relax_queues::QueueOp;
+use relax_quorum::relation::{AccountKind, QueueKind};
+use relax_quorum::runtime::{
+    queue_lattice_monitor, AccountInv, BankAccountType, QueueInv, TaxiQueueType,
+};
+use relax_quorum::{
+    outcome_shapes, ClientConfig, Executor, Log, OutcomeShape, QuorumSystem, ReplicatedType,
+    ThreadedConfig, ThreadedSystem, VotingAssignment,
+};
+use relax_sim::{NetworkConfig, NodeId};
+
+/// Majority-Deq taxi-queue assignment (the runtime's canonical shape).
+fn taxi_assignment(n: usize) -> VotingAssignment<QueueKind> {
+    let maj = n / 2 + 1;
+    VotingAssignment::new(n)
+        .with_initial(QueueKind::Deq, maj)
+        .with_final(QueueKind::Deq, maj)
+        .with_initial(QueueKind::Enq, 1)
+        .with_final(QueueKind::Enq, n - maj + 1)
+}
+
+/// The bank-account assignment of §3.4: cheap credits, debits that must
+/// reach every site.
+fn account_assignment(n: usize) -> VotingAssignment<AccountKind> {
+    VotingAssignment::new(n)
+        .with_initial(AccountKind::Credit, 1)
+        .with_final(AccountKind::Credit, 1)
+        .with_initial(AccountKind::Debit, 1)
+        .with_final(AccountKind::Debit, n)
+}
+
+/// Everything the oracle compares, in backend-neutral form.
+#[derive(Debug, Clone, PartialEq)]
+struct Observed<Op> {
+    shapes: Vec<Vec<OutcomeShape<Op>>>,
+    replica_logs: Vec<Log<Op>>,
+    history: Vec<Op>,
+}
+
+/// The generic driver the trait split exists for: any [`Executor`] takes
+/// the stream and yields comparable observables.
+fn drive<T, E>(sys: &mut E, invs: &[(usize, T::Inv)]) -> Observed<T::Op>
+where
+    T: ReplicatedType,
+    E: Executor<T>,
+{
+    for (c, inv) in invs {
+        sys.submit_to(*c, inv.clone());
+    }
+    sys.run_all();
+    Observed {
+        shapes: (0..sys.n_clients())
+            .map(|c| outcome_shapes(sys.outcomes_of(c)))
+            .collect(),
+        replica_logs: (0..sys.n_replicas())
+            .map(|i| sys.replica_log(i).clone())
+            .collect(),
+        history: sys.merged_history().into_ops(),
+    }
+}
+
+/// The fixed-delay, lossless network that makes the sim FIFO and thus
+/// exactly reproducible by the threaded backend.
+fn fifo_network() -> NetworkConfig {
+    NetworkConfig::new(2, 2, 0.0)
+}
+
+/// Runs one single-client taxi workload through both backends under a
+/// static down-set and demands exact equality.
+fn check_taxi_exact(
+    n: usize,
+    down: &[usize],
+    invs: &[QueueInv],
+    seed: u64,
+) -> Result<(), proptest::TestCaseError> {
+    let stream: Vec<(usize, QueueInv)> = invs.iter().map(|&inv| (0, inv)).collect();
+
+    let mut sim = QuorumSystem::new(
+        TaxiQueueType,
+        n,
+        taxi_assignment(n),
+        ClientConfig::default(),
+        fifo_network(),
+        seed,
+    )
+    .with_monitor(queue_lattice_monitor());
+    for &r in down {
+        sim.world_mut().network_mut().crash(NodeId(r));
+    }
+    let sim_seen = drive(&mut sim, &stream);
+
+    let mut thr = ThreadedSystem::new(
+        TaxiQueueType,
+        n,
+        1,
+        taxi_assignment(n),
+        ThreadedConfig::default(),
+    )
+    .with_monitor(queue_lattice_monitor());
+    for &r in down {
+        thr.crash(r);
+    }
+    let thr_seen = drive(&mut thr, &stream);
+
+    prop_assert_eq!(
+        &sim_seen,
+        &thr_seen,
+        "backend divergence (n={}, down={:?}, invs={:?})",
+        n,
+        down,
+        invs
+    );
+    let transitions =
+        |m: &relax_trace::DegradationMonitor<QueueOp>| -> Vec<(usize, Option<String>)> {
+            m.transitions()
+                .iter()
+                .map(|t| (t.op_index, t.now.clone()))
+                .collect()
+        };
+    prop_assert_eq!(
+        transitions(sim.monitor().expect("attached")),
+        transitions(thr.monitor().expect("attached")),
+        "monitor divergence (n={}, down={:?})",
+        n,
+        down
+    );
+    Ok(())
+}
+
+proptest! {
+    /// Random single-client taxi workloads with random static down-sets:
+    /// exact observable equality, including write-phase timeouts whose
+    /// entries persist and read-phase timeouts whose entries don't.
+    #[test]
+    fn threaded_taxi_matches_sim_exactly(
+        seed in 0u64..1_000_000,
+        n in 3usize..6,
+        down_mask in 0u8..32,
+        invs_raw in proptest::collection::vec((0u8..3, 0i64..8), 1..32),
+    ) {
+        let down: Vec<usize> = (0..n).filter(|i| down_mask & (1 << i) != 0).collect();
+        let invs: Vec<QueueInv> = invs_raw
+            .into_iter()
+            .map(|(k, v)| if k == 2 { QueueInv::Deq } else { QueueInv::Enq(v) })
+            .collect();
+        check_taxi_exact(n, &down, &invs, seed)?;
+    }
+
+    /// Same property on the bank account, whose debits must reach every
+    /// site (any down replica forces the write-phase-timeout path) and
+    /// whose overdrafts pin view-value agreement.
+    #[test]
+    fn threaded_account_matches_sim_exactly(
+        seed in 0u64..1_000_000,
+        n in 3usize..5,
+        down_mask in 0u8..16,
+        invs_raw in proptest::collection::vec((any::<bool>(), 1u32..10), 1..32),
+    ) {
+        let down: Vec<usize> = (0..n).filter(|i| down_mask & (1 << i) != 0).collect();
+        let invs: Vec<AccountInv> = invs_raw
+            .into_iter()
+            .map(|(credit, v)| if credit { AccountInv::Credit(v) } else { AccountInv::Debit(v) })
+            .collect();
+        let stream: Vec<(usize, AccountInv)> = invs.iter().map(|&inv| (0, inv)).collect();
+
+        let mut sim = QuorumSystem::new(
+            BankAccountType,
+            n,
+            account_assignment(n),
+            ClientConfig::default(),
+            fifo_network(),
+            seed,
+        );
+        for &r in &down {
+            sim.world_mut().network_mut().crash(NodeId(r));
+        }
+        let sim_seen = drive(&mut sim, &stream);
+
+        let mut thr = ThreadedSystem::new(
+            BankAccountType,
+            n,
+            1,
+            account_assignment(n),
+            ThreadedConfig::default(),
+        );
+        for &r in &down {
+            thr.crash(r);
+        }
+        let thr_seen = drive(&mut thr, &stream);
+
+        prop_assert_eq!(
+            &sim_seen,
+            &thr_seen,
+            "backend divergence (n={}, down={:?}, invs={:?})",
+            n,
+            &down,
+            &invs
+        );
+    }
+}
+
+/// Zero-size initial quorums take the blind-write path (respond against
+/// the fresh empty view, no observation); both backends must agree on
+/// it exactly.
+#[test]
+fn zero_initial_quorum_blind_writes_agree() {
+    let assignment = VotingAssignment::new(3)
+        .with_initial(AccountKind::Credit, 0)
+        .with_final(AccountKind::Credit, 1)
+        .with_initial(AccountKind::Debit, 1)
+        .with_final(AccountKind::Debit, 3);
+    let stream: Vec<(usize, AccountInv)> = vec![
+        (0, AccountInv::Credit(2)),
+        (0, AccountInv::Credit(3)),
+        (0, AccountInv::Debit(4)),
+        (0, AccountInv::Credit(1)),
+        (0, AccountInv::Debit(9)),
+    ];
+    let mut sim = QuorumSystem::new(
+        BankAccountType,
+        3,
+        assignment.clone(),
+        ClientConfig::default(),
+        fifo_network(),
+        7,
+    );
+    let mut thr = ThreadedSystem::new(BankAccountType, 3, 1, assignment, ThreadedConfig::default());
+    let sim_seen = drive(&mut sim, &stream);
+    let thr_seen = drive(&mut thr, &stream);
+    assert_eq!(sim_seen, thr_seen);
+    // The debit at index 2 saw both blind credits.
+    assert_eq!(
+        sim_seen.shapes[0][2],
+        OutcomeShape::Completed(relax_queues::AccountOp::DebitOk(4))
+    );
+}
+
+/// Racing clients: interleaving is backend-specific, so compare
+/// structure — per-client outcome kinds in phase one, then a quiesced
+/// single-client drain whose multiset must recover every enqueue.
+#[test]
+fn racing_clients_agree_structurally() {
+    const N: usize = 3;
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 5;
+
+    let mut sim = QuorumSystem::with_clients(
+        TaxiQueueType,
+        N,
+        CLIENTS,
+        taxi_assignment(N),
+        ClientConfig::default(),
+        fifo_network(),
+        11,
+    );
+    let mut thr = ThreadedSystem::new(
+        TaxiQueueType,
+        N,
+        CLIENTS,
+        taxi_assignment(N),
+        ThreadedConfig {
+            shards: 3,
+            batch: 2,
+            flush_micros: 10,
+        },
+    );
+
+    // Phase one: every client enqueues distinct values, racing.
+    let mut stream: Vec<(usize, QueueInv)> = Vec::new();
+    for c in 0..CLIENTS {
+        for i in 0..PER_CLIENT {
+            stream.push((c, QueueInv::Enq((c * 100 + i) as i64)));
+        }
+    }
+    let sim_phase1 = drive(&mut sim, &stream);
+    let thr_phase1 = drive(&mut thr, &stream);
+    for seen in [&sim_phase1, &thr_phase1] {
+        for (c, shapes) in seen.shapes.iter().enumerate() {
+            assert_eq!(shapes.len(), PER_CLIENT, "client {c}");
+            assert!(
+                shapes
+                    .iter()
+                    .all(|s| matches!(s, OutcomeShape::Completed(QueueOp::Enq(_)))),
+                "client {c}: {shapes:?}"
+            );
+        }
+        assert_eq!(seen.history.len(), CLIENTS * PER_CLIENT);
+    }
+    let enqueued: std::collections::BTreeSet<i64> = (0..CLIENTS)
+        .flat_map(|c| (0..PER_CLIENT).map(move |i| (c * 100 + i) as i64))
+        .collect();
+
+    // Phase two: one client drains everything, plus overdraws that both
+    // backends must refuse against the then-empty visible bag.
+    let total = CLIENTS * PER_CLIENT;
+    let drain: Vec<(usize, QueueInv)> = (0..total + 2).map(|_| (0, QueueInv::Deq)).collect();
+    let sim_drained = drive(&mut sim, &drain);
+    let thr_drained = drive(&mut thr, &drain);
+    for seen in [&sim_drained, &thr_drained] {
+        let client0 = &seen.shapes[0][PER_CLIENT..];
+        let got: std::collections::BTreeSet<i64> = client0
+            .iter()
+            .filter_map(|s| match s {
+                OutcomeShape::Completed(QueueOp::Deq(v)) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(got, enqueued, "the drain must surface every enqueue");
+        assert_eq!(
+            client0
+                .iter()
+                .filter(|s| matches!(s, OutcomeShape::Refused))
+                .count(),
+            2,
+            "both extra dequeues refused"
+        );
+    }
+}

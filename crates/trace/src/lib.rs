@@ -76,7 +76,7 @@ pub mod prelude {
     pub use crate::event::{
         DropCause, Event, EventKind, OpLabel, OpOutcome, PartitionGroups, QuorumPhase,
     };
-    pub use crate::metrics::{Counter, Gauge, Histogram, Registry};
+    pub use crate::metrics::{Counter, Gauge, Histogram, Registry, TimeBase};
     pub use crate::monitor::{DegradationMonitor, FrontierChecker, LevelTransition};
     pub use crate::profile::{parse_folded, GaugeSeries, HotSpan, Probe, ProfileReport, SpanNode};
     pub use crate::staleness::{
@@ -89,7 +89,7 @@ pub use analyze::TraceAnalysis;
 pub use causality::{HbGraph, LatencyBreakdown, Span};
 pub use codec::{read_trace, ParsedTrace, TraceHeader};
 pub use event::{DropCause, Event, EventKind, OpLabel, OpOutcome, PartitionGroups, QuorumPhase};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Gauge, Histogram, Registry, TimeBase};
 pub use monitor::{DegradationMonitor, FrontierChecker, LevelTransition};
 pub use profile::{parse_folded, GaugeSeries, HotSpan, Probe, ProfileReport, SpanNode};
 pub use staleness::{

@@ -112,22 +112,71 @@ impl Gauge {
     }
 }
 
-/// A latency histogram over raw tick samples (exact, not bucketed; the
-/// sample counts in this workspace's experiments are small enough that
-/// exactness is cheaper than binning).
+/// The unit a histogram's duration samples are measured in.
+///
+/// Samples are stored as exact raw `u64`s either way, and every
+/// statistic — mean, min/max, nearest-rank quantiles — is unit-agnostic
+/// arithmetic over those samples, so the time base deliberately does
+/// *not* fork the math: the only thing it selects is the default
+/// exposition bucket layout (sim ticks cluster in 1..10⁴; wall-clock
+/// nanoseconds cluster in 10³..10⁹). A tick histogram and a nanosecond
+/// histogram fed identical samples report identical quantiles, pinned
+/// by `tick_and_nano_quantile_math_agree`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TimeBase {
+    /// Discrete simulator ticks (the default; see [`DEFAULT_BUCKETS`]).
+    #[default]
+    SimTicks,
+    /// Wall-clock nanoseconds from the threaded runtime backend (see
+    /// [`WALL_NANOS_BUCKETS`]).
+    WallNanos,
+}
+
+impl TimeBase {
+    /// The default exposition bucket bounds for this base.
+    pub fn default_buckets(self) -> &'static [u64] {
+        match self {
+            TimeBase::SimTicks => DEFAULT_BUCKETS,
+            TimeBase::WallNanos => WALL_NANOS_BUCKETS,
+        }
+    }
+}
+
+/// A latency histogram over raw duration samples (exact, not bucketed;
+/// the sample counts in this workspace's experiments are small enough
+/// that exactness is cheaper than binning). The [`TimeBase`] records
+/// which unit the samples carry; it affects exposition layout only.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     samples: Vec<u64>,
     sorted: bool,
     /// Explicit bucket upper bounds for text exposition (sorted,
-    /// deduplicated). `None` renders with [`DEFAULT_BUCKETS`]. Purely a
-    /// rendering layout: samples stay exact either way.
+    /// deduplicated). `None` renders with the time base's default
+    /// layout. Purely a rendering layout: samples stay exact either way.
     buckets: Option<Box<[u64]>>,
+    /// The unit of the samples (default: sim ticks).
+    time_base: TimeBase,
 }
 
 /// Bucket upper bounds used by [`Registry::render_prometheus`] for
-/// histograms without an explicit layout (in ticks).
+/// [`TimeBase::SimTicks`] histograms without an explicit layout.
 pub const DEFAULT_BUCKETS: &[u64] = &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000];
+
+/// Bucket upper bounds used for [`TimeBase::WallNanos`] histograms
+/// without an explicit layout: 1µs to 1s.
+pub const WALL_NANOS_BUCKETS: &[u64] = &[
+    1_000,
+    5_000,
+    10_000,
+    50_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
 
 impl Histogram {
     /// An empty histogram.
@@ -141,6 +190,24 @@ impl Histogram {
         let mut h = Histogram::new();
         h.set_buckets(bounds);
         h
+    }
+
+    /// An empty histogram recording samples in the given time base.
+    pub fn with_time_base(base: TimeBase) -> Self {
+        let mut h = Histogram::new();
+        h.time_base = base;
+        h
+    }
+
+    /// Declares the unit the samples carry. Affects only the default
+    /// exposition bucket layout; all statistics are unit-agnostic.
+    pub fn set_time_base(&mut self, base: TimeBase) {
+        self.time_base = base;
+    }
+
+    /// The unit the samples carry.
+    pub fn time_base(&self) -> TimeBase {
+        self.time_base
     }
 
     /// Sets the exposition bucket layout (sorted, deduplicated).
@@ -158,10 +225,13 @@ impl Histogram {
 
     /// Cumulative sample counts per bucket bound (Prometheus `le`
     /// semantics: each entry counts samples `<= bound`). Uses the
-    /// explicit layout when set, [`DEFAULT_BUCKETS`] otherwise; the
-    /// implicit `+Inf` bucket is [`Histogram::len`].
+    /// explicit layout when set, the time base's default layout
+    /// otherwise; the implicit `+Inf` bucket is [`Histogram::len`].
     pub fn bucket_counts(&self) -> Vec<(u64, u64)> {
-        let bounds = self.buckets.as_deref().unwrap_or(DEFAULT_BUCKETS);
+        let bounds = self
+            .buckets
+            .as_deref()
+            .unwrap_or_else(|| self.time_base.default_buckets());
         bounds
             .iter()
             .map(|&b| {
@@ -255,6 +325,12 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
+        // A non-default time base wins, mirroring the explicit-layout
+        // rule below (merging mixed bases is a caller bug either way —
+        // the samples would be incommensurable).
+        if other.time_base != TimeBase::default() {
+            self.time_base = other.time_base;
+        }
         match (&self.buckets, &other.buckets) {
             (Some(a), Some(b)) if a != b => {
                 let mut union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
@@ -348,6 +424,15 @@ impl Registry {
     /// The histogram with this name, created empty on first use.
     pub fn histogram(&mut self, name: &str) -> &mut Histogram {
         self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// The histogram with this name, created in the given [`TimeBase`]
+    /// on first use (an existing histogram keeps its base — the base is
+    /// a property of the series, not of the caller).
+    pub fn histogram_in(&mut self, name: &str, base: TimeBase) -> &mut Histogram {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_time_base(base))
     }
 
     /// Looks up a counter without creating it.
@@ -742,6 +827,62 @@ mod tests {
         assert_eq!(c.buckets(), Some(&[5u64][..]));
     }
 
+    /// The TimeBase satellite's contract: quantile math is sample-exact
+    /// and unit-agnostic, so a tick histogram and a nanosecond histogram
+    /// fed identical samples agree on every statistic. Only the default
+    /// exposition layout differs.
+    #[test]
+    fn tick_and_nano_quantile_math_agree() {
+        let mut ticks = Histogram::new();
+        let mut nanos = Histogram::with_time_base(TimeBase::WallNanos);
+        assert_eq!(ticks.time_base(), TimeBase::SimTicks);
+        assert_eq!(nanos.time_base(), TimeBase::WallNanos);
+        // An adversarial sample set: duplicates, a zero, a huge outlier,
+        // and values straddling both default bucket layouts.
+        let samples = [0u64, 3, 3, 17, 250, 999, 1_000, 75_000, 2_000_000, 7];
+        for &s in &samples {
+            ticks.record(s);
+            nanos.record(s);
+        }
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(ticks.quantile(q), nanos.quantile(q), "q={q}");
+        }
+        assert_eq!(ticks.mean(), nanos.mean());
+        assert_eq!(ticks.min(), nanos.min());
+        assert_eq!(ticks.max(), nanos.max());
+        assert_eq!(ticks.sum(), nanos.sum());
+        // The bases differ only in exposition: bucket bounds come from
+        // the per-base default layout.
+        let tick_bounds: Vec<u64> = ticks.bucket_counts().iter().map(|&(b, _)| b).collect();
+        let nano_bounds: Vec<u64> = nanos.bucket_counts().iter().map(|&(b, _)| b).collect();
+        assert_eq!(tick_bounds, DEFAULT_BUCKETS.to_vec());
+        assert_eq!(nano_bounds, WALL_NANOS_BUCKETS.to_vec());
+        // An explicit layout overrides the base's default, same as before.
+        nanos.set_buckets(&[10, 100]);
+        let explicit: Vec<u64> = nanos.bucket_counts().iter().map(|&(b, _)| b).collect();
+        assert_eq!(explicit, vec![10, 100]);
+    }
+
+    #[test]
+    fn merge_adopts_the_non_default_time_base() {
+        let mut into = Histogram::new();
+        into.record(5);
+        let mut wall = Histogram::with_time_base(TimeBase::WallNanos);
+        wall.record(9_000);
+        into.merge(&wall);
+        assert_eq!(into.time_base(), TimeBase::WallNanos);
+        assert_eq!(into.len(), 2);
+        // Registry helper: first use pins the base, later callers keep it.
+        let mut r = Registry::new();
+        r.histogram_in("lat", TimeBase::WallNanos).record(1_500);
+        assert_eq!(r.histogram("lat").time_base(), TimeBase::WallNanos);
+        assert_eq!(
+            r.histogram_in("lat", TimeBase::SimTicks).time_base(),
+            TimeBase::WallNanos,
+            "existing series keeps its base"
+        );
+    }
+
     #[test]
     fn bucket_counts_default_layout_and_sum() {
         let mut h = Histogram::new();
@@ -855,6 +996,11 @@ lat_quantile{quantile=\"0.99\"} 500
             "gossip_full",
             "merkle_rounds",
             "merkle_nodes",
+            // threaded wall-clock backend (relax-quorum threaded.rs;
+            // nanosecond time base)
+            "realtime_op_latency_nanos",
+            "realtime_commit_batch_ops",
+            "realtime_shard_rounds",
         ];
         for name in canonical {
             assert_eq!(lint_name(name), None, "metric name {name:?} fails lint");
