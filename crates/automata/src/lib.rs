@@ -19,6 +19,10 @@
 //!   inclusion/equality run on a *product* subset graph with
 //!   counterexamples rebuilt from parent pointers. Frontier expansion
 //!   parallelizes across scoped threads for wide levels.
+//! * [`calm`] — bounded response-stability checking, the automata-level
+//!   half of the CALM monotonicity analyzer (the quorum layer pairs it
+//!   with language equality on quorum consensus automata to decide which
+//!   operations may run coordination-free).
 //! * [`constraint`] — named constraint universes and constraint sets (the
 //!   `2^C` lattice of §2.2), with subset iteration and lattice operations.
 //! * [`lattice`] — the `RelaxationMap` abstraction: a lattice homomorphism
@@ -65,6 +69,7 @@
 #![forbid(unsafe_code)]
 
 pub mod automaton;
+pub mod calm;
 pub mod cons;
 pub mod constraint;
 pub mod environment;
@@ -82,6 +87,7 @@ pub mod symmetry;
 /// Convenient re-exports of the crate's main types.
 pub mod prelude {
     pub use crate::automaton::ObjectAutomaton;
+    pub use crate::calm::{response_stable, ResponseInstability};
     pub use crate::constraint::{ConstraintId, ConstraintSet, ConstraintUniverse};
     pub use crate::environment::{CombinedAutomaton, Environment, Input};
     pub use crate::history::History;
@@ -107,6 +113,7 @@ pub mod prelude {
 }
 
 pub use automaton::ObjectAutomaton;
+pub use calm::{response_stable, ResponseInstability};
 pub use constraint::{ConstraintId, ConstraintSet, ConstraintUniverse};
 pub use environment::{CombinedAutomaton, Environment, Input};
 pub use history::History;

@@ -3,6 +3,7 @@
 pub mod account;
 pub mod antientropy;
 pub mod availability;
+pub mod calm;
 pub mod campaign;
 pub mod concurrency;
 pub mod degradation;

@@ -167,6 +167,24 @@ pub const CHECKS: &[Check] = &[
         metric: "within_target",
         band: Band::MustBeTrue,
     },
+    // The CALM fast path's p50 advantage is enormous (fast-path ops
+    // wait on nothing), so even a conservative floor catches a broken
+    // scheduler; availability and equivalence stay strict.
+    Check {
+        file: "BENCH_calm_fastpath.json",
+        metric: "gate_latency_ratio",
+        band: Band::MinRatio(0.4),
+    },
+    Check {
+        file: "BENCH_calm_fastpath.json",
+        metric: "all_equivalent",
+        band: Band::MustBeTrue,
+    },
+    Check {
+        file: "BENCH_calm_fastpath.json",
+        metric: "within_target",
+        band: Band::MustBeTrue,
+    },
 ];
 
 /// Returns the checks whose payload file or metric name contains
@@ -416,6 +434,14 @@ mod tests {
                 speedup * 1.0e6
             ),
         );
+        write(
+            dir,
+            "BENCH_calm_fastpath.json",
+            &format!(
+                "{{\"gate_latency_ratio\":{speedup},\"all_equivalent\":{ok},\
+                 \"within_target\":{ok}}}\n"
+            ),
+        );
     }
 
     fn tmp(name: &str) -> std::path::PathBuf {
@@ -498,7 +524,7 @@ mod tests {
         let fresh = tmp("fresh_bless");
         scaffold(&fresh, 7.0, 2.0, true);
         let files = bless(&fresh, &base).unwrap();
-        assert_eq!(files.len(), 8);
+        assert_eq!(files.len(), 9);
         let outcomes = compare(&fresh, &base).unwrap();
         assert!(outcomes.iter().all(|o| o.pass));
     }
@@ -517,6 +543,9 @@ mod tests {
         assert!(realtime
             .iter()
             .all(|c| c.file == "BENCH_realtime_throughput.json"));
+        let calm = selected(Some("calm"));
+        assert_eq!(calm.len(), 3);
+        assert!(calm.iter().all(|c| c.file == "BENCH_calm_fastpath.json"));
         let by_metric = selected(Some("gate_bytes_ratio"));
         assert!(!by_metric.is_empty());
         assert!(by_metric.iter().all(|c| c.metric == "gate_bytes_ratio"));

@@ -43,12 +43,20 @@ pub trait Eval {
     /// underlying automaton.
     fn apply(&self, value: &Self::Value, op: &Self::Op) -> Self::Value;
 
-    /// `η(H)`: folds [`Eval::apply`] over a history given as a slice of
-    /// operations.
+    /// In-place form of [`Eval::apply`], used on replay hot paths where
+    /// rebuilding the value per entry would be quadratic (bag views). The
+    /// default delegates to `apply`; implementations with cheap in-place
+    /// mutation should override.
+    fn apply_mut(&self, value: &mut Self::Value, op: &Self::Op) {
+        *value = self.apply(value, op);
+    }
+
+    /// `η(H)`: folds [`Eval::apply_mut`] over a history given as a slice
+    /// of operations.
     fn eval(&self, ops: &[Self::Op]) -> Self::Value {
         let mut v = self.initial();
         for op in ops {
-            v = self.apply(&v, op);
+            self.apply_mut(&mut v, op);
         }
         v
     }
@@ -68,9 +76,15 @@ impl Eval for Eta {
     }
 
     fn apply(&self, value: &Bag<Item>, op: &QueueOp) -> Bag<Item> {
+        let mut v = value.clone();
+        self.apply_mut(&mut v, op);
+        v
+    }
+
+    fn apply_mut(&self, value: &mut Bag<Item>, op: &QueueOp) {
         match op {
-            QueueOp::Enq(e) => value.clone().inserted(*e),
-            QueueOp::Deq(e) => value.clone().deleted(e),
+            QueueOp::Enq(e) => value.ins(*e),
+            QueueOp::Deq(e) => value.del(e),
         }
     }
 }
@@ -91,17 +105,22 @@ impl Eval for EtaPrime {
     }
 
     fn apply(&self, value: &Bag<Item>, op: &QueueOp) -> Bag<Item> {
+        let mut v = value.clone();
+        self.apply_mut(&mut v, op);
+        v
+    }
+
+    fn apply_mut(&self, value: &mut Bag<Item>, op: &QueueOp) {
         match op {
-            QueueOp::Enq(e) => value.clone().inserted(*e),
+            QueueOp::Enq(e) => value.ins(*e),
             QueueOp::Deq(e) => {
-                let mut v = value.clone().deleted(e);
-                let higher: Vec<Item> = v.iter().map(|(x, _)| *x).filter(|x| x > e).collect();
+                value.del(e);
+                let higher: Vec<Item> = value.iter().map(|(x, _)| *x).filter(|x| x > e).collect();
                 for x in higher {
-                    while v.contains(&x) {
-                        v.del(&x);
+                    while value.contains(&x) {
+                        value.del(&x);
                     }
                 }
-                v
             }
         }
     }
@@ -128,6 +147,14 @@ impl Eval for AccountEval {
             AccountOp::Credit(n) => value + i64::from(*n),
             AccountOp::DebitOk(n) => value - i64::from(*n),
             AccountOp::DebitOverdraft(_) => *value,
+        }
+    }
+
+    fn apply_mut(&self, value: &mut i64, op: &AccountOp) {
+        match op {
+            AccountOp::Credit(n) => *value += i64::from(*n),
+            AccountOp::DebitOk(n) => *value -= i64::from(*n),
+            AccountOp::DebitOverdraft(_) => {}
         }
     }
 }
@@ -206,6 +233,25 @@ mod tests {
             let trimmed = EtaPrime.eval(&ops);
             for (item, count) in trimmed.iter() {
                 prop_assert!(full.count(item) >= count);
+            }
+        }
+
+        /// The in-place fold agrees with the rebuilding `apply` form for
+        /// every evaluation function (the hot-path override is pure
+        /// optimization).
+        #[test]
+        fn apply_mut_matches_apply(raw in proptest::collection::vec((0u8..2, -5i64..5), 0..15)) {
+            let ops: Vec<QueueOp> = raw
+                .into_iter()
+                .map(|(k, e)| if k == 0 { QueueOp::Enq(e) } else { QueueOp::Deq(e) })
+                .collect();
+            for eta in [&Eta as &dyn Eval<Value = Bag<Item>, Op = QueueOp>, &EtaPrime] {
+                let mut v = eta.initial();
+                for op in &ops {
+                    let rebuilt = eta.apply(&v, op);
+                    eta.apply_mut(&mut v, op);
+                    prop_assert_eq!(&v, &rebuilt);
+                }
             }
         }
     }

@@ -54,15 +54,15 @@ pub mod prelude {
     pub use crate::bag::{Bag, BagAutomaton};
     pub use crate::degen::DegenPqAutomaton;
     pub use crate::discard::DiscardingPqAutomaton;
-    pub use crate::eval::{Eta, EtaPrime, Eval};
+    pub use crate::eval::{AccountEval, Eta, EtaPrime, Eval};
     pub use crate::fifo::{Fifo, FifoAutomaton};
     pub use crate::mpq::{Mpq, MpqAutomaton};
     pub use crate::opq::OpqAutomaton;
-    pub use crate::ops::{queue_alphabet, AccountOp, Item, QueueOp};
+    pub use crate::ops::{account_alphabet, queue_alphabet, AccountOp, Item, QueueOp};
     pub use crate::pqueue::PQueueAutomaton;
     pub use crate::relabel::QueueItemSymmetry;
     pub use crate::semiqueue::SemiqueueAutomaton;
-    pub use crate::spec::{PqValueSpec, ValueSpec};
+    pub use crate::spec::{AccountValueSpec, PqValueSpec, ValueSpec};
     pub use crate::ssqueue::{SsQueueAutomaton, SsState};
     pub use crate::stuttering::{StutQ, StutteringAutomaton};
     pub use crate::to_term::ToTerm;
@@ -72,15 +72,15 @@ pub use account::{Account, AccountAutomaton};
 pub use bag::{Bag, BagAutomaton};
 pub use degen::DegenPqAutomaton;
 pub use discard::DiscardingPqAutomaton;
-pub use eval::{Eta, EtaPrime, Eval};
+pub use eval::{AccountEval, Eta, EtaPrime, Eval};
 pub use fifo::{Fifo, FifoAutomaton};
 pub use mpq::{Mpq, MpqAutomaton};
 pub use opq::OpqAutomaton;
-pub use ops::{queue_alphabet, AccountOp, Item, QueueOp};
+pub use ops::{account_alphabet, queue_alphabet, AccountOp, Item, QueueOp};
 pub use pqueue::PQueueAutomaton;
 pub use relabel::QueueItemSymmetry;
 pub use semiqueue::SemiqueueAutomaton;
-pub use spec::{PqValueSpec, ValueSpec};
+pub use spec::{AccountValueSpec, PqValueSpec, ValueSpec};
 pub use ssqueue::{SsQueueAutomaton, SsState};
 pub use stuttering::{StutQ, StutteringAutomaton};
 pub use to_term::ToTerm;

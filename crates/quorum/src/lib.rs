@@ -32,13 +32,18 @@
 //!   substrate;
 //! * [`threaded`] — the sharded wall-clock backend: batching
 //!   per-replica brokers, group-committed log appends, one OS thread
-//!   per replica and per shard, differentially tested against the sim.
+//!   per replica and per shard, differentially tested against the sim;
+//! * [`calm`] — the CALM monotonicity analyzer (language equality on
+//!   QCAs plus response-stability enumeration) and the
+//!   `SchedulingPolicy` that routes monotone operation kinds onto a
+//!   coordination-free fast path in both backends.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod assignment;
 pub mod backend;
+pub mod calm;
 pub mod compact;
 pub mod frontier;
 pub mod log;
@@ -58,6 +63,9 @@ pub mod voting;
 pub mod prelude {
     pub use crate::assignment::VotingAssignment;
     pub use crate::backend::{outcome_shapes, ClientTable, Executor, OutcomeShape, RunStats};
+    pub use crate::calm::{
+        analyze, analyze_account, analyze_taxi, CalmReport, SchedulingPolicy, Verdict,
+    };
     pub use crate::compact::{stable_frontier, CompactLog};
     pub use crate::frontier::{Frontier, SiteSummary};
     pub use crate::log::{DiffScratch, Entry, Log};
@@ -78,6 +86,7 @@ pub mod prelude {
 
 pub use assignment::VotingAssignment;
 pub use backend::{outcome_shapes, ClientTable, Executor, OutcomeShape, RunStats, Transport};
+pub use calm::{analyze, analyze_account, analyze_taxi, CalmReport, SchedulingPolicy, Verdict};
 pub use compact::{stable_frontier, CompactLog};
 pub use frontier::{Frontier, SiteSummary};
 pub use log::{DiffScratch, Entry, Log};

@@ -53,6 +53,7 @@ use relax_trace::{
 
 use crate::assignment::VotingAssignment;
 use crate::backend::{ClientTable, Executor, RunStats, Transport};
+use crate::calm::SchedulingPolicy;
 use crate::frontier::Frontier;
 use crate::log::{DiffScratch, Entry, Log};
 use crate::merkle::{MerkleNode, NodeRange};
@@ -77,6 +78,15 @@ pub trait ReplicatedType: Clone {
     /// `η`; total).
     fn apply(&self, value: &Self::Value, op: &Self::Op) -> Self::Value;
 
+    /// In-place form of [`ReplicatedType::apply`], used by the replay hot
+    /// paths (view cache, shard views) where rebuilding the value per
+    /// entry would be quadratic for collection-valued types. The default
+    /// delegates to `apply`; concrete types with cheap in-place mutation
+    /// should override.
+    fn apply_mut(&self, value: &mut Self::Value, op: &Self::Op) {
+        *value = self.apply(value, op);
+    }
+
     /// Chooses the response for `inv` against the view's value, yielding
     /// the operation execution to record — or `None` when no response is
     /// consistent (e.g. `Deq` on an apparently empty queue).
@@ -100,7 +110,7 @@ pub trait ReplicatedType: Clone {
     fn eval_view(&self, log: &Log<Self::Op>) -> Self::Value {
         let mut v = self.initial_value();
         for e in log.entries() {
-            v = self.apply(&v, &e.op);
+            self.apply_mut(&mut v, &e.op);
         }
         v
     }
@@ -214,6 +224,10 @@ pub enum Msg<T: ReplicatedType> {
     },
     /// Control: arm a replica's gossip timer.
     GossipKick,
+    /// Control: ask a client to re-ship its coordination-free WAL to
+    /// every replica (end-of-run convergence — e.g. after a partition
+    /// that swallowed the original fast-path writes heals).
+    FlushWal,
 }
 
 /// Models the wire size of a protocol message, for the world's payload
@@ -229,7 +243,7 @@ pub fn msg_wire_bytes<T: ReplicatedType>(msg: &Msg<T>) -> u64 {
     const RANGE: u64 = 16;
     let frontier_bytes = |f: &Frontier| f.sites().len() as u64 * SITE;
     match msg {
-        Msg::Start(_) | Msg::WriteAck { .. } | Msg::GossipKick => HEADER,
+        Msg::Start(_) | Msg::WriteAck { .. } | Msg::GossipKick | Msg::FlushWal => HEADER,
         Msg::ReadReq { known, .. } => HEADER + known.as_ref().map_or(0, frontier_bytes),
         Msg::ReadResp { log, .. } | Msg::WriteReq { log, .. } | Msg::MerkleEntries { log } => {
             HEADER + ENTRY * log.len() as u64
@@ -332,6 +346,18 @@ struct Pending<T: ReplicatedType> {
     phase: Phase<T>,
 }
 
+/// A fire-and-forget write from the coordination-free fast path: the
+/// client completed the operation without waiting, but still tracks acks
+/// so `known` stays accurate (delta payloads shrink) and fully-acked
+/// entries can be garbage-collected.
+#[derive(Debug, Clone)]
+struct FastWrite<T: ReplicatedType> {
+    inv_id: u64,
+    /// Snapshot of the WAL at ship time; acks fold it into `known`.
+    updated: Arc<Log<T::Op>>,
+    acked: BTreeSet<NodeId>,
+}
+
 /// A node in the replicated system: either a replica or the client.
 #[derive(Debug)]
 pub enum RoleNode<T: ReplicatedType> {
@@ -421,6 +447,19 @@ pub struct ClientState<T: ReplicatedType> {
     cache: ViewCache<T::Value>,
     /// Reusable buffers for write-phase `diff_with` calls.
     scratch: DiffScratch,
+    /// Which invocation kinds skip the quorum protocol (CALM-monotone
+    /// kinds; empty by default, so scheduling is pure quorum).
+    policy: SchedulingPolicy<<T::Op as HasKind>::Kind>,
+    /// The coordination-free write-ahead log: entries appended by the
+    /// fast path, merged into every read view (read-your-writes) and
+    /// shipped to replicas fire-and-forget.
+    wal: Log<T::Op>,
+    /// In-flight fast-path writes awaiting (but not blocking on) acks.
+    fast_writes: Vec<FastWrite<T>>,
+    /// Invocations that took the coordination-free fast path.
+    calm_fast: u64,
+    /// Invocations that ran the quorum protocol.
+    calm_quorum: u64,
 }
 
 // Manual impl: the derive would demand `T::Value: Debug` (via the view
@@ -448,47 +487,130 @@ impl<T: ReplicatedType> ClientState<T> {
         if self.pending.is_some() {
             return;
         }
-        let Some(inv) = self.backlog.pop_front() else {
+        // A loop, not recursion: consecutive coordination-free
+        // invocations complete synchronously and would otherwise recurse
+        // once per backlog entry.
+        while let Some(inv) = self.backlog.pop_front() {
+            self.next_inv_id += 1;
+            let inv_id = self.next_inv_id;
+            if ctx.trace_enabled() {
+                let op = self.ttype.op_label(&inv);
+                let node = ctx.me().0 as u32;
+                ctx.trace(TraceEvent::OpBegin {
+                    node,
+                    op_id: inv_id as u32,
+                    op,
+                });
+            }
+            let kind = self.ttype.invocation_kind(&inv);
+            if self.policy.is_free(kind) {
+                self.run_coordination_free(ctx, inv_id, &inv);
+                continue;
+            }
+            self.calm_quorum += 1;
+            let needs_read = self.assignment.initial_size(kind) > 0;
+            self.pending = Some(Pending {
+                inv_id,
+                inv,
+                started_at: ctx.now_ticks(),
+                phase: Phase::Read {
+                    responded: BTreeSet::new(),
+                    view: Log::new(),
+                },
+            });
+            ctx.set_timer(self.config.timeout, inv_id);
+            if needs_read {
+                for &r in self.replicas.iter() {
+                    let known = match self.mode {
+                        ReplicationMode::FullLog => None,
+                        // Delta and Merkle both advertise the frontier so
+                        // read responses stay O(missing suffix).
+                        _ => Some(self.known[r.0].frontier()),
+                    };
+                    ctx.send(r, Msg::ReadReq { inv_id, known });
+                }
+            } else {
+                // A zero initial quorum: the response does not depend on
+                // the state; respond against the empty view immediately.
+                self.respond_with_view(ctx);
+            }
             return;
+        }
+    }
+
+    /// Executes a CALM-monotone invocation coordination-free: respond
+    /// against the initial value (sound by the analyzer's
+    /// response-stability check — no reachable view changes the answer),
+    /// append to the local WAL under a fresh timestamp, and ship the
+    /// entry to every replica without waiting for acks. No read phase,
+    /// no quorum, no timer: the operation completes in zero ticks and is
+    /// available under any partition.
+    fn run_coordination_free(&mut self, ctx: &mut impl Transport<T>, inv_id: u64, inv: &T::Inv) {
+        self.calm_fast += 1;
+        let outcome = match self.ttype.execute(&self.ttype.initial_value(), inv) {
+            None => Outcome::Refused { latency: 0 },
+            Some(op) => {
+                let ts = self.clock.tick();
+                self.wal.insert(Entry::new(ts, op.clone()));
+                self.ship_wal(ctx, inv_id);
+                Outcome::Completed { op, latency: 0 }
+            }
         };
-        self.next_inv_id += 1;
-        let inv_id = self.next_inv_id;
         if ctx.trace_enabled() {
-            let op = self.ttype.op_label(&inv);
+            let kind = if outcome.is_completed() {
+                OpOutcome::Completed
+            } else {
+                OpOutcome::Refused
+            };
             let node = ctx.me().0 as u32;
-            ctx.trace(TraceEvent::OpBegin {
+            ctx.trace(TraceEvent::OpEnd {
                 node,
                 op_id: inv_id as u32,
-                op,
+                outcome: kind,
+                latency: 0,
             });
         }
-        let kind = self.ttype.invocation_kind(&inv);
-        let needs_read = self.assignment.initial_size(kind) > 0;
-        self.pending = Some(Pending {
-            inv_id,
-            inv,
-            started_at: ctx.now_ticks(),
-            phase: Phase::Read {
-                responded: BTreeSet::new(),
-                view: Log::new(),
-            },
-        });
-        ctx.set_timer(self.config.timeout, inv_id);
-        if needs_read {
-            for &r in self.replicas.iter() {
-                let known = match self.mode {
-                    ReplicationMode::FullLog => None,
-                    // Delta and Merkle both advertise the frontier so
-                    // read responses stay O(missing suffix).
-                    _ => Some(self.known[r.0].frontier()),
-                };
-                ctx.send(r, Msg::ReadReq { inv_id, known });
-            }
-        } else {
-            // A zero initial quorum: the response does not depend on the
-            // state; respond against the empty view immediately.
-            self.respond_with_view(ctx);
+        self.outcomes.push(outcome);
+    }
+
+    /// Ships the WAL (per-replica deltas in delta/Merkle mode) to every
+    /// replica under `inv_id`, recording a fire-and-forget entry so late
+    /// acks still fold into `known`.
+    fn ship_wal(&mut self, ctx: &mut impl Transport<T>, inv_id: u64) {
+        let updated = Arc::new(self.wal.clone());
+        let replicas = Arc::clone(&self.replicas);
+        for &r in replicas.iter() {
+            let payload = match self.mode {
+                ReplicationMode::FullLog => Arc::clone(&updated),
+                // Only the WAL entries this replica hasn't acked (or
+                // learned through the quorum path).
+                _ => Arc::new(updated.diff_with(&self.known[r.0], &mut self.scratch)),
+            };
+            ctx.send(
+                r,
+                Msg::WriteReq {
+                    inv_id,
+                    log: payload,
+                },
+            );
         }
+        self.fast_writes.push(FastWrite {
+            inv_id,
+            updated,
+            acked: BTreeSet::new(),
+        });
+    }
+
+    /// Re-ships the coordination-free WAL to every replica (no-op when
+    /// empty): after a partition heals this drives convergence without
+    /// waiting for the next fast operation or a gossip turn.
+    pub(crate) fn flush_wal(&mut self, ctx: &mut impl Transport<T>) {
+        if self.wal.is_empty() {
+            return;
+        }
+        self.next_inv_id += 1;
+        let inv_id = self.next_inv_id;
+        self.ship_wal(ctx, inv_id);
     }
 
     /// The initial quorum is assembled (or empty by design): choose a
@@ -498,9 +620,21 @@ impl<T: ReplicatedType> ClientState<T> {
             return;
         };
         let inv_id = pending.inv_id;
-        let Phase::Read { view, .. } = &pending.phase else {
+        let reads = self
+            .assignment
+            .initial_size(self.ttype.invocation_kind(&pending.inv))
+            > 0;
+        let Phase::Read { view, .. } = &mut pending.phase else {
             return;
         };
+        // Read-your-writes: fast-path entries not yet recorded at the
+        // replicas must still be visible to this client's quorum reads.
+        // Zero-initial-quorum invocations don't read — their response
+        // must not depend on any state, WAL included.
+        if reads && !self.wal.is_empty() {
+            view.merge(&self.wal);
+        }
+        let view = &*view;
         if let Some(ts) = view.max_timestamp() {
             self.clock.observe(ts);
         }
@@ -517,7 +651,7 @@ impl<T: ReplicatedType> ClientState<T> {
         let value = if self.memoize {
             let ttype = &self.ttype;
             self.cache
-                .eval(view, ttype.initial_value(), |v, op| ttype.apply(v, op))
+                .eval(view, ttype.initial_value(), |v, op| ttype.apply_mut(v, op))
         } else {
             self.ttype.eval_view(view)
         };
@@ -640,6 +774,21 @@ impl<T: ReplicatedType> ClientState<T> {
 
     /// A replica acknowledged the write phase.
     pub(crate) fn on_write_ack(&mut self, ctx: &mut impl Transport<T>, from: NodeId, inv_id: u64) {
+        // Fast-path acks: nothing is waiting on them, but they keep
+        // `known` accurate (shrinking future delta payloads) and retire
+        // fully-acknowledged entries.
+        if let Some(ix) = self.fast_writes.iter().position(|w| w.inv_id == inv_id) {
+            let w = &mut self.fast_writes[ix];
+            if w.acked.insert(from) {
+                if self.mode != ReplicationMode::FullLog {
+                    self.known[from.0].merge(&w.updated);
+                }
+                if w.acked.len() == self.replicas.len() {
+                    self.fast_writes.swap_remove(ix);
+                }
+            }
+            return;
+        }
         let Some(pending) = self.pending.as_mut() else {
             return;
         };
@@ -957,6 +1106,7 @@ impl<T: ReplicatedType> Node<Msg<T>> for RoleNode<T> {
                 Msg::Start(inv) => client.on_start(ctx, inv),
                 Msg::ReadResp { inv_id, log } => client.on_read_resp(ctx, from, inv_id, &log),
                 Msg::WriteAck { inv_id } => client.on_write_ack(ctx, from, inv_id),
+                Msg::FlushWal => client.flush_wal(ctx),
                 _ => {}
             },
         }
@@ -1079,6 +1229,11 @@ impl<T: ReplicatedType> QuorumSystem<T> {
                 memoize: true,
                 cache: ViewCache::new(),
                 scratch: DiffScratch::default(),
+                policy: SchedulingPolicy::all_quorum(),
+                wal: Log::new(),
+                fast_writes: Vec::new(),
+                calm_fast: 0,
+                calm_quorum: 0,
             })));
         }
         QuorumSystem {
@@ -1125,6 +1280,47 @@ impl<T: ReplicatedType> QuorumSystem<T> {
             }
         }
         self
+    }
+
+    /// Installs a CALM scheduling policy on every client (builder-style;
+    /// the default frees nothing, i.e. pure quorum scheduling). Kinds the
+    /// policy marks free execute coordination-free: respond immediately
+    /// against the initial value, append to a local WAL, ship to every
+    /// replica without waiting for a quorum. Use
+    /// [`SchedulingPolicy::from_report`] to derive the policy from the
+    /// monotonicity analyzer ([`crate::calm::analyze`]).
+    #[must_use]
+    pub fn with_scheduling(mut self, policy: SchedulingPolicy<<T::Op as HasKind>::Kind>) -> Self {
+        for &id in &self.clients.clone() {
+            if let RoleNode::Client(c) = self.world.node_mut(id) {
+                c.policy = policy.clone();
+            }
+        }
+        self
+    }
+
+    /// Asks every client to re-ship its coordination-free WAL to all
+    /// replicas (a [`Msg::FlushWal`] control message per client): drives
+    /// convergence of fast-path entries swallowed by a partition after
+    /// it heals. Run the world afterwards to deliver the writes.
+    pub fn flush_wals(&mut self) {
+        for &id in &self.clients.clone() {
+            self.world.send_external(id, Msg::FlushWal);
+        }
+    }
+
+    /// Fast-path vs. quorum-path invocation counts summed across all
+    /// clients, as `(calm_fast, calm_quorum)`.
+    pub fn calm_op_counts(&self) -> (u64, u64) {
+        let mut fast = 0;
+        let mut quorum = 0;
+        for &id in &self.clients {
+            if let RoleNode::Client(c) = self.world.node(id) {
+                fast += c.calm_fast;
+                quorum += c.calm_quorum;
+            }
+        }
+        (fast, quorum)
     }
 
     /// Enables or disables memoized view evaluation on every client
@@ -1394,6 +1590,11 @@ impl<T: ReplicatedType> QuorumSystem<T> {
         self.registry
             .gauge("viewcache_checkpoint_hits")
             .set(cp_hits as i64);
+        let (calm_fast, calm_quorum) = self.calm_op_counts();
+        self.registry.gauge("calm_fast_ops").set(calm_fast as i64);
+        self.registry
+            .gauge("calm_quorum_ops")
+            .set(calm_quorum as i64);
         let (rounds, nodes, reuses) = self.merkle_sync_counts();
         self.registry.gauge("merkle_sync_rounds").set(rounds as i64);
         self.registry
@@ -1742,6 +1943,11 @@ impl ReplicatedType for TaxiQueueType {
         relax_queues::Eta.apply(value, op)
     }
 
+    fn apply_mut(&self, value: &mut Self::Value, op: &Self::Op) {
+        use relax_queues::Eval;
+        relax_queues::Eta.apply_mut(value, op);
+    }
+
     fn execute(&self, value: &Self::Value, inv: &QueueInv) -> Option<Self::Op> {
         match inv {
             QueueInv::Enq(e) => Some(relax_queues::QueueOp::Enq(*e)),
@@ -1782,6 +1988,11 @@ impl ReplicatedType for TaxiQueuePrimeType {
     fn apply(&self, value: &Self::Value, op: &Self::Op) -> Self::Value {
         use relax_queues::Eval;
         relax_queues::EtaPrime.apply(value, op)
+    }
+
+    fn apply_mut(&self, value: &mut Self::Value, op: &Self::Op) {
+        use relax_queues::Eval;
+        relax_queues::EtaPrime.apply_mut(value, op);
     }
 
     fn execute(&self, value: &Self::Value, inv: &QueueInv) -> Option<Self::Op> {
@@ -1849,6 +2060,11 @@ impl ReplicatedType for BankAccountType {
     fn apply(&self, value: &i64, op: &Self::Op) -> i64 {
         use relax_queues::Eval;
         relax_queues::eval::AccountEval.apply(value, op)
+    }
+
+    fn apply_mut(&self, value: &mut i64, op: &Self::Op) {
+        use relax_queues::Eval;
+        relax_queues::eval::AccountEval.apply_mut(value, op);
     }
 
     fn execute(&self, value: &i64, inv: &AccountInv) -> Option<Self::Op> {

@@ -45,6 +45,7 @@ use relax_trace::{DegradationMonitor, EventKind as TraceEvent, Registry, TimeBas
 
 use crate::assignment::VotingAssignment;
 use crate::backend::{ClientTable, Executor, RunStats, Transport};
+use crate::calm::SchedulingPolicy;
 use crate::log::{Entry, Log};
 use crate::relation::HasKind;
 use crate::runtime::{Msg, Outcome, ReplicaState, ReplicatedType, ReplicationMode};
@@ -110,6 +111,10 @@ struct ShardState<T: ReplicatedType> {
     latencies: Vec<u64>,
     /// Operations per group commit.
     batch_sizes: Vec<u64>,
+    /// Invocations that took the coordination-free fast path.
+    calm_fast: u64,
+    /// Invocations that ran the quorum protocol.
+    calm_quorum: u64,
 }
 
 /// A message in flight between a shard and a broker.
@@ -171,6 +176,9 @@ pub struct ThreadedSystem<T: ReplicatedType> {
     monitor: Option<DegradationMonitor<T::Op>>,
     monitor_seen: Vec<usize>,
     registry: Registry,
+    /// Which invocation kinds skip the quorum protocol (CALM-monotone
+    /// kinds; empty by default, so scheduling is pure quorum).
+    policy: SchedulingPolicy<<T::Op as HasKind>::Kind>,
 }
 
 impl<T: ReplicatedType> std::fmt::Debug for ThreadedSystem<T> {
@@ -222,6 +230,8 @@ impl<T: ReplicatedType> ThreadedSystem<T> {
                 rounds: 0,
                 latencies: Vec::new(),
                 batch_sizes: Vec::new(),
+                calm_fast: 0,
+                calm_quorum: 0,
             })
             .collect();
         for c in 0..n_clients {
@@ -248,7 +258,32 @@ impl<T: ReplicatedType> ThreadedSystem<T> {
             monitor: None,
             monitor_seen: vec![0; n_clients],
             registry: Registry::new(),
+            policy: SchedulingPolicy::all_quorum(),
         }
+    }
+
+    /// Installs a CALM scheduling policy (builder-style; the default
+    /// frees nothing). Kinds the policy marks free bypass the read phase
+    /// of a shard round entirely: they execute against the initial value,
+    /// mint a timestamp, and ride the round's group commit without
+    /// waiting on any quorum — a round of only free invocations performs
+    /// no read round-trip at all.
+    #[must_use]
+    pub fn with_scheduling(mut self, policy: SchedulingPolicy<<T::Op as HasKind>::Kind>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Fast-path vs. quorum-path invocation counts summed across all
+    /// shards, as `(calm_fast, calm_quorum)`.
+    pub fn calm_op_counts(&self) -> (u64, u64) {
+        let mut fast = 0;
+        let mut quorum = 0;
+        for shard in &self.shards {
+            fast += shard.calm_fast;
+            quorum += shard.calm_quorum;
+        }
+        (fast, quorum)
     }
 
     /// Attaches an online degradation monitor (builder-style): completed
@@ -366,6 +401,7 @@ where
         let down = &self.down;
         let ttype = &self.ttype;
         let assignment = &self.assignment;
+        let policy = &self.policy;
         let reachable_ref = &reachable;
 
         // Channels: one inbox per reachable replica, one response inbox
@@ -403,6 +439,7 @@ where
                         shard,
                         ttype,
                         assignment,
+                        policy,
                         reachable_ref,
                         &to_replicas,
                         &rx,
@@ -434,6 +471,11 @@ where
         self.registry
             .gauge("realtime_shard_rounds")
             .set(rounds as i64);
+        let (calm_fast, calm_quorum) = self.calm_op_counts();
+        self.registry.gauge("calm_fast_ops").set(calm_fast as i64);
+        self.registry
+            .gauge("calm_quorum_ops")
+            .set(calm_quorum as i64);
         self.poll_monitor();
         RunStats { ops, wall_nanos }
     }
@@ -523,6 +565,7 @@ fn run_shard<T: ReplicatedType>(
     shard: &mut ShardState<T>,
     ttype: &T,
     assignment: &VotingAssignment<<T::Op as HasKind>::Kind>,
+    policy: &SchedulingPolicy<<T::Op as HasKind>::Kind>,
     reachable: &[usize],
     to_replicas: &[Option<mpsc::Sender<Packet<T>>>],
     from_replicas: &mpsc::Receiver<Packet<T>>,
@@ -557,16 +600,24 @@ fn run_shard<T: ReplicatedType>(
             view,
             value,
             cache,
+            calm_fast,
+            calm_quorum,
             ..
         } = shard;
 
         // Read phase, once for the whole round — skipped when no
         // operation of the round actually assembles an initial quorum
         // (zero-size quorums respond against the empty view, oversize
-        // ones time out; neither reads).
+        // ones time out; neither reads). CALM-free invocations never
+        // contribute: a round of only monotone operations bypasses the
+        // read phase entirely.
         let needs_read = round.iter().any(|&ci| {
             let inv = clients[ci].backlog.front().expect("selected non-empty");
-            let init = assignment.initial_size(ttype.invocation_kind(inv));
+            let kind = ttype.invocation_kind(inv);
+            if policy.is_free(kind) {
+                return false;
+            }
+            let init = assignment.initial_size(kind);
             init > 0 && init <= reachable.len()
         });
         if needs_read {
@@ -595,7 +646,7 @@ fn run_shard<T: ReplicatedType>(
                                     .binary_search_by_key(&e.ts, |x| x.ts)
                                     .is_err();
                                 if fresh {
-                                    *value = ttype.apply(value, &e.op);
+                                    ttype.apply_mut(value, &e.op);
                                 }
                             }
                         }
@@ -617,6 +668,31 @@ fn run_shard<T: ReplicatedType>(
             let slot = &mut clients[ci];
             let inv = slot.backlog.pop_front().expect("selected non-empty");
             let kind = ttype.invocation_kind(&inv);
+            if policy.is_free(kind) {
+                // CALM fast path: monotone kinds execute against the
+                // initial value (their response never reads the view),
+                // never observe, never wait on any quorum — the entry
+                // rides the round's group commit to every reachable
+                // replica, and the op completes regardless of how many
+                // that is.
+                *calm_fast += 1;
+                match ttype.execute(&ttype.initial_value(), &inv) {
+                    None => slot.outcomes.push(Outcome::Refused { latency: 0 }),
+                    Some(op) => {
+                        let ts = slot.clock.tick();
+                        if !reachable.is_empty() {
+                            round_delta.insert(Entry::new(ts, op.clone()));
+                            view.insert(Entry::new(ts, op.clone()));
+                            if commutes {
+                                ttype.apply_mut(value, &op);
+                            }
+                        }
+                        slot.outcomes.push(Outcome::Completed { op, latency: 0 });
+                    }
+                }
+                continue;
+            }
+            *calm_quorum += 1;
             let init = assignment.initial_size(kind);
             let fin = assignment.final_size(kind);
             if init > reachable.len() {
@@ -635,7 +711,7 @@ fn run_shard<T: ReplicatedType>(
                 if commutes {
                     value.clone()
                 } else {
-                    cache.eval(view, ttype.initial_value(), |v, op| ttype.apply(v, op))
+                    cache.eval(view, ttype.initial_value(), |v, op| ttype.apply_mut(v, op))
                 }
             };
             match ttype.execute(&exec_value, &inv) {
@@ -651,7 +727,7 @@ fn run_shard<T: ReplicatedType>(
                         round_delta.insert(Entry::new(ts, op.clone()));
                         view.insert(Entry::new(ts, op.clone()));
                         if commutes {
-                            *value = ttype.apply(value, &op);
+                            ttype.apply_mut(value, &op);
                         }
                     }
                     slot.outcomes.push(if reachable.len() >= fin.max(1) {
@@ -846,6 +922,105 @@ mod tests {
             commits.len() < clients * 8,
             "expected multi-op group commits, got {} commits",
             commits.len()
+        );
+    }
+
+    #[test]
+    fn calm_fast_path_skips_the_read_phase_and_survives_lost_quorums() {
+        use crate::calm::SchedulingPolicy;
+        use crate::relation::AccountKind;
+        let assignment = VotingAssignment::new(3)
+            .with_initial(AccountKind::Credit, 1)
+            .with_final(AccountKind::Credit, 3)
+            .with_initial(AccountKind::Debit, 3)
+            .with_final(AccountKind::Debit, 1);
+        let mut sys =
+            ThreadedSystem::new(BankAccountType, 3, 1, assignment, ThreadedConfig::default())
+                .with_scheduling(SchedulingPolicy::coordination_free([AccountKind::Credit]));
+        // Two replicas down: quorum credits would time out (final quorum
+        // of 3), debits cannot even read — but free credits complete.
+        sys.crash(0);
+        sys.crash(1);
+        sys.submit_to(0, AccountInv::Credit(5));
+        sys.submit_to(0, AccountInv::Debit(1));
+        sys.run_all();
+        let outcomes = sys.outcomes_of(0);
+        assert!(outcomes[0].is_completed(), "free credit is 100% available");
+        assert!(outcomes[1].is_timeout(), "quorum debit still degrades");
+        assert_eq!(sys.replica_log(2).len(), 1, "credit rode the group commit");
+        assert_eq!(sys.calm_op_counts(), (1, 1));
+        // After recovery the debit observes the fast-path credit.
+        sys.recover(0);
+        sys.recover(1);
+        sys.submit_to(0, AccountInv::Debit(5));
+        sys.run_all();
+        assert!(matches!(
+            sys.outcomes_of(0)[2],
+            Outcome::Completed {
+                op: relax_queues::AccountOp::DebitOk(5),
+                ..
+            }
+        ));
+        assert_eq!(sys.calm_op_counts(), (1, 2));
+    }
+
+    /// Multi-shard stress: well past the single-shard sweet spot, mixing
+    /// CALM-free credits with quorum debits across 8 shards × 64 clients.
+    /// Ignored by default (spins 11 OS threads and ~1.5k ops); CI runs it
+    /// explicitly with `RELAX_BENCH_THREADS` set — see `ci.yml`.
+    #[test]
+    #[ignore = "multi-shard stress; CI runs it explicitly via --ignored"]
+    fn multi_shard_stress_converges_with_mixed_scheduling() {
+        use crate::calm::SchedulingPolicy;
+        use crate::relation::AccountKind;
+        let assignment = VotingAssignment::new(3)
+            .with_initial(AccountKind::Credit, 1)
+            .with_final(AccountKind::Credit, 1)
+            .with_initial(AccountKind::Debit, 2)
+            .with_final(AccountKind::Debit, 2);
+        let clients = 64;
+        let per_client_credits = 16u64;
+        let per_client_debits = 4u64;
+        let mut sys = ThreadedSystem::new(
+            BankAccountType,
+            3,
+            clients,
+            assignment,
+            ThreadedConfig {
+                shards: 8,
+                batch: 16,
+                flush_micros: 5,
+            },
+        )
+        .with_scheduling(SchedulingPolicy::coordination_free([AccountKind::Credit]));
+        for c in 0..clients {
+            for i in 0..per_client_credits {
+                sys.submit_to(c, AccountInv::Credit(1 + (i % 3) as u32));
+            }
+            for _ in 0..per_client_debits {
+                sys.submit_to(c, AccountInv::Debit(1));
+            }
+        }
+        let total = clients as u64 * (per_client_credits + per_client_debits);
+        let stats = sys.run_all();
+        assert_eq!(stats.ops, total);
+        for c in 0..clients {
+            assert!(
+                sys.outcomes_of(c).iter().all(Outcome::is_completed),
+                "client {c} left degraded outcomes"
+            );
+        }
+        // Every operation (fast or quorum) reached every replica.
+        for i in 0..3 {
+            assert_eq!(sys.replica_log(i).len(), total as usize, "replica {i}");
+        }
+        assert_eq!(sys.merged_history().len(), total as usize);
+        assert_eq!(
+            sys.calm_op_counts(),
+            (
+                clients as u64 * per_client_credits,
+                clients as u64 * per_client_debits
+            )
         );
     }
 }

@@ -120,12 +120,13 @@ impl<V: Clone> ViewCache<V> {
 
     /// Folds `apply` over `log`'s operations in timestamp order starting
     /// from `initial`, replaying only the suffix beyond the cached
-    /// prefix when the cache is valid for `log`.
+    /// prefix when the cache is valid for `log`. The fold mutates the
+    /// accumulator in place so replays never pay a rebuild per entry.
     pub fn eval<Op: Clone>(
         &mut self,
         log: &Log<Op>,
         initial: V,
-        mut apply: impl FnMut(&V, &Op) -> V,
+        mut apply: impl FnMut(&mut V, &Op),
     ) -> V {
         let entries = log.entries();
         let (start, mut value) = match &self.cached {
@@ -155,7 +156,7 @@ impl<V: Clone> ViewCache<V> {
         };
         self.entries_replayed += (entries.len() - start) as u64;
         for (i, e) in entries.iter().enumerate().skip(start) {
-            value = apply(&value, &e.op);
+            apply(&mut value, &e.op);
             let len = i + 1;
             if self.use_checkpoints {
                 if let Some(k) = checkpoint_slot(len) {
@@ -241,7 +242,7 @@ mod tests {
         let mut log = Log::new();
         for i in 1..=10u64 {
             log.insert(e(i, 0, i as i64));
-            let v = cache.eval(&log, 0i64, |acc, op| acc + op);
+            let v = cache.eval(&log, 0i64, |acc, op| *acc += op);
             assert_eq!(v, fresh_sum(&log));
         }
         assert_eq!(cache.hits(), 9); // everything after the first eval
@@ -256,16 +257,16 @@ mod tests {
         let mut log = Log::new();
         log.insert(e(2, 0, 10));
         log.insert(e(4, 0, 20));
-        assert_eq!(cache.eval(&log, 0i64, |a, op| a + op), 30);
+        assert_eq!(cache.eval(&log, 0i64, |a, op| *a += op), 30);
 
         // An entry lands *below* the cached prefix: replay must restart.
         log.insert(e(1, 1, 100));
-        assert_eq!(cache.eval(&log, 0i64, |a, op| a + op), 130);
+        assert_eq!(cache.eval(&log, 0i64, |a, op| *a += op), 130);
         assert_eq!(cache.misses(), 1);
 
         // And the rebuilt cache serves appends again.
         log.insert(e(9, 0, 1));
-        assert_eq!(cache.eval(&log, 0i64, |a, op| a + op), 131);
+        assert_eq!(cache.eval(&log, 0i64, |a, op| *a += op), 131);
         assert_eq!(cache.hits(), 1);
     }
 
@@ -276,10 +277,10 @@ mod tests {
         let mut cache = ViewCache::new();
         let mut log = Log::new();
         log.insert(e(3, 0, 7));
-        let _ = cache.eval(&log, 100i64, |a, op| a - op);
+        let _ = cache.eval(&log, 100i64, |a, op| *a -= op);
         log.insert(e(1, 0, 5));
         log.insert(e(2, 1, 3));
-        let v = cache.eval(&log, 100i64, |a, op| a - op);
+        let v = cache.eval(&log, 100i64, |a, op| *a -= op);
         assert_eq!(v, 100 - 5 - 3 - 7);
     }
 
@@ -292,8 +293,8 @@ mod tests {
         // 100 appends at even counters, evaluated at every step.
         for i in 1..=100u64 {
             log.insert(e(2 * i, 0, i as i64));
-            let a = plain.eval(&log, 0i64, |acc, op| acc + op);
-            let b = cp.eval(&log, 0i64, |acc, op| acc + op);
+            let a = plain.eval(&log, 0i64, |acc, op| *acc += op);
+            let b = cp.eval(&log, 0i64, |acc, op| *acc += op);
             assert_eq!(a, b);
         }
         assert_eq!(plain.entries_replayed(), 100);
@@ -301,8 +302,8 @@ mod tests {
         // Splice at position 64 (counter 129 lands between 128 and 130):
         // the length-64 prefix survives, longer checkpoints do not.
         log.insert(e(129, 1, 1000));
-        let a = plain.eval(&log, 0i64, |acc, op| acc + op);
-        let b = cp.eval(&log, 0i64, |acc, op| acc + op);
+        let a = plain.eval(&log, 0i64, |acc, op| *acc += op);
+        let b = cp.eval(&log, 0i64, |acc, op| *acc += op);
         assert_eq!(a, b);
         assert_eq!(plain.misses(), 1);
         assert_eq!(cp.misses(), 1, "a checkpoint resume still counts as a miss");
@@ -319,10 +320,14 @@ mod tests {
         let mut log = Log::new();
         for i in 1..=40u64 {
             log.insert(e(2 * i, 0, i as i64));
-            let _ = cp.eval(&log, 1_000_000i64, |acc, op| acc * 31 % 999_983 - op);
+            let _ = cp.eval(&log, 1_000_000i64, |acc, op| {
+                *acc = *acc * 31 % 999_983 - op
+            });
         }
         log.insert(e(33, 1, 777)); // splice above the length-16 checkpoint
-        let got = cp.eval(&log, 1_000_000i64, |acc, op| acc * 31 % 999_983 - op);
+        let got = cp.eval(&log, 1_000_000i64, |acc, op| {
+            *acc = *acc * 31 % 999_983 - op
+        });
         let fresh = log
             .entries()
             .iter()
@@ -335,7 +340,7 @@ mod tests {
     fn empty_log_returns_initial() {
         let mut cache = ViewCache::new();
         let log: Log<i64> = Log::new();
-        assert_eq!(cache.eval(&log, 42i64, |a, op| a + op), 42);
+        assert_eq!(cache.eval(&log, 42i64, |a, op| *a += op), 42);
         assert_eq!(cache.hits() + cache.misses(), 0);
     }
 }

@@ -47,7 +47,7 @@ proptest! {
                 2 => scratch.insert(entry(counter, site)),
                 _ => main.merge(&scratch),
             }
-            let memoized = cache.eval(&main, ttype.initial_value(), |v, op| ttype.apply(v, op));
+            let memoized = cache.eval(&main, ttype.initial_value(), |v, op| ttype.apply_mut(v, op));
             let fresh = ttype.eval_view(&main);
             prop_assert_eq!(
                 &memoized,
@@ -84,8 +84,8 @@ proptest! {
                 2 => scratch.insert(entry(counter, site)),
                 _ => main.merge(&scratch),
             }
-            let a = with_cp.eval(&main, ttype.initial_value(), |v, op| ttype.apply(v, op));
-            let b = without_cp.eval(&main, ttype.initial_value(), |v, op| ttype.apply(v, op));
+            let a = with_cp.eval(&main, ttype.initial_value(), |v, op| ttype.apply_mut(v, op));
+            let b = without_cp.eval(&main, ttype.initial_value(), |v, op| ttype.apply_mut(v, op));
             let fresh = ttype.eval_view(&main);
             prop_assert_eq!(&a, &fresh, "checkpointed cache diverged");
             prop_assert_eq!(&b, &fresh, "plain cache diverged");
@@ -106,7 +106,7 @@ fn cache_hits_on_growth_and_misses_on_splice() {
 
     for c in [10u64, 20, 30, 40, 50] {
         log.insert(entry(c, 0));
-        let got = cache.eval(&log, ttype.initial_value(), |v, op| ttype.apply(v, op));
+        let got = cache.eval(&log, ttype.initial_value(), |v, op| ttype.apply_mut(v, op));
         assert_eq!(got, ttype.eval_view(&log));
     }
     // First eval primes; the next four replay suffixes.
@@ -117,7 +117,7 @@ fn cache_hits_on_growth_and_misses_on_splice() {
     let mut other = Log::new();
     other.insert(entry(15, 1));
     log.merge(&other);
-    let got = cache.eval(&log, ttype.initial_value(), |v, op| ttype.apply(v, op));
+    let got = cache.eval(&log, ttype.initial_value(), |v, op| ttype.apply_mut(v, op));
     assert_eq!(got, ttype.eval_view(&log));
     assert_eq!(cache.misses(), 1, "mid-log splice must invalidate");
 }

@@ -902,6 +902,8 @@ mod tests {
         let mut r = Registry::new();
         r.counter("ops").record(true);
         r.counter("ops").record(false);
+        r.gauge("calm_fast_ops").set(12);
+        r.gauge("calm_quorum_ops").set(2);
         r.gauge("inflight").set(3);
         r.gauge(wire::BYTES_SHIPPED).set(4096);
         r.gauge(wire::MESSAGES_SENT).set(128);
@@ -916,6 +918,10 @@ mod tests {
 # TYPE ops_total counter
 ops_total{result=\"success\"} 1
 ops_total{result=\"failure\"} 1
+# TYPE calm_fast_ops gauge
+calm_fast_ops 12
+# TYPE calm_quorum_ops gauge
+calm_quorum_ops 2
 # TYPE inflight gauge
 inflight 3
 # TYPE merkle_sync_rounds gauge
@@ -1001,6 +1007,9 @@ lat_quantile{quantile=\"0.99\"} 500
             "realtime_op_latency_nanos",
             "realtime_commit_batch_ops",
             "realtime_shard_rounds",
+            // CALM scheduling (both quorum backends)
+            "calm_fast_ops",
+            "calm_quorum_ops",
         ];
         for name in canonical {
             assert_eq!(lint_name(name), None, "metric name {name:?} fails lint");
